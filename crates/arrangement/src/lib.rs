@@ -1,0 +1,33 @@
+//! `uncertain-arrangement`: planar arrangements of segments and lines.
+//!
+//! Two structures in the paper are arrangements:
+//!
+//! * the **discrete nonzero Voronoi diagram** (Theorem 2.14) is the planar
+//!   subdivision induced by the polygonal curves `γ_i` — an arrangement of
+//!   line segments;
+//! * the **probabilistic Voronoi diagram** `V_Pr` (Theorem 4.2) is a
+//!   refinement of the arrangement of the `O(N²)` bisector lines of all
+//!   location pairs.
+//!
+//! Modules:
+//!
+//! * [`segment`] — segments and pairwise intersection (including collinear
+//!   overlaps), with robust orientation tests;
+//! * [`subdivision`] — splits a set of segments at all intersections and
+//!   builds the planar subdivision: vertex/edge/face counts (via Euler's
+//!   formula, cross-checked against half-edge face tracing), bounded-face
+//!   enumeration with interior sample points;
+//! * [`lines`] — arrangements of lines clipped to a box;
+//! * [`slab`] — slab-based point location for line arrangements (`O(log n)`
+//!   query), the lookup structure behind exact `V_Pr` queries.
+
+pub mod lines;
+pub mod segment;
+pub mod segment_slab;
+pub mod slab;
+pub mod subdivision;
+
+pub use segment::Segment;
+pub use segment_slab::SegmentSlabLocator;
+pub use slab::SlabLocator;
+pub use subdivision::Subdivision;

@@ -1,0 +1,233 @@
+//! Lines and arrangements of lines clipped to a box.
+
+use crate::segment::Segment;
+use crate::subdivision::{Subdivision, TaggedSegment};
+use uncertain_geom::{Aabb, Point};
+
+/// The line `a·x + b·y = c` (with `(a, b) ≠ 0`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Line2 {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl Line2 {
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        Line2 { a, b, c }
+    }
+
+    /// Perpendicular bisector of `p` and `q` (points closer to `p` satisfy
+    /// `eval < 0`).
+    pub fn bisector(p: Point, q: Point) -> Self {
+        // ‖x−p‖² = ‖x−q‖² ⇔ 2(q−p)·x = ‖q‖² − ‖p‖²
+        let a = 2.0 * (q.x - p.x);
+        let b = 2.0 * (q.y - p.y);
+        let c = q.to_vector().norm2() - p.to_vector().norm2();
+        Line2 { a, b, c }
+    }
+
+    /// Signed value `a·x + b·y − c`.
+    #[inline]
+    pub fn eval(&self, p: Point) -> f64 {
+        self.a * p.x + self.b * p.y - self.c
+    }
+
+    /// `true` when the line is (numerically) vertical.
+    pub fn is_vertical(&self) -> bool {
+        self.b.abs() <= 1e-14 * self.a.abs().max(1.0)
+    }
+
+    /// `y` at a given `x` (requires non-vertical).
+    #[inline]
+    pub fn y_at(&self, x: f64) -> f64 {
+        (self.c - self.a * x) / self.b
+    }
+
+    /// Intersection with another line, `None` when parallel.
+    pub fn intersect(&self, other: &Line2) -> Option<Point> {
+        let det = self.a * other.b - other.a * self.b;
+        let scale = self
+            .a
+            .abs()
+            .max(self.b.abs())
+            .max(other.a.abs())
+            .max(other.b.abs())
+            .max(1.0);
+        if det.abs() <= 1e-14 * scale * scale {
+            return None;
+        }
+        Some(Point::new(
+            (self.c * other.b - other.c * self.b) / det,
+            (self.a * other.c - other.a * self.c) / det,
+        ))
+    }
+
+    /// Canonical form for deduplication: scaled so `‖(a,b)‖ = 1` and the
+    /// first nonzero of `(a, b)` is positive.
+    pub fn canonical(&self) -> (f64, f64, f64) {
+        let n = self.a.hypot(self.b);
+        if n <= f64::MIN_POSITIVE {
+            return (0.0, 0.0, 0.0);
+        }
+        let (mut a, mut b, mut c) = (self.a / n, self.b / n, self.c / n);
+        if a < 0.0 || (a == 0.0 && b < 0.0) {
+            a = -a;
+            b = -b;
+            c = -c;
+        }
+        (a, b, c)
+    }
+}
+
+/// Removes (near-)duplicate lines, keeping the first of each class.
+/// Returns the kept indices too.
+pub fn dedup_lines(lines: &[Line2], tol: f64) -> (Vec<Line2>, Vec<usize>) {
+    let mut kept: Vec<Line2> = vec![];
+    let mut idx = vec![];
+    'outer: for (i, l) in lines.iter().enumerate() {
+        let cl = l.canonical();
+        if cl == (0.0, 0.0, 0.0) {
+            continue;
+        }
+        for k in &kept {
+            let ck = k.canonical();
+            if (cl.0 - ck.0).abs() <= tol
+                && (cl.1 - ck.1).abs() <= tol
+                && (cl.2 - ck.2).abs() <= tol * (1.0 + cl.2.abs().max(ck.2.abs()))
+            {
+                continue 'outer;
+            }
+        }
+        kept.push(*l);
+        idx.push(i);
+    }
+    (kept, idx)
+}
+
+/// Clips a line to a box; `None` when it misses the box.
+pub fn clip_line_to_box(line: &Line2, bbox: &Aabb) -> Option<Segment> {
+    // Parametric point + direction.
+    let n2 = line.a * line.a + line.b * line.b;
+    if n2 <= f64::MIN_POSITIVE {
+        return None;
+    }
+    let p0 = Point::new(line.a * line.c / n2, line.b * line.c / n2);
+    let d = uncertain_geom::Vector::new(-line.b, line.a);
+    // Liang–Barsky.
+    let mut t0 = f64::NEG_INFINITY;
+    let mut t1 = f64::INFINITY;
+    for (num, den) in [
+        (bbox.lo.x - p0.x, d.x),
+        (p0.x - bbox.hi.x, -d.x),
+        (bbox.lo.y - p0.y, d.y),
+        (p0.y - bbox.hi.y, -d.y),
+    ] {
+        if den.abs() <= f64::MIN_POSITIVE {
+            if num > 0.0 {
+                return None;
+            }
+            continue;
+        }
+        let t = num / den;
+        if den > 0.0 {
+            t0 = t0.max(t);
+        } else {
+            t1 = t1.min(t);
+        }
+    }
+    if t0 >= t1 {
+        return None;
+    }
+    Some(Segment::new(p0 + d * t0, p0 + d * t1))
+}
+
+/// Builds the subdivision of `lines` clipped to `bbox`, with the box
+/// boundary included (curve ids: `i` for line `i`, `lines.len()..+4` for the
+/// box edges). All faces of the result are bounded except the outer one.
+pub fn line_arrangement(lines: &[Line2], bbox: &Aabb) -> Subdivision {
+    let mut segs: Vec<TaggedSegment> = vec![];
+    for (i, l) in lines.iter().enumerate() {
+        if let Some(seg) = clip_line_to_box(l, bbox) {
+            segs.push(TaggedSegment {
+                seg,
+                curve: i as u32,
+            });
+        }
+    }
+    let corners = bbox.corners();
+    for k in 0..4 {
+        segs.push(TaggedSegment {
+            seg: Segment::new(corners[k], corners[(k + 1) % 4]),
+            curve: (lines.len() + k) as u32,
+        });
+    }
+    Subdivision::build(&segs, 1e-9 * bbox.radius().max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Aabb {
+        Aabb::from_corners(Point::new(-10.0, -10.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn bisector_signs() {
+        let l = Line2::bisector(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        assert!(l.eval(Point::new(0.0, 3.0)) < 0.0); // closer to p
+        assert!(l.eval(Point::new(4.0, 3.0)) > 0.0);
+        assert!(l.eval(Point::new(2.0, -5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping() {
+        let horizontal = Line2::new(0.0, 1.0, 0.0); // y = 0
+        let seg = clip_line_to_box(&horizontal, &bbox()).unwrap();
+        assert!((seg.length() - 20.0).abs() < 1e-9);
+        let missing = Line2::new(0.0, 1.0, 100.0); // y = 100
+        assert!(clip_line_to_box(&missing, &bbox()).is_none());
+        let diagonal = Line2::new(1.0, -1.0, 0.0); // y = x
+        let seg = clip_line_to_box(&diagonal, &bbox()).unwrap();
+        assert!((seg.length() - 20.0 * 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generic_lines_face_count() {
+        // n generic lines have 1 + n + C(n,2) faces; clipping to a box that
+        // contains all intersections makes all of them bounded.
+        let lines = vec![
+            Line2::new(1.0, 1.0, 0.5),
+            Line2::new(1.0, -1.0, 0.0),
+            Line2::new(0.2, 1.0, 1.0),
+            Line2::new(1.0, 0.1, -2.0),
+        ];
+        let n = lines.len();
+        let sub = line_arrangement(&lines, &bbox());
+        let expected = 1 + n + n * (n - 1) / 2;
+        assert_eq!(sub.bounded_faces().len(), expected);
+        // Euler consistency: num_faces counts the outer face too.
+        assert_eq!(sub.num_faces(), expected + 1);
+    }
+
+    #[test]
+    fn dedup() {
+        let l1 = Line2::new(1.0, 1.0, 1.0);
+        let l2 = Line2::new(2.0, 2.0, 2.0); // same line
+        let l3 = Line2::new(-1.0, -1.0, -1.0); // same line, flipped
+        let l4 = Line2::new(1.0, -1.0, 0.0);
+        let (kept, idx) = dedup_lines(&[l1, l2, l3, l4], 1e-9);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(idx, vec![0, 3]);
+    }
+
+    #[test]
+    fn intersection() {
+        let l1 = Line2::new(1.0, 0.0, 2.0); // x = 2
+        let l2 = Line2::new(0.0, 1.0, 3.0); // y = 3
+        let p = l1.intersect(&l2).unwrap();
+        assert!(p.dist(Point::new(2.0, 3.0)) < 1e-12);
+        assert!(l1.intersect(&Line2::new(2.0, 0.0, 0.0)).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Line segments and pairwise intersections.
+
+use uncertain_geom::predicates::orient2d;
+use uncertain_geom::{Aabb, Point};
+
+/// A closed line segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    pub fn bbox(&self) -> Aabb {
+        Aabb::from_corners(self.a, self.b)
+    }
+
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]`.
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the supporting
+    /// line (unclamped).
+    pub fn project_param(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let n2 = d.norm2();
+        if n2 <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        (p - self.a).dot(d) / n2
+    }
+
+    /// `true` if `p` lies on the segment (robust collinearity + box test).
+    pub fn contains_point(&self, p: Point) -> bool {
+        orient2d(self.a, self.b, p) == 0.0 && self.bbox().contains(p)
+    }
+}
+
+/// Intersection points of two segments, as parameters on `s1` paired with
+/// the geometric point. Returns 0, 1, or 2 entries (2 only for collinear
+/// overlap, where the overlap endpoints are reported so callers can split
+/// both segments consistently).
+pub fn segment_intersections(s1: &Segment, s2: &Segment) -> Vec<(f64, Point)> {
+    // Quick bbox rejection with a hair of slack.
+    let b1 = s1.bbox();
+    let b2 = s2.bbox();
+    let slack = 1e-12 * (b1.radius() + b2.radius() + b1.center().dist(b2.center())).max(1.0);
+    if b1.lo.x > b2.hi.x + slack
+        || b2.lo.x > b1.hi.x + slack
+        || b1.lo.y > b2.hi.y + slack
+        || b2.lo.y > b1.hi.y + slack
+    {
+        return vec![];
+    }
+
+    let o1 = orient2d(s2.a, s2.b, s1.a);
+    let o2 = orient2d(s2.a, s2.b, s1.b);
+    let o3 = orient2d(s1.a, s1.b, s2.a);
+    let o4 = orient2d(s1.a, s1.b, s2.b);
+
+    if o1 == 0.0 && o2 == 0.0 {
+        // Collinear. Project s2's endpoints on s1 and keep those inside.
+        let mut out = vec![];
+        for p in [s2.a, s2.b] {
+            let t = s1.project_param(p);
+            if (-1e-12..=1.0 + 1e-12).contains(&t) && s1.contains_point(p) {
+                out.push((t.clamp(0.0, 1.0), p));
+            }
+        }
+        // Endpoints of s1 inside s2 are split points for s2, reported via
+        // the symmetric call; for s1 they are params 0/1 (no split needed).
+        out.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        out.dedup_by(|x, y| (x.0 - y.0).abs() < 1e-12);
+        return out;
+    }
+
+    // Endpoint-on-line cases: the only possible intersection is that
+    // endpoint itself (collinear overlap was handled above).
+    if o1 == 0.0 {
+        return if s2.bbox().contains(s1.a) {
+            vec![(0.0, s1.a)]
+        } else {
+            vec![]
+        };
+    }
+    if o2 == 0.0 {
+        return if s2.bbox().contains(s1.b) {
+            vec![(1.0, s1.b)]
+        } else {
+            vec![]
+        };
+    }
+    if o3 == 0.0 {
+        return if s1.contains_point(s2.a) {
+            vec![(s1.project_param(s2.a).clamp(0.0, 1.0), s2.a)]
+        } else {
+            vec![]
+        };
+    }
+    if o4 == 0.0 {
+        return if s1.contains_point(s2.b) {
+            vec![(s1.project_param(s2.b).clamp(0.0, 1.0), s2.b)]
+        } else {
+            vec![]
+        };
+    }
+    // All orientations strict: a proper crossing exists iff the endpoints of
+    // each segment straddle the other's supporting line.
+    if (o1 > 0.0) == (o2 > 0.0) || (o3 > 0.0) == (o4 > 0.0) {
+        return vec![];
+    }
+    // Parameter on s1 from the signed distances to line(s2).
+    let t1 = o1 / (o1 - o2);
+    let p = s1.at(t1.clamp(0.0, 1.0));
+    vec![(t1.clamp(0.0, 1.0), p)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing() {
+        let s1 = s(0.0, 0.0, 2.0, 2.0);
+        let s2 = s(0.0, 2.0, 2.0, 0.0);
+        let xs = segment_intersections(&s1, &s2);
+        assert_eq!(xs.len(), 1);
+        assert!(xs[0].1.dist(Point::new(1.0, 1.0)) < 1e-12);
+        assert!((xs[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_intersection() {
+        let s1 = s(0.0, 0.0, 1.0, 0.0);
+        let s2 = s(0.0, 1.0, 1.0, 1.0);
+        assert!(segment_intersections(&s1, &s2).is_empty());
+        // Lines cross but segments don't.
+        let s3 = s(0.0, 0.0, 1.0, 1.0);
+        let s4 = s(3.0, 0.0, 2.0, 1.1);
+        assert!(segment_intersections(&s3, &s4).is_empty());
+    }
+
+    #[test]
+    fn endpoint_touch() {
+        let s1 = s(0.0, 0.0, 2.0, 0.0);
+        let s2 = s(1.0, 0.0, 1.0, 5.0); // T-junction at (1, 0)
+        let xs = segment_intersections(&s1, &s2);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].0 - 0.5).abs() < 1e-12);
+        assert!(xs[0].1.dist(Point::new(1.0, 0.0)) < 1e-12);
+
+        // Shared endpoint.
+        let s3 = s(2.0, 0.0, 3.0, 1.0);
+        let xs = segment_intersections(&s1, &s3);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].0, 1.0);
+    }
+
+    #[test]
+    fn collinear_overlap() {
+        let s1 = s(0.0, 0.0, 4.0, 0.0);
+        let s2 = s(1.0, 0.0, 6.0, 0.0);
+        let xs = segment_intersections(&s1, &s2);
+        // s2's endpoint (1,0) splits s1; (6,0) is outside s1.
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].0 - 0.25).abs() < 1e-12);
+        // Symmetric call: s1's endpoint 4,0 lies inside s2.
+        let ys = segment_intersections(&s2, &s1);
+        assert_eq!(ys.len(), 1);
+        assert!(ys[0].1.dist(Point::new(4.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn near_parallel_robustness() {
+        // Nearly-parallel segments that actually cross: the robust
+        // orientation tests must agree with the computed point.
+        let s1 = s(0.0, 0.0, 10.0, 1e-9);
+        let s2 = s(0.0, 1e-10, 10.0, 0.0);
+        let xs = segment_intersections(&s1, &s2);
+        assert_eq!(xs.len(), 1);
+        let p = xs[0].1;
+        assert!(p.x > 0.0 && p.x < 10.0);
+    }
+
+    #[test]
+    fn contains_point_robust() {
+        let seg = s(0.0, 0.0, 10.0, 10.0);
+        assert!(seg.contains_point(Point::new(5.0, 5.0)));
+        assert!(!seg.contains_point(Point::new(5.0, 5.0 + 1e-9)));
+        assert!(seg.contains_point(Point::new(0.0, 0.0)));
+        assert!(!seg.contains_point(Point::new(11.0, 11.0)));
+    }
+}

@@ -1,0 +1,253 @@
+//! Slab-based point location for line arrangements.
+//!
+//! The classical `O(n²)`-space, `O(log n)`-query slab method: sort all
+//! pairwise intersection x-coordinates into vertical slabs; within a slab the
+//! lines have a fixed top-to-bottom order, so a query is two binary searches.
+//! This is the lookup structure behind the exact probabilistic-Voronoi-
+//! diagram queries (Theorem 4.2) — `V_Pr` refines the arrangement of all
+//! bisector lines, so every slab cell carries one probability vector.
+//!
+//! Vertical input lines are handled by turning their x-coordinates into slab
+//! boundaries.
+
+use crate::lines::Line2;
+use uncertain_geom::{Aabb, Point};
+
+/// Point-location structure; every *cell* (slab × vertical gap) maps to a
+/// stable cell id, with a representative interior sample point.
+#[derive(Clone, Debug)]
+pub struct SlabLocator {
+    /// Non-vertical lines, in input order.
+    lines: Vec<Line2>,
+    /// Slab boundaries (sorted x-coordinates, including the box walls).
+    xs: Vec<f64>,
+    /// For each slab, the crossing lines ordered by `y` (bottom to top).
+    slab_order: Vec<Vec<u32>>,
+    /// Prefix sums: cell id of the bottom gap of each slab.
+    offsets: Vec<usize>,
+    bbox: Aabb,
+}
+
+impl SlabLocator {
+    /// Builds the locator for `lines` within `bbox`. Lines outside the box
+    /// still participate (they are infinite); callers should pre-deduplicate
+    /// with [`crate::lines::dedup_lines`].
+    pub fn build(lines: &[Line2], bbox: &Aabb) -> Self {
+        let mut verticals: Vec<f64> = vec![];
+        let mut nonvert: Vec<Line2> = vec![];
+        for l in lines {
+            if l.is_vertical() {
+                if l.a.abs() > f64::MIN_POSITIVE {
+                    verticals.push(l.c / l.a);
+                }
+            } else {
+                nonvert.push(*l);
+            }
+        }
+        let mut xs: Vec<f64> = vec![bbox.lo.x, bbox.hi.x];
+        xs.extend(
+            verticals
+                .iter()
+                .filter(|&&x| x > bbox.lo.x && x < bbox.hi.x),
+        );
+        for i in 0..nonvert.len() {
+            for j in (i + 1)..nonvert.len() {
+                if let Some(p) = nonvert[i].intersect(&nonvert[j]) {
+                    if p.x > bbox.lo.x && p.x < bbox.hi.x {
+                        xs.push(p.x);
+                    }
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-12 * bbox.radius().max(1.0));
+
+        let mut slab_order = Vec::with_capacity(xs.len().saturating_sub(1));
+        let mut offsets = Vec::with_capacity(xs.len());
+        let mut acc = 0usize;
+        for w in xs.windows(2) {
+            let xm = 0.5 * (w[0] + w[1]);
+            let mut order: Vec<u32> = (0..nonvert.len() as u32).collect();
+            order.sort_by(|&i, &j| {
+                nonvert[i as usize]
+                    .y_at(xm)
+                    .partial_cmp(&nonvert[j as usize].y_at(xm))
+                    .unwrap()
+            });
+            offsets.push(acc);
+            acc += order.len() + 1;
+            slab_order.push(order);
+        }
+        offsets.push(acc);
+        SlabLocator {
+            lines: nonvert,
+            xs,
+            slab_order,
+            offsets,
+            bbox: *bbox,
+        }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Number of slabs.
+    pub fn num_slabs(&self) -> usize {
+        self.slab_order.len()
+    }
+
+    /// Locates `q`, returning its cell id; `None` outside the box.
+    pub fn locate(&self, q: Point) -> Option<usize> {
+        if !self.bbox.contains(q) {
+            return None;
+        }
+        if self.slab_order.is_empty() {
+            return None;
+        }
+        // Slab index: xs[s] <= q.x <= xs[s+1].
+        let s = match self.xs.binary_search_by(|x| x.partial_cmp(&q.x).unwrap()) {
+            Ok(i) => i.min(self.xs.len() - 2),
+            Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
+        };
+        let order = &self.slab_order[s];
+        // Gap index: number of lines strictly below q.
+        let gap = order.partition_point(|&li| self.lines[li as usize].y_at(q.x) < q.y);
+        Some(self.offsets[s] + gap)
+    }
+
+    /// A representative interior point of cell `id`, or `None` when the cell
+    /// has no interior inside the box (a gap entirely clipped away by the
+    /// box's top/bottom walls — such cells are never returned by `locate`).
+    pub fn cell_sample(&self, id: usize) -> Option<Point> {
+        let s = match self.offsets.binary_search(&id) {
+            Ok(i) if i < self.slab_order.len() => i,
+            Ok(i) => i - 1,
+            Err(i) => i - 1,
+        };
+        let gap = id - self.offsets[s];
+        let (x0, x1) = (self.xs[s], self.xs[s + 1]);
+        let w = x1 - x0;
+        let order = &self.slab_order[s];
+        // The gap may be clipped by the box top/bottom on part of the slab;
+        // probe a few x positions before giving up.
+        for xf in [0.5, 0.05, 0.95, 0.25, 0.75] {
+            let x = x0 + w * xf;
+            let y_lo = if gap == 0 {
+                self.bbox.lo.y
+            } else {
+                self.lines[order[gap - 1] as usize].y_at(x)
+            };
+            let y_hi = if gap == order.len() {
+                self.bbox.hi.y
+            } else {
+                self.lines[order[gap] as usize].y_at(x)
+            };
+            let (y_lo, y_hi) = (y_lo.max(self.bbox.lo.y), y_hi.min(self.bbox.hi.y));
+            if y_hi - y_lo > 1e-12 * self.bbox.radius().max(1.0) {
+                return Some(Point::new(x, 0.5 * (y_lo + y_hi)));
+            }
+        }
+        None
+    }
+
+    /// Iterates over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = usize> {
+        0..self.num_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbox() -> Aabb {
+        Aabb::from_corners(Point::new(-10.0, -10.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn single_horizontal_line() {
+        let loc = SlabLocator::build(&[Line2::new(0.0, 1.0, 0.0)], &bbox());
+        assert_eq!(loc.num_slabs(), 1);
+        assert_eq!(loc.num_cells(), 2);
+        let below = loc.locate(Point::new(0.0, -5.0)).unwrap();
+        let above = loc.locate(Point::new(0.0, 5.0)).unwrap();
+        assert_ne!(below, above);
+        assert!(loc.locate(Point::new(100.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn crossing_lines_four_cells_per_side() {
+        // Two crossing diagonals: 2 slabs × 3 cells = 6 cells.
+        let lines = [Line2::new(1.0, -1.0, 0.0), Line2::new(1.0, 1.0, 0.0)];
+        let loc = SlabLocator::build(&lines, &bbox());
+        assert_eq!(loc.num_slabs(), 2);
+        assert_eq!(loc.num_cells(), 6);
+        // Points in the four quadrant-like regions get distinct cells — and
+        // matching samples.
+        for q in [
+            Point::new(-5.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(0.0, 5.0),
+            Point::new(0.0, -5.0),
+        ] {
+            let id = loc.locate(q).unwrap();
+            let sample = loc.cell_sample(id).unwrap();
+            // The sample must be in the same region: same side of each line.
+            for l in &lines {
+                assert_eq!(
+                    l.eval(q) > 0.0,
+                    l.eval(sample) > 0.0,
+                    "sample strayed across a line for {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_lines_become_slab_boundaries() {
+        let lines = [Line2::new(1.0, 0.0, 0.0)]; // x = 0
+        let loc = SlabLocator::build(&lines, &bbox());
+        assert_eq!(loc.num_slabs(), 2);
+        let l = loc.locate(Point::new(-5.0, 0.0)).unwrap();
+        let r = loc.locate(Point::new(5.0, 0.0)).unwrap();
+        assert_ne!(l, r);
+    }
+
+    #[test]
+    fn sample_roundtrip_random_lines() {
+        let mut state = 5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let lines: Vec<Line2> = (0..8)
+            .map(|_| Line2::new(next(), next() + 1.5, next() * 3.0))
+            .collect();
+        let loc = SlabLocator::build(&lines, &bbox());
+        // Every non-clipped cell's sample must locate back to that cell.
+        let mut live = 0;
+        for id in loc.cell_ids() {
+            if let Some(s) = loc.cell_sample(id) {
+                assert_eq!(loc.locate(s), Some(id), "cell {id} sample {s}");
+                live += 1;
+            }
+        }
+        assert!(live > loc.num_slabs(), "most cells should be live");
+        // And random queries agree with a brute-force sign-vector match.
+        for _ in 0..200 {
+            let q = Point::new(next() * 9.0, next() * 9.0);
+            let id = loc.locate(q).unwrap();
+            let s = loc.cell_sample(id).expect("located cells are live");
+            for l in &lines {
+                let on_line = l.eval(q).abs() < 1e-9;
+                if !on_line {
+                    assert_eq!(l.eval(q) > 0.0, l.eval(s) > 0.0);
+                }
+            }
+        }
+    }
+}

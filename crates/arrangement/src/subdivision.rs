@@ -1,0 +1,582 @@
+//! Planar subdivisions induced by sets of segments.
+//!
+//! [`Subdivision::build`] splits every input segment at every intersection
+//! with every other segment, merges coincident endpoints (tolerance-based
+//! snapping on a hash grid), and assembles the resulting planar graph. It
+//! exposes:
+//!
+//! * exact combinatorial counts: vertices `V`, edges `E`, connected
+//!   components `C`, and faces `F = E − V + C + 1` (Euler's formula,
+//!   cross-checked in tests against half-edge face tracing);
+//! * bounded-face enumeration with an interior sample point per face (used
+//!   to label diagram cells with their `NN≠0` sets / probability vectors);
+//! * provenance: each edge remembers which input *curve* it came from.
+
+use crate::segment::{segment_intersections, Segment};
+use std::collections::HashMap;
+use uncertain_geom::{Point, Vector};
+
+/// A planar subdivision (graph embedded in the plane with straight edges).
+#[derive(Clone, Debug)]
+pub struct Subdivision {
+    pub vertices: Vec<Point>,
+    /// Edges as vertex-index pairs `(a, b)` with `a < b`.
+    pub edges: Vec<(u32, u32)>,
+    /// For each edge, the ids of **all** input curves passing through it
+    /// (several when curves geometrically coincide — e.g. two uncertain
+    /// points sharing a bisector). The first entry is the discovering curve.
+    pub edge_curves: Vec<Vec<u32>>,
+    components: usize,
+}
+
+/// An input segment tagged with a curve id (provenance).
+#[derive(Clone, Copy, Debug)]
+pub struct TaggedSegment {
+    pub seg: Segment,
+    pub curve: u32,
+}
+
+/// A bounded face discovered by tracing.
+#[derive(Clone, Debug)]
+pub struct FaceInfo {
+    /// A point strictly inside the face.
+    pub sample: Point,
+    /// Number of half-edges on the outer boundary cycle.
+    pub boundary_len: usize,
+    /// Area enclosed by the outer boundary cycle (holes not subtracted).
+    pub area: f64,
+}
+
+/// An adjacency between two bounded faces across one subdivision edge.
+#[derive(Clone, Debug)]
+pub struct FaceAdjacency {
+    pub a: u32,
+    pub b: u32,
+    /// Every input curve passing through the separating edge.
+    pub curves: Vec<u32>,
+}
+
+/// Bounded faces plus their adjacency (see [`Subdivision::traced_faces`]).
+#[derive(Clone, Debug)]
+pub struct TracedFaces {
+    pub faces: Vec<FaceInfo>,
+    /// One entry per subdivision edge separating two distinct bounded
+    /// faces; `curves` lists every input curve passing through that edge
+    /// (toggling all of them transforms one face's label into the other's).
+    pub adjacencies: Vec<FaceAdjacency>,
+    /// Face id per half-edge (`2e`/`2e+1` = the two directions of edge `e`,
+    /// the face lying on the *left* of the direction); `u32::MAX` for
+    /// half-edges on outer/hole boundaries.
+    pub face_of_halfedge: Vec<u32>,
+}
+
+impl Subdivision {
+    /// Builds the subdivision. `snap_tol` is the absolute distance below
+    /// which points are considered identical (pass ~1e-9 × your coordinate
+    /// scale). Runs in `O(m² + K log K)` for `m` segments with `K`
+    /// intersections — the sizes in this workspace (thousands of segments)
+    /// don't justify a sweep-line.
+    pub fn build(segments: &[TaggedSegment], snap_tol: f64) -> Self {
+        // 1. collect split parameters per segment
+        let m = segments.len();
+        let mut params: Vec<Vec<f64>> = vec![vec![0.0, 1.0]; m];
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                for (t, _) in segment_intersections(&segments[i].seg, &segments[j].seg) {
+                    params[i].push(t);
+                }
+            }
+        }
+
+        // 2. snap endpoints of subsegments onto shared vertices
+        let mut snapper = Snapper::new(snap_tol);
+        let mut edge_set: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut edges: Vec<(u32, u32)> = vec![];
+        let mut edge_curves: Vec<Vec<u32>> = vec![];
+        for (i, ts) in params.iter_mut().enumerate() {
+            ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            let seg = segments[i].seg;
+            for w in ts.windows(2) {
+                let pa = seg.at(w[0]);
+                let pb = seg.at(w[1]);
+                let va = snapper.id_of(pa);
+                let vb = snapper.id_of(pb);
+                if va == vb {
+                    continue; // degenerate sliver collapsed by snapping
+                }
+                let key = (va.min(vb), va.max(vb));
+                match edge_set.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(edges.len() as u32);
+                        edges.push(key);
+                        edge_curves.push(vec![segments[i].curve]);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Coinciding geometry from another curve: remember
+                        // every curve passing through this edge.
+                        let list = &mut edge_curves[*e.get() as usize];
+                        if !list.contains(&segments[i].curve) {
+                            list.push(segments[i].curve);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. connected components via union-find
+        let vertices = snapper.points;
+        let mut uf: Vec<u32> = (0..vertices.len() as u32).collect();
+        fn find(uf: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while uf[root as usize] != root {
+                root = uf[root as usize];
+            }
+            let mut cur = x;
+            while uf[cur as usize] != root {
+                let next = uf[cur as usize];
+                uf[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(a, b) in &edges {
+            let ra = find(&mut uf, a);
+            let rb = find(&mut uf, b);
+            if ra != rb {
+                uf[ra as usize] = rb;
+            }
+        }
+        let mut roots: Vec<u32> = (0..vertices.len() as u32)
+            .map(|v| find(&mut uf, v))
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let components = roots.len();
+
+        Subdivision {
+            vertices,
+            edges,
+            edge_curves,
+            components,
+        }
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Number of faces including the unbounded one (Euler:
+    /// `V − E + F = 1 + C`).
+    pub fn num_faces(&self) -> usize {
+        self.edges.len() + self.components + 1 - self.vertices.len()
+    }
+
+    /// Total combinatorial complexity: `V + E + F`.
+    pub fn complexity(&self) -> usize {
+        self.num_vertices() + self.num_edges() + self.num_faces()
+    }
+
+    /// Enumerates bounded faces by half-edge tracing. Each bounded face is
+    /// reported once (its counter-clockwise outer cycle) with an interior
+    /// sample point.
+    pub fn bounded_faces(&self) -> Vec<FaceInfo> {
+        self.traced_faces().faces
+    }
+
+    /// Like [`bounded_faces`](Self::bounded_faces) but also reports the
+    /// adjacency between bounded faces: `(face_a, face_b, curve)` for every
+    /// subdivision edge separating two *distinct bounded* faces, with the
+    /// provenance curve of that edge. (Edges bordering the outer face or a
+    /// hole boundary are omitted — consumers treat the adjacency graph as a
+    /// forest-able graph, not necessarily connected.)
+    pub fn traced_faces(&self) -> TracedFaces {
+        // Half-edges: 2*e and 2*e+1 are the two directions of edge e.
+        let he_count = 2 * self.edges.len();
+        let origin = |h: usize| -> u32 {
+            let (a, b) = self.edges[h / 2];
+            if h.is_multiple_of(2) {
+                a
+            } else {
+                b
+            }
+        };
+        let target = |h: usize| -> u32 {
+            let (a, b) = self.edges[h / 2];
+            if h.is_multiple_of(2) {
+                b
+            } else {
+                a
+            }
+        };
+        // Outgoing half-edges per vertex, sorted counter-clockwise by angle.
+        let mut out: Vec<Vec<u32>> = vec![vec![]; self.vertices.len()];
+        for h in 0..he_count {
+            out[origin(h) as usize].push(h as u32);
+        }
+        for (v, list) in out.iter_mut().enumerate() {
+            let vp = self.vertices[v];
+            list.sort_by(|&h1, &h2| {
+                let a1 = (self.vertices[target(h1 as usize) as usize] - vp).angle();
+                let a2 = (self.vertices[target(h2 as usize) as usize] - vp).angle();
+                a1.partial_cmp(&a2).unwrap()
+            });
+        }
+        // Position of each half-edge in its origin's rotation.
+        let mut pos = vec![0u32; he_count];
+        for list in &out {
+            for (k, &h) in list.iter().enumerate() {
+                pos[h as usize] = k as u32;
+            }
+        }
+        // next(h): at v = target(h), the rotation predecessor of twin(h)
+        // (clockwise-next from the reversed edge) — traces faces with the
+        // interior on the left.
+        let next = |h: usize| -> usize {
+            let tw = h ^ 1;
+            let v = origin(tw) as usize;
+            let k = pos[tw] as usize;
+            let list = &out[v];
+            let k2 = (k + list.len() - 1) % list.len();
+            list[k2] as usize
+        };
+
+        let mut visited = vec![false; he_count];
+        // Face id of each half-edge's cycle; u32::MAX for non-face cycles.
+        let mut face_of_he = vec![u32::MAX; he_count];
+        let mut faces = vec![];
+        for h0 in 0..he_count {
+            if visited[h0] {
+                continue;
+            }
+            // Trace the cycle.
+            let mut cycle = vec![];
+            let mut h = h0;
+            loop {
+                visited[h] = true;
+                cycle.push(h);
+                h = next(h);
+                if h == h0 {
+                    break;
+                }
+            }
+            // Signed area of the cycle.
+            let mut area = 0.0;
+            for &h in &cycle {
+                let p = self.vertices[origin(h) as usize];
+                let q = self.vertices[target(h) as usize];
+                area += p.x * q.y - q.x * p.y;
+            }
+            area *= 0.5;
+            if area <= 1e-14 {
+                continue; // outer face boundary or antenna-only cycle
+            }
+            if let Some(sample) = self.face_sample(&cycle, &origin, &target) {
+                let id = faces.len() as u32;
+                for &h in &cycle {
+                    face_of_he[h] = id;
+                }
+                faces.push(FaceInfo {
+                    sample,
+                    boundary_len: cycle.len(),
+                    area,
+                });
+            }
+        }
+        // Adjacencies: an edge whose two half-edges lie on distinct bounded
+        // faces separates them; the provenance curve is the toggle.
+        let mut adjacencies = vec![];
+        for e in 0..self.edges.len() {
+            let f1 = face_of_he[2 * e];
+            let f2 = face_of_he[2 * e + 1];
+            if f1 != u32::MAX && f2 != u32::MAX && f1 != f2 {
+                adjacencies.push(FaceAdjacency {
+                    a: f1,
+                    b: f2,
+                    curves: self.edge_curves[e].clone(),
+                });
+            }
+        }
+        TracedFaces {
+            faces,
+            adjacencies,
+            face_of_halfedge: face_of_he,
+        }
+    }
+
+    /// Picks a point strictly inside the face traced by `cycle` (interior on
+    /// the left of each half-edge), verified by point-in-polygon.
+    fn face_sample(
+        &self,
+        cycle: &[usize],
+        origin: &dyn Fn(usize) -> u32,
+        target: &dyn Fn(usize) -> u32,
+    ) -> Option<Point> {
+        let poly: Vec<Point> = cycle
+            .iter()
+            .map(|&h| self.vertices[origin(h) as usize])
+            .collect();
+        // Try offsetting inward from edge midpoints at decreasing scales.
+        for &h in cycle.iter() {
+            let a = self.vertices[origin(h) as usize];
+            let b = self.vertices[target(h) as usize];
+            let len = a.dist(b);
+            if len <= 0.0 {
+                continue;
+            }
+            let mid = a.midpoint(b);
+            let inward: Vector = (b - a).perp() * (1.0 / len);
+            for scale in [1e-3, 1e-6, 1e-9] {
+                let cand = mid + inward * (len * scale);
+                if point_in_polygon(&poly, cand) {
+                    return Some(cand);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Even-odd point-in-polygon test (polygon may be non-convex; boundary
+/// points undefined — callers only use strict-interior candidates).
+pub fn point_in_polygon(poly: &[Point], q: Point) -> bool {
+    let mut inside = false;
+    let n = poly.len();
+    for i in 0..n {
+        let a = poly[i];
+        let b = poly[(i + 1) % n];
+        if (a.y > q.y) != (b.y > q.y) {
+            let t = (q.y - a.y) / (b.y - a.y);
+            let x = a.x + t * (b.x - a.x);
+            if q.x < x {
+                inside = !inside;
+            }
+        }
+    }
+    inside
+}
+
+/// Snaps nearby points to shared ids using a uniform hash grid.
+struct Snapper {
+    tol: f64,
+    grid: HashMap<(i64, i64), Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl Snapper {
+    fn new(tol: f64) -> Self {
+        Snapper {
+            tol: tol.max(f64::MIN_POSITIVE),
+            grid: HashMap::new(),
+            points: vec![],
+        }
+    }
+
+    fn cell_of(&self, p: Point) -> (i64, i64) {
+        (
+            (p.x / self.tol).floor() as i64,
+            (p.y / self.tol).floor() as i64,
+        )
+    }
+
+    fn id_of(&mut self, p: Point) -> u32 {
+        let (cx, cy) = self.cell_of(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(list) = self.grid.get(&(cx + dx, cy + dy)) {
+                    for &id in list {
+                        if self.points[id as usize].dist(p) <= self.tol {
+                            return id;
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.points.len() as u32;
+        self.points.push(p);
+        self.grid.entry((cx, cy)).or_default().push(id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64, curve: u32) -> TaggedSegment {
+        TaggedSegment {
+            seg: Segment::new(Point::new(ax, ay), Point::new(bx, by)),
+            curve,
+        }
+    }
+
+    #[test]
+    fn single_square() {
+        let segs = [
+            seg(0.0, 0.0, 1.0, 0.0, 0),
+            seg(1.0, 0.0, 1.0, 1.0, 0),
+            seg(1.0, 1.0, 0.0, 1.0, 0),
+            seg(0.0, 1.0, 0.0, 0.0, 0),
+        ];
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(sub.num_components(), 1);
+        assert_eq!(sub.num_faces(), 2); // inside + outside
+        let faces = sub.bounded_faces();
+        assert_eq!(faces.len(), 1);
+        assert!((faces[0].area - 1.0).abs() < 1e-12);
+        let s = faces[0].sample;
+        assert!(s.x > 0.0 && s.x < 1.0 && s.y > 0.0 && s.y < 1.0);
+    }
+
+    #[test]
+    fn crossing_segments() {
+        // A plus sign: two segments crossing in the middle.
+        let segs = [seg(-1.0, 0.0, 1.0, 0.0, 0), seg(0.0, -1.0, 0.0, 1.0, 1)];
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_vertices(), 5);
+        assert_eq!(sub.num_edges(), 4);
+        assert_eq!(sub.num_faces(), 1); // tree: only the outer face
+        assert!(sub.bounded_faces().is_empty());
+    }
+
+    #[test]
+    fn grid_of_lines_euler() {
+        // 3 horizontal and 3 vertical long segments: a 2x2 grid of bounded
+        // cells. V = 9 crossings + 12 dangling tips = 21; E = 3*4 + 3*4 = 24;
+        // F = E − V + C + 1. The graph is connected: F = 24 − 21 + 2 = 5
+        // (4 bounded + outer).
+        let mut segs = vec![];
+        for i in 0..3 {
+            let y = i as f64;
+            segs.push(seg(-1.0, y, 3.0, y, i as u32));
+            segs.push(seg(i as f64, -1.0, i as f64, 3.0, (3 + i) as u32));
+        }
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_vertices(), 21);
+        assert_eq!(sub.num_edges(), 24);
+        assert_eq!(sub.num_components(), 1);
+        assert_eq!(sub.num_faces(), 5);
+        let faces = sub.bounded_faces();
+        assert_eq!(faces.len(), 4);
+        for f in &faces {
+            assert!((f.area - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let segs = [
+            seg(0.0, 0.0, 1.0, 0.0, 0),
+            seg(1.0, 0.0, 0.5, 1.0, 0),
+            seg(0.5, 1.0, 0.0, 0.0, 0),
+            seg(5.0, 0.0, 6.0, 0.0, 1),
+            seg(6.0, 0.0, 5.5, 1.0, 1),
+            seg(5.5, 1.0, 5.0, 0.0, 1),
+        ];
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_components(), 2);
+        assert_eq!(sub.num_faces(), 3); // two interiors + outer
+        assert_eq!(sub.bounded_faces().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_collinear_segments_dedup() {
+        // Two overlapping collinear segments must merge into simple edges.
+        let segs = [seg(0.0, 0.0, 2.0, 0.0, 0), seg(1.0, 0.0, 3.0, 0.0, 1)];
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_vertices(), 4);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.num_faces(), 1);
+    }
+
+    #[test]
+    fn shared_edge_between_squares() {
+        // Two unit squares sharing an edge: V=6, E=7, F=3.
+        let segs = [
+            seg(0.0, 0.0, 1.0, 0.0, 0),
+            seg(1.0, 0.0, 1.0, 1.0, 0),
+            seg(1.0, 1.0, 0.0, 1.0, 0),
+            seg(0.0, 1.0, 0.0, 0.0, 0),
+            seg(1.0, 0.0, 2.0, 0.0, 1),
+            seg(2.0, 0.0, 2.0, 1.0, 1),
+            seg(2.0, 1.0, 1.0, 1.0, 1),
+            seg(1.0, 1.0, 1.0, 0.0, 1), // duplicate of square 1's right edge
+        ];
+        let sub = Subdivision::build(&segs, 1e-9);
+        assert_eq!(sub.num_vertices(), 6);
+        assert_eq!(sub.num_edges(), 7);
+        assert_eq!(sub.num_faces(), 3);
+        assert_eq!(sub.bounded_faces().len(), 2);
+    }
+
+    #[test]
+    fn traced_adjacency_grid() {
+        // 2x2 grid of unit cells: 4 bounded faces, adjacency forms the 2x2
+        // rook graph (4 internal separating edges).
+        let mut segs = vec![];
+        for i in 0..3 {
+            let y = i as f64;
+            segs.push(seg(0.0, y, 2.0, y, i as u32));
+            segs.push(seg(i as f64, 0.0, i as f64, 2.0, (3 + i) as u32));
+        }
+        let sub = Subdivision::build(&segs, 1e-9);
+        let traced = sub.traced_faces();
+        assert_eq!(traced.faces.len(), 4);
+        // Internal edges: the middle horizontal (2 subedges) and middle
+        // vertical (2 subedges) separate distinct bounded faces.
+        assert_eq!(traced.adjacencies.len(), 4);
+        for adj in &traced.adjacencies {
+            assert_ne!(adj.a, adj.b);
+            assert!((adj.a as usize) < 4 && (adj.b as usize) < 4);
+            assert_eq!(adj.curves.len(), 1);
+        }
+        // The adjacency graph is connected.
+        let mut reach = [false; 4];
+        reach[0] = true;
+        for _ in 0..4 {
+            for adj in &traced.adjacencies {
+                if reach[adj.a as usize] || reach[adj.b as usize] {
+                    reach[adj.a as usize] = true;
+                    reach[adj.b as usize] = true;
+                }
+            }
+        }
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn point_in_polygon_basics() {
+        let poly = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert!(point_in_polygon(&poly, Point::new(1.0, 1.0)));
+        assert!(!point_in_polygon(&poly, Point::new(3.0, 1.0)));
+        // Non-convex.
+        let lshape = vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        assert!(point_in_polygon(&lshape, Point::new(0.5, 1.5)));
+        assert!(!point_in_polygon(&lshape, Point::new(1.5, 1.5)));
+    }
+}

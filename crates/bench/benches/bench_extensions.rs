@@ -1,0 +1,108 @@
+//! Criterion benches for the extension features (experiments E15, E16, A4,
+//! A5): guaranteed Voronoi diagram, kNN≠0 queries, expected-distance NN,
+//! and the L∞ variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_geom::Point;
+use uncertain_nn::expected::ExpectedNnIndex;
+use uncertain_nn::nonzero::linf::{LinfNonzeroIndex, SquareRegion};
+use uncertain_nn::nonzero::DiskNonzeroIndex;
+use uncertain_nn::vnz::GuaranteedVoronoi;
+use uncertain_nn::workload;
+
+/// E15: guaranteed Voronoi construction.
+fn bench_guaranteed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("guaranteed_build");
+    g.sample_size(10);
+    for &n in &[32usize, 128, 512] {
+        let set = workload::random_disk_set(n, 0.2, 1.0, n as u64);
+        let disks = set.regions();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &disks, |b, d| {
+            b.iter(|| GuaranteedVoronoi::build(d));
+        });
+    }
+    g.finish();
+}
+
+/// E16: kNN≠0 query latency vs k.
+fn bench_knn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knn_nonzero");
+    let set = workload::random_disk_set(50_000, 0.05, 0.5, 99);
+    let idx = DiskNonzeroIndex::build(&set);
+    let queries = workload::random_queries(64, 60.0, 12);
+    for &k in &[1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                idx.query_k(qs[j], k)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A4: expected-distance NN queries.
+fn bench_expected(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expected_nn");
+    for &n in &[1_000usize, 10_000] {
+        let set = workload::random_discrete_set(n, 4, 1.0, n as u64);
+        let idx = ExpectedNnIndex::build_discrete(&set);
+        let queries = workload::random_queries(64, 60.0, 13);
+        g.bench_with_input(BenchmarkId::new("index", n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                idx.query(qs[j])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("brute", n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                let all = idx.all_expected(qs[j]);
+                all.into_iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A5: L∞ queries.
+fn bench_linf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linf_nonzero");
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let squares: Vec<SquareRegion> = (0..n)
+            .map(|_| {
+                SquareRegion::new(
+                    Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                    rng.gen_range(0.0..0.5),
+                )
+            })
+            .collect();
+        let idx = LinfNonzeroIndex::build(&squares);
+        let queries = workload::random_queries(64, 60.0, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                idx.query(qs[j])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_guaranteed,
+    bench_knn,
+    bench_expected,
+    bench_linf
+);
+criterion_main!(benches);

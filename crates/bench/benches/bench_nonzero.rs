@@ -1,0 +1,96 @@
+//! Criterion benches for `NN≠0` query structures (experiments E8, E9, A3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uncertain_nn::nonzero::{
+    nonzero_nn_discrete, nonzero_nn_disks, DiscreteNonzeroIndex, DiskNonzeroIndex,
+};
+use uncertain_nn::workload;
+
+/// E8: disk-support queries — Theorem 3.1 structure vs brute force.
+fn bench_disk_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nonzero_disks");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
+        let disks = set.regions();
+        let idx = DiskNonzeroIndex::build(&set);
+        let queries = workload::random_queries(64, 60.0, 3);
+        g.bench_with_input(BenchmarkId::new("index", n), &queries, |b, qs| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % qs.len();
+                idx.query(qs[k])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("brute", n), &queries, |b, qs| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % qs.len();
+                nonzero_nn_disks(&disks, qs[k])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E9: discrete queries — Theorem 3.2 structure vs brute force.
+fn bench_discrete_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nonzero_discrete");
+    for &(n, k) in &[(1_000usize, 4usize), (10_000, 4), (10_000, 16)] {
+        let set = workload::random_discrete_set(n, k, 0.8, n as u64);
+        let idx = DiscreteNonzeroIndex::build(&set);
+        let queries = workload::random_queries(64, 60.0, 4);
+        let id = format!("n{n}_k{k}");
+        g.bench_with_input(BenchmarkId::new("index", &id), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                idx.query(qs[j])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("brute", &id), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                nonzero_nn_discrete(&set, qs[j])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A3: stage 1 only — Δ(q) by branch-and-bound vs linear scan.
+fn bench_delta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_stage1");
+    for &n in &[10_000usize, 100_000] {
+        let set = workload::random_disk_set(n, 0.05, 0.5, n as u64 + 1);
+        let disks = set.regions();
+        let idx = DiskNonzeroIndex::build(&set);
+        let queries = workload::random_queries(64, 60.0, 9);
+        g.bench_with_input(BenchmarkId::new("bb", n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                idx.delta(qs[j])
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("linear", n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                disks
+                    .iter()
+                    .map(|c| c.max_dist(qs[j]))
+                    .fold(f64::INFINITY, f64::min)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disk_queries,
+    bench_discrete_queries,
+    bench_delta
+);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benches for quantification probabilities
+//! (experiments E10–E13, A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_geom::{Aabb, Point};
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::quantification::monte_carlo::{MonteCarloPnn, SampleBackend};
+use uncertain_nn::quantification::{ProbabilisticVoronoiDiagram, SpiralSearch};
+use uncertain_nn::vnz::constructions;
+use uncertain_nn::workload;
+
+/// Exact Eq. (2) sweep cost vs N.
+fn bench_exact_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_exact_sweep");
+    for &(n, k) in &[(100usize, 4usize), (1_000, 4), (10_000, 4)] {
+        let set = workload::random_discrete_set(n, k, 2.0, 7);
+        let queries = workload::random_queries(64, 60.0, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n * k), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                quantification_discrete(&set, qs[j])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E10: V_Pr build + query on the Lemma 4.1 family.
+fn bench_vpr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_vpr");
+    g.sample_size(10);
+    let bbox = Aabb::from_corners(Point::new(-3.0, -3.0), Point::new(3.0, 3.0));
+    for &n in &[3usize, 5] {
+        let set = constructions::lemma_4_1(n, 11);
+        g.bench_with_input(BenchmarkId::new("build", n), &set, |b, s| {
+            b.iter(|| ProbabilisticVoronoiDiagram::build(s, &bbox));
+        });
+        let vpr = ProbabilisticVoronoiDiagram::build(&set, &bbox);
+        let queries = workload::random_queries(64, 2.0, 5);
+        g.bench_with_input(BenchmarkId::new("query", n), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                vpr.query(qs[j])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E11/A2: Monte-Carlo estimation with both backends.
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_monte_carlo");
+    g.sample_size(10);
+    let set = workload::random_discrete_set(200, 4, 2.0, 77);
+    let queries = workload::random_queries(64, 60.0, 8);
+    for (name, backend) in [
+        ("kdtree", SampleBackend::KdTree),
+        ("delaunay", SampleBackend::Delaunay),
+    ] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mc = MonteCarloPnn::build_discrete(&set, 500, backend, &mut rng);
+        g.bench_with_input(BenchmarkId::new("query", name), &queries, |b, qs| {
+            let mut j = 0;
+            b.iter(|| {
+                j = (j + 1) % qs.len();
+                mc.estimate_all(qs[j])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E13: spiral-search queries across spreads and tolerances.
+fn bench_spiral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_spiral");
+    for &rho in &[1.0f64, 16.0] {
+        let set = workload::spread_discrete_set(2000, 3, rho, 9);
+        let ss = SpiralSearch::build(&set);
+        let queries = workload::random_queries(64, 60.0, 6);
+        for &eps in &[0.1f64, 0.01] {
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("rho{rho}_eps{eps}")),
+                &queries,
+                |b, qs| {
+                    let mut j = 0;
+                    b.iter(|| {
+                        j = (j + 1) % qs.len();
+                        ss.estimate_all(qs[j], eps)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exact_sweep,
+    bench_vpr,
+    bench_monte_carlo,
+    bench_spiral
+);
+criterion_main!(benches);

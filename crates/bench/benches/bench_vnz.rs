@@ -1,0 +1,96 @@
+//! Criterion benches for the nonzero Voronoi diagram (experiments E2–E7, A1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uncertain_geom::{Aabb, Point};
+use uncertain_nn::vnz::{
+    constructions, vertices_brute, DiscreteNonzeroDiagram, NonzeroVoronoiDiagram,
+};
+use uncertain_nn::workload;
+
+/// E2/E7: diagram construction over random disk sets.
+fn bench_build_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnz_build_random");
+    g.sample_size(10);
+    for &n in &[8usize, 16, 32, 64] {
+        let set = workload::random_disk_set(n, 0.5, 3.0, 42 + n as u64);
+        let disks = set.regions();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &disks, |b, d| {
+            b.iter(|| NonzeroVoronoiDiagram::build(d.clone()));
+        });
+    }
+    g.finish();
+}
+
+/// E3: the Θ(n³) lower-bound construction of Theorem 2.7.
+fn bench_build_lower_bound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnz_build_theorem_2_7");
+    g.sample_size(10);
+    for &m in &[1usize, 2, 3] {
+        let (disks, _) = constructions::theorem_2_7(m);
+        g.bench_with_input(BenchmarkId::from_parameter(4 * m), &disks, |b, d| {
+            b.iter(|| NonzeroVoronoiDiagram::build(d.clone()));
+        });
+    }
+    g.finish();
+}
+
+/// E5: disjoint disks (Theorem 2.10 regime).
+fn bench_build_disjoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnz_build_disjoint");
+    g.sample_size(10);
+    for &lambda in &[1.0f64, 4.0] {
+        let set = workload::disjoint_disk_set(48, lambda, 3);
+        let disks = set.regions();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("lambda{lambda}")),
+            &disks,
+            |b, d| {
+                b.iter(|| NonzeroVoronoiDiagram::build(d.clone()));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// E6: the discrete diagram of Theorem 2.14.
+fn bench_build_discrete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnz_build_discrete");
+    g.sample_size(10);
+    let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
+    for &(n, k) in &[(6usize, 2usize), (10, 2), (6, 4)] {
+        let set = workload::random_discrete_set(n, k, 8.0, 100);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &set,
+            |b, s| {
+                b.iter(|| DiscreteNonzeroDiagram::build(s, &bbox));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A1: vertex enumeration, envelope-guided vs brute-force triples.
+fn bench_vertex_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vnz_vertices_ablation");
+    g.sample_size(10);
+    let set = workload::random_disk_set(16, 0.4, 2.0, 1250);
+    let disks = set.regions();
+    g.bench_function("envelope_guided", |b| {
+        b.iter(|| NonzeroVoronoiDiagram::build(disks.clone()).num_vertices());
+    });
+    g.bench_function("brute_triples", |b| {
+        b.iter(|| vertices_brute(&disks).len());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build_random,
+    bench_build_lower_bound,
+    bench_build_disjoint,
+    bench_build_discrete,
+    bench_vertex_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,1042 @@
+//! Experiment harness: regenerates every quantitative artifact of the paper.
+//!
+//! Usage: `cargo run --release -p uncertain-bench --bin experiments [-- IDs]`
+//! where IDs ⊆ {E1..E17, A1..A6} (default: all). Output is the set of
+//! tables recorded in `EXPERIMENTS.md`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use uncertain_bench::{fmt, fmt_time, loglog_slope, time, time_avg, Table};
+use uncertain_geom::{Aabb, Circle, Point};
+use uncertain_nn::model::{distance, ContinuousUncertainPoint};
+use uncertain_nn::nonzero::{
+    nonzero_nn_discrete, nonzero_nn_disks, DiscreteNonzeroIndex, DiskNonzeroIndex,
+};
+use uncertain_nn::quantification::exact::{quantification_continuous, quantification_discrete};
+use uncertain_nn::quantification::monte_carlo::{
+    samples_for_queries, MonteCarloPnn, SampleBackend,
+};
+use uncertain_nn::quantification::spiral::{low_weight_counterexample, SpiralSearch};
+use uncertain_nn::quantification::ProbabilisticVoronoiDiagram;
+use uncertain_nn::vnz::{
+    constructions, vertices_brute, DiscreteNonzeroDiagram, NonzeroVoronoiDiagram, WitnessKind,
+};
+use uncertain_nn::workload;
+use uncertain_nn::{DiscreteSet, DiskSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
+        "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5", "A6",
+    ];
+    let selected: Vec<&str> = if args.is_empty() {
+        all.to_vec()
+    } else {
+        all.iter()
+            .copied()
+            .filter(|id| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
+            .collect()
+    };
+    for id in selected {
+        match id {
+            "E1" => e1_figure1(),
+            "E2" => e2_cubic_upper(),
+            "E3" => e3_lower_2_7(),
+            "E4" => e4_lower_2_8(),
+            "E5" => e5_disjoint(),
+            "E6" => e6_discrete_diagram(),
+            "E7" => e7_construction_time(),
+            "E8" => e8_disk_queries(),
+            "E9" => e9_discrete_queries(),
+            "E10" => e10_vpr(),
+            "E11" => e11_monte_carlo(),
+            "E12" => e12_continuous_mc(),
+            "E13" => e13_spiral(),
+            "E14" => e14_counterexample(),
+            "E15" => e15_guaranteed(),
+            "E16" => e16_knn(),
+            "E17" => e17_discrete_query_path(),
+            "A1" => a1_enumeration_ablation(),
+            "A2" => a2_backend_ablation(),
+            "A3" => a3_delta_ablation(),
+            "A4" => a4_expected_vs_probable(),
+            "A5" => a5_linf_variant(),
+            "A6" => a6_retrieval_ablation(),
+            _ => unreachable!(),
+        }
+        println!();
+    }
+}
+
+fn header(id: &str, title: &str, claim: &str) {
+    println!("== {id}: {title}");
+    println!("   paper: {claim}");
+}
+
+// ---------------------------------------------------------------------------
+
+fn e1_figure1() {
+    header(
+        "E1",
+        "distance pdf g_{q,i} (Figure 1)",
+        "uniform disk R=5 at O, q=(6,8): support [5,15], unimodal arc-length shape",
+    );
+    let p = ContinuousUncertainPoint::uniform(Circle::new(Point::new(0.0, 0.0), 5.0));
+    let q = Point::new(6.0, 8.0);
+    // Monte-Carlo histogram.
+    let mut rng = StdRng::seed_from_u64(1);
+    let samples = 1_000_000usize;
+    let bins = 20usize;
+    let (lo, hi) = (5.0, 15.0);
+    let mut hist = vec![0usize; bins];
+    for _ in 0..samples {
+        let d = q.dist(p.sample(&mut rng));
+        let b = (((d - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    let mut t = Table::new(&["bin [r0,r1)", "analytic mass", "sampled mass", "pdf mid"]);
+    let mut worst: f64 = 0.0;
+    #[allow(clippy::needless_range_loop)] // `b` also drives the bin bounds
+    for b in 0..bins {
+        let r0 = lo + (hi - lo) * b as f64 / bins as f64;
+        let r1 = lo + (hi - lo) * (b + 1) as f64 / bins as f64;
+        let mass = distance::cdf(&p, q, r1) - distance::cdf(&p, q, r0);
+        let emp = hist[b] as f64 / samples as f64;
+        worst = worst.max((mass - emp).abs());
+        t.row(&[
+            format!("[{r0:.1},{r1:.1})"),
+            fmt(mass),
+            fmt(emp),
+            fmt(distance::pdf(&p, q, 0.5 * (r0 + r1))),
+        ]);
+    }
+    t.print();
+    println!("   max |analytic − sampled| bin mass = {}", fmt(worst));
+}
+
+fn e2_cubic_upper() {
+    header(
+        "E2",
+        "V≠0 complexity, random disks (Theorem 2.5)",
+        "complexity O(n^3); random instances are far below the worst case",
+    );
+    let mut t = Table::new(&["n", "vertices", "edges", "faces", "µ=V+E+F", "build"]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for &n in &[8usize, 12, 16, 24, 32, 48, 64] {
+        let set = workload::random_disk_set(n, 0.5, 3.0, 42 + n as u64);
+        let (d, secs) = time(|| NonzeroVoronoiDiagram::build(set.regions()));
+        let c = d.complexity();
+        xs.push(n as f64);
+        ys.push(c.total().max(1) as f64);
+        t.row(&[
+            n.to_string(),
+            c.vertices.to_string(),
+            c.edges.to_string(),
+            c.faces.to_string(),
+            c.total().to_string(),
+            fmt_time(secs),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of µ(n) = {:.2}  (paper upper bound: 3)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e3_lower_2_7() {
+    header(
+        "E3",
+        "Ω(n^3) lower-bound family, two radius classes (Theorem 2.7, Fig. 5)",
+        "each (i,j,k) triple contributes 2 crossing vertices: ≥ 4m³ for n = 4m",
+    );
+    let mut t = Table::new(&[
+        "m",
+        "n",
+        "predicted ≥",
+        "crossings",
+        "all vertices",
+        "build",
+    ]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for m in 1..=5usize {
+        let (disks, predicted) = constructions::theorem_2_7(m);
+        let (d, secs) = time(|| NonzeroVoronoiDiagram::build(disks));
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        xs.push((4 * m) as f64);
+        ys.push(crossings.max(1) as f64);
+        t.row(&[
+            m.to_string(),
+            (4 * m).to_string(),
+            predicted.to_string(),
+            crossings.to_string(),
+            d.num_vertices().to_string(),
+            fmt_time(secs),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of crossings(n) = {:.2}  (paper: 3)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e4_lower_2_8() {
+    header(
+        "E4",
+        "Ω(n^3) lower-bound family, equal radii (Theorem 2.8, Fig. 6)",
+        "each (i,j,k) triple contributes ≥ 1 crossing vertex: ≥ m³ for n = 3m",
+    );
+    let mut t = Table::new(&[
+        "m",
+        "n",
+        "predicted ≥",
+        "crossings",
+        "all vertices",
+        "build",
+    ]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for m in 2..=6usize {
+        let (disks, predicted) = constructions::theorem_2_8(m);
+        let (d, secs) = time(|| NonzeroVoronoiDiagram::build(disks));
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        xs.push((3 * m) as f64);
+        ys.push(crossings.max(1) as f64);
+        t.row(&[
+            m.to_string(),
+            (3 * m).to_string(),
+            predicted.to_string(),
+            crossings.to_string(),
+            d.num_vertices().to_string(),
+            fmt_time(secs),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of crossings(n) = {:.2}  (paper: 3)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e5_disjoint() {
+    header(
+        "E5",
+        "disjoint disks (Theorem 2.10, Fig. 8)",
+        "complexity O(λn²) for disjoint disks with radius ratio λ; Ω(n²) lower bound",
+    );
+    println!("   upper-bound regime (random disjoint instances):");
+    let mut t = Table::new(&["λ", "n", "vertices", "µ=V+E+F"]);
+    for &lambda in &[1.0f64, 2.0, 4.0, 8.0] {
+        let (mut xs, mut ys) = (vec![], vec![]);
+        for &n in &[16usize, 32, 64] {
+            let set = workload::disjoint_disk_set(n, lambda, 7 + n as u64);
+            let d = NonzeroVoronoiDiagram::build(set.regions());
+            let c = d.complexity();
+            xs.push(n as f64);
+            ys.push(c.total().max(1) as f64);
+            t.row(&[
+                format!("{lambda}"),
+                n.to_string(),
+                c.vertices.to_string(),
+                c.total().to_string(),
+            ]);
+        }
+        t.row(&[
+            format!("{lambda}"),
+            "slope".into(),
+            format!("{:.2}", loglog_slope(&xs, &ys)),
+            "(≤ 2 expected)".into(),
+        ]);
+    }
+    t.print();
+    println!("   lower-bound construction (collinear equal disks):");
+    let mut t = Table::new(&["m", "n", "predicted ≥ (n−1)(n−2)", "vertices"]);
+    for m in 2..=6usize {
+        let (disks, predicted) = constructions::theorem_2_10_lower(m);
+        let d = NonzeroVoronoiDiagram::build(disks);
+        t.row(&[
+            m.to_string(),
+            (2 * m).to_string(),
+            predicted.to_string(),
+            d.num_vertices().to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn e6_discrete_diagram() {
+    header(
+        "E6",
+        "discrete V≠0 complexity (Theorem 2.14)",
+        "complexity O(k·n³) for n points with k locations each",
+    );
+    let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
+    let mut t = Table::new(&["n", "k", "γ segments", "V", "E", "F", "µ", "build"]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for &(n, k) in &[
+        (4usize, 2usize),
+        (6, 2),
+        (8, 2),
+        (12, 2),
+        (16, 2),
+        (6, 3),
+        (6, 4),
+        (6, 6),
+        (6, 8),
+    ] {
+        let set = workload::random_discrete_set(n, k, 8.0, 100 + (n * k) as u64);
+        let (d, secs) = time(|| DiscreteNonzeroDiagram::build(&set, &bbox));
+        if k == 2 {
+            xs.push(n as f64);
+            ys.push(d.complexity().max(1) as f64);
+        }
+        t.row(&[
+            n.to_string(),
+            k.to_string(),
+            d.gamma_segment_count().to_string(),
+            d.subdivision.num_vertices().to_string(),
+            d.subdivision.num_edges().to_string(),
+            d.subdivision.num_faces().to_string(),
+            d.complexity().to_string(),
+            fmt_time(secs),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of µ(n) at k=2: {:.2}  (paper upper bound: 3)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e7_construction_time() {
+    header(
+        "E7",
+        "diagram construction and query (Theorems 2.5/2.11)",
+        "construction O(n² log n + µ) expected; queries O(log n + t)",
+    );
+    let mut t = Table::new(&["n", "µ", "build", "query (diagram)", "query (brute)"]);
+    for &n in &[16usize, 32, 64, 128] {
+        let set = workload::random_disk_set(n, 0.5, 3.0, 5 + n as u64);
+        let (d, secs) = time(|| NonzeroVoronoiDiagram::build(set.regions()));
+        let queries = workload::random_queries(200, 70.0, 99);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(d.query(q));
+            }
+        }) / queries.len() as f64;
+        let disks = set.regions();
+        let tb = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(nonzero_nn_disks(&disks, q));
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            d.complexity().total().to_string(),
+            fmt_time(secs),
+            fmt_time(tq),
+            fmt_time(tb),
+        ]);
+    }
+    t.print();
+}
+
+fn e8_disk_queries() {
+    header(
+        "E8",
+        "NN≠0 queries, disks (Theorem 3.1)",
+        "near-linear space, O(log n + t)-type queries vs O(n) brute force",
+    );
+    let mut t = Table::new(&[
+        "n",
+        "build",
+        "query (index)",
+        "query (brute)",
+        "speedup",
+        "avg |out|",
+    ]);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
+        let disks = set.regions();
+        let (idx, build) = time(|| DiskNonzeroIndex::build(&set));
+        let queries = workload::random_queries(500, 60.0, 3);
+        let mut out_total = 0usize;
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                out_total += std::hint::black_box(idx.query(q)).len();
+            }
+        }) / queries.len() as f64;
+        let tb = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(nonzero_nn_disks(&disks, q));
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            fmt_time(build),
+            fmt_time(tq),
+            fmt_time(tb),
+            format!("{:.0}x", tb / tq),
+            format!("{:.1}", out_total as f64 / (2 * queries.len()) as f64),
+        ]);
+    }
+    t.print();
+}
+
+fn e9_discrete_queries() {
+    header(
+        "E9",
+        "NN≠0 queries, discrete (Theorem 3.2)",
+        "O(√N polylog + t)-type queries at N = nk locations vs O(N) brute force",
+    );
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "N",
+        "build",
+        "query (index)",
+        "query (brute)",
+        "speedup",
+    ]);
+    for &(n, k) in &[(1_000usize, 4usize), (10_000, 4), (50_000, 4), (10_000, 16)] {
+        let set = workload::random_discrete_set(n, k, 0.8, n as u64);
+        let (idx, build) = time(|| DiscreteNonzeroIndex::build(&set));
+        let queries = workload::random_queries(300, 60.0, 4);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(idx.query(q));
+            }
+        }) / queries.len() as f64;
+        let tb = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(nonzero_nn_discrete(&set, q));
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            k.to_string(),
+            (n * k).to_string(),
+            fmt_time(build),
+            fmt_time(tq),
+            fmt_time(tb),
+            format!("{:.0}x", tb / tq),
+        ]);
+    }
+    t.print();
+}
+
+fn e10_vpr() {
+    header(
+        "E10",
+        "probabilistic Voronoi diagram V_Pr (Lemma 4.1 + Theorem 4.2)",
+        "size Θ(N⁴) with N = nk; exact O(log N + t) queries; Ω(n⁴) via the k=2 family",
+    );
+    let bbox = Aabb::from_corners(Point::new(-3.0, -3.0), Point::new(3.0, 3.0));
+    let mut t = Table::new(&[
+        "n",
+        "N",
+        "bisectors",
+        "cells",
+        "distinct π-vectors",
+        "build",
+        "query",
+    ]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for &n in &[3usize, 4, 5, 6, 7] {
+        let set = constructions::lemma_4_1(n, 11);
+        let (vpr, secs) = time(|| ProbabilisticVoronoiDiagram::build(&set, &bbox));
+        let queries = workload::random_queries(200, 2.0, 5);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(vpr.query(q));
+            }
+        }) / queries.len() as f64;
+        xs.push(n as f64);
+        ys.push(vpr.num_distinct_vectors().max(1) as f64);
+        t.row(&[
+            n.to_string(),
+            (2 * n).to_string(),
+            vpr.num_bisectors().to_string(),
+            vpr.num_cells().to_string(),
+            vpr.num_distinct_vectors().to_string(),
+            fmt_time(secs),
+            fmt_time(tq),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of distinct vectors(n) = {:.2}  (paper: 4)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e11_monte_carlo() {
+    header(
+        "E11",
+        "Monte-Carlo quantification (Theorem 4.3)",
+        "s = ⌈ln(2n|Q|/δ)/(2ε²)⌉ instantiations give additive error ≤ ε w.p. 1−δ",
+    );
+    let set = workload::random_discrete_set(15, 3, 6.0, 21);
+    let queries = workload::random_queries(100, 60.0, 5);
+    let mut t = Table::new(&["ε", "δ", "s", "max error", "build", "query"]);
+    for &eps in &[0.2f64, 0.1, 0.05, 0.02] {
+        let delta = 0.05;
+        let s = samples_for_queries(eps, delta, set.len(), queries.len());
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mc, build) =
+            time(|| MonteCarloPnn::build_discrete(&set, s, SampleBackend::KdTree, &mut rng));
+        let mut max_err: f64 = 0.0;
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                let est = mc.estimate_all(q);
+                let exact = quantification_discrete(&set, q);
+                for i in 0..set.len() {
+                    max_err = max_err.max((est[i] - exact[i]).abs());
+                }
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            format!("{eps}"),
+            format!("{delta}"),
+            s.to_string(),
+            fmt(max_err),
+            fmt_time(build),
+            fmt_time(tq),
+        ]);
+    }
+    t.print();
+}
+
+fn e12_continuous_mc() {
+    header(
+        "E12",
+        "continuous Monte Carlo (Lemma 4.4 / Theorem 4.5)",
+        "sampling the continuous pdfs inherits the additive-ε guarantee",
+    );
+    // All-uniform disks: the Eq. (1) reference uses the *analytic* cdf, so
+    // the quadrature error stays well below the Monte-Carlo error.
+    let set: DiskSet = workload::random_disk_set(8, 0.5, 2.5, 55);
+    let queries = workload::random_queries(10, 40.0, 4);
+    let exact: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|&q| quantification_continuous(&set, q, 8192))
+        .collect();
+    let mut t = Table::new(&["s", "max error vs Eq.(1) quadrature"]);
+    for &s in &[100usize, 400, 1600, 6400] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mc = MonteCarloPnn::build_continuous(&set, s, SampleBackend::KdTree, &mut rng);
+        let mut max_err: f64 = 0.0;
+        for (qi, &q) in queries.iter().enumerate() {
+            let est = mc.estimate_all(q);
+            for i in 0..set.len() {
+                max_err = max_err.max((est[i] - exact[qi][i]).abs());
+            }
+        }
+        t.row(&[s.to_string(), fmt(max_err)]);
+    }
+    t.print();
+    println!("   expected error decay ~ 1/√s");
+}
+
+fn e13_spiral() {
+    header(
+        "E13",
+        "spiral search (Lemma 4.6 / Theorem 4.7)",
+        "m(ρ,ε) = ⌈ρk ln(1/ε)⌉ + k − 1 nearest locations give one-sided error ≤ ε",
+    );
+    let mut t = Table::new(&[
+        "ρ",
+        "ε",
+        "m(ρ,ε)",
+        "N",
+        "max error",
+        "query (spiral)",
+        "query (exact)",
+    ]);
+    for &rho in &[1.0f64, 4.0, 16.0, 64.0] {
+        let set = workload::spread_discrete_set(2000, 3, rho, 9);
+        let ss = SpiralSearch::build(&set);
+        let queries = workload::random_queries(50, 60.0, 6);
+        for &eps in &[0.1f64, 0.01] {
+            let m = ss.retrieval_budget(eps);
+            let mut max_err: f64 = 0.0;
+            let tq = time_avg(1, || {
+                for &q in &queries {
+                    let est = ss.estimate_all(q, eps);
+                    std::hint::black_box(&est);
+                }
+            }) / queries.len() as f64;
+            for &q in &queries {
+                let est = ss.estimate_all(q, eps);
+                let exact = quantification_discrete(&set, q);
+                for i in 0..set.len() {
+                    max_err = max_err.max(exact[i] - est[i]); // one-sided
+                }
+            }
+            let te = time_avg(1, || {
+                for &q in &queries {
+                    std::hint::black_box(quantification_discrete(&set, q));
+                }
+            }) / queries.len() as f64;
+            t.row(&[
+                format!("{rho}"),
+                format!("{eps}"),
+                m.to_string(),
+                set.total_locations().to_string(),
+                fmt(max_err),
+                fmt_time(tq),
+                fmt_time(te),
+            ]);
+        }
+    }
+    t.print();
+}
+
+fn e14_counterexample() {
+    header(
+        "E14",
+        "low-weight truncation counterexample (Section 4.3, Remark (i))",
+        "dropping locations with w < ε/k flips the NN ranking by > 2ε; spiral search does not",
+    );
+    let eps = 0.01;
+    let (set, q) = low_weight_counterexample(2000, eps);
+    let exact = quantification_discrete(&set, q);
+    // Naive truncation.
+    let k = set.max_k();
+    let naive_set = DiscreteSet::new(
+        set.points
+            .iter()
+            .map(|p| {
+                let kept: Vec<(Point, f64)> = p
+                    .locations()
+                    .iter()
+                    .zip(p.weights())
+                    .filter(|&(_, &w)| w >= eps / k as f64)
+                    .map(|(&l, &w)| (l, w))
+                    .collect();
+                let (locs, ws): (Vec<Point>, Vec<f64>) = kept.into_iter().unzip();
+                uncertain_nn::DiscreteUncertainPoint::new(locs, ws)
+            })
+            .collect(),
+    );
+    let naive = quantification_discrete(&naive_set, q);
+    let ss = SpiralSearch::build(&set);
+    let spiral = ss.estimate_all(q, eps);
+    let mut t = Table::new(&["method", "π_0 (true winner)", "π_1", "ranking"]);
+    for (name, v) in [
+        ("exact", &exact),
+        ("naive truncation", &naive),
+        ("spiral search", &spiral),
+    ] {
+        t.row(&[
+            name.into(),
+            fmt(v[0]),
+            fmt(v[1]),
+            if v[0] > v[1] {
+                "π_0 > π_1 ✓".into()
+            } else {
+                "π_1 > π_0 ✗ (flipped)".to_string()
+            },
+        ]);
+    }
+    t.print();
+}
+
+fn e17_discrete_query_path() {
+    header(
+        "E17",
+        "Theorem 2.14 query path: point location + delta-encoded labels",
+        "the diagram answers NN≠0 in O(log µ + t) after O(µ) label storage ([DSST89])",
+    );
+    let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
+    let mut t = Table::new(&[
+        "n",
+        "k",
+        "faces",
+        "locator size",
+        "labels: delta/explicit",
+        "query (located)",
+        "query (brute)",
+    ]);
+    for &(n, k) in &[(6usize, 2usize), (10, 2), (14, 2), (8, 4)] {
+        let set = workload::random_discrete_set(n, k, 8.0, 300 + (n * k) as u64);
+        let d = DiscreteNonzeroDiagram::build(&set, &bbox);
+        let explicit: usize = d.faces.iter().map(|f| f.label.len()).sum();
+        let queries = workload::random_queries(500, 100.0, 17);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(d.query_located(q));
+            }
+        }) / queries.len() as f64;
+        let tb = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(d.query(q));
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            k.to_string(),
+            d.faces.len().to_string(),
+            d.locator_size().to_string(),
+            format!("{}/{}", d.label_store.storage_cost(), explicit),
+            fmt_time(tq),
+            fmt_time(tb),
+        ]);
+    }
+    t.print();
+}
+
+fn a1_enumeration_ablation() {
+    header(
+        "A1",
+        "ablation: envelope-guided vs brute-force vertex enumeration",
+        "both are exact; envelope grouping does the work the Theorem 2.5 charging argument predicts",
+    );
+    let mut t = Table::new(&[
+        "n",
+        "vertices (env)",
+        "vertices (brute)",
+        "time env",
+        "time brute",
+    ]);
+    for &n in &[8usize, 12, 16, 24, 32] {
+        let set = workload::random_disk_set(n, 0.4, 2.0, 1234 + n as u64);
+        let disks = set.regions();
+        let (d, te) = time(|| NonzeroVoronoiDiagram::build(disks.clone()));
+        let (vb, tb) = time(|| vertices_brute(&disks));
+        t.row(&[
+            n.to_string(),
+            d.num_vertices().to_string(),
+            vb.len().to_string(),
+            fmt_time(te),
+            fmt_time(tb),
+        ]);
+    }
+    t.print();
+}
+
+fn a2_backend_ablation() {
+    header(
+        "A2",
+        "ablation: Monte-Carlo per-sample backend (kd-tree vs Delaunay point location)",
+        "the paper describes Vor(R_j) + point location; a kd-tree answers the same query",
+    );
+    let set = workload::random_discrete_set(200, 4, 2.0, 77);
+    let s = 500;
+    let queries = workload::random_queries(200, 60.0, 8);
+    let mut t = Table::new(&["backend", "build", "query", "agreement"]);
+    let mut rng1 = StdRng::seed_from_u64(4);
+    let (kd, b1) =
+        time(|| MonteCarloPnn::build_discrete(&set, s, SampleBackend::KdTree, &mut rng1));
+    let mut rng2 = StdRng::seed_from_u64(4);
+    let (del, b2) =
+        time(|| MonteCarloPnn::build_discrete(&set, s, SampleBackend::Delaunay, &mut rng2));
+    let q1 = time_avg(1, || {
+        for &q in &queries {
+            std::hint::black_box(kd.estimate_all(q));
+        }
+    }) / queries.len() as f64;
+    let q2 = time_avg(1, || {
+        for &q in &queries {
+            std::hint::black_box(del.estimate_all(q));
+        }
+    }) / queries.len() as f64;
+    let mut agree = true;
+    for &q in &queries {
+        let a = kd.estimate_all(q);
+        let b = del.estimate_all(q);
+        if a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 1e-12) {
+            agree = false;
+        }
+    }
+    t.row(&["kd-tree".into(), fmt_time(b1), fmt_time(q1), "-".into()]);
+    t.row(&[
+        "Delaunay".into(),
+        fmt_time(b2),
+        fmt_time(q2),
+        if agree {
+            "identical votes".into()
+        } else {
+            "DIVERGED".to_string()
+        },
+    ]);
+    t.print();
+}
+
+fn a3_delta_ablation() {
+    header(
+        "A3",
+        "ablation: Δ(q) branch-and-bound vs linear scan",
+        "stage 1 of the Theorem 3.1 query",
+    );
+    let mut t = Table::new(&["n", "Δ(q) b&b", "Δ(q) linear", "speedup"]);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let set = workload::random_disk_set(n, 0.05, 0.5, n as u64 + 1);
+        let disks = set.regions();
+        let idx = DiskNonzeroIndex::build(&set);
+        let queries = workload::random_queries(500, 60.0, 9);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(idx.delta(q));
+            }
+        }) / queries.len() as f64;
+        let tl = time_avg(1, || {
+            for &q in &queries {
+                let d = disks
+                    .iter()
+                    .map(|c| c.max_dist(q))
+                    .fold(f64::INFINITY, f64::min);
+                std::hint::black_box(d);
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            fmt_time(tq),
+            fmt_time(tl),
+            format!("{:.0}x", tl / tq),
+        ]);
+    }
+    t.print();
+}
+
+fn e15_guaranteed() {
+    header(
+        "E15",
+        "guaranteed Voronoi diagram ([SE08], Section 1.2)",
+        "cells with |NN≠0| = 1 have O(n) total complexity (vs Θ(n³) for the full diagram)",
+    );
+    use uncertain_nn::vnz::GuaranteedVoronoi;
+    let mut t = Table::new(&["n", "guaranteed complexity", "V≠0 vertices", "ratio"]);
+    let (mut xs, mut ys) = (vec![], vec![]);
+    for &n in &[16usize, 32, 64, 128, 256] {
+        let set = workload::random_disk_set(n, 0.2, 1.0, 3 + n as u64);
+        let disks = set.regions();
+        let gv = GuaranteedVoronoi::build(&disks);
+        let gc = gv.total_complexity();
+        let vz = if n <= 64 {
+            NonzeroVoronoiDiagram::build(disks)
+                .num_vertices()
+                .to_string()
+        } else {
+            "-".into()
+        };
+        xs.push(n as f64);
+        ys.push(gc.max(1) as f64);
+        t.row(&[
+            n.to_string(),
+            gc.to_string(),
+            vz,
+            format!("{:.2}", gc as f64 / n as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "   measured log-log slope of guaranteed complexity(n) = {:.2}  ([SE08]: 1)",
+        loglog_slope(&xs, &ys)
+    );
+}
+
+fn e16_knn() {
+    header(
+        "E16",
+        "kNN≠0 queries (Section 1.2 kNN variant)",
+        "P_i ∈ kNN≠0(q) ⟺ #{j≠i : Δ_j ≤ δ_i} ≤ k−1 (generalizes Lemma 2.1); index vs brute",
+    );
+    use uncertain_nn::nonzero::knn::nonzero_knn_disks;
+    let mut t = Table::new(&["n", "k", "avg |out|", "query (index)", "query (brute)"]);
+    for &n in &[10_000usize, 100_000] {
+        let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
+        let disks = set.regions();
+        let idx = DiskNonzeroIndex::build(&set);
+        let queries = workload::random_queries(200, 60.0, 12);
+        for &k in &[1usize, 2, 4, 8] {
+            let mut total = 0usize;
+            let tq = time_avg(1, || {
+                for &q in &queries {
+                    total += std::hint::black_box(idx.query_k(q, k)).len();
+                }
+            }) / queries.len() as f64;
+            let tb = time_avg(1, || {
+                for &q in &queries {
+                    std::hint::black_box(nonzero_knn_disks(&disks, q, k));
+                }
+            }) / queries.len() as f64;
+            t.row(&[
+                n.to_string(),
+                k.to_string(),
+                format!("{:.1}", total as f64 / (2 * queries.len()) as f64),
+                fmt_time(tq),
+                fmt_time(tb),
+            ]);
+        }
+    }
+    t.print();
+}
+
+fn a4_expected_vs_probable() {
+    header(
+        "A4",
+        "expected-distance NN ([AESZ12]) vs most-probable NN",
+        "Section 1.2: the expected NN \"is not a good indicator under large uncertainty\"",
+    );
+    use uncertain_nn::expected::{expected_vs_probable_divergence, ExpectedNnIndex};
+    let (set, q) = expected_vs_probable_divergence();
+    let idx = ExpectedNnIndex::build_discrete(&set);
+    let (winner_e, dist_e) = idx.query(q).unwrap();
+    let pi = quantification_discrete(&set, q);
+    let winner_p = pi
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    let mut t = Table::new(&["criterion", "winner", "value"]);
+    t.row(&[
+        "expected distance".into(),
+        format!("P_{winner_e}"),
+        fmt(dist_e),
+    ]);
+    t.row(&[
+        "max probability".into(),
+        format!("P_{winner_p}"),
+        fmt(pi[winner_p]),
+    ]);
+    t.print();
+    println!(
+        "   divergence instance: E picks P_{winner_e}, π picks P_{winner_p} (π = {:?})",
+        pi
+    );
+
+    // Agreement rate on random instances — how often the two criteria
+    // coincide when uncertainty is small vs large.
+    let mut t = Table::new(&["cluster diameter", "agreement over 200 queries"]);
+    for &diam in &[1.0f64, 8.0, 20.0] {
+        let set = workload::random_discrete_set(20, 4, diam, 5);
+        let idx = ExpectedNnIndex::build_discrete(&set);
+        let mut agree = 0usize;
+        let queries = workload::random_queries(200, 60.0, 6);
+        for &q in &queries {
+            let (we, _) = idx.query(q).unwrap();
+            let pi = quantification_discrete(&set, q);
+            let wp = pi
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if we == wp {
+                agree += 1;
+            }
+        }
+        t.row(&[
+            format!("{diam}"),
+            format!("{:.1}%", 100.0 * agree as f64 / queries.len() as f64),
+        ]);
+    }
+    t.print();
+}
+
+fn a5_linf_variant() {
+    header(
+        "A5",
+        "L∞ metric with square regions (remark after Theorem 3.1)",
+        "the same two-stage query works verbatim under L∞",
+    );
+    use rand::Rng;
+    use uncertain_nn::nonzero::linf::{nonzero_nn_linf, LinfNonzeroIndex, SquareRegion};
+    let mut t = Table::new(&["n", "query (index)", "query (brute)", "speedup"]);
+    for &n in &[10_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let squares: Vec<SquareRegion> = (0..n)
+            .map(|_| {
+                SquareRegion::new(
+                    Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                    rng.gen_range(0.0..0.5),
+                )
+            })
+            .collect();
+        let idx = LinfNonzeroIndex::build(&squares);
+        let queries = workload::random_queries(300, 60.0, 7);
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(idx.query(q));
+            }
+        }) / queries.len() as f64;
+        let tb = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(nonzero_nn_linf(&squares, q));
+            }
+        }) / queries.len() as f64;
+        t.row(&[
+            n.to_string(),
+            fmt_time(tq),
+            fmt_time(tb),
+            format!("{:.0}x", tb / tq),
+        ]);
+    }
+    t.print();
+}
+
+fn a6_retrieval_ablation() {
+    header(
+        "A6",
+        "ablation: spiral-search retrieval backend (kd-tree vs quad-tree)",
+        "§4.3 Remark (ii): \"one may use quad-trees and a branch-and-bound algorithm to retrieve m points\"",
+    );
+    use uncertain_spatial::{KdTree, QuadTree};
+    let set = workload::random_discrete_set(20_000, 3, 1.0, 77);
+    let items: Vec<(Point, u32)> = set
+        .all_locations()
+        .enumerate()
+        .map(|(flat, (_, _, loc, _))| (loc, flat as u32))
+        .collect();
+    let kd = KdTree::build(items.clone());
+    let qt = QuadTree::build(items);
+    let queries = workload::random_queries(200, 60.0, 31);
+    let mut t = Table::new(&["m (retrieval budget)", "kd-tree", "quad-tree"]);
+    for &m in &[16usize, 128, 1024] {
+        let tk = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(kd.k_nearest(q, m));
+            }
+        }) / queries.len() as f64;
+        let tq = time_avg(1, || {
+            for &q in &queries {
+                std::hint::black_box(qt.k_nearest(q, m));
+            }
+        }) / queries.len() as f64;
+        t.row(&[m.to_string(), fmt_time(tk), fmt_time(tq)]);
+    }
+    t.print();
+    // Retrieval sets must be identical (up to distance ties).
+    for &q in queries.iter().take(20) {
+        let a: Vec<f64> = kd.k_nearest(q, 64).iter().map(|&(_, _, d)| d).collect();
+        let b: Vec<f64> = qt.k_nearest(q, 64).iter().map(|&(_, _, d)| d).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12, "retrieval mismatch");
+        }
+    }
+    println!("   retrieved sets identical on all sampled queries");
+}
+
+// Keep BTreeSet import alive for potential future experiment variants.
+#[allow(dead_code)]
+fn distinct_sets_of(d: &NonzeroVoronoiDiagram, queries: &[Point]) -> usize {
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for &q in queries {
+        let mut s = d.query(q);
+        s.sort_unstable();
+        seen.insert(s);
+    }
+    seen.len()
+}

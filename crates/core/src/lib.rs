@@ -1,0 +1,67 @@
+//! `uncertain-nn`: nearest-neighbor searching under (locational) uncertainty.
+//!
+//! A from-scratch Rust reproduction of
+//! *Nearest-Neighbor Searching Under Uncertainty II* (Agarwal, Aronov,
+//! Har-Peled, Phillips, Yi, Zhang — PODS 2013 / arXiv:1606.00112).
+//!
+//! Uncertain points are probability distributions over locations in the
+//! plane — continuous pdfs on disk supports ([`model::DiskSet`]) or finite
+//! weighted location sets ([`model::DiscreteSet`]). For a certain query
+//! point `q` the library answers:
+//!
+//! * **Which points can be the nearest neighbor at all?** —
+//!   `NN≠0(q) = {P_i : π_i(q) > 0}` via direct evaluation
+//!   ([`nonzero::brute`]), near-linear-size query structures
+//!   ([`nonzero::DiskNonzeroIndex`], [`nonzero::DiscreteNonzeroIndex`];
+//!   Theorems 3.1–3.2), or the *nonzero Voronoi diagram* `V≠0(P)`
+//!   ([`vnz`]; Theorems 2.5–2.14) whose `Θ(n³)` worst-case complexity is the
+//!   paper's headline result.
+//! * **With what probability?** — the quantification probabilities `π_i(q)`
+//!   exactly ([`quantification::exact`], [`quantification::vpr`];
+//!   Theorem 4.2) or within additive error `ε` by Monte Carlo
+//!   ([`quantification::MonteCarloPnn`]; Theorems 4.3/4.5) or deterministic
+//!   spiral search ([`quantification::SpiralSearch`]; Theorem 4.7).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uncertain_nn::model::{DiskSet, DiscreteSet, DiscreteUncertainPoint};
+//! use uncertain_nn::nonzero::DiskNonzeroIndex;
+//! use uncertain_nn::quantification::exact::quantification_discrete;
+//! use uncertain_geom::{Circle, Point};
+//!
+//! // Three imprecise sensors with disk-shaped uncertainty regions.
+//! let set = DiskSet::uniform(vec![
+//!     Circle::new(Point::new(0.0, 0.0), 1.0),
+//!     Circle::new(Point::new(4.0, 0.0), 2.0),
+//!     Circle::new(Point::new(50.0, 0.0), 1.0),
+//! ]);
+//! let index = DiskNonzeroIndex::build(&set);
+//! let who = index.query(Point::new(2.0, 0.0));
+//! assert_eq!(who, vec![0, 1]); // the far sensor can never be nearest
+//!
+//! // A discrete uncertain point with two possible locations.
+//! let set = DiscreteSet::new(vec![
+//!     DiscreteUncertainPoint::new(
+//!         vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+//!         vec![0.5, 0.5],
+//!     ),
+//!     DiscreteUncertainPoint::certain(Point::new(3.0, 0.0)),
+//! ]);
+//! let pi = quantification_discrete(&set, Point::new(1.0, 0.0));
+//! assert!((pi[0] - 0.5).abs() < 1e-12); // wins iff it materializes at 0
+//! assert!((pi[1] - 0.5).abs() < 1e-12);
+//! ```
+
+pub mod expected;
+pub mod model;
+pub mod nonzero;
+pub mod quantification;
+pub mod queries;
+pub mod svg;
+pub mod vnz;
+pub mod workload;
+
+pub use model::{
+    ContinuousUncertainPoint, DiscreteSet, DiscreteUncertainPoint, DiskDistribution, DiskSet,
+};

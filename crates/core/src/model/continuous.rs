@@ -1,0 +1,286 @@
+//! Continuous uncertain points with disk supports.
+
+use rand::Rng;
+use std::f64::consts::{PI, TAU};
+use uncertain_geom::{Circle, Point, Vector};
+
+/// The pdf of an uncertain point on its disk support.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DiskDistribution {
+    /// Uniform density over the disk.
+    Uniform,
+    /// Gaussian centered at the disk center with standard deviation `sigma`,
+    /// truncated to the disk (as in the paper's treatment of Gaussians,
+    /// following [BSI08, CCMC08]).
+    TruncatedGaussian { sigma: f64 },
+    /// Uniform density over the annulus between `inner_frac · r` and `r`
+    /// (models "known to be roughly at distance d" sensors).
+    Ring { inner_frac: f64 },
+}
+
+/// A continuous uncertain point: a distribution supported on a disk.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContinuousUncertainPoint {
+    /// The uncertainty region `D_i` (support of the pdf).
+    pub region: Circle,
+    pub dist: DiskDistribution,
+}
+
+impl ContinuousUncertainPoint {
+    pub fn uniform(region: Circle) -> Self {
+        ContinuousUncertainPoint {
+            region,
+            dist: DiskDistribution::Uniform,
+        }
+    }
+
+    pub fn gaussian(region: Circle, sigma: f64) -> Self {
+        assert!(sigma > 0.0);
+        ContinuousUncertainPoint {
+            region,
+            dist: DiskDistribution::TruncatedGaussian { sigma },
+        }
+    }
+
+    pub fn ring(region: Circle, inner_frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&inner_frac));
+        ContinuousUncertainPoint {
+            region,
+            dist: DiskDistribution::Ring { inner_frac },
+        }
+    }
+
+    /// `δ_i(q)`: minimum possible distance from `q` to this point.
+    #[inline]
+    pub fn min_dist(&self, q: Point) -> f64 {
+        self.region.min_dist(q)
+    }
+
+    /// `Δ_i(q)`: maximum possible distance from `q` to this point.
+    #[inline]
+    pub fn max_dist(&self, q: Point) -> f64 {
+        self.region.max_dist(q)
+    }
+
+    /// Draws a location according to the pdf.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let c = self.region.center;
+        let rr = self.region.radius;
+        let theta = rng.gen::<f64>() * TAU;
+        let radius = match self.dist {
+            DiskDistribution::Uniform => rr * rng.gen::<f64>().sqrt(),
+            DiskDistribution::TruncatedGaussian { sigma } => {
+                // Inverse-cdf sampling of the truncated radial density
+                // ∝ s·exp(−s²/2σ²) on [0, R].
+                let z = 1.0 - (-rr * rr / (2.0 * sigma * sigma)).exp();
+                let u = rng.gen::<f64>();
+                (-2.0 * sigma * sigma * (1.0 - u * z).ln()).sqrt().min(rr)
+            }
+            DiskDistribution::Ring { inner_frac } => {
+                let r0 = inner_frac * rr;
+                // Uniform over the annulus: radial density ∝ s.
+                let u = rng.gen::<f64>();
+                (r0 * r0 + u * (rr * rr - r0 * r0)).sqrt()
+            }
+        };
+        c + Vector::from_angle(theta) * radius
+    }
+}
+
+/// A set of continuous uncertain points — the input `P` of the paper's
+/// continuous case.
+#[derive(Clone, Debug, Default)]
+pub struct DiskSet {
+    pub points: Vec<ContinuousUncertainPoint>,
+}
+
+impl DiskSet {
+    pub fn new(points: Vec<ContinuousUncertainPoint>) -> Self {
+        DiskSet { points }
+    }
+
+    /// All points uniform on the given disks.
+    pub fn uniform(disks: Vec<Circle>) -> Self {
+        DiskSet {
+            points: disks
+                .into_iter()
+                .map(ContinuousUncertainPoint::uniform)
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The uncertainty regions (what `V≠0` depends on — it is independent of
+    /// the actual pdfs, see Section 2.1).
+    pub fn regions(&self) -> Vec<Circle> {
+        self.points.iter().map(|p| p.region).collect()
+    }
+
+    /// One random instantiation of the whole set.
+    pub fn sample_instance<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Point> {
+        self.points.iter().map(|p| p.sample(rng)).collect()
+    }
+
+    /// The ratio of the largest to the smallest support radius (the `λ` of
+    /// Theorem 2.10); `None` when some radius is zero.
+    pub fn radius_ratio(&self) -> Option<f64> {
+        let min = self
+            .points
+            .iter()
+            .map(|p| p.region.radius)
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.region.radius)
+            .fold(0.0f64, f64::max);
+        if min > 0.0 {
+            Some(max / min)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the supports are pairwise disjoint (the assumption of
+    /// Theorem 2.10).
+    pub fn regions_disjoint(&self) -> bool {
+        for i in 0..self.points.len() {
+            for j in (i + 1)..self.points.len() {
+                if self.points[i]
+                    .region
+                    .intersects_disk(&self.points[j].region)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Normalization constant of the truncated radial Gaussian.
+pub(crate) fn gaussian_mass(r: f64, sigma: f64) -> f64 {
+    1.0 - (-r * r / (2.0 * sigma * sigma)).exp()
+}
+
+/// Radial density of the location distance from the *center* for each model:
+/// `f(s) ds` = probability the point falls at center-distance `[s, s+ds)`.
+pub(crate) fn radial_density(p: &ContinuousUncertainPoint, s: f64) -> f64 {
+    let r = p.region.radius;
+    if s < 0.0 || s > r {
+        return 0.0;
+    }
+    match p.dist {
+        DiskDistribution::Uniform => 2.0 * s / (r * r),
+        DiskDistribution::TruncatedGaussian { sigma } => {
+            let z = gaussian_mass(r, sigma);
+            (s / (sigma * sigma)) * (-s * s / (2.0 * sigma * sigma)).exp() / z
+        }
+        DiskDistribution::Ring { inner_frac } => {
+            let r0 = inner_frac * r;
+            if s < r0 {
+                0.0
+            } else {
+                2.0 * s / (r * r - r0 * r0)
+            }
+        }
+    }
+}
+
+/// Fraction of directions at center-distance `s` that land within distance
+/// `t` of the external point at distance `l` from the center (`β(s)/π` in
+/// the docs: the half-angle of the intersection of the two circles).
+pub(crate) fn angular_fraction(l: f64, s: f64, t: f64) -> f64 {
+    if s + l <= t {
+        return 1.0; // circle of radius s entirely within distance t of q
+    }
+    if (l - s).abs() >= t {
+        return 0.0;
+    }
+    let cosb = (l * l + s * s - t * t) / (2.0 * l * s);
+    cosb.clamp(-1.0, 1.0).acos() / PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = [
+            ContinuousUncertainPoint::uniform(disk(1.0, 2.0, 3.0)),
+            ContinuousUncertainPoint::gaussian(disk(-4.0, 0.0, 2.0), 0.7),
+            ContinuousUncertainPoint::ring(disk(0.0, 5.0, 1.5), 0.6),
+        ];
+        for p in &pts {
+            for _ in 0..2000 {
+                let x = p.sample(&mut rng);
+                assert!(
+                    p.region.center.dist(x) <= p.region.radius + 1e-12,
+                    "sample escaped support"
+                );
+                if let DiskDistribution::Ring { inner_frac } = p.dist {
+                    assert!(p.region.center.dist(x) >= inner_frac * p.region.radius - 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_is_area_uniform() {
+        // Halving the radius should capture ~1/4 of the mass.
+        let p = ContinuousUncertainPoint::uniform(disk(0.0, 0.0, 2.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 40_000;
+        let inside = (0..n)
+            .filter(|_| p.sample(&mut rng).dist(Point::new(0.0, 0.0)) <= 1.0)
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "got {frac}");
+    }
+
+    #[test]
+    fn min_max_dist() {
+        let p = ContinuousUncertainPoint::uniform(disk(0.0, 0.0, 5.0));
+        let q = Point::new(6.0, 8.0);
+        assert_eq!(p.min_dist(q), 5.0);
+        assert_eq!(p.max_dist(q), 15.0);
+    }
+
+    #[test]
+    fn set_helpers() {
+        let set = DiskSet::uniform(vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 2.0)]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.radius_ratio(), Some(2.0));
+        assert!(set.regions_disjoint());
+        let overlapping = DiskSet::uniform(vec![disk(0.0, 0.0, 1.0), disk(1.0, 0.0, 1.0)]);
+        assert!(!overlapping.regions_disjoint());
+        let with_point = DiskSet::uniform(vec![disk(0.0, 0.0, 0.0)]);
+        assert_eq!(with_point.radius_ratio(), None);
+    }
+
+    #[test]
+    fn angular_fraction_limits() {
+        // Query far away, tiny capture radius: fraction 0.
+        assert_eq!(angular_fraction(10.0, 1.0, 2.0), 0.0);
+        // Capture radius beyond l+s: fraction 1.
+        assert_eq!(angular_fraction(10.0, 1.0, 12.0), 1.0);
+        // Symmetric half: t = l and s small → fraction ≈ 1/2.
+        let f = angular_fraction(10.0, 0.001, 10.0);
+        assert!((f - 0.5).abs() < 1e-3, "got {f}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Distance distributions between a query point and an uncertain point.
+//!
+//! For a query `q` and uncertain point `P_i`, `g_{q,i}` is the pdf of the
+//! random variable `d(q, P_i)` and `G_{q,i}` its cdf (Section 1.1, Figure 1).
+//! These are the ingredients of the quantification probability (Eq. (1)):
+//!
+//! ```text
+//!   π_i(q) = ∫ g_{q,i}(r) · Π_{j≠i} (1 − G_{q,j}(r)) dr
+//! ```
+//!
+//! For a *uniform* disk distribution both are closed-form (circle–circle lens
+//! areas and arc lengths); for the truncated Gaussian and ring models the cdf
+//! is a 1-D radial quadrature.
+
+use super::continuous::{
+    angular_fraction, radial_density, ContinuousUncertainPoint, DiskDistribution,
+};
+use std::f64::consts::PI;
+use uncertain_geom::{Circle, Point};
+
+/// Number of radial quadrature panels for non-uniform disk models.
+const QUAD_PANELS: usize = 256;
+
+/// `G_{q,i}(r)`: probability that the uncertain point lies within distance
+/// `r` of `q`.
+pub fn cdf(p: &ContinuousUncertainPoint, q: Point, r: f64) -> f64 {
+    // Check the upper end first so a zero-radius point mass (min = max = d)
+    // gets the right-continuous convention `G(d) = 1` — matching the `≤` in
+    // the discrete Eq. (2).
+    if r >= p.max_dist(q) {
+        return 1.0;
+    }
+    if r <= p.min_dist(q) {
+        return 0.0;
+    }
+    match p.dist {
+        DiskDistribution::Uniform => {
+            let capture = Circle::new(q, r);
+            capture.lens_area(&p.region) / p.region.area()
+        }
+        _ => {
+            // Radial quadrature: G(r) = ∫ f(s)·(angular fraction) ds over
+            // the radial support (starting at the annulus inner radius for
+            // rings — integrating across the density jump would cost an
+            // order of accuracy).
+            let l = q.dist(p.region.center);
+            let rr = p.region.radius;
+            let s_lo = match p.dist {
+                DiskDistribution::Ring { inner_frac } => inner_frac * rr,
+                _ => 0.0,
+            };
+            simpson(s_lo, rr, QUAD_PANELS, |s| {
+                radial_density(p, s) * angular_fraction(l, s, r)
+            })
+        }
+    }
+}
+
+/// `g_{q,i}(r)`: pdf of the distance. Closed-form for uniform disks; central
+/// finite difference of [`cdf`] otherwise.
+pub fn pdf(p: &ContinuousUncertainPoint, q: Point, r: f64) -> f64 {
+    let lo = p.min_dist(q);
+    let hi = p.max_dist(q);
+    if r < lo || r > hi {
+        return 0.0;
+    }
+    match p.dist {
+        DiskDistribution::Uniform => {
+            // g(r) = (arc length of ∂B(q,r) inside D) / area(D)
+            //      = 2·r·β(r) / (π R²) with β the inside half-angle.
+            let l = q.dist(p.region.center);
+            let rr = p.region.radius;
+            let beta = if l + r <= rr {
+                PI // whole circle inside the disk (q inside, small r)
+            } else if (l - rr).abs() >= r && l > rr {
+                0.0
+            } else {
+                let cosb = (l * l + r * r - rr * rr) / (2.0 * l * r);
+                cosb.clamp(-1.0, 1.0).acos()
+            };
+            2.0 * r * beta / (PI * rr * rr)
+        }
+        _ => {
+            let h = 1e-5 * (hi - lo).max(1e-9);
+            let a = cdf(p, q, (r - h).max(lo));
+            let b = cdf(p, q, (r + h).min(hi));
+            (b - a) / (((r + h).min(hi)) - ((r - h).max(lo)))
+        }
+    }
+}
+
+/// Composite Simpson quadrature with `panels` panels (must be even-friendly;
+/// rounded up internally).
+pub(crate) fn simpson<F: Fn(f64) -> f64>(a: f64, b: f64, panels: usize, f: F) -> f64 {
+    if b <= a {
+        return 0.0;
+    }
+    let n = (panels.max(2) + 1) & !1usize; // even
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        acc += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    acc * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_disk(x: f64, y: f64, r: f64) -> ContinuousUncertainPoint {
+        ContinuousUncertainPoint::uniform(Circle::new(Point::new(x, y), r))
+    }
+
+    /// The paper's Figure 1 configuration: uniform disk of radius 5 at the
+    /// origin, query at (6, 8) (distance 10).
+    #[test]
+    fn figure_1_support_and_shape() {
+        let p = uniform_disk(0.0, 0.0, 5.0);
+        let q = Point::new(6.0, 8.0);
+        // Support of g is [5, 15].
+        assert_eq!(pdf(&p, q, 4.9), 0.0);
+        assert_eq!(pdf(&p, q, 15.1), 0.0);
+        assert!(pdf(&p, q, 10.0) > 0.0);
+        // cdf is 0 / 1 outside, monotone inside.
+        assert_eq!(cdf(&p, q, 5.0), 0.0);
+        assert_eq!(cdf(&p, q, 15.0), 1.0);
+        let mut last = 0.0;
+        for k in 0..=100 {
+            let r = 5.0 + 10.0 * k as f64 / 100.0;
+            let c = cdf(&p, q, r);
+            assert!(c + 1e-12 >= last, "cdf must be monotone");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        for p in [
+            uniform_disk(0.0, 0.0, 5.0),
+            ContinuousUncertainPoint::gaussian(Circle::new(Point::new(0.0, 0.0), 5.0), 2.0),
+            ContinuousUncertainPoint::ring(Circle::new(Point::new(0.0, 0.0), 5.0), 0.5),
+        ] {
+            for q in [Point::new(6.0, 8.0), Point::new(1.0, 0.0)] {
+                let lo = p.min_dist(q);
+                let hi = p.max_dist(q);
+                let total = simpson(lo, hi, 2000, |r| pdf(&p, q, r));
+                assert!(
+                    (total - 1.0).abs() < 5e-3,
+                    "pdf of {:?} at {q} integrates to {total}",
+                    p.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_matches_sampling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = [
+            uniform_disk(1.0, -2.0, 3.0),
+            ContinuousUncertainPoint::gaussian(Circle::new(Point::new(1.0, -2.0), 3.0), 1.0),
+            ContinuousUncertainPoint::ring(Circle::new(Point::new(1.0, -2.0), 3.0), 0.4),
+        ];
+        let q = Point::new(4.0, 2.0);
+        let n = 30_000;
+        for p in &pts {
+            for rfrac in [0.3, 0.5, 0.8] {
+                let r = p.min_dist(q) + rfrac * (p.max_dist(q) - p.min_dist(q));
+                let hits = (0..n).filter(|_| q.dist(p.sample(&mut rng)) <= r).count();
+                let emp = hits as f64 / n as f64;
+                let ana = cdf(p, q, r);
+                assert!(
+                    (emp - ana).abs() < 0.015,
+                    "{:?} r={r}: empirical {emp} vs analytic {ana}",
+                    p.dist
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_query_inside_disk() {
+        // q at the center: g(r) = 2r/R² on [0, R].
+        let p = uniform_disk(0.0, 0.0, 2.0);
+        let q = Point::new(0.0, 0.0);
+        for r in [0.5, 1.0, 1.5] {
+            assert!((pdf(&p, q, r) - 2.0 * r / 4.0).abs() < 1e-12);
+        }
+        // q strictly inside but off-center: support is [0, l+R].
+        let q2 = Point::new(1.0, 0.0);
+        assert_eq!(p.min_dist(q2), 0.0);
+        assert!(pdf(&p, q2, 0.5) > 0.0);
+        assert!(pdf(&p, q2, 2.9) > 0.0);
+        assert_eq!(pdf(&p, q2, 3.1), 0.0);
+    }
+
+    #[test]
+    fn simpson_sanity() {
+        let v = simpson(0.0, 1.0, 100, |x| x * x);
+        assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(simpson(1.0, 0.0, 100, |x| x), 0.0);
+    }
+
+    #[test]
+    fn gaussian_concentrates_near_center() {
+        // With tiny σ the distance distribution concentrates near l = d(q,c).
+        let p = ContinuousUncertainPoint::gaussian(Circle::new(Point::new(0.0, 0.0), 5.0), 0.05);
+        let q = Point::new(10.0, 0.0);
+        assert!(cdf(&p, q, 9.5) < 0.01);
+        assert!(cdf(&p, q, 10.5) > 0.99);
+        let _unused: f64 = StdRng::seed_from_u64(1).gen();
+    }
+}

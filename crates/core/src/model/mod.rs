@@ -1,0 +1,20 @@
+//! Uncertain-point models (Section 1.1 of the paper).
+//!
+//! An uncertain point is a probability distribution over locations in the
+//! plane. Two families are supported, mirroring the paper:
+//!
+//! * [`continuous::ContinuousUncertainPoint`] — a pdf supported on a disk
+//!   (uniform, truncated Gaussian, or ring);
+//! * [`discrete::DiscreteUncertainPoint`] — finitely many weighted
+//!   locations (description complexity `k`).
+//!
+//! [`distance`] provides the distance distribution `g_{q,i}` / `G_{q,i}`
+//! between a fixed query point and an uncertain point — the quantity behind
+//! Eq. (1) and Figure 1.
+
+pub mod continuous;
+pub mod discrete;
+pub mod distance;
+
+pub use continuous::{ContinuousUncertainPoint, DiskDistribution, DiskSet};
+pub use discrete::{DiscreteSet, DiscreteUncertainPoint};

@@ -1,0 +1,138 @@
+//! Brute-force `NN≠0` evaluation (the Lemma 2.1 oracle).
+
+use crate::model::{DiscreteSet, DiskSet};
+use uncertain_geom::{Circle, Point};
+
+/// Tracks the two smallest values with the argmin of the smallest.
+///
+/// Lemma 2.1 tests `δ_i(q) < Δ_j(q)` for all `j ≠ i`, i.e. against
+/// `min_{j≠i} Δ_j(q)` — which is the global minimum unless `i` itself
+/// attains it (then it is the second-smallest). The distinction only
+/// matters for *certain* points (`δ_i = Δ_i`): a zero-radius disk exactly
+/// at the global minimum must still report itself.
+pub(crate) fn two_smallest(values: impl Iterator<Item = f64>) -> (f64, usize, f64) {
+    let (mut best, mut best_i, mut second) = (f64::INFINITY, usize::MAX, f64::INFINITY);
+    for (i, v) in values.enumerate() {
+        if v < best {
+            second = best;
+            best = v;
+            best_i = i;
+        } else if v < second {
+            second = v;
+        }
+    }
+    (best, best_i, second)
+}
+
+/// `NN≠0(q)` over disk supports by direct evaluation: `O(n)`.
+pub fn nonzero_nn_disks(disks: &[Circle], q: Point) -> Vec<usize> {
+    let (best, best_i, second) = two_smallest(disks.iter().map(|d| d.max_dist(q)));
+    disks
+        .iter()
+        .enumerate()
+        .filter(|&(i, d)| d.min_dist(q) < if i == best_i { second } else { best })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// `NN≠0(q)` over discrete uncertain points by direct evaluation: `O(N)`.
+pub fn nonzero_nn_discrete(set: &DiscreteSet, q: Point) -> Vec<usize> {
+    let (best, best_i, second) = two_smallest(set.points.iter().map(|p| p.max_dist(q)));
+    set.points
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| p.min_dist(q) < if i == best_i { second } else { best })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+impl DiskSet {
+    /// `NN≠0(q)` by direct evaluation (Lemma 2.1). Prefer
+    /// [`crate::nonzero::DiskNonzeroIndex`] for repeated queries.
+    pub fn nonzero_nn(&self, q: Point) -> Vec<usize> {
+        nonzero_nn_disks(&self.regions(), q)
+    }
+}
+
+impl DiscreteSet {
+    /// `NN≠0(q)` by direct evaluation (Lemma 2.1). Prefer
+    /// [`crate::nonzero::DiscreteNonzeroIndex`] for repeated queries.
+    pub fn nonzero_nn(&self, q: Point) -> Vec<usize> {
+        nonzero_nn_discrete(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DiscreteUncertainPoint;
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn certain_points_reduce_to_classical_nn() {
+        // Zero radii: exactly the unique nearest point has nonzero
+        // probability (no ties here).
+        let disks = vec![
+            disk(0.0, 0.0, 0.0),
+            disk(4.0, 0.0, 0.0),
+            disk(0.0, 5.0, 0.0),
+        ];
+        assert_eq!(nonzero_nn_disks(&disks, Point::new(1.0, 0.0)), vec![0]);
+        assert_eq!(nonzero_nn_disks(&disks, Point::new(3.5, 0.0)), vec![1]);
+    }
+
+    #[test]
+    fn overlapping_regions_all_participate() {
+        let disks = vec![
+            disk(0.0, 0.0, 2.0),
+            disk(1.0, 0.0, 2.0),
+            disk(50.0, 0.0, 1.0),
+        ];
+        let nn = nonzero_nn_disks(&disks, Point::new(0.5, 0.0));
+        assert_eq!(nn, vec![0, 1]); // far disk can never be nearest
+    }
+
+    #[test]
+    fn guaranteed_nn_region() {
+        // Far from everything except disk 0, only it participates — the
+        // "guaranteed Voronoi" region of [SE08].
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(100.0, 0.0, 1.0)];
+        let nn = nonzero_nn_disks(&disks, Point::new(-5.0, 0.0));
+        assert_eq!(nn, vec![0]);
+        // Between them both can be nearest.
+        let nn_mid = nonzero_nn_disks(&disks, Point::new(50.0, 0.0));
+        assert_eq!(nn_mid, vec![0, 1]);
+    }
+
+    #[test]
+    fn discrete_matches_disk_for_singletons() {
+        let set = DiscreteSet::new(vec![
+            DiscreteUncertainPoint::certain(Point::new(0.0, 0.0)),
+            DiscreteUncertainPoint::certain(Point::new(4.0, 0.0)),
+        ]);
+        assert_eq!(nonzero_nn_discrete(&set, Point::new(1.0, 0.0)), vec![0]);
+    }
+
+    #[test]
+    fn discrete_spread_out_locations() {
+        let set = DiscreteSet::new(vec![
+            DiscreteUncertainPoint::uniform(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]),
+            DiscreteUncertainPoint::certain(Point::new(5.0, 0.0)),
+        ]);
+        // At q = (5, 0): P_2 sits exactly at q, so it is certainly the
+        // nearest (Lemma 2.1 compares δ_2 = 0 against Δ_1 = 5, j ≠ i);
+        // P_1's locations are both at distance 5 > Δ_2 = 0, so P_1 is out.
+        assert_eq!(nonzero_nn_discrete(&set, Point::new(5.0, 0.0)), vec![1]);
+        // Slightly off: the certain point (distance 1) always beats P_1's
+        // best possible location (distance 4) — only P_2 can be nearest.
+        let nn = nonzero_nn_discrete(&set, Point::new(4.0, 0.0));
+        assert_eq!(nn, vec![1]);
+        // Far left: P_1's near location dominates but P_2 can still be
+        // nearest when P_1 instantiates to (10, 0).
+        let nn = nonzero_nn_discrete(&set, Point::new(-1.0, 0.0));
+        assert_eq!(nn, vec![0, 1]);
+    }
+}

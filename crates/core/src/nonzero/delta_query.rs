@@ -1,0 +1,109 @@
+//! The Theorem 3.1-style query structure for disk supports.
+//!
+//! Two stages, exactly as in the paper: (1) compute `Δ(q)` — the paper uses
+//! point location in the additively-weighted Voronoi diagram, we use
+//! branch-and-bound over a radius-augmented kd-tree; (2) report all disks
+//! `D_i` intersecting the disk `B(q, Δ(q))` — the paper cites the dynamic
+//! disk-reporting structure of [KMR+16], we use the same augmented tree with
+//! a `δ_i(q) < Δ(q)` pruning bound. Both stages are output-sensitive and
+//! logarithmic-ish in practice (measured in experiment E8).
+
+use crate::model::DiskSet;
+use uncertain_geom::{Circle, Point};
+use uncertain_spatial::DiskIndex;
+
+/// Query structure answering `NN≠0(q)` for disk supports.
+#[derive(Clone, Debug)]
+pub struct DiskNonzeroIndex {
+    index: DiskIndex,
+    n: usize,
+}
+
+impl DiskNonzeroIndex {
+    /// Builds from uncertainty regions. `O(n log n)`.
+    pub fn build(set: &DiskSet) -> Self {
+        let disks = set.regions();
+        DiskNonzeroIndex {
+            index: DiskIndex::from_disks(&disks),
+            n: disks.len(),
+        }
+    }
+
+    /// Builds directly from disks.
+    pub fn from_disks(disks: &[Circle]) -> Self {
+        DiskNonzeroIndex {
+            index: DiskIndex::from_disks(disks),
+            n: disks.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The underlying spatial index (for the kNN extension).
+    pub(crate) fn index(&self) -> &DiskIndex {
+        &self.index
+    }
+
+    /// `Δ(q) = min_i Δ_i(q)` (stage 1).
+    pub fn delta(&self, q: Point) -> Option<f64> {
+        self.index.min_max_dist(q).map(|(d, _)| d)
+    }
+
+    /// `NN≠0(q)`: indices of all points with nonzero probability of being
+    /// the nearest neighbor of `q`, in arbitrary order.
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        self.index
+            .nonzero_nn(q)
+            .into_iter()
+            .map(|i| i as usize)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonzero::brute::nonzero_nn_disks;
+    use crate::workload;
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        for seed in [1u64, 2, 3] {
+            let set = workload::random_disk_set(150, 0.1, 4.0, seed);
+            let idx = DiskNonzeroIndex::build(&set);
+            let disks = set.regions();
+            for q in workload::random_queries(120, 60.0, seed ^ 0xffff) {
+                let mut got = idx.query(q);
+                let mut brute = nonzero_nn_disks(&disks, q);
+                got.sort_unstable();
+                brute.sort_unstable();
+                assert_eq!(got, brute, "q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let idx = DiskNonzeroIndex::build(&DiskSet::default());
+        assert!(idx.is_empty());
+        assert!(idx.query(Point::new(0.0, 0.0)).is_empty());
+        assert!(idx.delta(Point::new(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn heavily_overlapping_disks_report_everything() {
+        // All disks concentric-ish: every one can be the NN.
+        let disks: Vec<Circle> = (0..20)
+            .map(|i| Circle::new(Point::new(0.01 * i as f64, 0.0), 5.0))
+            .collect();
+        let idx = DiskNonzeroIndex::from_disks(&disks);
+        let got = idx.query(Point::new(0.0, 0.0));
+        assert_eq!(got.len(), 20);
+    }
+}

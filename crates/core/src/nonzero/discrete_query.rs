@@ -1,0 +1,139 @@
+//! The Theorem 3.2-style query structure for discrete distributions.
+//!
+//! Stage 1 computes `Δ(q) = min_i max_j ‖q − p_ij‖` by branch-and-bound over
+//! smallest-enclosing-circle summaries (the paper queries a partition tree
+//! over the lifted upper-envelope triangles; same output). Stage 2 reports
+//! every point `P_i` owning a location strictly within distance `Δ(q)` of
+//! `q` — a circular range-reporting query over all `N` locations, `O(√N+t)`
+//! worst case on the kd-tree exactly as the partition-tree bound the paper
+//! states (measured in experiment E9).
+
+use crate::model::DiscreteSet;
+use uncertain_geom::Point;
+use uncertain_spatial::{GroupIndex, KdTree};
+
+/// Query structure answering `NN≠0(q)` for discrete uncertain points.
+#[derive(Clone, Debug)]
+pub struct DiscreteNonzeroIndex {
+    groups: GroupIndex,
+    locations: KdTree,
+    n: usize,
+    /// Scratch stamps for per-query deduplication (interior mutability keeps
+    /// the query API `&self`).
+    stamps: std::cell::RefCell<(Vec<u32>, u32)>,
+}
+
+impl DiscreteNonzeroIndex {
+    /// Builds from a discrete set. `O(N log N)`.
+    pub fn build(set: &DiscreteSet) -> Self {
+        let group_pts: Vec<Vec<Point>> =
+            set.points.iter().map(|p| p.locations().to_vec()).collect();
+        let items: Vec<(Point, u32)> = set
+            .all_locations()
+            .map(|(i, _, loc, _)| (loc, i as u32))
+            .collect();
+        DiscreteNonzeroIndex {
+            groups: GroupIndex::build(&group_pts),
+            locations: KdTree::build(items),
+            n: set.len(),
+            stamps: std::cell::RefCell::new((vec![0; set.len()], 0)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The group index (for the kNN extension).
+    pub(crate) fn groups(&self) -> &GroupIndex {
+        &self.groups
+    }
+
+    /// The flat location tree (for the kNN extension).
+    pub(crate) fn locations(&self) -> &KdTree {
+        &self.locations
+    }
+
+    /// `Δ(q)` (stage 1).
+    pub fn delta(&self, q: Point) -> Option<f64> {
+        self.groups.min_max_dist(q).map(|(d, _)| d)
+    }
+
+    /// `NN≠0(q)`: all point indices with `δ_i(q) < min_{j≠i} Δ_j(q)`
+    /// (Lemma 2.1).
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        let Some((best, best_id, second)) = self.groups.two_min_max_dist(q) else {
+            return vec![];
+        };
+        let mut scratch = self.stamps.borrow_mut();
+        let (stamps, epoch) = &mut *scratch;
+        *epoch += 1;
+        let cur = *epoch;
+        let mut out = vec![];
+        let range = if second.is_finite() { second } else { best };
+        self.locations.for_each_in_disk(q, range, |p, i| {
+            // Strict inequality against min_{j≠i} Δ_j; for the point that
+            // attains Δ(q) the threshold is the second-smallest.
+            let bound = if i == best_id { second } else { best };
+            if q.dist(p) < bound && stamps[i as usize] != cur {
+                stamps[i as usize] = cur;
+                out.push(i as usize);
+            }
+        });
+        // Single-point sets: the range query above cannot see past `best`
+        // when `second = ∞`; handle explicitly.
+        if self.n == 1 && out.is_empty() {
+            out.push(best_id as usize);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonzero::brute::nonzero_nn_discrete;
+    use crate::workload;
+
+    #[test]
+    fn matches_brute_force_on_random_sets() {
+        for seed in [11u64, 12, 13] {
+            let set = workload::random_discrete_set(60, 5, 8.0, seed);
+            let idx = DiscreteNonzeroIndex::build(&set);
+            for q in workload::random_queries(150, 60.0, seed ^ 0xaaaa) {
+                let mut got = idx.query(q);
+                let mut brute = nonzero_nn_discrete(&set, q);
+                got.sort_unstable();
+                brute.sort_unstable();
+                assert_eq!(got, brute, "q = {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let idx = DiscreteNonzeroIndex::build(&DiscreteSet::default());
+        assert!(idx.query(Point::new(0.0, 0.0)).is_empty());
+
+        let set = DiscreteSet::new(vec![crate::model::DiscreteUncertainPoint::certain(
+            Point::new(3.0, 3.0),
+        )]);
+        let idx = DiscreteNonzeroIndex::build(&set);
+        assert_eq!(idx.query(Point::new(0.0, 0.0)), vec![0]);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_stamps() {
+        let set = workload::random_discrete_set(30, 4, 4.0, 77);
+        let idx = DiscreteNonzeroIndex::build(&set);
+        let q = Point::new(0.0, 0.0);
+        let first = idx.query(q);
+        for _ in 0..10 {
+            assert_eq!(idx.query(q), first);
+        }
+    }
+}

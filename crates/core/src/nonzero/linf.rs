@@ -1,0 +1,338 @@
+//! `NN≠0` under the L∞ metric with square uncertainty regions — the remark
+//! after Theorem 3.1:
+//!
+//! > "If we use L1 or L∞ metric to compute the distance between points and
+//! > use disks in L1 or L∞ metric (i.e., a diamond or a square), then an
+//! > NN≠0(q) query can be answered in O(log² n + t) time using O(n log² n)
+//! > space."
+//!
+//! Everything from Lemma 2.1 carries over verbatim because L∞ is a metric
+//! and the uncertainty regions are L∞-balls: `δ_i(q) = max(‖q − c_i‖_∞ −
+//! h_i, 0)` and `Δ_i(q) = ‖q − c_i‖_∞ + h_i`. The paper's range-tree
+//! structure is substituted by the same augmented-kd-tree branch-and-bound
+//! as the Euclidean engine, with Chebyshev box distances. (The L1/diamond
+//! case is the same structure rotated by 45°: `‖x‖_1 = ‖R x‖_∞` for the
+//! rotation-scaling `R(x, y) = ((x+y)/√2 · √2, …)` — use
+//! [`SquareRegion::from_l1_diamond`].)
+
+use uncertain_geom::{Aabb, Point};
+
+/// An axis-aligned square uncertainty region: the L∞ ball of radius `half`
+/// around `center`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SquareRegion {
+    pub center: Point,
+    pub half: f64,
+}
+
+/// Chebyshev (L∞) distance between points.
+#[inline]
+pub fn linf_dist(a: Point, b: Point) -> f64 {
+    (a.x - b.x).abs().max((a.y - b.y).abs())
+}
+
+/// Chebyshev distance from a point to a box (0 inside).
+#[inline]
+fn linf_dist_to_box(b: &Aabb, p: Point) -> f64 {
+    let dx = (b.lo.x - p.x).max(0.0).max(p.x - b.hi.x);
+    let dy = (b.lo.y - p.y).max(0.0).max(p.y - b.hi.y);
+    dx.max(dy)
+}
+
+impl SquareRegion {
+    pub fn new(center: Point, half: f64) -> Self {
+        assert!(half >= 0.0);
+        SquareRegion { center, half }
+    }
+
+    /// Models an L1 diamond (center `c`, L1 radius `r`) as a square in the
+    /// rotated frame `u = (x+y), v = (x−y)` (the isometry between L1 and
+    /// L∞ in the plane). Queries must be rotated with [`to_rotated_frame`].
+    pub fn from_l1_diamond(center: Point, r: f64) -> Self {
+        SquareRegion {
+            center: to_rotated_frame(center),
+            half: r,
+        }
+    }
+
+    /// `δ_i(q)` under L∞.
+    #[inline]
+    pub fn min_dist(&self, q: Point) -> f64 {
+        (linf_dist(self.center, q) - self.half).max(0.0)
+    }
+
+    /// `Δ_i(q)` under L∞.
+    #[inline]
+    pub fn max_dist(&self, q: Point) -> f64 {
+        linf_dist(self.center, q) + self.half
+    }
+}
+
+/// The L1→L∞ change of coordinates: `(x, y) ↦ (x + y, x − y)` (a similarity
+/// with factor √2; distances scale uniformly so NN comparisons transfer).
+#[inline]
+pub fn to_rotated_frame(p: Point) -> Point {
+    Point::new(p.x + p.y, p.x - p.y)
+}
+
+/// Brute-force `NN≠0` under L∞ (the Lemma 2.1 oracle for this metric).
+pub fn nonzero_nn_linf(squares: &[SquareRegion], q: Point) -> Vec<usize> {
+    let (best, best_i, second) = super::brute::two_smallest(squares.iter().map(|s| s.max_dist(q)));
+    squares
+        .iter()
+        .enumerate()
+        .filter(|&(i, s)| s.min_dist(q) < if i == best_i { second } else { best })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    min_h: f64,
+    max_h: f64,
+    start: u32,
+    end: u32,
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// Branch-and-bound `NN≠0` index for square regions under L∞.
+#[derive(Clone, Debug)]
+pub struct LinfNonzeroIndex {
+    items: Vec<(SquareRegion, u32)>,
+    nodes: Vec<Node>,
+}
+
+impl LinfNonzeroIndex {
+    pub fn build(squares: &[SquareRegion]) -> Self {
+        let mut items: Vec<(SquareRegion, u32)> = squares
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        let mut nodes = vec![];
+        if !items.is_empty() {
+            let n = items.len();
+            Self::build_rec(&mut items, 0, n, &mut nodes);
+        }
+        LinfNonzeroIndex { items, nodes }
+    }
+
+    fn build_rec(
+        items: &mut [(SquareRegion, u32)],
+        start: usize,
+        end: usize,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        let slice = &items[start..end];
+        let bbox = Aabb::from_points(slice.iter().map(|&(s, _)| s.center));
+        let min_h = slice
+            .iter()
+            .map(|&(s, _)| s.half)
+            .fold(f64::INFINITY, f64::min);
+        let max_h = slice
+            .iter()
+            .map(|&(s, _)| s.half)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            bbox,
+            min_h,
+            max_h,
+            start: start as u32,
+            end: end as u32,
+            left: u32::MAX,
+            right: u32::MAX,
+        });
+        if end - start > LEAF_SIZE {
+            let mid = (start + end) / 2;
+            if bbox.width() >= bbox.height() {
+                items[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.0.center.x.partial_cmp(&b.0.center.x).unwrap()
+                });
+            } else {
+                items[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.0.center.y.partial_cmp(&b.0.center.y).unwrap()
+                });
+            }
+            let l = Self::build_rec(items, start, mid, nodes);
+            let r = Self::build_rec(items, mid, end, nodes);
+            nodes[id as usize].left = l;
+            nodes[id as usize].right = r;
+        }
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The two smallest `Δ_i(q)` (L∞): `(best, best id, second)`.
+    fn two_min(&self, q: Point) -> Option<(f64, u32, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, 0u32);
+        let mut second = f64::INFINITY;
+        self.min_rec(0, q, &mut best, &mut second);
+        Some((best.0, best.1, second))
+    }
+
+    fn min_rec(&self, node: u32, q: Point, best: &mut (f64, u32), second: &mut f64) {
+        let n = &self.nodes[node as usize];
+        if linf_dist_to_box(&n.bbox, q) + n.min_h >= *second {
+            return;
+        }
+        if n.is_leaf() {
+            for &(s, id) in &self.items[n.start as usize..n.end as usize] {
+                let d = s.max_dist(q);
+                if d < best.0 {
+                    *second = best.0;
+                    *best = (d, id);
+                } else if d < *second {
+                    *second = d;
+                }
+            }
+            return;
+        }
+        self.min_rec(n.left, q, best, second);
+        self.min_rec(n.right, q, best, second);
+    }
+
+    /// `NN≠0(q)` under L∞ (Lemma 2.1 with `j ≠ i`).
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        let Some((best, best_id, second)) = self.two_min(q) else {
+            return vec![];
+        };
+        let mut out = vec![];
+        self.report_rec(0, q, best, best_id, second, &mut out);
+        out
+    }
+
+    fn report_rec(
+        &self,
+        node: u32,
+        q: Point,
+        best: f64,
+        best_id: u32,
+        second: f64,
+        out: &mut Vec<usize>,
+    ) {
+        let n = &self.nodes[node as usize];
+        if linf_dist_to_box(&n.bbox, q) - n.max_h >= second {
+            return;
+        }
+        if n.is_leaf() {
+            for &(s, id) in &self.items[n.start as usize..n.end as usize] {
+                let bound = if id == best_id { second } else { best };
+                if s.min_dist(q) < bound {
+                    out.push(id as usize);
+                }
+            }
+            return;
+        }
+        self.report_rec(n.left, q, best, best_id, second, out);
+        self.report_rec(n.right, q, best, best_id, second, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_squares(n: usize, seed: u64) -> Vec<SquareRegion> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                SquareRegion::new(
+                    Point::new(rng.gen_range(-30.0..30.0), rng.gen_range(-30.0..30.0)),
+                    rng.gen_range(0.0..3.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn linf_distances() {
+        let s = SquareRegion::new(Point::new(0.0, 0.0), 2.0);
+        assert_eq!(s.min_dist(Point::new(5.0, 1.0)), 3.0);
+        assert_eq!(s.max_dist(Point::new(5.0, 1.0)), 7.0);
+        assert_eq!(s.min_dist(Point::new(1.0, 1.0)), 0.0); // inside
+        assert_eq!(linf_dist(Point::new(0.0, 0.0), Point::new(3.0, -4.0)), 4.0);
+    }
+
+    #[test]
+    fn index_matches_brute_force() {
+        for seed in [1u64, 2, 3] {
+            let squares = random_squares(120, seed);
+            let idx = LinfNonzeroIndex::build(&squares);
+            let mut rng = StdRng::seed_from_u64(seed + 50);
+            for _ in 0..150 {
+                let q = Point::new(rng.gen_range(-40.0..40.0), rng.gen_range(-40.0..40.0));
+                let mut got = idx.query(q);
+                let mut brute = nonzero_nn_linf(&squares, q);
+                got.sort_unstable();
+                brute.sort_unstable();
+                assert_eq!(got, brute, "at {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn far_square_never_nearest() {
+        let squares = vec![
+            SquareRegion::new(Point::new(0.0, 0.0), 1.0),
+            SquareRegion::new(Point::new(3.0, 0.0), 1.0),
+            SquareRegion::new(Point::new(100.0, 0.0), 1.0),
+        ];
+        let idx = LinfNonzeroIndex::build(&squares);
+        let mut got = idx.query(Point::new(1.5, 0.0));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn l1_diamond_roundtrip() {
+        // Two diamonds on the x-axis; in the rotated frame the nearest
+        // relations under L1 are preserved.
+        let diamonds = [
+            SquareRegion::from_l1_diamond(Point::new(0.0, 0.0), 1.0),
+            SquareRegion::from_l1_diamond(Point::new(10.0, 0.0), 1.0),
+        ];
+        let idx = LinfNonzeroIndex::build(&diamonds);
+        // Query near the first diamond (rotate the query too).
+        let q = to_rotated_frame(Point::new(1.0, 0.5));
+        assert_eq!(idx.query(q), vec![0]);
+        let q_mid = to_rotated_frame(Point::new(5.0, 0.0));
+        let mut both = idx.query(q_mid);
+        both.sort_unstable();
+        assert_eq!(both, vec![0, 1]);
+    }
+
+    #[test]
+    fn certain_squares() {
+        // Zero half-width: L∞ classical NN with the j ≠ i convention.
+        let squares = vec![
+            SquareRegion::new(Point::new(0.0, 0.0), 0.0),
+            SquareRegion::new(Point::new(10.0, 0.0), 0.0),
+        ];
+        let idx = LinfNonzeroIndex::build(&squares);
+        assert_eq!(idx.query(Point::new(1.0, 0.0)), vec![0]);
+        assert_eq!(idx.query(Point::new(9.0, 3.0)), vec![1]);
+    }
+}

@@ -1,0 +1,25 @@
+//! `NN≠0` queries: all uncertain points with nonzero probability of being
+//! the nearest neighbor of a query point (Section 3 of the paper).
+//!
+//! By Lemma 2.1, `P_i ∈ NN≠0(q)` iff `δ_i(q) < Δ(q) = min_j Δ_j(q)`. Three
+//! engines implement this:
+//!
+//! * [`brute`] — direct evaluation, `O(n)` (`O(N)` discrete); the oracle all
+//!   other engines are tested against;
+//! * [`delta_query::DiskNonzeroIndex`] — the Theorem 3.1-style two-stage
+//!   structure for disk supports (near-linear space, logarithmic-ish query);
+//! * [`discrete_query::DiscreteNonzeroIndex`] — the Theorem 3.2-style
+//!   structure for discrete distributions (`O(√N + t)`-type query via
+//!   kd-tree range reporting).
+
+pub mod brute;
+pub mod delta_query;
+pub mod discrete_query;
+pub mod knn;
+pub mod linf;
+
+pub use brute::{nonzero_nn_discrete, nonzero_nn_disks};
+pub use delta_query::DiskNonzeroIndex;
+pub use discrete_query::DiscreteNonzeroIndex;
+pub use knn::{nonzero_knn_discrete, nonzero_knn_disks};
+pub use linf::{LinfNonzeroIndex, SquareRegion};

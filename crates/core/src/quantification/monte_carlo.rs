@@ -1,0 +1,256 @@
+//! The Monte-Carlo quantification structure (Section 4.2, Theorems 4.3/4.5).
+//!
+//! Preprocessing draws `s` random instantiations `R_1, …, R_s` of the whole
+//! uncertain set and indexes each for nearest-neighbor queries. A query `q`
+//! asks each instantiation "who is your nearest neighbor?" and returns vote
+//! frequencies: `π̂_i(q) = c_i / s`. By Chernoff–Hoeffding + a union bound
+//! over the cells of the probabilistic Voronoi diagram (Lemma 4.1 bounds
+//! their number by `O(N⁴)`),
+//!
+//! ```text
+//!   s = ⌈ ln(2n|Q|/δ) / (2ε²) ⌉
+//! ```
+//!
+//! instantiations guarantee `|π̂_i(q) − π_i(q)| ≤ ε` for *all* `q` and `i`
+//! simultaneously with probability ≥ 1 − δ. For a single (or polynomially
+//! many) query points the same bound without the `|Q|` factor suffices;
+//! [`samples_for_queries`] exposes both sizings.
+//!
+//! The per-instantiation index is pluggable (ablation A2): a kd-tree (used
+//! by default) or the Delaunay-triangulation point location that the paper
+//! describes (`Vor(R_j)` + point location).
+
+use crate::model::{DiscreteSet, DiskSet};
+use rand::Rng;
+use uncertain_geom::Point;
+use uncertain_spatial::KdTree;
+use uncertain_voronoi::Delaunay;
+
+/// Which nearest-neighbor index backs each instantiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleBackend {
+    /// kd-tree nearest-neighbor queries (default; fastest).
+    KdTree,
+    /// Delaunay triangulation + greedy point location — the structure the
+    /// paper literally describes (`Vor(R_j)` + point location).
+    Delaunay,
+}
+
+enum Index {
+    Kd(KdTree),
+    Del(Delaunay),
+}
+
+impl Index {
+    fn nearest(&self, q: Point) -> Option<u32> {
+        match self {
+            Index::Kd(t) => t.nearest(q).map(|(_, id, _)| id),
+            Index::Del(d) => d.nearest_site(q),
+        }
+    }
+}
+
+/// Monte-Carlo estimator of all quantification probabilities.
+pub struct MonteCarloPnn {
+    indexes: Vec<Index>,
+    n: usize,
+}
+
+/// Number of instantiations for additive error `ε` with failure probability
+/// `δ`, simultaneously for `query_cells` distinct queries (pass the
+/// `O(N⁴)` bound of Lemma 4.1 — or use [`samples_for_all_queries`] — for a
+/// guarantee over *all* of `R²`).
+pub fn samples_for_queries(eps: f64, delta: f64, n: usize, query_cells: usize) -> usize {
+    assert!(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0);
+    let q = (query_cells.max(1)) as f64;
+    ((2.0 * n as f64 * q / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// The Theorem 4.3 sizing: a guarantee for all query points simultaneously,
+/// using the `|Q| = O((nk)⁴)` bound from Lemma 4.1.
+pub fn samples_for_all_queries(eps: f64, delta: f64, n: usize, k: usize) -> usize {
+    let nn = (n * k).max(2) as f64;
+    let cells = nn.powi(4).min(1e300);
+    ((2.0 * n as f64 * cells / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+impl MonteCarloPnn {
+    /// Builds the estimator from any instantiation sampler. `sampler` must
+    /// return one location per uncertain point, in index order.
+    pub fn build_with<R: Rng + ?Sized>(
+        n: usize,
+        s: usize,
+        backend: SampleBackend,
+        rng: &mut R,
+        mut sampler: impl FnMut(&mut R) -> Vec<Point>,
+    ) -> Self {
+        assert!(s > 0, "need at least one instantiation");
+        let indexes = (0..s)
+            .map(|_| {
+                let locs = sampler(rng);
+                debug_assert_eq!(locs.len(), n);
+                match backend {
+                    SampleBackend::KdTree => Index::Kd(KdTree::from_points(&locs)),
+                    SampleBackend::Delaunay => Index::Del(Delaunay::build(&locs)),
+                }
+            })
+            .collect();
+        MonteCarloPnn { indexes, n }
+    }
+
+    /// Builds from a discrete set (Theorem 4.3).
+    pub fn build_discrete<R: Rng + ?Sized>(
+        set: &DiscreteSet,
+        s: usize,
+        backend: SampleBackend,
+        rng: &mut R,
+    ) -> Self {
+        Self::build_with(set.len(), s, backend, rng, |r| set.sample_instance(r))
+    }
+
+    /// Builds from a continuous set (Theorem 4.5 — the continuous case
+    /// reduces to sampling instantiations directly; the paper's
+    /// per-point discretization argument, Lemma 4.4, is what justifies that
+    /// a bounded number of instantiations suffices).
+    pub fn build_continuous<R: Rng + ?Sized>(
+        set: &DiskSet,
+        s: usize,
+        backend: SampleBackend,
+        rng: &mut R,
+    ) -> Self {
+        Self::build_with(set.len(), s, backend, rng, |r| set.sample_instance(r))
+    }
+
+    /// Number of stored instantiations `s`.
+    pub fn num_samples(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Estimates `π_i(q)` for every `i`: returns a dense vector of vote
+    /// frequencies (at most `s` of them nonzero). `O(s log n)` per query.
+    pub fn estimate_all(&self, q: Point) -> Vec<f64> {
+        let mut votes = vec![0usize; self.n];
+        for idx in &self.indexes {
+            if let Some(i) = idx.nearest(q) {
+                votes[i as usize] += 1;
+            }
+        }
+        let s = self.indexes.len() as f64;
+        votes.into_iter().map(|c| c as f64 / s).collect()
+    }
+
+    /// Sparse estimates `(i, π̂_i)` with `π̂_i > 0`, sorted by decreasing
+    /// probability.
+    pub fn estimate_sparse(&self, q: Point) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .estimate_all(q)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, v)| v > 0.0)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    /// Estimate for a single point.
+    pub fn estimate(&self, q: Point, i: usize) -> f64 {
+        self.estimate_all(q)[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantification::exact::{quantification_continuous, quantification_discrete};
+    use crate::workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizing_formula_matches_theorem() {
+        // s grows like 1/ε²·log(N/δ).
+        let s1 = samples_for_queries(0.1, 0.05, 10, 1);
+        let s2 = samples_for_queries(0.05, 0.05, 10, 1);
+        assert!(s2 > 3 * s1, "halving ε must ~quadruple s: {s1} -> {s2}");
+        let all = samples_for_all_queries(0.1, 0.05, 10, 2);
+        assert!(all > s1);
+    }
+
+    #[test]
+    fn discrete_estimates_within_eps() {
+        let set = workload::random_discrete_set(15, 3, 6.0, 21);
+        let eps = 0.05;
+        let s = samples_for_queries(eps, 0.01, set.len(), 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mc = MonteCarloPnn::build_discrete(&set, s, SampleBackend::KdTree, &mut rng);
+        for q in workload::random_queries(25, 60.0, 5) {
+            let exact = quantification_discrete(&set, q);
+            let est = mc.estimate_all(q);
+            for i in 0..set.len() {
+                assert!(
+                    (est[i] - exact[i]).abs() <= eps,
+                    "i={i} q={q}: est {} exact {}",
+                    est[i],
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delaunay_backend_agrees_with_kdtree() {
+        let set = workload::random_discrete_set(12, 3, 5.0, 33);
+        let s = 400;
+        // Same RNG seed → identical instantiations → identical votes except
+        // for possible NN ties (none, generically).
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let kd = MonteCarloPnn::build_discrete(&set, s, SampleBackend::KdTree, &mut rng1);
+        let del = MonteCarloPnn::build_discrete(&set, s, SampleBackend::Delaunay, &mut rng2);
+        for q in workload::random_queries(10, 50.0, 2) {
+            let a = kd.estimate_all(q);
+            let b = del.estimate_all(q);
+            for i in 0..set.len() {
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-12,
+                    "backend mismatch at {q}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_estimates_match_quadrature() {
+        let set = workload::random_disk_set(8, 0.5, 2.0, 55);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mc = MonteCarloPnn::build_continuous(&set, 4000, SampleBackend::KdTree, &mut rng);
+        for q in workload::random_queries(8, 40.0, 4) {
+            let exact = quantification_continuous(&set, q, 2048);
+            let est = mc.estimate_all(q);
+            for i in 0..set.len() {
+                assert!(
+                    (est[i] - exact[i]).abs() < 0.05,
+                    "i={i} q={q}: est {} exact {}",
+                    est[i],
+                    exact[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_view() {
+        let set = workload::random_discrete_set(10, 2, 4.0, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mc = MonteCarloPnn::build_discrete(&set, 200, SampleBackend::KdTree, &mut rng);
+        let q = Point::new(0.0, 0.0);
+        let sparse = mc.estimate_sparse(q);
+        let total: f64 = sparse.iter().map(|&(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for w in sparse.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

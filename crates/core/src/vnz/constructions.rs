@@ -1,0 +1,185 @@
+//! The paper's explicit lower-bound constructions, as executable generators.
+//!
+//! * [`theorem_2_7`] — `Ω(n³)` vertices with two radius classes (Fig. 5);
+//! * [`theorem_2_8`] — `Ω(n³)` vertices with *equal* radii (Fig. 6);
+//! * [`theorem_2_10_lower`] — `Ω(n²)` vertices with disjoint equal disks on
+//!   a line (Fig. 8);
+//! * [`lemma_4_1`] — the `Ω(n⁴)`-size probabilistic Voronoi diagram family
+//!   (`k = 2`, Fig. 9).
+//!
+//! Each generator returns the instance together with the paper's *predicted*
+//! lower bound on the vertex count, so experiments (E3–E5, E10) can assert
+//! `measured ≥ predicted`.
+
+use crate::model::{DiscreteSet, DiscreteUncertainPoint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::{PI, TAU};
+use uncertain_geom::{Circle, Point};
+
+/// Theorem 2.7: `n = 4m` disks — two families of `m` huge disks flanking
+/// `2m` unit disks on the y-axis. Every triple `(i, j, k)` contributes two
+/// crossing vertices: predicted `≥ 4m³`.
+pub fn theorem_2_7(m: usize) -> (Vec<Circle>, usize) {
+    assert!(m >= 1);
+    let n = 4 * m;
+    let big_r = 8.0 * (n * n) as f64;
+    let omega = 1.0 / (n * n) as f64;
+    let mut disks = Vec::with_capacity(n);
+    for i in 1..=m {
+        disks.push(Circle::new(
+            Point::new(-big_r - 1.5 - (i as f64 - 1.0) * omega, 0.0),
+            big_r,
+        ));
+    }
+    for j in 1..=m {
+        disks.push(Circle::new(
+            Point::new(big_r + 1.5 + (j as f64 - 1.0) * omega, 0.0),
+            big_r,
+        ));
+    }
+    for k in 1..=2 * m {
+        disks.push(Circle::new(
+            Point::new(0.0, 4.0 * (k as f64 - m as f64) - 2.0),
+            1.0,
+        ));
+    }
+    // Two vertices per (i, j, k) triple: 2·m·m·2m.
+    (disks, 4 * m * m * m)
+}
+
+/// Theorem 2.8: `n = 3m` *unit* disks — two perturbed families on the
+/// x-axis plus `m` disks on a circular arc, all of radius 1. One vertex per
+/// triple: predicted `≥ m³`.
+pub fn theorem_2_8(m: usize) -> (Vec<Circle>, usize) {
+    assert!(m >= 1);
+    let theta = (PI / 2.0) / (m as f64 + 1.0);
+    // "Sufficiently small" ω: small relative to the arc spacing so the
+    // perturbation argument of the proof holds, large relative to f64
+    // resolution at coordinate scale ~2.
+    let omega = theta / (200.0 * m as f64);
+    let mut disks = Vec::with_capacity(3 * m);
+    for i in 1..=m {
+        disks.push(Circle::new(
+            Point::new(-2.0 - (i as f64 - 1.0) * omega, 0.0),
+            1.0,
+        ));
+    }
+    for j in 1..=m {
+        disks.push(Circle::new(
+            Point::new(2.0 + (j as f64 - 1.0) * omega, 0.0),
+            1.0,
+        ));
+    }
+    for k in 1..=m {
+        let a = k as f64 * theta;
+        disks.push(Circle::new(
+            Point::new(2.0 - 2.0 * a.cos(), 2.0 * a.sin()),
+            1.0,
+        ));
+    }
+    (disks, m * m * m)
+}
+
+/// Theorem 2.10 (lower bound): `n = 2m` disjoint unit disks with centers
+/// `(4(i − m) − 2, 0)`. Every pair `(i, j)` with `j − i ≥ 2` determines two
+/// vertices: predicted `≥ (n − 1)(n − 2)`.
+pub fn theorem_2_10_lower(m: usize) -> (Vec<Circle>, usize) {
+    assert!(m >= 2);
+    let n = 2 * m;
+    let disks: Vec<Circle> = (1..=n)
+        .map(|i| Circle::new(Point::new(4.0 * (i as f64 - m as f64) - 2.0, 0.0), 1.0))
+        .collect();
+    (disks, (n - 1) * (n - 2))
+}
+
+/// Lemma 4.1: `n` uncertain points with `k = 2` for which `V_Pr` has
+/// `Ω(n⁴)` complexity: first locations generically placed in the unit disk
+/// (all pairwise bisectors crossing pairwise inside it), second locations
+/// all far away at `(100, 0)` (perturbed infinitesimally to keep locations
+/// distinct), each with probability 1/2.
+pub fn lemma_4_1(n: usize, seed: u64) -> DiscreteSet {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n);
+    for i in 0..n {
+        // Generic placement near (but not on) a circle of radius 1/2 keeps
+        // bisector intersections inside the unit disk and avoids the
+        // degenerate all-bisectors-through-center configuration.
+        let ang = TAU * (i as f64 + 0.3 * rng.gen::<f64>()) / n as f64;
+        let rad = 0.35 + 0.3 * rng.gen::<f64>();
+        let near = Point::new(rad * ang.cos(), rad * ang.sin());
+        let far = Point::new(100.0 + 1e-6 * i as f64, 1e-6 * (i * i % 17) as f64);
+        points.push(DiscreteUncertainPoint::new(vec![near, far], vec![0.5, 0.5]));
+    }
+    DiscreteSet::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnz::diagram::NonzeroVoronoiDiagram;
+    use crate::vnz::vertices::{vertex_residual, WitnessKind};
+
+    #[test]
+    fn theorem_2_10_construction_reaches_quadratic_count() {
+        let (disks, predicted) = theorem_2_10_lower(3); // n = 6 → 20 vertices
+        let d = NonzeroVoronoiDiagram::build(disks.clone());
+        assert!(
+            d.num_vertices() >= predicted,
+            "got {} expected ≥ {predicted}",
+            d.num_vertices()
+        );
+        for v in &d.vertices {
+            assert!(vertex_residual(&disks, v) < 1e-5);
+        }
+        // The instance is disjoint equal-radius (λ = 1).
+        let set = crate::model::DiskSet::uniform(disks);
+        assert!(set.regions_disjoint());
+        assert_eq!(set.radius_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn theorem_2_7_construction_reaches_cubic_count() {
+        let (disks, predicted) = theorem_2_7(2); // n = 8 → ≥ 32 vertices
+        let d = NonzeroVoronoiDiagram::build(disks.clone());
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        assert!(
+            crossings >= predicted,
+            "got {crossings} crossings, expected ≥ {predicted}"
+        );
+    }
+
+    #[test]
+    fn theorem_2_8_construction_reaches_cubic_count() {
+        let (disks, predicted) = theorem_2_8(3); // n = 9 → ≥ 27
+        let d = NonzeroVoronoiDiagram::build(disks.clone());
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        assert!(
+            crossings >= predicted,
+            "got {crossings} crossings, expected ≥ {predicted}"
+        );
+        // All radii equal 1.
+        assert!(disks.iter().all(|d| d.radius == 1.0));
+    }
+
+    #[test]
+    fn lemma_4_1_all_locations_distinct() {
+        let set = lemma_4_1(8, 3);
+        let locs: Vec<Point> = set.all_locations().map(|(_, _, p, _)| p).collect();
+        for i in 0..locs.len() {
+            for j in (i + 1)..locs.len() {
+                assert!(locs[i].dist(locs[j]) > 0.0, "duplicate locations {i},{j}");
+            }
+        }
+        assert_eq!(set.max_k(), 2);
+    }
+}

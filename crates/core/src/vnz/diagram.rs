@@ -1,0 +1,330 @@
+//! The assembled nonzero Voronoi diagram `V≠0(P)` for disk supports
+//! (Theorems 2.5 / 2.11).
+//!
+//! Combinatorics: vertices come from [`super::vertices`]; edges are the
+//! curve segments between consecutive vertices along each `γ_i` (ordered by
+//! polar angle — each `γ_i` is a polar graph around `c_i`); faces follow
+//! from Euler's formula on the one-point compactification (all unbounded
+//! curve ends meet a single vertex at infinity, vertex-free closed loops get
+//! a phantom degree-2 vertex, exactly as in the standard planar-graph
+//! accounting).
+//!
+//! Queries: `NN≠0(q)` is answered through the Lemma 2.1 evaluation backed by
+//! the Theorem 3.1-style index — the paper's `O(log n + t)` point-location
+//! structure over the curved subdivision is subsumed by this (see DESIGN.md,
+//! substitutions table).
+
+use super::gamma::GammaCurve;
+use super::vertices::{enumerate_vertices, DiagramVertex, WitnessKind};
+use crate::nonzero::DiskNonzeroIndex;
+use uncertain_geom::{angle, Circle, Point};
+
+/// Combinatorial complexity summary of a diagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiagramComplexity {
+    pub vertices: usize,
+    pub edges: usize,
+    pub faces: usize,
+}
+
+impl DiagramComplexity {
+    /// Total complexity `|V| + |E| + |F|` — the measure bounded by
+    /// Theorem 2.5 (`O(n³)`) and Theorem 2.10 (`O(λn²)`).
+    pub fn total(&self) -> usize {
+        self.vertices + self.edges + self.faces
+    }
+}
+
+/// The nonzero Voronoi diagram of a set of uncertainty disks.
+///
+/// ```
+/// use uncertain_geom::{Circle, Point};
+/// use uncertain_nn::vnz::NonzeroVoronoiDiagram;
+///
+/// let diagram = NonzeroVoronoiDiagram::build(vec![
+///     Circle::new(Point::new(0.0, 0.0), 1.0),
+///     Circle::new(Point::new(10.0, 0.0), 1.0),
+/// ]);
+/// // Two disjoint disks: three faces ({0}, {0,1}, {1}), no vertices.
+/// assert_eq!(diagram.complexity().faces, 3);
+/// assert_eq!(diagram.query(Point::new(5.0, 0.0)), vec![0, 1]);
+/// ```
+pub struct NonzeroVoronoiDiagram {
+    disks: Vec<Circle>,
+    pub curves: Vec<GammaCurve>,
+    pub vertices: Vec<DiagramVertex>,
+    complexity: DiagramComplexity,
+    index: DiskNonzeroIndex,
+}
+
+impl NonzeroVoronoiDiagram {
+    /// Builds the diagram: envelopes (`O(n² log n)`), vertex enumeration
+    /// (proportional to the number of candidate tangencies — the quantity
+    /// Theorem 2.5 bounds), and combinatorial assembly.
+    pub fn build(disks: Vec<Circle>) -> Self {
+        let curves: Vec<GammaCurve> = (0..disks.len())
+            .map(|i| GammaCurve::compute(&disks, i))
+            .collect();
+        let vertices = enumerate_vertices(&disks, &curves);
+        let complexity = assemble_complexity(&disks, &curves, &vertices);
+        let index = DiskNonzeroIndex::from_disks(&disks);
+        NonzeroVoronoiDiagram {
+            disks,
+            curves,
+            vertices,
+            complexity,
+            index,
+        }
+    }
+
+    pub fn disks(&self) -> &[Circle] {
+        &self.disks
+    }
+
+    /// Combinatorial complexity (V, E, F).
+    pub fn complexity(&self) -> DiagramComplexity {
+        self.complexity
+    }
+
+    /// `NN≠0(q)` — the cell label of the face containing `q`.
+    pub fn query(&self, q: Point) -> Vec<usize> {
+        self.index.query(q)
+    }
+
+    /// Number of diagram vertices (the paper's primary complexity measure).
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Computes edge and face counts from curves + vertices.
+fn assemble_complexity(
+    disks: &[Circle],
+    curves: &[GammaCurve],
+    vertices: &[DiagramVertex],
+) -> DiagramComplexity {
+    let _ = disks;
+    // Vertices incident to each curve, as polar angles.
+    let mut on_curve: Vec<Vec<f64>> = vec![vec![]; curves.len()];
+    // For the connectivity union-find we also remember (curve, θ) pairs per
+    // crossing vertex.
+    let mut crossing_pairs: Vec<((usize, f64), (usize, f64))> = vec![];
+    for v in vertices {
+        match v.kind {
+            WitnessKind::Breakpoint { i, .. } => {
+                on_curve[i].push(curves[i].theta_of(v.point));
+            }
+            WitnessKind::Crossing { i, j, .. } => {
+                let ti = curves[i].theta_of(v.point);
+                let tj = curves[j].theta_of(v.point);
+                on_curve[i].push(ti);
+                on_curve[j].push(tj);
+                crossing_pairs.push(((i, ti), (j, tj)));
+            }
+        }
+    }
+
+    // Component nodes: (curve, component index) → union-find id.
+    let mut node_of: Vec<Vec<usize>> = vec![vec![]; curves.len()]; // per curve, per component
+    let mut parent: Vec<usize> = vec![];
+    let new_node = |parent: &mut Vec<usize>| {
+        parent.push(parent.len());
+        parent.len() - 1
+    };
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    fn union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+
+    let mut edges = 0usize;
+    let mut phantom_vertices = 0usize;
+    let mut has_unbounded = false;
+    let mut components_per_curve: Vec<Vec<(Vec<usize>, bool)>> = vec![];
+    for (ci, c) in curves.iter().enumerate() {
+        let comps = c.components();
+        for (comp_idx, (arc_ids, closed)) in comps.iter().enumerate() {
+            let node = new_node(&mut parent);
+            node_of[ci].push(node);
+            debug_assert_eq!(node_of[ci].len() - 1, comp_idx);
+            // Count vertices whose θ lies in this component's arcs.
+            let count = on_curve[ci]
+                .iter()
+                .filter(|&&t| {
+                    arc_ids.iter().any(|&ai| {
+                        let a = &c.arcs[ai];
+                        angle::AngleInterval::new(a.theta_lo, a.theta_hi).contains_with_tol(t, 1e-7)
+                    })
+                })
+                .count();
+            if *closed {
+                if count == 0 {
+                    edges += 1;
+                    phantom_vertices += 1;
+                } else {
+                    edges += count;
+                }
+            } else {
+                edges += count + 1;
+                has_unbounded = true;
+            }
+        }
+        components_per_curve.push(comps);
+    }
+
+    // Infinity node: all unbounded components meet there.
+    let infinity = if has_unbounded {
+        let node = new_node(&mut parent);
+        for (ci, comps) in components_per_curve.iter().enumerate() {
+            for (k, (_, closed)) in comps.iter().enumerate() {
+                if !closed {
+                    union(&mut parent, node_of[ci][k], node);
+                }
+            }
+        }
+        Some(node)
+    } else {
+        None
+    };
+
+    // Crossings merge the two curve components they lie on.
+    let comp_containing = |ci: usize, t: f64| -> Option<usize> {
+        let comps = &components_per_curve[ci];
+        for (k, (arc_ids, _)) in comps.iter().enumerate() {
+            for &ai in arc_ids {
+                let a = &curves[ci].arcs[ai];
+                if angle::AngleInterval::new(a.theta_lo, a.theta_hi).contains_with_tol(t, 1e-7) {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    };
+    for ((ci, ti), (cj, tj)) in crossing_pairs {
+        if let (Some(ka), Some(kb)) = (comp_containing(ci, ti), comp_containing(cj, tj)) {
+            union(&mut parent, node_of[ci][ka], node_of[cj][kb]);
+        }
+    }
+
+    // Count distinct connected components among the nodes.
+    let mut roots: Vec<usize> = (0..parent.len()).map(|x| find(&mut parent, x)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let c = roots.len();
+    let _ = infinity;
+
+    let v_total = vertices.len() + phantom_vertices + usize::from(has_unbounded);
+    // Euler: V − E + F = 1 + C  (empty arrangements: F = 1).
+    let faces = if parent.is_empty() {
+        1
+    } else {
+        (edges + 1 + c).saturating_sub(v_total)
+    };
+    DiagramComplexity {
+        vertices: vertices.len(),
+        edges,
+        faces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use std::collections::BTreeSet;
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let d = NonzeroVoronoiDiagram::build(vec![]);
+        assert_eq!(d.complexity().faces, 1);
+        let d = NonzeroVoronoiDiagram::build(vec![disk(0.0, 0.0, 1.0)]);
+        assert_eq!(
+            d.complexity(),
+            DiagramComplexity {
+                vertices: 0,
+                edges: 0,
+                faces: 1
+            }
+        );
+        assert_eq!(d.query(Point::new(5.0, 5.0)), vec![0]);
+    }
+
+    #[test]
+    fn two_disjoint_disks_three_faces() {
+        // Two open curves → three faces: {0}, {0,1}, {1}.
+        let d = NonzeroVoronoiDiagram::build(vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0)]);
+        let c = d.complexity();
+        assert_eq!(c.vertices, 0);
+        assert_eq!(c.edges, 2);
+        assert_eq!(c.faces, 3);
+        assert_eq!(d.query(Point::new(-5.0, 0.0)), vec![0]);
+        assert_eq!(d.query(Point::new(5.0, 0.0)), vec![0, 1]);
+        assert_eq!(d.query(Point::new(15.0, 0.0)), vec![1]);
+    }
+
+    #[test]
+    fn face_count_dominates_observed_cell_sets() {
+        // Each face carries one NN≠0 set, so the number of *distinct* sets
+        // seen by random queries is ≤ F.
+        for seed in [4u64, 5, 6] {
+            let set = workload::random_disk_set(8, 0.3, 2.0, seed);
+            let d = NonzeroVoronoiDiagram::build(set.regions());
+            let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+            for q in workload::random_queries(400, 80.0, seed ^ 1) {
+                let mut s = d.query(q);
+                s.sort_unstable();
+                seen.insert(s);
+            }
+            let f = d.complexity().faces;
+            assert!(
+                seen.len() <= f,
+                "seed {seed}: {} distinct sets > {} faces",
+                seen.len(),
+                f
+            );
+        }
+    }
+
+    #[test]
+    fn euler_consistency_on_random_instances() {
+        for seed in [21u64, 22] {
+            let set = workload::random_disk_set(10, 0.2, 2.0, seed);
+            let d = NonzeroVoronoiDiagram::build(set.regions());
+            let c = d.complexity();
+            // Faces ≥ number of points whose cell is nonempty... at minimum
+            // the diagram has ≥ 1 face and E ≥ V (each vertex has degree ≥ 3
+            // in generic position... along each curve every vertex has two
+            // incident edge-ends, so E ≥ V).
+            assert!(c.faces >= 1);
+            assert!(
+                c.edges + 2 >= c.vertices,
+                "suspicious counts {c:?} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let set = workload::random_disk_set(20, 0.3, 2.0, 77);
+        let d = NonzeroVoronoiDiagram::build(set.regions());
+        for q in workload::random_queries(100, 70.0, 3) {
+            let mut got = d.query(q);
+            let mut brute = crate::nonzero::brute::nonzero_nn_disks(&set.regions(), q);
+            got.sort_unstable();
+            brute.sort_unstable();
+            assert_eq!(got, brute);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The curves `γ_i = {x : δ_i(x) = Δ(x)}` via polar lower envelopes
+//! (Lemma 2.2).
+//!
+//! Around the center `c_i`, each pairwise curve `γ_ij` is a polar function
+//! (a hyperbola branch, [`uncertain_geom::hyperbola::PolarBranch`]) and
+//! `γ_i(θ) = min_{j≠i} γ_ij(θ)`. The envelope's pieces ("arcs") each carry
+//! an *owner* `j` — the point whose `Δ_j` realizes `Δ` along that arc. Arc
+//! boundaries between two finite arcs are the curve's *breakpoints*; gaps
+//! are directions in which `P_i`'s cell is unbounded (the curve escapes to
+//! infinity).
+
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+use uncertain_envelope::polar::{lower_envelope_circle, EnvelopeOracle};
+use uncertain_geom::hyperbola::PolarBranch;
+use uncertain_geom::{angle, Circle, Point};
+
+/// One maximal arc of `γ_i` with a fixed envelope owner.
+#[derive(Clone, Copy, Debug)]
+pub struct GammaArc {
+    pub theta_lo: f64,
+    pub theta_hi: f64,
+    /// Index `j` of the disk whose `Δ_j` realizes `Δ` on this arc.
+    pub owner: usize,
+}
+
+impl GammaArc {
+    pub fn width(&self) -> f64 {
+        self.theta_hi - self.theta_lo
+    }
+
+    pub fn contains(&self, theta: f64, tol: f64) -> bool {
+        theta >= self.theta_lo - tol && theta <= self.theta_hi + tol
+    }
+}
+
+/// The full curve `γ_i` in polar form around `c_i`.
+#[derive(Clone, Debug)]
+pub struct GammaCurve {
+    /// The index `i` of the disk this curve belongs to.
+    pub i: usize,
+    /// Envelope arcs, sorted by `theta_lo`, over `[0, 2π]`.
+    pub arcs: Vec<GammaArc>,
+    /// The supporting branch per owner.
+    branches: HashMap<usize, PolarBranch>,
+    center: Point,
+}
+
+struct BranchOracle<'a> {
+    branches: &'a [(usize, PolarBranch)],
+}
+
+impl EnvelopeOracle for BranchOracle<'_> {
+    fn eval(&self, id: usize, t: f64) -> f64 {
+        self.branches[id].1.eval(t)
+    }
+    fn domains(&self, id: usize) -> Vec<(f64, f64)> {
+        self.branches[id].1.domain().split_unwrapped()
+    }
+    fn crossings(&self, a: usize, b: usize) -> Vec<f64> {
+        self.branches[a].1.crossings(&self.branches[b].1)
+    }
+}
+
+impl GammaCurve {
+    /// Computes `γ_i` for disk `i` of `disks`. `O(n log n)` envelope merge
+    /// (Lemma 2.2: the envelope has `O(n)` breakpoints).
+    pub fn compute(disks: &[Circle], i: usize) -> Self {
+        let mut branches: Vec<(usize, PolarBranch)> = vec![];
+        for (j, dj) in disks.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if let Some(b) = PolarBranch::new(&disks[i], dj) {
+                branches.push((j, b));
+            }
+        }
+        let oracle = BranchOracle {
+            branches: &branches,
+        };
+        let ids: Vec<usize> = (0..branches.len()).collect();
+        let env = lower_envelope_circle(&ids, &oracle);
+        let arcs: Vec<GammaArc> = env
+            .pieces
+            .iter()
+            .map(|p| GammaArc {
+                theta_lo: p.lo,
+                theta_hi: p.hi,
+                owner: branches[p.id].0,
+            })
+            .collect();
+        let branch_map = branches.into_iter().collect();
+        GammaCurve {
+            i,
+            arcs,
+            branches: branch_map,
+            center: disks[i].center,
+        }
+    }
+
+    /// `γ_i(θ)` (`+∞` in escape directions).
+    pub fn eval(&self, theta: f64) -> f64 {
+        let t = angle::normalize(theta);
+        match self.arc_at(t) {
+            Some(a) => self.branches[&a.owner].eval(t),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// The point of the curve in direction `θ`, if any.
+    pub fn point_at(&self, theta: f64) -> Option<Point> {
+        let t = angle::normalize(theta);
+        let arc = self.arc_at(t)?;
+        let p = self.branches[&arc.owner].point_at(t);
+        p.is_finite().then_some(p)
+    }
+
+    /// The arc covering direction `θ`.
+    pub fn arc_at(&self, theta: f64) -> Option<&GammaArc> {
+        let t = angle::normalize(theta);
+        let idx = self.arcs.partition_point(|a| a.theta_hi < t);
+        self.arcs.get(idx).filter(|a| a.contains(t, 0.0))
+    }
+
+    /// Polar angle of `p` around this curve's focus `c_i`.
+    pub fn theta_of(&self, p: Point) -> f64 {
+        angle::normalize((p - self.center).angle())
+    }
+
+    /// The supporting branch for owner `j` (if `γ_ij` is non-empty).
+    pub fn branch(&self, owner: usize) -> Option<&PolarBranch> {
+        self.branches.get(&owner)
+    }
+
+    /// `true` when the curve is a closed loop around `c_i` (no escape
+    /// directions).
+    pub fn is_closed(&self) -> bool {
+        (self.covered_width() - TAU).abs() < 1e-9
+    }
+
+    /// Total angular width covered by arcs.
+    pub fn covered_width(&self) -> f64 {
+        self.arcs.iter().map(GammaArc::width).sum()
+    }
+
+    /// `true` when `γ_i` is empty (the point is *never* excluded — e.g. its
+    /// disk intersects every other disk's "reach", so its cell is all of the
+    /// plane; also the `n = 1` case).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Breakpoints of the envelope: boundaries between two *contiguous*
+    /// finite arcs with different owners. Returns `(θ, owner_before,
+    /// owner_after)`.
+    pub fn breakpoints(&self) -> Vec<(f64, usize, usize)> {
+        let mut out = vec![];
+        if self.arcs.len() < 2 {
+            // A single full-circle arc can still meet itself at the 0/2π
+            // seam only with the same owner — no breakpoint.
+            return out;
+        }
+        let tol = 1e-9;
+        for w in self.arcs.windows(2) {
+            if (w[0].theta_hi - w[1].theta_lo).abs() <= tol && w[0].owner != w[1].owner {
+                out.push((w[1].theta_lo, w[0].owner, w[1].owner));
+            }
+        }
+        // Wrap-around seam 2π → 0.
+        let first = self.arcs.first().unwrap();
+        let last = self.arcs.last().unwrap();
+        let seam = (last.theta_hi - TAU).abs() <= tol && first.theta_lo.abs() <= tol;
+        if seam && first.owner != last.owner {
+            out.push((0.0, last.owner, first.owner));
+        }
+        out
+    }
+
+    /// Maximal runs of contiguous arcs: each is a connected component of the
+    /// curve. Returns, per component, the arc indices (in angular order,
+    /// possibly wrapping through the 0/2π seam) and whether the component is
+    /// a closed loop (covers the full circle).
+    pub fn components(&self) -> Vec<(Vec<usize>, bool)> {
+        if self.arcs.is_empty() {
+            return vec![];
+        }
+        let tol = 1e-9;
+        let mut runs: Vec<Vec<usize>> = vec![vec![0]];
+        for k in 1..self.arcs.len() {
+            if (self.arcs[k - 1].theta_hi - self.arcs[k].theta_lo).abs() > tol {
+                runs.push(vec![k]);
+            } else {
+                runs.last_mut().unwrap().push(k);
+            }
+        }
+        let seam = (self.arcs.last().unwrap().theta_hi - TAU).abs() <= tol
+            && self.arcs[0].theta_lo.abs() <= tol;
+        if seam && runs.len() > 1 {
+            // The last run continues into the first across the seam.
+            let first = runs.remove(0);
+            runs.last_mut().unwrap().extend(first);
+            return runs.into_iter().map(|r| (r, false)).collect();
+        }
+        let single_closed = runs.len() == 1 && seam;
+        runs.into_iter().map(|r| (r, single_closed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonzero::brute::nonzero_nn_disks;
+    use crate::workload;
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    /// Points on γ_i satisfy δ_i = Δ; points just inside/outside flip the
+    /// membership of P_i in NN≠0 (Lemma 2.1 + Eq. (4)).
+    #[test]
+    fn curve_points_are_on_the_boundary() {
+        let disks = vec![
+            disk(0.0, 0.0, 1.0),
+            disk(8.0, 0.0, 1.5),
+            disk(0.0, 9.0, 0.5),
+            disk(-7.0, -3.0, 2.0),
+        ];
+        for i in 0..disks.len() {
+            let c = GammaCurve::compute(&disks, i);
+            for arc in &c.arcs {
+                for f in [0.25, 0.5, 0.75] {
+                    let t = arc.theta_lo + arc.width() * f;
+                    let Some(p) = c.point_at(t) else { continue };
+                    let delta_i = disks[i].min_dist(p);
+                    let big_delta = disks
+                        .iter()
+                        .map(|d| d.max_dist(p))
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        (delta_i - big_delta).abs() < 1e-7 * (1.0 + big_delta),
+                        "γ_{i} point at θ={t} is not on the boundary"
+                    );
+                    // Just inside (towards c_i): P_i is a nonzero NN; just
+                    // outside: it is not.
+                    let r = disks[i].center.dist(p);
+                    let dir = (p - disks[i].center) * (1.0 / r);
+                    let inside = disks[i].center + dir * (r * 0.999);
+                    let outside = disks[i].center + dir * (r * 1.001);
+                    assert!(nonzero_nn_disks(&disks, inside).contains(&i));
+                    assert!(!nonzero_nn_disks(&disks, outside).contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_disk_has_empty_curve() {
+        let disks = vec![disk(0.0, 0.0, 1.0)];
+        let c = GammaCurve::compute(&disks, 0);
+        assert!(c.is_empty());
+        assert_eq!(c.eval(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn two_disks_open_curves() {
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0)];
+        let c0 = GammaCurve::compute(&disks, 0);
+        // One open arc towards the other disk; cell unbounded away from it.
+        assert!(!c0.is_empty());
+        assert!(!c0.is_closed());
+        assert_eq!(c0.components().len(), 1);
+        assert!(c0.breakpoints().is_empty());
+        // The curve in direction of disk 1 sits where d(x,c0) − 1 = d(x,c1)+1.
+        let r = c0.eval(0.0);
+        assert!(((r - 1.0) - ((10.0 - r) + 1.0)).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn surrounded_disk_has_closed_curve() {
+        // A small disk surrounded by a distant ring of disks: γ is closed.
+        let mut disks = vec![disk(0.0, 0.0, 0.5)];
+        for k in 0..8 {
+            let ang = TAU * k as f64 / 8.0;
+            disks.push(disk(12.0 * ang.cos(), 12.0 * ang.sin(), 0.5));
+        }
+        let c = GammaCurve::compute(&disks, 0);
+        assert!(c.is_closed(), "covered {}", c.covered_width());
+        assert!(!c.breakpoints().is_empty());
+        // All breakpoints satisfy the three-way equality δ_0 = Δ_k1 = Δ_k2.
+        for (t, k1, k2) in c.breakpoints() {
+            let p = c.point_at(t + 1e-12).or_else(|| c.point_at(t)).unwrap();
+            let d0 = disks[0].min_dist(p);
+            let dk1 = disks[k1].max_dist(p);
+            let dk2 = disks[k2].max_dist(p);
+            assert!((d0 - dk1).abs() < 1e-6, "δ0={d0} Δk1={dk1}");
+            assert!((d0 - dk2).abs() < 1e-6, "δ0={d0} Δk2={dk2}");
+        }
+    }
+
+    #[test]
+    fn envelope_matches_brute_force_minimum() {
+        let set = workload::random_disk_set(12, 0.2, 2.0, 99);
+        let disks = set.regions();
+        for i in 0..disks.len() {
+            let c = GammaCurve::compute(&disks, i);
+            for s in 0..360 {
+                let t = TAU * (s as f64 + 0.5) / 360.0;
+                let env = c.eval(t);
+                // Brute force: min over all branches.
+                let mut brute = f64::INFINITY;
+                for (j, dj) in disks.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    if let Some(b) = PolarBranch::new(&disks[i], dj) {
+                        brute = brute.min(b.eval(t));
+                    }
+                }
+                if env.is_infinite() && brute.is_infinite() {
+                    continue;
+                }
+                assert!(
+                    (env - brute).abs() < 1e-7 * (1.0 + brute.abs()),
+                    "γ_{i}({t}): env {env} brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_disks_no_curve() {
+        // Two heavily overlapping disks never exclude each other; with only
+        // two points both curves are empty (cells = whole plane).
+        let disks = vec![disk(0.0, 0.0, 2.0), disk(1.0, 0.0, 2.0)];
+        assert!(GammaCurve::compute(&disks, 0).is_empty());
+        assert!(GammaCurve::compute(&disks, 1).is_empty());
+    }
+}

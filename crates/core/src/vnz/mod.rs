@@ -1,0 +1,25 @@
+//! The nonzero Voronoi diagram `V≠0(P)` (Section 2 of the paper).
+//!
+//! `V≠0(P)` subdivides the plane into maximal regions on which the set
+//! `NN≠0(q)` is constant. Its structure is governed by the curves
+//! `γ_i = {x : δ_i(x) = Δ(x)}`, computed as polar lower envelopes
+//! (Lemma 2.2, [`gamma`]); its vertices are witness-disk tangency points
+//! enumerated algebraically ([`vertices`]) — the executable version of the
+//! counting argument in Theorem 2.5. [`diagram`] assembles curves, vertices,
+//! edge/face counts and queries; [`discrete_diagram`] builds the discrete
+//! counterpart of Theorem 2.14 from halfplane intersections and a segment
+//! arrangement; [`constructions`] generates the paper's explicit
+//! lower-bound families (Theorems 2.7, 2.8, 2.10 and Lemma 4.1).
+
+pub mod constructions;
+pub mod diagram;
+pub mod discrete_diagram;
+pub mod gamma;
+pub mod guaranteed;
+pub mod vertices;
+
+pub use diagram::{DiagramComplexity, NonzeroVoronoiDiagram};
+pub use discrete_diagram::DiscreteNonzeroDiagram;
+pub use gamma::{GammaArc, GammaCurve};
+pub use guaranteed::{GuaranteedRegion, GuaranteedVoronoi};
+pub use vertices::{enumerate_vertices, vertices_brute, DiagramVertex, WitnessKind};

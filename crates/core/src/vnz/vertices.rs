@@ -1,0 +1,341 @@
+//! Vertex enumeration for `V≠0(P)` — the executable Theorem 2.5 argument.
+//!
+//! Every vertex of the arrangement `A(Γ)` is the center of a *witness disk*
+//! `W = B(v, Δ(v))` tangent to three input disks:
+//!
+//! * **breakpoints** of a curve `γ_i`: `W` touches `D_i` from the outside
+//!   and two disks `D_k, D_k'` from the inside (`v` lies on an edge of the
+//!   additively-weighted Voronoi diagram `M`);
+//! * **crossings** `γ_i ∩ γ_j`: `W` touches `D_i` and `D_j` from the
+//!   outside and the Δ-witness `D_k` from the inside.
+//!
+//! [`enumerate_vertices`] finds them *from the envelopes*: breakpoints fall
+//! out of the envelope structure directly, and crossings are found by
+//! grouping envelope arcs by their Δ-owner `k` and solving the
+//! `(i+, j+, k−)` Apollonius system per arc pair — at most two solutions
+//! each, accepted iff they land inside both arcs' angular domains. This
+//! mirrors the proof's charging scheme, so the enumeration is complete.
+//!
+//! [`vertices_brute`] independently enumerates all `O(n³)` triples and
+//! validates candidates globally (`Δ(v) = R`) — the `O(n⁴)` baseline used
+//! for cross-validation (ablation A1).
+
+use super::gamma::GammaCurve;
+use uncertain_geom::apollonius::{tangent_circles, Tangency, WitnessDisk};
+use uncertain_geom::{angle, Circle, Point};
+
+/// What kind of tangency certifies a vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// `δ_i = Δ_k1 = Δ_k2 = Δ` — a breakpoint of `γ_i`.
+    Breakpoint { i: usize, k1: usize, k2: usize },
+    /// `δ_i = δ_j = Δ_k = Δ` — a crossing of `γ_i` and `γ_j`.
+    Crossing { i: usize, j: usize, k: usize },
+}
+
+/// A vertex of `V≠0(P)` with its witness-disk radius (`Δ` at the vertex).
+#[derive(Clone, Copy, Debug)]
+pub struct DiagramVertex {
+    pub point: Point,
+    pub radius: f64,
+    pub kind: WitnessKind,
+}
+
+/// Angular tolerance for arc-membership tests (radians).
+const THETA_TOL: f64 = 1e-7;
+
+/// Enumerates the vertices of `A(Γ)` from the computed envelopes.
+pub fn enumerate_vertices(disks: &[Circle], curves: &[GammaCurve]) -> Vec<DiagramVertex> {
+    let mut out: Vec<DiagramVertex> = vec![];
+
+    // 1. Breakpoints: straight from the envelope structure.
+    for c in curves {
+        for (theta, k1, k2) in c.breakpoints() {
+            if let Some(p) = c
+                .point_at(theta)
+                .or_else(|| c.point_at(theta + 1e-12))
+                .or_else(|| c.point_at(theta - 1e-12))
+            {
+                out.push(DiagramVertex {
+                    point: p,
+                    radius: disks[c.i].min_dist(p),
+                    kind: WitnessKind::Breakpoint {
+                        i: c.i,
+                        k1: k1.min(k2),
+                        k2: k1.max(k2),
+                    },
+                });
+            }
+        }
+    }
+
+    // 2. Crossings: group arcs by Δ-owner, solve per arc pair.
+    let mut by_owner: std::collections::HashMap<usize, Vec<(usize, usize)>> =
+        std::collections::HashMap::new();
+    for (ci, c) in curves.iter().enumerate() {
+        for (ai, arc) in c.arcs.iter().enumerate() {
+            by_owner.entry(arc.owner).or_default().push((ci, ai));
+        }
+    }
+    for (&k, arcs) in &by_owner {
+        for a in 0..arcs.len() {
+            for b in (a + 1)..arcs.len() {
+                let (ci_a, ai_a) = arcs[a];
+                let (ci_b, ai_b) = arcs[b];
+                let (i, j) = (curves[ci_a].i, curves[ci_b].i);
+                if i == j {
+                    continue; // same curve: handled as breakpoints
+                }
+                let arc_a = curves[ci_a].arcs[ai_a];
+                let arc_b = curves[ci_b].arcs[ai_b];
+                let witnesses = tangent_circles(
+                    [disks[i], disks[j], disks[k]],
+                    [Tangency::External, Tangency::External, Tangency::Internal],
+                );
+                for w in witnesses {
+                    if !accept_on_arc(&curves[ci_a], arc_a.theta_lo, arc_a.theta_hi, w.center)
+                        || !accept_on_arc(&curves[ci_b], arc_b.theta_lo, arc_b.theta_hi, w.center)
+                    {
+                        continue;
+                    }
+                    out.push(DiagramVertex {
+                        point: w.center,
+                        radius: w.radius,
+                        kind: WitnessKind::Crossing {
+                            i: i.min(j),
+                            j: i.max(j),
+                            k,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    dedup_vertices(out, vertex_tolerance(disks))
+}
+
+fn accept_on_arc(curve: &GammaCurve, lo: f64, hi: f64, p: Point) -> bool {
+    let t = curve.theta_of(p);
+    let iv = angle::AngleInterval::new(lo, hi);
+    iv.contains_with_tol(t, THETA_TOL)
+}
+
+/// Brute-force enumeration over all triples with global validation —
+/// independent of the envelope machinery. `O(n⁴)`.
+pub fn vertices_brute(disks: &[Circle]) -> Vec<DiagramVertex> {
+    let n = disks.len();
+    let mut out = vec![];
+    let tol = vertex_tolerance(disks);
+    let delta = |p: Point| -> f64 {
+        disks
+            .iter()
+            .map(|d| d.max_dist(p))
+            .fold(f64::INFINITY, f64::min)
+    };
+    // Crossings: (i+, j+, k−).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                for w in tangent_circles(
+                    [disks[i], disks[j], disks[k]],
+                    [Tangency::External, Tangency::External, Tangency::Internal],
+                ) {
+                    if valid_witness(&w, delta(w.center), tol) {
+                        out.push(DiagramVertex {
+                            point: w.center,
+                            radius: w.radius,
+                            kind: WitnessKind::Crossing { i, j, k },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Breakpoints: (k1−, k2−, i+).
+    for i in 0..n {
+        for k1 in 0..n {
+            if k1 == i {
+                continue;
+            }
+            for k2 in (k1 + 1)..n {
+                if k2 == i {
+                    continue;
+                }
+                for w in tangent_circles(
+                    [disks[k1], disks[k2], disks[i]],
+                    [Tangency::Internal, Tangency::Internal, Tangency::External],
+                ) {
+                    if valid_witness(&w, delta(w.center), tol) {
+                        out.push(DiagramVertex {
+                            point: w.center,
+                            radius: w.radius,
+                            kind: WitnessKind::Breakpoint { i, k1, k2 },
+                        });
+                    }
+                }
+            }
+        }
+    }
+    dedup_vertices(out, tol)
+}
+
+/// A witness is a real vertex iff its radius equals `Δ` at its center, i.e.
+/// no disk is strictly "max-closer" than the internally-touched one.
+fn valid_witness(w: &WitnessDisk, delta: f64, tol: f64) -> bool {
+    delta >= w.radius - tol
+}
+
+fn vertex_tolerance(disks: &[Circle]) -> f64 {
+    let scale = disks
+        .iter()
+        .map(|d| d.center.to_vector().norm() + d.radius)
+        .fold(1.0f64, f64::max);
+    1e-6 * scale
+}
+
+/// Deduplicates vertices by location (different witness triples may certify
+/// the same degenerate point).
+fn dedup_vertices(mut vs: Vec<DiagramVertex>, tol: f64) -> Vec<DiagramVertex> {
+    vs.sort_by(|a, b| {
+        a.point
+            .x
+            .partial_cmp(&b.point.x)
+            .unwrap()
+            .then(a.point.y.partial_cmp(&b.point.y).unwrap())
+    });
+    let mut out: Vec<DiagramVertex> = vec![];
+    'next: for v in vs {
+        // Only nearby-in-x candidates can collide; scan back.
+        for u in out.iter().rev() {
+            if v.point.x - u.point.x > tol {
+                break;
+            }
+            if u.point.dist(v.point) <= tol && u.kind == v.kind {
+                continue 'next;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Verifies a vertex against the defining equations; returns the max
+/// residual (distance units). Used by tests and the experiment harness.
+pub fn vertex_residual(disks: &[Circle], v: &DiagramVertex) -> f64 {
+    let delta = disks
+        .iter()
+        .map(|d| d.max_dist(v.point))
+        .fold(f64::INFINITY, f64::min);
+    match v.kind {
+        WitnessKind::Breakpoint { i, k1, k2 } => {
+            let r1 = (disks[i].min_dist(v.point) - delta).abs();
+            let r2 = (disks[k1].max_dist(v.point) - delta).abs();
+            let r3 = (disks[k2].max_dist(v.point) - delta).abs();
+            r1.max(r2).max(r3)
+        }
+        WitnessKind::Crossing { i, j, k } => {
+            let r1 = (disks[i].min_dist(v.point) - delta).abs();
+            let r2 = (disks[j].min_dist(v.point) - delta).abs();
+            let r3 = (disks[k].max_dist(v.point) - delta).abs();
+            r1.max(r2).max(r3)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    fn curves_for(disks: &[Circle]) -> Vec<GammaCurve> {
+        (0..disks.len())
+            .map(|i| GammaCurve::compute(disks, i))
+            .collect()
+    }
+
+    fn disk(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    #[test]
+    fn no_vertices_for_two_disks() {
+        let disks = vec![disk(0.0, 0.0, 1.0), disk(10.0, 0.0, 1.0)];
+        let vs = enumerate_vertices(&disks, &curves_for(&disks));
+        assert!(vs.is_empty());
+        assert!(vertices_brute(&disks).is_empty());
+    }
+
+    #[test]
+    fn three_symmetric_disks() {
+        // Three unit disks far apart in an equilateral triangle: each pair
+        // of curves crosses, and breakpoints appear where Δ-ownership flips.
+        let h = 3.0f64.sqrt() * 10.0 / 2.0;
+        let disks = vec![
+            disk(-10.0, 0.0, 1.0),
+            disk(10.0, 0.0, 1.0),
+            disk(0.0, 2.0 * h - h, 1.0),
+        ];
+        let vs = enumerate_vertices(&disks, &curves_for(&disks));
+        assert!(!vs.is_empty());
+        for v in &vs {
+            let resid = vertex_residual(&disks, v);
+            assert!(resid < 1e-6, "residual {resid} for {v:?}");
+        }
+        // Independent enumeration agrees on the count.
+        let brute = vertices_brute(&disks);
+        assert_eq!(vs.len(), brute.len());
+    }
+
+    #[test]
+    fn envelope_and_brute_agree_on_random_instances() {
+        for seed in [7u64, 8, 9, 10] {
+            let set = workload::random_disk_set(9, 0.2, 1.5, seed);
+            let disks = set.regions();
+            let vs = enumerate_vertices(&disks, &curves_for(&disks));
+            let brute = vertices_brute(&disks);
+            // Same vertex sets (match by location).
+            assert_eq!(
+                vs.len(),
+                brute.len(),
+                "seed {seed}: envelope {} vs brute {}",
+                vs.len(),
+                brute.len()
+            );
+            let tol = 1e-5;
+            for v in &vs {
+                assert!(
+                    brute.iter().any(|u| u.point.dist(v.point) < tol),
+                    "seed {seed}: envelope vertex {v:?} missing from brute"
+                );
+                assert!(vertex_residual(&disks, v) < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_count_respects_cubic_bound() {
+        // Soft sanity check of Theorem 2.5: count ≤ c·n³ with a small c.
+        for seed in [1u64, 2] {
+            let set = workload::random_disk_set(12, 0.3, 2.5, seed);
+            let disks = set.regions();
+            let vs = enumerate_vertices(&disks, &curves_for(&disks));
+            let n = disks.len();
+            assert!(vs.len() <= 4 * n * n * n, "count {} for n={n}", vs.len());
+        }
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let v = DiagramVertex {
+            point: Point::new(1.0, 1.0),
+            radius: 2.0,
+            kind: WitnessKind::Crossing { i: 0, j: 1, k: 2 },
+        };
+        let out = dedup_vertices(vec![v, v, v], 1e-6);
+        assert_eq!(out.len(), 1);
+    }
+}

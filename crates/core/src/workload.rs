@@ -1,0 +1,155 @@
+//! Deterministic workload generators shared by tests, benches, and examples.
+
+use crate::model::{ContinuousUncertainPoint, DiscreteSet, DiscreteUncertainPoint, DiskSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_geom::{Circle, Point};
+
+/// `n` uncertain disks with centers uniform in `[-25, 25]²` and radii
+/// uniform in `[r_min, r_max]`, all with uniform pdfs.
+pub fn random_disk_set(n: usize, r_min: f64, r_max: f64, seed: u64) -> DiskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let disks: Vec<Circle> = (0..n)
+        .map(|_| {
+            Circle::new(
+                Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                rng.gen_range(r_min..=r_max),
+            )
+        })
+        .collect();
+    DiskSet::uniform(disks)
+}
+
+/// `n` *pairwise-disjoint* uncertain disks with radius ratio ≤ `lambda`
+/// (the Theorem 2.10 regime): disks are laid on a jittered grid with
+/// spacing large enough to guarantee disjointness.
+pub fn disjoint_disk_set(n: usize, lambda: f64, seed: u64) -> DiskSet {
+    assert!(lambda >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r_min = 1.0;
+    let r_max = lambda;
+    let side = (n as f64).sqrt().ceil() as usize;
+    // Adjacent centers can jitter towards each other by 2·jitter, so
+    // disjointness needs spacing − 2·jitter > 2·r_max.
+    let spacing = 2.5 * (2.0 * r_max) + 1.0;
+    let mut disks = Vec::with_capacity(n);
+    for idx in 0..n {
+        let gx = (idx % side) as f64;
+        let gy = (idx / side) as f64;
+        let jitter = 0.1 * spacing;
+        let c = Point::new(
+            gx * spacing + rng.gen_range(-jitter..jitter),
+            gy * spacing + rng.gen_range(-jitter..jitter),
+        );
+        disks.push(Circle::new(c, rng.gen_range(r_min..=r_max)));
+    }
+    let set = DiskSet::uniform(disks);
+    debug_assert!(set.regions_disjoint());
+    set
+}
+
+/// `n` discrete uncertain points, each with `k` locations in a cluster of
+/// diameter ≈ `cluster_diameter`, centers uniform in `[-25, 25]²`, weights
+/// uniform-random (normalized).
+pub fn random_discrete_set(n: usize, k: usize, cluster_diameter: f64, seed: u64) -> DiscreteSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let c = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+            let r = cluster_diameter / 2.0;
+            let locs: Vec<Point> = (0..k)
+                .map(|_| Point::new(c.x + rng.gen_range(-r..r), c.y + rng.gen_range(-r..r)))
+                .collect();
+            let weights: Vec<f64> = (0..k).map(|_| rng.gen_range(0.2..1.0)).collect();
+            DiscreteUncertainPoint::new(locs, weights)
+        })
+        .collect();
+    DiscreteSet::new(points)
+}
+
+/// A discrete set with a prescribed probability spread `ρ`: each point has
+/// one "heavy" location and `k − 1` light ones (`w_heavy / w_light = ρ`).
+pub fn spread_discrete_set(n: usize, k: usize, rho: f64, seed: u64) -> DiscreteSet {
+    assert!(k >= 2 && rho >= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let c = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+            let locs: Vec<Point> = (0..k)
+                .map(|_| {
+                    Point::new(
+                        c.x + rng.gen_range(-2.0..2.0),
+                        c.y + rng.gen_range(-2.0..2.0),
+                    )
+                })
+                .collect();
+            let mut weights = vec![1.0; k];
+            weights[0] = rho;
+            DiscreteUncertainPoint::new(locs, weights)
+        })
+        .collect();
+    DiscreteSet::new(points)
+}
+
+/// `m` query points uniform in `[-span/2, span/2]²`.
+pub fn random_queries(m: usize, span: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(-span / 2.0..span / 2.0),
+                rng.gen_range(-span / 2.0..span / 2.0),
+            )
+        })
+        .collect()
+}
+
+/// A mixed continuous set exercising all pdf models.
+pub fn mixed_continuous_set(n: usize, seed: u64) -> DiskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|i| {
+            let region = Circle::new(
+                Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                rng.gen_range(0.5..3.0),
+            );
+            match i % 3 {
+                0 => ContinuousUncertainPoint::uniform(region),
+                1 => ContinuousUncertainPoint::gaussian(region, region.radius / 2.0),
+                _ => ContinuousUncertainPoint::ring(region, 0.5),
+            }
+        })
+        .collect();
+    DiskSet::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_disk_set(10, 0.5, 2.0, 42);
+        let b = random_disk_set(10, 0.5, 2.0, 42);
+        assert_eq!(a.regions(), b.regions());
+        let c = random_discrete_set(5, 3, 2.0, 42);
+        let d = random_discrete_set(5, 3, 2.0, 42);
+        assert_eq!(c.points[0].locations(), d.points[0].locations());
+    }
+
+    #[test]
+    fn disjoint_generator_is_disjoint() {
+        for lambda in [1.0, 2.0, 8.0] {
+            let set = disjoint_disk_set(64, lambda, 7);
+            assert!(set.regions_disjoint());
+            let ratio = set.radius_ratio().unwrap();
+            assert!(ratio <= lambda + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spread_generator_hits_target_rho() {
+        let set = spread_discrete_set(10, 4, 16.0, 3);
+        assert!((set.spread() - 16.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,20 @@
+//! `uncertain-envelope`: lower/upper envelope algorithms.
+//!
+//! The nonzero Voronoi diagram construction of the paper (Lemma 2.2) computes
+//! each curve `γ_i` as the *lower envelope* of `n − 1` partial functions in
+//! polar coordinates around the disk center `c_i`. This crate provides:
+//!
+//! * [`piecewise`] — interval/piece containers shared by all envelopes;
+//! * [`polar`] — the divide-and-conquer lower envelope of partial functions
+//!   on the circle `[0, 2π)`, parameterized by evaluation and pairwise
+//!   crossing oracles (the geometry crate supplies closed-form crossings);
+//! * [`linear`] — envelopes of straight lines over an interval (the classic
+//!   convex-hull trick), used for piecewise-linear utilities and as an
+//!   independently-checkable reference implementation.
+
+pub mod linear;
+pub mod piecewise;
+pub mod polar;
+
+pub use piecewise::{Piece, Piecewise};
+pub use polar::{lower_envelope_circle, EnvelopeOracle};

@@ -1,0 +1,196 @@
+//! Lower/upper envelopes of straight lines over an interval.
+//!
+//! Used as a simple, independently-verifiable envelope implementation (the
+//! discrete case of the paper manipulates envelopes of *linear* lifted
+//! functions `f(x, p) = ‖p‖² − 2⟨x, p⟩`, cf. Lemma 2.13) and for
+//! cross-checking the generic polar machinery in tests.
+
+use crate::piecewise::{Piece, Piecewise};
+
+/// The line `y = m·x + b`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Line {
+    pub m: f64,
+    pub b: f64,
+}
+
+impl Line {
+    pub fn new(m: f64, b: f64) -> Self {
+        Line { m, b }
+    }
+
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.m * x + self.b
+    }
+
+    /// x-coordinate where two (non-parallel) lines intersect.
+    pub fn intersect_x(&self, other: &Line) -> Option<f64> {
+        let dm = self.m - other.m;
+        if dm.abs() <= f64::MIN_POSITIVE {
+            return None;
+        }
+        Some((other.b - self.b) / dm)
+    }
+}
+
+/// Lower envelope of `lines` over `[x_lo, x_hi]`, as a [`Piecewise`] whose
+/// ids index into `lines`. Runs in `O(n log n)` (sort + convex-hull trick).
+pub fn lower_envelope_lines(lines: &[Line], x_lo: f64, x_hi: f64) -> Piecewise {
+    assert!(x_lo < x_hi, "empty interval");
+    if lines.is_empty() {
+        return Piecewise::empty();
+    }
+    // On a lower envelope the active slope *decreases* left-to-right (the
+    // steepest line wins as x → −∞), so process lines by descending slope;
+    // each new line then becomes minimal at some x to the right. Among equal
+    // slopes only the lowest intercept can ever appear.
+    let mut order: Vec<usize> = (0..lines.len()).collect();
+    order.sort_by(|&i, &j| {
+        lines[j]
+            .m
+            .partial_cmp(&lines[i].m)
+            .unwrap()
+            .then(lines[i].b.partial_cmp(&lines[j].b).unwrap())
+    });
+    order.dedup_by(|&mut i, &mut j| lines[i].m == lines[j].m);
+
+    // Convex-hull trick: maintain a stack of (line index, start x).
+    let mut stack: Vec<(usize, f64)> = vec![];
+    for &idx in &order {
+        let line = lines[idx];
+        loop {
+            match stack.last() {
+                None => {
+                    stack.push((idx, x_lo));
+                    break;
+                }
+                Some(&(top_idx, top_start)) => {
+                    let top = lines[top_idx];
+                    // Where does the new (steeper) line dip below the top?
+                    let x = match top.intersect_x(&line) {
+                        Some(x) => x,
+                        None => {
+                            // Parallel: new line is everywhere ≥ top (sorted
+                            // by intercept); skip it.
+                            break;
+                        }
+                    };
+                    if x <= top_start {
+                        // New line dominates the whole top piece: pop.
+                        stack.pop();
+                        continue;
+                    }
+                    if x >= x_hi {
+                        // New line never becomes minimal in range.
+                        break;
+                    }
+                    stack.push((idx, x));
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut pieces = Vec::with_capacity(stack.len());
+    for (k, &(idx, start)) in stack.iter().enumerate() {
+        let end = stack.get(k + 1).map_or(x_hi, |&(_, s)| s);
+        if end > start {
+            pieces.push(Piece {
+                lo: start,
+                hi: end,
+                id: idx,
+            });
+        }
+    }
+    let mut pw = Piecewise::new(pieces);
+    pw.coalesce(1e-12 * (x_hi - x_lo).max(1.0));
+    pw
+}
+
+/// Upper envelope of `lines` over `[x_lo, x_hi]` (by negating and reusing the
+/// lower envelope).
+pub fn upper_envelope_lines(lines: &[Line], x_lo: f64, x_hi: f64) -> Piecewise {
+    let neg: Vec<Line> = lines.iter().map(|l| Line::new(-l.m, -l.b)).collect();
+    lower_envelope_lines(&neg, x_lo, x_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line() {
+        let env = lower_envelope_lines(&[Line::new(1.0, 0.0)], -1.0, 1.0);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.pieces[0].id, 0);
+    }
+
+    #[test]
+    fn v_shape() {
+        let lines = [Line::new(-1.0, 0.0), Line::new(1.0, 0.0)];
+        let env = lower_envelope_lines(&lines, -2.0, 2.0);
+        assert_eq!(env.len(), 2);
+        assert_eq!(env.id_at(-1.0), Some(1)); // slope +1 is lower for x < 0
+        assert_eq!(env.id_at(1.0), Some(0));
+    }
+
+    #[test]
+    fn dominated_line_never_appears() {
+        let lines = [
+            Line::new(-1.0, 0.0),
+            Line::new(1.0, 0.0),
+            Line::new(0.0, 10.0), // way above
+        ];
+        let env = lower_envelope_lines(&lines, -2.0, 2.0);
+        assert!(env.pieces.iter().all(|p| p.id != 2));
+    }
+
+    #[test]
+    fn parallel_lines_keep_lowest() {
+        let lines = [
+            Line::new(1.0, 5.0),
+            Line::new(1.0, 1.0),
+            Line::new(1.0, 3.0),
+        ];
+        let env = lower_envelope_lines(&lines, 0.0, 1.0);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.pieces[0].id, 1);
+    }
+
+    #[test]
+    fn random_envelopes_match_brute_force() {
+        let mut state = 31337u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+        };
+        for trial in 0..50 {
+            let n = 2 + (trial % 9);
+            let lines: Vec<Line> = (0..n).map(|_| Line::new(next(), next())).collect();
+            let env = lower_envelope_lines(&lines, -3.0, 3.0);
+            for s in 0..500 {
+                let x = -3.0 + 6.0 * (s as f64 + 0.5) / 500.0;
+                let brute = lines
+                    .iter()
+                    .map(|l| l.eval(x))
+                    .fold(f64::INFINITY, f64::min);
+                let got = lines[env.id_at(x).expect("total functions")].eval(x);
+                assert!(
+                    (got - brute).abs() < 1e-9,
+                    "trial {trial} x={x}: got {got} brute {brute}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_envelope_is_max() {
+        let lines = [Line::new(-1.0, 0.0), Line::new(1.0, 0.0)];
+        let env = upper_envelope_lines(&lines, -2.0, 2.0);
+        assert_eq!(env.id_at(-1.0), Some(0)); // slope −1 is higher for x < 0
+        assert_eq!(env.id_at(1.0), Some(1));
+    }
+}

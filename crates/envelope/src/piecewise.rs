@@ -1,0 +1,169 @@
+//! Piecewise-function containers.
+//!
+//! A [`Piecewise`] is a sorted list of non-overlapping [`Piece`]s over a
+//! parameter interval. Parameter values not covered by any piece are *gaps*,
+//! interpreted as "the function is +∞ / undefined there" — exactly how the
+//! polar curves `γ_ij ≡ +∞` outside their angular domain behave.
+
+/// A maximal parameter interval `[lo, hi]` on which one function (identified
+/// by `id`) is active.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Piece {
+    pub lo: f64,
+    pub hi: f64,
+    /// Identifier of the active function (caller-defined index).
+    pub id: usize,
+}
+
+impl Piece {
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.lo && t <= self.hi
+    }
+
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// A sorted, non-overlapping sequence of pieces over `[domain_lo, domain_hi]`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Piecewise {
+    pub pieces: Vec<Piece>,
+}
+
+impl Piecewise {
+    pub fn new(pieces: Vec<Piece>) -> Self {
+        debug_assert!(pieces.windows(2).all(|w| w[0].hi <= w[1].lo + 1e-12));
+        Piecewise { pieces }
+    }
+
+    pub fn empty() -> Self {
+        Piecewise { pieces: vec![] }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The piece covering parameter `t`, if any.
+    pub fn piece_at(&self, t: f64) -> Option<&Piece> {
+        let idx = self.pieces.partition_point(|p| p.hi < t);
+        self.pieces.get(idx).filter(|p| p.contains(t))
+    }
+
+    /// The id active at `t`, if any.
+    pub fn id_at(&self, t: f64) -> Option<usize> {
+        self.piece_at(t).map(|p| p.id)
+    }
+
+    /// Merges adjacent pieces with the same id whose intervals touch (within
+    /// `tol`), and drops pieces narrower than `tol`.
+    pub fn coalesce(&mut self, tol: f64) {
+        let mut out: Vec<Piece> = Vec::with_capacity(self.pieces.len());
+        for &p in &self.pieces {
+            if p.width() <= tol {
+                // Degenerate sliver: extend the previous piece over it if
+                // possible, otherwise drop it.
+                if let Some(last) = out.last_mut() {
+                    if last.id == p.id && p.lo - last.hi <= tol {
+                        last.hi = last.hi.max(p.hi);
+                    }
+                }
+                continue;
+            }
+            match out.last_mut() {
+                Some(last) if last.id == p.id && p.lo - last.hi <= tol => {
+                    last.hi = last.hi.max(p.hi);
+                }
+                _ => out.push(p),
+            }
+        }
+        self.pieces = out;
+    }
+
+    /// All interval boundaries (piece endpoints), sorted and deduplicated
+    /// within `tol`.
+    pub fn boundaries(&self, tol: f64) -> Vec<f64> {
+        let mut bs: Vec<f64> = Vec::with_capacity(2 * self.pieces.len());
+        for p in &self.pieces {
+            bs.push(p.lo);
+            bs.push(p.hi);
+        }
+        bs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bs.dedup_by(|a, b| (*a - *b).abs() <= tol);
+        bs
+    }
+
+    /// Total covered width.
+    pub fn covered_width(&self) -> f64 {
+        self.pieces.iter().map(Piece::width).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pw(spec: &[(f64, f64, usize)]) -> Piecewise {
+        Piecewise::new(
+            spec.iter()
+                .map(|&(lo, hi, id)| Piece { lo, hi, id })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn piece_at_lookup() {
+        let w = pw(&[(0.0, 1.0, 7), (2.0, 3.0, 8)]);
+        assert_eq!(w.id_at(0.5), Some(7));
+        assert_eq!(w.id_at(1.0), Some(7));
+        assert_eq!(w.id_at(1.5), None); // gap
+        assert_eq!(w.id_at(2.5), Some(8));
+        assert_eq!(w.id_at(3.5), None);
+        assert_eq!(w.len(), 2);
+        assert!((w.covered_width() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn coalesce_merges_and_drops() {
+        let mut w = pw(&[
+            (0.0, 1.0, 7),
+            (1.0, 2.0, 7),         // same id, touching → merge
+            (2.0, 2.0 + 1e-15, 9), // sliver → dropped
+            (2.5, 3.0, 7),         // gap → separate piece
+        ]);
+        w.coalesce(1e-12);
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w.pieces[0],
+            Piece {
+                lo: 0.0,
+                hi: 2.0,
+                id: 7
+            }
+        );
+        assert_eq!(
+            w.pieces[1],
+            Piece {
+                lo: 2.5,
+                hi: 3.0,
+                id: 7
+            }
+        );
+    }
+
+    #[test]
+    fn boundaries_dedup() {
+        let w = pw(&[(0.0, 1.0, 1), (1.0, 2.0, 2)]);
+        let bs = w.boundaries(1e-12);
+        assert_eq!(bs, vec![0.0, 1.0, 2.0]);
+    }
+}

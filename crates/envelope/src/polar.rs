@@ -1,0 +1,317 @@
+//! Lower envelopes of partial functions on the circle `[0, 2π)`.
+//!
+//! This is the engine behind Lemma 2.2 of the paper: `γ_i(θ) = min_j γ_ij(θ)`
+//! where each `γ_ij` is a partial function (finite only on an open arc of
+//! directions). The divide-and-conquer merge needs only two oracles:
+//!
+//! * *evaluation* of a function at a parameter, and
+//! * *pairwise crossings* of two functions (the geometry crate provides them
+//!   in closed form — two polar hyperbola branches around the same focus
+//!   cross where `A cos θ + B sin θ = C`).
+//!
+//! Because every pair of curves crosses at most twice, the merged envelope
+//! has linearly many breakpoints (the Davenport–Schinzel bound the paper
+//! cites), and the divide-and-conquer runs in `O(n log n)` oracle calls.
+
+use crate::piecewise::{Piece, Piecewise};
+use std::f64::consts::TAU;
+
+/// Absolute parameter tolerance for boundary handling (radians).
+const THETA_TOL: f64 = 1e-12;
+
+/// Oracles describing a family of partial functions on `[0, 2π)`.
+pub trait EnvelopeOracle {
+    /// Value of function `id` at `t` (may be `+∞` outside its domain).
+    fn eval(&self, id: usize, t: f64) -> f64;
+
+    /// Non-wrapping closed subintervals of `[0, 2π]` on which function `id`
+    /// is finite. A function spanning the whole circle returns `[(0, 2π)]`.
+    fn domains(&self, id: usize) -> Vec<(f64, f64)>;
+
+    /// Parameters in `[0, 2π)` where functions `a` and `b` take equal
+    /// (finite) values.
+    fn crossings(&self, a: usize, b: usize) -> Vec<f64>;
+}
+
+/// Computes the lower envelope of the functions `ids` over `[0, 2π]`.
+///
+/// The result's pieces carry the *id of the minimal function*; parameter
+/// ranges where every function is `+∞` are gaps.
+pub fn lower_envelope_circle<O: EnvelopeOracle>(ids: &[usize], oracle: &O) -> Piecewise {
+    match ids.len() {
+        0 => Piecewise::empty(),
+        1 => {
+            let mut pieces: Vec<Piece> = oracle
+                .domains(ids[0])
+                .into_iter()
+                .filter(|&(lo, hi)| hi - lo > THETA_TOL)
+                .map(|(lo, hi)| Piece { lo, hi, id: ids[0] })
+                .collect();
+            pieces.sort_by(|a, b| a.lo.partial_cmp(&b.lo).unwrap());
+            let mut pw = Piecewise::new(pieces);
+            pw.coalesce(THETA_TOL);
+            pw
+        }
+        n => {
+            let (left, right) = ids.split_at(n / 2);
+            let a = lower_envelope_circle(left, oracle);
+            let b = lower_envelope_circle(right, oracle);
+            merge(&a, &b, oracle)
+        }
+    }
+}
+
+/// Merges two envelopes into their pointwise minimum.
+fn merge<O: EnvelopeOracle>(a: &Piecewise, b: &Piecewise, oracle: &O) -> Piecewise {
+    if a.is_empty() {
+        return b.clone();
+    }
+    if b.is_empty() {
+        return a.clone();
+    }
+    // Elementary intervals: between consecutive boundaries each input
+    // envelope has at most one active function.
+    let mut bounds: Vec<f64> = a
+        .boundaries(THETA_TOL)
+        .into_iter()
+        .chain(b.boundaries(THETA_TOL))
+        .collect();
+    bounds.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    bounds.dedup_by(|x, y| (*x - *y).abs() <= THETA_TOL);
+
+    let mut out: Vec<Piece> = vec![];
+    for w in bounds.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        if t1 - t0 <= THETA_TOL {
+            continue;
+        }
+        let mid = 0.5 * (t0 + t1);
+        let ida = a.id_at(mid);
+        let idb = b.id_at(mid);
+        match (ida, idb) {
+            (None, None) => {}
+            (Some(id), None) | (None, Some(id)) => out.push(Piece { lo: t0, hi: t1, id }),
+            (Some(ia), Some(ib)) if ia == ib => out.push(Piece {
+                lo: t0,
+                hi: t1,
+                id: ia,
+            }),
+            (Some(ia), Some(ib)) => {
+                // Cut at the crossings of the two active functions inside
+                // (t0, t1) and take the pointwise winner on each cell.
+                let mut cuts: Vec<f64> = oracle
+                    .crossings(ia, ib)
+                    .into_iter()
+                    .filter(|&x| x > t0 + THETA_TOL && x < t1 - THETA_TOL)
+                    .collect();
+                cuts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                cuts.dedup_by(|x, y| (*x - *y).abs() <= THETA_TOL);
+                let mut lo = t0;
+                for cut in cuts.into_iter().chain(std::iter::once(t1)) {
+                    let m = 0.5 * (lo + cut);
+                    let va = oracle.eval(ia, m);
+                    let vb = oracle.eval(ib, m);
+                    let id = if va < vb || (va == vb && ia < ib) {
+                        ia
+                    } else {
+                        ib
+                    };
+                    out.push(Piece { lo, hi: cut, id });
+                    lo = cut;
+                }
+            }
+        }
+    }
+    let mut pw = Piecewise::new(out);
+    pw.coalesce(THETA_TOL);
+    pw
+}
+
+/// Convenience: validates an envelope against brute-force sampling.
+/// Returns the largest violation `envelope_value − true_min` observed at
+/// `samples` evenly-spaced parameters (0 when the envelope is correct up to
+/// the sampling density). Intended for tests and experiment harnesses.
+pub fn max_violation<O: EnvelopeOracle>(
+    env: &Piecewise,
+    ids: &[usize],
+    oracle: &O,
+    samples: usize,
+) -> f64 {
+    let mut worst = 0.0f64;
+    for s in 0..samples {
+        let t = TAU * (s as f64 + 0.5) / samples as f64;
+        let true_min = ids
+            .iter()
+            .map(|&id| oracle.eval(id, t))
+            .fold(f64::INFINITY, f64::min);
+        let env_val = match env.id_at(t) {
+            Some(id) => oracle.eval(id, t),
+            None => f64::INFINITY,
+        };
+        if env_val.is_infinite() && true_min.is_infinite() {
+            continue;
+        }
+        if env_val.is_infinite() != true_min.is_infinite() {
+            return f64::INFINITY;
+        }
+        worst = worst.max(env_val - true_min);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test oracle: sinusoids `v_i(t) = a_i + b_i·cos(t − φ_i)`, which are
+    /// total functions with closed-form pairwise crossings — structurally
+    /// identical to the polar hyperbola oracle (A cosθ + B sinθ = C).
+    struct Sinusoids {
+        params: Vec<(f64, f64, f64)>, // (a, b, phi)
+        /// Optional domain restriction per function.
+        domains: Vec<Vec<(f64, f64)>>,
+    }
+
+    impl Sinusoids {
+        fn total(params: Vec<(f64, f64, f64)>) -> Self {
+            let n = params.len();
+            Sinusoids {
+                params,
+                domains: vec![vec![(0.0, TAU)]; n],
+            }
+        }
+    }
+
+    impl EnvelopeOracle for Sinusoids {
+        fn eval(&self, id: usize, t: f64) -> f64 {
+            let in_domain = self.domains[id]
+                .iter()
+                .any(|&(lo, hi)| t >= lo - 1e-15 && t <= hi + 1e-15);
+            if !in_domain {
+                return f64::INFINITY;
+            }
+            let (a, b, phi) = self.params[id];
+            a + b * (t - phi).cos()
+        }
+        fn domains(&self, id: usize) -> Vec<(f64, f64)> {
+            self.domains[id].clone()
+        }
+        fn crossings(&self, i: usize, j: usize) -> Vec<f64> {
+            // a1 + b1 cos(t-φ1) = a2 + b2 cos(t-φ2)
+            //  ⇔ A cos t + B sin t = C
+            let (a1, b1, p1) = self.params[i];
+            let (a2, b2, p2) = self.params[j];
+            let aa = b1 * p1.cos() - b2 * p2.cos();
+            let bb = b1 * p1.sin() - b2 * p2.sin();
+            let cc = a2 - a1;
+            let rho = aa.hypot(bb);
+            if rho < 1e-15 {
+                return vec![];
+            }
+            if (cc / rho).abs() > 1.0 {
+                return vec![];
+            }
+            let phi0 = bb.atan2(aa);
+            let d = (cc / rho).clamp(-1.0, 1.0).acos();
+            let mut out = vec![];
+            for t in [phi0 + d, phi0 - d] {
+                let mut t = t % TAU;
+                if t < 0.0 {
+                    t += TAU;
+                }
+                out.push(t);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn envelope_of_constants() {
+        let oracle = Sinusoids::total(vec![(3.0, 0.0, 0.0), (1.0, 0.0, 0.0), (2.0, 0.0, 0.0)]);
+        let env = lower_envelope_circle(&[0, 1, 2], &oracle);
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.pieces[0].id, 1);
+        assert!(max_violation(&env, &[0, 1, 2], &oracle, 100) < 1e-12);
+    }
+
+    #[test]
+    fn envelope_of_two_sinusoids() {
+        // Two opposite-phase sinusoids cross exactly twice.
+        let oracle = Sinusoids::total(vec![(0.0, 1.0, 0.0), (0.0, 1.0, std::f64::consts::PI)]);
+        let env = lower_envelope_circle(&[0, 1], &oracle);
+        // Two breakpoints → two or three pieces over [0, 2π].
+        assert!(env.len() >= 2 && env.len() <= 3, "pieces: {:?}", env.pieces);
+        assert!(max_violation(&env, &[0, 1], &oracle, 1000) < 1e-9);
+    }
+
+    #[test]
+    fn envelope_with_gaps() {
+        let mut oracle = Sinusoids::total(vec![(1.0, 0.0, 0.0), (0.0, 0.0, 0.0)]);
+        // Function 1 (the lower one) only lives on [1, 2].
+        oracle.domains[1] = vec![(1.0, 2.0)];
+        let env = lower_envelope_circle(&[0, 1], &oracle);
+        assert_eq!(env.id_at(0.5), Some(0));
+        assert_eq!(env.id_at(1.5), Some(1));
+        assert_eq!(env.id_at(3.0), Some(0));
+        assert!(max_violation(&env, &[0, 1], &oracle, 500) < 1e-9);
+    }
+
+    #[test]
+    fn envelope_all_gaps() {
+        let mut oracle = Sinusoids::total(vec![(1.0, 0.0, 0.0)]);
+        oracle.domains[0] = vec![];
+        let env = lower_envelope_circle(&[0], &oracle);
+        assert!(env.is_empty());
+        let none = lower_envelope_circle(&[], &oracle);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn envelope_random_families_match_brute_force() {
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..30 {
+            let n = 2 + (trial % 7);
+            let params: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| (next() * 4.0 - 2.0, next() * 2.0, next() * TAU))
+                .collect();
+            let oracle = Sinusoids::total(params);
+            let ids: Vec<usize> = (0..n).collect();
+            let env = lower_envelope_circle(&ids, &oracle);
+            let viol = max_violation(&env, &ids, &oracle, 2000);
+            assert!(viol < 1e-7, "trial {trial}: violation {viol}");
+        }
+    }
+
+    #[test]
+    fn envelope_partial_random_families() {
+        let mut state = 0xabcd1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..30 {
+            let n = 2 + (trial % 5);
+            let params: Vec<(f64, f64, f64)> = (0..n)
+                .map(|_| (next() * 4.0 - 2.0, next() * 2.0, next() * TAU))
+                .collect();
+            let mut oracle = Sinusoids::total(params);
+            for d in oracle.domains.iter_mut() {
+                let lo = next() * TAU;
+                let hi = (lo + next() * 3.0).min(TAU);
+                *d = if next() < 0.2 { vec![] } else { vec![(lo, hi)] };
+            }
+            let ids: Vec<usize> = (0..n).collect();
+            let env = lower_envelope_circle(&ids, &oracle);
+            let viol = max_violation(&env, &ids, &oracle, 2000);
+            assert!(viol < 1e-7, "trial {trial}: violation {viol}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Circular (angle) arithmetic helpers used by the polar envelope machinery.
+//!
+//! All angles are normalized into `[0, 2π)`. Intervals on the circle may wrap
+//! around `0`; [`AngleInterval::split_unwrapped`] cuts them into at most two
+//! non-wrapping pieces so downstream sweeps can work on a linear domain.
+
+use std::f64::consts::TAU;
+
+/// Normalizes an angle into `[0, 2π)`.
+#[inline]
+pub fn normalize(theta: f64) -> f64 {
+    let mut t = theta % TAU;
+    if t < 0.0 {
+        t += TAU;
+    }
+    // `%` can return TAU - tiny; fold exactly-TAU back to 0.
+    if t >= TAU {
+        t -= TAU;
+    }
+    t
+}
+
+/// Counter-clockwise angular distance from `from` to `to`, in `[0, 2π)`.
+#[inline]
+pub fn ccw_distance(from: f64, to: f64) -> f64 {
+    normalize(to - from)
+}
+
+/// Shortest absolute angular difference between two angles, in `[0, π]`.
+#[inline]
+pub fn abs_difference(a: f64, b: f64) -> f64 {
+    let d = normalize(a - b);
+    d.min(TAU - d)
+}
+
+/// A closed arc of directions on the unit circle, from `lo` counter-clockwise
+/// to `hi`. Stored with `lo ∈ [0, 2π)` and `hi ∈ [lo, lo + 2π]`, so a full
+/// circle is representable as `[lo, lo + 2π]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AngleInterval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl AngleInterval {
+    /// Interval from `lo` counter-clockwise to `hi` (both arbitrary reals).
+    pub fn new(lo: f64, hi: f64) -> Self {
+        let nlo = normalize(lo);
+        let span = normalize(hi - lo);
+        // A zero span means either an empty/point interval or (if callers
+        // passed hi = lo + 2π) the full circle; disambiguate by raw width.
+        let span = if span == 0.0 && (hi - lo).abs() >= TAU {
+            TAU
+        } else {
+            span
+        };
+        AngleInterval {
+            lo: nlo,
+            hi: nlo + span,
+        }
+    }
+
+    /// The full circle.
+    pub fn full() -> Self {
+        AngleInterval { lo: 0.0, hi: TAU }
+    }
+
+    /// Arc centered at `center` with half-width `half` (`half ≤ π`).
+    pub fn centered(center: f64, half: f64) -> Self {
+        AngleInterval::new(center - half, center + half)
+    }
+
+    /// Angular width in `[0, 2π]`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// `true` iff the normalized angle `theta` lies in the closed interval.
+    pub fn contains(&self, theta: f64) -> bool {
+        let t = normalize(theta);
+        if t >= self.lo && t <= self.hi {
+            return true;
+        }
+        let t2 = t + TAU;
+        t2 >= self.lo && t2 <= self.hi
+    }
+
+    /// Like [`contains`](Self::contains) but with a symmetric tolerance
+    /// `tol` (radians) at both ends.
+    pub fn contains_with_tol(&self, theta: f64, tol: f64) -> bool {
+        if self.width() >= TAU {
+            return true;
+        }
+        let widened = AngleInterval {
+            lo: self.lo - tol,
+            hi: self.hi + tol,
+        };
+        let t = normalize(theta);
+        (t >= widened.lo && t <= widened.hi)
+            || (t + TAU >= widened.lo && t + TAU <= widened.hi)
+            || (t - TAU >= widened.lo && t - TAU <= widened.hi)
+    }
+
+    /// Splits the interval at multiples of `2π` into at most two pieces
+    /// `(lo, hi)` with `0 ≤ lo ≤ hi ≤ 2π`, suitable for a linear sweep over
+    /// `[0, 2π]`.
+    pub fn split_unwrapped(&self) -> Vec<(f64, f64)> {
+        if self.width() >= TAU {
+            return vec![(0.0, TAU)];
+        }
+        if self.hi <= TAU {
+            vec![(self.lo, self.hi)]
+        } else {
+            vec![(self.lo, TAU), (0.0, self.hi - TAU)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn normalize_folds() {
+        assert_eq!(normalize(0.0), 0.0);
+        assert!((normalize(-PI) - PI).abs() < 1e-15);
+        assert!((normalize(3.0 * PI) - PI).abs() < 1e-12);
+        assert!(normalize(TAU) < 1e-15);
+        assert!(normalize(-1e-12) < TAU);
+    }
+
+    #[test]
+    fn ccw_and_abs() {
+        assert!((ccw_distance(0.1, 0.3) - 0.2).abs() < 1e-15);
+        assert!((ccw_distance(0.3, 0.1) - (TAU - 0.2)).abs() < 1e-12);
+        assert!((abs_difference(0.1, TAU - 0.1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_contains() {
+        let iv = AngleInterval::new(6.0, 0.5); // wraps through 0
+        assert!(iv.contains(6.2));
+        assert!(iv.contains(0.2));
+        assert!(!iv.contains(3.0));
+        assert!(iv.contains(6.0));
+        assert!(iv.contains(0.5));
+
+        let full = AngleInterval::full();
+        assert!(full.contains(1.0));
+        assert!((full.width() - TAU).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interval_split() {
+        let iv = AngleInterval::new(1.0, 2.0);
+        assert_eq!(iv.split_unwrapped(), vec![(1.0, 2.0)]);
+
+        let wrap = AngleInterval::new(6.0, 0.5);
+        let parts = wrap.split_unwrapped();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, 6.0);
+        assert!((parts[0].1 - TAU).abs() < 1e-15);
+        assert_eq!(parts[1].0, 0.0);
+        assert!((parts[1].1 - normalize(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_centered_and_tol() {
+        let iv = AngleInterval::centered(0.0, 0.5);
+        assert!(iv.contains(TAU - 0.4));
+        assert!(iv.contains(0.4));
+        assert!(!iv.contains(1.0));
+        assert!(iv.contains_with_tol(0.55, 0.1));
+        assert!(!iv.contains_with_tol(0.7, 0.1));
+    }
+}

@@ -1,0 +1,410 @@
+//! Apollonius-type tangency systems.
+//!
+//! Every vertex of the nonzero Voronoi diagram `V≠0(P)` (Section 2 of the
+//! paper) is the center of a *witness disk* `W` that touches three input
+//! disks with prescribed orientations: externally (the witness and the disk
+//! have disjoint interiors, `‖p − c_i‖ = R + r_i`) or internally (the witness
+//! contains the disk, `‖p − c_i‖ = R − r_i`).
+//!
+//! Given three circles and a sign per circle (`+1` external, `−1` internal),
+//! [`tangent_circles`] returns every witness `(center, radius)` solving
+//!
+//! ```text
+//!   ‖p − c_i‖ = R + s_i·r_i ,  R ≥ 0 ,  R + s_i·r_i ≥ 0   (i = 1, 2, 3)
+//! ```
+//!
+//! The system reduces to two linear equations (differences of the squared
+//! equations) plus one quadratic, so there are at most two solutions. A
+//! dedicated path handles collinear centers (which the paper's lower-bound
+//! constructions produce on purpose).
+
+use crate::circle::Circle;
+use crate::point::{Point, Vector};
+
+/// Orientation of a tangency constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tangency {
+    /// Witness disk and input disk touch with disjoint interiors:
+    /// `‖p − c‖ = R + r`.
+    External,
+    /// Witness disk contains the input disk: `‖p − c‖ = R − r`.
+    Internal,
+}
+
+impl Tangency {
+    #[inline]
+    fn sign(self) -> f64 {
+        match self {
+            Tangency::External => 1.0,
+            Tangency::Internal => -1.0,
+        }
+    }
+}
+
+/// A witness disk: a solution of the tangency system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WitnessDisk {
+    pub center: Point,
+    pub radius: f64,
+}
+
+/// Maximum admissible relative residual for a returned solution.
+const RESIDUAL_TOL: f64 = 1e-7;
+
+/// Solves the three-circle tangency system; returns up to two witness disks.
+///
+/// Solutions are validated against the original equations; near-degenerate
+/// systems (identical constraints, concentric circles) may return no
+/// solutions.
+pub fn tangent_circles(circles: [Circle; 3], signs: [Tangency; 3]) -> Vec<WitnessDisk> {
+    let scale = circles
+        .iter()
+        .map(|c| c.center.to_vector().norm() + c.radius)
+        .fold(1.0f64, f64::max);
+
+    let mut sols = solve(circles, signs, scale);
+    sols.retain(|w| validate(w, &circles, &signs, scale));
+    dedup(sols, scale)
+}
+
+fn solve(circles: [Circle; 3], signs: [Tangency; 3], scale: f64) -> Vec<WitnessDisk> {
+    let c1 = circles[0].center;
+    let d2 = circles[1].center - c1;
+    let d3 = circles[2].center - c1;
+    let cross = d2.cross(d3);
+    // Conditioning threshold: treat centers as collinear when the triangle
+    // they span is extremely thin relative to the configuration scale.
+    let thin = cross.abs() <= 1e-12 * scale * scale;
+    if thin {
+        collinear_path(circles, signs, scale)
+    } else {
+        general_path(circles, signs)
+    }
+}
+
+/// Non-collinear centers: express `p` as an affine function of `R`, then
+/// substitute into the first circle's equation to get a quadratic in `R`.
+fn general_path(circles: [Circle; 3], signs: [Tangency; 3]) -> Vec<WitnessDisk> {
+    let (c1, r1, s1) = (circles[0].center, circles[0].radius, signs[0].sign());
+    let (c2, r2, s2) = (circles[1].center, circles[1].radius, signs[1].sign());
+    let (c3, r3, s3) = (circles[2].center, circles[2].radius, signs[2].sign());
+
+    // Subtract equation 1 from equations 2 and 3:
+    //   2(c_i − c_1)·p + 2(s_i r_i − s_1 r_1) R = (|c_i|² − r_i²) − (|c_1|² − r_1²)
+    let d2 = c2 - c1;
+    let d3 = c3 - c1;
+    let e2 = s2 * r2 - s1 * r1;
+    let e3 = s3 * r3 - s1 * r1;
+    let b2 = (c2.to_vector().norm2() - r2 * r2) - (c1.to_vector().norm2() - r1 * r1);
+    let b3 = (c3.to_vector().norm2() - r3 * r3) - (c1.to_vector().norm2() - r1 * r1);
+
+    // Solve  [2 d2; 2 d3] p = [b2 − 2 e2 R; b3 − 2 e3 R]  →  p = p0 + R pd.
+    let det = 4.0 * d2.cross(d3);
+    let inv = 1.0 / det;
+    // p0: RHS (b2, b3); pd: RHS (−2 e2, −2 e3).
+    let p0 = Vector::new(
+        (b2 * 2.0 * d3.y - b3 * 2.0 * d2.y) * inv,
+        (b3 * 2.0 * d2.x - b2 * 2.0 * d3.x) * inv,
+    );
+    let pd = Vector::new(
+        (-2.0 * e2 * 2.0 * d3.y + 2.0 * e3 * 2.0 * d2.y) * inv,
+        (-2.0 * e3 * 2.0 * d2.x + 2.0 * e2 * 2.0 * d3.x) * inv,
+    );
+
+    // Substitute into |p − c1|² = (R + s1 r1)²:
+    //   (|pd|² − 1) R² + 2 (w·pd − s1 r1) R + (|w|² − r1²) = 0,  w = p0 − c1.
+    let w = p0 - c1.to_vector();
+    let qa = pd.norm2() - 1.0;
+    let qb = 2.0 * (w.dot(pd) - s1 * r1);
+    let qc = w.norm2() - r1 * r1;
+
+    solve_quadratic(qa, qb, qc)
+        .into_iter()
+        .map(|r| WitnessDisk {
+            center: Point::ORIGIN + p0 + pd * r,
+            radius: r,
+        })
+        .collect()
+}
+
+/// Collinear centers: rotate so the baseline is the x-axis, solve the 2×2
+/// linear system for `(p_t, R)`, recover the off-axis coordinate as `±√·`.
+fn collinear_path(circles: [Circle; 3], signs: [Tangency; 3], scale: f64) -> Vec<WitnessDisk> {
+    // Build an orthonormal frame along the most separated pair of centers.
+    let (ca, cb) = {
+        let d01 = circles[0].center.dist(circles[1].center);
+        let d02 = circles[0].center.dist(circles[2].center);
+        let d12 = circles[1].center.dist(circles[2].center);
+        if d01 >= d02 && d01 >= d12 {
+            (circles[0].center, circles[1].center)
+        } else if d02 >= d12 {
+            (circles[0].center, circles[2].center)
+        } else {
+            (circles[1].center, circles[2].center)
+        }
+    };
+    let axis = match (cb - ca).normalized() {
+        Some(u) => u,
+        None => return vec![], // all centers coincide: concentric degenerate
+    };
+    let nrm = axis.perp();
+    let origin = ca;
+
+    // Coordinates (t_i, n_i) of the centers in the rotated frame.
+    let coords: Vec<(f64, f64)> = circles
+        .iter()
+        .map(|c| {
+            let v = c.center - origin;
+            (v.dot(axis), v.dot(nrm))
+        })
+        .collect();
+    let n0 = coords[0].1;
+    if coords.iter().any(|&(_, n)| (n - n0).abs() > 1e-9 * scale) {
+        // Not actually collinear — conditioning said "thin" but the general
+        // path would divide by a tiny determinant; give up gracefully.
+        return vec![];
+    }
+
+    let (t1, r1, s1) = (coords[0].0, circles[0].radius, signs[0].sign());
+    let (t2, r2, s2) = (coords[1].0, circles[1].radius, signs[1].sign());
+    let (t3, r3, s3) = (coords[2].0, circles[2].radius, signs[2].sign());
+
+    // (p_t − t_i)² + h² = (R + s_i r_i)², h = p_n − n0.  Differences:
+    //   2(t_i − t_1) p_t + 2(s_i r_i − s_1 r_1) R = (t_i² − r_i²) − (t_1² − r_1²)
+    let a11 = 2.0 * (t2 - t1);
+    let a12 = 2.0 * (s2 * r2 - s1 * r1);
+    let b1 = (t2 * t2 - r2 * r2) - (t1 * t1 - r1 * r1);
+    let a21 = 2.0 * (t3 - t1);
+    let a22 = 2.0 * (s3 * r3 - s1 * r1);
+    let b2 = (t3 * t3 - r3 * r3) - (t1 * t1 - r1 * r1);
+
+    let det = a11 * a22 - a12 * a21;
+    if det.abs() <= 1e-14 * scale * scale {
+        return vec![];
+    }
+    let pt = (b1 * a22 - b2 * a12) / det;
+    let rr = (a11 * b2 - a21 * b1) / det;
+    if rr < -1e-9 * scale {
+        return vec![];
+    }
+    let r = rr.max(0.0);
+    let h2 = (r + s1 * r1) * (r + s1 * r1) - (pt - t1) * (pt - t1);
+    if h2 < -1e-9 * scale * scale {
+        return vec![];
+    }
+    let h = h2.max(0.0).sqrt();
+    let base = origin + axis * pt + nrm * n0;
+    if h == 0.0 {
+        vec![WitnessDisk {
+            center: base,
+            radius: r,
+        }]
+    } else {
+        vec![
+            WitnessDisk {
+                center: base + nrm * h,
+                radius: r,
+            },
+            WitnessDisk {
+                center: base - nrm * h,
+                radius: r,
+            },
+        ]
+    }
+}
+
+/// Real roots of `a x² + b x + c = 0` (degrades to linear when `|a|` tiny).
+fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    if a.abs() <= 1e-14 * (b.abs() + c.abs()).max(1.0) {
+        if b.abs() <= f64::MIN_POSITIVE {
+            return vec![];
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return vec![];
+    }
+    let sd = disc.sqrt();
+    // Numerically stable form avoiding cancellation.
+    let q = -0.5 * (b + b.signum() * sd);
+    if q == 0.0 {
+        return vec![0.0];
+    }
+    let x1 = q / a;
+    let x2 = c / q;
+    if (x1 - x2).abs() <= 1e-12 * (x1.abs() + x2.abs()).max(1.0) {
+        vec![x1]
+    } else {
+        vec![x1, x2]
+    }
+}
+
+fn validate(w: &WitnessDisk, circles: &[Circle; 3], signs: &[Tangency; 3], scale: f64) -> bool {
+    if w.radius < -RESIDUAL_TOL * scale || !w.center.is_finite() || !w.radius.is_finite() {
+        return false;
+    }
+    for (c, s) in circles.iter().zip(signs) {
+        let target = w.radius + s.sign() * c.radius;
+        if target < -RESIDUAL_TOL * scale {
+            return false;
+        }
+        let resid = (w.center.dist(c.center) - target).abs();
+        if resid > RESIDUAL_TOL * scale.max(w.radius) {
+            return false;
+        }
+    }
+    true
+}
+
+fn dedup(mut sols: Vec<WitnessDisk>, scale: f64) -> Vec<WitnessDisk> {
+    let tol = 1e-7 * scale;
+    let mut out: Vec<WitnessDisk> = Vec::with_capacity(sols.len());
+    sols.retain(|w| w.radius >= 0.0 || w.radius >= -tol);
+    for w in sols {
+        let w = WitnessDisk {
+            center: w.center,
+            radius: w.radius.max(0.0),
+        };
+        if !out
+            .iter()
+            .any(|o| o.center.dist(w.center) <= tol && (o.radius - w.radius).abs() <= tol)
+        {
+            out.push(w);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Tangency::{External, Internal};
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r)
+    }
+
+    fn assert_witness(w: &WitnessDisk, circles: &[Circle; 3], signs: &[Tangency; 3]) {
+        for (ci, si) in circles.iter().zip(signs) {
+            let target = w.radius + si.sign() * ci.radius;
+            let resid = (w.center.dist(ci.center) - target).abs();
+            assert!(
+                resid < 1e-6 * (1.0 + w.radius),
+                "residual {resid} for witness {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_unit_circles_external() {
+        // Symmetric configuration: centers on an equilateral triangle.
+        let circles = [c(0.0, 0.0, 1.0), c(4.0, 0.0, 1.0), c(2.0, 3.0, 1.0)];
+        let signs = [External, External, External];
+        let sols = tangent_circles(circles, signs);
+        assert!(!sols.is_empty());
+        for w in &sols {
+            assert_witness(w, &circles, &signs);
+        }
+    }
+
+    #[test]
+    fn point_sites_reduce_to_circumcircle() {
+        // Zero radii: the tangent circle through three points is the
+        // circumcircle regardless of signs.
+        let circles = [c(0.0, 0.0, 0.0), c(4.0, 0.0, 0.0), c(0.0, 3.0, 0.0)];
+        let sols = tangent_circles(circles, [External, External, External]);
+        assert_eq!(sols.len(), 1);
+        let cc = Circle::circumcircle(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        )
+        .unwrap();
+        assert!(sols[0].center.dist(cc.center) < 1e-9);
+        assert!((sols[0].radius - cc.radius).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_tangency_contains_disk() {
+        let circles = [c(-3.0, 0.0, 1.0), c(3.0, 0.0, 1.0), c(0.0, 1.0, 0.5)];
+        let signs = [External, External, Internal];
+        let sols = tangent_circles(circles, signs);
+        assert!(!sols.is_empty());
+        for w in &sols {
+            assert_witness(w, &circles, &signs);
+            // Internal tangency really contains the disk (tangency makes the
+            // containment tight, so allow rounding slack).
+            let slack = w.center.dist(circles[2].center) + circles[2].radius - w.radius;
+            assert!(slack <= 1e-7 * (1.0 + w.radius), "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn collinear_centers() {
+        // All centers on the x-axis (as in the paper's Θ(n²) construction,
+        // Theorem 2.10): solutions come in mirror pairs.
+        let circles = [c(-4.0, 0.0, 1.0), c(4.0, 0.0, 1.0), c(0.0, 0.0, 1.0)];
+        let signs = [External, External, Internal];
+        let sols = tangent_circles(circles, signs);
+        assert_eq!(sols.len(), 2, "mirror pair expected, got {sols:?}");
+        for w in &sols {
+            assert_witness(w, &circles, &signs);
+        }
+        assert!((sols[0].center.y + sols[1].center.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_solution_when_infeasible() {
+        // Asking a witness to contain a huge disk while externally touching
+        // two tiny far-away ones is infeasible.
+        let circles = [c(0.0, 0.0, 100.0), c(300.0, 0.0, 0.1), c(0.0, 300.0, 0.1)];
+        let signs = [Internal, External, External];
+        let sols = tangent_circles(circles, signs);
+        for w in &sols {
+            assert_witness(w, &circles, &signs);
+        }
+        // Either no solutions or only validated ones — never garbage.
+    }
+
+    #[test]
+    fn quadratic_solver() {
+        let r = solve_quadratic(1.0, -3.0, 2.0);
+        assert_eq!(r.len(), 2);
+        let (lo, hi) = (r[0].min(r[1]), r[0].max(r[1]));
+        assert!((lo - 1.0).abs() < 1e-12 && (hi - 2.0).abs() < 1e-12);
+        assert_eq!(solve_quadratic(0.0, 2.0, -4.0), vec![2.0]);
+        assert!(solve_quadratic(1.0, 0.0, 1.0).is_empty());
+        let dbl = solve_quadratic(1.0, -2.0, 1.0);
+        assert_eq!(dbl.len(), 1);
+        assert!((dbl[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_configurations_have_valid_witnesses() {
+        // Light-weight deterministic fuzz: pseudo-random circle triples.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let circles = [
+                c(next() * 20.0 - 10.0, next() * 20.0 - 10.0, next() * 2.0),
+                c(next() * 20.0 - 10.0, next() * 20.0 - 10.0, next() * 2.0),
+                c(next() * 20.0 - 10.0, next() * 20.0 - 10.0, next() * 2.0),
+            ];
+            for signs in [
+                [External, External, External],
+                [External, External, Internal],
+                [Internal, External, External],
+            ] {
+                for w in tangent_circles(circles, signs) {
+                    assert_witness(&w, &circles, &signs);
+                }
+            }
+        }
+    }
+}

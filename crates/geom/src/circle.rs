@@ -1,0 +1,245 @@
+//! Circles and disks.
+//!
+//! A [`Circle`] doubles as a *disk* (its closed interior) throughout the
+//! workspace — the uncertainty regions of the paper's continuous model are
+//! disks `D_i`, and the "witness disks" certifying the vertices of `V≠0` are
+//! disks tangent to three of them.
+
+use crate::point::Point;
+use crate::predicates::orient2d;
+
+/// A circle (equivalently, the closed disk it bounds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0, "negative radius {radius}");
+        Circle { center, radius }
+    }
+
+    /// A zero-radius circle (a point site).
+    pub fn point(center: Point) -> Self {
+        Circle {
+            center,
+            radius: 0.0,
+        }
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Minimum distance from `q` to the disk: `δ(q) = max(‖q − c‖ − r, 0)`
+    /// (Section 2.1 of the paper).
+    #[inline]
+    pub fn min_dist(&self, q: Point) -> f64 {
+        (self.center.dist(q) - self.radius).max(0.0)
+    }
+
+    /// Maximum distance from `q` to the disk: `Δ(q) = ‖q − c‖ + r`.
+    #[inline]
+    pub fn max_dist(&self, q: Point) -> f64 {
+        self.center.dist(q) + self.radius
+    }
+
+    /// `true` iff `q` lies in the closed disk.
+    #[inline]
+    pub fn contains(&self, q: Point) -> bool {
+        q.dist2(self.center) <= self.radius * self.radius
+    }
+
+    /// `true` iff the closed disks share at least one point.
+    #[inline]
+    pub fn intersects_disk(&self, other: &Circle) -> bool {
+        self.center.dist(other.center) <= self.radius + other.radius
+    }
+
+    /// `true` iff `other`'s closed disk is contained in this closed disk.
+    #[inline]
+    pub fn contains_disk(&self, other: &Circle) -> bool {
+        self.center.dist(other.center) + other.radius <= self.radius
+    }
+
+    /// Intersection points of the two circles' *boundaries*, if the circles
+    /// intersect transversally or tangentially. Returns `None` when disjoint
+    /// or nested, `Some((p, p))` for tangency.
+    pub fn intersection_points(&self, other: &Circle) -> Option<(Point, Point)> {
+        let d = self.center.dist(other.center);
+        let (r1, r2) = (self.radius, other.radius);
+        if d > r1 + r2 || d < (r1 - r2).abs() || d == 0.0 {
+            return None;
+        }
+        // Distance from self.center to the radical line.
+        let a = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+        let h2 = r1 * r1 - a * a;
+        let h = h2.max(0.0).sqrt();
+        let dir = (other.center - self.center) / d;
+        let mid = self.center + dir * a;
+        let off = dir.perp() * h;
+        Some((mid + off, mid - off))
+    }
+
+    /// Area of the intersection of the two closed disks (a "lens").
+    ///
+    /// This is the building block of the analytic distance cdf `G_{q,i}(r)`
+    /// for uniform-disk uncertain points: the probability that `P_i` lies
+    /// within distance `r` of `q` is `lens_area(disk(q, r), D_i) / area(D_i)`.
+    pub fn lens_area(&self, other: &Circle) -> f64 {
+        let d = self.center.dist(other.center);
+        let (r1, r2) = (self.radius, other.radius);
+        if r1 == 0.0 || r2 == 0.0 || d >= r1 + r2 {
+            return 0.0;
+        }
+        if d <= (r1 - r2).abs() {
+            let rmin = r1.min(r2);
+            return std::f64::consts::PI * rmin * rmin;
+        }
+        let alpha = ((d * d + r1 * r1 - r2 * r2) / (2.0 * d * r1)).clamp(-1.0, 1.0);
+        let beta = ((d * d + r2 * r2 - r1 * r1) / (2.0 * d * r2)).clamp(-1.0, 1.0);
+        let t1 = r1 * r1 * alpha.acos();
+        let t2 = r2 * r2 * beta.acos();
+        let k = (-d + r1 + r2) * (d + r1 - r2) * (d - r1 + r2) * (d + r1 + r2);
+        t1 + t2 - 0.5 * k.max(0.0).sqrt()
+    }
+
+    /// Circumcircle of three points; `None` when (nearly) collinear.
+    pub fn circumcircle(a: Point, b: Point, c: Point) -> Option<Circle> {
+        // Solve |p-a|² = |p-b|² = |p-c|² as a 2x2 linear system.
+        let det = orient2d(a, b, c);
+        if det == 0.0 {
+            return None;
+        }
+        let d = 2.0 * ((a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x));
+        if d == 0.0 {
+            return None;
+        }
+        let a2 = a.x * a.x + a.y * a.y - (c.x * c.x + c.y * c.y);
+        let b2 = b.x * b.x + b.y * b.y - (c.x * c.x + c.y * c.y);
+        let ux = (a2 * (b.y - c.y) - b2 * (a.y - c.y)) / d;
+        let uy = (b2 * (a.x - c.x) - a2 * (b.x - c.x)) / d;
+        let center = Point::new(ux, uy);
+        if !center.is_finite() {
+            return None;
+        }
+        // Use the max over the three defining points to be conservative.
+        let r = center.dist(a).max(center.dist(b)).max(center.dist(c));
+        Some(Circle::new(center, r))
+    }
+
+    /// Circle with the segment `a`–`b` as diameter.
+    pub fn diametral(a: Point, b: Point) -> Circle {
+        Circle::new(a.midpoint(b), 0.5 * a.dist(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn distances() {
+        let d = Circle::new(Point::new(0.0, 0.0), 5.0);
+        let q = Point::new(6.0, 8.0); // dist 10 from center — the paper's Fig. 1
+        assert_eq!(d.min_dist(q), 5.0);
+        assert_eq!(d.max_dist(q), 15.0);
+        assert_eq!(d.min_dist(Point::new(1.0, 0.0)), 0.0);
+        assert!(d.contains(Point::new(3.0, 4.0)));
+        assert!(!d.contains(Point::new(3.1, 4.0)));
+    }
+
+    #[test]
+    fn intersection_points_symmetry() {
+        let c1 = Circle::new(Point::new(0.0, 0.0), 2.0);
+        let c2 = Circle::new(Point::new(2.0, 0.0), 2.0);
+        let (p, q) = c1.intersection_points(&c2).unwrap();
+        for pt in [p, q] {
+            assert!((pt.dist(c1.center) - 2.0).abs() < 1e-12);
+            assert!((pt.dist(c2.center) - 2.0).abs() < 1e-12);
+        }
+        assert!((p.x - 1.0).abs() < 1e-12 && (q.x - 1.0).abs() < 1e-12);
+
+        // Disjoint and nested cases.
+        let far = Circle::new(Point::new(10.0, 0.0), 1.0);
+        assert!(c1.intersection_points(&far).is_none());
+        let inner = Circle::new(Point::new(0.1, 0.0), 0.5);
+        assert!(c1.intersection_points(&inner).is_none());
+        assert!(c1.contains_disk(&inner));
+        assert!(!inner.contains_disk(&c1));
+    }
+
+    #[test]
+    fn lens_area_limits() {
+        let c1 = Circle::new(Point::new(0.0, 0.0), 1.0);
+        // Identical circles: full area.
+        assert!((c1.lens_area(&c1) - PI).abs() < 1e-12);
+        // Disjoint: zero.
+        let c2 = Circle::new(Point::new(3.0, 0.0), 1.0);
+        assert_eq!(c1.lens_area(&c2), 0.0);
+        // Nested: area of the smaller.
+        let c3 = Circle::new(Point::new(0.2, 0.0), 0.3);
+        assert!((c1.lens_area(&c3) - PI * 0.09).abs() < 1e-12);
+        // Half-overlap sanity: monotone in distance.
+        let mut last = PI;
+        for k in 1..=20 {
+            let d = 2.0 * k as f64 / 20.0;
+            let c = Circle::new(Point::new(d, 0.0), 1.0);
+            let a = c1.lens_area(&c);
+            assert!(a <= last + 1e-12, "lens area must decrease with distance");
+            last = a;
+        }
+        assert!(last.abs() < 1e-9);
+    }
+
+    #[test]
+    fn lens_area_matches_monte_carlo() {
+        // Deterministic grid quadrature cross-check.
+        let c1 = Circle::new(Point::new(0.0, 0.0), 1.5);
+        let c2 = Circle::new(Point::new(1.0, 0.5), 1.0);
+        let n = 800;
+        let lo = -2.0;
+        let hi = 2.5;
+        let step = (hi - lo) / n as f64;
+        let mut hits = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                let p = Point::new(lo + (i as f64 + 0.5) * step, lo + (j as f64 + 0.5) * step);
+                if c1.contains(p) && c2.contains(p) {
+                    hits += 1;
+                }
+            }
+        }
+        let approx = hits as f64 * step * step;
+        let exact = c1.lens_area(&c2);
+        assert!(
+            (approx - exact).abs() < 0.01,
+            "grid {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn circumcircle_properties() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let c = Point::new(0.0, 3.0);
+        let cc = Circle::circumcircle(a, b, c).unwrap();
+        for p in [a, b, c] {
+            assert!((cc.center.dist(p) - cc.radius).abs() < 1e-12);
+        }
+        // Collinear points have no circumcircle.
+        assert!(Circle::circumcircle(a, b, Point::new(8.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn diametral_circle() {
+        let c = Circle::diametral(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert_eq!(c.center, Point::new(1.0, 0.0));
+        assert_eq!(c.radius, 1.0);
+        assert!(c.contains(Point::new(1.0, 0.99)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Halfplane intersection.
+//!
+//! For discrete uncertain points, the region where `P_j` surely beats `P_i`
+//! (`Φ_j(x) ≤ φ_i(x)`, Lemma 2.13 of the paper) is an intersection of at most
+//! `k²` halfplanes `ℓ_ab(x) ≤ 0` with
+//! `ℓ_ab(x) = ‖p_jb‖² − ‖p_ia‖² − 2⟨x, p_jb − p_ia⟩`. We intersect the
+//! halfplanes by successive convex clipping against a caller-provided
+//! bounding box, which is exactly how the diagram construction consumes the
+//! result (everything is clipped to a working box anyway).
+
+use crate::point::{Aabb, Point, Vector};
+use crate::polygon::{box_polygon, clip_convex_by_halfplane, dedup_vertices, signed_area};
+
+/// The halfplane `{ x : n·x ≤ c }`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halfplane {
+    pub n: Vector,
+    pub c: f64,
+}
+
+impl Halfplane {
+    pub fn new(n: Vector, c: f64) -> Self {
+        Halfplane { n, c }
+    }
+
+    /// The halfplane of points at least as close to `a` as to `b`
+    /// (`‖x − a‖ ≤ ‖x − b‖`).
+    pub fn closer_to(a: Point, b: Point) -> Self {
+        // ‖x−a‖² ≤ ‖x−b‖²  ⇔  2(b−a)·x ≤ ‖b‖² − ‖a‖²
+        let n = (b - a) * 2.0;
+        let c = b.to_vector().norm2() - a.to_vector().norm2();
+        Halfplane { n, c }
+    }
+
+    /// Signed value `n·x − c` (≤ 0 inside).
+    #[inline]
+    pub fn eval(&self, x: Point) -> f64 {
+        self.n.dot(x.to_vector()) - self.c
+    }
+
+    #[inline]
+    pub fn contains(&self, x: Point) -> bool {
+        self.eval(x) <= 0.0
+    }
+
+    /// A point on the boundary line (requires `n ≠ 0`).
+    pub fn boundary_point(&self) -> Option<Point> {
+        let n2 = self.n.norm2();
+        if n2 <= f64::MIN_POSITIVE {
+            return None;
+        }
+        Some(Point::ORIGIN + self.n * (self.c / n2))
+    }
+}
+
+/// Intersects the halfplanes, clipped to `bbox`. Returns the convex polygon
+/// (counter-clockwise), or an empty vector when the intersection ∩ box is
+/// empty (or degenerate to measure zero).
+///
+/// Halfplanes with a (near-)zero normal are treated as "whole plane" when
+/// `c ≥ 0` and "empty" when `c < 0`.
+pub fn intersect_halfplanes(planes: &[Halfplane], bbox: &Aabb) -> Vec<Point> {
+    let mut poly = box_polygon(bbox);
+    for hp in planes {
+        let n2 = hp.n.norm2();
+        if n2 <= f64::MIN_POSITIVE {
+            if hp.c < 0.0 {
+                return vec![];
+            }
+            continue;
+        }
+        let p0 = match hp.boundary_point() {
+            Some(p) => p,
+            None => continue,
+        };
+        poly = clip_convex_by_halfplane(&poly, p0, hp.n);
+        if poly.len() < 3 {
+            return vec![];
+        }
+    }
+    dedup_vertices(&mut poly, 1e-12 * bbox.radius().max(1.0));
+    if poly.len() < 3 || signed_area(&poly).abs() < f64::MIN_POSITIVE {
+        vec![]
+    } else {
+        poly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polygon::convex_contains;
+
+    fn bbox() -> Aabb {
+        Aabb::from_corners(Point::new(-10.0, -10.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn quadrant() {
+        // x ≥ 0 and y ≥ 0 (as n·x ≤ c forms).
+        let planes = [
+            Halfplane::new(Vector::new(-1.0, 0.0), 0.0),
+            Halfplane::new(Vector::new(0.0, -1.0), 0.0),
+        ];
+        let poly = intersect_halfplanes(&planes, &bbox());
+        assert!((crate::polygon::signed_area(&poly) - 100.0).abs() < 1e-9);
+        assert!(convex_contains(&poly, Point::new(5.0, 5.0)));
+        assert!(!convex_contains(&poly, Point::new(-1.0, 5.0)));
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let planes = [
+            Halfplane::new(Vector::new(1.0, 0.0), -1.0),  // x ≤ -1
+            Halfplane::new(Vector::new(-1.0, 0.0), -1.0), // x ≥ 1
+        ];
+        assert!(intersect_halfplanes(&planes, &bbox()).is_empty());
+    }
+
+    #[test]
+    fn bisector_halfplane() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let hp = Halfplane::closer_to(a, b);
+        assert!(hp.contains(Point::new(1.0, 3.0)));
+        assert!(!hp.contains(Point::new(3.0, -2.0)));
+        assert!(hp.eval(Point::new(2.0, 7.0)).abs() < 1e-12); // on the bisector
+
+        let planes = [hp];
+        let poly = intersect_halfplanes(&planes, &bbox());
+        // The bisector is x = 2, so the kept part of the 20×20 box has width
+        // 12 and area 240.
+        assert!((crate::polygon::signed_area(&poly) - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_normals() {
+        let ok = Halfplane::new(Vector::new(0.0, 0.0), 1.0);
+        let bad = Halfplane::new(Vector::new(0.0, 0.0), -1.0);
+        assert_eq!(intersect_halfplanes(&[ok], &bbox()).len(), 4);
+        assert!(intersect_halfplanes(&[bad], &bbox()).is_empty());
+    }
+
+    #[test]
+    fn random_intersections_are_correct() {
+        let mut state = 123u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        for _ in 0..50 {
+            let planes: Vec<Halfplane> = (0..8)
+                .map(|_| Halfplane::new(Vector::new(next(), next()), next() * 3.0))
+                .collect();
+            let poly = intersect_halfplanes(&planes, &bbox());
+            if poly.is_empty() {
+                continue;
+            }
+            // Every vertex must satisfy all constraints (within tolerance),
+            // and the centroid strictly.
+            for v in &poly {
+                for hp in &planes {
+                    assert!(hp.eval(*v) <= 1e-7, "vertex violates constraint");
+                }
+            }
+            if let Some(c) = crate::polygon::centroid(&poly) {
+                for hp in &planes {
+                    assert!(hp.eval(c) <= 1e-7);
+                }
+            }
+        }
+    }
+}

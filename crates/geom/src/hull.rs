@@ -1,0 +1,166 @@
+//! Convex hulls (Andrew's monotone chain) and farthest-point queries.
+//!
+//! For a discrete uncertain point `P_i`, `Δ_i(q) = max_j ‖q − p_ij‖` is
+//! always attained at a vertex of the convex hull of `P_i` (the distance
+//! function is convex), so hulls let us evaluate `Δ_i` by scanning only hull
+//! vertices. We deliberately use a *linear* scan over hull vertices instead
+//! of the folklore "binary search for the farthest vertex": the vertex
+//! distance sequence of a convex polygon is **not** unimodal in general, so
+//! binary/ternary search is incorrect; with the paper's small per-point
+//! description complexity `k`, the linear scan is both correct and fast.
+
+use crate::point::Point;
+use crate::predicates::orient2d;
+
+/// Convex hull of `points` in counter-clockwise order, with collinear
+/// boundary points removed. Returns fewer than 3 points for degenerate
+/// inputs (all points equal / collinear: the extreme points are returned).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a == b);
+    if pts.len() < 3 {
+        return pts;
+    }
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 && orient2d(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 && orient2d(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+/// A convex hull prepared for repeated farthest-point queries.
+#[derive(Clone, Debug)]
+pub struct FarthestPointHull {
+    /// Hull vertices, counter-clockwise (may be 1 or 2 points when the input
+    /// is degenerate).
+    pub vertices: Vec<Point>,
+}
+
+impl FarthestPointHull {
+    /// Builds the hull of `points` (which must be non-empty).
+    pub fn build(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "empty point set");
+        let hull = convex_hull(points);
+        let vertices = if hull.is_empty() {
+            vec![points[0]]
+        } else {
+            hull
+        };
+        FarthestPointHull { vertices }
+    }
+
+    /// The farthest input point from `q` and its distance.
+    ///
+    /// Uses `Point::dist` (hypot) so the value is *bitwise identical* to the
+    /// distances computed by every other query path — the strict
+    /// inequalities of Lemma 2.1 rely on exact agreement when locations are
+    /// shared between uncertain points.
+    pub fn farthest(&self, q: Point) -> (Point, f64) {
+        let mut best = self.vertices[0];
+        let mut best_d = q.dist(best);
+        for &v in &self.vertices[1..] {
+            let d = q.dist(v);
+            if d > best_d {
+                best_d = d;
+                best = v;
+            }
+        }
+        (best, best_d)
+    }
+
+    /// `Δ(q)`: the maximum distance from `q` to the point set.
+    #[inline]
+    pub fn max_dist(&self, q: Point) -> f64 {
+        self.farthest(q).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(1.0, 1.0),
+            p(0.5, 0.7),
+            p(1.0, 0.0), // collinear boundary point must be dropped
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // Counter-clockwise orientation.
+        for i in 0..h.len() {
+            let a = h[i];
+            let b = h[(i + 1) % h.len()];
+            let c = h[(i + 2) % h.len()];
+            assert!(orient2d(a, b, c) > 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_degenerate() {
+        assert_eq!(convex_hull(&[]).len(), 0);
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 1.0), p(1.0, 1.0)]).len(), 1);
+        let collinear = convex_hull(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]);
+        assert_eq!(collinear.len(), 2); // extreme points only
+    }
+
+    #[test]
+    fn farthest_matches_brute_force() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+        };
+        for _ in 0..100 {
+            let pts: Vec<Point> = (0..12).map(|_| p(next(), next())).collect();
+            let hull = FarthestPointHull::build(&pts);
+            for _ in 0..10 {
+                let q = p(next() * 3.0, next() * 3.0);
+                let brute = pts
+                    .iter()
+                    .map(|&t| q.dist(t))
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let (_, got) = hull.farthest(q);
+                assert!((got - brute).abs() < 1e-9, "got {got}, brute {brute}");
+            }
+        }
+    }
+
+    #[test]
+    fn farthest_single_point() {
+        let hull = FarthestPointHull::build(&[p(3.0, 4.0)]);
+        assert_eq!(hull.max_dist(p(0.0, 0.0)), 5.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! `uncertain-geom`: the planar computational-geometry substrate for the
+//! `uncertain-nn` workspace (a reproduction of *Nearest-Neighbor Searching
+//! Under Uncertainty II*, PODS 2013).
+//!
+//! Everything here is written from scratch on `f64` coordinates:
+//!
+//! * [`Point`], [`Vector`], [`Aabb`] — basic affine geometry.
+//! * [`predicates`] — adaptive-precision `orient2d` / `incircle` tests with an
+//!   exact expansion-arithmetic fallback (Shewchuk's technique), used by the
+//!   Delaunay and arrangement substrates.
+//! * [`Circle`] — circles/disks, min/max distance, circle–circle
+//!   intersections and lens areas (the analytic distance cdf `G_{q,i}` for
+//!   uniform-disk uncertain points).
+//! * [`apollonius`] — disks tangent to three given circles with prescribed
+//!   inside/outside orientations: every vertex of the nonzero Voronoi diagram
+//!   `V≠0` is the center of such a witness disk.
+//! * [`hyperbola`] — the bisector-like curves `γ_ij = {x : δ_i(x) = Δ_j(x)}`
+//!   in polar form around a focus, with closed-form pairwise crossings.
+//! * [`sec`] — Welzl's smallest enclosing circle.
+//! * [`hull`] — convex hulls and logarithmic farthest-point queries.
+//! * [`halfplane`] — halfplane intersection (the convex polygons `K_ij` of
+//!   the discrete diagram).
+//! * [`polygon`] — convex-polygon utilities and clipping.
+//! * [`angle`] — circular-arithmetic helpers for polar envelopes.
+
+pub mod angle;
+pub mod apollonius;
+pub mod circle;
+pub mod halfplane;
+pub mod hull;
+pub mod hyperbola;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod sec;
+
+pub use circle::Circle;
+pub use point::{Aabb, Point, Vector};
+
+/// Default relative tolerance used by geometric routines that compare
+/// algebraically-derived quantities (tangency residuals, envelope
+/// breakpoints). Absolute tolerances are derived by multiplying with the
+/// magnitude of the data involved.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` are equal up to [`EPS`] relative to the
+/// larger magnitude (with an absolute floor of `EPS` for values near zero).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basics() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+        assert!(approx_eq(0.0, 1e-12));
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+    }
+}

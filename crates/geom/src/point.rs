@@ -1,0 +1,390 @@
+//! Points, vectors, and axis-aligned bounding boxes in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in the plane with `f64` coordinates.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A displacement vector in the plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vector {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: Point) -> f64 {
+        (*self - other).norm2()
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        *self + (other - *self) * t
+    }
+
+    /// Position vector from the origin.
+    #[inline]
+    pub fn to_vector(&self) -> Vector {
+        Vector::new(self.x, self.y)
+    }
+
+    /// `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vector {
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Unit vector in direction `theta` (radians).
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Vector::new(theta.cos(), theta.sin())
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (`z` component of the 3-D cross product).
+    #[inline]
+    pub fn cross(&self, other: Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Counter-clockwise perpendicular vector.
+    #[inline]
+    pub fn perp(&self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Angle of this vector in `(-π, π]` (via `atan2`).
+    #[inline]
+    pub fn angle(&self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The vector scaled to unit length; returns `None` for (near-)zero
+    /// vectors.
+    pub fn normalized(&self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::MIN_POSITIVE {
+            None
+        } else {
+            Some(*self / n)
+        }
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.x;
+        self.y -= v.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, s: f64) -> Vector {
+        Vector::new(self.x * s, self.y * s)
+    }
+}
+
+impl Mul<Vector> for f64 {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, v: Vector) -> Vector {
+        v * self
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, s: f64) -> Vector {
+        Vector::new(self.x / s, self.y / s)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned bounding box. An *empty* box has `lo > hi` component-wise
+/// and is produced by [`Aabb::empty`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub lo: Point,
+    pub hi: Point,
+}
+
+impl Aabb {
+    /// The empty box (identity for [`Aabb::union`]).
+    pub fn empty() -> Self {
+        Aabb {
+            lo: Point::new(f64::INFINITY, f64::INFINITY),
+            hi: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning the two corner points (in any order).
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Aabb {
+            lo: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            hi: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Smallest box containing all `points`.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut b = Aabb::empty();
+        for p in points {
+            b.extend(p);
+        }
+        b
+    }
+
+    /// `true` when no point has been added.
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Grows the box to contain `p`.
+    pub fn extend(&mut self, p: Point) {
+        self.lo.x = self.lo.x.min(p.x);
+        self.lo.y = self.lo.y.min(p.y);
+        self.hi.x = self.hi.x.max(p.x);
+        self.hi.y = self.hi.y.max(p.y);
+    }
+
+    /// The smallest box containing both boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// The box inflated by `margin` on every side.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb {
+            lo: Point::new(self.lo.x - margin, self.lo.y - margin),
+            hi: Point::new(self.hi.x + margin, self.hi.y + margin),
+        }
+    }
+
+    /// `true` iff `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Euclidean distance from `p` to the box (0 when inside).
+    #[inline]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
+        let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
+        dx.hypot(dy)
+    }
+
+    /// Largest distance from `p` to any point of the box.
+    #[inline]
+    pub fn max_dist_to_point(&self, p: Point) -> f64 {
+        let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
+        let dy = (p.y - self.lo.y).abs().max((p.y - self.hi.y).abs());
+        dx.hypot(dy)
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        self.lo.midpoint(self.hi)
+    }
+
+    pub fn width(&self) -> f64 {
+        self.hi.x - self.lo.x
+    }
+
+    pub fn height(&self) -> f64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Half the diagonal length; a convenient "scale" of the box.
+    pub fn radius(&self) -> f64 {
+        0.5 * self.width().hypot(self.height())
+    }
+
+    /// The four corners in counter-clockwise order starting at `lo`.
+    pub fn corners(&self) -> [Point; 4] {
+        [
+            self.lo,
+            Point::new(self.hi.x, self.lo.y),
+            self.hi,
+            Point::new(self.lo.x, self.hi.y),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(4.0, 6.0);
+        let v = q - p;
+        assert_eq!(v, Vector::new(3.0, 4.0));
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(p + v, q);
+        assert_eq!(p.dist(q), 5.0);
+        assert_eq!(p.dist2(q), 25.0);
+        assert_eq!(p.midpoint(q), Point::new(2.5, 4.0));
+        assert_eq!(p.lerp(q, 0.0), p);
+        assert_eq!(p.lerp(q, 1.0), q);
+    }
+
+    #[test]
+    fn vector_products() {
+        let a = Vector::new(1.0, 0.0);
+        let b = Vector::new(0.0, 2.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 2.0);
+        assert_eq!(a.perp(), Vector::new(0.0, 1.0));
+        assert!((Vector::from_angle(std::f64::consts::FRAC_PI_2).y - 1.0).abs() < 1e-15);
+        assert_eq!(b.normalized(), Some(Vector::new(0.0, 1.0)));
+        assert_eq!(Vector::new(0.0, 0.0).normalized(), None);
+    }
+
+    #[test]
+    fn aabb_basics() {
+        let b = Aabb::from_points([Point::new(0.0, 1.0), Point::new(2.0, -1.0)]);
+        assert!(!b.is_empty());
+        assert!(b.contains(Point::new(1.0, 0.0)));
+        assert!(!b.contains(Point::new(3.0, 0.0)));
+        assert_eq!(b.dist_to_point(Point::new(1.0, 0.0)), 0.0);
+        assert_eq!(b.dist_to_point(Point::new(4.0, 1.0)), 2.0);
+        assert_eq!(b.width(), 2.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.center(), Point::new(1.0, 0.0));
+        let far = b.max_dist_to_point(Point::new(0.0, 1.0));
+        assert!((far - (2.0f64.powi(2) + 2.0f64.powi(2)).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aabb_empty_union() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        let b = Aabb::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(e.union(&b), b);
+        let infl = b.inflated(1.0);
+        assert_eq!(infl.lo, Point::new(-1.0, -1.0));
+        assert_eq!(infl.hi, Point::new(2.0, 2.0));
+    }
+}

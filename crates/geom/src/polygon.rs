@@ -1,0 +1,159 @@
+//! Polygon utilities (mostly for convex polygons produced by halfplane
+//! intersection and Voronoi-cell clipping).
+
+use crate::point::{Aabb, Point};
+use crate::predicates::orient2d;
+
+/// Signed area of a simple polygon (positive when counter-clockwise).
+pub fn signed_area(poly: &[Point]) -> f64 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut s = 0.0;
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        s += a.x * b.y - b.x * a.y;
+    }
+    0.5 * s
+}
+
+/// Centroid of a simple polygon with nonzero area.
+pub fn centroid(poly: &[Point]) -> Option<Point> {
+    let a = signed_area(poly);
+    if a.abs() < f64::MIN_POSITIVE {
+        return None;
+    }
+    let (mut cx, mut cy) = (0.0, 0.0);
+    for i in 0..poly.len() {
+        let p = poly[i];
+        let q = poly[(i + 1) % poly.len()];
+        let w = p.x * q.y - q.x * p.y;
+        cx += (p.x + q.x) * w;
+        cy += (p.y + q.y) * w;
+    }
+    Some(Point::new(cx / (6.0 * a), cy / (6.0 * a)))
+}
+
+/// `true` iff `q` lies in the closed convex polygon `poly` (counter-clockwise
+/// vertex order). Exact on boundaries thanks to robust orientation.
+pub fn convex_contains(poly: &[Point], q: Point) -> bool {
+    if poly.len() < 3 {
+        return false;
+    }
+    for i in 0..poly.len() {
+        let a = poly[i];
+        let b = poly[(i + 1) % poly.len()];
+        if orient2d(a, b, q) < 0.0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Clips a convex polygon by the halfplane `{x : n·(x − p0) ≤ 0}` described
+/// by a point `p0` on its boundary line and the outward normal `n`
+/// (Sutherland–Hodgman step). The polygon must be convex; the result is
+/// convex (possibly empty).
+pub fn clip_convex_by_halfplane(poly: &[Point], p0: Point, n: crate::point::Vector) -> Vec<Point> {
+    let side = |p: Point| (p - p0).dot(n); // ≤ 0 is inside
+    let mut out = Vec::with_capacity(poly.len() + 2);
+    for i in 0..poly.len() {
+        let cur = poly[i];
+        let nxt = poly[(i + 1) % poly.len()];
+        let sc = side(cur);
+        let sn = side(nxt);
+        if sc <= 0.0 {
+            out.push(cur);
+        }
+        if (sc < 0.0 && sn > 0.0) || (sc > 0.0 && sn < 0.0) {
+            let t = sc / (sc - sn);
+            out.push(cur.lerp(nxt, t));
+        }
+    }
+    out
+}
+
+/// Axis-aligned box as a counter-clockwise polygon.
+pub fn box_polygon(b: &Aabb) -> Vec<Point> {
+    b.corners().to_vec()
+}
+
+/// Removes consecutive (near-)duplicate vertices; also merges the closing
+/// vertex with the first. `tol` is an absolute distance.
+pub fn dedup_vertices(poly: &mut Vec<Point>, tol: f64) {
+    if poly.is_empty() {
+        return;
+    }
+    let mut out: Vec<Point> = Vec::with_capacity(poly.len());
+    for &p in poly.iter() {
+        if out.last().is_none_or(|l| l.dist(p) > tol) {
+            out.push(p);
+        }
+    }
+    while out.len() > 1 && out[0].dist(*out.last().unwrap()) <= tol {
+        out.pop();
+    }
+    *poly = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Vector;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn unit_square() -> Vec<Point> {
+        vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let sq = unit_square();
+        assert!((signed_area(&sq) - 1.0).abs() < 1e-15);
+        assert_eq!(centroid(&sq), Some(p(0.5, 0.5)));
+        let cw: Vec<Point> = sq.iter().rev().copied().collect();
+        assert!((signed_area(&cw) + 1.0).abs() < 1e-15);
+        assert!(centroid(&[p(0.0, 0.0), p(1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn contains() {
+        let sq = unit_square();
+        assert!(convex_contains(&sq, p(0.5, 0.5)));
+        assert!(convex_contains(&sq, p(0.0, 0.0))); // boundary
+        assert!(convex_contains(&sq, p(0.5, 0.0))); // edge
+        assert!(!convex_contains(&sq, p(1.5, 0.5)));
+        assert!(!convex_contains(&[p(0.0, 0.0), p(1.0, 0.0)], p(0.5, 0.0)));
+    }
+
+    #[test]
+    fn clipping() {
+        let sq = unit_square();
+        // Clip by x ≤ 0.5.
+        let clipped = clip_convex_by_halfplane(&sq, p(0.5, 0.0), Vector::new(1.0, 0.0));
+        assert!((signed_area(&clipped) - 0.5).abs() < 1e-12);
+        // Clip away everything.
+        let empty = clip_convex_by_halfplane(&sq, p(-1.0, 0.0), Vector::new(1.0, 0.0));
+        assert!(signed_area(&empty).abs() < 1e-12);
+        // Clip with polygon fully inside.
+        let all = clip_convex_by_halfplane(&sq, p(5.0, 0.0), Vector::new(1.0, 0.0));
+        assert!((signed_area(&all) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup() {
+        let mut poly = vec![
+            p(0.0, 0.0),
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1e-12),
+        ];
+        dedup_vertices(&mut poly, 1e-9);
+        assert_eq!(poly.len(), 3);
+    }
+}

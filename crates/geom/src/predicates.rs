@@ -1,0 +1,509 @@
+//! Adaptive-precision geometric predicates.
+//!
+//! `orient2d` and `incircle` are evaluated with a fast floating-point filter
+//! first (with a forward error bound following Shewchuk, *Adaptive Precision
+//! Floating-Point Arithmetic and Fast Robust Geometric Predicates*, 1997).
+//! When the filter cannot certify the sign, the determinant is recomputed
+//! *exactly* using multi-term floating-point expansions, so the returned sign
+//! is always correct. This is what makes the Delaunay triangulation and the
+//! arrangement substrates immune to near-degenerate inputs such as the
+//! paper's lower-bound constructions (which place many points cocircularly on
+//! purpose).
+
+use crate::point::Point;
+
+/// Half an ulp of 1.0: the machine epsilon in Shewchuk's convention (2⁻⁵³).
+const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
+/// 2²⁷ + 1, used to split a double into two 26-bit halves.
+const SPLITTER: f64 = 134_217_729.0;
+
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
+const ICC_ERRBOUND_A: f64 = (10.0 + 96.0 * EPSILON) * EPSILON;
+
+// ---------------------------------------------------------------------------
+// Exact floating-point primitives
+// ---------------------------------------------------------------------------
+
+/// Exact sum assuming `|a| >= |b|`: returns `(x, y)` with `a + b = x + y`
+/// exactly and `x = fl(a + b)`.
+#[inline]
+fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bv = x - a;
+    (x, b - bv)
+}
+
+/// Exact sum of two doubles: `a + b = x + y` with `x = fl(a + b)`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let bv = x - a;
+    let av = x - bv;
+    let br = b - bv;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Splits `a` into two non-overlapping halves `(hi, lo)` with `a = hi + lo`.
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let abig = c - a;
+    let hi = c - abig;
+    (hi, a - hi)
+}
+
+/// Exact product: `a * b = x + y` with `x = fl(a * b)`.
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+// ---------------------------------------------------------------------------
+// Expansion arithmetic (components sorted by increasing magnitude,
+// zero-eliminated)
+// ---------------------------------------------------------------------------
+
+/// Sum of two expansions (Shewchuk's `FAST_EXPANSION_SUM_ZEROELIM`).
+pub fn expansion_sum(e: &[f64], f: &[f64]) -> Vec<f64> {
+    if e.is_empty() {
+        return f.iter().copied().filter(|&x| x != 0.0).collect();
+    }
+    if f.is_empty() {
+        return e.iter().copied().filter(|&x| x != 0.0).collect();
+    }
+    let mut h = Vec::with_capacity(e.len() + f.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    // Start with the smaller-magnitude head.
+    let mut q = if (f[0] > e[0]) == (f[0] > -e[0]) {
+        i = 1;
+        e[0]
+    } else {
+        j = 1;
+        f[0]
+    };
+    if i < e.len() && j < f.len() {
+        let (qnew, hh) = if (f[j] > e[i]) == (f[j] > -e[i]) {
+            let r = fast_two_sum(e[i], q);
+            i += 1;
+            r
+        } else {
+            let r = fast_two_sum(f[j], q);
+            j += 1;
+            r
+        };
+        q = qnew;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        while i < e.len() && j < f.len() {
+            let (qnew, hh) = if (f[j] > e[i]) == (f[j] > -e[i]) {
+                let r = two_sum(q, e[i]);
+                i += 1;
+                r
+            } else {
+                let r = two_sum(q, f[j]);
+                j += 1;
+                r
+            };
+            q = qnew;
+            if hh != 0.0 {
+                h.push(hh);
+            }
+        }
+    }
+    while i < e.len() {
+        let (qnew, hh) = two_sum(q, e[i]);
+        i += 1;
+        q = qnew;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+    }
+    while j < f.len() {
+        let (qnew, hh) = two_sum(q, f[j]);
+        j += 1;
+        q = qnew;
+        if hh != 0.0 {
+            h.push(hh);
+        }
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Product of an expansion by a double (`SCALE_EXPANSION_ZEROELIM`).
+pub fn expansion_scale(e: &[f64], b: f64) -> Vec<f64> {
+    if e.is_empty() || b == 0.0 {
+        return vec![];
+    }
+    let mut h = Vec::with_capacity(2 * e.len());
+    let (mut q, hh) = two_product(e[0], b);
+    if hh != 0.0 {
+        h.push(hh);
+    }
+    for &ei in &e[1..] {
+        let (p1, p0) = two_product(ei, b);
+        let (sum, hh) = two_sum(q, p0);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        let (qnew, hh) = fast_two_sum(p1, sum);
+        if hh != 0.0 {
+            h.push(hh);
+        }
+        q = qnew;
+    }
+    if q != 0.0 || h.is_empty() {
+        h.push(q);
+    }
+    h
+}
+
+/// Exact product of two expansions (distributes `expansion_scale` over `f`).
+pub fn expansion_product(e: &[f64], f: &[f64]) -> Vec<f64> {
+    let mut acc: Vec<f64> = vec![];
+    for &fi in f {
+        let partial = expansion_scale(e, fi);
+        acc = expansion_sum(&acc, &partial);
+    }
+    acc
+}
+
+/// Negates an expansion in place.
+pub fn expansion_negate(e: &mut [f64]) {
+    for x in e {
+        *x = -*x;
+    }
+}
+
+/// The sign of the exact value represented by the expansion: the sign of the
+/// largest-magnitude (last nonzero) component.
+pub fn expansion_sign(e: &[f64]) -> f64 {
+    for &x in e.iter().rev() {
+        if x != 0.0 {
+            return if x > 0.0 { 1.0 } else { -1.0 };
+        }
+    }
+    0.0
+}
+
+/// Rounded value of the expansion (sum of components, largest last so the
+/// result is faithfully rounded).
+pub fn expansion_estimate(e: &[f64]) -> f64 {
+    e.iter().sum()
+}
+
+// ---------------------------------------------------------------------------
+// orient2d
+// ---------------------------------------------------------------------------
+
+/// Exact sign of the signed area of triangle `(a, b, c)`.
+///
+/// Returns a value whose **sign** is exact: positive when `a, b, c` make a
+/// left (counter-clockwise) turn, negative for a right turn, and zero when
+/// collinear.
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return det;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return det;
+        }
+        -detleft - detright
+    } else {
+        return det;
+    };
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return det;
+    }
+    orient2d_exact(a, b, c)
+}
+
+/// Non-robust single-precision-path orientation (useful when the caller only
+/// needs an approximate value, e.g. for sorting nearly-ordered data).
+#[inline]
+pub fn orient2d_fast(a: Point, b: Point, c: Point) -> f64 {
+    (a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x)
+}
+
+/// Fully exact orientation determinant computed with expansions:
+/// `ax·by − ax·cy − cx·by − ay·bx + ay·cx + cy·bx`.
+fn orient2d_exact(a: Point, b: Point, c: Point) -> f64 {
+    let terms = [
+        two_product(a.x, b.y),
+        two_product(-a.x, c.y),
+        two_product(-c.x, b.y),
+        two_product(-a.y, b.x),
+        two_product(a.y, c.x),
+        two_product(c.y, b.x),
+    ];
+    let mut acc: Vec<f64> = vec![];
+    for (hi, lo) in terms {
+        acc = expansion_sum(&acc, &[lo, hi]);
+    }
+    let s = expansion_sign(&acc);
+    if s == 0.0 {
+        0.0
+    } else {
+        // Return a value with the exact sign and a magnitude close to the
+        // exact one, so callers can still use it quantitatively.
+        let est = expansion_estimate(&acc);
+        if est != 0.0 {
+            est
+        } else {
+            s * f64::MIN_POSITIVE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// incircle
+// ---------------------------------------------------------------------------
+
+/// Exact-sign in-circle test.
+///
+/// With `a, b, c` in counter-clockwise order, the result is positive iff `d`
+/// lies strictly inside the circle through `a, b, c`, negative iff strictly
+/// outside, zero iff cocircular. (If `a, b, c` are clockwise the sign is
+/// reversed.)
+pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let alift = adx * adx + ady * ady;
+
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let blift = bdx * bdx + bdy * bdy;
+
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+    let clift = cdx * cdx + cdy * cdy;
+
+    let det = alift * (bdxcdy - cdxbdy) + blift * (cdxady - adxcdy) + clift * (adxbdy - bdxady);
+
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * alift
+        + (cdxady.abs() + adxcdy.abs()) * blift
+        + (adxbdy.abs() + bdxady.abs()) * clift;
+    let errbound = ICC_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return det;
+    }
+    incircle_exact(a, b, c, d)
+}
+
+/// Orientation 3×3 minor `det[[px,py,1],[qx,qy,1],[rx,ry,1]]` as an exact
+/// expansion (the cofactors of the lifted 4×4 in-circle determinant).
+fn orient_expansion(p: Point, q: Point, r: Point) -> Vec<f64> {
+    // p.x*q.y - p.y*q.x - p.x*r.y + p.y*r.x + q.x*r.y - q.y*r.x
+    let terms = [
+        two_product(p.x, q.y),
+        two_product(-p.y, q.x),
+        two_product(-p.x, r.y),
+        two_product(p.y, r.x),
+        two_product(q.x, r.y),
+        two_product(-q.y, r.x),
+    ];
+    let mut acc: Vec<f64> = vec![];
+    for (hi, lo) in terms {
+        acc = expansion_sum(&acc, &[lo, hi]);
+    }
+    acc
+}
+
+/// The lifted coordinate `px² + py²` as an exact expansion.
+fn lift_expansion(p: Point) -> Vec<f64> {
+    let (x1, x0) = two_product(p.x, p.x);
+    let (y1, y0) = two_product(p.y, p.y);
+    expansion_sum(&[x0, x1], &[y0, y1])
+}
+
+/// Exact in-circle determinant via cofactor expansion of
+/// `det[[x, y, x²+y², 1]]` over rows `a, b, c, d`.
+fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> f64 {
+    let la = lift_expansion(a);
+    let lb = lift_expansion(b);
+    let lc = lift_expansion(c);
+    let ld = lift_expansion(d);
+
+    let oa = orient_expansion(b, c, d);
+    let mut ob = orient_expansion(a, c, d);
+    let oc = orient_expansion(a, b, d);
+    let mut od = orient_expansion(a, b, c);
+    expansion_negate(&mut ob);
+    expansion_negate(&mut od);
+
+    let mut det = expansion_product(&la, &oa);
+    det = expansion_sum(&det, &expansion_product(&lb, &ob));
+    det = expansion_sum(&det, &expansion_product(&lc, &oc));
+    det = expansion_sum(&det, &expansion_product(&ld, &od));
+
+    let s = expansion_sign(&det);
+    if s == 0.0 {
+        0.0
+    } else {
+        let est = expansion_estimate(&det);
+        if est != 0.0 {
+            est
+        } else {
+            s * f64::MIN_POSITIVE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn orient2d_clear_cases() {
+        assert!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)) > 0.0);
+        assert!(orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)) < 0.0);
+        assert_eq!(orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)), 0.0);
+    }
+
+    /// Sign class of a float: −1, 0, or +1 (unlike `f64::signum`, maps both
+    /// zeros to 0).
+    fn sgn(x: f64) -> i32 {
+        if x > 0.0 {
+            1
+        } else if x < 0.0 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    #[test]
+    fn orient2d_degenerate_grid() {
+        // All triples from a tiny grid around a huge offset: every collinear
+        // triple must report exactly zero and consistent signs otherwise.
+        let base = 1e10;
+        let pts: Vec<Point> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| p(base + i as f64, base + j as f64)))
+            .collect();
+        for &a in &pts {
+            for &b in &pts {
+                for &c in &pts {
+                    let s1 = orient2d(a, b, c);
+                    let s2 = orient2d(b, c, a);
+                    let s3 = orient2d(c, a, b);
+                    assert_eq!(sgn(s1), sgn(s2));
+                    assert_eq!(sgn(s2), sgn(s3));
+                    let s4 = orient2d(b, a, c);
+                    assert_eq!(sgn(s1), -sgn(s4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orient2d_adaptive_vs_exact_near_collinear() {
+        // Points nearly collinear: the filter must fall through to the exact
+        // path, which we validate against integer arithmetic.
+        let a = p(0.5, 0.5);
+        let b = p(12.0, 12.0);
+        for k in -5i64..=5 {
+            let c = p(24.0, 24.0 + (k as f64) * f64::EPSILON * 24.0);
+            let s = orient2d(a, b, c);
+            // Exact rational check: (a-c) x (b-c) computed in exact arithmetic.
+            let exact = orient2d_exact(a, b, c);
+            assert_eq!(s.signum(), exact.signum(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn incircle_clear_cases() {
+        // ccw unit circle through (1,0),(0,1),(-1,0); origin is inside.
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        assert!(orient2d(a, b, c) > 0.0);
+        assert!(incircle(a, b, c, p(0.0, 0.0)) > 0.0);
+        assert!(incircle(a, b, c, p(2.0, 0.0)) < 0.0);
+        // Cocircular.
+        assert_eq!(incircle(a, b, c, p(0.0, -1.0)), 0.0);
+    }
+
+    #[test]
+    fn incircle_orientation_antisymmetry() {
+        let a = p(1.0, 0.0);
+        let b = p(0.0, 1.0);
+        let c = p(-1.0, 0.0);
+        let d = p(0.1, 0.1);
+        let pos = incircle(a, b, c, d);
+        let neg = incircle(a, c, b, d); // cw order flips the sign
+        assert!(pos > 0.0);
+        assert!(neg < 0.0);
+    }
+
+    #[test]
+    fn incircle_cocircular_grid_is_exact() {
+        // Four cocircular points with large offsets; naive arithmetic gives a
+        // wrong nonzero sign here without the exact fallback.
+        let o = 1e7;
+        let a = p(o + 1.0, o);
+        let b = p(o, o + 1.0);
+        let c = p(o - 1.0, o);
+        let d = p(o, o - 1.0);
+        assert_eq!(incircle(a, b, c, d), 0.0);
+        // Perturb d inward by one ulp-scale step: sign must be positive.
+        let d_in = p(o, o - 1.0 + 1e-9);
+        assert!(incircle(a, b, c, d_in) > 0.0);
+        let d_out = p(o, o - 1.0 - 1e-9);
+        assert!(incircle(a, b, c, d_out) < 0.0);
+    }
+
+    #[test]
+    fn expansion_primitives() {
+        let (x, y) = two_sum(1e16, 1.0);
+        assert_eq!(x + y, 1e16 + 1.0);
+        assert_ne!(y, 0.0); // the error term captures the lost bit
+        let (x, y) = two_product(1e8 + 1.0, 1e8 - 1.0);
+        // (1e8+1)(1e8-1) = 1e16 - 1 exactly; check x + y reconstructs it.
+        assert_eq!(x + y, 1e16 - 1.0);
+
+        let e = expansion_sum(&[1.0], &[1e-30]);
+        assert_eq!(expansion_estimate(&e), 1.0 + 1e-30);
+        assert_eq!(expansion_sign(&e), 1.0);
+
+        let sq = expansion_product(&[1e-30, 1.0], &[1e-30, 1.0]);
+        // (1 + 1e-30)² = 1 + 2e-30 + 1e-60, exactly representable as expansion
+        assert_eq!(expansion_sign(&sq), 1.0);
+    }
+
+    #[test]
+    fn expansion_scale_zero() {
+        assert!(expansion_scale(&[1.0, 2.0], 0.0).is_empty());
+        assert!(expansion_product(&[], &[1.0]).is_empty());
+        assert_eq!(expansion_sign(&[]), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Smallest enclosing circle (Welzl's algorithm, expected linear time).
+//!
+//! Used to summarize discrete uncertain points: the branch-and-bound
+//! computation of `Δ(q) = min_i max_j ‖q − p_ij‖` relies on the facts that
+//! for the smallest enclosing circle `(c_i, rad_i)` of `P_i`,
+//! `max_j ‖q − p_ij‖ ≥ max(‖q − c_i‖, rad_i)` and
+//! `max_j ‖q − p_ij‖ ≤ ‖q − c_i‖ + rad_i`.
+
+use crate::circle::Circle;
+use crate::point::Point;
+
+/// Relative slack when testing membership, to absorb accumulated rounding.
+const SEC_EPS: f64 = 1e-10;
+
+fn covers(c: &Circle, p: Point, scale: f64) -> bool {
+    c.center.dist(p) <= c.radius + SEC_EPS * scale
+}
+
+/// Smallest circle through one or two points.
+fn circle_two(a: Point, b: Point) -> Circle {
+    Circle::diametral(a, b)
+}
+
+/// Smallest circle with `a`, `b` on the boundary containing the set — either
+/// the diametral circle or a circumcircle.
+fn circle_three(a: Point, b: Point, c: Point) -> Circle {
+    Circle::circumcircle(a, b, c).unwrap_or_else(|| {
+        // Collinear: the diametral circle of the farthest pair.
+        let dab = a.dist(b);
+        let dac = a.dist(c);
+        let dbc = b.dist(c);
+        if dab >= dac && dab >= dbc {
+            circle_two(a, b)
+        } else if dac >= dbc {
+            circle_two(a, c)
+        } else {
+            circle_two(b, c)
+        }
+    })
+}
+
+/// Smallest enclosing circle of `points`.
+///
+/// Returns a zero-radius circle for a single point and `None` for an empty
+/// slice. Expected `O(n)` after an internal deterministic shuffle.
+pub fn smallest_enclosing_circle(points: &[Point]) -> Option<Circle> {
+    if points.is_empty() {
+        return None;
+    }
+    let scale = points
+        .iter()
+        .map(|p| p.x.abs().max(p.y.abs()))
+        .fold(1.0f64, f64::max);
+
+    // Deterministic shuffle (splitmix64) so adversarial input orderings do
+    // not trigger the quadratic worst case.
+    let mut pts: Vec<Point> = points.to_vec();
+    let mut state = 0x853c49e6748fea9bu64 ^ (points.len() as u64);
+    for i in (1..pts.len()).rev() {
+        state = state
+            .wrapping_add(0x9e3779b97f4a7c15)
+            .wrapping_mul(0xbf58476d1ce4e5b9);
+        let j = (state % (i as u64 + 1)) as usize;
+        pts.swap(i, j);
+    }
+
+    let mut c = Circle::point(pts[0]);
+    for i in 1..pts.len() {
+        if covers(&c, pts[i], scale) {
+            continue;
+        }
+        // pts[i] must be on the boundary.
+        c = Circle::point(pts[i]);
+        for j in 0..i {
+            if covers(&c, pts[j], scale) {
+                continue;
+            }
+            c = circle_two(pts[i], pts[j]);
+            for k in 0..j {
+                if covers(&c, pts[k], scale) {
+                    continue;
+                }
+                c = circle_three(pts[i], pts[j], pts[k]);
+            }
+        }
+    }
+    Some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn check_covers_all(c: &Circle, pts: &[Point]) {
+        for &q in pts {
+            assert!(
+                c.center.dist(q) <= c.radius + 1e-7 * (1.0 + c.radius),
+                "{q} escapes {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(smallest_enclosing_circle(&[]).is_none());
+        let single = smallest_enclosing_circle(&[p(3.0, 4.0)]).unwrap();
+        assert_eq!(single.center, p(3.0, 4.0));
+        assert_eq!(single.radius, 0.0);
+        let pair = smallest_enclosing_circle(&[p(0.0, 0.0), p(2.0, 0.0)]).unwrap();
+        assert!((pair.radius - 1.0).abs() < 1e-12);
+        assert!(pair.center.dist(p(1.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_and_collinear() {
+        let pts = [p(0.0, 0.0), p(0.0, 0.0), p(4.0, 0.0), p(2.0, 0.0)];
+        let c = smallest_enclosing_circle(&pts).unwrap();
+        check_covers_all(&c, &pts);
+        assert!((c.radius - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn square_and_triangle() {
+        let sq = [p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        let c = smallest_enclosing_circle(&sq).unwrap();
+        check_covers_all(&c, &sq);
+        assert!((c.radius - (0.5f64.sqrt())).abs() < 1e-9);
+
+        let tri = [p(0.0, 0.0), p(4.0, 0.0), p(2.0, 0.5)];
+        let c = smallest_enclosing_circle(&tri).unwrap();
+        // Obtuse triangle: SEC is the diametral circle of the longest side.
+        assert!((c.radius - 2.0).abs() < 1e-9);
+        check_covers_all(&c, &tri);
+    }
+
+    #[test]
+    fn minimality_against_brute_force() {
+        // On small random sets, compare against brute-force over all
+        // candidate circles (pairs and triples).
+        let mut state = 7u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0
+        };
+        for trial in 0..50 {
+            let pts: Vec<Point> = (0..7).map(|_| p(next(), next())).collect();
+            let c = smallest_enclosing_circle(&pts).unwrap();
+            check_covers_all(&c, &pts);
+            // Brute force minimal radius.
+            let mut best = f64::INFINITY;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let cand = circle_two(pts[i], pts[j]);
+                    if pts.iter().all(|&q| covers(&cand, q, 10.0)) {
+                        best = best.min(cand.radius);
+                    }
+                    for k in (j + 1)..pts.len() {
+                        let cand = circle_three(pts[i], pts[j], pts[k]);
+                        if pts.iter().all(|&q| covers(&cand, q, 10.0)) {
+                            best = best.min(cand.radius);
+                        }
+                    }
+                }
+            }
+            assert!(
+                (c.radius - best).abs() < 1e-6 * (1.0 + best),
+                "trial {trial}: welzl {} vs brute {best}",
+                c.radius
+            );
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Branch-and-bound index over disks.
+//!
+//! This is the practical engine behind Theorem 3.1's two query stages for
+//! uncertain points with disk supports `D_i = (c_i, r_i)`:
+//!
+//! 1. `Δ(q) = min_i (‖q − c_i‖ + r_i)` — the additively-weighted nearest
+//!    "maximum distance" (the lower envelope `Δ` of Section 2.1);
+//! 2. report every disk intersecting the disk `B(q, Δ(q))`, i.e. every `i`
+//!    with `δ_i(q) = max(‖q − c_i‖ − r_i, 0) < Δ(q)` — by Lemma 2.1 exactly
+//!    the set `NN≠0(q)`.
+//!
+//! The tree is a kd-tree over disk centers whose nodes carry the minimum and
+//! maximum subtree radius, giving valid bounds for both query types.
+
+use uncertain_geom::{Aabb, Circle, Point};
+
+const LEAF_SIZE: usize = 8;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    min_r: f64,
+    max_r: f64,
+    start: u32,
+    end: u32,
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+/// A static branch-and-bound index over disks with `u32` payloads.
+#[derive(Clone, Debug)]
+pub struct DiskIndex {
+    items: Vec<(Circle, u32)>,
+    nodes: Vec<Node>,
+}
+
+impl DiskIndex {
+    pub fn build(mut items: Vec<(Circle, u32)>) -> Self {
+        let mut nodes = Vec::new();
+        if !items.is_empty() {
+            let n = items.len();
+            Self::build_rec(&mut items, 0, n, &mut nodes);
+        }
+        DiskIndex { items, nodes }
+    }
+
+    /// Convenience: payloads are indices into `disks`.
+    pub fn from_disks(disks: &[Circle]) -> Self {
+        Self::build(
+            disks
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (d, i as u32))
+                .collect(),
+        )
+    }
+
+    fn build_rec(
+        items: &mut [(Circle, u32)],
+        start: usize,
+        end: usize,
+        nodes: &mut Vec<Node>,
+    ) -> u32 {
+        let slice = &items[start..end];
+        let bbox = Aabb::from_points(slice.iter().map(|&(c, _)| c.center));
+        let min_r = slice
+            .iter()
+            .map(|&(c, _)| c.radius)
+            .fold(f64::INFINITY, f64::min);
+        let max_r = slice
+            .iter()
+            .map(|&(c, _)| c.radius)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            bbox,
+            min_r,
+            max_r,
+            start: start as u32,
+            end: end as u32,
+            left: u32::MAX,
+            right: u32::MAX,
+        });
+        if end - start > LEAF_SIZE {
+            let mid = (start + end) / 2;
+            if bbox.width() >= bbox.height() {
+                items[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.0.center.x.partial_cmp(&b.0.center.x).unwrap()
+                });
+            } else {
+                items[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.0.center.y.partial_cmp(&b.0.center.y).unwrap()
+                });
+            }
+            let left = Self::build_rec(items, start, mid, nodes);
+            let right = Self::build_rec(items, mid, end, nodes);
+            nodes[id as usize].left = left;
+            nodes[id as usize].right = right;
+        }
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `Δ(q) = min_i (‖q − c_i‖ + r_i)` and the attaining payload.
+    pub fn min_max_dist(&self, q: Point) -> Option<(f64, u32)> {
+        self.two_min_max_dist(q).map(|(d, id, _)| (d, id))
+    }
+
+    /// The two smallest `Δ_i(q)` values: `(best, best payload, second)`.
+    /// `second` is `+∞` when the index holds a single disk. Needed because
+    /// Lemma 2.1 compares `δ_i` against `min_{j≠i} Δ_j`, which differs from
+    /// the global minimum exactly when `i` attains it.
+    pub fn two_min_max_dist(&self, q: Point) -> Option<(f64, u32, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, 0u32);
+        let mut second = f64::INFINITY;
+        self.min_rec(0, q, &mut best, &mut second);
+        Some((best.0, best.1, second))
+    }
+
+    fn min_rec(&self, node: u32, q: Point, best: &mut (f64, u32), second: &mut f64) {
+        let n = &self.nodes[node as usize];
+        // Prune against the *second*-best: both minima must be exact.
+        if n.bbox.dist_to_point(q) + n.min_r >= *second {
+            return;
+        }
+        if n.is_leaf() {
+            for &(c, id) in &self.items[n.start as usize..n.end as usize] {
+                let d = c.max_dist(q);
+                if d < best.0 {
+                    *second = best.0;
+                    *best = (d, id);
+                } else if d < *second {
+                    *second = d;
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.dist_to_point(q) + self.nodes[l as usize].min_r;
+        let br = self.nodes[r as usize].bbox.dist_to_point(q) + self.nodes[r as usize].min_r;
+        if bl <= br {
+            self.min_rec(l, q, best, second);
+            self.min_rec(r, q, best, second);
+        } else {
+            self.min_rec(r, q, best, second);
+            self.min_rec(l, q, best, second);
+        }
+    }
+
+    /// The `m` smallest `Δ_i(q)` values with payloads, sorted ascending
+    /// (fewer when the index holds fewer disks). Generalizes
+    /// [`two_min_max_dist`](Self::two_min_max_dist) for k-NN variants.
+    pub fn k_min_max_dist(&self, q: Point, m: usize) -> Vec<(f64, u32)> {
+        if self.is_empty() || m == 0 {
+            return vec![];
+        }
+        // Max-heap of the best m candidates (worst on top).
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(m + 1);
+        self.k_min_rec(0, q, m, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap
+    }
+
+    fn k_min_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<(f64, u32)>) {
+        let n = &self.nodes[node as usize];
+        let worst = if heap.len() < m {
+            f64::INFINITY
+        } else {
+            heap.iter()
+                .map(|&(d, _)| d)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        if n.bbox.dist_to_point(q) + n.min_r >= worst {
+            return;
+        }
+        if n.is_leaf() {
+            for &(c, id) in &self.items[n.start as usize..n.end as usize] {
+                let d = c.max_dist(q);
+                if heap.len() < m {
+                    heap.push((d, id));
+                } else {
+                    // Replace the current worst if strictly better.
+                    let (wi, &(wd, _)) = heap
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                        .unwrap();
+                    if d < wd {
+                        heap[wi] = (d, id);
+                    }
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.dist_to_point(q) + self.nodes[l as usize].min_r;
+        let br = self.nodes[r as usize].bbox.dist_to_point(q) + self.nodes[r as usize].min_r;
+        if bl <= br {
+            self.k_min_rec(l, q, m, heap);
+            self.k_min_rec(r, q, m, heap);
+        } else {
+            self.k_min_rec(r, q, m, heap);
+            self.k_min_rec(l, q, m, heap);
+        }
+    }
+
+    /// Reports every disk with `δ_i(q) < bound`, i.e. whose closed disk
+    /// intersects the *open* disk `B°(q, bound)`.
+    pub fn for_each_with_min_dist_below<F: FnMut(&Circle, u32)>(
+        &self,
+        q: Point,
+        bound: f64,
+        mut f: F,
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        self.report_rec(0, q, bound, &mut f);
+    }
+
+    fn report_rec<F: FnMut(&Circle, u32)>(&self, node: u32, q: Point, bound: f64, f: &mut F) {
+        let n = &self.nodes[node as usize];
+        // δ_i(q) ≥ dist(q, bbox) − max_r for every disk below this node.
+        if n.bbox.dist_to_point(q) - n.max_r >= bound {
+            return;
+        }
+        if n.is_leaf() {
+            for &(ref c, id) in &self.items[n.start as usize..n.end as usize] {
+                if c.min_dist(q) < bound {
+                    f(c, id);
+                }
+            }
+            return;
+        }
+        self.report_rec(n.left, q, bound, f);
+        self.report_rec(n.right, q, bound, f);
+    }
+
+    /// The `NN≠0(q)` query of Theorem 3.1: all payloads `i` with
+    /// `δ_i(q) < min_{j≠i} Δ_j(q)` (Lemma 2.1).
+    pub fn nonzero_nn(&self, q: Point) -> Vec<u32> {
+        let Some((best, best_id, second)) = self.two_min_max_dist(q) else {
+            return vec![];
+        };
+        let mut out = vec![];
+        // Traverse with the looser bound; filter per item.
+        self.for_each_with_min_dist_below(q, second.min(f64::MAX), |c, id| {
+            let bound = if id == best_id { second } else { best };
+            if c.min_dist(q) < bound {
+                out.push(id);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_disks(n: usize, seed: u64) -> Vec<Circle> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Circle::new(
+                    Point::new(next() * 100.0 - 50.0, next() * 100.0 - 50.0),
+                    next() * 5.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty() {
+        let t = DiskIndex::build(vec![]);
+        assert!(t.min_max_dist(Point::new(0.0, 0.0)).is_none());
+        assert!(t.nonzero_nn(Point::new(0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn min_max_dist_matches_brute_force() {
+        let disks = random_disks(300, 3);
+        let t = DiskIndex::from_disks(&disks);
+        let queries = random_disks(50, 17);
+        for q in queries.iter().map(|c| c.center) {
+            let brute = disks
+                .iter()
+                .map(|d| d.max_dist(q))
+                .fold(f64::INFINITY, f64::min);
+            let (got, id) = t.min_max_dist(q).unwrap();
+            assert!((got - brute).abs() < 1e-12);
+            assert!((disks[id as usize].max_dist(q) - brute).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nonzero_nn_matches_brute_force() {
+        let disks = random_disks(200, 7);
+        let t = DiskIndex::from_disks(&disks);
+        for q in random_disks(80, 23).iter().map(|c| c.center) {
+            // Brute-force Lemma 2.1: δ_i < min_{j≠i} Δ_j.
+            let mut brute: Vec<u32> = disks
+                .iter()
+                .enumerate()
+                .filter(|&(i, d)| {
+                    let thresh = disks
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, o)| o.max_dist(q))
+                        .fold(f64::INFINITY, f64::min);
+                    d.min_dist(q) < thresh
+                })
+                .map(|(i, _)| i as u32)
+                .collect();
+            let mut got = t.nonzero_nn(q);
+            brute.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(brute, got);
+        }
+    }
+
+    #[test]
+    fn k_min_matches_sorted_brute_force() {
+        let disks = random_disks(150, 5);
+        let t = DiskIndex::from_disks(&disks);
+        for q in random_disks(30, 31).iter().map(|c| c.center) {
+            let mut brute: Vec<f64> = disks.iter().map(|d| d.max_dist(q)).collect();
+            brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for m in [1usize, 2, 5, 10, 200] {
+                let got = t.k_min_max_dist(q, m);
+                assert_eq!(got.len(), m.min(disks.len()));
+                for (g, b) in got.iter().zip(&brute) {
+                    assert!((g.0 - b).abs() < 1e-12, "m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certain_point_reports_itself() {
+        // A zero-radius disk attaining Δ(q) must still be reported — the
+        // j ≠ i subtlety of Lemma 2.1.
+        let disks = vec![
+            Circle::new(Point::new(0.0, 0.0), 0.0),
+            Circle::new(Point::new(10.0, 0.0), 0.0),
+        ];
+        let t = DiskIndex::from_disks(&disks);
+        assert_eq!(t.nonzero_nn(Point::new(1.0, 0.0)), vec![0]);
+        let single = DiskIndex::from_disks(&disks[..1]);
+        assert_eq!(single.nonzero_nn(Point::new(5.0, 5.0)), vec![0]);
+    }
+
+    #[test]
+    fn nonzero_nn_contains_the_delta_witness() {
+        // The disk attaining Δ(q) always participates: δ_i(q) ≤ Δ_i(q) = Δ(q)
+        // with strict inequality unless r_i = 0 and q = c_i.
+        let disks = random_disks(100, 13);
+        let t = DiskIndex::from_disks(&disks);
+        let q = Point::new(1.0, 2.0);
+        let (_, witness) = t.min_max_dist(q).unwrap();
+        let nn = t.nonzero_nn(q);
+        assert!(nn.contains(&witness));
+    }
+
+    #[test]
+    fn query_point_inside_disk() {
+        // A disk containing q has δ = 0 < Δ(q), so it is always reported.
+        let disks = vec![
+            Circle::new(Point::new(0.0, 0.0), 5.0),
+            Circle::new(Point::new(100.0, 0.0), 1.0),
+        ];
+        let t = DiskIndex::from_disks(&disks);
+        let nn = t.nonzero_nn(Point::new(1.0, 0.0));
+        assert_eq!(nn, vec![0]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Branch-and-bound index over *groups* of points (discrete uncertain
+//! points), summarized by their smallest enclosing circles.
+//!
+//! For a discrete uncertain point `P_i` with SEC `(c_i, rad_i)`:
+//!
+//! * `Δ_i(q) = max_j ‖q − p_ij‖ ≥ max(‖q − c_i‖, rad_i)` — the first term
+//!   because the SEC center lies in the convex hull of `P_i` and the distance
+//!   function is convex; the second by minimality of the SEC (any point,
+//!   including `q`, has some `p_ij` at distance ≥ rad_i... more precisely the
+//!   SEC radius lower-bounds the max distance from *any* center candidate);
+//! * `Δ_i(q) ≤ ‖q − c_i‖ + rad_i` by the triangle inequality.
+//!
+//! [`GroupIndex::min_max_dist`] uses these bounds to find
+//! `Δ(q) = min_i Δ_i(q)` while evaluating the exact `Δ_i` (via convex hulls)
+//! for only a few candidate groups — the first stage of the Theorem 3.2
+//! query.
+
+use uncertain_geom::hull::FarthestPointHull;
+use uncertain_geom::sec::smallest_enclosing_circle;
+use uncertain_geom::{Aabb, Circle, Point};
+
+const LEAF_SIZE: usize = 4;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Aabb,
+    min_rad: f64,
+    start: u32,
+    end: u32,
+    left: u32,
+    right: u32,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.left == u32::MAX
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Group {
+    sec: Circle,
+    hull: FarthestPointHull,
+    id: u32,
+}
+
+/// A static index over groups of points supporting fast
+/// `min_i max_j ‖q − p_ij‖` queries.
+#[derive(Clone, Debug)]
+pub struct GroupIndex {
+    groups: Vec<Group>,
+    nodes: Vec<Node>,
+}
+
+impl GroupIndex {
+    /// Builds the index; `groups[i]` is the point set of group with id `i`.
+    /// Empty groups are skipped.
+    pub fn build(groups: &[Vec<Point>]) -> Self {
+        let mut gs: Vec<Group> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, pts)| !pts.is_empty())
+            .map(|(i, pts)| Group {
+                sec: smallest_enclosing_circle(pts).expect("non-empty"),
+                hull: FarthestPointHull::build(pts),
+                id: i as u32,
+            })
+            .collect();
+        let mut nodes = Vec::new();
+        if !gs.is_empty() {
+            let n = gs.len();
+            Self::build_rec(&mut gs, 0, n, &mut nodes);
+        }
+        GroupIndex { groups: gs, nodes }
+    }
+
+    fn build_rec(groups: &mut [Group], start: usize, end: usize, nodes: &mut Vec<Node>) -> u32 {
+        let slice = &groups[start..end];
+        let bbox = Aabb::from_points(slice.iter().map(|g| g.sec.center));
+        let min_rad = slice
+            .iter()
+            .map(|g| g.sec.radius)
+            .fold(f64::INFINITY, f64::min);
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            bbox,
+            min_rad,
+            start: start as u32,
+            end: end as u32,
+            left: u32::MAX,
+            right: u32::MAX,
+        });
+        if end - start > LEAF_SIZE {
+            let mid = (start + end) / 2;
+            if bbox.width() >= bbox.height() {
+                groups[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.sec.center.x.partial_cmp(&b.sec.center.x).unwrap()
+                });
+            } else {
+                groups[start..end].select_nth_unstable_by(mid - start, |a, b| {
+                    a.sec.center.y.partial_cmp(&b.sec.center.y).unwrap()
+                });
+            }
+            let left = Self::build_rec(groups, start, mid, nodes);
+            let right = Self::build_rec(groups, mid, end, nodes);
+            nodes[id as usize].left = left;
+            nodes[id as usize].right = right;
+        }
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// `Δ(q) = min_i Δ_i(q)` and the attaining group id.
+    pub fn min_max_dist(&self, q: Point) -> Option<(f64, u32)> {
+        self.two_min_max_dist(q).map(|(d, id, _)| (d, id))
+    }
+
+    /// The two smallest `Δ_i(q)` values: `(best, best group id, second)`;
+    /// `second` is `+∞` with a single group (see Lemma 2.1's `j ≠ i`).
+    pub fn two_min_max_dist(&self, q: Point) -> Option<(f64, u32, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = (f64::INFINITY, 0u32);
+        let mut second = f64::INFINITY;
+        self.min_rec(0, q, &mut best, &mut second);
+        Some((best.0, best.1, second))
+    }
+
+    /// The `m` smallest `Δ_i(q)` values with group ids, sorted ascending.
+    pub fn k_min_max_dist(&self, q: Point, m: usize) -> Vec<(f64, u32)> {
+        if self.is_empty() || m == 0 {
+            return vec![];
+        }
+        let mut heap: Vec<(f64, u32)> = Vec::with_capacity(m + 1);
+        self.k_min_rec(0, q, m, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap
+    }
+
+    fn k_min_rec(&self, node: u32, q: Point, m: usize, heap: &mut Vec<(f64, u32)>) {
+        let n = &self.nodes[node as usize];
+        let worst = if heap.len() < m {
+            f64::INFINITY
+        } else {
+            heap.iter()
+                .map(|&(d, _)| d)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        if n.bbox.dist_to_point(q).max(n.min_rad) >= worst {
+            return;
+        }
+        if n.is_leaf() {
+            for g in &self.groups[n.start as usize..n.end as usize] {
+                let lb = q.dist(g.sec.center).max(g.sec.radius);
+                let worst = if heap.len() < m {
+                    f64::INFINITY
+                } else {
+                    heap.iter()
+                        .map(|&(d, _)| d)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                };
+                if lb >= worst {
+                    continue;
+                }
+                let d = g.hull.max_dist(q);
+                if heap.len() < m {
+                    heap.push((d, g.id));
+                } else {
+                    let (wi, &(wd, _)) = heap
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+                        .unwrap();
+                    if d < wd {
+                        heap[wi] = (d, g.id);
+                    }
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.dist_to_point(q);
+        let br = self.nodes[r as usize].bbox.dist_to_point(q);
+        if bl <= br {
+            self.k_min_rec(l, q, m, heap);
+            self.k_min_rec(r, q, m, heap);
+        } else {
+            self.k_min_rec(r, q, m, heap);
+            self.k_min_rec(l, q, m, heap);
+        }
+    }
+
+    fn min_rec(&self, node: u32, q: Point, best: &mut (f64, u32), second: &mut f64) {
+        let n = &self.nodes[node as usize];
+        // Valid lower bound on Δ_i(q) for any group below this node:
+        // Δ_i(q) ≥ max(‖q − c_i‖, rad_i) ≥ max(dist(q, bbox), min_rad).
+        // Prune against the second-best so both minima stay exact.
+        if n.bbox.dist_to_point(q).max(n.min_rad) >= *second {
+            return;
+        }
+        if n.is_leaf() {
+            for g in &self.groups[n.start as usize..n.end as usize] {
+                // Per-group lower bound first (cheap), then exact hull scan.
+                let lb = q.dist(g.sec.center).max(g.sec.radius);
+                if lb >= *second {
+                    continue;
+                }
+                let d = g.hull.max_dist(q);
+                if d < best.0 {
+                    *second = best.0;
+                    *best = (d, g.id);
+                } else if d < *second {
+                    *second = d;
+                }
+            }
+            return;
+        }
+        let (l, r) = (n.left, n.right);
+        let bl = self.nodes[l as usize].bbox.dist_to_point(q);
+        let br = self.nodes[r as usize].bbox.dist_to_point(q);
+        if bl <= br {
+            self.min_rec(l, q, best, second);
+            self.min_rec(r, q, best, second);
+        } else {
+            self.min_rec(r, q, best, second);
+            self.min_rec(l, q, best, second);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_groups(n: usize, k: usize, seed: u64) -> Vec<Vec<Point>> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let cx = next() * 100.0 - 50.0;
+                let cy = next() * 100.0 - 50.0;
+                (0..k)
+                    .map(|_| Point::new(cx + next() * 6.0 - 3.0, cy + next() * 6.0 - 3.0))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty() {
+        let idx = GroupIndex::build(&[]);
+        assert!(idx.min_max_dist(Point::new(0.0, 0.0)).is_none());
+        let idx2 = GroupIndex::build(&[vec![]]);
+        assert!(idx2.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let groups = random_groups(120, 6, 9);
+        let idx = GroupIndex::build(&groups);
+        let mut state = 55u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 120.0 - 60.0
+        };
+        for _ in 0..60 {
+            let q = Point::new(next(), next());
+            let brute = groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .map(|&p| q.dist(p))
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .fold(f64::INFINITY, f64::min);
+            let (got, id) = idx.min_max_dist(q).unwrap();
+            assert!((got - brute).abs() < 1e-9, "got {got}, brute {brute}");
+            // The reported id actually attains the minimum.
+            let attained = groups[id as usize]
+                .iter()
+                .map(|&p| q.dist(p))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!((attained - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_point_groups_degenerate_to_nearest() {
+        // k = 1 turns Δ(q) into an ordinary nearest-point query.
+        let groups: Vec<Vec<Point>> = (0..50)
+            .map(|i| vec![Point::new(i as f64, (i * 7 % 13) as f64)])
+            .collect();
+        let idx = GroupIndex::build(&groups);
+        let q = Point::new(20.3, 4.2);
+        let brute = groups
+            .iter()
+            .map(|g| q.dist(g[0]))
+            .fold(f64::INFINITY, f64::min);
+        let (got, _) = idx.min_max_dist(q).unwrap();
+        assert!((got - brute).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,528 @@
+//! Incremental (Bowyer–Watson) Delaunay triangulation.
+
+use std::collections::HashMap;
+use uncertain_geom::predicates::{incircle, orient2d};
+use uncertain_geom::{Aabb, Point};
+
+const NONE: u32 = u32::MAX;
+
+/// A triangle: vertex ids (counter-clockwise) and the neighbor opposite each
+/// vertex.
+#[derive(Clone, Copy, Debug)]
+struct Tri {
+    v: [u32; 3],
+    n: [u32; 3],
+    alive: bool,
+}
+
+/// A Delaunay triangulation of a set of points.
+///
+/// Duplicate input points are merged (they receive the site id of their first
+/// occurrence). Collinear inputs produce an empty triangle list but nearest-
+/// site queries still work (via fallback scan).
+///
+/// ```
+/// use uncertain_geom::Point;
+/// use uncertain_voronoi::Delaunay;
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 4.0),
+///     Point::new(4.0, 4.0),
+/// ];
+/// let dt = Delaunay::build(&pts);
+/// assert_eq!(dt.triangles().len(), 2); // the square splits into 2 triangles
+/// assert_eq!(dt.nearest_site(Point::new(3.5, 3.0)), Some(3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Delaunay {
+    /// All vertices; indices 0..3 are the synthetic super-triangle corners.
+    verts: Vec<Point>,
+    /// Map from vertex id (≥ 3) to the original input index.
+    site_of_vert: Vec<u32>,
+    tris: Vec<Tri>,
+    /// For each original input index, the canonical vertex id (duplicates
+    /// collapse onto the first occurrence).
+    vert_of_site: Vec<u32>,
+    /// Adjacency over *real* vertices (vertex id ≥ 3 → neighbor vertex ids),
+    /// built once after construction; used for greedy nearest-site routing.
+    adjacency: Vec<Vec<u32>>,
+    /// Hint for locate().
+    last_tri: std::cell::Cell<u32>,
+}
+
+impl Delaunay {
+    /// Builds the triangulation of `points`. `O(n log n)` expected for
+    /// random insertion orders (points are inserted as given; callers with
+    /// adversarial orders may shuffle first).
+    pub fn build(points: &[Point]) -> Self {
+        let bbox = Aabb::from_points(points.iter().copied());
+        let (center, scale) = if bbox.is_empty() {
+            (Point::new(0.0, 0.0), 1.0)
+        } else {
+            (bbox.center(), bbox.radius().max(1.0))
+        };
+        let d = 1e6 * scale;
+        // Super-triangle large enough to contain everything comfortably.
+        let sv = [
+            Point::new(center.x - 2.0 * d, center.y - d),
+            Point::new(center.x + 2.0 * d, center.y - d),
+            Point::new(center.x, center.y + 2.0 * d),
+        ];
+        let mut dt = Delaunay {
+            verts: sv.to_vec(),
+            site_of_vert: vec![NONE, NONE, NONE],
+            tris: vec![Tri {
+                v: [0, 1, 2],
+                n: [NONE, NONE, NONE],
+                alive: true,
+            }],
+            vert_of_site: Vec::with_capacity(points.len()),
+            adjacency: vec![],
+            last_tri: std::cell::Cell::new(0),
+        };
+        let mut seen: HashMap<(u64, u64), u32> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            let key = (p.x.to_bits(), p.y.to_bits());
+            if let Some(&v) = seen.get(&key) {
+                dt.vert_of_site.push(v);
+                continue;
+            }
+            let v = dt.insert(p, i as u32);
+            seen.insert(key, v);
+            dt.vert_of_site.push(v);
+        }
+        dt.build_adjacency();
+        dt
+    }
+
+    /// Number of real (deduplicated) vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.verts.len() - 3
+    }
+
+    /// Triangles over original input indices (super-triangle faces removed).
+    pub fn triangles(&self) -> Vec<[u32; 3]> {
+        self.tris
+            .iter()
+            .filter(|t| t.alive && t.v.iter().all(|&v| v >= 3))
+            .map(|t| {
+                [
+                    self.site_of_vert[t.v[0] as usize],
+                    self.site_of_vert[t.v[1] as usize],
+                    self.site_of_vert[t.v[2] as usize],
+                ]
+            })
+            .collect()
+    }
+
+    /// The input index of the nearest site to `q` (ties broken arbitrarily).
+    /// Exact: greedy routing over the Delaunay graph starting from the
+    /// located triangle, with a brute-force fallback for degenerate inputs.
+    pub fn nearest_site(&self, q: Point) -> Option<u32> {
+        if self.vert_of_site.is_empty() {
+            return None;
+        }
+        // Degenerate (no real triangles): linear scan.
+        let start = if self.adjacency.is_empty() {
+            None
+        } else {
+            self.locate(q).and_then(|t| {
+                self.tris[t as usize]
+                    .v
+                    .iter()
+                    .copied()
+                    .filter(|&v| v >= 3)
+                    .min_by(|&a, &b| {
+                        q.dist(self.verts[a as usize])
+                            .partial_cmp(&q.dist(self.verts[b as usize]))
+                            .unwrap()
+                    })
+            })
+        };
+        let mut best = match start {
+            Some(v) => v,
+            None => {
+                // Fallback: brute force over all real vertices.
+                return (3..self.verts.len() as u32)
+                    .min_by(|&a, &b| {
+                        q.dist(self.verts[a as usize])
+                            .partial_cmp(&q.dist(self.verts[b as usize]))
+                            .unwrap()
+                    })
+                    .map(|v| self.site_of_vert[v as usize]);
+            }
+        };
+        // Greedy descent on the Delaunay graph terminates at the true
+        // nearest neighbor (classical property of Delaunay triangulations).
+        let mut best_d = q.dist(self.verts[best as usize]);
+        loop {
+            let mut improved = false;
+            for &u in &self.adjacency[best as usize - 3] {
+                let d = q.dist(self.verts[u as usize]);
+                if d < best_d {
+                    best_d = d;
+                    best = u;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        Some(self.site_of_vert[best as usize])
+    }
+
+    /// Delaunay neighbor input-indices of site `site` (for Voronoi cells).
+    pub fn neighbors_of_site(&self, site: usize) -> Vec<u32> {
+        let v = self.vert_of_site[site];
+        if v < 3 || self.adjacency.is_empty() {
+            return vec![];
+        }
+        self.adjacency[v as usize - 3]
+            .iter()
+            .filter(|&&u| u >= 3)
+            .map(|&u| self.site_of_vert[u as usize])
+            .collect()
+    }
+
+    /// `true` when `site`'s Voronoi cell is unbounded (it sees a
+    /// super-triangle vertex, i.e. it is on the convex hull).
+    pub fn site_on_hull(&self, site: usize) -> bool {
+        let v = self.vert_of_site[site];
+        if self.adjacency.is_empty() {
+            return true;
+        }
+        self.adjacency[v as usize - 3].iter().any(|&u| u < 3)
+    }
+
+    /// Point of the canonical vertex for input index `site`.
+    pub fn site_point(&self, site: usize) -> Point {
+        self.verts[self.vert_of_site[site] as usize]
+    }
+
+    /// The canonical input index for `site` (differs from `site` only when
+    /// the input contained duplicate points).
+    pub fn canonical_site(&self, site: usize) -> u32 {
+        self.site_of_vert[self.vert_of_site[site] as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // construction internals
+    // ------------------------------------------------------------------
+
+    fn insert(&mut self, p: Point, site: u32) -> u32 {
+        let vid = self.verts.len() as u32;
+        self.verts.push(p);
+        self.site_of_vert.push(site);
+
+        let t0 = self
+            .locate(p)
+            .expect("point must fall inside the super-triangle");
+
+        // Grow the cavity: triangles whose circumcircle strictly contains p.
+        // The containing triangle is in the cavity unconditionally; when p
+        // lies exactly on one of its edges, so is the neighbor across that
+        // edge (otherwise retriangulation would create a zero-area triangle).
+        let mut seeds: Vec<u32> = vec![t0];
+        let t = self.tris[t0 as usize];
+        for e in 0..3 {
+            let a = self.verts[t.v[(e + 1) % 3] as usize];
+            let b = self.verts[t.v[(e + 2) % 3] as usize];
+            if orient2d(a, b, p) == 0.0 && t.n[e] != NONE {
+                seeds.push(t.n[e]);
+            }
+        }
+        let mut cavity: Vec<u32> = vec![];
+        let mut in_cavity = vec![false; self.tris.len()];
+        let mut stack = seeds.clone();
+        while let Some(ti) = stack.pop() {
+            if in_cavity[ti as usize] || !self.tris[ti as usize].alive {
+                continue;
+            }
+            let tri = self.tris[ti as usize];
+            let inside = seeds.contains(&ti) || {
+                let a = self.verts[tri.v[0] as usize];
+                let b = self.verts[tri.v[1] as usize];
+                let c = self.verts[tri.v[2] as usize];
+                incircle(a, b, c, p) > 0.0
+            };
+            if !inside {
+                continue;
+            }
+            in_cavity[ti as usize] = true;
+            cavity.push(ti);
+            for e in 0..3 {
+                let nb = self.tris[ti as usize].n[e];
+                if nb != NONE && !in_cavity[nb as usize] {
+                    stack.push(nb);
+                }
+            }
+        }
+
+        // Boundary edges of the cavity, directed so the cavity (hence p) is
+        // on their left.
+        let mut boundary: Vec<(u32, u32, u32)> = vec![]; // (a, b, outer-neighbor)
+        for &ti in &cavity {
+            let tri = self.tris[ti as usize];
+            for e in 0..3 {
+                let nb = tri.n[e];
+                if nb == NONE || !in_cavity[nb as usize] {
+                    let a = tri.v[(e + 1) % 3];
+                    let b = tri.v[(e + 2) % 3];
+                    boundary.push((a, b, nb));
+                }
+            }
+        }
+        for &ti in &cavity {
+            self.tris[ti as usize].alive = false;
+        }
+
+        // Retriangulate the cavity: one new triangle per boundary edge.
+        let mut edge_map: HashMap<(u32, u32), (u32, usize)> = HashMap::new();
+        let first_new = self.tris.len() as u32;
+        for &(a, b, outer) in &boundary {
+            let nt = self.tris.len() as u32;
+            self.tris.push(Tri {
+                v: [a, b, vid],
+                n: [NONE, NONE, outer],
+                alive: true,
+            });
+            if outer != NONE {
+                // Fix the outer triangle's back-pointer.
+                let o = &mut self.tris[outer as usize];
+                for e in 0..3 {
+                    let oa = o.v[(e + 1) % 3];
+                    let ob = o.v[(e + 2) % 3];
+                    if (oa == b && ob == a) || (oa == a && ob == b) {
+                        o.n[e] = nt;
+                    }
+                }
+            }
+            // Internal adjacency via shared edges (a, vid) and (b, vid).
+            for (key, slot) in [
+                ((a.min(vid), a.max(vid)), 1usize),
+                ((b.min(vid), b.max(vid)), 0),
+            ] {
+                if let Some(&(ot, oslot)) = edge_map.get(&key) {
+                    self.tris[nt as usize].n[slot] = ot;
+                    self.tris[ot as usize].n[oslot] = nt;
+                } else {
+                    edge_map.insert(key, (nt, slot));
+                }
+            }
+        }
+        self.last_tri.set(first_new);
+        vid
+    }
+
+    /// Walks to the triangle containing `p` (or on whose boundary `p` lies).
+    fn locate(&self, p: Point) -> Option<u32> {
+        let mut cur = self.last_tri.get();
+        if cur as usize >= self.tris.len() || !self.tris[cur as usize].alive {
+            cur = self.tris.iter().rposition(|t| t.alive)? as u32;
+        }
+        let mut steps = 0usize;
+        let max_steps = 4 * self.tris.len() + 64;
+        'walk: loop {
+            steps += 1;
+            if steps > max_steps {
+                // Degenerate walk loop: fall back to linear scan.
+                return self.locate_linear(p);
+            }
+            let tri = self.tris[cur as usize];
+            for e in 0..3 {
+                let a = self.verts[tri.v[(e + 1) % 3] as usize];
+                let b = self.verts[tri.v[(e + 2) % 3] as usize];
+                if orient2d(a, b, p) < 0.0 {
+                    let nb = tri.n[e];
+                    if nb == NONE {
+                        return self.locate_linear(p);
+                    }
+                    cur = nb;
+                    continue 'walk;
+                }
+            }
+            self.last_tri.set(cur);
+            return Some(cur);
+        }
+    }
+
+    fn locate_linear(&self, p: Point) -> Option<u32> {
+        for (i, t) in self.tris.iter().enumerate() {
+            if !t.alive {
+                continue;
+            }
+            let a = self.verts[t.v[0] as usize];
+            let b = self.verts[t.v[1] as usize];
+            let c = self.verts[t.v[2] as usize];
+            if orient2d(a, b, p) >= 0.0 && orient2d(b, c, p) >= 0.0 && orient2d(c, a, p) >= 0.0 {
+                return Some(i as u32);
+            }
+        }
+        None
+    }
+
+    fn build_adjacency(&mut self) {
+        let n_real = self.verts.len() - 3;
+        let mut adj: Vec<Vec<u32>> = vec![vec![]; n_real];
+        for t in &self.tris {
+            if !t.alive {
+                continue;
+            }
+            for e in 0..3 {
+                let a = t.v[e];
+                let b = t.v[(e + 1) % 3];
+                if a >= 3 {
+                    let list = &mut adj[a as usize - 3];
+                    if !list.contains(&b) {
+                        list.push(b);
+                    }
+                }
+                if b >= 3 {
+                    let list = &mut adj[b as usize - 3];
+                    if !list.contains(&a) {
+                        list.push(a);
+                    }
+                }
+            }
+        }
+        self.adjacency = adj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * span - span / 2.0
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn empty_circumcircle_property() {
+        let pts = random_points(120, 4242, 50.0);
+        let dt = Delaunay::build(&pts);
+        let tris = dt.triangles();
+        assert!(!tris.is_empty());
+        for t in &tris {
+            let (a, b, c) = (pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]);
+            // Ensure counter-clockwise for a signed incircle test.
+            let (a, b, c) = if orient2d(a, b, c) > 0.0 {
+                (a, b, c)
+            } else {
+                (a, c, b)
+            };
+            for (i, &p) in pts.iter().enumerate() {
+                if t.contains(&(i as u32)) {
+                    continue;
+                }
+                assert!(
+                    incircle(a, b, c, p) <= 0.0,
+                    "point {i} strictly inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_grid_terminates_and_is_delaunay() {
+        // 6x6 integer grid: plenty of cocircular quadruples.
+        let pts: Vec<Point> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| Point::new(i as f64, j as f64)))
+            .collect();
+        let dt = Delaunay::build(&pts);
+        let tris = dt.triangles();
+        // A triangulation of a convex 36-point set with 20 hull points has
+        // 2*36 - 2 - 20 = 50 triangles.
+        assert_eq!(tris.len(), 50);
+        for t in &tris {
+            let (a, b, c) = (pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]);
+            let (a, b, c) = if orient2d(a, b, c) > 0.0 {
+                (a, b, c)
+            } else {
+                (a, c, b)
+            };
+            for (i, &p) in pts.iter().enumerate() {
+                if t.contains(&(i as u32)) {
+                    continue;
+                }
+                assert!(incircle(a, b, c, p) <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_site_matches_brute_force() {
+        let pts = random_points(200, 9, 40.0);
+        let dt = Delaunay::build(&pts);
+        for q in random_points(200, 77, 60.0) {
+            let brute = pts
+                .iter()
+                .enumerate()
+                .min_by(|a, b| q.dist(*a.1).partial_cmp(&q.dist(*b.1)).unwrap())
+                .unwrap()
+                .0;
+            let got = dt.nearest_site(q).unwrap() as usize;
+            assert!(
+                (q.dist(pts[got]) - q.dist(pts[brute])).abs() < 1e-12,
+                "q={q}: got {got} brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 0.0), // duplicate of site 0
+            Point::new(0.0, 1.0),
+        ];
+        let dt = Delaunay::build(&pts);
+        assert_eq!(dt.num_vertices(), 3);
+        let near = dt.nearest_site(Point::new(-0.1, -0.1)).unwrap();
+        assert!(near == 0 || near == 2); // both map to the same location
+    }
+
+    #[test]
+    fn collinear_inputs_fall_back() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let dt = Delaunay::build(&pts);
+        assert!(dt.triangles().is_empty());
+        assert_eq!(dt.nearest_site(Point::new(2.2, 1.0)).unwrap(), 2);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(Delaunay::build(&[])
+            .nearest_site(Point::new(0.0, 0.0))
+            .is_none());
+        let one = Delaunay::build(&[Point::new(5.0, 5.0)]);
+        assert_eq!(one.nearest_site(Point::new(0.0, 0.0)).unwrap(), 0);
+        let two = Delaunay::build(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]);
+        assert_eq!(two.nearest_site(Point::new(3.0, 1.0)).unwrap(), 1);
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric() {
+        let pts = random_points(60, 123, 30.0);
+        let dt = Delaunay::build(&pts);
+        for i in 0..pts.len() {
+            for &j in &dt.neighbors_of_site(i) {
+                assert!(
+                    dt.neighbors_of_site(j as usize).contains(&(i as u32)),
+                    "asymmetric adjacency {i} vs {j}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `uncertain-voronoi`: Delaunay triangulation and Voronoi diagram substrate.
+//!
+//! The paper's Monte-Carlo quantification structure (Theorem 4.3) builds a
+//! Voronoi diagram per sampled instantiation and answers queries by point
+//! location; the nonzero Voronoi diagram machinery of Section 2 is also
+//! phrased in terms of (additively weighted) Voronoi diagrams. This crate
+//! provides:
+//!
+//! * [`delaunay::Delaunay`] — incremental Bowyer–Watson Delaunay
+//!   triangulation with adaptive-precision predicates, point-location by
+//!   walking, and exact nearest-site queries via greedy Delaunay routing;
+//! * [`voronoi::VoronoiDiagram`] — Voronoi cells (clipped to a box) obtained
+//!   from Delaunay adjacency by halfplane intersection.
+//!
+//! Implementation note: the triangulation uses a finite super-triangle placed
+//! `~10⁶×` the data diameter away. With exact predicates this keeps the
+//! empty-circumcircle property of every produced triangle exact; the only
+//! theoretical artifact is that a sliver of the real hull may remain attached
+//! to the super-vertices, which matters for none of the uses in this
+//! workspace (and is cross-checked by brute-force tests).
+
+pub mod delaunay;
+pub mod voronoi;
+
+pub use delaunay::Delaunay;
+pub use voronoi::VoronoiDiagram;

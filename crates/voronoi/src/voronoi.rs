@@ -1,0 +1,160 @@
+//! Voronoi diagrams (clipped to a bounding box).
+//!
+//! Cells are derived from Delaunay adjacency: the Voronoi cell of a site is
+//! the intersection of the "closer-to-me" halfplanes against its Delaunay
+//! neighbors — for Delaunay triangulations these neighbors are exactly the
+//! sites contributing cell edges, so no other halfplanes are needed.
+
+use crate::delaunay::Delaunay;
+use uncertain_geom::halfplane::{intersect_halfplanes, Halfplane};
+use uncertain_geom::polygon::signed_area;
+use uncertain_geom::{Aabb, Point};
+
+/// A Voronoi diagram of point sites, with every cell clipped to a box.
+#[derive(Clone, Debug)]
+pub struct VoronoiDiagram {
+    sites: Vec<Point>,
+    /// Clipped convex cell polygon per input site. Duplicate sites get the
+    /// cell of their canonical representative (shared geometry).
+    cells: Vec<Vec<Point>>,
+    delaunay: Delaunay,
+    bbox: Aabb,
+}
+
+impl VoronoiDiagram {
+    /// Builds the diagram of `points`, clipping every cell to `bbox`.
+    pub fn build(points: &[Point], bbox: &Aabb) -> Self {
+        let delaunay = Delaunay::build(points);
+        let mut cells: Vec<Vec<Point>> = vec![vec![]; points.len()];
+        for i in 0..points.len() {
+            let canon = delaunay.canonical_site(i) as usize;
+            if canon != i {
+                cells[i] = cells[canon].clone();
+                continue;
+            }
+            let me = points[i];
+            let planes: Vec<Halfplane> = delaunay
+                .neighbors_of_site(i)
+                .into_iter()
+                .map(|j| Halfplane::closer_to(me, points[j as usize]))
+                .collect();
+            cells[i] = intersect_halfplanes(&planes, bbox);
+        }
+        VoronoiDiagram {
+            sites: points.to_vec(),
+            cells,
+            delaunay,
+            bbox: *bbox,
+        }
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The clipped cell polygon of `site` (counter-clockwise; empty if the
+    /// cell misses the box entirely).
+    pub fn cell(&self, site: usize) -> &[Point] {
+        &self.cells[site]
+    }
+
+    pub fn bbox(&self) -> &Aabb {
+        &self.bbox
+    }
+
+    /// Nearest-site point location (the Voronoi cell containing `q`).
+    pub fn locate(&self, q: Point) -> Option<u32> {
+        self.delaunay.nearest_site(q)
+    }
+
+    /// Total area of all distinct cells (should equal the box area when
+    /// sites are distinct — the cells partition the box).
+    pub fn total_cell_area(&self) -> f64 {
+        (0..self.sites.len())
+            .filter(|&i| self.delaunay.canonical_site(i) as usize == i)
+            .map(|i| signed_area(&self.cells[i]).abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_geom::polygon::convex_contains;
+
+    fn random_points(n: usize, seed: u64, span: f64) -> Vec<Point> {
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * span - span / 2.0
+        };
+        (0..n).map(|_| Point::new(next(), next())).collect()
+    }
+
+    #[test]
+    fn cells_partition_the_box() {
+        let pts = random_points(80, 31, 20.0);
+        let bbox = Aabb::from_corners(Point::new(-15.0, -15.0), Point::new(15.0, 15.0));
+        let vd = VoronoiDiagram::build(&pts, &bbox);
+        let total = vd.total_cell_area();
+        let box_area = bbox.width() * bbox.height();
+        assert!(
+            (total - box_area).abs() < 1e-6 * box_area,
+            "cells cover {total}, box {box_area}"
+        );
+    }
+
+    #[test]
+    fn each_cell_contains_its_site() {
+        let pts = random_points(60, 17, 20.0);
+        let bbox = Aabb::from_corners(Point::new(-15.0, -15.0), Point::new(15.0, 15.0));
+        let vd = VoronoiDiagram::build(&pts, &bbox);
+        for (i, &p) in pts.iter().enumerate() {
+            assert!(
+                convex_contains(vd.cell(i), p),
+                "site {i} at {p} escapes its cell"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_membership_matches_nearest_site() {
+        let pts = random_points(40, 23, 20.0);
+        let bbox = Aabb::from_corners(Point::new(-12.0, -12.0), Point::new(12.0, 12.0));
+        let vd = VoronoiDiagram::build(&pts, &bbox);
+        for q in random_points(100, 99, 22.0) {
+            if !bbox.contains(q) {
+                continue;
+            }
+            let site = vd.locate(q).unwrap() as usize;
+            // q must be in the cell of its nearest site (strict interior may
+            // fail on shared boundaries; allow containment in any tied cell).
+            let dq = q.dist(pts[site]);
+            let containing: Vec<usize> = (0..pts.len())
+                .filter(|&i| convex_contains(vd.cell(i), q))
+                .collect();
+            assert!(!containing.is_empty(), "no cell contains {q}");
+            for &i in &containing {
+                assert!(
+                    q.dist(pts[i]) - dq < 1e-9,
+                    "cell {i} contains {q} but site is farther than nearest"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_share_cells() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 0.0),
+            Point::new(0.0, 0.0),
+        ];
+        let bbox = Aabb::from_corners(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+        let vd = VoronoiDiagram::build(&pts, &bbox);
+        assert_eq!(vd.cell(0), vd.cell(2));
+        assert!((vd.total_cell_area() - 400.0).abs() < 1e-6);
+    }
+}

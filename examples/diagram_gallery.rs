@@ -1,0 +1,81 @@
+//! Renders nonzero Voronoi diagrams to SVG.
+//!
+//! ```text
+//! cargo run --release --example diagram_gallery [-- OUTPUT_DIR]
+//! ```
+//!
+//! Produces a small gallery (default `target/gallery/`):
+//!
+//! * `random.svg` — `V≠0` of a random disk set (the generic picture behind
+//!   Figures 2–3 of the paper);
+//! * `theorem_2_8.svg` — the equal-radius `Ω(n³)` construction (Figure 6);
+//! * `theorem_2_10.svg` — the collinear disjoint family with its `Ω(n²)`
+//!   grid of vertices (Figure 8);
+//! * `corridor.svg` — overlapping disks along a corridor (curves vanish
+//!   where disks may always tie).
+
+use std::fs;
+use std::path::PathBuf;
+use uncertain_geom::{Circle, Point};
+use uncertain_nn::svg::{render_guaranteed, render_vnz};
+use uncertain_nn::vnz::{constructions, GuaranteedVoronoi, NonzeroVoronoiDiagram};
+use uncertain_nn::workload;
+
+fn main() {
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/gallery".to_string())
+        .into();
+    fs::create_dir_all(&dir).expect("create output dir");
+
+    let write = |name: &str, disks: Vec<Circle>| {
+        let diagram = NonzeroVoronoiDiagram::build(disks);
+        let c = diagram.complexity();
+        let svg = render_vnz(&diagram, 64);
+        let path = dir.join(name);
+        fs::write(&path, svg).expect("write svg");
+        println!(
+            "{:>18}: n = {:3}  V = {:4}  E = {:4}  F = {:4}  → {}",
+            name,
+            diagram.disks().len(),
+            c.vertices,
+            c.edges,
+            c.faces,
+            path.display()
+        );
+    };
+
+    write(
+        "random.svg",
+        workload::random_disk_set(14, 0.8, 2.5, 7).regions(),
+    );
+    write("theorem_2_8.svg", constructions::theorem_2_8(3).0);
+    write("theorem_2_10.svg", constructions::theorem_2_10_lower(4).0);
+
+    let corridor: Vec<Circle> = (0..8)
+        .map(|i| {
+            Circle::new(
+                Point::new(3.0 * i as f64, if i % 2 == 0 { 0.0 } else { 1.0 }),
+                1.6,
+            )
+        })
+        .collect();
+    write("corridor.svg", corridor);
+
+    // Guaranteed (π = 1) regions of a sparse triangle of disks.
+    let disks = vec![
+        Circle::new(Point::new(0.0, 0.0), 1.0),
+        Circle::new(Point::new(12.0, 0.0), 1.5),
+        Circle::new(Point::new(6.0, 10.0), 0.8),
+    ];
+    let gv = GuaranteedVoronoi::build(&disks);
+    let svg = render_guaranteed(&disks, &gv, 64);
+    let path = dir.join("guaranteed.svg");
+    fs::write(&path, svg).expect("write svg");
+    println!(
+        "{:>18}: n =   3  total boundary arcs = {:3}  → {}",
+        "guaranteed.svg",
+        gv.total_complexity(),
+        path.display()
+    );
+}

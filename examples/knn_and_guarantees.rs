@@ -1,0 +1,89 @@
+//! k-NN, guaranteed regions, and high-level probabilistic queries.
+//!
+//! ```text
+//! cargo run --release --example knn_and_guarantees
+//! ```
+//!
+//! Demonstrates the extensions layered on the paper's core machinery:
+//!
+//! * `kNN≠0(q)` — which points can rank among the k nearest (Section 1.2's
+//!   kNN variant, generalizing Lemma 2.1);
+//! * the guaranteed Voronoi diagram ([SE08]) — where a single point is
+//!   *surely* the nearest, i.e. `π_i(q) = 1`;
+//! * expected-distance NN ([AESZ12]) vs most-probable NN — the paper's
+//!   motivating divergence;
+//! * threshold / top-k probable queries over any quantification engine.
+
+use uncertain_geom::{Circle, Point};
+use uncertain_nn::expected::{expected_vs_probable_divergence, ExpectedNnIndex};
+use uncertain_nn::model::DiskSet;
+use uncertain_nn::nonzero::DiskNonzeroIndex;
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::queries::{threshold_nn, top_k_probable, ExactQuantifier};
+use uncertain_nn::vnz::GuaranteedVoronoi;
+use uncertain_nn::workload;
+
+fn main() {
+    // --- kNN≠0 --------------------------------------------------------------
+    let set: DiskSet = workload::random_disk_set(200, 0.3, 1.5, 42);
+    let index = DiskNonzeroIndex::build(&set);
+    let q = Point::new(3.0, -4.0);
+    println!("kNN≠0(q) for growing k (candidates for the k nearest):");
+    for k in [1usize, 2, 4, 8] {
+        let mut c = index.query_k(q, k);
+        c.sort_unstable();
+        println!(
+            "  k = {k}: {:2} candidates  {:?}...",
+            c.len(),
+            &c[..c.len().min(6)]
+        );
+    }
+
+    // --- guaranteed regions --------------------------------------------------
+    let disks = vec![
+        Circle::new(Point::new(0.0, 0.0), 1.0),
+        Circle::new(Point::new(12.0, 0.0), 1.0),
+        Circle::new(Point::new(6.0, 10.0), 1.0),
+    ];
+    let gv = GuaranteedVoronoi::build(&disks);
+    println!("\nguaranteed (π = 1) regions of three separated disks:");
+    for q in [
+        Point::new(0.0, 0.0),
+        Point::new(12.0, 0.0),
+        Point::new(6.0, 3.0),
+    ] {
+        match gv.locate(q) {
+            Some(i) => println!("  {q}: surely nearest = P_{i}"),
+            None => println!("  {q}: no certain winner (several candidates)"),
+        }
+    }
+    println!(
+        "  total guaranteed-boundary complexity: {} (O(n) per [SE08])",
+        gv.total_complexity()
+    );
+
+    // --- expected vs probable -----------------------------------------------
+    let (dset, dq) = expected_vs_probable_divergence();
+    let e_idx = ExpectedNnIndex::build_discrete(&dset);
+    let (we, ve) = e_idx.query(dq).unwrap();
+    let pi = quantification_discrete(&dset, dq);
+    println!("\nexpected-distance vs most-probable NN (the paper's motivation):");
+    println!("  expected distance picks P_{we} (E = {ve:.2})");
+    println!(
+        "  probability picks P_1 (π = [{:.2}, {:.2}]) — they disagree!",
+        pi[0], pi[1]
+    );
+
+    // --- threshold and top-k queries ----------------------------------------
+    let tset = workload::random_discrete_set(12, 3, 8.0, 7);
+    let engine = ExactQuantifier(&tset);
+    let q = Point::new(0.0, 0.0);
+    println!("\nthreshold query (π ≥ 0.1) at {q}:");
+    for (i, p) in threshold_nn(&engine, q, 0.1) {
+        println!("  P_{i:2}  π = {p:.3}");
+    }
+    println!("top-3 probable NNs at {q}:");
+    for (i, p) in top_k_probable(&engine, q, 3) {
+        println!("  P_{i:2}  π = {p:.3}");
+    }
+}

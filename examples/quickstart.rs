@@ -1,0 +1,77 @@
+//! Quickstart: the core workflow in ~60 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small set of uncertain points, asks which of them can possibly
+//! be the nearest neighbor of a query (`NN≠0`, Lemma 2.1 / Theorem 3.1), and
+//! quantifies the probabilities three ways (exact, Monte Carlo, spiral
+//! search — Section 4 of the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_geom::{Circle, Point};
+use uncertain_nn::model::{DiscreteSet, DiscreteUncertainPoint, DiskSet};
+use uncertain_nn::nonzero::DiskNonzeroIndex;
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::quantification::{MonteCarloPnn, SampleBackend, SpiralSearch};
+
+fn main() {
+    // --- continuous model: sensors with disk-shaped uncertainty ------------
+    let sensors = DiskSet::uniform(vec![
+        Circle::new(Point::new(0.0, 0.0), 1.0),
+        Circle::new(Point::new(5.0, 1.0), 2.0),
+        Circle::new(Point::new(3.0, 6.0), 0.5),
+        Circle::new(Point::new(40.0, 0.0), 1.0), // far away: never nearest
+    ]);
+    let index = DiskNonzeroIndex::build(&sensors);
+    let q = Point::new(2.5, 2.0);
+    let mut who = index.query(q);
+    who.sort_unstable();
+    println!("query q = {q}");
+    println!("possible nearest neighbors NN≠0(q) = {who:?}");
+    println!(
+        "Δ(q) = {:.3} (worst-case distance to the closest sensor)",
+        index.delta(q).unwrap()
+    );
+
+    // --- discrete model: location histograms --------------------------------
+    let set = DiscreteSet::new(vec![
+        DiscreteUncertainPoint::new(
+            vec![Point::new(1.0, 0.0), Point::new(6.0, 0.0)],
+            vec![0.7, 0.3],
+        ),
+        DiscreteUncertainPoint::new(
+            vec![Point::new(0.0, 3.0), Point::new(2.0, 2.0)],
+            vec![0.5, 0.5],
+        ),
+        DiscreteUncertainPoint::certain(Point::new(4.0, 4.0)),
+    ]);
+    let q = Point::new(2.0, 1.0);
+
+    // Exact quantification probabilities (Eq. (2) sweep).
+    let exact = quantification_discrete(&set, q);
+    println!("\nexact      π(q) = {}", fmt(&exact));
+
+    // Monte-Carlo estimates (Theorem 4.3).
+    let mut rng = StdRng::seed_from_u64(7);
+    let mc = MonteCarloPnn::build_discrete(&set, 2000, SampleBackend::KdTree, &mut rng);
+    println!("monte-carlo π̂(q) = {}", fmt(&mc.estimate_all(q)));
+
+    // Deterministic spiral search within ε = 0.01 (Theorem 4.7).
+    let ss = SpiralSearch::build(&set);
+    println!(
+        "spiral      π̂(q) = {} (ε = 0.01, m = {})",
+        fmt(&ss.estimate_all(q, 0.01)),
+        ss.retrieval_budget(0.01)
+    );
+
+    let total: f64 = exact.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "probabilities sum to 1");
+}
+
+fn fmt(v: &[f64]) -> String {
+    let cells: Vec<String> = v.iter().map(|x| format!("{x:.4}")).collect();
+    format!("[{}]", cells.join(", "))
+}

@@ -1,0 +1,12 @@
+//! Umbrella package for the `uncertain-nn` workspace: hosts the cross-crate
+//! integration tests in `tests/` and the runnable examples in `examples/`.
+//!
+//! The library surface lives in the member crates; start with
+//! [`uncertain_nn`].
+
+pub use uncertain_arrangement;
+pub use uncertain_envelope;
+pub use uncertain_geom;
+pub use uncertain_nn;
+pub use uncertain_spatial;
+pub use uncertain_voronoi;

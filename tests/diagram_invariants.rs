@@ -1,0 +1,190 @@
+//! Structural invariants of the nonzero Voronoi diagrams (continuous and
+//! discrete) and of the paper's lower-bound constructions.
+
+use uncertain_geom::{Aabb, Circle, Point};
+use uncertain_nn::vnz::vertices::vertex_residual;
+use uncertain_nn::vnz::{
+    constructions, enumerate_vertices, vertices_brute, DiscreteNonzeroDiagram, GammaCurve,
+    NonzeroVoronoiDiagram, WitnessKind,
+};
+use uncertain_nn::workload;
+
+#[test]
+fn envelope_and_brute_vertex_enumeration_agree_at_scale() {
+    for seed in [101u64, 102, 103] {
+        let set = workload::random_disk_set(14, 0.3, 2.0, seed);
+        let disks = set.regions();
+        let curves: Vec<GammaCurve> = (0..disks.len())
+            .map(|i| GammaCurve::compute(&disks, i))
+            .collect();
+        let env = enumerate_vertices(&disks, &curves);
+        let brute = vertices_brute(&disks);
+        assert_eq!(env.len(), brute.len(), "seed {seed}");
+        for v in &env {
+            assert!(vertex_residual(&disks, v) < 1e-5, "residual too large");
+            assert!(
+                brute.iter().any(|u| u.point.dist(v.point) < 1e-5),
+                "vertex {v:?} missing from brute enumeration"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_construction_counts_meet_paper_predictions() {
+    // Theorem 2.7 (two radius classes): ≥ 4m³ crossings.
+    for m in 1..=3usize {
+        let (disks, predicted) = constructions::theorem_2_7(m);
+        let d = NonzeroVoronoiDiagram::build(disks);
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        assert!(
+            crossings >= predicted,
+            "2.7 m={m}: {crossings} < {predicted}"
+        );
+    }
+    // Theorem 2.8 (equal radii): ≥ m³ crossings.
+    for m in 2..=4usize {
+        let (disks, predicted) = constructions::theorem_2_8(m);
+        let d = NonzeroVoronoiDiagram::build(disks);
+        let crossings = d
+            .vertices
+            .iter()
+            .filter(|v| matches!(v.kind, WitnessKind::Crossing { .. }))
+            .count();
+        assert!(
+            crossings >= predicted,
+            "2.8 m={m}: {crossings} < {predicted}"
+        );
+    }
+    // Theorem 2.10 (disjoint, collinear): ≥ (n−1)(n−2) vertices.
+    for m in 2..=5usize {
+        let (disks, predicted) = constructions::theorem_2_10_lower(m);
+        let d = NonzeroVoronoiDiagram::build(disks);
+        assert!(
+            d.num_vertices() >= predicted,
+            "2.10 m={m}: {} < {predicted}",
+            d.num_vertices()
+        );
+    }
+}
+
+#[test]
+fn semialgebraic_extension_square_like_dense_disks() {
+    // Theorem 2.6 extends the O(n³) bound to semialgebraic regions of
+    // constant description complexity; here we sanity-check the *disk*
+    // pipeline under the same packing pressure (many mutually tangent-ish
+    // disks), which exercises the same witness machinery.
+    let mut disks = vec![];
+    for i in 0..6 {
+        for j in 0..6 {
+            disks.push(Circle::new(
+                Point::new(2.0 * i as f64, 2.0 * j as f64),
+                0.95,
+            ));
+        }
+    }
+    let d = NonzeroVoronoiDiagram::build(disks.clone());
+    let n = disks.len();
+    assert!(d.num_vertices() <= 4 * n * n * n);
+    for v in &d.vertices {
+        assert!(vertex_residual(&disks, v) < 1e-5);
+    }
+}
+
+#[test]
+fn diagram_complexity_scales_subcubically_on_random_inputs() {
+    // Random instances stay far below the adversarial bound (the paper's
+    // open problem (i) asks to characterize this); here we pin the sanity
+    // bounds: µ ≥ n-ish and µ ≤ c·n³.
+    for &n in &[10usize, 20, 40] {
+        let set = workload::random_disk_set(n, 0.5, 3.0, n as u64);
+        let d = NonzeroVoronoiDiagram::build(set.regions());
+        let c = d.complexity();
+        assert!(c.faces >= 2, "n={n}: at least two faces");
+        assert!(
+            c.total() <= 4 * n * n * n,
+            "n={n}: µ = {} too large",
+            c.total()
+        );
+    }
+}
+
+#[test]
+fn discrete_diagram_face_labels_are_exact() {
+    let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
+    for seed in [7u64, 8] {
+        let set = workload::random_discrete_set(6, 3, 7.0, seed);
+        let d = DiscreteNonzeroDiagram::build(&set, &bbox);
+        assert!(!d.faces.is_empty());
+        // Sample-point labels are brute-force verified inside build();
+        // verify face disjointness statistics instead: every distinct label
+        // seen by random queries exists among face labels.
+        let labels: std::collections::BTreeSet<Vec<usize>> =
+            d.faces.iter().map(|f| f.label.clone()).collect();
+        for q in workload::random_queries(150, 80.0, seed + 5) {
+            let mut s = d.query(q);
+            s.sort_unstable();
+            assert!(labels.contains(&s), "label {s:?} missing (seed {seed})");
+        }
+        // Euler consistency of the underlying subdivision.
+        let sub = &d.subdivision;
+        assert_eq!(
+            sub.num_faces(),
+            sub.num_edges() + sub.num_components() + 1 - sub.num_vertices()
+        );
+        // Face tracing and Euler agree on the bounded-face count.
+        assert_eq!(d.faces.len(), sub.num_faces() - 1);
+    }
+}
+
+#[test]
+fn gamma_curves_respect_radius_monotonicity() {
+    // For every curve point x on γ_i: moving towards c_i keeps P_i a
+    // nonzero-NN, moving away drops it (the region is star-shaped around
+    // c_i — the fact behind the polar parameterization of Lemma 2.2).
+    let set = workload::random_disk_set(10, 0.5, 2.0, 77);
+    let disks = set.regions();
+    for i in 0..disks.len() {
+        let c = GammaCurve::compute(&disks, i);
+        for arc in &c.arcs {
+            let t = 0.5 * (arc.theta_lo + arc.theta_hi);
+            let Some(p) = c.point_at(t) else { continue };
+            let r = disks[i].center.dist(p);
+            for frac in [0.3, 0.7, 0.95] {
+                let inside = disks[i].center + (p - disks[i].center) * frac;
+                let nn = uncertain_nn::nonzero::nonzero_nn_disks(&disks, inside);
+                assert!(nn.contains(&i), "γ_{i} star-shape violated at r·{frac}");
+            }
+            let outside = disks[i].center + (p - disks[i].center) * (1.0 + 1e-3 / r.max(1.0));
+            let nn = uncertain_nn::nonzero::nonzero_nn_disks(&disks, outside);
+            assert!(!nn.contains(&i), "γ_{i} boundary not tight");
+        }
+    }
+}
+
+#[test]
+fn breakpoint_witnesses_touch_three_disks() {
+    let set = workload::random_disk_set(12, 0.5, 2.5, 31);
+    let disks = set.regions();
+    let d = NonzeroVoronoiDiagram::build(disks.clone());
+    for v in &d.vertices {
+        match v.kind {
+            WitnessKind::Breakpoint { i, k1, k2 } => {
+                assert!(i != k1 && i != k2 && k1 != k2);
+                assert!((disks[i].min_dist(v.point) - v.radius).abs() < 1e-5);
+                assert!((disks[k1].max_dist(v.point) - v.radius).abs() < 1e-5);
+                assert!((disks[k2].max_dist(v.point) - v.radius).abs() < 1e-5);
+            }
+            WitnessKind::Crossing { i, j, k } => {
+                assert!(i != j && j != k && i != k);
+                assert!((disks[i].min_dist(v.point) - v.radius).abs() < 1e-5);
+                assert!((disks[j].min_dist(v.point) - v.radius).abs() < 1e-5);
+                assert!((disks[k].max_dist(v.point) - v.radius).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-engine consistency for `NN≠0` queries: every engine (brute-force
+//! Lemma 2.1, the Theorem 3.1/3.2 index structures, and the diagram) must
+//! return identical answers on identical inputs — including the paper's
+//! adversarial lower-bound families and degenerate configurations.
+
+use uncertain_geom::{Circle, Point};
+use uncertain_nn::model::{DiscreteSet, DiscreteUncertainPoint, DiskSet};
+use uncertain_nn::nonzero::{
+    nonzero_nn_discrete, nonzero_nn_disks, DiscreteNonzeroIndex, DiskNonzeroIndex,
+};
+use uncertain_nn::vnz::{constructions, NonzeroVoronoiDiagram};
+use uncertain_nn::workload;
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn disk_engines_agree_on_random_instances() {
+    for seed in 0..6u64 {
+        let set = workload::random_disk_set(60, 0.1, 3.0, seed);
+        let disks = set.regions();
+        let index = DiskNonzeroIndex::build(&set);
+        let diagram = NonzeroVoronoiDiagram::build(disks.clone());
+        for q in workload::random_queries(120, 70.0, seed + 1000) {
+            let brute = sorted(nonzero_nn_disks(&disks, q));
+            assert_eq!(brute, sorted(index.query(q)), "index mismatch at {q}");
+            assert_eq!(brute, sorted(diagram.query(q)), "diagram mismatch at {q}");
+            assert!(!brute.is_empty(), "NN≠0 can never be empty for n ≥ 1");
+        }
+    }
+}
+
+#[test]
+fn disk_engines_agree_on_lower_bound_families() {
+    let families: Vec<Vec<Circle>> = vec![
+        constructions::theorem_2_7(2).0,
+        constructions::theorem_2_8(3).0,
+        constructions::theorem_2_10_lower(4).0,
+    ];
+    for disks in families {
+        let set = DiskSet::uniform(disks.clone());
+        let index = DiskNonzeroIndex::build(&set);
+        for q in workload::random_queries(150, 30.0, 9) {
+            let brute = sorted(nonzero_nn_disks(&disks, q));
+            assert_eq!(brute, sorted(index.query(q)), "at {q}");
+        }
+    }
+}
+
+#[test]
+fn discrete_engines_agree_on_random_instances() {
+    for seed in 0..6u64 {
+        let set = workload::random_discrete_set(50, 4, 6.0, seed);
+        let index = DiscreteNonzeroIndex::build(&set);
+        for q in workload::random_queries(120, 70.0, seed + 2000) {
+            let brute = sorted(nonzero_nn_discrete(&set, q));
+            assert_eq!(brute, sorted(index.query(q)), "at {q}");
+            assert!(!brute.is_empty());
+        }
+    }
+}
+
+#[test]
+fn certain_points_reduce_to_classical_voronoi() {
+    // All-zero radii: NN≠0 is the classical nearest neighbor (away from
+    // bisectors). Cross-check against a plain linear scan.
+    let pts: Vec<Point> = workload::random_queries(80, 40.0, 5);
+    let disks: Vec<Circle> = pts.iter().map(|&p| Circle::point(p)).collect();
+    let set = DiskSet::uniform(disks.clone());
+    let index = DiskNonzeroIndex::build(&set);
+    for q in workload::random_queries(200, 50.0, 17) {
+        let nn = pts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| q.dist(*a.1).partial_cmp(&q.dist(*b.1)).unwrap())
+            .unwrap()
+            .0;
+        let got = index.query(q);
+        assert_eq!(got, vec![nn], "classical NN mismatch at {q}");
+    }
+}
+
+#[test]
+fn mixed_certain_and_uncertain() {
+    // A certain point inside another point's uncertainty disk.
+    let disks = vec![
+        Circle::new(Point::new(0.0, 0.0), 5.0),
+        Circle::point(Point::new(1.0, 0.0)),
+    ];
+    let set = DiskSet::uniform(disks.clone());
+    let index = DiskNonzeroIndex::build(&set);
+    // Next to the certain point: both can be nearest (disk may materialize
+    // arbitrarily close).
+    assert_eq!(sorted(index.query(Point::new(1.1, 0.0))), vec![0, 1]);
+    // Far outside the disk on the certain point's side: still both.
+    assert_eq!(sorted(index.query(Point::new(20.0, 0.0))), vec![0, 1]);
+    let brute = sorted(nonzero_nn_disks(&disks, Point::new(20.0, 0.0)));
+    assert_eq!(brute, vec![0, 1]);
+}
+
+#[test]
+fn duplicated_uncertain_points() {
+    // Identical disks: both always participate (δ < Δ strictly since r > 0).
+    let disks = vec![
+        Circle::new(Point::new(0.0, 0.0), 2.0),
+        Circle::new(Point::new(0.0, 0.0), 2.0),
+        Circle::new(Point::new(30.0, 0.0), 1.0),
+    ];
+    let set = DiskSet::uniform(disks);
+    let index = DiskNonzeroIndex::build(&set);
+    assert_eq!(sorted(index.query(Point::new(-3.0, 0.0))), vec![0, 1]);
+}
+
+#[test]
+fn nested_disks() {
+    // D_1 strictly inside D_0's disk: for points far away, either can be
+    // nearest; close to the inner disk's center both still compete.
+    let disks = vec![
+        Circle::new(Point::new(0.0, 0.0), 10.0),
+        Circle::new(Point::new(1.0, 0.0), 1.0),
+    ];
+    let set = DiskSet::uniform(disks.clone());
+    let index = DiskNonzeroIndex::build(&set);
+    for q in workload::random_queries(60, 60.0, 3) {
+        let brute = sorted(nonzero_nn_disks(&disks, q));
+        assert_eq!(brute, sorted(index.query(q)), "at {q}");
+        assert_eq!(brute, vec![0, 1], "nested disks always compete at {q}");
+    }
+}
+
+#[test]
+fn discrete_with_shared_locations() {
+    // Two uncertain points sharing one location.
+    let shared = Point::new(0.0, 0.0);
+    let set = DiscreteSet::new(vec![
+        DiscreteUncertainPoint::uniform(vec![shared, Point::new(4.0, 0.0)]),
+        DiscreteUncertainPoint::uniform(vec![shared, Point::new(-4.0, 0.0)]),
+        DiscreteUncertainPoint::certain(Point::new(0.0, 20.0)),
+    ]);
+    let index = DiscreteNonzeroIndex::build(&set);
+    for q in workload::random_queries(80, 30.0, 11) {
+        assert_eq!(
+            sorted(nonzero_nn_discrete(&set, q)),
+            sorted(index.query(q)),
+            "at {q}"
+        );
+    }
+}
+
+#[test]
+fn monotonicity_under_far_insertion() {
+    // Adding a far-away point never *adds* members to NN≠0 near the origin.
+    let base = workload::random_disk_set(20, 0.5, 2.0, 33);
+    let mut extended = base.regions();
+    extended.push(Circle::new(Point::new(500.0, 500.0), 1.0));
+    let idx_base = DiskNonzeroIndex::build(&base);
+    let idx_ext = DiskNonzeroIndex::from_disks(&extended);
+    for q in workload::random_queries(100, 60.0, 4) {
+        let a = sorted(idx_base.query(q));
+        let b = sorted(idx_ext.query(q));
+        assert_eq!(a, b, "far point changed NN≠0 at {q}");
+    }
+}

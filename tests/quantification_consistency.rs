@@ -1,0 +1,188 @@
+//! Cross-engine consistency for quantification probabilities: the exact
+//! Eq. (2) sweep, the probabilistic Voronoi diagram (Theorem 4.2), Monte
+//! Carlo (Theorem 4.3/4.5), and spiral search (Theorem 4.7) must agree
+//! within their respective guarantees.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_geom::{Aabb, Circle, Point};
+use uncertain_nn::model::{DiscreteSet, DiscreteUncertainPoint, DiskSet};
+use uncertain_nn::nonzero::nonzero_nn_discrete;
+use uncertain_nn::quantification::exact::{
+    quantification_continuous, quantification_discrete, quantification_discrete_sparse,
+};
+use uncertain_nn::quantification::monte_carlo::{MonteCarloPnn, SampleBackend};
+use uncertain_nn::quantification::{ProbabilisticVoronoiDiagram, SpiralSearch};
+use uncertain_nn::workload;
+
+#[test]
+fn probabilities_sum_to_one_and_respect_support() {
+    for seed in 0..5u64 {
+        let set = workload::random_discrete_set(20, 4, 6.0, seed);
+        for q in workload::random_queries(40, 60.0, seed + 7) {
+            let pi = quantification_discrete(&set, q);
+            let total: f64 = pi.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "Σπ = {total}");
+            // π_i > 0 implies i ∈ NN≠0(q) (the support condition defining
+            // the nonzero Voronoi diagram).
+            let nz = nonzero_nn_discrete(&set, q);
+            for (i, &p) in pi.iter().enumerate() {
+                if p > 1e-12 {
+                    assert!(nz.contains(&i), "π_{i} = {p} but {i} ∉ NN≠0 at {q}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vpr_equals_exact_everywhere_in_box() {
+    let set = workload::random_discrete_set(6, 2, 8.0, 3);
+    let bbox = Aabb::from_corners(Point::new(-40.0, -40.0), Point::new(40.0, 40.0));
+    let vpr = ProbabilisticVoronoiDiagram::build(&set, &bbox);
+    for q in workload::random_queries(300, 70.0, 8) {
+        let exact = quantification_discrete(&set, q);
+        let mut dense = vec![0.0; set.len()];
+        for (i, p) in vpr.query(q) {
+            dense[i] = p;
+        }
+        for i in 0..set.len() {
+            assert!(
+                (dense[i] - exact[i]).abs() < 1e-6,
+                "π_{i} at {q}: vpr {} exact {}",
+                dense[i],
+                exact[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_and_spiral_bracket_exact() {
+    let set = workload::random_discrete_set(25, 3, 5.0, 13);
+    let mut rng = StdRng::seed_from_u64(17);
+    let eps = 0.05;
+    let mc = MonteCarloPnn::build_discrete(&set, 4000, SampleBackend::KdTree, &mut rng);
+    let ss = SpiralSearch::build(&set);
+    for q in workload::random_queries(30, 60.0, 21) {
+        let exact = quantification_discrete(&set, q);
+        let mc_est = mc.estimate_all(q);
+        let sp_est = ss.estimate_all(q, eps);
+        for i in 0..set.len() {
+            assert!(
+                (mc_est[i] - exact[i]).abs() <= eps,
+                "MC error too large at {q}: {} vs {}",
+                mc_est[i],
+                exact[i]
+            );
+            let diff = exact[i] - sp_est[i];
+            assert!(
+                (-1e-9..=eps + 1e-9).contains(&diff),
+                "spiral bound violated at {q}: {} vs {}",
+                sp_est[i],
+                exact[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn continuous_engines_agree() {
+    // Uniform disks: Eq. (1) quadrature vs Monte Carlo.
+    let set = workload::random_disk_set(6, 0.5, 2.0, 23);
+    let mut rng = StdRng::seed_from_u64(29);
+    let mc = MonteCarloPnn::build_continuous(&set, 20_000, SampleBackend::KdTree, &mut rng);
+    for q in workload::random_queries(5, 40.0, 31) {
+        let exact = quantification_continuous(&set, q, 4096);
+        let est = mc.estimate_all(q);
+        for i in 0..set.len() {
+            assert!(
+                (est[i] - exact[i]).abs() < 0.02,
+                "at {q}: MC {} vs quadrature {}",
+                est[i],
+                exact[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_pdf_models_are_consistent() {
+    // Truncated-Gaussian and ring pdfs: quadrature vs Monte Carlo.
+    let set: DiskSet = workload::mixed_continuous_set(5, 41);
+    let mut rng = StdRng::seed_from_u64(43);
+    let mc = MonteCarloPnn::build_continuous(&set, 30_000, SampleBackend::KdTree, &mut rng);
+    for q in workload::random_queries(3, 40.0, 47) {
+        let exact = quantification_continuous(&set, q, 4096);
+        let est = mc.estimate_all(q);
+        for i in 0..set.len() {
+            assert!(
+                (est[i] - exact[i]).abs() < 0.03,
+                "at {q}: MC {} vs quadrature {}",
+                est[i],
+                exact[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn guaranteed_region_gives_probability_one() {
+    // Inside the "guaranteed Voronoi" region of a far-isolated point, its
+    // quantification probability is exactly 1.
+    let set = DiscreteSet::new(vec![
+        DiscreteUncertainPoint::uniform(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]),
+        DiscreteUncertainPoint::uniform(vec![Point::new(100.0, 0.0), Point::new(101.0, 0.0)]),
+    ]);
+    let pi = quantification_discrete(&set, Point::new(0.5, 0.0));
+    assert_eq!(pi[0], 1.0);
+    assert_eq!(pi[1], 0.0);
+}
+
+#[test]
+fn sparse_and_dense_views_agree() {
+    let set = workload::random_discrete_set(15, 3, 5.0, 51);
+    for q in workload::random_queries(20, 50.0, 53) {
+        let dense = quantification_discrete(&set, q);
+        let sparse = quantification_discrete_sparse(&set, q, 0.0);
+        let mut rebuilt = vec![0.0; set.len()];
+        for (i, p) in sparse {
+            rebuilt[i] = p;
+        }
+        for i in 0..set.len() {
+            assert!((dense[i] - rebuilt[i]).abs() < 1e-15);
+        }
+    }
+}
+
+#[test]
+fn far_query_distances_remain_stable() {
+    // The paper notes exact probabilities are "often unstable — a far away
+    // point can affect these probabilities". The sweep must stay numerically
+    // sane for far queries (no NaN, sums to 1).
+    let set = workload::random_discrete_set(30, 3, 4.0, 61);
+    for &scale in &[1e3, 1e6, 1e9] {
+        let q = Point::new(scale, scale * 0.5);
+        let pi = quantification_discrete(&set, q);
+        assert!(pi.iter().all(|p| p.is_finite()));
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "Σπ = {total} at scale {scale}");
+    }
+}
+
+#[test]
+fn certain_point_at_query_takes_all() {
+    let set = DiscreteSet::new(vec![
+        DiscreteUncertainPoint::certain(Point::new(0.0, 0.0)),
+        DiscreteUncertainPoint::uniform(vec![Point::new(5.0, 0.0), Point::new(-5.0, 0.0)]),
+    ]);
+    let pi = quantification_discrete(&set, Point::new(0.0, 0.0));
+    assert_eq!(pi, vec![1.0, 0.0]);
+
+    let disks = DiskSet::uniform(vec![
+        Circle::point(Point::new(0.0, 0.0)),
+        Circle::new(Point::new(5.0, 0.0), 1.0),
+    ]);
+    let pi = quantification_continuous(&disks, Point::new(0.1, 0.0), 512);
+    assert!(pi[0] > 0.999, "{pi:?}");
+}

@@ -1,0 +1,147 @@
+//! Validates the paper's *semantic characterizations* against brute-force
+//! probability-space enumeration/sampling — the ground truth the geometry
+//! is supposed to capture.
+//!
+//! * Lemma 2.1: `P_i ∈ NN≠0(q)` ⟺ some instantiation makes `P_i` the
+//!   (unique) nearest neighbor;
+//! * Eq. (2): `π_i(q)` equals the instantiation-space probability mass;
+//! * the kNN extension: membership ⟺ some instantiation ranks `P_i ≤ k`;
+//! * the guaranteed diagram: membership ⟺ *every* instantiation makes
+//!   `P_i` nearest.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_geom::Point;
+use uncertain_nn::model::DiskSet;
+use uncertain_nn::nonzero::{nonzero_knn_disks, nonzero_nn_disks};
+use uncertain_nn::vnz::GuaranteedVoronoi;
+use uncertain_nn::workload;
+
+/// Ranks of each uncertain point in one instantiation (0 = nearest).
+fn ranks(instance: &[Point], q: Point) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by(|&a, &b| {
+        q.dist(instance[a])
+            .partial_cmp(&q.dist(instance[b]))
+            .unwrap()
+    });
+    let mut rank = vec![0; instance.len()];
+    for (r, &i) in order.iter().enumerate() {
+        rank[i] = r;
+    }
+    rank
+}
+
+#[test]
+fn lemma_2_1_matches_sampled_instantiations() {
+    let set: DiskSet = workload::random_disk_set(10, 0.5, 2.5, 5);
+    let disks = set.regions();
+    let mut rng = StdRng::seed_from_u64(6);
+    for q in workload::random_queries(15, 60.0, 7) {
+        let members = nonzero_nn_disks(&disks, q);
+        let mut achieved = vec![false; set.len()];
+        for _ in 0..4000 {
+            let inst = set.sample_instance(&mut rng);
+            let r = ranks(&inst, q);
+            for (i, &ri) in r.iter().enumerate() {
+                if ri == 0 {
+                    achieved[i] = true;
+                }
+            }
+        }
+        // Everything observed as NN must be a member (soundness — a strict
+        // requirement); everything not in the member set must never win.
+        for (i, &hit) in achieved.iter().enumerate() {
+            if hit {
+                assert!(
+                    members.contains(&i),
+                    "point {i} won the NN race but is not in NN≠0 at {q}"
+                );
+            }
+            if !members.contains(&i) {
+                assert!(!hit, "non-member {i} observed as NN at {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn knn_membership_matches_sampled_ranks_continuous() {
+    let set: DiskSet = workload::random_disk_set(8, 0.5, 2.5, 11);
+    let disks = set.regions();
+    let mut rng = StdRng::seed_from_u64(12);
+    let q = Point::new(2.0, -1.0);
+    for k in [1usize, 2, 3] {
+        let members = nonzero_knn_disks(&disks, q, k);
+        let mut achieved = vec![false; set.len()];
+        for _ in 0..6000 {
+            let inst = set.sample_instance(&mut rng);
+            let r = ranks(&inst, q);
+            for (i, &ri) in r.iter().enumerate() {
+                if ri < k {
+                    achieved[i] = true;
+                }
+            }
+        }
+        for (i, &hit) in achieved.iter().enumerate() {
+            if hit {
+                assert!(
+                    members.contains(&i),
+                    "point {i} ranked < {k} but is not in kNN≠0"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn guaranteed_region_means_always_nearest() {
+    let set: DiskSet = workload::random_disk_set(8, 0.4, 1.5, 21);
+    let disks = set.regions();
+    let gv = GuaranteedVoronoi::build(&disks);
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut located = 0;
+    for q in workload::random_queries(200, 70.0, 23) {
+        let Some(i) = gv.locate(q) else { continue };
+        located += 1;
+        // Every instantiation must make P_i the nearest.
+        for _ in 0..200 {
+            let inst = set.sample_instance(&mut rng);
+            let r = ranks(&inst, q);
+            assert_eq!(
+                r[i], 0,
+                "guaranteed point {i} lost an instantiation race at {q}"
+            );
+        }
+    }
+    assert!(located > 0, "no query landed in any guaranteed region");
+}
+
+#[test]
+fn quantification_matches_vote_frequencies() {
+    use uncertain_nn::quantification::exact::quantification_continuous;
+    let set: DiskSet = workload::random_disk_set(6, 0.8, 2.0, 31);
+    let mut rng = StdRng::seed_from_u64(32);
+    for q in workload::random_queries(4, 40.0, 33) {
+        let exact = quantification_continuous(&set, q, 2048);
+        let samples = 60_000;
+        let mut votes = vec![0usize; set.len()];
+        for _ in 0..samples {
+            let inst = set.sample_instance(&mut rng);
+            let r = ranks(&inst, q);
+            for (i, &ri) in r.iter().enumerate() {
+                if ri == 0 {
+                    votes[i] += 1;
+                }
+            }
+        }
+        for i in 0..set.len() {
+            let freq = votes[i] as f64 / samples as f64;
+            assert!(
+                (freq - exact[i]).abs() < 0.015,
+                "π_{i} at {q}: quadrature {} vs vote frequency {freq}",
+                exact[i]
+            );
+        }
+    }
+}

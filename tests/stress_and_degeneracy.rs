@@ -1,0 +1,230 @@
+//! Failure injection and stress tests: pathological inputs that break naive
+//! floating-point geometry — huge coordinate offsets, extreme radius ratios,
+//! heavy overlap, grid degeneracies, near-tangencies. The invariants must
+//! hold and nothing may panic.
+
+use uncertain_geom::{Aabb, Circle, Point};
+use uncertain_nn::model::{DiscreteSet, DiscreteUncertainPoint, DiskSet};
+use uncertain_nn::nonzero::{nonzero_nn_disks, DiskNonzeroIndex};
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::quantification::SpiralSearch;
+use uncertain_nn::vnz::vertices::vertex_residual;
+use uncertain_nn::vnz::{DiscreteNonzeroDiagram, GuaranteedVoronoi, NonzeroVoronoiDiagram};
+use uncertain_nn::workload;
+
+fn sorted(mut v: Vec<usize>) -> Vec<usize> {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn huge_coordinate_offsets() {
+    // The same configuration translated by 10^8: combinatorics must match.
+    let base = workload::random_disk_set(20, 0.5, 2.0, 3).regions();
+    let offset = 1e8;
+    let moved: Vec<Circle> = base
+        .iter()
+        .map(|d| {
+            Circle::new(
+                Point::new(d.center.x + offset, d.center.y + offset),
+                d.radius,
+            )
+        })
+        .collect();
+    let d1 = NonzeroVoronoiDiagram::build(base.clone());
+    let d2 = NonzeroVoronoiDiagram::build(moved.clone());
+    // Vertex counts may differ by a few due to conditioning at 1e8, but the
+    // query semantics must be identical.
+    for q in workload::random_queries(100, 60.0, 4) {
+        let q2 = Point::new(q.x + offset, q.y + offset);
+        assert_eq!(
+            sorted(d1.query(q)),
+            sorted(d2.query(q2)),
+            "translation changed NN≠0 at {q}"
+        );
+    }
+    assert!(d2.num_vertices() > 0);
+}
+
+#[test]
+fn extreme_radius_ratio() {
+    // One giant disk among mites: everything stays finite and consistent.
+    let mut disks = vec![Circle::new(Point::new(0.0, 0.0), 1e4)];
+    for i in 0..15 {
+        disks.push(Circle::new(
+            Point::new(2e4 + 3.0 * i as f64, 10.0 * i as f64),
+            1e-3,
+        ));
+    }
+    let diagram = NonzeroVoronoiDiagram::build(disks.clone());
+    for v in &diagram.vertices {
+        assert!(v.point.is_finite());
+        assert!(v.radius.is_finite());
+        assert!(vertex_residual(&disks, v) < 1e-2, "residual blowup");
+    }
+    let idx = DiskNonzeroIndex::from_disks(&disks);
+    for q in workload::random_queries(50, 5e4, 7) {
+        assert_eq!(sorted(idx.query(q)), sorted(nonzero_nn_disks(&disks, q)));
+    }
+}
+
+#[test]
+fn all_disks_identical() {
+    let disks = vec![Circle::new(Point::new(1.0, 1.0), 2.0); 12];
+    let diagram = NonzeroVoronoiDiagram::build(disks.clone());
+    // No curve exists (nobody ever excludes anybody): one face, all points.
+    assert_eq!(diagram.complexity().faces, 1);
+    let idx = DiskNonzeroIndex::from_disks(&disks);
+    let got = idx.query(Point::new(50.0, -3.0));
+    assert_eq!(got.len(), 12);
+}
+
+#[test]
+fn concentric_disks() {
+    let disks: Vec<Circle> = (1..=10)
+        .map(|i| Circle::new(Point::new(0.0, 0.0), i as f64))
+        .collect();
+    let diagram = NonzeroVoronoiDiagram::build(disks.clone());
+    let idx = DiskNonzeroIndex::from_disks(&disks);
+    for q in workload::random_queries(60, 40.0, 5) {
+        let brute = sorted(nonzero_nn_disks(&disks, q));
+        assert_eq!(sorted(idx.query(q)), brute);
+        assert_eq!(sorted(diagram.query(q)), brute);
+        // The innermost disk always participates: δ_0 minimal.
+        assert!(brute.contains(&0));
+    }
+}
+
+#[test]
+fn grid_of_tangent_disks() {
+    // Unit disks at spacing exactly 2: every adjacent pair is tangent —
+    // the |v| = a boundary case of the γ branches.
+    let mut disks = vec![];
+    for i in 0..5 {
+        for j in 0..5 {
+            disks.push(Circle::new(Point::new(2.0 * i as f64, 2.0 * j as f64), 1.0));
+        }
+    }
+    let diagram = NonzeroVoronoiDiagram::build(disks.clone());
+    for v in &diagram.vertices {
+        assert!(vertex_residual(&disks, v) < 1e-5);
+    }
+    let idx = DiskNonzeroIndex::from_disks(&disks);
+    for q in workload::random_queries(80, 20.0, 6) {
+        assert_eq!(sorted(idx.query(q)), sorted(nonzero_nn_disks(&disks, q)));
+    }
+}
+
+#[test]
+fn discrete_diagram_collinear_locations() {
+    // All locations on a line: K_ij polygons degenerate to halfplane-like
+    // strips; the subdivision must stay Euler-consistent.
+    let set = DiscreteSet::new(
+        (0..5)
+            .map(|i| {
+                DiscreteUncertainPoint::uniform(vec![
+                    Point::new(3.0 * i as f64, 0.0),
+                    Point::new(3.0 * i as f64 + 1.0, 0.0),
+                ])
+            })
+            .collect(),
+    );
+    let bbox = Aabb::from_corners(Point::new(-30.0, -30.0), Point::new(30.0, 30.0));
+    let d = DiscreteNonzeroDiagram::build(&set, &bbox);
+    let sub = &d.subdivision;
+    assert_eq!(
+        sub.num_faces(),
+        sub.num_edges() + sub.num_components() + 1 - sub.num_vertices()
+    );
+    for f in &d.faces {
+        let mut brute = set.nonzero_nn(f.sample);
+        brute.sort_unstable();
+        assert_eq!(f.label, brute);
+    }
+}
+
+#[test]
+fn spiral_with_extreme_weights() {
+    // Weights spanning 6 orders of magnitude: the sweep must stay stable.
+    let mut points = vec![];
+    for i in 0..20 {
+        let c = Point::new(5.0 * (i % 5) as f64, 5.0 * (i / 5) as f64);
+        points.push(DiscreteUncertainPoint::new(
+            vec![c, Point::new(c.x + 1.0, c.y), Point::new(c.x, c.y + 1.0)],
+            vec![1e-6, 0.5, 0.5 - 1e-6],
+        ));
+    }
+    let set = DiscreteSet::new(points);
+    let ss = SpiralSearch::build(&set);
+    for q in workload::random_queries(20, 30.0, 9) {
+        let exact = quantification_discrete(&set, q);
+        assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Full-budget spiral must reproduce the exact values.
+        let est = ss.estimate_with_budget(q, set.total_locations());
+        for i in 0..set.len() {
+            assert!((exact[i] - est[i]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn guaranteed_voronoi_on_lower_bound_families() {
+    // The adversarial V≠0 families have tiny or empty guaranteed regions —
+    // but must never panic or mis-locate.
+    for disks in [
+        uncertain_nn::vnz::constructions::theorem_2_8(3).0,
+        uncertain_nn::vnz::constructions::theorem_2_10_lower(3).0,
+    ] {
+        let gv = GuaranteedVoronoi::build(&disks);
+        for q in workload::random_queries(100, 20.0, 3) {
+            if let Some(i) = gv.locate(q) {
+                // Located ⇒ singleton NN≠0.
+                let nn = nonzero_nn_disks(&disks, q);
+                assert_eq!(nn, vec![i], "guaranteed region mismatch at {q}");
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_radii_behave_like_points() {
+    // Disks with radius 1e-12 behave combinatorially like certain points.
+    let pts = workload::random_queries(30, 40.0, 11);
+    let tiny: Vec<Circle> = pts.iter().map(|&p| Circle::new(p, 1e-12)).collect();
+    let idx = DiskNonzeroIndex::from_disks(&tiny);
+    for q in workload::random_queries(80, 50.0, 12) {
+        let got = idx.query(q);
+        let nn = pts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| q.dist(*a.1).partial_cmp(&q.dist(*b.1)).unwrap())
+            .unwrap()
+            .0;
+        assert!(got.contains(&nn), "true NN missing at {q}");
+        // Tiny radii can admit at most a couple of near-ties.
+        assert!(got.len() <= 3, "too many candidates for micro radii");
+    }
+}
+
+#[test]
+fn single_and_empty_everything() {
+    // Every structure handles n ∈ {0, 1} gracefully.
+    let empty_disks: Vec<Circle> = vec![];
+    assert!(NonzeroVoronoiDiagram::build(empty_disks.clone())
+        .query(Point::new(0.0, 0.0))
+        .is_empty());
+    assert_eq!(GuaranteedVoronoi::build(&empty_disks).total_complexity(), 0);
+    let one = vec![Circle::new(Point::new(0.0, 0.0), 1.0)];
+    assert_eq!(
+        NonzeroVoronoiDiagram::build(one.clone()).query(Point::new(9.0, 9.0)),
+        vec![0]
+    );
+    assert_eq!(
+        GuaranteedVoronoi::build(&one).locate(Point::new(9.0, 9.0)),
+        Some(0)
+    );
+    let empty_set = DiskSet::default();
+    assert!(DiskNonzeroIndex::build(&empty_set)
+        .query(Point::new(0.0, 0.0))
+        .is_empty());
+}
