@@ -16,7 +16,7 @@ use uncertain_nn::workload;
 fn bench_guaranteed(c: &mut Criterion) {
     let mut g = c.benchmark_group("guaranteed_build");
     g.sample_size(10);
-    for &n in &[32usize, 128, 512] {
+    for &n in uncertain_bench::sweep(&[32usize, 128, 512]) {
         let set = workload::random_disk_set(n, 0.2, 1.0, n as u64);
         let disks = set.regions();
         g.bench_with_input(BenchmarkId::from_parameter(n), &disks, |b, d| {
@@ -32,7 +32,7 @@ fn bench_knn(c: &mut Criterion) {
     let set = workload::random_disk_set(50_000, 0.05, 0.5, 99);
     let idx = DiskNonzeroIndex::build(&set);
     let queries = workload::random_queries(64, 60.0, 12);
-    for &k in &[1usize, 4, 16] {
+    for &k in uncertain_bench::sweep(&[1usize, 4, 16]) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &queries, |b, qs| {
             let mut j = 0;
             b.iter(|| {
@@ -47,7 +47,7 @@ fn bench_knn(c: &mut Criterion) {
 /// A4: expected-distance NN queries.
 fn bench_expected(c: &mut Criterion) {
     let mut g = c.benchmark_group("expected_nn");
-    for &n in &[1_000usize, 10_000] {
+    for &n in uncertain_bench::sweep(&[1_000usize, 10_000]) {
         let set = workload::random_discrete_set(n, 4, 1.0, n as u64);
         let idx = ExpectedNnIndex::build_discrete(&set);
         let queries = workload::random_queries(64, 60.0, 13);
@@ -75,7 +75,7 @@ fn bench_expected(c: &mut Criterion) {
 /// A5: L∞ queries.
 fn bench_linf(c: &mut Criterion) {
     let mut g = c.benchmark_group("linf_nonzero");
-    for &n in &[10_000usize, 100_000] {
+    for &n in uncertain_bench::sweep(&[10_000usize, 100_000]) {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let squares: Vec<SquareRegion> = (0..n)
             .map(|_| {

@@ -9,7 +9,7 @@ use uncertain_nn::workload;
 /// E8: disk-support queries — Theorem 3.1 structure vs brute force.
 fn bench_disk_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("nonzero_disks");
-    for &n in &[1_000usize, 10_000, 100_000] {
+    for &n in uncertain_bench::sweep(&[1_000usize, 10_000, 100_000]) {
         let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
         let disks = set.regions();
         let idx = DiskNonzeroIndex::build(&set);
@@ -35,7 +35,7 @@ fn bench_disk_queries(c: &mut Criterion) {
 /// E9: discrete queries — Theorem 3.2 structure vs brute force.
 fn bench_discrete_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("nonzero_discrete");
-    for &(n, k) in &[(1_000usize, 4usize), (10_000, 4), (10_000, 16)] {
+    for &(n, k) in uncertain_bench::sweep(&[(1_000usize, 4usize), (10_000, 4), (10_000, 16)]) {
         let set = workload::random_discrete_set(n, k, 0.8, n as u64);
         let idx = DiscreteNonzeroIndex::build(&set);
         let queries = workload::random_queries(64, 60.0, 4);
@@ -61,7 +61,7 @@ fn bench_discrete_queries(c: &mut Criterion) {
 /// A3: stage 1 only — Δ(q) by branch-and-bound vs linear scan.
 fn bench_delta(c: &mut Criterion) {
     let mut g = c.benchmark_group("delta_stage1");
-    for &n in &[10_000usize, 100_000] {
+    for &n in uncertain_bench::sweep(&[10_000usize, 100_000]) {
         let set = workload::random_disk_set(n, 0.05, 0.5, n as u64 + 1);
         let disks = set.regions();
         let idx = DiskNonzeroIndex::build(&set);

@@ -14,7 +14,7 @@ use uncertain_nn::workload;
 /// Exact Eq. (2) sweep cost vs N.
 fn bench_exact_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("quant_exact_sweep");
-    for &(n, k) in &[(100usize, 4usize), (1_000, 4), (10_000, 4)] {
+    for &(n, k) in uncertain_bench::sweep(&[(100usize, 4usize), (1_000, 4), (10_000, 4)]) {
         let set = workload::random_discrete_set(n, k, 2.0, 7);
         let queries = workload::random_queries(64, 60.0, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n * k), &queries, |b, qs| {
@@ -33,7 +33,7 @@ fn bench_vpr(c: &mut Criterion) {
     let mut g = c.benchmark_group("quant_vpr");
     g.sample_size(10);
     let bbox = Aabb::from_corners(Point::new(-3.0, -3.0), Point::new(3.0, 3.0));
-    for &n in &[3usize, 5] {
+    for &n in uncertain_bench::sweep(&[3usize, 5]) {
         let set = constructions::lemma_4_1(n, 11);
         g.bench_with_input(BenchmarkId::new("build", n), &set, |b, s| {
             b.iter(|| ProbabilisticVoronoiDiagram::build(s, &bbox));
@@ -77,11 +77,11 @@ fn bench_monte_carlo(c: &mut Criterion) {
 /// E13: spiral-search queries across spreads and tolerances.
 fn bench_spiral(c: &mut Criterion) {
     let mut g = c.benchmark_group("quant_spiral");
-    for &rho in &[1.0f64, 16.0] {
+    for &rho in uncertain_bench::sweep(&[1.0f64, 16.0]) {
         let set = workload::spread_discrete_set(2000, 3, rho, 9);
         let ss = SpiralSearch::build(&set);
         let queries = workload::random_queries(64, 60.0, 6);
-        for &eps in &[0.1f64, 0.01] {
+        for &eps in uncertain_bench::sweep(&[0.1f64, 0.01]) {
             g.bench_with_input(
                 BenchmarkId::from_parameter(format!("rho{rho}_eps{eps}")),
                 &queries,

@@ -11,7 +11,7 @@ use uncertain_nn::workload;
 fn bench_build_random(c: &mut Criterion) {
     let mut g = c.benchmark_group("vnz_build_random");
     g.sample_size(10);
-    for &n in &[8usize, 16, 32, 64] {
+    for &n in uncertain_bench::sweep(&[8usize, 16, 32, 64]) {
         let set = workload::random_disk_set(n, 0.5, 3.0, 42 + n as u64);
         let disks = set.regions();
         g.bench_with_input(BenchmarkId::from_parameter(n), &disks, |b, d| {
@@ -25,7 +25,7 @@ fn bench_build_random(c: &mut Criterion) {
 fn bench_build_lower_bound(c: &mut Criterion) {
     let mut g = c.benchmark_group("vnz_build_theorem_2_7");
     g.sample_size(10);
-    for &m in &[1usize, 2, 3] {
+    for &m in uncertain_bench::sweep(&[1usize, 2, 3]) {
         let (disks, _) = constructions::theorem_2_7(m);
         g.bench_with_input(BenchmarkId::from_parameter(4 * m), &disks, |b, d| {
             b.iter(|| NonzeroVoronoiDiagram::build(d.clone()));
@@ -38,7 +38,7 @@ fn bench_build_lower_bound(c: &mut Criterion) {
 fn bench_build_disjoint(c: &mut Criterion) {
     let mut g = c.benchmark_group("vnz_build_disjoint");
     g.sample_size(10);
-    for &lambda in &[1.0f64, 4.0] {
+    for &lambda in uncertain_bench::sweep(&[1.0f64, 4.0]) {
         let set = workload::disjoint_disk_set(48, lambda, 3);
         let disks = set.regions();
         g.bench_with_input(
@@ -57,7 +57,7 @@ fn bench_build_discrete(c: &mut Criterion) {
     let mut g = c.benchmark_group("vnz_build_discrete");
     g.sample_size(10);
     let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
-    for &(n, k) in &[(6usize, 2usize), (10, 2), (6, 4)] {
+    for &(n, k) in uncertain_bench::sweep(&[(6usize, 2usize), (10, 2), (6, 4)]) {
         let set = workload::random_discrete_set(n, k, 8.0, 100);
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("n{n}_k{k}")),

@@ -1,13 +1,18 @@
 //! Experiment harness: regenerates every quantitative artifact of the paper.
 //!
-//! Usage: `cargo run --release -p uncertain-bench --bin experiments [-- IDs]`
-//! where IDs ⊆ {E1..E17, A1..A6} (default: all). Output is the set of
+//! Usage: `cargo run --release -p uncertain_bench --bin experiments [-- ARGS]`
+//! where ARGS is any subset of {E1..E17, A1..A6} (default: all) plus the
+//! optional `--smoke` flag, which shrinks every workload to a token size
+//! (tiny n, same fixed seeds) so the full sweep finishes in seconds — used
+//! by CI to keep every experiment code path exercised. Output is the set of
 //! tables recorded in `EXPERIMENTS.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
-use uncertain_bench::{fmt, fmt_time, loglog_slope, time, time_avg, Table};
+use uncertain_bench::{
+    fmt, fmt_time, loglog_slope, scaled, sweep, sweep_hi, time, time_avg, Table,
+};
 use uncertain_geom::{Aabb, Circle, Point};
 use uncertain_nn::model::{distance, ContinuousUncertainPoint};
 use uncertain_nn::nonzero::{
@@ -26,11 +31,29 @@ use uncertain_nn::workload;
 use uncertain_nn::{DiscreteSet, DiskSet};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke_requested = args.iter().any(|a| a == "--smoke" || a == "-s");
+    args.retain(|a| a != "--smoke" && a != "-s");
+    if smoke_requested {
+        uncertain_bench::set_smoke(true);
+        println!("[smoke mode: workloads shrunk, same fixed seeds]\n");
+    }
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
         "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5", "A6",
     ];
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| !all.iter().any(|id| id.eq_ignore_ascii_case(a)))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("error: unknown argument(s): {unknown:?}");
+        eprintln!(
+            "valid experiment IDs: {}  (plus --smoke / -s)",
+            all.join(" ")
+        );
+        std::process::exit(2);
+    }
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
     } else {
@@ -87,7 +110,7 @@ fn e1_figure1() {
     let q = Point::new(6.0, 8.0);
     // Monte-Carlo histogram.
     let mut rng = StdRng::seed_from_u64(1);
-    let samples = 1_000_000usize;
+    let samples = scaled(1_000_000);
     let bins = 20usize;
     let (lo, hi) = (5.0, 15.0);
     let mut hist = vec![0usize; bins];
@@ -124,7 +147,7 @@ fn e2_cubic_upper() {
     );
     let mut t = Table::new(&["n", "vertices", "edges", "faces", "µ=V+E+F", "build"]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for &n in &[8usize, 12, 16, 24, 32, 48, 64] {
+    for &n in sweep(&[8usize, 12, 16, 24, 32, 48, 64]) {
         let set = workload::random_disk_set(n, 0.5, 3.0, 42 + n as u64);
         let (d, secs) = time(|| NonzeroVoronoiDiagram::build(set.regions()));
         let c = d.complexity();
@@ -161,7 +184,7 @@ fn e3_lower_2_7() {
         "build",
     ]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for m in 1..=5usize {
+    for m in 1..=sweep_hi(1, 5) {
         let (disks, predicted) = constructions::theorem_2_7(m);
         let (d, secs) = time(|| NonzeroVoronoiDiagram::build(disks));
         let crossings = d
@@ -202,7 +225,7 @@ fn e4_lower_2_8() {
         "build",
     ]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for m in 2..=6usize {
+    for m in 2..=sweep_hi(2, 6) {
         let (disks, predicted) = constructions::theorem_2_8(m);
         let (d, secs) = time(|| NonzeroVoronoiDiagram::build(disks));
         let crossings = d
@@ -236,9 +259,9 @@ fn e5_disjoint() {
     );
     println!("   upper-bound regime (random disjoint instances):");
     let mut t = Table::new(&["λ", "n", "vertices", "µ=V+E+F"]);
-    for &lambda in &[1.0f64, 2.0, 4.0, 8.0] {
+    for &lambda in sweep(&[1.0f64, 2.0, 4.0, 8.0]) {
         let (mut xs, mut ys) = (vec![], vec![]);
-        for &n in &[16usize, 32, 64] {
+        for &n in sweep(&[16usize, 32, 64]) {
             let set = workload::disjoint_disk_set(n, lambda, 7 + n as u64);
             let d = NonzeroVoronoiDiagram::build(set.regions());
             let c = d.complexity();
@@ -261,7 +284,7 @@ fn e5_disjoint() {
     t.print();
     println!("   lower-bound construction (collinear equal disks):");
     let mut t = Table::new(&["m", "n", "predicted ≥ (n−1)(n−2)", "vertices"]);
-    for m in 2..=6usize {
+    for m in 2..=sweep_hi(2, 6) {
         let (disks, predicted) = constructions::theorem_2_10_lower(m);
         let d = NonzeroVoronoiDiagram::build(disks);
         t.row(&[
@@ -283,7 +306,7 @@ fn e6_discrete_diagram() {
     let bbox = Aabb::from_corners(Point::new(-60.0, -60.0), Point::new(60.0, 60.0));
     let mut t = Table::new(&["n", "k", "γ segments", "V", "E", "F", "µ", "build"]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for &(n, k) in &[
+    for &(n, k) in sweep(&[
         (4usize, 2usize),
         (6, 2),
         (8, 2),
@@ -293,7 +316,7 @@ fn e6_discrete_diagram() {
         (6, 4),
         (6, 6),
         (6, 8),
-    ] {
+    ]) {
         let set = workload::random_discrete_set(n, k, 8.0, 100 + (n * k) as u64);
         let (d, secs) = time(|| DiscreteNonzeroDiagram::build(&set, &bbox));
         if k == 2 {
@@ -325,10 +348,10 @@ fn e7_construction_time() {
         "construction O(n² log n + µ) expected; queries O(log n + t)",
     );
     let mut t = Table::new(&["n", "µ", "build", "query (diagram)", "query (brute)"]);
-    for &n in &[16usize, 32, 64, 128] {
+    for &n in sweep(&[16usize, 32, 64, 128]) {
         let set = workload::random_disk_set(n, 0.5, 3.0, 5 + n as u64);
         let (d, secs) = time(|| NonzeroVoronoiDiagram::build(set.regions()));
-        let queries = workload::random_queries(200, 70.0, 99);
+        let queries = workload::random_queries(scaled(200), 70.0, 99);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(d.query(q));
@@ -365,11 +388,12 @@ fn e8_disk_queries() {
         "speedup",
         "avg |out|",
     ]);
-    for &n in &[1_000usize, 10_000, 100_000] {
+    for &n in sweep(&[1_000usize, 10_000, 100_000]) {
+        let n = scaled(n);
         let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
         let disks = set.regions();
         let (idx, build) = time(|| DiskNonzeroIndex::build(&set));
-        let queries = workload::random_queries(500, 60.0, 3);
+        let queries = workload::random_queries(scaled(500), 60.0, 3);
         let mut out_total = 0usize;
         let tq = time_avg(1, || {
             for &q in &queries {
@@ -408,10 +432,11 @@ fn e9_discrete_queries() {
         "query (brute)",
         "speedup",
     ]);
-    for &(n, k) in &[(1_000usize, 4usize), (10_000, 4), (50_000, 4), (10_000, 16)] {
+    for &(n, k) in sweep(&[(1_000usize, 4usize), (10_000, 4), (50_000, 4), (10_000, 16)]) {
+        let n = scaled(n);
         let set = workload::random_discrete_set(n, k, 0.8, n as u64);
         let (idx, build) = time(|| DiscreteNonzeroIndex::build(&set));
-        let queries = workload::random_queries(300, 60.0, 4);
+        let queries = workload::random_queries(scaled(300), 60.0, 4);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(idx.query(q));
@@ -452,10 +477,10 @@ fn e10_vpr() {
         "query",
     ]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for &n in &[3usize, 4, 5, 6, 7] {
+    for &n in sweep(&[3usize, 4, 5, 6, 7]) {
         let set = constructions::lemma_4_1(n, 11);
         let (vpr, secs) = time(|| ProbabilisticVoronoiDiagram::build(&set, &bbox));
-        let queries = workload::random_queries(200, 2.0, 5);
+        let queries = workload::random_queries(scaled(200), 2.0, 5);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(vpr.query(q));
@@ -487,9 +512,9 @@ fn e11_monte_carlo() {
         "s = ⌈ln(2n|Q|/δ)/(2ε²)⌉ instantiations give additive error ≤ ε w.p. 1−δ",
     );
     let set = workload::random_discrete_set(15, 3, 6.0, 21);
-    let queries = workload::random_queries(100, 60.0, 5);
+    let queries = workload::random_queries(scaled(100), 60.0, 5);
     let mut t = Table::new(&["ε", "δ", "s", "max error", "build", "query"]);
-    for &eps in &[0.2f64, 0.1, 0.05, 0.02] {
+    for &eps in sweep(&[0.2f64, 0.1, 0.05, 0.02]) {
         let delta = 0.05;
         let s = samples_for_queries(eps, delta, set.len(), queries.len());
         let mut rng = StdRng::seed_from_u64(2);
@@ -532,7 +557,7 @@ fn e12_continuous_mc() {
         .map(|&q| quantification_continuous(&set, q, 8192))
         .collect();
     let mut t = Table::new(&["s", "max error vs Eq.(1) quadrature"]);
-    for &s in &[100usize, 400, 1600, 6400] {
+    for &s in sweep(&[100usize, 400, 1600, 6400]) {
         let mut rng = StdRng::seed_from_u64(3);
         let mc = MonteCarloPnn::build_continuous(&set, s, SampleBackend::KdTree, &mut rng);
         let mut max_err: f64 = 0.0;
@@ -563,10 +588,10 @@ fn e13_spiral() {
         "query (spiral)",
         "query (exact)",
     ]);
-    for &rho in &[1.0f64, 4.0, 16.0, 64.0] {
-        let set = workload::spread_discrete_set(2000, 3, rho, 9);
+    for &rho in sweep(&[1.0f64, 4.0, 16.0, 64.0]) {
+        let set = workload::spread_discrete_set(scaled(2000), 3, rho, 9);
         let ss = SpiralSearch::build(&set);
-        let queries = workload::random_queries(50, 60.0, 6);
+        let queries = workload::random_queries(scaled(50), 60.0, 6);
         for &eps in &[0.1f64, 0.01] {
             let m = ss.retrieval_budget(eps);
             let mut max_err: f64 = 0.0;
@@ -609,7 +634,10 @@ fn e14_counterexample() {
         "dropping locations with w < ε/k flips the NN ranking by > 2ε; spiral search does not",
     );
     let eps = 0.01;
-    let (set, q) = low_weight_counterexample(2000, eps);
+    // The construction needs n > 4/ε so the swarm's weight falls below the
+    // naive truncation threshold; keep that floor even in smoke mode.
+    let n = scaled(2000).max((4.0 / eps) as usize + 2);
+    let (set, q) = low_weight_counterexample(n, eps);
     let exact = quantification_discrete(&set, q);
     // Naive truncation.
     let k = set.max_k();
@@ -668,11 +696,11 @@ fn e17_discrete_query_path() {
         "query (located)",
         "query (brute)",
     ]);
-    for &(n, k) in &[(6usize, 2usize), (10, 2), (14, 2), (8, 4)] {
+    for &(n, k) in sweep(&[(6usize, 2usize), (10, 2), (14, 2), (8, 4)]) {
         let set = workload::random_discrete_set(n, k, 8.0, 300 + (n * k) as u64);
         let d = DiscreteNonzeroDiagram::build(&set, &bbox);
         let explicit: usize = d.faces.iter().map(|f| f.label.len()).sum();
-        let queries = workload::random_queries(500, 100.0, 17);
+        let queries = workload::random_queries(scaled(500), 100.0, 17);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(d.query_located(q));
@@ -709,7 +737,7 @@ fn a1_enumeration_ablation() {
         "time env",
         "time brute",
     ]);
-    for &n in &[8usize, 12, 16, 24, 32] {
+    for &n in sweep(&[8usize, 12, 16, 24, 32]) {
         let set = workload::random_disk_set(n, 0.4, 2.0, 1234 + n as u64);
         let disks = set.regions();
         let (d, te) = time(|| NonzeroVoronoiDiagram::build(disks.clone()));
@@ -731,9 +759,9 @@ fn a2_backend_ablation() {
         "ablation: Monte-Carlo per-sample backend (kd-tree vs Delaunay point location)",
         "the paper describes Vor(R_j) + point location; a kd-tree answers the same query",
     );
-    let set = workload::random_discrete_set(200, 4, 2.0, 77);
-    let s = 500;
-    let queries = workload::random_queries(200, 60.0, 8);
+    let set = workload::random_discrete_set(scaled(200), 4, 2.0, 77);
+    let s = scaled(500);
+    let queries = workload::random_queries(scaled(200), 60.0, 8);
     let mut t = Table::new(&["backend", "build", "query", "agreement"]);
     let mut rng1 = StdRng::seed_from_u64(4);
     let (kd, b1) =
@@ -780,11 +808,12 @@ fn a3_delta_ablation() {
         "stage 1 of the Theorem 3.1 query",
     );
     let mut t = Table::new(&["n", "Δ(q) b&b", "Δ(q) linear", "speedup"]);
-    for &n in &[1_000usize, 10_000, 100_000] {
+    for &n in sweep(&[1_000usize, 10_000, 100_000]) {
+        let n = scaled(n);
         let set = workload::random_disk_set(n, 0.05, 0.5, n as u64 + 1);
         let disks = set.regions();
         let idx = DiskNonzeroIndex::build(&set);
-        let queries = workload::random_queries(500, 60.0, 9);
+        let queries = workload::random_queries(scaled(500), 60.0, 9);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(idx.delta(q));
@@ -818,7 +847,7 @@ fn e15_guaranteed() {
     use uncertain_nn::vnz::GuaranteedVoronoi;
     let mut t = Table::new(&["n", "guaranteed complexity", "V≠0 vertices", "ratio"]);
     let (mut xs, mut ys) = (vec![], vec![]);
-    for &n in &[16usize, 32, 64, 128, 256] {
+    for &n in sweep(&[16usize, 32, 64, 128, 256]) {
         let set = workload::random_disk_set(n, 0.2, 1.0, 3 + n as u64);
         let disks = set.regions();
         let gv = GuaranteedVoronoi::build(&disks);
@@ -854,11 +883,12 @@ fn e16_knn() {
     );
     use uncertain_nn::nonzero::knn::nonzero_knn_disks;
     let mut t = Table::new(&["n", "k", "avg |out|", "query (index)", "query (brute)"]);
-    for &n in &[10_000usize, 100_000] {
+    for &n in sweep(&[10_000usize, 100_000]) {
+        let n = scaled(n);
         let set = workload::random_disk_set(n, 0.05, 0.5, n as u64);
         let disks = set.regions();
         let idx = DiskNonzeroIndex::build(&set);
-        let queries = workload::random_queries(200, 60.0, 12);
+        let queries = workload::random_queries(scaled(200), 60.0, 12);
         for &k in &[1usize, 2, 4, 8] {
             let mut total = 0usize;
             let tq = time_avg(1, || {
@@ -919,12 +949,14 @@ fn a4_expected_vs_probable() {
 
     // Agreement rate on random instances — how often the two criteria
     // coincide when uncertainty is small vs large.
-    let mut t = Table::new(&["cluster diameter", "agreement over 200 queries"]);
+    let n_queries = scaled(200);
+    let header = format!("agreement over {n_queries} queries");
+    let mut t = Table::new(&["cluster diameter", &header]);
     for &diam in &[1.0f64, 8.0, 20.0] {
         let set = workload::random_discrete_set(20, 4, diam, 5);
         let idx = ExpectedNnIndex::build_discrete(&set);
         let mut agree = 0usize;
-        let queries = workload::random_queries(200, 60.0, 6);
+        let queries = workload::random_queries(n_queries, 60.0, 6);
         for &q in &queries {
             let (we, _) = idx.query(q).unwrap();
             let pi = quantification_discrete(&set, q);
@@ -955,7 +987,8 @@ fn a5_linf_variant() {
     use rand::Rng;
     use uncertain_nn::nonzero::linf::{nonzero_nn_linf, LinfNonzeroIndex, SquareRegion};
     let mut t = Table::new(&["n", "query (index)", "query (brute)", "speedup"]);
-    for &n in &[10_000usize, 100_000] {
+    for &n in sweep(&[10_000usize, 100_000]) {
+        let n = scaled(n);
         let mut rng = StdRng::seed_from_u64(n as u64);
         let squares: Vec<SquareRegion> = (0..n)
             .map(|_| {
@@ -966,7 +999,7 @@ fn a5_linf_variant() {
             })
             .collect();
         let idx = LinfNonzeroIndex::build(&squares);
-        let queries = workload::random_queries(300, 60.0, 7);
+        let queries = workload::random_queries(scaled(300), 60.0, 7);
         let tq = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(idx.query(q));
@@ -994,7 +1027,7 @@ fn a6_retrieval_ablation() {
         "§4.3 Remark (ii): \"one may use quad-trees and a branch-and-bound algorithm to retrieve m points\"",
     );
     use uncertain_spatial::{KdTree, QuadTree};
-    let set = workload::random_discrete_set(20_000, 3, 1.0, 77);
+    let set = workload::random_discrete_set(scaled(20_000), 3, 1.0, 77);
     let items: Vec<(Point, u32)> = set
         .all_locations()
         .enumerate()
@@ -1002,9 +1035,9 @@ fn a6_retrieval_ablation() {
         .collect();
     let kd = KdTree::build(items.clone());
     let qt = QuadTree::build(items);
-    let queries = workload::random_queries(200, 60.0, 31);
+    let queries = workload::random_queries(scaled(200), 60.0, 31);
     let mut t = Table::new(&["m (retrieval budget)", "kd-tree", "quad-tree"]);
-    for &m in &[16usize, 128, 1024] {
+    for &m in sweep(&[16usize, 128, 1024]) {
         let tk = time_avg(1, || {
             for &q in &queries {
                 std::hint::black_box(kd.k_nearest(q, m));

@@ -6,7 +6,53 @@
 //! `EXPERIMENTS.md`); this crate hosts the code that regenerates every one
 //! of them.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Turns smoke mode on or off for this process (see [`smoke`]).
+pub fn set_smoke(on: bool) {
+    SMOKE.store(on, Ordering::Relaxed);
+}
+
+/// True when experiments and benches should shrink to token workloads that
+/// still exercise every code path: enabled by `--smoke` on the `experiments`
+/// binary (via [`set_smoke`]) or by setting `UNC_BENCH_SMOKE=1` in the
+/// environment (picked up by the Criterion benches too).
+pub fn smoke() -> bool {
+    SMOKE.load(Ordering::Relaxed)
+        || std::env::var("UNC_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// Scales a workload size down (÷100, floor 8) in smoke mode.
+pub fn scaled(n: usize) -> usize {
+    if smoke() {
+        (n / 100).max(8).min(n)
+    } else {
+        n
+    }
+}
+
+/// Truncates a size sweep to its two smallest entries in smoke mode — two
+/// rather than one so downstream [`loglog_slope`] fits still have the two
+/// points they assert on.
+pub fn sweep<T>(xs: &[T]) -> &[T] {
+    if smoke() {
+        &xs[..xs.len().min(2)]
+    } else {
+        xs
+    }
+}
+
+/// Upper bound for a `lo..=hi` sweep: clamps to two iterations in smoke mode.
+pub fn sweep_hi(lo: usize, hi: usize) -> usize {
+    if smoke() {
+        hi.min(lo + 1)
+    } else {
+        hi
+    }
+}
 
 /// Least-squares slope of `log y` against `log x` — the measured growth
 /// exponent for complexity sweeps (e.g. Theorem 2.5 predicts slope ≤ 3 for

@@ -313,7 +313,10 @@ mod tests {
 
     #[test]
     fn budget_formula() {
-        let set = workload::random_discrete_set(10, 4, 5.0, 3);
+        // Large enough that the budget is not clipped at `total_locations()`
+        // (the weight spread ρ can reach 5 with uniform weights in 0.2..1.0,
+        // giving m(ρ, 0.01) up to ⌈5·4·ln 100⌉ + 3 = 96 locations).
+        let set = workload::random_discrete_set(100, 4, 5.0, 3);
         let ss = SpiralSearch::build(&set);
         let m1 = ss.retrieval_budget(0.1);
         let m2 = ss.retrieval_budget(0.01);

@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the four benches link
+//! against this minimal harness instead of real Criterion. It implements the
+//! same call surface (`Criterion::benchmark_group`, `sample_size`,
+//! `bench_with_input`, `bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) with honest wall-clock timing and a
+//! plain-text report — no statistics, plots, or baselines.
+//!
+//! Environment knobs:
+//! * `UNC_BENCH_SMOKE=1` — run each benchmark body exactly once (used by the
+//!   `--smoke` flows and CI compile-and-run checks).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Returns true when benches should do the minimum work that still exercises
+/// every measured closure.
+pub fn smoke_mode() -> bool {
+    std::env::var("UNC_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group(name.to_string());
+        g.bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.samples());
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.samples());
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn samples(&self) -> usize {
+        if smoke_mode() {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let label = if id.0.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id.0)
+        };
+        match b.mean_seconds() {
+            Some(mean) => println!(
+                "{label:<48} {:>12} /iter  ({} iters)",
+                fmt_time(mean),
+                b.total_iters
+            ),
+            None => println!("{label:<48} (no measurement)"),
+        }
+    }
+}
+
+pub struct Bencher {
+    samples: usize,
+    total_secs: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total_secs: 0.0,
+            total_iters: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up keeps first-touch costs out of the measurement.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total_secs += t0.elapsed().as_secs_f64();
+        self.total_iters += self.samples as u64;
+    }
+
+    fn mean_seconds(&self) -> Option<f64> {
+        (self.total_iters > 0).then(|| self.total_secs / self.total_iters as f64)
+    }
+}
+
+/// Accepts either a pre-built [`BenchmarkId`] or a plain string, mirroring
+/// real criterion's `BenchmarkGroup::bench_function` signature.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(format!("{param}"))
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_execute() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_accumulates() {
+        let mut b = Bencher::new(4);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.total_iters, 4);
+        assert!(b.mean_seconds().is_some());
+    }
+}
