@@ -1,11 +1,15 @@
 //! Experiment harness: regenerates every quantitative artifact of the paper.
 //!
 //! Usage: `cargo run --release -p uncertain_bench --bin experiments [-- ARGS]`
-//! where ARGS is any subset of {E1..E17, A1..A6} (default: all) plus the
-//! optional `--smoke` flag, which shrinks every workload to a token size
-//! (tiny n, same fixed seeds) so the full sweep finishes in seconds — used
-//! by CI to keep every experiment code path exercised. Output is the set of
-//! tables recorded in `EXPERIMENTS.md`.
+//! where ARGS is any subset of {E1..E17, E24, E25, A1..A6} (default: all)
+//! plus:
+//!
+//! * `--list` — print every experiment id with a one-line description;
+//! * `--smoke` / `-s` — shrink every workload to a token size (tiny n, same
+//!   fixed seeds) so the full sweep finishes in seconds — used by CI to
+//!   keep every experiment code path exercised.
+//!
+//! Output is the set of tables recorded in `EXPERIMENTS.md`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,65 +34,166 @@ use uncertain_nn::vnz::{
 use uncertain_nn::workload;
 use uncertain_nn::{DiscreteSet, DiskSet};
 
+/// Every experiment: `(id, one-line description, runner)`.
+const EXPERIMENTS: &[(&str, &str, fn())] = &[
+    (
+        "E1",
+        "distance pdf g_{q,i} vs Monte-Carlo histogram (Figure 1)",
+        e1_figure1,
+    ),
+    (
+        "E2",
+        "V≠0 complexity µ(n): cubic upper-bound sweep (Theorem 2.5)",
+        e2_cubic_upper,
+    ),
+    (
+        "E3",
+        "Ω(n²) lower-bound construction (Theorem 2.7)",
+        e3_lower_2_7,
+    ),
+    (
+        "E4",
+        "Ω(n³) lower-bound construction (Theorem 2.8)",
+        e4_lower_2_8,
+    ),
+    (
+        "E5",
+        "disjoint-disk diagrams: near-linear complexity (Theorem 2.10)",
+        e5_disjoint,
+    ),
+    (
+        "E6",
+        "discrete V≠0 diagram complexity O(kn³) (Theorem 2.14)",
+        e6_discrete_diagram,
+    ),
+    ("E7", "V≠0 construction time scaling", e7_construction_time),
+    (
+        "E8",
+        "disk NN≠0 queries: Theorem 3.1 structure vs brute",
+        e8_disk_queries,
+    ),
+    (
+        "E9",
+        "discrete NN≠0 queries: Theorem 3.2 structure vs brute",
+        e9_discrete_queries,
+    ),
+    (
+        "E10",
+        "probabilistic Voronoi diagram V_Pr size/queries (Lemma 4.1)",
+        e10_vpr,
+    ),
+    (
+        "E11",
+        "Monte-Carlo quantification error vs s (Theorem 4.3)",
+        e11_monte_carlo,
+    ),
+    (
+        "E12",
+        "continuous Monte-Carlo quantification (Theorem 4.5)",
+        e12_continuous_mc,
+    ),
+    (
+        "E13",
+        "spiral-search error vs retrieval budget (Theorem 4.7)",
+        e13_spiral,
+    ),
+    (
+        "E14",
+        "low-weight counterexample to naive truncation (Remark i)",
+        e14_counterexample,
+    ),
+    (
+        "E15",
+        "guaranteed-NN region G(P) constructions (Section 2.3)",
+        e15_guaranteed,
+    ),
+    ("E16", "nonzero k-NN extension over both models", e16_knn),
+    (
+        "E17",
+        "discrete query-path internals (stages, candidates)",
+        e17_discrete_query_path,
+    ),
+    (
+        "E24",
+        "engine: batch throughput vs threads, plans, cache hits",
+        e24_engine_serving,
+    ),
+    (
+        "E25",
+        "engine planner: plan-choice crossover vs n and batch",
+        e25_planner_crossover,
+    ),
+    (
+        "A1",
+        "ablation: vertex enumeration strategies",
+        a1_enumeration_ablation,
+    ),
+    (
+        "A2",
+        "ablation: Monte-Carlo sample backend (kd vs Delaunay)",
+        a2_backend_ablation,
+    ),
+    (
+        "A3",
+        "ablation: Δ(q) branch-and-bound vs linear scan",
+        a3_delta_ablation,
+    ),
+    (
+        "A4",
+        "ablation: expected-NN vs most-probable-NN disagreement",
+        a4_expected_vs_probable,
+    ),
+    (
+        "A5",
+        "ablation: L∞ (square support) variant",
+        a5_linf_variant,
+    ),
+    (
+        "A6",
+        "ablation: spiral retrieval-count sensitivity",
+        a6_retrieval_ablation,
+    ),
+];
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        println!("available experiments ({} total):", EXPERIMENTS.len());
+        for (id, desc, _) in EXPERIMENTS {
+            println!("  {id:<5} {desc}");
+        }
+        println!("\nflags: --smoke/-s (token-size workloads), --list/-l (this listing)");
+        return;
+    }
     let smoke_requested = args.iter().any(|a| a == "--smoke" || a == "-s");
     args.retain(|a| a != "--smoke" && a != "-s");
     if smoke_requested {
         uncertain_bench::set_smoke(true);
         println!("[smoke mode: workloads shrunk, same fixed seeds]\n");
     }
-    let all = [
-        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
-        "E15", "E16", "E17", "A1", "A2", "A3", "A4", "A5", "A6",
-    ];
     let unknown: Vec<&String> = args
         .iter()
-        .filter(|a| !all.iter().any(|id| id.eq_ignore_ascii_case(a)))
+        .filter(|a| {
+            !EXPERIMENTS
+                .iter()
+                .any(|(id, _, _)| id.eq_ignore_ascii_case(a))
+        })
         .collect();
     if !unknown.is_empty() {
         eprintln!("error: unknown argument(s): {unknown:?}");
-        eprintln!(
-            "valid experiment IDs: {}  (plus --smoke / -s)",
-            all.join(" ")
-        );
+        eprintln!("run with --list to see every experiment id and what it does");
         std::process::exit(2);
     }
-    let selected: Vec<&str> = if args.is_empty() {
-        all.to_vec()
+    let selected: Vec<&(&str, &str, fn())> = if args.is_empty() {
+        EXPERIMENTS.iter().collect()
     } else {
-        all.iter()
-            .copied()
-            .filter(|id| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
+        EXPERIMENTS
+            .iter()
+            .filter(|(id, _, _)| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
             .collect()
     };
-    for id in selected {
-        match id {
-            "E1" => e1_figure1(),
-            "E2" => e2_cubic_upper(),
-            "E3" => e3_lower_2_7(),
-            "E4" => e4_lower_2_8(),
-            "E5" => e5_disjoint(),
-            "E6" => e6_discrete_diagram(),
-            "E7" => e7_construction_time(),
-            "E8" => e8_disk_queries(),
-            "E9" => e9_discrete_queries(),
-            "E10" => e10_vpr(),
-            "E11" => e11_monte_carlo(),
-            "E12" => e12_continuous_mc(),
-            "E13" => e13_spiral(),
-            "E14" => e14_counterexample(),
-            "E15" => e15_guaranteed(),
-            "E16" => e16_knn(),
-            "E17" => e17_discrete_query_path(),
-            "A1" => a1_enumeration_ablation(),
-            "A2" => a2_backend_ablation(),
-            "A3" => a3_delta_ablation(),
-            "A4" => a4_expected_vs_probable(),
-            "A5" => a5_linf_variant(),
-            "A6" => a6_retrieval_ablation(),
-            _ => unreachable!(),
-        }
+    for (_, _, run) in selected {
+        run();
         println!();
     }
 }
@@ -1072,4 +1177,208 @@ fn distinct_sets_of(d: &NonzeroVoronoiDiagram, queries: &[Point]) -> usize {
         seen.insert(s);
     }
     seen.len()
+}
+
+// ---------------------------------------------------------------------------
+
+/// E24: the serving engine end to end — batch throughput scaling vs worker
+/// count, the planner switching plans across set sizes, and the result
+/// cache on a repeated-query batch.
+fn e24_engine_serving() {
+    use uncertain_engine::{Engine, EngineConfig, QueryRequest};
+    header(
+        "E24",
+        "engine: batch serving (threads, plans, cache)",
+        "serving layer over Theorems 3.2 / 2.14 / 4.2–4.7 structures; amortized plan choice",
+    );
+
+    // (a) Planner choice across set sizes, fixed batch of 256 NN≠0 queries.
+    let batch: Vec<QueryRequest> = workload::random_queries(256, 60.0, 24)
+        .into_iter()
+        .map(|q| QueryRequest::Nonzero { q })
+        .collect();
+    let mut t = Table::new(&["n", "plan", "built", "wall", "q/s"]);
+    let mut plans_seen: BTreeSet<String> = BTreeSet::new();
+    for &n in sweep(&[24usize, 2_048, 16_384]) {
+        let set = workload::random_discrete_set(n, 3, 5.0, n as u64);
+        let engine = Engine::new(set, EngineConfig::default());
+        let resp = engine.run_batch(&batch);
+        let plan = resp.stats.plan.summary();
+        plans_seen.insert(plan.clone());
+        t.row(&[
+            n.to_string(),
+            plan,
+            format!("{:?}", resp.stats.built),
+            fmt_time(resp.stats.wall.as_secs_f64()),
+            format!("{:.0}", resp.stats.throughput_qps()),
+        ]);
+    }
+    t.print();
+    println!(
+        "   distinct plans across the sweep: {} {:?}",
+        plans_seen.len(),
+        plans_seen
+    );
+    assert!(
+        plans_seen.len() >= 2,
+        "the planner should switch plans across this sweep"
+    );
+
+    // (b) Throughput scaling vs thread count (one mid-size set, warm
+    // structures, cold cache per engine).
+    let n = scaled(5_000).max(64);
+    let set = workload::random_discrete_set(n, 3, 5.0, 5);
+    let big_batch: Vec<QueryRequest> = workload::random_queries(scaled(2_048).max(64), 60.0, 25)
+        .into_iter()
+        .map(|q| QueryRequest::Nonzero { q })
+        .collect();
+    let mut t = Table::new(&["threads", "wall", "q/s", "worker util"]);
+    for &threads in sweep(&[1usize, 2, 4, 8]) {
+        let engine = Engine::new(
+            set.clone(),
+            EngineConfig {
+                threads: Some(threads),
+                cache_capacity: 0, // cache off: measure execution, not memoization
+                ..EngineConfig::default()
+            },
+        );
+        engine.run_batch(&big_batch); // warm the planned structures
+        let resp = engine.run_batch(&big_batch);
+        t.row(&[
+            format!("{} (got {})", threads, engine.threads()),
+            fmt_time(resp.stats.wall.as_secs_f64()),
+            format!("{:.0}", resp.stats.throughput_qps()),
+            format!("{:.0}%", 100.0 * resp.stats.worker_utilization()),
+        ]);
+    }
+    t.print();
+    println!("   (UNC_ENGINE_THREADS overrides the requested counts)");
+
+    // (c) Result cache on a repeated-query batch.
+    let engine = Engine::new(set, EngineConfig::default());
+    let repeated: Vec<QueryRequest> = workload::random_queries(32, 60.0, 26)
+        .iter()
+        .cycle()
+        .take(512)
+        .map(|&q| QueryRequest::Threshold { q, tau: 0.25 })
+        .collect();
+    let resp = engine.run_batch(&repeated);
+    println!(
+        "   repeated-query batch: {} hits / {} misses (hit rate {:.0}%), wall {}",
+        resp.stats.cache_hits,
+        resp.stats.cache_misses,
+        100.0 * resp.stats.cache_hit_rate(),
+        fmt_time(resp.stats.wall.as_secs_f64()),
+    );
+    assert!(
+        resp.stats.cache_hits > 0,
+        "repeated queries must produce cache hits"
+    );
+    let again = engine.run_batch(&repeated);
+    println!(
+        "   same batch again:     {} hits / {} misses (hit rate {:.0}%), wall {}",
+        again.stats.cache_hits,
+        again.stats.cache_misses,
+        100.0 * again.stats.cache_hit_rate(),
+        fmt_time(again.stats.wall.as_secs_f64()),
+    );
+}
+
+/// E25: the planner's cost model — which plan wins as n and the batch size
+/// vary, with the planner's own cost table at the crossover points.
+fn e25_planner_crossover() {
+    use uncertain_engine::{planner, PlannerInputs};
+    use uncertain_nn::queries::Guarantee;
+    header(
+        "E25",
+        "planner crossover: chosen plan vs n and batch size",
+        "build + batch·per_query amortization over Theorems 3.1/3.2/2.14/4.2–4.7 engines",
+    );
+    let k = 3usize;
+    let mut t = Table::new(&["n", "batch=4", "batch=256", "batch=16k", "batch=1M"]);
+    for &n in sweep(&[8usize, 64, 1_024, 32_768]) {
+        let mut cells = vec![n.to_string()];
+        for &batch in &[4usize, 256, 16_384, 1_048_576] {
+            let plan = planner::plan(&PlannerInputs {
+                n,
+                total_locations: n * k,
+                max_k: k,
+                spread: 4.0,
+                nonzero_count: batch,
+                quant_count: 0,
+                guarantee: Guarantee::Exact,
+                diagram_cap: 40,
+                index_built: false,
+                diagram_built: false,
+                spiral_built: false,
+                mc_built_samples: None,
+            });
+            cells.push(plan.summary().replace("nonzero:", ""));
+        }
+        t.row(&cells);
+    }
+    t.print();
+
+    // Quantification side: guarantee tier × n, batch = 256.
+    let tiers: [(&str, Guarantee); 3] = [
+        ("exact", Guarantee::Exact),
+        ("±0.05", Guarantee::Additive(0.05)),
+        (
+            "p(0.05,.05)",
+            Guarantee::Probabilistic {
+                eps: 0.05,
+                delta: 0.05,
+            },
+        ),
+    ];
+    let mut t = Table::new(&["n", "exact", "±0.05", "p(0.05,.05)"]);
+    for &n in sweep(&[64usize, 1_024, 32_768]) {
+        let mut cells = vec![n.to_string()];
+        for &(_, g) in &tiers {
+            let plan = planner::plan(&PlannerInputs {
+                n,
+                total_locations: n * k,
+                max_k: k,
+                spread: 4.0,
+                nonzero_count: 0,
+                quant_count: 256,
+                guarantee: g,
+                diagram_cap: 40,
+                index_built: false,
+                diagram_built: false,
+                spiral_built: false,
+                mc_built_samples: None,
+            });
+            cells.push(plan.summary().replace("quant:", ""));
+        }
+        t.row(&cells);
+    }
+    t.print();
+
+    // The full cost table at one crossover point, as the engine records it.
+    let plan = planner::plan(&PlannerInputs {
+        n: 1_024,
+        total_locations: 1_024 * k,
+        max_k: k,
+        spread: 4.0,
+        nonzero_count: 256,
+        quant_count: 256,
+        guarantee: Guarantee::Additive(0.05),
+        diagram_cap: 40,
+        index_built: false,
+        diagram_built: false,
+        spiral_built: false,
+        mc_built_samples: None,
+    });
+    let mut t = Table::new(&["candidate", "build", "per-query", "total", "chosen"]);
+    for e in &plan.estimates {
+        t.row(&[
+            e.name.clone(),
+            format!("{:.0}", e.build),
+            format!("{:.0}", e.per_query),
+            format!("{:.0}", e.total),
+            if e.chosen { "*".into() } else { "".into() },
+        ]);
+    }
+    t.print();
 }

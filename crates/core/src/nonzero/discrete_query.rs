@@ -12,15 +12,39 @@ use crate::model::DiscreteSet;
 use uncertain_geom::Point;
 use uncertain_spatial::{GroupIndex, KdTree};
 
+/// Per-query scratch stamps for deduplication. Callers that query the same
+/// index from several threads give each thread its own scratch (see
+/// [`DiscreteNonzeroIndex::query_with`]); the plain
+/// [`query`](DiscreteNonzeroIndex::query) API uses a shared one behind a
+/// mutex.
+#[derive(Clone, Debug, Default)]
+pub struct QueryScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
 /// Query structure answering `NN≠0(q)` for discrete uncertain points.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct DiscreteNonzeroIndex {
     groups: GroupIndex,
     locations: KdTree,
     n: usize,
-    /// Scratch stamps for per-query deduplication (interior mutability keeps
-    /// the query API `&self`).
-    stamps: std::cell::RefCell<(Vec<u32>, u32)>,
+    /// Shared scratch for the `&self` convenience API. A `Mutex` (not
+    /// `RefCell`) so the index is `Sync` and can serve concurrent readers;
+    /// parallel callers should prefer [`query_with`](Self::query_with) with
+    /// per-thread scratch to avoid contention.
+    scratch: std::sync::Mutex<QueryScratch>,
+}
+
+impl Clone for DiscreteNonzeroIndex {
+    fn clone(&self) -> Self {
+        DiscreteNonzeroIndex {
+            groups: self.groups.clone(),
+            locations: self.locations.clone(),
+            n: self.n,
+            scratch: std::sync::Mutex::new(QueryScratch::default()),
+        }
+    }
 }
 
 impl DiscreteNonzeroIndex {
@@ -36,7 +60,7 @@ impl DiscreteNonzeroIndex {
             groups: GroupIndex::build(&group_pts),
             locations: KdTree::build(items),
             n: set.len(),
-            stamps: std::cell::RefCell::new((vec![0; set.len()], 0)),
+            scratch: std::sync::Mutex::new(QueryScratch::default()),
         }
     }
 
@@ -66,13 +90,22 @@ impl DiscreteNonzeroIndex {
     /// `NN≠0(q)`: all point indices with `δ_i(q) < min_{j≠i} Δ_j(q)`
     /// (Lemma 2.1).
     pub fn query(&self, q: Point) -> Vec<usize> {
+        let mut scratch = self.scratch.lock().unwrap();
+        self.query_with(q, &mut scratch)
+    }
+
+    /// Like [`query`](Self::query), with caller-provided scratch — the
+    /// contention-free path for multi-threaded batch serving.
+    pub fn query_with(&self, q: Point, scratch: &mut QueryScratch) -> Vec<usize> {
         let Some((best, best_id, second)) = self.groups.two_min_max_dist(q) else {
             return vec![];
         };
-        let mut scratch = self.stamps.borrow_mut();
-        let (stamps, epoch) = &mut *scratch;
-        *epoch += 1;
-        let cur = *epoch;
+        if scratch.stamps.len() != self.n || scratch.epoch == u32::MAX {
+            scratch.stamps = vec![0; self.n];
+            scratch.epoch = 0;
+        }
+        scratch.epoch += 1;
+        let (stamps, cur) = (&mut scratch.stamps, scratch.epoch);
         let mut out = vec![];
         let range = if second.is_finite() { second } else { best };
         self.locations.for_each_in_disk(q, range, |p, i| {

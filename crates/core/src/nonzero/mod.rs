@@ -20,6 +20,6 @@ pub mod linf;
 
 pub use brute::{nonzero_nn_discrete, nonzero_nn_disks};
 pub use delta_query::DiskNonzeroIndex;
-pub use discrete_query::DiscreteNonzeroIndex;
+pub use discrete_query::{DiscreteNonzeroIndex, QueryScratch};
 pub use knn::{nonzero_knn_discrete, nonzero_knn_disks};
 pub use linf::{LinfNonzeroIndex, SquareRegion};

@@ -1,0 +1,335 @@
+//! Quantization-keyed LRU result cache.
+//!
+//! Keys are query points snapped to a configurable grid (cell side
+//! [`EngineConfig::cache_grid`](crate::EngineConfig); `0` disables snapping
+//! and keys on the exact f64 bits, which still de-duplicates repeated
+//! identical queries). Snapped entries are **evaluated at the cell center**
+//! with a certified interval (see [`crate::snap`]), so every query in the
+//! cell receives the identical answer together with a `Guarantee` whose
+//! slack is widened by the certified snap error — correctness is preserved
+//! by construction, and answers do not depend on cache state.
+//!
+//! Snapping applies to the quantification paths. `NN≠0` answers are sets
+//! with no slack vocabulary to absorb a perturbation, so nonzero entries
+//! always use exact-bits keys.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+use uncertain_geom::Point;
+use uncertain_nn::queries::Guarantee;
+
+/// Snaps a point to grid cell indices (cell side `grid`). The cell center
+/// is `(kx·grid, ky·grid)`; every point of the cell is within
+/// [`snap_radius`] of it.
+pub fn quantize_point(q: Point, grid: f64) -> (i64, i64) {
+    assert!(grid > 0.0);
+    ((q.x / grid).round() as i64, (q.y / grid).round() as i64)
+}
+
+/// The cell center of the cell containing `q`.
+pub fn snap_center(q: Point, grid: f64) -> Point {
+    let (kx, ky) = quantize_point(q, grid);
+    Point::new(kx as f64 * grid, ky as f64 * grid)
+}
+
+/// Max distance from any point of a cell to its center: `grid·√2/2`.
+pub fn snap_radius(grid: f64) -> f64 {
+    grid * std::f64::consts::FRAC_1_SQRT_2
+}
+
+/// Which quantification engine produced a cached probability vector — part
+/// of the key, so engines with different guarantees never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuantTag {
+    Exact,
+    Spiral { eps_bits: u64 },
+    MonteCarlo { samples: usize },
+}
+
+/// Cache key: exact query bits for nonzero sets, snapped cell or exact bits
+/// for probability vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheKey {
+    /// `via_diagram` separates `V≠0`-point-location answers from the (always
+    /// exact) brute/index answers, so the diagram's boundary-degeneracy
+    /// caveat can never leak into an exact plan via the cache.
+    Nonzero {
+        qx: u64,
+        qy: u64,
+        via_diagram: bool,
+    },
+    QuantCell {
+        kx: i64,
+        ky: i64,
+        tag: QuantTag,
+    },
+    QuantExact {
+        qx: u64,
+        qy: u64,
+        tag: QuantTag,
+    },
+}
+
+impl CacheKey {
+    pub fn nonzero(q: Point, via_diagram: bool) -> Self {
+        CacheKey::Nonzero {
+            qx: q.x.to_bits(),
+            qy: q.y.to_bits(),
+            via_diagram,
+        }
+    }
+
+    /// Quantification key: snapped when `grid > 0`, exact bits otherwise.
+    pub fn quant(q: Point, grid: f64, tag: QuantTag) -> Self {
+        if grid > 0.0 {
+            let (kx, ky) = quantize_point(q, grid);
+            CacheKey::QuantCell { kx, ky, tag }
+        } else {
+            CacheKey::QuantExact {
+                qx: q.x.to_bits(),
+                qy: q.y.to_bits(),
+                tag,
+            }
+        }
+    }
+}
+
+/// A cached answer. `Arc`s keep hits allocation-free across worker threads.
+#[derive(Clone, Debug)]
+pub enum CachedValue {
+    Nonzero(Arc<Vec<usize>>),
+    Quant {
+        pi: Arc<Vec<f64>>,
+        guarantee: Guarantee,
+    },
+}
+
+/// A classic O(1) LRU: hash map into a slab of doubly-linked nodes.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    capacity: usize,
+}
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks `key` up, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(self.nodes[i].value.clone())
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// when over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Recycle the tail node in place.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.nodes[i].key);
+            self.nodes[i].key = key.clone();
+            self.nodes[i].value = value;
+            i
+        } else {
+            self.nodes.push(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+}
+
+/// The engine's shared, thread-safe result cache. `capacity == 0` disables
+/// it entirely — no lookups, no inserts, no lock traffic — the knob for
+/// measuring raw execution (benches, E24's thread-scaling sweep). The lock
+/// is a single global mutex; if profiles ever show it hot on many-core
+/// serving, shard it by key hash.
+pub struct ResultCache {
+    inner: Option<Mutex<LruCache<CacheKey, CachedValue>>>,
+    grid: f64,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize, grid: f64) -> Self {
+        assert!(grid >= 0.0, "cache grid must be non-negative");
+        ResultCache {
+            inner: (capacity > 0).then(|| Mutex::new(LruCache::new(capacity))),
+            grid,
+        }
+    }
+
+    /// Grid cell side (`0` = exact-bits keying).
+    pub fn grid(&self) -> f64 {
+        self.grid
+    }
+
+    /// `false` when built with capacity 0.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |m| m.lock().unwrap().len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
+        self.inner.as_ref()?.lock().unwrap().get(key)
+    }
+
+    pub fn insert(&self, key: CacheKey, value: CachedValue) {
+        if let Some(m) = &self.inner {
+            m.lock().unwrap().insert(key, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // 1 now most recent
+        lru.insert(3, 30); // evicts 2
+        assert_eq!(lru.get(&2), None);
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_refresh_updates_value_without_growth() {
+        let mut lru: LruCache<u32, u32> = LruCache::new(3);
+        lru.insert(1, 10);
+        lru.insert(1, 11);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&1), Some(11));
+    }
+
+    #[test]
+    fn lru_heavy_churn_stays_consistent() {
+        let mut lru: LruCache<u64, u64> = LruCache::new(16);
+        for i in 0..1000u64 {
+            lru.insert(i % 40, i);
+            assert!(lru.len() <= 16);
+        }
+        // The most recent insert must be present.
+        assert_eq!(lru.get(&(999 % 40)), Some(999));
+    }
+
+    #[test]
+    fn quantize_is_stable_within_cell() {
+        let g = 0.5;
+        let q = Point::new(3.1, -2.2);
+        let c = snap_center(q, g);
+        assert!(q.dist(c) <= snap_radius(g) + 1e-12);
+        // Points well inside the same cell share the key.
+        let k0 = quantize_point(c, g);
+        for (dx, dy) in [(0.2, 0.1), (-0.24, 0.24), (0.0, -0.2)] {
+            let p = Point::new(c.x + dx * g / 0.5, c.y + dy * g / 0.5);
+            // stay strictly inside ±g/2 of the center
+            let p = Point::new(
+                c.x + (p.x - c.x).clamp(-0.49 * g, 0.49 * g),
+                c.y + (p.y - c.y).clamp(-0.49 * g, 0.49 * g),
+            );
+            assert_eq!(quantize_point(p, g), k0);
+        }
+    }
+
+    #[test]
+    fn keys_do_not_alias_across_tags() {
+        let q = Point::new(1.0, 2.0);
+        let a = CacheKey::quant(q, 0.0, QuantTag::Exact);
+        let b = CacheKey::quant(
+            q,
+            0.0,
+            QuantTag::Spiral {
+                eps_bits: 0.01f64.to_bits(),
+            },
+        );
+        assert_ne!(a, b);
+        assert_ne!(CacheKey::nonzero(q, false), a);
+        assert_ne!(CacheKey::nonzero(q, true), CacheKey::nonzero(q, false));
+    }
+}

@@ -1,0 +1,878 @@
+//! `uncertain_engine`: the concurrent, batched query-serving layer above
+//! [`uncertain_nn`].
+//!
+//! The core library answers one query at a time through explicit structure
+//! choices; this crate serves query *batches* at volume and decides **how**
+//! to answer them:
+//!
+//! * a std-only [thread pool](pool) (`std::thread` + channels) shards each
+//!   batch across workers — `UNC_ENGINE_THREADS` pins the worker count for
+//!   deterministic CI runs;
+//! * a [cost-based planner](planner) picks, per batch, among brute force,
+//!   the Theorem 3.2 kd-tree/group-index structure, and `V≠0` point
+//!   location for `NN≠0` requests, and among the exact sweep, spiral
+//!   search, and Monte Carlo for probability requests — amortizing index
+//!   construction over the batch and recording its choice;
+//! * a [quantization-keyed LRU result cache](cache) snaps query points to a
+//!   configurable grid; snapped answers carry a *certified* widened
+//!   [`Guarantee`] (see [`snap`]), so caching never silently degrades
+//!   correctness;
+//! * a typed request/response API: [`Engine`], [`QueryRequest`],
+//!   [`BatchResponse`] with per-request [`QueryResult`]s plus [`ExecStats`]
+//!   (plan taken, wall time, cache hit rate, worker utilization).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult};
+//! use uncertain_nn::workload;
+//! use uncertain_geom::Point;
+//!
+//! let set = workload::random_discrete_set(40, 3, 6.0, 7);
+//! let engine = Engine::new(set.clone(), EngineConfig::default());
+//! let batch: Vec<QueryRequest> = workload::random_queries(16, 60.0, 8)
+//!     .into_iter()
+//!     .map(|q| QueryRequest::Nonzero { q })
+//!     .collect();
+//! let resp = engine.run_batch(&batch);
+//! assert_eq!(resp.results.len(), 16);
+//! // Engine answers match the direct library call.
+//! if let QueryResult::Nonzero(ids) = &resp.results[0] {
+//!     let QueryRequest::Nonzero { q } = batch[0] else { unreachable!() };
+//!     let mut direct = set.nonzero_nn(q);
+//!     direct.sort_unstable();
+//!     assert_eq!(ids, &direct);
+//! }
+//! println!("plan: {}", resp.stats.plan.summary());
+//! ```
+
+pub mod cache;
+pub mod planner;
+pub mod pool;
+pub mod snap;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uncertain_geom::{Aabb, Point};
+use uncertain_nn::model::DiscreteSet;
+use uncertain_nn::nonzero::{nonzero_nn_discrete, DiscreteNonzeroIndex, QueryScratch};
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::quantification::monte_carlo::{MonteCarloPnn, SampleBackend};
+use uncertain_nn::quantification::spiral::SpiralSearch;
+use uncertain_nn::queries::Guarantee;
+use uncertain_nn::vnz::DiscreteNonzeroDiagram;
+
+pub use cache::{quantize_point, snap_center, snap_radius};
+use cache::{CacheKey, CachedValue, QuantTag, ResultCache};
+pub use planner::{BatchPlan, NonzeroPlan, PlanEstimate, PlannerInputs, QuantPlan};
+pub use pool::{resolve_threads, ThreadPool, THREADS_ENV};
+
+/// One query in a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryRequest {
+    /// `NN≠0(q)`: which points have nonzero probability of being nearest.
+    Nonzero { q: Point },
+    /// Every point that may satisfy `π_i(q) ≥ tau` given the engine's
+    /// guarantee ([DYM+05] threshold semantics: no false negatives).
+    Threshold { q: Point, tau: f64 },
+    /// The `k` most probable nearest neighbors ([BSI08]).
+    TopK { q: Point, k: usize },
+}
+
+impl QueryRequest {
+    /// The query location.
+    pub fn point(&self) -> Point {
+        match *self {
+            QueryRequest::Nonzero { q }
+            | QueryRequest::Threshold { q, .. }
+            | QueryRequest::TopK { q, .. } => q,
+        }
+    }
+
+    fn is_nonzero(&self) -> bool {
+        matches!(self, QueryRequest::Nonzero { .. })
+    }
+}
+
+/// One answer. Probability answers carry the guarantee they were served
+/// under — widened when the answer came from a snapped cache cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Sorted point indices with `π_i(q) > 0`.
+    Nonzero(Vec<usize>),
+    /// `(index, π̂)` pairs, sorted by decreasing estimate (ties by index).
+    Ranked {
+        items: Vec<(usize, f64)>,
+        guarantee: Guarantee,
+    },
+}
+
+/// Execution report for one batch.
+#[derive(Clone, Debug)]
+pub struct ExecStats {
+    /// The planner's decision (with its full cost table).
+    pub plan: BatchPlan,
+    /// Structures built during this batch (empty on warm batches).
+    pub built: Vec<&'static str>,
+    /// End-to-end wall time for the batch.
+    pub wall: Duration,
+    pub batch_len: usize,
+    pub cache_hits: usize,
+    pub cache_misses: usize,
+    /// Worker count used for this batch.
+    pub workers: usize,
+    /// Busy (execution) time of each shard of this batch, measured inside
+    /// the shard's job. At most one shard per worker.
+    pub worker_busy: Vec<Duration>,
+}
+
+impl ExecStats {
+    /// Hits / lookups, 0.0 when the batch did no cache lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Σ busy / (workers · wall), in `[0, 1]` up to timer noise.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: Duration = self.worker_busy.iter().sum();
+        (busy.as_secs_f64() / (self.workers as f64 * self.wall.as_secs_f64())).min(1.0)
+    }
+
+    /// Requests per second over the batch wall time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.batch_len as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// A batch's answers (in request order) plus its execution report.
+#[derive(Clone, Debug)]
+pub struct BatchResponse {
+    pub results: Vec<QueryResult>,
+    pub stats: ExecStats,
+}
+
+/// Engine configuration. `Default` is a sensible serving setup: exact
+/// answers, exact-bits caching (no snapping), auto-detected parallelism.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker count. Resolution: `UNC_ENGINE_THREADS` env > this field >
+    /// detected parallelism.
+    pub threads: Option<usize>,
+    /// The guarantee requested of probability answers; gates which
+    /// quantifiers the planner may pick.
+    pub guarantee: Guarantee,
+    /// Result-cache capacity in entries; `0` disables the cache entirely
+    /// (no lookups or lock traffic — for measuring raw execution).
+    pub cache_capacity: usize,
+    /// Cache grid cell side; `0.0` keys on exact query bits. When positive,
+    /// probability answers are evaluated at cell centers and served with a
+    /// certified widened guarantee.
+    pub cache_grid: f64,
+    /// Largest `n` for which the planner may price the `V≠0` diagram.
+    pub diagram_cap: usize,
+    /// Seed for Monte-Carlo instantiation sampling (deterministic builds).
+    pub mc_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: None,
+            guarantee: Guarantee::Exact,
+            cache_capacity: 4096,
+            cache_grid: 0.0,
+            diagram_cap: 40,
+            mc_seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Lazily-built shared structures. Build cost is paid once (on the batch
+/// that first needs the structure) and sunk for all later batches — the
+/// planner is told what already exists.
+#[derive(Default)]
+struct Structures {
+    index: Mutex<Option<Arc<DiscreteNonzeroIndex>>>,
+    diagram: Mutex<Option<Arc<DiscreteNonzeroDiagram>>>,
+    spiral: Mutex<Option<Arc<SpiralSearch>>>,
+    mc: Mutex<Option<(usize, Arc<MonteCarloPnn>)>>,
+}
+
+struct EngineCore {
+    set: DiscreteSet,
+    spread: f64,
+    config: EngineConfig,
+    cache: ResultCache,
+    structures: Structures,
+}
+
+/// The serving engine: owns the uncertain-point set, its worker pool, its
+/// cache, and every lazily-built query structure.
+pub struct Engine {
+    core: Arc<EngineCore>,
+    pool: ThreadPool,
+}
+
+/// The per-batch execution context handed to workers.
+#[derive(Clone)]
+struct Prepared {
+    nonzero: Option<PreparedNonzero>,
+    quant: Option<PreparedQuant>,
+}
+
+#[derive(Clone)]
+enum PreparedNonzero {
+    Brute,
+    Index(Arc<DiscreteNonzeroIndex>),
+    Diagram(Arc<DiscreteNonzeroDiagram>),
+}
+
+#[derive(Clone)]
+enum PreparedQuant {
+    Exact,
+    Spiral(Arc<SpiralSearch>, f64),
+    MonteCarlo(Arc<MonteCarloPnn>, Guarantee),
+}
+
+#[derive(Default)]
+struct BatchCounters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Engine {
+    /// Builds an engine over `set`. Spawns the worker pool immediately;
+    /// query structures are built lazily by the planner.
+    pub fn new(set: DiscreteSet, config: EngineConfig) -> Self {
+        let threads = resolve_threads(config.threads);
+        let spread = if set.is_empty() { 1.0 } else { set.spread() };
+        let core = Arc::new(EngineCore {
+            spread,
+            cache: ResultCache::new(config.cache_capacity, config.cache_grid),
+            structures: Structures::default(),
+            config,
+            set,
+        });
+        Engine {
+            core,
+            pool: ThreadPool::new(threads),
+        }
+    }
+
+    /// The served set.
+    pub fn set(&self) -> &DiscreteSet {
+        &self.core.set
+    }
+
+    /// Resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Current number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.core.cache.len()
+    }
+
+    /// Plans and executes one batch: answers are returned in request order,
+    /// alongside the plan taken and the execution stats.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResponse {
+        let t0 = Instant::now();
+        let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
+        let plan = self.plan_for(nonzero_count, requests.len() - nonzero_count);
+        let (prepared, built) = self.prepare(&plan);
+        let counters = Arc::new(BatchCounters::default());
+
+        let (results, worker_busy) = if requests.is_empty() {
+            (vec![], vec![])
+        } else if self.pool.len() == 1 || requests.len() == 1 {
+            // Single worker: run inline, skipping the channel round-trip.
+            let mut scratch = QueryScratch::default();
+            let e0 = Instant::now();
+            let results = requests
+                .iter()
+                .map(|r| exec_one(&self.core, &prepared, *r, &counters, &mut scratch))
+                .collect();
+            (results, vec![e0.elapsed()])
+        } else {
+            let shard = requests.len().div_ceil(self.pool.len());
+            let (rtx, rrx) = std::sync::mpsc::channel();
+            let mut shards = 0usize;
+            for (si, chunk) in requests.chunks(shard).enumerate() {
+                let core = Arc::clone(&self.core);
+                let prepared = prepared.clone();
+                let counters = Arc::clone(&counters);
+                let chunk: Vec<QueryRequest> = chunk.to_vec();
+                let rtx = rtx.clone();
+                self.pool.execute(move || {
+                    let e0 = Instant::now();
+                    let mut scratch = QueryScratch::default();
+                    let out: Vec<QueryResult> = chunk
+                        .iter()
+                        .map(|r| exec_one(&core, &prepared, *r, &counters, &mut scratch))
+                        .collect();
+                    let _ = rtx.send((si, out, e0.elapsed()));
+                });
+                shards += 1;
+            }
+            drop(rtx);
+            let mut buf: Vec<Option<Vec<QueryResult>>> = (0..shards).map(|_| None).collect();
+            let mut busy = vec![Duration::ZERO; shards];
+            for (si, out, dt) in rrx {
+                buf[si] = Some(out);
+                busy[si] = dt;
+            }
+            let results = buf
+                .into_iter()
+                .flat_map(|s| s.expect("a shard job panicked (e.g. a NaN query coordinate)"))
+                .collect();
+            (results, busy)
+        };
+
+        let wall = t0.elapsed();
+        BatchResponse {
+            results,
+            stats: ExecStats {
+                plan,
+                built,
+                wall,
+                batch_len: requests.len(),
+                cache_hits: counters.hits.load(Ordering::Relaxed),
+                cache_misses: counters.misses.load(Ordering::Relaxed),
+                workers: self.pool.len(),
+                worker_busy,
+            },
+        }
+    }
+
+    /// Probability estimates for a single query through the planner + cache
+    /// (the path Threshold/TopK answers are derived from), with the
+    /// guarantee they are served under. Exposed for tests and calibration.
+    pub fn estimates(&self, q: Point) -> (Vec<f64>, Guarantee) {
+        let plan = self.plan_for(0, 1);
+        let (prepared, _) = self.prepare(&plan);
+        let counters = BatchCounters::default();
+        let quant = prepared.quant.as_ref().expect("quant plan for 1 request");
+        let (pi, g) = quant_vector(&self.core, quant, q, &counters);
+        (pi.as_ref().clone(), g)
+    }
+
+    fn plan_for(&self, nonzero_count: usize, quant_count: usize) -> BatchPlan {
+        let core = &self.core;
+        planner::plan(&PlannerInputs {
+            n: core.set.len(),
+            total_locations: core.set.total_locations(),
+            max_k: core.set.max_k(),
+            spread: core.spread,
+            nonzero_count,
+            quant_count,
+            guarantee: core.config.guarantee,
+            diagram_cap: core.config.diagram_cap,
+            index_built: core.structures.index.lock().unwrap().is_some(),
+            diagram_built: core.structures.diagram.lock().unwrap().is_some(),
+            spiral_built: core.structures.spiral.lock().unwrap().is_some(),
+            mc_built_samples: core.structures.mc.lock().unwrap().as_ref().map(|(s, _)| *s),
+        })
+    }
+
+    /// Builds (or fetches) the structures the plan needs, on the calling
+    /// thread, so workers only ever read shared `Arc`s.
+    fn prepare(&self, plan: &BatchPlan) -> (Prepared, Vec<&'static str>) {
+        let core = &self.core;
+        let mut built = vec![];
+        let nonzero = plan.nonzero.map(|np| match np {
+            NonzeroPlan::Brute => PreparedNonzero::Brute,
+            NonzeroPlan::Index => {
+                let mut slot = core.structures.index.lock().unwrap();
+                let arc = slot
+                    .get_or_insert_with(|| {
+                        built.push("nonzero-index");
+                        Arc::new(DiscreteNonzeroIndex::build(&core.set))
+                    })
+                    .clone();
+                PreparedNonzero::Index(arc)
+            }
+            NonzeroPlan::Diagram => {
+                let mut slot = core.structures.diagram.lock().unwrap();
+                let arc = slot
+                    .get_or_insert_with(|| {
+                        built.push("vnz-diagram");
+                        Arc::new(DiscreteNonzeroDiagram::build(
+                            &core.set,
+                            &working_bbox(&core.set),
+                        ))
+                    })
+                    .clone();
+                PreparedNonzero::Diagram(arc)
+            }
+        });
+        let quant = plan.quant.map(|qp| match qp {
+            QuantPlan::Exact => PreparedQuant::Exact,
+            QuantPlan::Spiral { eps } => {
+                let mut slot = core.structures.spiral.lock().unwrap();
+                let arc = slot
+                    .get_or_insert_with(|| {
+                        built.push("spiral");
+                        Arc::new(SpiralSearch::build(&core.set))
+                    })
+                    .clone();
+                PreparedQuant::Spiral(arc, eps)
+            }
+            QuantPlan::MonteCarlo { samples } => {
+                let mut slot = core.structures.mc.lock().unwrap();
+                let rebuild = !slot.as_ref().is_some_and(|(have, _)| *have >= samples);
+                if rebuild {
+                    built.push("monte-carlo");
+                    let mut rng = StdRng::seed_from_u64(core.config.mc_seed);
+                    let mc = MonteCarloPnn::build_discrete(
+                        &core.set,
+                        samples,
+                        SampleBackend::KdTree,
+                        &mut rng,
+                    );
+                    *slot = Some((samples, Arc::new(mc)));
+                }
+                let (_, arc) = slot.as_ref().unwrap();
+                PreparedQuant::MonteCarlo(Arc::clone(arc), core.config.guarantee)
+            }
+        });
+        (Prepared { nonzero, quant }, built)
+    }
+}
+
+/// Working box for the `V≠0` diagram: the set's bounding box, moderately
+/// inflated. Queries outside it fall back to the Lemma 2.1 evaluation. The
+/// margin matters: the arrangement layer snaps coordinates to a grid scaled
+/// by the box, so an over-inflated box coarsens the subdivision geometry
+/// (see the caveat on [`NonzeroPlan::Diagram`] serving below); `0.15·diag`
+/// probes cleanly across workloads.
+fn working_bbox(set: &DiscreteSet) -> Aabb {
+    let bbox = Aabb::from_points(set.all_locations().map(|(_, _, loc, _)| loc));
+    if bbox.is_empty() {
+        return Aabb::from_corners(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+    }
+    let diag = bbox.lo.dist(bbox.hi);
+    bbox.inflated(0.15 * diag + 4.0)
+}
+
+fn exec_one(
+    core: &EngineCore,
+    prepared: &Prepared,
+    req: QueryRequest,
+    counters: &BatchCounters,
+    scratch: &mut QueryScratch,
+) -> QueryResult {
+    match req {
+        QueryRequest::Nonzero { q } => {
+            let plan = prepared.nonzero.as_ref().expect("nonzero plan");
+            // Brute and Index share a key (both exact); diagram answers are
+            // keyed separately so a boundary-degenerate label (see the
+            // caveat below) can never be replayed on an exact plan.
+            let key = CacheKey::nonzero(q, matches!(plan, PreparedNonzero::Diagram(_)));
+            if core.cache.enabled() {
+                if let Some(CachedValue::Nonzero(ids)) = core.cache.get(&key) {
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return QueryResult::Nonzero(ids.as_ref().clone());
+                }
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut ids = match plan {
+                PreparedNonzero::Brute => nonzero_nn_discrete(&core.set, q),
+                PreparedNonzero::Index(idx) => idx.query_with(q, scratch),
+                // Exact per Theorem 2.14, with one engineering caveat the
+                // arrangement layer documents: under extreme coordinate-
+                // snapping degeneracies, answers for queries essentially on
+                // a cell boundary can reflect the neighboring cell.
+                PreparedNonzero::Diagram(diag) => diag.query_located(q),
+            };
+            ids.sort_unstable();
+            core.cache
+                .insert(key, CachedValue::Nonzero(Arc::new(ids.clone())));
+            QueryResult::Nonzero(ids)
+        }
+        QueryRequest::Threshold { q, tau } => {
+            let quant = prepared.quant.as_ref().expect("quant plan");
+            let (pi, guarantee) = quant_vector(core, quant, q, counters);
+            let slack = guarantee.slack();
+            let mut items: Vec<(usize, f64)> = pi
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, p)| p >= tau - slack)
+                .collect();
+            sort_ranked(&mut items);
+            QueryResult::Ranked { items, guarantee }
+        }
+        QueryRequest::TopK { q, k } => {
+            let quant = prepared.quant.as_ref().expect("quant plan");
+            let (pi, guarantee) = quant_vector(core, quant, q, counters);
+            let mut items: Vec<(usize, f64)> = pi
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, p)| p > 0.0)
+                .collect();
+            sort_ranked(&mut items);
+            items.truncate(k);
+            QueryResult::Ranked { items, guarantee }
+        }
+    }
+}
+
+/// Decreasing estimate, ties by increasing index — the same order the
+/// single-threaded `uncertain_nn::queries` helpers produce.
+fn sort_ranked(items: &mut [(usize, f64)]) {
+    items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+}
+
+/// The cached quantification path: returns the dense `π̂` vector and the
+/// guarantee it is served under. With a positive cache grid the vector is
+/// evaluated at the *cell center* with a certified interval — identical for
+/// every query in the cell, independent of cache state.
+fn quant_vector(
+    core: &EngineCore,
+    quant: &PreparedQuant,
+    q: Point,
+    counters: &BatchCounters,
+) -> (Arc<Vec<f64>>, Guarantee) {
+    let grid = core.cache.grid();
+    let (tag, base_guarantee) = match quant {
+        PreparedQuant::Exact => (QuantTag::Exact, Guarantee::Exact),
+        PreparedQuant::Spiral(_, eps) => (
+            QuantTag::Spiral {
+                eps_bits: eps.to_bits(),
+            },
+            Guarantee::Additive(*eps),
+        ),
+        PreparedQuant::MonteCarlo(mc, g) => (
+            QuantTag::MonteCarlo {
+                samples: mc.num_samples(),
+            },
+            *g,
+        ),
+    };
+    // Snapping is only certified for the exact evaluator (the interval
+    // certificate needs exact cdfs); approximate engines key exactly.
+    // Snapped evaluation happens whenever a grid is set — with or without a
+    // live cache — so answers never depend on cache state.
+    let snapped = grid > 0.0 && matches!(quant, PreparedQuant::Exact);
+    let key = CacheKey::quant(q, if snapped { grid } else { 0.0 }, tag);
+    if core.cache.enabled() {
+        if let Some(CachedValue::Quant { pi, guarantee }) = core.cache.get(&key) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (pi, guarantee);
+        }
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let (pi, guarantee) = if snapped {
+        let center = snap_center(q, grid);
+        let (mid, halfwidth) = snap::interval_quantification(&core.set, center, snap_radius(grid));
+        let g = if halfwidth > 0.0 {
+            Guarantee::Additive(halfwidth)
+        } else {
+            Guarantee::Exact
+        };
+        (mid, g)
+    } else {
+        let pi = match quant {
+            PreparedQuant::Exact => quantification_discrete(&core.set, q),
+            PreparedQuant::Spiral(s, eps) => s.estimate_all(q, *eps),
+            PreparedQuant::MonteCarlo(mc, _) => mc.estimate_all(q),
+        };
+        (pi, base_guarantee)
+    };
+    let pi = Arc::new(pi);
+    core.cache.insert(
+        key,
+        CachedValue::Quant {
+            pi: Arc::clone(&pi),
+            guarantee,
+        },
+    );
+    (pi, guarantee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_nn::queries::{threshold_nn, top_k_probable, ExactQuantifier};
+    use uncertain_nn::workload;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_is_send_sync() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<EngineCore>();
+    }
+
+    fn engine(n: usize, config: EngineConfig) -> (DiscreteSet, Engine) {
+        let set = workload::random_discrete_set(n, 3, 6.0, 42);
+        (set.clone(), Engine::new(set, config))
+    }
+
+    #[test]
+    fn batch_answers_match_direct_calls() {
+        let (set, eng) = engine(30, EngineConfig::default());
+        let queries = workload::random_queries(24, 60.0, 9);
+        let mut batch = vec![];
+        for &q in &queries {
+            batch.push(QueryRequest::Nonzero { q });
+            batch.push(QueryRequest::Threshold { q, tau: 0.25 });
+            batch.push(QueryRequest::TopK { q, k: 3 });
+        }
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.results.len(), batch.len());
+        let exact = ExactQuantifier(&set);
+        for (req, res) in batch.iter().zip(&resp.results) {
+            match (req, res) {
+                (QueryRequest::Nonzero { q }, QueryResult::Nonzero(ids)) => {
+                    let mut direct = set.nonzero_nn(*q);
+                    direct.sort_unstable();
+                    assert_eq!(ids, &direct);
+                }
+                (QueryRequest::Threshold { q, tau }, QueryResult::Ranked { items, .. }) => {
+                    assert_eq!(items, &threshold_nn(&exact, *q, *tau));
+                }
+                (QueryRequest::TopK { q, k }, QueryResult::Ranked { items, .. }) => {
+                    assert_eq!(items, &top_k_probable(&exact, *q, *k));
+                }
+                other => panic!("shape mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_batch_hits_cache_and_reuses_structures() {
+        let (_, eng) = engine(25, EngineConfig::default());
+        let batch: Vec<QueryRequest> = workload::random_queries(16, 50.0, 3)
+            .into_iter()
+            .map(|q| QueryRequest::Threshold { q, tau: 0.2 })
+            .collect();
+        let first = eng.run_batch(&batch);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_misses, batch.len());
+        let second = eng.run_batch(&batch);
+        assert_eq!(second.stats.cache_hits, batch.len());
+        assert!(second.stats.built.is_empty());
+        assert_eq!(first.results, second.results);
+        assert!((second.stats.cache_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let set = workload::random_discrete_set(40, 3, 6.0, 11);
+        let mk = |threads| {
+            Engine::new(
+                set.clone(),
+                EngineConfig {
+                    threads: Some(threads),
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let (e1, e4) = (mk(1), mk(4));
+        let mut batch = vec![];
+        for q in workload::random_queries(40, 60.0, 12) {
+            batch.push(QueryRequest::Nonzero { q });
+            batch.push(QueryRequest::TopK { q, k: 2 });
+        }
+        let (r1, r4) = (e1.run_batch(&batch), e4.run_batch(&batch));
+        assert_eq!(r1.results, r4.results);
+        // Under UNC_ENGINE_THREADS the pool sizes collapse to the env value;
+        // without it they reflect the explicit overrides.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(e1.threads(), 1);
+            assert_eq!(e4.threads(), 4);
+        }
+    }
+
+    #[test]
+    fn snapped_cache_serves_whole_cell_with_certified_guarantee() {
+        let config = EngineConfig {
+            cache_grid: 0.5,
+            ..EngineConfig::default()
+        };
+        let (set, eng) = engine(12, config);
+        let q = Point::new(3.21, -4.37);
+        let (pi, g) = eng.estimates(q);
+        // The same cell, a different query point: identical answer, one hit.
+        let q2 = Point::new(3.19, -4.41);
+        assert_eq!(quantize_point(q, 0.5), quantize_point(q2, 0.5));
+        let (pi2, g2) = eng.estimates(q2);
+        assert_eq!(pi, pi2);
+        assert_eq!(g, g2);
+        // Certified: the widened slack bounds the error vs the exact value.
+        let exact = quantification_discrete(&set, q);
+        for (i, (est, ex)) in pi.iter().zip(&exact).enumerate() {
+            assert!(
+                (est - ex).abs() <= g.slack() + 1e-9,
+                "π_{i}: {est} vs {ex}, slack {}",
+                g.slack()
+            );
+        }
+    }
+
+    #[test]
+    fn planner_switches_plans_with_scale() {
+        let small = engine(12, EngineConfig::default()).1;
+        let tiny_batch: Vec<QueryRequest> = workload::random_queries(4, 50.0, 5)
+            .into_iter()
+            .map(|q| QueryRequest::Nonzero { q })
+            .collect();
+        let plan_small = small.run_batch(&tiny_batch).stats.plan;
+        assert_eq!(plan_small.nonzero, Some(NonzeroPlan::Brute));
+
+        let large = Engine::new(
+            workload::random_discrete_set(3000, 3, 4.0, 1),
+            EngineConfig::default(),
+        );
+        let big_batch: Vec<QueryRequest> = workload::random_queries(256, 60.0, 6)
+            .into_iter()
+            .map(|q| QueryRequest::Nonzero { q })
+            .collect();
+        let plan_large = large.run_batch(&big_batch).stats.plan;
+        assert_eq!(plan_large.nonzero, Some(NonzeroPlan::Index));
+    }
+
+    #[test]
+    fn diagram_plan_answers_correctly() {
+        // Tiny set + enormous nonzero batch → V≠0 point location.
+        let set = workload::random_discrete_set(6, 2, 3.0, 42);
+        let eng = Engine::new(
+            set.clone(),
+            EngineConfig {
+                threads: Some(2),
+                ..EngineConfig::default()
+            },
+        );
+        // Force the plan via planner inputs: a batch large enough that the
+        // diagram build amortizes.
+        let batch: Vec<QueryRequest> = workload::random_queries(64, 40.0, 78)
+            .iter()
+            .cycle()
+            .take(200_000 / 64 * 64)
+            .map(|&q| QueryRequest::Nonzero { q })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.nonzero, Some(NonzeroPlan::Diagram));
+        for (req, res) in batch.iter().zip(&resp.results).take(512) {
+            let (QueryRequest::Nonzero { q }, QueryResult::Nonzero(ids)) = (req, res) else {
+                panic!("shape");
+            };
+            let mut direct = set.nonzero_nn(*q);
+            direct.sort_unstable();
+            assert_eq!(ids, &direct, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_set() {
+        let (_, eng) = engine(10, EngineConfig::default());
+        let resp = eng.run_batch(&[]);
+        assert!(resp.results.is_empty());
+        assert_eq!(resp.stats.plan.summary(), "idle");
+
+        let empty = Engine::new(DiscreteSet::default(), EngineConfig::default());
+        let resp = empty.run_batch(&[
+            QueryRequest::Nonzero {
+                q: Point::new(0.0, 0.0),
+            },
+            QueryRequest::TopK {
+                q: Point::new(0.0, 0.0),
+                k: 3,
+            },
+        ]);
+        assert_eq!(
+            resp.results[0],
+            QueryResult::Nonzero(vec![]),
+            "empty set has no nonzero NNs"
+        );
+        let QueryResult::Ranked { items, .. } = &resp.results[1] else {
+            panic!("shape");
+        };
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, eng) = engine(50, EngineConfig::default());
+        let batch: Vec<QueryRequest> = workload::random_queries(64, 60.0, 13)
+            .into_iter()
+            .map(|q| QueryRequest::Nonzero { q })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        let s = &resp.stats;
+        assert_eq!(s.batch_len, 64);
+        assert_eq!(s.workers, eng.threads());
+        assert!(!s.worker_busy.is_empty() && s.worker_busy.len() <= s.workers.max(1));
+        assert!(s.worker_busy.iter().any(|d| *d > Duration::ZERO));
+        assert!(s.wall > Duration::ZERO);
+        assert!(s.throughput_qps() > 0.0);
+        assert!((0.0..=1.0).contains(&s.worker_utilization()));
+    }
+
+    #[test]
+    fn probabilistic_guarantee_uses_monte_carlo_deterministically() {
+        // A huge probability spread blows up the spiral retrieval budget,
+        // and a large repeated batch amortizes the Monte-Carlo build — the
+        // regime where the planner should pick MC.
+        let set = workload::spread_discrete_set(400, 3, 1e5, 19);
+        let config = EngineConfig {
+            guarantee: Guarantee::Probabilistic {
+                eps: 0.1,
+                delta: 0.05,
+            },
+            ..EngineConfig::default()
+        };
+        let (e1, e2) = (
+            Engine::new(set.clone(), config),
+            Engine::new(set.clone(), config),
+        );
+        let batch: Vec<QueryRequest> = workload::random_queries(32, 60.0, 20)
+            .iter()
+            .cycle()
+            .take(1024)
+            .map(|&q| QueryRequest::TopK { q, k: 1 })
+            .collect();
+        let (r1, r2) = (e1.run_batch(&batch), e2.run_batch(&batch));
+        assert!(
+            matches!(r1.stats.plan.quant, Some(QuantPlan::MonteCarlo { .. })),
+            "plan: {}",
+            r1.stats.plan.summary()
+        );
+        assert!(r1.stats.cache_hits > 0, "repeated queries must hit cache");
+        // Same seed → identical estimates across engine instances.
+        assert_eq!(r1.results, r2.results);
+        // The MC winner's exact probability is within slack of the optimum.
+        let exact = ExactQuantifier(&set);
+        for (req, res) in batch.iter().zip(&r1.results).take(32) {
+            let (QueryRequest::TopK { q, .. }, QueryResult::Ranked { items, guarantee }) =
+                (req, res)
+            else {
+                panic!("shape");
+            };
+            if let (Some(&(winner, _)), Some((_, best))) =
+                (items.first(), top_k_probable(&exact, *q, 1).first())
+            {
+                let pi = quantification_discrete(&set, *q);
+                assert!(pi[winner] >= best - 2.0 * guarantee.slack() - 1e-9);
+            }
+        }
+    }
+}

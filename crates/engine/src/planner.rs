@@ -1,0 +1,342 @@
+//! The cost-based batch planner.
+//!
+//! Given the point-set shape (`n`, `N = Σ k_i`, spread `ρ`), the batch
+//! composition, and the requested [`Guarantee`], the planner prices every
+//! eligible execution strategy as `build + batch · per_query` (in abstract
+//! "location visit" units) and picks the cheapest — amortizing index
+//! construction over the batch, and charging nothing for structures the
+//! engine has already built. The full cost table is recorded in the
+//! [`BatchPlan`] so `ExecStats` can report *why* a plan was taken
+//! (experiment E25 charts the crossovers).
+//!
+//! Candidate strategies:
+//!
+//! * `NN≠0` requests — brute force (Lemma 2.1, `O(N)`/query), the
+//!   kd-tree/group-index structure (Theorem 3.2, `O(√N + t)`/query after an
+//!   `O(N log N)` build), or `V≠0` point location (Theorem 2.14,
+//!   logarithmic queries after a very expensive arrangement build — only
+//!   eligible for small `n`).
+//! * quantification requests — the exact Eq. (2) sweep (`O(N log N)`/query,
+//!   no build), spiral search (Theorem 4.7; needs an additive budget), or
+//!   Monte Carlo (Theorem 4.3; needs a probabilistic budget).
+
+use uncertain_nn::quantification::monte_carlo::samples_for_queries;
+use uncertain_nn::queries::Guarantee;
+
+/// Execution strategy for the `NN≠0` requests of a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonzeroPlan {
+    /// Direct Lemma 2.1 evaluation per query.
+    Brute,
+    /// The Theorem 3.2 kd-tree/group-index structure.
+    Index,
+    /// `V≠0(P)` + slab point location (Theorem 2.14).
+    Diagram,
+}
+
+/// Execution strategy for the probability (Threshold/TopK) requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QuantPlan {
+    /// The exact Eq. (2) sweep.
+    Exact,
+    /// Spiral search truncated retrieval with additive error `eps`.
+    Spiral { eps: f64 },
+    /// Monte-Carlo vote frequencies over `samples` instantiations.
+    MonteCarlo { samples: usize },
+}
+
+impl std::fmt::Display for NonzeroPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NonzeroPlan::Brute => write!(f, "nonzero:brute"),
+            NonzeroPlan::Index => write!(f, "nonzero:index"),
+            NonzeroPlan::Diagram => write!(f, "nonzero:diagram"),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantPlan::Exact => write!(f, "quant:exact"),
+            QuantPlan::Spiral { eps } => write!(f, "quant:spiral(ε={eps})"),
+            QuantPlan::MonteCarlo { samples } => write!(f, "quant:mc(s={samples})"),
+        }
+    }
+}
+
+/// One row of the planner's cost table.
+#[derive(Clone, Debug)]
+pub struct PlanEstimate {
+    pub name: String,
+    /// Estimated one-time build cost (0 when the structure already exists).
+    pub build: f64,
+    /// Estimated per-query cost.
+    pub per_query: f64,
+    /// `build + batch · per_query`.
+    pub total: f64,
+    pub chosen: bool,
+}
+
+/// Everything the planner needs to know about the engine and the batch.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerInputs {
+    /// Number of uncertain points `n`.
+    pub n: usize,
+    /// Total locations `N = Σ k_i`.
+    pub total_locations: usize,
+    /// Max locations per point `k`.
+    pub max_k: usize,
+    /// Probability spread `ρ` (for the spiral budget).
+    pub spread: f64,
+    /// `NN≠0` requests in the batch.
+    pub nonzero_count: usize,
+    /// Threshold/TopK requests in the batch.
+    pub quant_count: usize,
+    /// The engine's requested guarantee.
+    pub guarantee: Guarantee,
+    /// Largest `n` for which the `V≠0` diagram may be considered.
+    pub diagram_cap: usize,
+    /// Structures already built (their build cost is sunk).
+    pub index_built: bool,
+    pub diagram_built: bool,
+    pub spiral_built: bool,
+    /// Sample count of an already-built Monte-Carlo structure, if any.
+    pub mc_built_samples: Option<usize>,
+}
+
+/// The planner's decision for one batch, with the full cost table.
+#[derive(Clone, Debug, Default)]
+pub struct BatchPlan {
+    pub nonzero: Option<NonzeroPlan>,
+    pub quant: Option<QuantPlan>,
+    pub estimates: Vec<PlanEstimate>,
+}
+
+impl BatchPlan {
+    /// Short human-readable summary, e.g. `"nonzero:index + quant:exact"`.
+    pub fn summary(&self) -> String {
+        match (&self.nonzero, &self.quant) {
+            (Some(nz), Some(qp)) => format!("{nz} + {qp}"),
+            (Some(nz), None) => nz.to_string(),
+            (None, Some(qp)) => qp.to_string(),
+            (None, None) => "idle".to_string(),
+        }
+    }
+}
+
+fn lg(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Prices every eligible strategy and returns the cheapest plan per request
+/// class. Deterministic: ties break toward the earlier candidate.
+pub fn plan(inp: &PlannerInputs) -> BatchPlan {
+    let n = inp.n as f64;
+    let nn = (inp.total_locations as f64).max(1.0);
+    let kbar = (nn / n.max(1.0)).max(1.0);
+    let mut out = BatchPlan::default();
+
+    if inp.nonzero_count > 0 {
+        let b = inp.nonzero_count as f64;
+        let mut cands: Vec<(NonzeroPlan, f64, f64)> = vec![
+            // A distance evaluation (sqrt + compare) is ~4 units.
+            (NonzeroPlan::Brute, 0.0, 4.0 * nn),
+            (
+                NonzeroPlan::Index,
+                if inp.index_built {
+                    0.0
+                } else {
+                    3.0 * nn * lg(nn)
+                },
+                // Two stages: group min-max branch-and-bound + kd range
+                // reporting — O(√N + t) with a healthy constant (two tree
+                // descents with distance evaluations at every node).
+                16.0 * (nn.sqrt() + kbar + 24.0),
+            ),
+        ];
+        if inp.n >= 2 && inp.n <= inp.diagram_cap {
+            // Theorem 2.14: the arrangement has O(k n³) pieces; building it
+            // dominates by far, queries are a logarithmic slab search that
+            // returns a precomputed label.
+            let mu = (kbar * n * n * n).max(2.0);
+            cands.push((
+                NonzeroPlan::Diagram,
+                if inp.diagram_built {
+                    0.0
+                } else {
+                    24.0 * mu * lg(mu)
+                },
+                2.0 * lg(mu) + 8.0,
+            ));
+        }
+        let chosen = pick(&cands, b);
+        for (i, &(p, build, per)) in cands.iter().enumerate() {
+            out.estimates.push(PlanEstimate {
+                name: p.to_string(),
+                build,
+                per_query: per,
+                total: build + b * per,
+                chosen: i == chosen,
+            });
+        }
+        out.nonzero = Some(cands[chosen].0);
+    }
+
+    if inp.quant_count > 0 {
+        let b = inp.quant_count as f64;
+        let mut cands: Vec<(QuantPlan, f64, f64)> =
+            vec![(QuantPlan::Exact, 0.0, 6.0 * nn * lg(nn))];
+        let eps_budget = inp.guarantee.slack();
+        if inp.n > 0 && eps_budget > 0.0 && eps_budget < 1.0 && inp.spread.is_finite() {
+            // Spiral retrieval budget m(ρ, ε) = ⌈ρ k ln(1/ε)⌉ + k − 1.
+            let m = (inp.spread * inp.max_k as f64 * (1.0 / eps_budget).ln()).ceil()
+                + inp.max_k as f64
+                - 1.0;
+            let m = m.min(nn).max(1.0);
+            cands.push((
+                QuantPlan::Spiral { eps: eps_budget },
+                if inp.spiral_built {
+                    0.0
+                } else {
+                    3.0 * nn * lg(nn)
+                },
+                8.0 * m * lg(nn) + n,
+            ));
+        }
+        if inp.n > 0 {
+            if let Guarantee::Probabilistic { eps, delta } = inp.guarantee {
+                if eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 {
+                    let s = samples_for_queries(eps, delta, inp.n, inp.quant_count.max(1));
+                    let build = if inp.mc_built_samples.is_some_and(|have| have >= s) {
+                        0.0
+                    } else {
+                        // One instantiation = n samples + an n-point kd-tree.
+                        s as f64 * (kbar * n + 4.0 * n * lg(n))
+                    };
+                    cands.push((
+                        QuantPlan::MonteCarlo { samples: s },
+                        build,
+                        s as f64 * (2.0 * lg(n) + 8.0),
+                    ));
+                }
+            }
+        }
+        let chosen = pick(&cands, b);
+        for (i, &(p, build, per)) in cands.iter().enumerate() {
+            out.estimates.push(PlanEstimate {
+                name: p.to_string(),
+                build,
+                per_query: per,
+                total: build + b * per,
+                chosen: i == chosen,
+            });
+        }
+        out.quant = Some(cands[chosen].0);
+    }
+
+    out
+}
+
+fn pick<P: Copy>(cands: &[(P, f64, f64)], batch: f64) -> usize {
+    let mut best = 0;
+    let mut best_cost = f64::INFINITY;
+    for (i, &(_, build, per)) in cands.iter().enumerate() {
+        let total = build + batch * per;
+        if total < best_cost {
+            best_cost = total;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize, k: usize, nonzero: usize, quant: usize, g: Guarantee) -> PlannerInputs {
+        PlannerInputs {
+            n,
+            total_locations: n * k,
+            max_k: k,
+            spread: 4.0,
+            nonzero_count: nonzero,
+            quant_count: quant,
+            guarantee: g,
+            diagram_cap: 40,
+            index_built: false,
+            diagram_built: false,
+            spiral_built: false,
+            mc_built_samples: None,
+        }
+    }
+
+    #[test]
+    fn small_sets_use_brute_large_sets_use_index() {
+        let small = plan(&base(16, 3, 64, 0, Guarantee::Exact));
+        assert_eq!(small.nonzero, Some(NonzeroPlan::Brute));
+        let large = plan(&base(20_000, 3, 512, 0, Guarantee::Exact));
+        assert_eq!(large.nonzero, Some(NonzeroPlan::Index));
+    }
+
+    #[test]
+    fn sunk_build_cost_tips_toward_index() {
+        let mut inp = base(600, 3, 2, 0, Guarantee::Exact);
+        let cold = plan(&inp);
+        inp.index_built = true;
+        let warm = plan(&inp);
+        // With the build sunk, the index is at least as attractive.
+        let cost = |p: &BatchPlan, name: &str| {
+            p.estimates
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.total)
+                .unwrap()
+        };
+        assert!(cost(&warm, "nonzero:index") <= cost(&cold, "nonzero:index"));
+        assert_eq!(warm.nonzero, Some(NonzeroPlan::Index));
+    }
+
+    #[test]
+    fn diagram_needs_tiny_n_and_huge_batch() {
+        let inp = base(8, 2, 2_000_000, 0, Guarantee::Exact);
+        let p = plan(&inp);
+        assert_eq!(p.nonzero, Some(NonzeroPlan::Diagram));
+        // Above the cap the diagram is not even priced.
+        let capped = plan(&base(200, 2, 2_000_000, 0, Guarantee::Exact));
+        assert!(capped.estimates.iter().all(|e| e.name != "nonzero:diagram"));
+    }
+
+    #[test]
+    fn guarantee_gates_quant_candidates() {
+        let exact = plan(&base(100, 3, 0, 32, Guarantee::Exact));
+        assert_eq!(exact.quant, Some(QuantPlan::Exact));
+        assert_eq!(exact.estimates.len(), 1);
+
+        let additive = plan(&base(4000, 3, 0, 256, Guarantee::Additive(0.05)));
+        assert!(matches!(additive.quant, Some(QuantPlan::Spiral { .. })));
+
+        let prob = plan(&base(
+            4000,
+            3,
+            0,
+            256,
+            Guarantee::Probabilistic {
+                eps: 0.05,
+                delta: 0.05,
+            },
+        ));
+        // All three candidates priced; the chosen one is recorded.
+        assert_eq!(prob.estimates.len(), 3);
+        assert_eq!(prob.estimates.iter().filter(|e| e.chosen).count(), 1);
+        assert!(prob.quant.is_some());
+    }
+
+    #[test]
+    fn empty_batch_is_idle() {
+        let p = plan(&base(100, 3, 0, 0, Guarantee::Exact));
+        assert!(p.nonzero.is_none() && p.quant.is_none());
+        assert_eq!(p.summary(), "idle");
+    }
+}

@@ -1,0 +1,164 @@
+//! A std-only thread pool (`std::thread` + `mpsc` channels; no rayon — the
+//! build is offline) with panic-isolated workers.
+//!
+//! Worker count resolution, in priority order:
+//! 1. the `UNC_ENGINE_THREADS` environment variable (deterministic CI runs
+//!    pin it to 1),
+//! 2. an explicit [`EngineConfig::threads`](crate::EngineConfig) override,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Environment variable overriding the worker count (highest priority).
+pub const THREADS_ENV: &str = "UNC_ENGINE_THREADS";
+
+/// Resolves the worker count: `UNC_ENGINE_THREADS` > `requested` > detected
+/// parallelism. Always at least 1.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if let Some(n) = requested {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-size pool of worker threads pulling jobs off a shared channel.
+///
+/// Workers are panic-isolated: a panicking job is caught and swallowed (the
+/// job's effects, e.g. an unsent result channel, are the caller's signal),
+/// and the worker stays alive for subsequent jobs. Callers that need timing
+/// measure inside their jobs (see `ExecStats::worker_busy`).
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("unc-engine-{w}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// `true` when the pool has no workers (never: the pool holds ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Enqueues a job. Jobs are executed in FIFO order by whichever worker
+    /// frees up first.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool not shut down")
+            .send(Box::new(job))
+            .expect("engine workers alive");
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *receiving*, never while running a job.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders dropped: shut down
+        };
+        // Panic isolation: a poisoned query must not take the worker (and
+        // with it, every future batch) down. The panic payload is dropped;
+        // the job's unsent result is the caller's signal.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.len(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..64 {
+            let c = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(());
+            });
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 64);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("poisoned query"));
+        // The same (sole) worker must still process subsequent jobs.
+        let (tx, rx) = channel();
+        pool.execute(move || {
+            let _ = tx.send(42);
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit_request_without_env() {
+        // The env var may legitimately be set in CI; only assert the
+        // fallback chain when it is absent.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(resolve_threads(Some(5)), 5);
+            assert!(resolve_threads(None) >= 1);
+        }
+        assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| {});
+        drop(pool); // must not hang
+    }
+}

@@ -35,7 +35,7 @@ struct Tri {
 /// assert_eq!(dt.triangles().len(), 2); // the square splits into 2 triangles
 /// assert_eq!(dt.nearest_site(Point::new(3.5, 3.0)), Some(3));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Delaunay {
     /// All vertices; indices 0..3 are the synthetic super-triangle corners.
     verts: Vec<Point>,
@@ -48,8 +48,25 @@ pub struct Delaunay {
     /// Adjacency over *real* vertices (vertex id ≥ 3 → neighbor vertex ids),
     /// built once after construction; used for greedy nearest-site routing.
     adjacency: Vec<Vec<u32>>,
-    /// Hint for locate().
-    last_tri: std::cell::Cell<u32>,
+    /// Hint for locate() — a pure locality cache (relaxed atomic so a built
+    /// triangulation is `Sync` and can be queried from many threads; a stale
+    /// or torn hint only costs extra walk steps, never correctness).
+    last_tri: std::sync::atomic::AtomicU32,
+}
+
+impl Clone for Delaunay {
+    fn clone(&self) -> Self {
+        Delaunay {
+            verts: self.verts.clone(),
+            site_of_vert: self.site_of_vert.clone(),
+            tris: self.tris.clone(),
+            vert_of_site: self.vert_of_site.clone(),
+            adjacency: self.adjacency.clone(),
+            last_tri: std::sync::atomic::AtomicU32::new(
+                self.last_tri.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl Delaunay {
@@ -80,7 +97,7 @@ impl Delaunay {
             }],
             vert_of_site: Vec::with_capacity(points.len()),
             adjacency: vec![],
-            last_tri: std::cell::Cell::new(0),
+            last_tri: std::sync::atomic::AtomicU32::new(0),
         };
         let mut seen: HashMap<(u64, u64), u32> = HashMap::new();
         for (i, &p) in points.iter().enumerate() {
@@ -313,13 +330,14 @@ impl Delaunay {
                 }
             }
         }
-        self.last_tri.set(first_new);
+        self.last_tri
+            .store(first_new, std::sync::atomic::Ordering::Relaxed);
         vid
     }
 
     /// Walks to the triangle containing `p` (or on whose boundary `p` lies).
     fn locate(&self, p: Point) -> Option<u32> {
-        let mut cur = self.last_tri.get();
+        let mut cur = self.last_tri.load(std::sync::atomic::Ordering::Relaxed);
         if cur as usize >= self.tris.len() || !self.tris[cur as usize].alive {
             cur = self.tris.iter().rposition(|t| t.alive)? as u32;
         }
@@ -344,7 +362,8 @@ impl Delaunay {
                     continue 'walk;
                 }
             }
-            self.last_tri.set(cur);
+            self.last_tri
+                .store(cur, std::sync::atomic::Ordering::Relaxed);
             return Some(cur);
         }
     }

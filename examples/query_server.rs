@@ -1,0 +1,100 @@
+//! Query server: batched, concurrent serving with the `uncertain_engine`.
+//!
+//! ```text
+//! cargo run --release --example query_server
+//! UNC_ENGINE_THREADS=1 cargo run --release --example query_server
+//! ```
+//!
+//! Simulates a small serving workload: a fleet of uncertain points, waves
+//! of mixed request batches (nonzero / threshold / top-k), a repeated wave
+//! that exercises the result cache, and a tighter-guarantee engine. After
+//! every batch the engine reports its `ExecStats`: the plan the cost-based
+//! planner took, the wall time, cache hit rate, and worker utilization.
+
+use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult};
+use uncertain_nn::queries::Guarantee;
+use uncertain_nn::workload;
+
+fn describe(tag: &str, resp: &uncertain_engine::BatchResponse) {
+    let s = &resp.stats;
+    println!(
+        "[{tag}] plan: {:<28} wall {:>9.2?}  {:>8.0} q/s  cache {:>4.0}%  util {:>3.0}%  built {:?}",
+        s.plan.summary(),
+        s.wall,
+        s.throughput_qps(),
+        100.0 * s.cache_hit_rate(),
+        100.0 * s.worker_utilization(),
+        s.built,
+    );
+}
+
+fn main() {
+    // A fleet of 3000 uncertain points, 3 possible locations each.
+    let set = workload::random_discrete_set(3000, 3, 5.0, 42);
+    let engine = Engine::new(set.clone(), EngineConfig::default());
+    println!(
+        "serving n = {} uncertain points ({} locations) on {} worker(s)\n",
+        set.len(),
+        set.total_locations(),
+        engine.threads()
+    );
+
+    // Wave 1: a mixed batch — the planner amortizes one index build.
+    let queries = workload::random_queries(256, 60.0, 7);
+    let mut wave1 = Vec::new();
+    for &q in &queries {
+        wave1.push(QueryRequest::Nonzero { q });
+        wave1.push(QueryRequest::Threshold { q, tau: 0.3 });
+        wave1.push(QueryRequest::TopK { q, k: 3 });
+    }
+    let resp = engine.run_batch(&wave1);
+    describe("wave 1 cold", &resp);
+    if let (QueryRequest::TopK { q, .. }, QueryResult::Ranked { items, guarantee }) =
+        (&wave1[2], &resp.results[2])
+    {
+        println!(
+            "         e.g. top-3 at {q}: {:?} under {:?}",
+            items
+                .iter()
+                .map(|&(i, p)| (i, (p * 1000.0).round() / 1000.0))
+                .collect::<Vec<_>>(),
+            guarantee
+        );
+    }
+
+    // Wave 2: the same batch again — served from the result cache.
+    describe("wave 2 warm", &engine.run_batch(&wave1));
+
+    // Wave 3: fresh queries — structures are already built (sunk cost).
+    let wave3: Vec<QueryRequest> = workload::random_queries(512, 60.0, 8)
+        .into_iter()
+        .map(|q| QueryRequest::Nonzero { q })
+        .collect();
+    describe("wave 3 new ", &engine.run_batch(&wave3));
+
+    // A second engine serving ε-approximate answers: the planner switches
+    // to the spiral-search quantifier for the same request shapes.
+    let approx = Engine::new(
+        set,
+        EngineConfig {
+            guarantee: Guarantee::Additive(0.05),
+            ..EngineConfig::default()
+        },
+    );
+    let wave4: Vec<QueryRequest> = workload::random_queries(256, 60.0, 9)
+        .into_iter()
+        .map(|q| QueryRequest::TopK { q, k: 1 })
+        .collect();
+    describe("approx ε=.05", &approx.run_batch(&wave4));
+    println!("\ncost table of the last plan:");
+    for e in &approx.run_batch(&wave4).stats.plan.estimates {
+        println!(
+            "  {}{:<22} build {:>12.0}  per-query {:>10.0}  total {:>12.0}",
+            if e.chosen { "* " } else { "  " },
+            e.name,
+            e.build,
+            e.per_query,
+            e.total
+        );
+    }
+}

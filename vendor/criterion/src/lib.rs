@@ -1,11 +1,16 @@
 //! Offline stand-in for the subset of the `criterion` API this workspace uses.
 //!
-//! The build container cannot reach crates.io, so the four benches link
-//! against this minimal harness instead of real Criterion. It implements the
-//! same call surface (`Criterion::benchmark_group`, `sample_size`,
-//! `bench_with_input`, `bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! The build container cannot reach crates.io, so the benches link against
+//! this minimal harness instead of real Criterion. It implements the same
+//! call surface (`Criterion::benchmark_group`, `sample_size`,
+//! `bench_with_input`, `bench_function`, `Bencher::iter`,
+//! `BenchmarkGroup::throughput`, `BenchmarkId`,
 //! `criterion_group!`/`criterion_main!`) with honest wall-clock timing and a
-//! plain-text report — no statistics, plots, or baselines.
+//! plain-text report. Each iteration is timed individually, so the report
+//! carries the **mean, median, and p95** per-iteration time (timer overhead,
+//! ~tens of ns, is included — irrelevant for the µs-and-up bodies these
+//! benches measure). A [`Throughput`] hook turns the mean into
+//! elements/sec (queries/sec for the engine bench) or bytes/sec.
 //!
 //! Environment knobs:
 //! * `UNC_BENCH_SMOKE=1` — run each benchmark body exactly once (used by the
@@ -22,6 +27,15 @@ pub fn smoke_mode() -> bool {
     std::env::var("UNC_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty())
 }
 
+/// What one iteration of a benchmark processes, for rate reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// One iteration handles this many items (queries, points, …).
+    Elements(u64),
+    /// One iteration handles this many bytes.
+    Bytes(u64),
+}
+
 #[derive(Default)]
 pub struct Criterion {}
 
@@ -31,6 +45,7 @@ impl Criterion {
             _parent: self,
             name: name.into(),
             sample_size: 10,
+            throughput: None,
         }
     }
 
@@ -48,11 +63,19 @@ pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares how much work one iteration does; subsequent benchmarks in
+    /// the group report a rate (elem/s or B/s) alongside the timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -98,19 +121,42 @@ impl BenchmarkGroup<'_> {
         } else {
             format!("{}/{}", self.name, id.0)
         };
-        match b.mean_seconds() {
-            Some(mean) => println!(
-                "{label:<48} {:>12} /iter  ({} iters)",
-                fmt_time(mean),
-                b.total_iters
-            ),
+        match b.stats() {
+            Some(s) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if s.mean > 0.0 => {
+                        format!("  {:>14}", fmt_rate(n as f64 / s.mean, "elem/s"))
+                    }
+                    Some(Throughput::Bytes(n)) if s.mean > 0.0 => {
+                        format!("  {:>14}", fmt_rate(n as f64 / s.mean, "B/s"))
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{label:<48} mean {:>10}  med {:>10}  p95 {:>10}{rate}  ({} iters)",
+                    fmt_time(s.mean),
+                    fmt_time(s.median),
+                    fmt_time(s.p95),
+                    b.total_iters,
+                );
+            }
             None => println!("{label:<48} (no measurement)"),
         }
     }
 }
 
+/// Summary statistics over the individually-timed iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    pub mean: f64,
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
 pub struct Bencher {
     samples: usize,
+    sample_secs: Vec<f64>,
     total_secs: f64,
     total_iters: u64,
 }
@@ -119,6 +165,7 @@ impl Bencher {
     fn new(samples: usize) -> Self {
         Bencher {
             samples,
+            sample_secs: Vec::with_capacity(samples),
             total_secs: 0.0,
             total_iters: 0,
         }
@@ -127,17 +174,37 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One untimed warm-up keeps first-touch costs out of the measurement.
         black_box(f());
-        let t0 = Instant::now();
         for _ in 0..self.samples {
+            let t0 = Instant::now();
             black_box(f());
+            let dt = t0.elapsed().as_secs_f64();
+            self.sample_secs.push(dt);
+            self.total_secs += dt;
+            self.total_iters += 1;
         }
-        self.total_secs += t0.elapsed().as_secs_f64();
-        self.total_iters += self.samples as u64;
     }
 
     fn mean_seconds(&self) -> Option<f64> {
         (self.total_iters > 0).then(|| self.total_secs / self.total_iters as f64)
     }
+
+    fn stats(&self) -> Option<SampleStats> {
+        let mean = self.mean_seconds()?;
+        let mut sorted = self.sample_secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(SampleStats {
+            mean,
+            median: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted nonempty slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Accepts either a pre-built [`BenchmarkId`] or a plain string, mirroring
@@ -189,6 +256,18 @@ fn fmt_time(secs: f64) -> String {
     }
 }
 
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -215,6 +294,7 @@ mod tests {
     fn sample_bench(c: &mut Criterion) {
         let mut g = c.benchmark_group("demo");
         g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
         g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
             b.iter(|| (0..n).sum::<u64>());
         });
@@ -234,5 +314,39 @@ mod tests {
         b.iter(|| 1 + 1);
         assert_eq!(b.total_iters, 4);
         assert!(b.mean_seconds().is_some());
+        let s = b.stats().unwrap();
+        assert!(s.mean > 0.0 && s.median > 0.0 && s.p95 >= s.median);
+        assert_eq!(b.sample_secs.len(), 4);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&xs, 0.50), 5.0);
+        assert_eq!(percentile(&xs, 0.95), 10.0);
+        assert_eq!(percentile(&xs, 1.0), 10.0);
+        assert_eq!(percentile(&[3.5], 0.5), 3.5);
+        assert_eq!(percentile(&[3.5], 0.95), 3.5);
+    }
+
+    #[test]
+    fn rate_formatting_scales() {
+        assert_eq!(fmt_rate(1.5e9, "elem/s"), "1.50 Gelem/s");
+        assert_eq!(fmt_rate(2.5e6, "elem/s"), "2.50 Melem/s");
+        assert_eq!(fmt_rate(3.2e3, "B/s"), "3.20 KB/s");
+        assert_eq!(fmt_rate(12.0, "B/s"), "12.0 B/s");
+    }
+
+    #[test]
+    fn throughput_report_runs() {
+        // Exercise the throughput-reporting path end to end.
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("rates");
+        g.sample_size(2).throughput(Throughput::Bytes(1 << 20));
+        g.bench_function("copy", |b| {
+            let src = vec![0u8; 1 << 20];
+            b.iter(|| src.clone());
+        });
+        g.finish();
     }
 }
