@@ -28,6 +28,6 @@ pub mod slab;
 pub mod subdivision;
 
 pub use segment::Segment;
-pub use segment_slab::SegmentSlabLocator;
+pub use segment_slab::{CertifiedLocation, SegmentSlabLocator};
 pub use slab::SlabLocator;
 pub use subdivision::Subdivision;

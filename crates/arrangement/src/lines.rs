@@ -44,23 +44,18 @@ impl Line2 {
         (self.c - self.a * x) / self.b
     }
 
-    /// Intersection with another line, `None` when parallel.
+    /// Intersection with another line, `None` when *exactly* parallel (the
+    /// determinant sign is decided by exact arithmetic). The returned point
+    /// is within a few ulps of the true intersection even for near-parallel
+    /// lines, where the naive quotient of rounded determinants is
+    /// arbitrarily wrong — slab boundaries derived from it must land within
+    /// the locator guard bands of the true crossing.
     pub fn intersect(&self, other: &Line2) -> Option<Point> {
-        let det = self.a * other.b - other.a * self.b;
-        let scale = self
-            .a
-            .abs()
-            .max(self.b.abs())
-            .max(other.a.abs())
-            .max(other.b.abs())
-            .max(1.0);
-        if det.abs() <= 1e-14 * scale * scale {
-            return None;
-        }
-        Some(Point::new(
-            (self.c * other.b - other.c * self.b) / det,
-            (self.a * other.c - other.a * self.c) / det,
-        ))
+        let (x, y) = uncertain_geom::predicates::line_intersection(
+            (self.a, self.b, self.c),
+            (other.a, other.b, other.c),
+        )?;
+        Some(Point::new(x, y))
     }
 
     /// Canonical form for deduplication: scaled so `‖(a,b)‖ = 1` and the

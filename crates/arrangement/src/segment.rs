@@ -1,6 +1,6 @@
 //! Line segments and pairwise intersections.
 
-use uncertain_geom::predicates::orient2d;
+use uncertain_geom::predicates::{crossing_param, orient2d, side_of_segment, Side};
 use uncertain_geom::{Aabb, Point};
 
 /// A closed line segment.
@@ -43,9 +43,9 @@ impl Segment {
         (p - self.a).dot(d) / n2
     }
 
-    /// `true` if `p` lies on the segment (robust collinearity + box test).
+    /// `true` if `p` lies on the segment (exact collinearity + box test).
     pub fn contains_point(&self, p: Point) -> bool {
-        orient2d(self.a, self.b, p) == 0.0 && self.bbox().contains(p)
+        side_of_segment(self.a, self.b, p) == Side::On && self.bbox().contains(p)
     }
 }
 
@@ -122,10 +122,14 @@ pub fn segment_intersections(s1: &Segment, s2: &Segment) -> Vec<(f64, Point)> {
     if (o1 > 0.0) == (o2 > 0.0) || (o3 > 0.0) == (o4 > 0.0) {
         return vec![];
     }
-    // Parameter on s1 from the signed distances to line(s2).
-    let t1 = o1 / (o1 - o2);
-    let p = s1.at(t1.clamp(0.0, 1.0));
-    vec![(t1.clamp(0.0, 1.0), p)]
+    // Parameter on s1 from the signed distances to line(s2), computed with
+    // exact expansions: the naive o1/(o1 − o2) quotient can be arbitrarily
+    // wrong for near-parallel crossings (the adaptive o's carry absolute
+    // error up to their filter bound, which the cancelled denominator
+    // amplifies), and downstream guard bands assume split points land
+    // within ulps of the true crossing.
+    let t1 = crossing_param(s1.a, s1.b, s2.a, s2.b);
+    vec![(t1, s1.at(t1))]
 }
 
 #[cfg(test)]

@@ -8,8 +8,38 @@
 //! point-location companion for the discrete nonzero Voronoi diagram
 //! (Theorem 2.14: "preprocessed ... so that an NN≠0(q) query can be answered
 //! in O(log µ + t)").
+//!
+//! # Exactness
+//!
+//! All query-time side tests use the adaptive exact [`orient2d`] predicate
+//! and build-time slab ordering uses the exact [`cmp_segments_y_at`]
+//! comparison, so location is exact with respect to the stored vertices.
+//! [`SegmentSlabLocator::locate_certified`] additionally reports whether the
+//! query has a caller-chosen clearance from every stored edge and slab
+//! boundary — consumers whose subdivision was built with coordinate snapping
+//! use the snap tolerance to decide when a located answer provably matches
+//! the un-snapped geometry, and fall back to direct evaluation otherwise.
 
+use uncertain_geom::predicates::{cmp_segments_y_at, orient2d};
 use uncertain_geom::Point;
+
+/// Outcome of a certified point location (see
+/// [`SegmentSlabLocator::locate_certified`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertifiedLocation {
+    /// `q` lies strictly above `edge` (the edge directly below it) with
+    /// clearance greater than the requested guard from every stored edge
+    /// and slab boundary.
+    Interior { edge: u32 },
+    /// `q` lies *exactly* on the stored edge `edge`.
+    OnEdge { edge: u32 },
+    /// `q` is within the guard band of a stored edge, vertex, or slab
+    /// boundary — too close to certify under construction snapping.
+    NearBoundary,
+    /// `q` is outside the x-range of the structure or below every edge of
+    /// its slab.
+    Unlocated,
+}
 
 /// Point-location structure over a set of straight edges.
 #[derive(Clone, Debug)]
@@ -23,6 +53,14 @@ pub struct SegmentSlabLocator {
     edge_geom: Vec<(Point, Point)>,
     /// Original edge ids aligned with `edge_geom`.
     edge_ids: Vec<u32>,
+    /// Per-slab **order certificate**, verified at build time with exact
+    /// comparisons: every adjacent pair of the slab order is non-decreasing
+    /// at *both* slab endpoints (edges are straight, so that bounds the
+    /// whole slab) and not coincident across it. In a proper planar
+    /// subdivision this always holds — a failure means two stored edges
+    /// cross inside the slab (e.g. a degenerate construction), and such
+    /// slabs are never served by [`SegmentSlabLocator::locate_certified`].
+    slab_certified: Vec<bool>,
 }
 
 impl SegmentSlabLocator {
@@ -45,6 +83,7 @@ impl SegmentSlabLocator {
         }
 
         let mut slabs: Vec<Vec<u32>> = Vec::with_capacity(xs.len().saturating_sub(1));
+        let mut slab_certified: Vec<bool> = Vec::with_capacity(xs.len().saturating_sub(1));
         for w in xs.windows(2) {
             let (x0, x1) = (w[0], w[1]);
             let xm = 0.5 * (x0 + x1);
@@ -54,11 +93,24 @@ impl SegmentSlabLocator {
                     l.x <= x0 && r.x >= x1
                 })
                 .collect();
+            // Exact y-order at the slab midpoint — edges meeting at a
+            // shared vertex on the boundary sort correctly even when their
+            // heights at xm agree to within an ulp.
             in_slab.sort_by(|&i, &j| {
-                let yi = y_at(edge_geom[i as usize], xm);
-                let yj = y_at(edge_geom[j as usize], xm);
-                yi.partial_cmp(&yj).unwrap()
+                cmp_segments_y_at(edge_geom[i as usize], edge_geom[j as usize], xm)
             });
+            // Order certificate at both endpoints (`Equal` at one endpoint
+            // is fine — edges legitimately share boundary vertices).
+            let certified = in_slab.windows(2).all(|pair| {
+                let ei = edge_geom[pair[0] as usize];
+                let ej = edge_geom[pair[1] as usize];
+                let c0 = cmp_segments_y_at(ei, ej, x0);
+                let c1 = cmp_segments_y_at(ei, ej, x1);
+                c0 != std::cmp::Ordering::Greater
+                    && c1 != std::cmp::Ordering::Greater
+                    && !(c0 == std::cmp::Ordering::Equal && c1 == std::cmp::Ordering::Equal)
+            });
+            slab_certified.push(certified);
             slabs.push(in_slab);
         }
         SegmentSlabLocator {
@@ -66,6 +118,7 @@ impl SegmentSlabLocator {
             slabs,
             edge_geom,
             edge_ids,
+            slab_certified,
         }
     }
 
@@ -74,26 +127,95 @@ impl SegmentSlabLocator {
         self.slabs.iter().map(Vec::len).sum()
     }
 
-    /// The original edge id of the edge directly *below* `q` (the first edge
-    /// hit going down), or `None` when `q` is below every edge of its slab
-    /// or outside the x-range.
-    pub fn edge_below(&self, q: Point) -> Option<u32> {
-        if self.xs.len() < 2 || q.x < self.xs[0] || q.x > *self.xs.last().unwrap() {
+    /// The slab index containing `q.x`, or `None` outside the x-range.
+    fn slab_of(&self, x: f64) -> Option<usize> {
+        if self.xs.len() < 2 || x < self.xs[0] || x > *self.xs.last().unwrap() {
             return None;
         }
-        let s = match self.xs.binary_search_by(|x| x.partial_cmp(&q.x).unwrap()) {
-            Ok(i) => i.min(self.xs.len() - 2),
-            Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
-        };
+        Some(
+            match self.xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+                Ok(i) => i.min(self.xs.len() - 2),
+                Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
+            },
+        )
+    }
+
+    /// Internal index (into `edge_geom`) of the edge directly at-or-below
+    /// `q` in slab `s`, found with the exact orient predicate: an edge
+    /// `l → r` (rightward) is at-or-below `q` iff `orient2d(l, r, q) ≥ 0`.
+    fn below_index(&self, s: usize, q: Point) -> Option<usize> {
         let slab = &self.slabs[s];
-        // Edges are sorted by height within the slab; find the last with
-        // y(q.x) ≤ q.y.
-        let idx = slab.partition_point(|&k| y_at(self.edge_geom[k as usize], q.x) <= q.y);
+        let idx = slab.partition_point(|&k| {
+            let (l, r) = self.edge_geom[k as usize];
+            orient2d(l, r, q) >= 0.0
+        });
         if idx == 0 {
-            return None;
+            None
+        } else {
+            Some(idx - 1)
         }
-        let k = slab[idx - 1] as usize;
-        Some(self.edge_ids[k])
+    }
+
+    /// The original edge id of the edge directly *below* (or exactly
+    /// through) `q` — the first edge hit going down — or `None` when `q` is
+    /// below every edge of its slab or outside the x-range.
+    ///
+    /// Every per-edge side test is exact; the *located index* is guaranteed
+    /// only on slabs whose order certificate holds (always the case for
+    /// edges of a proper planar subdivision). Use
+    /// [`locate_certified`](Self::locate_certified) when the input may be
+    /// degenerate — it refuses uncertified slabs instead of guessing.
+    pub fn edge_below(&self, q: Point) -> Option<u32> {
+        let s = self.slab_of(q.x)?;
+        let idx = self.below_index(s, q)?;
+        Some(self.edge_ids[self.slabs[s][idx] as usize])
+    }
+
+    /// Certified point location: locates the edge directly below `q` and
+    /// classifies the answer (see [`CertifiedLocation`]).
+    ///
+    /// `Interior` is reported only when `q` keeps a clearance greater than
+    /// `guard` from every stored edge and slab boundary. The check is
+    /// O(1): it suffices to test the two vertically adjacent edges with a
+    /// `2·guard` threshold and the two slab walls — any further edge of the
+    /// slab would have to cross one of the adjacent edges to come closer
+    /// (impossible: edges of a planar subdivision meet only at vertices,
+    /// which lie on slab boundaries), and anything beyond the walls is at
+    /// least the wall margin away.
+    pub fn locate_certified(&self, q: Point, guard: f64) -> CertifiedLocation {
+        let Some(s) = self.slab_of(q.x) else {
+            return CertifiedLocation::Unlocated;
+        };
+        if !self.slab_certified[s] {
+            return CertifiedLocation::NearBoundary;
+        }
+        let margin = 2.0 * guard;
+        if q.x - self.xs[s] < margin || self.xs[s + 1] - q.x < margin {
+            return CertifiedLocation::NearBoundary;
+        }
+        let slab = &self.slabs[s];
+        let Some(idx) = self.below_index(s, q) else {
+            return CertifiedLocation::Unlocated;
+        };
+        let k = slab[idx] as usize;
+        let (l, r) = self.edge_geom[k];
+        if orient2d(l, r, q) == 0.0 {
+            return CertifiedLocation::OnEdge {
+                edge: self.edge_ids[k],
+            };
+        }
+        if dist_point_segment(q, l, r) <= margin {
+            return CertifiedLocation::NearBoundary;
+        }
+        if idx + 1 < slab.len() {
+            let (l2, r2) = self.edge_geom[slab[idx + 1] as usize];
+            if dist_point_segment(q, l2, r2) <= margin {
+                return CertifiedLocation::NearBoundary;
+            }
+        }
+        CertifiedLocation::Interior {
+            edge: self.edge_ids[k],
+        }
     }
 
     /// Whether the located edge runs left-to-right as stored in the original
@@ -105,11 +227,16 @@ impl SegmentSlabLocator {
     }
 }
 
-#[inline]
-fn y_at(seg: (Point, Point), x: f64) -> f64 {
-    let (l, r) = seg;
-    let t = ((x - l.x) / (r.x - l.x)).clamp(0.0, 1.0);
-    l.y + t * (r.y - l.y)
+/// Euclidean distance from `q` to the segment `a → b` (plain f64 — used
+/// only for guard-band checks where the guard dwarfs rounding error).
+fn dist_point_segment(q: Point, a: Point, b: Point) -> f64 {
+    let d = b - a;
+    let n2 = d.norm2();
+    if n2 <= f64::MIN_POSITIVE {
+        return q.dist(a);
+    }
+    let t = ((q - a).dot(d) / n2).clamp(0.0, 1.0);
+    q.dist(a.lerp(b, t))
 }
 
 #[cfg(test)]
@@ -168,6 +295,77 @@ mod tests {
         let edges = vec![(0u32, 1u32), (0, 2)];
         let loc = SegmentSlabLocator::build(&vertices, &edges);
         assert_eq!(loc.edge_below(p(2.0, 1.0)), Some(1));
+    }
+
+    #[test]
+    fn certified_location_classifies_boundaries() {
+        // A triangle: (0,0)–(4,0)–(2,3).
+        let vertices = vec![p(0.0, 0.0), p(4.0, 0.0), p(2.0, 3.0)];
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let loc = SegmentSlabLocator::build(&vertices, &edges);
+        let guard = 1e-9;
+        // Well inside: certified interior above the bottom edge.
+        assert_eq!(
+            loc.locate_certified(p(2.5, 1.0), guard),
+            CertifiedLocation::Interior { edge: 0 }
+        );
+        // Exactly on the bottom edge.
+        assert_eq!(
+            loc.locate_certified(p(2.5, 0.0), guard),
+            CertifiedLocation::OnEdge { edge: 0 }
+        );
+        // Exactly on the slanted edge (1,2): point (3, 1.5) — the edge runs
+        // (4,0)→(2,3), and (3, 1.5) is its midpoint.
+        assert_eq!(
+            loc.locate_certified(p(3.0, 1.5), guard),
+            CertifiedLocation::OnEdge { edge: 1 }
+        );
+        // Within the guard band of the bottom edge: refused.
+        assert_eq!(
+            loc.locate_certified(p(2.5, 1e-10), guard),
+            CertifiedLocation::NearBoundary
+        );
+        // Within the guard band of a slab wall (x = 2 is a vertex x).
+        assert_eq!(
+            loc.locate_certified(p(2.0 + 1e-10, 1.0), guard),
+            CertifiedLocation::NearBoundary
+        );
+        // Below everything / outside the x-range.
+        assert_eq!(
+            loc.locate_certified(p(2.5, -1.0), guard),
+            CertifiedLocation::Unlocated
+        );
+        assert_eq!(
+            loc.locate_certified(p(9.0, 1.0), guard),
+            CertifiedLocation::Unlocated
+        );
+    }
+
+    #[test]
+    fn exact_edge_below_on_shared_offsets() {
+        // Two stacked edges with a large shared offset: the exact orient
+        // test separates a query one representable step above the lower
+        // edge, where float interpolation loses the sign.
+        let o = 1e9;
+        let vertices = vec![
+            p(o, o),
+            p(o + 8.0, o + 8.0),
+            p(o, o + 4.0),
+            p(o + 8.0, o + 12.0),
+        ];
+        let edges = vec![(0u32, 1u32), (2, 3)];
+        let loc = SegmentSlabLocator::build(&vertices, &edges);
+        let x = o + 2.0;
+        let on = p(x, o + 2.0); // exactly on edge 0
+        assert_eq!(loc.edge_below(on), Some(0));
+        let above = p(x, (o + 2.0) + (oteps() * o)); // one ulp-ish above
+        assert_eq!(loc.edge_below(above), Some(0));
+        let below = p(x, (o + 2.0) - (o * oteps()));
+        assert_eq!(loc.edge_below(below), None);
+    }
+
+    fn oteps() -> f64 {
+        f64::EPSILON
     }
 
     #[test]

@@ -9,8 +9,20 @@
 //!
 //! Vertical input lines are handled by turning their x-coordinates into slab
 //! boundaries.
+//!
+//! # Exactness
+//!
+//! Queries use the adaptive exact predicates of [`uncertain_geom::predicates`]
+//! (`line_point_sign` for the below/above test, `cmp_lines_y_at` for the
+//! per-slab ordering), so a located answer is exact with respect to the
+//! stored lines. The slab *boundaries* are rounded intersection
+//! x-coordinates, so [`SlabLocator::locate`] refuses to answer (returns
+//! `None`) when the query is within a small guard band of a slab boundary or
+//! exactly on a line — callers fall back to their exact direct evaluation
+//! there, which keeps every served answer exact.
 
 use crate::lines::Line2;
+use uncertain_geom::predicates::{cmp_lines_y_at, line_point_sign};
 use uncertain_geom::{Aabb, Point};
 
 /// Point-location structure; every *cell* (slab × vertical gap) maps to a
@@ -26,6 +38,19 @@ pub struct SlabLocator {
     /// Prefix sums: cell id of the bottom gap of each slab.
     offsets: Vec<usize>,
     bbox: Aabb,
+    /// Guard band around slab boundaries: recorded intersection abscissae
+    /// carry a few ulps of rounding and are deduplicated within
+    /// `1e-12·scale`, so queries closer than this to a boundary are
+    /// ambiguous and refused.
+    x_guard: f64,
+    /// Per-slab **order certificate**, verified at build time with exact
+    /// comparisons: the slab order is sorted (never `Greater`, never
+    /// coincident throughout) at *both* slab endpoints. Lines are straight,
+    /// so a certified order is valid at every x inside the slab — the
+    /// below-test is then provably monotone along it for any interior
+    /// query, independent of where crossings were recorded. Uncertified
+    /// slabs are never served.
+    slab_certified: Vec<bool>,
 }
 
 impl SlabLocator {
@@ -65,15 +90,37 @@ impl SlabLocator {
         let mut slab_order = Vec::with_capacity(xs.len().saturating_sub(1));
         let mut offsets = Vec::with_capacity(xs.len());
         let mut acc = 0usize;
+        let mut slab_certified = Vec::with_capacity(xs.len().saturating_sub(1));
+        let tuple = |l: &Line2| (l.a, l.b, l.c);
+        let x_guard = 1e-9 * bbox.radius().max(1.0);
         for w in xs.windows(2) {
             let xm = 0.5 * (w[0] + w[1]);
             let mut order: Vec<u32> = (0..nonvert.len() as u32).collect();
+            // Exact y-order at the slab midpoint: near-coincident lines sort
+            // correctly (and NaN-free) even when their heights agree to
+            // within an ulp.
             order.sort_by(|&i, &j| {
-                nonvert[i as usize]
-                    .y_at(xm)
-                    .partial_cmp(&nonvert[j as usize].y_at(xm))
-                    .unwrap()
+                cmp_lines_y_at(tuple(&nonvert[i as usize]), tuple(&nonvert[j as usize]), xm)
             });
+            // Order certificate over the *served* interval
+            // `[x0 + guard, x1 − guard]` (queries in the guard bands are
+            // refused anyway): every adjacent pair must be non-decreasing
+            // at both inset points — lines are straight, so that bounds the
+            // whole interval — and not coincident across it. Crossings that
+            // rounded a few ulps inside a boundary fall in the guard band
+            // and cannot invalidate the certificate.
+            let (xl, xr) = (w[0] + x_guard, w[1] - x_guard);
+            let certified = xl < xr
+                && order.windows(2).all(|pair| {
+                    let li = tuple(&nonvert[pair[0] as usize]);
+                    let lj = tuple(&nonvert[pair[1] as usize]);
+                    let c0 = cmp_lines_y_at(li, lj, xl);
+                    let c1 = cmp_lines_y_at(li, lj, xr);
+                    c0 != std::cmp::Ordering::Greater
+                        && c1 != std::cmp::Ordering::Greater
+                        && !(c0 == std::cmp::Ordering::Equal && c1 == std::cmp::Ordering::Equal)
+                });
+            slab_certified.push(certified);
             offsets.push(acc);
             acc += order.len() + 1;
             slab_order.push(order);
@@ -85,6 +132,10 @@ impl SlabLocator {
             slab_order,
             offsets,
             bbox: *bbox,
+            // The same value the certificate insets above were verified at —
+            // the served interval must never widen past the certified one.
+            x_guard,
+            slab_certified,
         }
     }
 
@@ -98,7 +149,27 @@ impl SlabLocator {
         self.slab_order.len()
     }
 
-    /// Locates `q`, returning its cell id; `None` outside the box.
+    /// `true` when line `li` is strictly below `q` at `q.x` — exact:
+    /// `y(q.x) < q.y ⇔ sign(a·qₓ + b·q_y − c) · sign(b) > 0`.
+    fn strictly_below(&self, li: u32, q: Point) -> bool {
+        let l = &self.lines[li as usize];
+        let s = line_point_sign(l.a, l.b, l.c, q);
+        if l.b > 0.0 {
+            s > 0.0
+        } else {
+            s < 0.0
+        }
+    }
+
+    /// Locates `q`, returning its cell id.
+    ///
+    /// Returns `None` outside the box, **exactly on a line** (measure zero),
+    /// within the guard band of a slab boundary, or in a slab whose order
+    /// certificate failed — every case where the located cell could be
+    /// ambiguous. Callers fall back to direct exact evaluation, so served
+    /// answers are always exact: a certified slab's y-order is valid at
+    /// every interior x (verified at both endpoints; lines are straight),
+    /// hence the exact below-test is monotone along it.
     pub fn locate(&self, q: Point) -> Option<usize> {
         if !self.bbox.contains(q) {
             return None;
@@ -111,9 +182,23 @@ impl SlabLocator {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(i) => i.saturating_sub(1).min(self.xs.len() - 2),
         };
+        if !self.slab_certified[s] {
+            return None;
+        }
+        if q.x - self.xs[s] < self.x_guard || self.xs[s + 1] - q.x < self.x_guard {
+            return None;
+        }
         let order = &self.slab_order[s];
-        // Gap index: number of lines strictly below q.
-        let gap = order.partition_point(|&li| self.lines[li as usize].y_at(q.x) < q.y);
+        // Gap index: number of lines strictly below q (exact predicate).
+        let gap = order.partition_point(|&li| self.strictly_below(li, q));
+        // Certify: the first non-below line must be *strictly* above — a
+        // zero sign means q lies exactly on it.
+        if gap < order.len() {
+            let l = &self.lines[order[gap] as usize];
+            if line_point_sign(l.a, l.b, l.c, q) == 0.0 {
+                return None;
+            }
+        }
         Some(self.offsets[s] + gap)
     }
 
@@ -185,12 +270,13 @@ mod tests {
         assert_eq!(loc.num_slabs(), 2);
         assert_eq!(loc.num_cells(), 6);
         // Points in the four quadrant-like regions get distinct cells — and
-        // matching samples.
+        // matching samples. (x = 0 is a slab boundary, so the top/bottom
+        // probes sit slightly off it; exact-boundary queries return `None`.)
         for q in [
             Point::new(-5.0, 0.0),
             Point::new(5.0, 0.0),
-            Point::new(0.0, 5.0),
-            Point::new(0.0, -5.0),
+            Point::new(0.5, 5.0),
+            Point::new(0.5, -5.0),
         ] {
             let id = loc.locate(q).unwrap();
             let sample = loc.cell_sample(id).unwrap();
@@ -203,6 +289,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn boundary_queries_are_refused() {
+        // Two crossing diagonals: y = x and y = −x meet at the origin.
+        let lines = [Line2::new(1.0, -1.0, 0.0), Line2::new(1.0, 1.0, 0.0)];
+        let loc = SlabLocator::build(&lines, &bbox());
+        // Exactly on a line: refused (exact sign test hits zero).
+        assert_eq!(loc.locate(Point::new(3.0, 3.0)), None);
+        assert_eq!(loc.locate(Point::new(4.0, -4.0)), None);
+        // Exactly on the slab boundary through the crossing: refused.
+        assert_eq!(loc.locate(Point::new(0.0, 5.0)), None);
+        // On the crossing itself: refused.
+        assert_eq!(loc.locate(Point::new(0.0, 0.0)), None);
+        // A hair inside the guard band: refused; well inside: answered.
+        assert_eq!(loc.locate(Point::new(1e-11, 5.0)), None);
+        assert!(loc.locate(Point::new(1e-3, 5.0)).is_some());
+        // Immediately off a line (but away from boundaries): answered, and
+        // the two sides land in different cells.
+        let above = loc.locate(Point::new(3.0, 3.0 + 1e-9)).unwrap();
+        let below = loc.locate(Point::new(3.0, 3.0 - 1e-9)).unwrap();
+        assert_ne!(above, below);
     }
 
     #[test]

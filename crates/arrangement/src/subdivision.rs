@@ -27,6 +27,11 @@ pub struct Subdivision {
     /// points sharing a bisector). The first entry is the discovering curve.
     pub edge_curves: Vec<Vec<u32>>,
     components: usize,
+    /// The endpoint-merging tolerance the subdivision was built with —
+    /// stored vertices are within this distance of the exact (un-snapped)
+    /// intersection geometry. Point-location consumers derive their guard
+    /// bands from it (see [`crate::SegmentSlabLocator::locate_certified`]).
+    snap_tol: f64,
 }
 
 /// An input segment tagged with a curve id (provenance).
@@ -162,7 +167,13 @@ impl Subdivision {
             edges,
             edge_curves,
             components,
+            snap_tol: snap_tol.max(f64::MIN_POSITIVE),
         }
+    }
+
+    /// The endpoint-merging tolerance this subdivision was built with.
+    pub fn snap_tol(&self) -> f64 {
+        self.snap_tol
     }
 
     pub fn num_vertices(&self) -> usize {

@@ -22,7 +22,7 @@ pub fn set_smoke(on: bool) {
 /// environment (picked up by the Criterion benches too).
 pub fn smoke() -> bool {
     SMOKE.load(Ordering::Relaxed)
-        || std::env::var("UNC_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty())
+        || std::env::var("UNC_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Scales a workload size down (÷100, floor 8) in smoke mode.

@@ -104,7 +104,12 @@ impl ProbabilisticVoronoiDiagram {
     }
 
     /// All positive quantification probabilities of `q`, sorted by point
-    /// index. `O(log N + t)` inside the box; exact-sweep fallback outside.
+    /// index. `O(log N + t)` inside the box; exact-sweep fallback outside
+    /// the box, for queries exactly on a bisector line, and inside the
+    /// locator's slab-boundary guard band (the locator's exact predicates
+    /// refuse rather than guess there — see
+    /// [`uncertain_arrangement::SlabLocator::locate`]), so every answer is
+    /// either a located cell's vector or the exact sweep itself.
     pub fn query(&self, q: Point) -> Vec<(usize, f64)> {
         if let Some(cell) = self.locator.locate(q) {
             let vid = self.cell_vector[cell];

@@ -33,6 +33,11 @@ pub struct LabeledFace {
     /// `NN≠0` on this face (sorted).
     pub label: Vec<usize>,
     pub area: f64,
+    /// `true` when the sample point is certified to lie in the face's guard
+    /// interior (clear of the construction snap tolerance), so the label is
+    /// provably valid for every certified-interior query of the face. Faces
+    /// too thin to certify are never served from the location fast path.
+    pub certified: bool,
 }
 
 /// The discrete nonzero Voronoi diagram within a working box.
@@ -54,6 +59,12 @@ pub struct DiscreteNonzeroDiagram {
     bbox: Aabb,
     /// Number of γ boundary segments before splitting (curve complexity).
     gamma_segments: usize,
+    /// Clearance required of a certified location: a multiple of the
+    /// subdivision snap tolerance, chosen so that anything farther than
+    /// `guard` from every stored edge is provably on the same side of every
+    /// un-snapped γ curve (snapping moves geometry by at most the snap
+    /// tolerance; the 8× factor leaves generous slack).
+    guard: f64,
 }
 
 /// Delta-encoded per-face label storage (the [DSST89] idea the paper cites:
@@ -220,7 +231,7 @@ impl DiscreteNonzeroDiagram {
         let subdivision = Subdivision::build(&segments, 1e-9 * scale);
         // 4. Label bounded faces by evaluating NN≠0 at the face samples.
         let traced = subdivision.traced_faces();
-        let faces: Vec<LabeledFace> = traced
+        let mut faces: Vec<LabeledFace> = traced
             .faces
             .iter()
             .map(|f| {
@@ -230,6 +241,7 @@ impl DiscreteNonzeroDiagram {
                     sample: f.sample,
                     label,
                     area: f.area,
+                    certified: false,
                 }
             })
             .collect();
@@ -241,6 +253,20 @@ impl DiscreteNonzeroDiagram {
             &subdivision.vertices,
             &subdivision.edges,
         );
+        // 7. Certify face samples: a face's label may be served from the
+        // location fast path only when its sample provably sits clear of
+        // the snap-tolerance shell around the face boundary (otherwise the
+        // brute label computed at the sample could belong to a neighboring
+        // un-snapped region).
+        let guard = 8.0 * subdivision.snap_tol();
+        for (fid, face) in faces.iter_mut().enumerate() {
+            if let uncertain_arrangement::CertifiedLocation::Interior { edge } =
+                locator.locate_certified(face.sample, guard)
+            {
+                face.certified =
+                    face_above_edge(&subdivision, &traced.face_of_halfedge, edge) == Some(fid);
+            }
+        }
         DiscreteNonzeroDiagram {
             subdivision,
             faces,
@@ -250,6 +276,7 @@ impl DiscreteNonzeroDiagram {
             set: set.clone(),
             bbox: *bbox,
             gamma_segments,
+            guard,
         }
     }
 
@@ -258,32 +285,48 @@ impl DiscreteNonzeroDiagram {
         nonzero_nn_discrete(&self.set, q)
     }
 
-    /// The bounded face containing `q`, by slab point location (`O(log µ)`).
+    /// The bounded face containing `q`, by certified slab point location
+    /// (`O(log µ)`).
     ///
-    /// Returns `None` when `q` is outside the working box, exactly on an
-    /// edge (measure zero), or when the edge directly below `q` belongs to a
-    /// hole boundary (an island component inside the face) — callers fall
-    /// back to [`query`](Self::query) in that case.
+    /// Returns `Some` only when the answer is *certified*: `q` keeps a
+    /// guard-band clearance (a small multiple of the construction snap
+    /// tolerance) from every stored edge and slab boundary, and the face's
+    /// own sample is certified the same way — so the served label provably
+    /// equals the Lemma 2.1 evaluation at `q`. Returns `None` when `q` is
+    /// outside the working box, exactly on an edge or vertex, inside the
+    /// guard band, above a hole boundary, or in an uncertified (too-thin)
+    /// face — callers fall back to [`query`](Self::query), which is exact,
+    /// so the combined query path is exact for **every** `q`.
     pub fn locate_face(&self, q: Point) -> Option<usize> {
-        let eid = self.locator.edge_below(q)?;
-        let (a, b) = self.subdivision.edges[eid as usize];
-        let pa = self.subdivision.vertices[a as usize];
-        let pb = self.subdivision.vertices[b as usize];
-        // The face containing q lies *above* the edge directly below it:
-        // pick the rightward-pointing half-edge (its left side is "up").
-        let he = if pa.x < pb.x { 2 * eid } else { 2 * eid + 1 };
-        let f = self.face_of_he[he as usize];
-        (f != u32::MAX).then_some(f as usize)
+        let uncertain_arrangement::CertifiedLocation::Interior { edge } =
+            self.locator.locate_certified(q, self.guard)
+        else {
+            return None;
+        };
+        let f = face_above_edge(&self.subdivision, &self.face_of_he, edge)?;
+        self.faces[f].certified.then_some(f)
     }
 
     /// `NN≠0(q)` through the point-location structure — the Theorem 2.14
-    /// query path: `O(log µ + t)` when location succeeds, Lemma 2.1 fallback
-    /// otherwise.
+    /// query path: `O(log µ + t)` when certified location succeeds, exact
+    /// Lemma 2.1 fallback otherwise. Unconditionally agrees with
+    /// [`query`](Self::query).
     pub fn query_located(&self, q: Point) -> Vec<usize> {
         match self.locate_face(q) {
             Some(f) => self.faces[f].label.clone(),
             None => self.query(q),
         }
+    }
+
+    /// The guard-band clearance certified locations must keep (a small
+    /// multiple of the subdivision snap tolerance).
+    pub fn location_guard(&self) -> f64 {
+        self.guard
+    }
+
+    /// Number of faces whose samples certify for fast-path serving.
+    pub fn certified_faces(&self) -> usize {
+        self.faces.iter().filter(|f| f.certified).count()
     }
 
     /// Size of the point-location structure (slab–edge incidences).
@@ -313,6 +356,18 @@ impl DiscreteNonzeroDiagram {
         labels.dedup();
         labels.len()
     }
+}
+
+/// The bounded face lying *above* subdivision edge `eid`: the face of the
+/// rightward-pointing half-edge (its left side is "up"). `None` for hole
+/// and outer boundaries.
+fn face_above_edge(subdivision: &Subdivision, face_of_he: &[u32], eid: u32) -> Option<usize> {
+    let (a, b) = subdivision.edges[eid as usize];
+    let pa = subdivision.vertices[a as usize];
+    let pb = subdivision.vertices[b as usize];
+    let he = if pa.x < pb.x { 2 * eid } else { 2 * eid + 1 };
+    let f = face_of_he[he as usize];
+    (f != u32::MAX).then_some(f as usize)
 }
 
 /// `K_ij` clipped to the box: the convex region where every location of `j`

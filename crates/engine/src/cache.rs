@@ -51,13 +51,13 @@ pub enum QuantTag {
 /// for probability vectors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CacheKey {
-    /// `via_diagram` separates `V≠0`-point-location answers from the (always
-    /// exact) brute/index answers, so the diagram's boundary-degeneracy
-    /// caveat can never leak into an exact plan via the cache.
+    /// All three `NN≠0` plans (brute, index, `V≠0` point location) are
+    /// exact — the diagram path serves certified locations and falls back
+    /// to Lemma 2.1 otherwise — so their answers share one key and warm
+    /// each other's entries.
     Nonzero {
         qx: u64,
         qy: u64,
-        via_diagram: bool,
     },
     QuantCell {
         kx: i64,
@@ -72,11 +72,10 @@ pub enum CacheKey {
 }
 
 impl CacheKey {
-    pub fn nonzero(q: Point, via_diagram: bool) -> Self {
+    pub fn nonzero(q: Point) -> Self {
         CacheKey::Nonzero {
             qx: q.x.to_bits(),
             qy: q.y.to_bits(),
-            via_diagram,
         }
     }
 
@@ -329,7 +328,12 @@ mod tests {
             },
         );
         assert_ne!(a, b);
-        assert_ne!(CacheKey::nonzero(q, false), a);
-        assert_ne!(CacheKey::nonzero(q, true), CacheKey::nonzero(q, false));
+        assert_ne!(CacheKey::nonzero(q), a);
+        // Identical queries share the nonzero key: every nonzero plan is
+        // exact, so entries are interchangeable across plans.
+        assert_eq!(
+            CacheKey::nonzero(q),
+            CacheKey::nonzero(Point::new(1.0, 2.0))
+        );
     }
 }

@@ -57,6 +57,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use uncertain_geom::predicates::predicate_stats;
 use uncertain_geom::{Aabb, Point};
 use uncertain_nn::model::DiscreteSet;
 use uncertain_nn::nonzero::{nonzero_nn_discrete, DiscreteNonzeroIndex, QueryScratch};
@@ -128,6 +129,18 @@ pub struct ExecStats {
     /// Busy (execution) time of each shard of this batch, measured inside
     /// the shard's job. At most one shard per worker.
     pub worker_busy: Vec<Duration>,
+    /// The guarantee `NN≠0` answers of this batch were served under —
+    /// always [`Guarantee::Exact`] (every plan, including `nonzero:diagram`,
+    /// is exact); `None` when the batch had no nonzero requests.
+    pub nonzero_guarantee: Option<Guarantee>,
+    /// Adaptive-predicate filter outcomes during this batch (builds +
+    /// queries): geometric sign tests answered by the fast f64 filter vs
+    /// exact expansion fallbacks. Counters are process-global, so
+    /// concurrent batches on *other* engines fold into each other's deltas.
+    pub predicate_filter_hits: u64,
+    /// Exact-arithmetic fallbacks during this batch (see
+    /// [`ExecStats::predicate_filter_hits`]).
+    pub predicate_exact_fallbacks: u64,
 }
 
 impl ExecStats {
@@ -156,6 +169,19 @@ impl ExecStats {
             return 0.0;
         }
         self.batch_len as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Fraction of adaptive geometric predicates the f64 filter answered
+    /// during this batch; `1.0` when none ran. ≥ 0.99 on random inputs —
+    /// the exact fallback only fires within an ulp-scale shell of a
+    /// degeneracy.
+    pub fn predicate_filter_hit_rate(&self) -> f64 {
+        let total = self.predicate_filter_hits + self.predicate_exact_fallbacks;
+        if total == 0 {
+            1.0
+        } else {
+            self.predicate_filter_hits as f64 / total as f64
+        }
     }
 }
 
@@ -293,6 +319,7 @@ impl Engine {
     /// alongside the plan taken and the execution stats.
     pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResponse {
         let t0 = Instant::now();
+        let predicates_before = predicate_stats();
         let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
         let plan = self.plan_for(nonzero_count, requests.len() - nonzero_count);
         let (prepared, built) = self.prepare(&plan);
@@ -345,9 +372,11 @@ impl Engine {
         };
 
         let wall = t0.elapsed();
+        let predicates = predicate_stats().since(&predicates_before);
         BatchResponse {
             results,
             stats: ExecStats {
+                nonzero_guarantee: (nonzero_count > 0).then_some(Guarantee::Exact),
                 plan,
                 built,
                 wall,
@@ -356,6 +385,8 @@ impl Engine {
                 cache_misses: counters.misses.load(Ordering::Relaxed),
                 workers: self.pool.len(),
                 worker_busy,
+                predicate_filter_hits: predicates.filter_hits,
+                predicate_exact_fallbacks: predicates.exact_fallbacks,
             },
         }
     }
@@ -435,7 +466,7 @@ impl Engine {
             }
             QuantPlan::MonteCarlo { samples } => {
                 let mut slot = core.structures.mc.lock().unwrap();
-                let rebuild = !slot.as_ref().is_some_and(|(have, _)| *have >= samples);
+                let rebuild = slot.as_ref().is_none_or(|(have, _)| *have < samples);
                 if rebuild {
                     built.push("monte-carlo");
                     let mut rng = StdRng::seed_from_u64(core.config.mc_seed);
@@ -456,10 +487,10 @@ impl Engine {
 }
 
 /// Working box for the `V≠0` diagram: the set's bounding box, moderately
-/// inflated. Queries outside it fall back to the Lemma 2.1 evaluation. The
-/// margin matters: the arrangement layer snaps coordinates to a grid scaled
-/// by the box, so an over-inflated box coarsens the subdivision geometry
-/// (see the caveat on [`NonzeroPlan::Diagram`] serving below); `0.15·diag`
+/// inflated. Queries outside it fall back to the Lemma 2.1 evaluation.
+/// The margin is a performance knob only — it sizes the subdivision (and
+/// hence its snap tolerance and guard band), but certified location plus
+/// the exact fallback keeps answers exact at any margin; `0.15·diag`
 /// probes cleanly across workloads.
 fn working_bbox(set: &DiscreteSet) -> Aabb {
     let bbox = Aabb::from_points(set.all_locations().map(|(_, _, loc, _)| loc));
@@ -480,10 +511,9 @@ fn exec_one(
     match req {
         QueryRequest::Nonzero { q } => {
             let plan = prepared.nonzero.as_ref().expect("nonzero plan");
-            // Brute and Index share a key (both exact); diagram answers are
-            // keyed separately so a boundary-degenerate label (see the
-            // caveat below) can never be replayed on an exact plan.
-            let key = CacheKey::nonzero(q, matches!(plan, PreparedNonzero::Diagram(_)));
+            // All three plans are exact (Guarantee::Exact), so their
+            // answers share one cache key and warm each other's entries.
+            let key = CacheKey::nonzero(q);
             if core.cache.enabled() {
                 if let Some(CachedValue::Nonzero(ids)) = core.cache.get(&key) {
                     counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -494,10 +524,10 @@ fn exec_one(
             let mut ids = match plan {
                 PreparedNonzero::Brute => nonzero_nn_discrete(&core.set, q),
                 PreparedNonzero::Index(idx) => idx.query_with(q, scratch),
-                // Exact per Theorem 2.14, with one engineering caveat the
-                // arrangement layer documents: under extreme coordinate-
-                // snapping degeneracies, answers for queries essentially on
-                // a cell boundary can reflect the neighboring cell.
+                // Exact per Theorem 2.14: certified point location over the
+                // exact-predicate slab structure, with the Lemma 2.1
+                // fallback for boundary/guard-band queries — never inherits
+                // coordinate-snapping error.
                 PreparedNonzero::Diagram(diag) => diag.query_located(q),
             };
             ids.sort_unstable();
@@ -825,6 +855,35 @@ mod tests {
         assert!(s.wall > Duration::ZERO);
         assert!(s.throughput_qps() > 0.0);
         assert!((0.0..=1.0).contains(&s.worker_utilization()));
+        assert_eq!(s.nonzero_guarantee, Some(Guarantee::Exact));
+        assert!((0.0..=1.0).contains(&s.predicate_filter_hit_rate()));
+    }
+
+    #[test]
+    fn diagram_batches_report_predicate_stats() {
+        // A diagram build runs thousands of adaptive predicates; on random
+        // inputs virtually all of them resolve in the f64 filter.
+        let set = workload::random_discrete_set(6, 2, 3.0, 7);
+        let eng = Engine::new(set, EngineConfig::default());
+        let batch: Vec<QueryRequest> = workload::random_queries(64, 40.0, 8)
+            .iter()
+            .cycle()
+            .take(8192)
+            .map(|&q| QueryRequest::Nonzero { q })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.nonzero, Some(NonzeroPlan::Diagram));
+        let s = &resp.stats;
+        assert!(
+            s.predicate_filter_hits > 1000,
+            "diagram build should exercise the predicate filter (hits: {})",
+            s.predicate_filter_hits
+        );
+        assert!(
+            s.predicate_filter_hit_rate() > 0.9,
+            "fast path should dominate on random inputs (rate: {})",
+            s.predicate_filter_hit_rate()
+        );
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! Everything here is written from scratch on `f64` coordinates:
 //!
 //! * [`Point`], [`Vector`], [`Aabb`] — basic affine geometry.
-//! * [`predicates`] — adaptive-precision `orient2d` / `incircle` tests with an
-//!   exact expansion-arithmetic fallback (Shewchuk's technique), used by the
-//!   Delaunay and arrangement substrates.
+//! * [`predicates`] — the adaptive-precision predicate kernel (Shewchuk's
+//!   technique): `orient2d`, `incircle`, line-side, exact distance
+//!   comparison, and the slab-method y-order comparisons, each as a fast
+//!   f64 filter with a certified error bound and an exact
+//!   expansion-arithmetic fallback, plus process-global filter-hit-rate
+//!   counters. Used by the Delaunay, arrangement, and point-location
+//!   substrates.
 //! * [`Circle`] — circles/disks, min/max distance, circle–circle
 //!   intersections and lens areas (the analytic distance cdf `G_{q,i}` for
 //!   uniform-disk uncertain points).

@@ -1,16 +1,52 @@
 //! Adaptive-precision geometric predicates.
 //!
-//! `orient2d` and `incircle` are evaluated with a fast floating-point filter
-//! first (with a forward error bound following Shewchuk, *Adaptive Precision
+//! Every predicate here is evaluated with a fast floating-point filter first
+//! (with a forward error bound following Shewchuk, *Adaptive Precision
 //! Floating-Point Arithmetic and Fast Robust Geometric Predicates*, 1997).
-//! When the filter cannot certify the sign, the determinant is recomputed
+//! When the filter cannot certify the sign, the quantity is recomputed
 //! *exactly* using multi-term floating-point expansions, so the returned sign
-//! is always correct. This is what makes the Delaunay triangulation and the
-//! arrangement substrates immune to near-degenerate inputs such as the
-//! paper's lower-bound constructions (which place many points cocircularly on
-//! purpose).
+//! is always correct. This is what makes the Delaunay triangulation, the
+//! arrangement substrates, and the slab point-location structures immune to
+//! near-degenerate inputs such as the paper's lower-bound constructions
+//! (which place many points cocircularly on purpose) and to queries placed
+//! exactly on cell boundaries.
+//!
+//! # Predicate inventory and filter error bounds
+//!
+//! Each filter certifies the f64 sign when `|det| > C · ε · permanent`,
+//! where `ε = 2⁻⁵³`, `permanent` is the sum of absolute values of the terms
+//! of the determinant, and `C` bounds the number of accumulated roundings
+//! (each f64 operation contributes at most one ulp of its result; the
+//! constants below are deliberately a little conservative — a too-large `C`
+//! only costs a rare unnecessary exact fallback, never correctness):
+//!
+//! | predicate            | sign of …                               | `C`  |
+//! |----------------------|-----------------------------------------|------|
+//! | [`orient2d`]         | `(a−c) × (b−c)`                         | 3    |
+//! | [`incircle`]         | lifted 4×4 in-circle determinant        | 10   |
+//! | [`line_point_sign`]  | `a·pₓ + b·p_y − c`                      | 4    |
+//! | [`cmp_dist`]         | `‖a−q‖² − ‖b−q‖²`                       | 10   |
+//! | [`cmp_lines_y_at`]   | `y₁(x) − y₂(x)` of two lines            | 12   |
+//! | [`cmp_segments_y_at`]| `y₁(x) − y₂(x)` of two segments         | 24   |
+//!
+//! The exact fallbacks run on zero-eliminated floating-point expansions
+//! ([`expansion_sum`], [`expansion_scale`], [`expansion_product`]); input
+//! coordinate differences that f64 would round are first captured exactly
+//! with two-term `two_diff` expansions, so the fallback sign is the sign of
+//! the underlying real-arithmetic quantity of the *given* f64 inputs.
+//!
+//! # Filter statistics
+//!
+//! Process-global relaxed counters record how often the filter certified the
+//! sign ([`PredicateStats::filter_hits`]) versus fell back to exact
+//! arithmetic ([`PredicateStats::exact_fallbacks`]). Snapshot with
+//! [`predicate_stats`] and diff with [`PredicateStats::since`]; benches and
+//! `ExecStats` use this to show the fast path dominates (≥ 99% on random
+//! inputs — the fallback only triggers within an ulp-scale shell of a
+//! degeneracy).
 
 use crate::point::Point;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Half an ulp of 1.0: the machine epsilon in Shewchuk's convention (2⁻⁵³).
 const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
@@ -19,6 +55,80 @@ const SPLITTER: f64 = 134_217_729.0;
 
 const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
 const ICC_ERRBOUND_A: f64 = (10.0 + 96.0 * EPSILON) * EPSILON;
+const LINE_ERRBOUND: f64 = (4.0 + 32.0 * EPSILON) * EPSILON;
+const DIST_ERRBOUND: f64 = (10.0 + 96.0 * EPSILON) * EPSILON;
+const LINE_Y_ERRBOUND: f64 = (12.0 + 96.0 * EPSILON) * EPSILON;
+const SEG_Y_ERRBOUND: f64 = (24.0 + 192.0 * EPSILON) * EPSILON;
+
+// ---------------------------------------------------------------------------
+// Filter statistics
+// ---------------------------------------------------------------------------
+
+static FILTER_HITS: AtomicU64 = AtomicU64::new(0);
+static EXACT_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative counts of filter outcomes across every adaptive predicate in
+/// the process. Counters are monotone; diff two snapshots with
+/// [`PredicateStats::since`] to measure one workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Calls whose f64 filter certified the sign (fast path).
+    pub filter_hits: u64,
+    /// Calls that fell back to exact expansion arithmetic.
+    pub exact_fallbacks: u64,
+}
+
+impl PredicateStats {
+    /// Total adaptive predicate calls.
+    pub fn total(&self) -> u64 {
+        self.filter_hits + self.exact_fallbacks
+    }
+
+    /// Fraction of calls the fast path answered; `1.0` when no calls ran.
+    pub fn filter_hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.filter_hits as f64 / self.total() as f64
+        }
+    }
+
+    /// Counts accumulated since the `earlier` snapshot (saturating, so a
+    /// stale snapshot can never underflow).
+    pub fn since(&self, earlier: &PredicateStats) -> PredicateStats {
+        PredicateStats {
+            filter_hits: self.filter_hits.saturating_sub(earlier.filter_hits),
+            exact_fallbacks: self.exact_fallbacks.saturating_sub(earlier.exact_fallbacks),
+        }
+    }
+}
+
+/// Snapshot of the process-global filter counters. Concurrent predicate
+/// calls from other threads are included — diff snapshots around a
+/// single-threaded region (or accept the aggregate) accordingly.
+pub fn predicate_stats() -> PredicateStats {
+    PredicateStats {
+        filter_hits: FILTER_HITS.load(AtomicOrdering::Relaxed),
+        exact_fallbacks: EXACT_FALLBACKS.load(AtomicOrdering::Relaxed),
+    }
+}
+
+/// Resets the global counters to zero (single-threaded harnesses only —
+/// concurrent snapshots taken across a reset are meaningless).
+pub fn reset_predicate_stats() {
+    FILTER_HITS.store(0, AtomicOrdering::Relaxed);
+    EXACT_FALLBACKS.store(0, AtomicOrdering::Relaxed);
+}
+
+#[inline]
+fn count_hit() {
+    FILTER_HITS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+#[inline]
+fn count_exact() {
+    EXACT_FALLBACKS.fetch_add(1, AtomicOrdering::Relaxed);
+}
 
 // ---------------------------------------------------------------------------
 // Exact floating-point primitives
@@ -40,6 +150,17 @@ fn two_sum(a: f64, b: f64) -> (f64, f64) {
     let bv = x - a;
     let av = x - bv;
     let br = b - bv;
+    let ar = a - av;
+    (x, ar + br)
+}
+
+/// Exact difference of two doubles: `a - b = x + y` with `x = fl(a - b)`.
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let bv = a - x;
+    let av = x + bv;
+    let br = bv - b;
     let ar = a - av;
     (x, ar + br)
 }
@@ -218,22 +339,27 @@ pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
 
     let detsum = if detleft > 0.0 {
         if detright <= 0.0 {
+            count_hit();
             return det;
         }
         detleft + detright
     } else if detleft < 0.0 {
         if detright >= 0.0 {
+            count_hit();
             return det;
         }
         -detleft - detright
     } else {
+        count_hit();
         return det;
     };
 
     let errbound = CCW_ERRBOUND_A * detsum;
     if det >= errbound || -det >= errbound {
+        count_hit();
         return det;
     }
+    count_exact();
     orient2d_exact(a, b, c)
 }
 
@@ -311,8 +437,10 @@ pub fn incircle(a: Point, b: Point, c: Point, d: Point) -> f64 {
         + (adxbdy.abs() + bdxady.abs()) * clift;
     let errbound = ICC_ERRBOUND_A * permanent;
     if det > errbound || -det > errbound {
+        count_hit();
         return det;
     }
+    count_exact();
     incircle_exact(a, b, c, d)
 }
 
@@ -372,6 +500,255 @@ fn incircle_exact(a: Point, b: Point, c: Point, d: Point) -> f64 {
         } else {
             s * f64::MIN_POSITIVE
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment side
+// ---------------------------------------------------------------------------
+
+/// Which side of the directed segment `a → b` a point lies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Strictly left of `a → b` (counter-clockwise turn).
+    Left,
+    /// Exactly on the supporting line.
+    On,
+    /// Strictly right of `a → b` (clockwise turn).
+    Right,
+}
+
+/// Exact side of `p` relative to the directed segment `a → b`.
+#[inline]
+pub fn side_of_segment(a: Point, b: Point, p: Point) -> Side {
+    let o = orient2d(a, b, p);
+    if o > 0.0 {
+        Side::Left
+    } else if o < 0.0 {
+        Side::Right
+    } else {
+        Side::On
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robust intersection quotients
+// ---------------------------------------------------------------------------
+//
+// Intersection *coordinates* are quotients of determinants. Evaluating the
+// determinants naively in f64 and dividing is catastrophically inaccurate
+// for near-parallel inputs (the denominator cancels, so its relative error
+// — and hence the quotient's absolute error — is unbounded). The helpers
+// below evaluate numerator and denominator as exact expansions first and
+// divide their faithfully-rounded estimates, so the result is within a few
+// ulps of the true real-arithmetic value for *any* conditioning. This is
+// what keeps constructed arrangement vertices within the snap tolerance of
+// the true geometry — the premise of every guard-band certificate built on
+// top.
+
+/// The parameter `t ∈ [0, 1]` of the crossing of segment `a1 → b1` with the
+/// line through `a2 → b2`: `t = o1 / (o1 − o2)` with both orientations
+/// evaluated as exact expansions, so the quotient has only a few ulps of
+/// relative error even when the segments are nearly parallel. Callers must
+/// have established that a proper crossing exists (`o1`, `o2` of strictly
+/// opposite signs).
+pub fn crossing_param(a1: Point, b1: Point, a2: Point, b2: Point) -> f64 {
+    let o1 = orient_expansion(a2, b2, a1);
+    let mut o2 = orient_expansion(a2, b2, b1);
+    expansion_negate(&mut o2);
+    let den = expansion_estimate(&expansion_sum(&o1, &o2));
+    if den == 0.0 {
+        return 0.5; // exactly parallel: contract violated; stay in range
+    }
+    (expansion_estimate(&o1) / den).clamp(0.0, 1.0)
+}
+
+/// Intersection point of the lines `a₁·x + b₁·y = c₁` and
+/// `a₂·x + b₂·y = c₂`, or `None` when their determinant `a₁b₂ − a₂b₁` is
+/// *exactly* zero. Each coordinate is the quotient of faithfully-rounded
+/// exact expansion estimates — within a few ulps of the true intersection
+/// for any conditioning (near-parallel lines give a far-away but accurately
+/// placed point, not garbage).
+pub fn line_intersection(l1: (f64, f64, f64), l2: (f64, f64, f64)) -> Option<(f64, f64)> {
+    let (a1, b1, c1) = l1;
+    let (a2, b2, c2) = l2;
+    let det2 = |p: f64, q: f64, r: f64, s: f64| -> Vec<f64> {
+        // p·s − q·r as an exact expansion.
+        let (x1, y1) = two_product(p, s);
+        let (x2, y2) = two_product(q, r);
+        expansion_sum(&[y1, x1], &[-y2, -x2])
+    };
+    let den_e = det2(a1, a2, b1, b2); // a1·b2 − a2·b1
+    if expansion_sign(&den_e) == 0.0 {
+        return None;
+    }
+    let den = expansion_estimate(&den_e);
+    let x = expansion_estimate(&det2(c1, c2, b1, b2)) / den; // (c1·b2 − c2·b1)/den
+    let y = expansion_estimate(&det2(a1, a2, c1, c2)) / den; // (a1·c2 − a2·c1)/den
+    Some((x, y))
+}
+
+// ---------------------------------------------------------------------------
+// Line-side sign
+// ---------------------------------------------------------------------------
+
+/// Exact sign of `a·pₓ + b·p_y − c` — which side of the line `a·x + b·y = c`
+/// the point `p` lies on. Returns a value whose **sign** is exact (zero iff
+/// `p` is exactly on the line).
+pub fn line_point_sign(a: f64, b: f64, c: f64, p: Point) -> f64 {
+    let t1 = a * p.x;
+    let t2 = b * p.y;
+    let det = (t1 + t2) - c;
+    let permanent = t1.abs() + t2.abs() + c.abs();
+    let errbound = LINE_ERRBOUND * permanent;
+    if det > errbound || -det > errbound {
+        count_hit();
+        return det;
+    }
+    count_exact();
+    let (x1, y1) = two_product(a, p.x);
+    let (x2, y2) = two_product(b, p.y);
+    let e = expansion_sum(&[y1, x1], &[y2, x2]);
+    let e = expansion_sum(&e, &[-c]);
+    expansion_sign(&e)
+}
+
+// ---------------------------------------------------------------------------
+// Distance comparison
+// ---------------------------------------------------------------------------
+
+/// `‖p − q‖²` as an exact expansion (differences captured with `two_diff`).
+fn dist2_expansion(q: Point, p: Point) -> Vec<f64> {
+    let (dx, dxe) = two_diff(p.x, q.x);
+    let (dy, dye) = two_diff(p.y, q.y);
+    let ex = [dxe, dx];
+    let ey = [dye, dy];
+    expansion_sum(&expansion_product(&ex, &ex), &expansion_product(&ey, &ey))
+}
+
+/// Exact comparison of `‖a − q‖` vs `‖b − q‖` (squared distances — same
+/// order, no square roots). `Equal` means *exactly* equidistant, so ties on
+/// Voronoi edges and cocircular configurations are detected reliably.
+pub fn cmp_dist(q: Point, a: Point, b: Point) -> std::cmp::Ordering {
+    let ux = a.x - q.x;
+    let uy = a.y - q.y;
+    let vx = b.x - q.x;
+    let vy = b.y - q.y;
+    let da = ux * ux + uy * uy;
+    let db = vx * vx + vy * vy;
+    let det = da - db;
+    let errbound = DIST_ERRBOUND * (da + db);
+    if det > errbound {
+        count_hit();
+        return std::cmp::Ordering::Greater;
+    }
+    if -det > errbound {
+        count_hit();
+        return std::cmp::Ordering::Less;
+    }
+    count_exact();
+    let ea = dist2_expansion(q, a);
+    let mut eb = dist2_expansion(q, b);
+    expansion_negate(&mut eb);
+    let s = expansion_sign(&expansion_sum(&ea, &eb));
+    if s > 0.0 {
+        std::cmp::Ordering::Greater
+    } else if s < 0.0 {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vertical-order comparisons (the slab-method predicates)
+// ---------------------------------------------------------------------------
+
+/// Exact comparison of the heights of two non-vertical lines
+/// `aᵢ·x + bᵢ·y = cᵢ` (given as `(a, b, c)` with `b ≠ 0`) at abscissa `x`:
+/// the sign of `y₁(x) − y₂(x)`. This is the x-order predicate of the slab
+/// method — it stays correct arbitrarily close to (and exactly at) line
+/// crossings.
+pub fn cmp_lines_y_at(l1: (f64, f64, f64), l2: (f64, f64, f64), x: f64) -> std::cmp::Ordering {
+    let (a1, b1, c1) = l1;
+    let (a2, b2, c2) = l2;
+    debug_assert!(b1 != 0.0 && b2 != 0.0, "lines must be non-vertical");
+    // y₁(x) − y₂(x) = [(c₁ − a₁x)·b₂ − (c₂ − a₂x)·b₁] / (b₁·b₂).
+    let n1 = c1 - a1 * x;
+    let n2 = c2 - a2 * x;
+    let det = n1 * b2 - n2 * b1;
+    let permanent = (c1.abs() + (a1 * x).abs()) * b2.abs() + (c2.abs() + (a2 * x).abs()) * b1.abs();
+    let flip = (b1 > 0.0) != (b2 > 0.0);
+    let errbound = LINE_Y_ERRBOUND * permanent;
+    if det > errbound || -det > errbound {
+        count_hit();
+        return signed_ordering(if flip { -det } else { det });
+    }
+    count_exact();
+    // Exact: c₁·b₂ − x·a₁·b₂ − c₂·b₁ + x·a₂·b₁ as one expansion.
+    let (p1, e1) = two_product(c1, b2);
+    let (p2, e2) = two_product(c2, b1);
+    let (q1, f1) = two_product(a1, b2);
+    let (q2, f2) = two_product(a2, b1);
+    let mut acc = expansion_sum(&[e1, p1], &[-e2, -p2]);
+    acc = expansion_sum(&acc, &expansion_scale(&[f1, q1], -x));
+    acc = expansion_sum(&acc, &expansion_scale(&[f2, q2], x));
+    let s = expansion_sign(&acc);
+    signed_ordering(if flip { -s } else { s })
+}
+
+/// Exact comparison of the heights of two non-vertical segments at abscissa
+/// `x`. Each segment is `(l, r)` with `l.x < r.x`; the segments are treated
+/// as their supporting lines (callers guarantee `x` lies in both spans).
+pub fn cmp_segments_y_at(e1: (Point, Point), e2: (Point, Point), x: f64) -> std::cmp::Ordering {
+    let (l1, r1) = e1;
+    let (l2, r2) = e2;
+    debug_assert!(l1.x < r1.x && l2.x < r2.x, "segments must be rightward");
+    // y(x) = [l.y·(r.x − l.x) + (x − l.x)·(r.y − l.y)] / (r.x − l.x) with a
+    // positive denominator, so compare N₁·D₂ against N₂·D₁.
+    let d1 = r1.x - l1.x;
+    let d2 = r2.x - l2.x;
+    let n1 = l1.y * d1 + (x - l1.x) * (r1.y - l1.y);
+    let n2 = l2.y * d2 + (x - l2.x) * (r2.y - l2.y);
+    let det = n1 * d2 - n2 * d1;
+    let pn1 = (l1.y * d1).abs() + ((x - l1.x) * (r1.y - l1.y)).abs();
+    let pn2 = (l2.y * d2).abs() + ((x - l2.x) * (r2.y - l2.y)).abs();
+    let permanent = pn1 * d2 + pn2 * d1;
+    let errbound = SEG_Y_ERRBOUND * permanent;
+    if det > errbound || -det > errbound {
+        count_hit();
+        return signed_ordering(det);
+    }
+    count_exact();
+    let nd1 = segment_y_numden(l1, r1, x);
+    let nd2 = segment_y_numden(l2, r2, x);
+    let cross1 = expansion_product(&nd1.0, &nd2.1);
+    let mut cross2 = expansion_product(&nd2.0, &nd1.1);
+    expansion_negate(&mut cross2);
+    signed_ordering(expansion_sign(&expansion_sum(&cross1, &cross2)))
+}
+
+/// `(numerator, denominator)` expansions of a segment's height at `x`.
+fn segment_y_numden(l: Point, r: Point, x: f64) -> (Vec<f64>, Vec<f64>) {
+    let (dx, dxe) = two_diff(r.x, l.x);
+    let den = vec![dxe, dx];
+    let (sx, sxe) = two_diff(x, l.x);
+    let (dy, dye) = two_diff(r.y, l.y);
+    let num = expansion_sum(
+        &expansion_scale(&den, l.y),
+        &expansion_product(&[sxe, sx], &[dye, dy]),
+    );
+    (num, den)
+}
+
+#[inline]
+fn signed_ordering(s: f64) -> std::cmp::Ordering {
+    if s > 0.0 {
+        std::cmp::Ordering::Greater
+    } else if s < 0.0 {
+        std::cmp::Ordering::Less
+    } else {
+        std::cmp::Ordering::Equal
     }
 }
 
@@ -505,5 +882,175 @@ mod tests {
         assert!(expansion_scale(&[1.0, 2.0], 0.0).is_empty());
         assert!(expansion_product(&[], &[1.0]).is_empty());
         assert_eq!(expansion_sign(&[]), 0.0);
+    }
+
+    #[test]
+    fn two_diff_captures_lost_bits() {
+        let (x, y) = two_diff(1e16, 1.0);
+        assert_eq!(x, 1e16 - 1.0); // rounded difference
+        assert_eq!(x + y, 1e16 - 1.0);
+        // The pair reconstructs the exact difference as an expansion sum.
+        let e = expansion_sum(&[y, x], &[1.0]);
+        assert_eq!(expansion_estimate(&e), 1e16);
+    }
+
+    #[test]
+    fn side_of_segment_classifies() {
+        let a = p(0.0, 0.0);
+        let b = p(10.0, 10.0);
+        assert_eq!(side_of_segment(a, b, p(0.0, 1.0)), Side::Left);
+        assert_eq!(side_of_segment(a, b, p(1.0, 0.0)), Side::Right);
+        assert_eq!(side_of_segment(a, b, p(7.0, 7.0)), Side::On);
+        // Far outside the segment's span but still exactly on the line.
+        assert_eq!(side_of_segment(a, b, p(1e9, 1e9)), Side::On);
+    }
+
+    #[test]
+    fn line_point_sign_exact_on_line() {
+        // x + y = 2·10¹⁰ through awkwardly large coordinates.
+        let (a, b, c) = (1.0, 1.0, 2e10);
+        assert_eq!(line_point_sign(a, b, c, p(1e10, 1e10)), 0.0);
+        assert!(line_point_sign(a, b, c, p(1e10, 1e10 + 1e-6)) > 0.0);
+        assert!(line_point_sign(a, b, c, p(1e10, 1e10 - 1e-6)) < 0.0);
+        // A bisector-style line with irrational-looking coefficients: signs
+        // must be anti-symmetric around the exact solution of b·y = c − a·x.
+        let (a, b, c) = (0.1, 0.3, 7.7);
+        let x = 2.0;
+        let y = (c - a * x) / b;
+        let above = line_point_sign(a, b, c, p(x, y + 1e-9));
+        let below = line_point_sign(a, b, c, p(x, y - 1e-9));
+        assert!(above > 0.0 && below < 0.0);
+    }
+
+    #[test]
+    fn cmp_dist_detects_exact_ties() {
+        use std::cmp::Ordering::*;
+        let o = 1e8;
+        // q exactly on the bisector of a and b, with a large shared offset
+        // that defeats naive f64 evaluation.
+        let q = p(o, o + 12345.0);
+        let a = p(o - 3.0, o);
+        let b = p(o + 3.0, o);
+        assert_eq!(cmp_dist(q, a, b), Equal);
+        // Nudging a.y toward q shortens the distance; away lengthens it.
+        // (1e-7 is a few ulps at this magnitude — far below what a naive
+        // f64 distance comparison resolves.)
+        assert_eq!(cmp_dist(q, p(o - 3.0, o + 1e-7), b), Less);
+        assert_eq!(cmp_dist(q, p(o - 3.0, o - 1e-7), b), Greater);
+        assert_eq!(cmp_dist(q, p(o - 3.0 - 1e-7, o), b), Greater);
+        // Clear cases go through the filter.
+        assert_eq!(cmp_dist(p(0.0, 0.0), p(1.0, 0.0), p(5.0, 0.0)), Less);
+        assert_eq!(cmp_dist(p(0.0, 0.0), p(-9.0, 1.0), p(2.0, 2.0)), Greater);
+    }
+
+    #[test]
+    fn cmp_lines_y_at_near_crossings() {
+        use std::cmp::Ordering::*;
+        // Two lines crossing at x = 1: y = x and y = 2 − x, i.e.
+        // (−1, 1, 0) and (1, 1, 2) in a·x + b·y = c form.
+        let l1 = (-1.0, 1.0, 0.0);
+        let l2 = (1.0, 1.0, 2.0);
+        assert_eq!(cmp_lines_y_at(l1, l2, 0.0), Less);
+        assert_eq!(cmp_lines_y_at(l1, l2, 2.0), Greater);
+        assert_eq!(cmp_lines_y_at(l1, l2, 1.0), Equal); // exactly at the crossing
+        let just_left = 1.0 - f64::EPSILON;
+        let just_right = 1.0 + f64::EPSILON;
+        assert_eq!(cmp_lines_y_at(l1, l2, just_left), Less);
+        assert_eq!(cmp_lines_y_at(l1, l2, just_right), Greater);
+        // Negative b flips the raw determinant sign; the result must not.
+        let l1_neg = (1.0, -1.0, 0.0); // same line as l1
+        assert_eq!(cmp_lines_y_at(l1_neg, l2, 0.0), Less);
+        assert_eq!(cmp_lines_y_at(l1_neg, l2, 2.0), Greater);
+        assert_eq!(cmp_lines_y_at(l1, l1_neg, 17.25), Equal);
+    }
+
+    #[test]
+    fn cmp_segments_y_at_near_crossings() {
+        use std::cmp::Ordering::*;
+        let s1 = (p(0.0, 0.0), p(4.0, 4.0));
+        let s2 = (p(0.0, 4.0), p(4.0, 0.0)); // crossing at (2, 2)
+        assert_eq!(cmp_segments_y_at(s1, s2, 1.0), Less);
+        assert_eq!(cmp_segments_y_at(s1, s2, 3.0), Greater);
+        assert_eq!(cmp_segments_y_at(s1, s2, 2.0), Equal);
+        // Collinear segments over different spans are equal everywhere.
+        let t1 = (p(0.0, 1.0), p(8.0, 5.0));
+        let t2 = (p(2.0, 2.0), p(6.0, 4.0));
+        for x in [2.0, 3.7, 5.0, 6.0] {
+            assert_eq!(cmp_segments_y_at(t1, t2, x), Equal);
+        }
+        // Large offsets: a pair that agrees at x to within far less than an
+        // ulp of the coordinates still compares exactly.
+        let o = 1e9;
+        let u1 = (p(o, o), p(o + 2.0, o + 2.0));
+        let u2 = (p(o, o + 1.0), p(o + 2.0, o - 1.0)); // crossing at (o+0.5, o+0.5)
+        assert_eq!(cmp_segments_y_at(u1, u2, o + 0.5), Equal);
+        assert_eq!(cmp_segments_y_at(u1, u2, o + 0.25), Less);
+        assert_eq!(cmp_segments_y_at(u1, u2, o + 0.75), Greater);
+    }
+
+    #[test]
+    fn crossing_param_is_accurate_for_near_parallel_segments() {
+        // Clear crossing: the midpoint.
+        let t = crossing_param(p(0.0, 0.0), p(4.0, 4.0), p(0.0, 4.0), p(4.0, 0.0));
+        assert_eq!(t, 0.5);
+        // Nearly parallel segments crossing at t = 0.5 exactly: s1 from
+        // (0, -h) to (2, h) and the x-axis, with h tiny — the naive
+        // o1/(o1−o2) quotient loses most digits here.
+        for h in [1e-3, 1e-9, 1e-15] {
+            let t = crossing_param(p(0.0, -h), p(2.0, h), p(-10.0, 0.0), p(10.0, 0.0));
+            assert!((t - 0.5).abs() < 1e-12, "h={h}: t={t}");
+        }
+        // Asymmetric shallow crossing: s1 from (0, -h) to (3, 2h) crosses
+        // y = 0 at t = 1/3 exactly.
+        for h in [1e-9, 1e-15] {
+            let t = crossing_param(p(0.0, -h), p(3.0, 2.0 * h), p(-10.0, 0.0), p(10.0, 0.0));
+            assert!((t - 1.0 / 3.0).abs() < 1e-12, "h={h}: t={t}");
+        }
+    }
+
+    #[test]
+    fn line_intersection_is_accurate_for_near_parallel_lines() {
+        // Perpendicular: x = 2 and y = 3.
+        let (x, y) = line_intersection((1.0, 0.0, 2.0), (0.0, 1.0, 3.0)).unwrap();
+        assert_eq!((x, y), (2.0, 3.0));
+        // Exactly parallel (and coincident-scaled): None.
+        assert!(line_intersection((1.0, 1.0, 1.0), (2.0, 2.0, 2.0)).is_none());
+        assert!(line_intersection((1.0, 2.0, 0.0), (2.0, 4.0, 5.0)).is_none());
+        // Near-parallel: y = ε·x and y = −ε·x + 2ε·k cross at x = k
+        // exactly; the determinant is 2ε (heavy cancellation in naive f64
+        // when the coefficients are expressed with large c terms).
+        let eps = 1e-12;
+        for k in [1.0, 7.0, 1e6] {
+            let l1 = (eps, -1.0, 0.0); // y = ε·x
+            let l2 = (-eps, -1.0, -2.0 * eps * k); // y = −ε·x + 2εk
+            let (x, y) = line_intersection(l1, l2).unwrap();
+            assert!((x - k).abs() <= 1e-9 * k.abs().max(1.0), "k={k}: x={x}");
+            assert!((y - eps * k).abs() <= 1e-9, "k={k}: y={y}");
+        }
+    }
+
+    #[test]
+    fn filter_stats_accumulate() {
+        let before = predicate_stats();
+        // Clear-cut calls: all filter hits.
+        for i in 0..64 {
+            let t = i as f64;
+            assert!(orient2d(p(0.0, 0.0), p(1.0, 0.0), p(t, 1.0)) > 0.0);
+        }
+        // Degenerate calls: exact fallbacks (collinear with huge offsets).
+        for i in 0..16 {
+            let t = 1e10 + i as f64;
+            assert_eq!(
+                orient2d(p(1e10, 1e10), p(t + 1.0, t + 1.0), p(t + 3.0, t + 3.0)),
+                0.0
+            );
+        }
+        let delta = predicate_stats().since(&before);
+        // Other test threads may add calls concurrently, so assert lower
+        // bounds only.
+        assert!(delta.filter_hits >= 64, "hits: {delta:?}");
+        assert!(delta.exact_fallbacks >= 16, "fallbacks: {delta:?}");
+        assert!(delta.total() >= 80);
+        assert!(delta.filter_hit_rate() > 0.0);
     }
 }

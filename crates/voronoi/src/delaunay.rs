@@ -1,7 +1,7 @@
 //! Incremental (Bowyer–Watson) Delaunay triangulation.
 
 use std::collections::HashMap;
-use uncertain_geom::predicates::{incircle, orient2d};
+use uncertain_geom::predicates::{cmp_dist, incircle, orient2d};
 use uncertain_geom::{Aabb, Point};
 
 const NONE: u32 = u32::MAX;
@@ -137,10 +137,16 @@ impl Delaunay {
     /// The input index of the nearest site to `q` (ties broken arbitrarily).
     /// Exact: greedy routing over the Delaunay graph starting from the
     /// located triangle, with a brute-force fallback for degenerate inputs.
+    /// All distance comparisons use the exact [`cmp_dist`] predicate, so the
+    /// descent terminates at a true nearest neighbor even for queries
+    /// exactly on Voronoi edges or vertices (where float distances tie only
+    /// approximately).
     pub fn nearest_site(&self, q: Point) -> Option<u32> {
         if self.vert_of_site.is_empty() {
             return None;
         }
+        let nearer =
+            |a: &u32, b: &u32| cmp_dist(q, self.verts[*a as usize], self.verts[*b as usize]);
         // Degenerate (no real triangles): linear scan.
         let start = if self.adjacency.is_empty() {
             None
@@ -151,11 +157,7 @@ impl Delaunay {
                     .iter()
                     .copied()
                     .filter(|&v| v >= 3)
-                    .min_by(|&a, &b| {
-                        q.dist(self.verts[a as usize])
-                            .partial_cmp(&q.dist(self.verts[b as usize]))
-                            .unwrap()
-                    })
+                    .min_by(|a, b| nearer(a, b))
             })
         };
         let mut best = match start {
@@ -163,23 +165,19 @@ impl Delaunay {
             None => {
                 // Fallback: brute force over all real vertices.
                 return (3..self.verts.len() as u32)
-                    .min_by(|&a, &b| {
-                        q.dist(self.verts[a as usize])
-                            .partial_cmp(&q.dist(self.verts[b as usize]))
-                            .unwrap()
-                    })
+                    .min_by(|a, b| nearer(a, b))
                     .map(|v| self.site_of_vert[v as usize]);
             }
         };
         // Greedy descent on the Delaunay graph terminates at the true
-        // nearest neighbor (classical property of Delaunay triangulations).
-        let mut best_d = q.dist(self.verts[best as usize]);
+        // nearest neighbor (classical property of Delaunay triangulations —
+        // which needs exact comparisons to hold on cocircular inputs).
         loop {
             let mut improved = false;
             for &u in &self.adjacency[best as usize - 3] {
-                let d = q.dist(self.verts[u as usize]);
-                if d < best_d {
-                    best_d = d;
+                if cmp_dist(q, self.verts[u as usize], self.verts[best as usize])
+                    == std::cmp::Ordering::Less
+                {
                     best = u;
                     improved = true;
                 }

@@ -1,0 +1,48 @@
+//! Filter-hit-rate acceptance test, isolated in its own test binary.
+//!
+//! The predicate counters are process-global, and the degeneracy gauntlet
+//! (`tests/exactness_gauntlet.rs`) deliberately maximizes exact fallbacks
+//! from concurrently running test threads — so the ≥ 99% acceptance
+//! criterion is measured here, in a process whose only workload is the
+//! random (non-degenerate) one being rated.
+
+use uncertain_geom::predicates::predicate_stats;
+use uncertain_geom::{Aabb, Point};
+use uncertain_nn::vnz::DiscreteNonzeroDiagram;
+use uncertain_nn::workload;
+use uncertain_voronoi::Delaunay;
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+#[test]
+fn filter_hit_rate_dominates_on_random_inputs() {
+    // Acceptance criterion: on random (non-degenerate) inputs the f64
+    // filter answers ≥ 99% of adaptive predicate calls.
+    let before = predicate_stats();
+
+    let set = workload::random_discrete_set(8, 2, 6.0, 21);
+    let bbox = Aabb::from_corners(p(-60.0, -60.0), p(60.0, 60.0));
+    let d = DiscreteNonzeroDiagram::build(&set, &bbox);
+    for q in workload::random_queries(20_000, 80.0, 22) {
+        let _ = d.query_located(q);
+    }
+
+    let sites: Vec<Point> = workload::random_queries(400, 50.0, 23);
+    let dt = Delaunay::build(&sites);
+    for q in workload::random_queries(20_000, 60.0, 24) {
+        let _ = dt.nearest_site(q);
+    }
+
+    let delta = predicate_stats().since(&before);
+    assert!(
+        delta.total() > 100_000,
+        "expected a predicate-heavy workload, got {delta:?}"
+    );
+    assert!(
+        delta.filter_hit_rate() >= 0.99,
+        "filter hit rate {:.5} below 99% ({delta:?})",
+        delta.filter_hit_rate()
+    );
+}

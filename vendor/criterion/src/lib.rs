@@ -24,7 +24,7 @@ pub use std::hint::black_box;
 /// Returns true when benches should do the minimum work that still exercises
 /// every measured closure.
 pub fn smoke_mode() -> bool {
-    std::env::var("UNC_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("UNC_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// What one iteration of a benchmark processes, for rate reporting.
