@@ -1,0 +1,151 @@
+//! Churn workload generator: deterministic arrival / expiry / drift update
+//! streams for the dynamic serving layer (experiments E27/E28).
+//!
+//! A [`ChurnStream`] tracks which site ids it believes are live and emits
+//! [`Update`] batches sized as a fraction of the live population
+//! ([`ChurnStream::tick`]); the caller feeds each [`ApplyReport`] back via
+//! [`ChurnStream::observe`] so freshly-assigned insert ids join the pool.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_engine::{ApplyReport, SiteId, Update};
+use uncertain_geom::Point;
+use uncertain_nn::model::DiscreteUncertainPoint;
+
+/// Mix and shape of the generated updates.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Locations per arriving site.
+    pub k: usize,
+    /// Diameter of each site's location cluster.
+    pub cluster_diameter: f64,
+    /// Side of the placement square (centers uniform in `[-span/2, span/2]²`).
+    pub span: f64,
+    /// Relative weights of the three update kinds.
+    pub arrival_weight: f64,
+    pub expiry_weight: f64,
+    pub drift_weight: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            k: 3,
+            cluster_diameter: 5.0,
+            span: 50.0,
+            arrival_weight: 1.0,
+            expiry_weight: 1.0,
+            drift_weight: 1.0,
+        }
+    }
+}
+
+/// Deterministic update-stream generator over a live-id pool.
+pub struct ChurnStream {
+    rng: StdRng,
+    cfg: ChurnConfig,
+    live: Vec<SiteId>,
+}
+
+impl ChurnStream {
+    /// `initial` is the id pool before any updates (ids `0..n` for an
+    /// engine built over an `n`-site set).
+    pub fn new(seed: u64, cfg: ChurnConfig, initial: Vec<SiteId>) -> Self {
+        ChurnStream {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            live: initial,
+        }
+    }
+
+    /// Ids the stream currently believes live.
+    pub fn live(&self) -> &[SiteId] {
+        &self.live
+    }
+
+    /// Emits `max(1, ⌈rate·live⌉)` updates mixing arrivals, expiries, and
+    /// drift by the configured weights. Expired ids leave the pool
+    /// immediately (no double removes within or across ticks); arrival ids
+    /// enter it via [`observe`](Self::observe).
+    pub fn tick(&mut self, rate: f64) -> Vec<Update> {
+        let count = ((self.live.len() as f64 * rate).ceil() as usize).max(1);
+        let total = self.cfg.arrival_weight + self.cfg.expiry_weight + self.cfg.drift_weight;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let roll = self.rng.gen_range(0.0..total);
+            if roll < self.cfg.arrival_weight || self.live.len() <= 1 {
+                let site = self.new_site();
+                out.push(Update::Insert(site));
+            } else if roll < self.cfg.arrival_weight + self.cfg.expiry_weight {
+                let i = self.rng.gen_range(0..self.live.len());
+                out.push(Update::Remove(self.live.swap_remove(i)));
+            } else {
+                let i = self.rng.gen_range(0..self.live.len());
+                let site = self.new_site();
+                out.push(Update::Move {
+                    id: self.live[i],
+                    to: site,
+                });
+            }
+        }
+        out
+    }
+
+    /// Folds an engine's apply report back in: freshly-assigned insert ids
+    /// join the live pool.
+    pub fn observe(&mut self, report: &ApplyReport) {
+        self.live.extend(&report.inserted);
+    }
+
+    fn new_site(&mut self) -> DiscreteUncertainPoint {
+        let half = self.cfg.span / 2.0;
+        let c = Point::new(
+            self.rng.gen_range(-half..half),
+            self.rng.gen_range(-half..half),
+        );
+        let r = self.cfg.cluster_diameter / 2.0;
+        let locs: Vec<Point> = (0..self.cfg.k.max(1))
+            .map(|_| {
+                Point::new(
+                    c.x + self.rng.gen_range(-r..r),
+                    c.y + self.rng.gen_range(-r..r),
+                )
+            })
+            .collect();
+        DiscreteUncertainPoint::uniform(locs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uncertain_engine::{Engine, EngineConfig};
+    use uncertain_nn::workload;
+
+    #[test]
+    fn stream_tracks_engine_live_set() {
+        let set = workload::random_discrete_set(40, 3, 5.0, 5);
+        let engine = Engine::new(set, EngineConfig::default());
+        let mut stream = ChurnStream::new(9, ChurnConfig::default(), (0..40).collect());
+        for _ in 0..6 {
+            let updates = stream.tick(0.25);
+            assert!(!updates.is_empty());
+            let report = engine.apply(&updates);
+            assert_eq!(report.missed, 0, "stream must never emit dead ids");
+            stream.observe(&report);
+            assert_eq!(stream.live().len(), report.live);
+            let mut ids = stream.live().to_vec();
+            ids.sort_unstable();
+            assert_eq!(ids, engine.site_ids());
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mk = || {
+            let mut s = ChurnStream::new(42, ChurnConfig::default(), (0..10).collect());
+            format!("{:?}", s.tick(0.5))
+        };
+        assert_eq!(mk(), mk());
+    }
+}

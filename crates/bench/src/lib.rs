@@ -6,6 +6,8 @@
 //! `EXPERIMENTS.md`); this crate hosts the code that regenerates every one
 //! of them.
 
+pub mod churn;
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 

@@ -1,0 +1,161 @@
+//! One Bentley–Saxe bucket: an immutable batch of sites carrying its own
+//! query structures.
+//!
+//! A bucket is built once (at a merge) and never mutated; deletions are
+//! overlaid by the dynamic layer as tombstones, which every query receives
+//! as a `live(local)` predicate over the bucket's local site indices. Per
+//! the existing cost model (see [`crate::dynamic::DynamicConfig`]), large
+//! buckets carry the Theorem 3.2 `NN≠0` structure; small buckets answer by
+//! direct Lemma 2.1 evaluation, which is cheaper below the crossover. The
+//! expected-distance index is built **lazily** on the first expected-NN
+//! query (churn-heavy serving workloads that never ask for expected NNs
+//! never pay for it). Site payloads are shared by `Arc` — a carry moves
+//! pointers, not geometry.
+
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::expected::ExpectedNnIndex;
+use crate::model::{DiscreteSet, DiscreteUncertainPoint};
+use crate::nonzero::DiscreteNonzeroIndex;
+use uncertain_geom::Point;
+
+pub(crate) struct Bucket {
+    /// Entry indices into the dynamic set's entry slab, parallel to
+    /// `sites` (ascending public site id — deterministic local order).
+    pub entry_idxs: Vec<u32>,
+    /// Shared site payloads.
+    sites: Vec<Arc<DiscreteUncertainPoint>>,
+    /// Theorem 3.2 structure; `None` = brute evaluation.
+    nonzero: Option<DiscreteNonzeroIndex>,
+    /// Expected-distance branch-and-bound index, built on first use (only
+    /// for buckets over the index threshold; small buckets scan).
+    expected: OnceLock<ExpectedNnIndex>,
+}
+
+impl Bucket {
+    /// Builds a bucket over `sites` (parallel to `entry_idxs`), choosing
+    /// indexed vs brute evaluation by total location count.
+    pub fn build(
+        entry_idxs: Vec<u32>,
+        sites: Vec<Arc<DiscreteUncertainPoint>>,
+        index_min_locations: usize,
+    ) -> Self {
+        debug_assert_eq!(entry_idxs.len(), sites.len());
+        let total: usize = sites.iter().map(|s| s.k()).sum();
+        let indexed = sites.len() >= 2 && total >= index_min_locations;
+        let nonzero = indexed.then(|| DiscreteNonzeroIndex::build(&materialize(&sites)));
+        Bucket {
+            entry_idxs,
+            sites,
+            nonzero,
+            expected: OnceLock::new(),
+        }
+    }
+
+    pub fn is_indexed(&self) -> bool {
+        self.nonzero.is_some()
+    }
+
+    /// Stage 1 of the merged Lemma 2.1 query: the two smallest `Δ_i(q)`
+    /// over live local sites, as `(Δ, local index, second Δ)`. `second` is
+    /// `+∞` with exactly one live site; `None` with none.
+    pub fn two_min_max_where(
+        &self,
+        q: Point,
+        live: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<(f64, usize, f64)> {
+        if let Some(idx) = &self.nonzero {
+            return idx
+                .groups()
+                .two_min_max_dist_where(q, |g| live(g as usize))
+                .map(|(d, g, s)| (d, g as usize, s));
+        }
+        let (mut best, mut best_i, mut second) = (f64::INFINITY, usize::MAX, f64::INFINITY);
+        for (i, p) in self.sites.iter().enumerate() {
+            if !live(i) {
+                continue;
+            }
+            let d = p.max_dist(q);
+            if d < best {
+                second = best;
+                best = d;
+                best_i = i;
+            } else if d < second {
+                second = d;
+            }
+        }
+        (best_i != usize::MAX).then_some((best, best_i, second))
+    }
+
+    /// Stage 2: report every live local site with `δ_i(q) < bound(i)`.
+    /// `radius` must upper-bound every `bound(i)` this call can take (the
+    /// range query only enumerates locations within the closed disk); a
+    /// site is reported at most once.
+    pub fn report_where(
+        &self,
+        q: Point,
+        radius: f64,
+        live: &mut dyn FnMut(usize) -> bool,
+        bound: &mut dyn FnMut(usize) -> f64,
+        out: &mut dyn FnMut(usize),
+    ) {
+        if let Some(idx) = &self.nonzero {
+            // δ_i < bound(i) ≤ radius implies the minimizing location is in
+            // the closed disk, so enumerating the disk loses no site. Hits
+            // are few (the NN≠0 answer is small), so dedup by sorting the
+            // hit list instead of allocating an O(bucket) seen-array.
+            let mut hits: Vec<usize> = vec![];
+            idx.locations().for_each_in_disk(q, radius, |p, local| {
+                let i = local as usize;
+                if live(i) && q.dist(p) < bound(i) {
+                    hits.push(i);
+                }
+            });
+            hits.sort_unstable();
+            hits.dedup();
+            for i in hits {
+                out(i);
+            }
+        } else {
+            for (i, p) in self.sites.iter().enumerate() {
+                if live(i) && p.min_dist(q) < bound(i) {
+                    out(i);
+                }
+            }
+        }
+    }
+
+    /// Live-filtered expected-distance nearest neighbor: `(local, E)`.
+    /// Indexed buckets build their branch-and-bound index on first call.
+    pub fn expected_nn_where(
+        &self,
+        q: Point,
+        live: &mut dyn FnMut(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        if self.is_indexed() {
+            let idx = self
+                .expected
+                .get_or_init(|| ExpectedNnIndex::build_discrete(&materialize(&self.sites)));
+            return idx.query_where(q, &mut *live);
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in self.sites.iter().enumerate() {
+            if !live(i) {
+                continue;
+            }
+            let e = crate::expected::expected_dist_discrete(p, q);
+            if best.is_none_or(|(_, be)| e < be) {
+                best = Some((i, e));
+            }
+        }
+        best
+    }
+}
+
+/// Flattens shared payloads into the owned `DiscreteSet` the static index
+/// builders consume (transient for the nonzero index; retained inside the
+/// expected index's payload).
+fn materialize(sites: &[Arc<DiscreteUncertainPoint>]) -> DiscreteSet {
+    DiscreteSet::new(sites.iter().map(|s| (**s).clone()).collect())
+}

@@ -1,0 +1,1072 @@
+//! Dynamic uncertain-site updates via the Bentley–Saxe logarithmic method.
+//!
+//! The paper's structures are all built once over a frozen site set. This
+//! module lifts them to a workload where uncertain sites arrive, expire,
+//! and move (the setting of probabilistic *moving* NN queries): a
+//! [`DynamicSet`] maintains the sites in geometrically-sized immutable
+//! buckets, each carrying its own query structures ([Theorem 3.2
+//! index](crate::nonzero::DiscreteNonzeroIndex) + expected-distance index
+//! for large buckets, brute Lemma 2.1 evaluation for small ones, chosen by
+//! the serving cost model's crossover).
+//!
+//! * **Insert** — the classic logarithmic-method carry: the new site plus
+//!   every bucket in the occupied prefix of slots merges into the first
+//!   empty slot, rebuilding one bucket. Each site takes part in at most one
+//!   rebuild per slot it ascends through, so inserts cost `O(log n)`
+//!   amortized bucket-rebuild participations (`O(log² n)`-ish work with the
+//!   `O(m log m)` per-bucket build).
+//! * **Remove** — a tombstone: the site's entry is marked dead and every
+//!   query skips it through a `live` predicate threaded into the bucket
+//!   structures. Tombstones are physically dropped whenever their bucket
+//!   merges, and a **global rebuild** compacts everything once the dead
+//!   fraction exceeds [`DynamicConfig::max_dead_fraction`] — amortized
+//!   `O(1)` rebuilt sites per remove.
+//! * **Move** ([`DynamicSet::update_location`]) — tombstone + reinsert
+//!   under the same stable [`SiteId`].
+//!
+//! Queries answer over the union of buckets *exactly*:
+//!
+//! * `NN≠0(q)` merges the per-bucket two-smallest-`Δ` queries into the
+//!   global Lemma 2.1 threshold, then range-reports candidates per bucket —
+//!   the same two-stage shape as the static Theorem 3.2 query, summed over
+//!   `O(log n)` buckets.
+//! * Quantification recombines exactly because locations are independent
+//!   across sites: the Eq. (2) survival factors multiply across buckets, so
+//!   the sweep over the union of live locations *is* the per-bucket
+//!   recombination. It is implemented through the shared
+//!   [`quantification_sweep`] core with entries generated in ascending
+//!   site-id order — the identical arithmetic a fresh static build over the
+//!   surviving sites performs, making answers **bit-identical** to a
+//!   rebuild from scratch (enforced by `tests/dynamic_differential.rs`).
+//! * Expected-distance NN takes the minimum of per-bucket branch-and-bound
+//!   queries.
+//!
+//! ```
+//! use uncertain_nn::dynamic::{DynamicConfig, DynamicSet};
+//! use uncertain_nn::model::DiscreteUncertainPoint;
+//! use uncertain_nn::workload;
+//! use uncertain_geom::Point;
+//!
+//! let base = workload::random_discrete_set(16, 3, 5.0, 7);
+//! let mut dynset = DynamicSet::from_set(&base, DynamicConfig::default());
+//! let id = dynset.insert(DiscreteUncertainPoint::certain(Point::new(0.0, 0.0)));
+//! dynset.remove(3);
+//! let q = Point::new(1.0, -2.0);
+//! // Answers equal a fresh static build over the surviving sites.
+//! let fresh = dynset.live_set();
+//! let from_dynamic: Vec<usize> = dynset.nonzero(q);
+//! let from_fresh: Vec<usize> = {
+//!     let ids = dynset.live_ids();
+//!     let mut v: Vec<usize> = fresh.nonzero_nn(q).into_iter().map(|i| ids[i]).collect();
+//!     v.sort_unstable();
+//!     v
+//! };
+//! assert_eq!(from_dynamic, from_fresh);
+//! assert!(from_dynamic.contains(&id) || !from_dynamic.is_empty());
+//! ```
+
+mod bucket;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::model::{DiscreteSet, DiscreteUncertainPoint};
+use crate::quantification::exact::quantification_sweep;
+use bucket::Bucket;
+use uncertain_geom::Point;
+
+/// Stable handle of a site across updates. Ids are assigned by
+/// [`DynamicSet::insert`] (or `0..n` by [`DynamicSet::from_set`]) and are
+/// never reused; [`DynamicSet::update_location`] keeps the id.
+pub type SiteId = usize;
+
+/// One site mutation for [`DynamicSet::apply`] (and the serving engine's
+/// epoch layer on top of it).
+#[derive(Clone, Debug)]
+pub enum Update {
+    /// Add a new uncertain site; its fresh id is reported in
+    /// [`UpdateOutcome::inserted`].
+    Insert(DiscreteUncertainPoint),
+    /// Tombstone a site. Unknown/already-removed ids are counted in
+    /// [`UpdateOutcome::missed`] and otherwise ignored.
+    Remove(SiteId),
+    /// Replace a site's distribution, keeping its id (expiry + arrival of
+    /// the same logical object — the "moving uncertain point" primitive).
+    Move {
+        id: SiteId,
+        to: DiscreteUncertainPoint,
+    },
+}
+
+/// What a batched [`DynamicSet::apply`] did.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateOutcome {
+    /// Ids assigned to the `Insert` updates, in update order.
+    pub inserted: Vec<SiteId>,
+    pub removed: usize,
+    pub moved: usize,
+    /// `Remove`/`Move` updates whose id was unknown or already removed.
+    pub missed: usize,
+}
+
+/// Tuning knobs of the dynamic layer.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicConfig {
+    /// A bucket builds the Theorem 3.2 index (and the expected-distance
+    /// index) when it holds at least this many locations; below it, brute
+    /// Lemma 2.1 evaluation is cheaper. The default is the serving cost
+    /// model's crossover (`4N` per brute query vs `16(√N + k̄ + 24)` per
+    /// indexed query, N ≈ 160 at k̄ ≈ 4).
+    pub index_min_locations: usize,
+    /// A global compacting rebuild runs when tombstones exceed this
+    /// fraction of all stored entries… The classic choice is `0.5` (rebuild
+    /// once half the entries are dead): each remove then amortizes to ~1
+    /// rebuilt site, at the cost of queries skipping up to that fraction of
+    /// tombstones. Lower values compact more eagerly.
+    pub max_dead_fraction: f64,
+    /// …and there are at least this many of them (tiny sets are cheaper to
+    /// keep sweeping than to rebuild eagerly).
+    pub min_dead_for_rebuild: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            index_min_locations: 160,
+            max_dead_fraction: 0.5,
+            min_dead_for_rebuild: 16,
+        }
+    }
+}
+
+/// Lifetime counters of the rebuild work the structure has performed — the
+/// amortization currency (`sites_rebuilt` is the Σ of bucket sizes over all
+/// bucket (re)builds triggered by updates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    pub inserts: u64,
+    pub removes: u64,
+    pub moves: u64,
+    /// Bucket merges (each rebuilds exactly one bucket).
+    pub merges: u64,
+    /// Global compacting rebuilds (tombstone purges).
+    pub global_rebuilds: u64,
+    /// Total sites that participated in a bucket (re)build.
+    pub sites_rebuilt: u64,
+}
+
+impl RebuildStats {
+    /// Mean rebuilt sites per update — `O(log n)` for insert-heavy streams
+    /// by the logarithmic-method bound (experiment E28 charts it).
+    pub fn amortized_rebuild_cost(&self) -> f64 {
+        let updates = self.inserts + self.removes + self.moves;
+        if updates == 0 {
+            0.0
+        } else {
+            self.sites_rebuilt as f64 / updates as f64
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: &RebuildStats) -> RebuildStats {
+        RebuildStats {
+            inserts: self.inserts - earlier.inserts,
+            removes: self.removes - earlier.removes,
+            moves: self.moves - earlier.moves,
+            merges: self.merges - earlier.merges,
+            global_rebuilds: self.global_rebuilds - earlier.global_rebuilds,
+            sites_rebuilt: self.sites_rebuilt - earlier.sites_rebuilt,
+        }
+    }
+}
+
+/// A point-in-time report of the structure's shape.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicStats {
+    pub live: usize,
+    pub tombstones: usize,
+    /// Total entries in the append-only slab (live + tombstoned + already
+    /// purged-from-buckets garbage). Kept within a constant factor of
+    /// `live` by the slab-growth rebuild trigger.
+    pub slab_entries: usize,
+    pub buckets: usize,
+    /// Buckets large enough to carry the Theorem 3.2 index.
+    pub indexed_buckets: usize,
+    pub rebuild: RebuildStats,
+}
+
+#[derive(Clone)]
+struct Entry {
+    site: Arc<DiscreteUncertainPoint>,
+    /// Public id of the site this entry is the current (or a tombstoned
+    /// former) copy of.
+    id: SiteId,
+    alive: bool,
+    /// `(bucket slot, local index)` of this entry's current bucket, `None`
+    /// while pending (pushed but not yet carried). Lets a tombstone clear
+    /// the slot's alive bitmap in O(1).
+    place: Option<(u32, u32)>,
+}
+
+/// An occupied Bentley–Saxe slot: the immutable shared bucket plus this
+/// snapshot's tombstone overlay as a bitmap (bit per local site). Queries
+/// test liveness with one masked load instead of chasing the entry slab.
+#[derive(Clone)]
+struct Slot {
+    bucket: Arc<Bucket>,
+    alive: Vec<u64>,
+}
+
+impl Slot {
+    fn new(bucket: Arc<Bucket>) -> Self {
+        let words = bucket.entry_idxs.len().div_ceil(64);
+        Slot {
+            alive: vec![u64::MAX; words],
+            bucket,
+        }
+    }
+
+    #[inline]
+    fn is_live(&self, local: usize) -> bool {
+        self.alive[local >> 6] & (1u64 << (local & 63)) != 0
+    }
+
+    #[inline]
+    fn kill(&mut self, local: usize) {
+        self.alive[local >> 6] &= !(1u64 << (local & 63));
+    }
+}
+
+/// A dynamic set of uncertain sites under the Bentley–Saxe transformation.
+///
+/// `Clone` is cheap-ish (`O(n)` `Arc` bumps, no geometry rebuilt): buckets
+/// and site payloads are shared, tombstone state is copied — which is
+/// exactly what the serving engine's epoch snapshots need (an `apply` on
+/// the clone never disturbs readers of the original).
+#[derive(Clone)]
+pub struct DynamicSet {
+    /// Append-only entry slab (compacted by global rebuilds).
+    entries: Vec<Entry>,
+    /// Public id → current entry index (absent once removed). A map, not a
+    /// slab: ids are never reused, so a slab would grow with lifetime
+    /// inserts instead of the live population.
+    handles: HashMap<SiteId, u32>,
+    /// Next id [`insert`](Self::insert) will hand out.
+    next_id: SiteId,
+    /// Live ids, sorted, possibly still containing up to 50% removed ids
+    /// (removes just count [`stale_ids`](Self::stale_ids) up and readers
+    /// filter by handle; compaction restores density once stale ids reach
+    /// half the list). Fresh ids are strictly increasing, so inserts push.
+    /// Keeps inserts and removes `O(1)` amortized while
+    /// [`live_ids`](Self::live_ids) / [`quantification`](Self::quantification)
+    /// stay `O(live)` instead of `O(lifetime inserts)`.
+    live_ids: Vec<SiteId>,
+    /// Removed ids still sitting in `live_ids`.
+    stale_ids: usize,
+    /// Bentley–Saxe slots: `buckets[i]` is the level-`i` bucket (plus its
+    /// tombstone bitmap), if any.
+    buckets: Vec<Option<Slot>>,
+    live: usize,
+    /// Tombstoned entries still referenced by some bucket.
+    dead: usize,
+    config: DynamicConfig,
+    stats: RebuildStats,
+}
+
+impl DynamicSet {
+    /// An empty dynamic set.
+    pub fn new(config: DynamicConfig) -> Self {
+        DynamicSet {
+            entries: vec![],
+            handles: HashMap::new(),
+            next_id: 0,
+            live_ids: vec![],
+            stale_ids: 0,
+            buckets: vec![],
+            live: 0,
+            dead: 0,
+            config,
+            stats: RebuildStats::default(),
+        }
+    }
+
+    /// Bulk-loads a static set into a single bucket; site `i` of `set`
+    /// receives id `i`. (The bulk build is not counted in the update
+    /// amortization stats.)
+    pub fn from_set(set: &DiscreteSet, config: DynamicConfig) -> Self {
+        let n = set.len();
+        let mut s = DynamicSet {
+            entries: set
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Entry {
+                    site: Arc::new(p.clone()),
+                    id: i,
+                    alive: true,
+                    place: None,
+                })
+                .collect(),
+            handles: (0..n).map(|i| (i, i as u32)).collect(),
+            next_id: n,
+            live_ids: (0..n).collect(),
+            stale_ids: 0,
+            buckets: vec![],
+            live: n,
+            dead: 0,
+            config,
+            stats: RebuildStats::default(),
+        };
+        s.bootstrap_buckets();
+        s
+    }
+
+    /// Live site count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Tombstoned entries still occupying bucket slots.
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    pub fn contains(&self, id: SiteId) -> bool {
+        self.handles.contains_key(&id)
+    }
+
+    /// The current site under `id`, if live.
+    pub fn get(&self, id: SiteId) -> Option<&DiscreteUncertainPoint> {
+        let e = *self.handles.get(&id)?;
+        Some(&self.entries[e as usize].site)
+    }
+
+    /// Live ids, ascending. `O(live)` (a filtered copy of the maintained
+    /// list, which holds at most 2× live entries).
+    pub fn live_ids(&self) -> Vec<SiteId> {
+        if self.stale_ids == 0 {
+            self.live_ids.clone()
+        } else {
+            self.live_ids
+                .iter()
+                .copied()
+                .filter(|id| self.handles.contains_key(id))
+                .collect()
+        }
+    }
+
+    /// Materializes the surviving sites as a fresh static set, in ascending
+    /// id order — the "rebuild from scratch" the differential harness
+    /// compares against (`live_set().points[dense]` is site
+    /// `live_ids()[dense]`).
+    pub fn live_set(&self) -> DiscreteSet {
+        DiscreteSet::new(
+            self.live_ids
+                .iter()
+                .filter_map(|id| self.handles.get(id))
+                .map(|&e| (*self.entries[e as usize].site).clone())
+                .collect(),
+        )
+    }
+
+    /// Allocation-free shape summary of the live sites for cost models:
+    /// `(total locations N, max per-site k, weight spread ρ)`. `O(n + N)`
+    /// scan, no materialization.
+    pub fn live_shape(&self) -> (usize, usize, f64) {
+        let mut total = 0usize;
+        let mut max_k = 0usize;
+        let mut w_min = f64::INFINITY;
+        let mut w_max = 0.0f64;
+        for e in self.entries.iter().filter(|e| e.alive) {
+            total += e.site.k();
+            max_k = max_k.max(e.site.k());
+            for &w in e.site.weights() {
+                w_min = w_min.min(w);
+                w_max = w_max.max(w);
+            }
+        }
+        let spread = if w_min.is_finite() && w_min > 0.0 {
+            w_max / w_min
+        } else {
+            1.0
+        };
+        (total, max_k, spread)
+    }
+
+    pub fn stats(&self) -> DynamicStats {
+        DynamicStats {
+            live: self.live,
+            tombstones: self.dead,
+            slab_entries: self.entries.len(),
+            buckets: self.buckets.iter().flatten().count(),
+            indexed_buckets: self
+                .buckets
+                .iter()
+                .flatten()
+                .filter(|s| s.bucket.is_indexed())
+                .count(),
+            rebuild: self.stats,
+        }
+    }
+
+    /// Inserts a site, returning its fresh stable id.
+    pub fn insert(&mut self, site: DiscreteUncertainPoint) -> SiteId {
+        let id = self.alloc_id();
+        self.stats.inserts += 1;
+        let e = self.push_entry(id, site);
+        self.carry(vec![e]);
+        id
+    }
+
+    /// Hands out the next fresh id and appends it to the sorted live list
+    /// (fresh ids are strictly increasing, so a push keeps it sorted).
+    fn alloc_id(&mut self) -> SiteId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live_ids.push(id);
+        id
+    }
+
+    /// Marks `id`'s slot in the sorted live list stale; compacts once half
+    /// the list is stale, so removes stay `O(1)` amortized. Must be called
+    /// *after* `handles` drops the id (the filter is the handle map).
+    fn drop_live_id(&mut self) {
+        self.stale_ids += 1;
+        if self.stale_ids * 2 > self.live_ids.len() {
+            let handles = &self.handles;
+            self.live_ids.retain(|id| handles.contains_key(id));
+            self.stale_ids = 0;
+        }
+    }
+
+    /// Applies a batch of updates **in order** (so a `Move` after a
+    /// `Remove` of the same id misses, exactly as with the one-at-a-time
+    /// calls), but merges every new entry into the bucket structure with a
+    /// *single* carry at the end: one bucket rebuild per batch instead of
+    /// one per insert. This is the engine's `apply` path — under sustained
+    /// churn it is the difference between `O(batch + log n)` and
+    /// `O(batch · log n)` rebuilt sites per update wave.
+    pub fn apply(&mut self, updates: &[Update]) -> UpdateOutcome {
+        let mut out = UpdateOutcome::default();
+        let mut pending: Vec<u32> = vec![];
+        for u in updates {
+            match u {
+                Update::Insert(site) => {
+                    let id = self.alloc_id();
+                    self.stats.inserts += 1;
+                    pending.push(self.push_entry(id, site.clone()));
+                    out.inserted.push(id);
+                }
+                Update::Remove(id) => {
+                    if self.tombstone(*id) {
+                        self.handles.remove(id);
+                        self.drop_live_id();
+                        self.stats.removes += 1;
+                        out.removed += 1;
+                    } else {
+                        out.missed += 1;
+                    }
+                }
+                Update::Move { id, to } => {
+                    if self.tombstone(*id) {
+                        self.stats.moves += 1;
+                        pending.push(self.push_entry(*id, to.clone()));
+                        out.moved += 1;
+                    } else {
+                        out.missed += 1;
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            self.carry(pending);
+        }
+        self.maybe_rebuild_all();
+        out
+    }
+
+    /// Tombstones `id`. Returns `false` when the id is unknown or already
+    /// removed. Triggers a global compacting rebuild when the dead fraction
+    /// exceeds the configured threshold.
+    pub fn remove(&mut self, id: SiteId) -> bool {
+        if !self.tombstone(id) {
+            return false;
+        }
+        self.handles.remove(&id);
+        self.drop_live_id();
+        self.stats.removes += 1;
+        self.maybe_rebuild_all();
+        true
+    }
+
+    /// Replaces the distribution of site `id` (tombstone + reinsert under
+    /// the same id). Returns `false` when the id is not live.
+    pub fn update_location(&mut self, id: SiteId, site: DiscreteUncertainPoint) -> bool {
+        if !self.tombstone(id) {
+            return false;
+        }
+        self.stats.moves += 1;
+        let e = self.push_entry(id, site);
+        self.carry(vec![e]);
+        self.maybe_rebuild_all();
+        true
+    }
+
+    /// Marks the current entry of `id` dead (leaving `handles[id]` in
+    /// place for the caller to overwrite or clear). `false` if not live.
+    fn tombstone(&mut self, id: SiteId) -> bool {
+        let Some(&e) = self.handles.get(&id) else {
+            return false;
+        };
+        let entry = &mut self.entries[e as usize];
+        entry.alive = false;
+        if let Some((slot, local)) = entry.place {
+            self.buckets[slot as usize]
+                .as_mut()
+                .expect("placed entry's slot is occupied")
+                .kill(local as usize);
+        }
+        self.live -= 1;
+        self.dead += 1;
+        true
+    }
+
+    /// Rebuilds everything into one compact bucket, dropping tombstones and
+    /// compacting the entry slab. Runs automatically past the dead-fraction
+    /// threshold; exposed for explicit compaction.
+    pub fn rebuild_all(&mut self) {
+        self.stats.global_rebuilds += 1;
+        self.stats.sites_rebuilt += self.live as u64;
+        let mut survivors: Vec<(SiteId, Arc<DiscreteUncertainPoint>)> = self
+            .entries
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| (e.id, Arc::clone(&e.site)))
+            .collect();
+        survivors.sort_unstable_by_key(|&(id, _)| id);
+        self.entries = survivors
+            .into_iter()
+            .map(|(id, site)| Entry {
+                site,
+                id,
+                alive: true,
+                place: None,
+            })
+            .collect();
+        self.handles.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            self.handles.insert(e.id, i as u32);
+        }
+        self.dead = 0;
+        self.live_ids = self.entries.iter().map(|e| e.id).collect();
+        self.stale_ids = 0;
+        self.bootstrap_buckets();
+    }
+
+    /// Lays the whole (all-live) entry slab out as a single bucket at the
+    /// slot matching its size — the shared bootstrap of `from_set` and
+    /// `rebuild_all`.
+    fn bootstrap_buckets(&mut self) {
+        self.buckets.clear();
+        let n = self.entries.len();
+        if n > 0 {
+            let slot = (usize::BITS - 1 - n.leading_zeros()) as usize;
+            self.buckets = vec![None; slot + 1];
+            self.place_bucket(slot, (0..n as u32).collect());
+        }
+    }
+
+    /// Appends a live entry for `id` (without placing it in a bucket yet)
+    /// and points the handle at it.
+    fn push_entry(&mut self, id: SiteId, site: DiscreteUncertainPoint) -> u32 {
+        let e = self.entries.len() as u32;
+        self.entries.push(Entry {
+            site: Arc::new(site),
+            id,
+            alive: true,
+            place: None,
+        });
+        self.handles.insert(id, e);
+        self.live += 1;
+        e
+    }
+
+    /// The logarithmic-method carry: merge the occupied prefix of slots
+    /// plus `pool` into the first empty slot, dropping tombstones on the
+    /// way (they are counted out of `dead` here). `pool` entries may
+    /// themselves have died since being pushed (a `Move` later in the same
+    /// batch); they are filtered identically.
+    fn carry(&mut self, mut pool: Vec<u32>) {
+        let mut slot = 0;
+        while slot < self.buckets.len() && self.buckets[slot].is_some() {
+            let b = self.buckets[slot].take().unwrap();
+            pool.extend_from_slice(&b.bucket.entry_idxs);
+            slot += 1;
+        }
+        let mut live_pool = Vec::with_capacity(pool.len());
+        for e in pool {
+            if self.entries[e as usize].alive {
+                live_pool.push(e);
+            } else {
+                self.dead -= 1;
+            }
+        }
+        if live_pool.is_empty() {
+            // Everything gathered was dead: the merged slots stay empty.
+            return;
+        }
+        if slot == self.buckets.len() {
+            self.buckets.push(None);
+        }
+        self.stats.merges += 1;
+        self.stats.sites_rebuilt += live_pool.len() as u64;
+        self.place_bucket(slot, live_pool);
+    }
+
+    /// Builds a bucket over `pool` (live entry indices), installs it at
+    /// `slot` with a fresh all-alive bitmap, and points every entry's
+    /// `place` at its new home. Pure mechanics — the caller does the
+    /// amortization accounting (bulk loads are not counted).
+    fn place_bucket(&mut self, slot: usize, mut pool: Vec<u32>) {
+        pool.sort_unstable_by_key(|&e| self.entries[e as usize].id);
+        for (local, &e) in pool.iter().enumerate() {
+            self.entries[e as usize].place = Some((slot as u32, local as u32));
+        }
+        let sites = pool
+            .iter()
+            .map(|&e| Arc::clone(&self.entries[e as usize].site))
+            .collect();
+        let bucket = Arc::new(Bucket::build(pool, sites, self.config.index_min_locations));
+        self.buckets[slot] = Some(Slot::new(bucket));
+    }
+
+    fn maybe_rebuild_all(&mut self) {
+        // Trigger 1: tombstones still buried in buckets exceed the dead
+        // fraction (query-speed pressure).
+        let tombstone_pressure = self.dead >= self.config.min_dead_for_rebuild
+            && (self.dead as f64)
+                > self.config.max_dead_fraction * ((self.live + self.dead) as f64);
+        // Trigger 2: the append-only entry slab has outgrown the live set
+        // (memory/clone-cost pressure). Carries purge tombstones out of
+        // buckets — which empties `dead` — but purged entries still occupy
+        // the slab, so steady insert+remove churn would otherwise grow it
+        // without bound.
+        let slab_pressure = self.entries.len() >= 32.max(self.config.min_dead_for_rebuild)
+            && self.entries.len() > 2 * self.live;
+        if tombstone_pressure || slab_pressure {
+            self.rebuild_all();
+        }
+    }
+
+    /// `NN≠0(q)` over the live sites, as ascending public ids — equal to
+    /// the Lemma 2.1 answer of a fresh static build over
+    /// [`live_set`](Self::live_set) (mapped through
+    /// [`live_ids`](Self::live_ids)).
+    ///
+    /// Stage 1 merges each bucket's two smallest live `Δ_i(q)` into the
+    /// global best/second pair (each bucket's top-2 suffices: the global
+    /// top-2 is contained in the union of per-bucket top-2s); stage 2
+    /// range-reports candidates per bucket against the Lemma 2.1 threshold
+    /// `min_{j≠i} Δ_j(q)`.
+    pub fn nonzero(&self, q: Point) -> Vec<SiteId> {
+        if self.live == 0 {
+            return vec![];
+        }
+        let entries = &self.entries;
+        let mut best = (f64::INFINITY, u32::MAX); // (Δ, entry index)
+        let mut second = f64::INFINITY;
+        for slot in self.buckets.iter().flatten() {
+            let mut live = |local: usize| slot.is_live(local);
+            let Some((d, local, s)) = slot.bucket.two_min_max_where(q, &mut live) else {
+                continue;
+            };
+            let e = slot.bucket.entry_idxs[local];
+            if d < best.0 {
+                second = best.0;
+                best = (d, e);
+            } else if d < second {
+                second = d;
+            }
+            if s < second {
+                second = s;
+            }
+        }
+        let (d1, e1) = best;
+        let d2 = second;
+        // d2 = ∞ only with a single live site, whose δ ≤ Δ = d1 keeps it
+        // inside the closed range query; its bound stays +∞ (min over ∅).
+        let radius = if d2.is_finite() { d2 } else { d1 };
+        let mut out: Vec<SiteId> = vec![];
+        for slot in self.buckets.iter().flatten() {
+            let b = &slot.bucket;
+            let mut live = |local: usize| slot.is_live(local);
+            let mut bound = |local: usize| if b.entry_idxs[local] == e1 { d2 } else { d1 };
+            let mut push = |local: usize| out.push(entries[b.entry_idxs[local] as usize].id);
+            b.report_where(q, radius, &mut live, &mut bound, &mut push);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All quantification probabilities over the live sites, as ascending
+    /// `(id, π)` pairs — bit-identical to [`quantification_discrete`]
+    /// (crate::quantification::exact) on a fresh static build over the
+    /// survivors: both paths feed identical entries in identical order to
+    /// the shared Eq. (2) sweep. Exactness of the recombination across
+    /// buckets is the independence of locations across sites (survival
+    /// factors multiply).
+    pub fn quantification(&self, q: Point) -> Vec<(SiteId, f64)> {
+        let ids = self.live_ids();
+        let mut entries: Vec<(f64, usize, f64)> = vec![];
+        for (dense, &id) in ids.iter().enumerate() {
+            let site = &self.entries[self.handles[&id] as usize].site;
+            debug_assert!(self.contains(id));
+            for (&loc, &w) in site.locations().iter().zip(site.weights()) {
+                entries.push((q.dist(loc), dense, w));
+            }
+        }
+        let pi = quantification_sweep(entries, ids.len());
+        ids.into_iter().zip(pi).collect()
+    }
+
+    /// The live site minimizing the expected distance to `q`, with that
+    /// distance (minimum of the per-bucket branch-and-bound queries).
+    /// Exact ties *across* buckets break to the smaller id; within an
+    /// indexed bucket the branch-and-bound traversal order decides among
+    /// bitwise-equal values — the returned *value* is always the exact
+    /// minimum, the witness id among exact ties is unspecified.
+    pub fn expected_nn(&self, q: Point) -> Option<(SiteId, f64)> {
+        let entries = &self.entries;
+        let mut best: Option<(SiteId, f64)> = None;
+        for slot in self.buckets.iter().flatten() {
+            let mut live = |local: usize| slot.is_live(local);
+            if let Some((local, e)) = slot.bucket.expected_nn_where(q, &mut live) {
+                let id = entries[slot.bucket.entry_idxs[local] as usize].id;
+                let better = match best {
+                    None => true,
+                    Some((bid, be)) => e < be || (e == be && id < bid),
+                };
+                if better {
+                    best = Some((id, e));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expected::ExpectedNnIndex;
+    use crate::nonzero::{nonzero_nn_discrete, DiscreteNonzeroIndex};
+    use crate::quantification::exact::quantification_discrete;
+    use crate::workload;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Checks every query family of `d` against a fresh static build.
+    fn assert_matches_fresh(d: &DynamicSet, queries: &[Point]) {
+        let fresh = d.live_set();
+        let ids = d.live_ids();
+        assert_eq!(fresh.len(), d.len());
+        for &q in queries {
+            // NN≠0 vs brute Lemma 2.1 and vs a fresh Theorem 3.2 index.
+            let got = d.nonzero(q);
+            let want: Vec<SiteId> = nonzero_nn_discrete(&fresh, q)
+                .into_iter()
+                .map(|dense| ids[dense])
+                .collect();
+            assert_eq!(got, want, "NN≠0 at {q}");
+            let idx = DiscreteNonzeroIndex::build(&fresh);
+            let mut via_index = idx.query(q);
+            via_index.sort_unstable();
+            let want_dense: Vec<usize> = want
+                .iter()
+                .map(|id| ids.binary_search(id).unwrap())
+                .collect();
+            assert_eq!(via_index, want_dense);
+            // Quantification: bit-identical.
+            let pi_fresh = quantification_discrete(&fresh, q);
+            let pi_dyn = d.quantification(q);
+            assert_eq!(pi_dyn.len(), pi_fresh.len());
+            for ((id, got), (dense, want)) in pi_dyn.iter().zip(pi_fresh.iter().enumerate()) {
+                assert_eq!(*id, ids[dense]);
+                assert_eq!(got.to_bits(), want.to_bits(), "π at {q}");
+            }
+            // Expected NN: same minimal value (bitwise).
+            let want_e = ExpectedNnIndex::build_discrete(&fresh).query(q);
+            let got_e = d.expected_nn(q);
+            match (got_e, want_e) {
+                (None, None) => {}
+                (Some((_, ge)), Some((_, we))) => {
+                    assert_eq!(ge.to_bits(), we.to_bits(), "expected NN at {q}")
+                }
+                other => panic!("expected-NN existence mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_op_stream_matches_fresh_builds() {
+        for (seed, config) in [
+            (1u64, DynamicConfig::default()),
+            // Tiny index threshold: every bucket exercises the indexed path.
+            (
+                2,
+                DynamicConfig {
+                    index_min_locations: 2,
+                    ..DynamicConfig::default()
+                },
+            ),
+            // Aggressive compaction.
+            (
+                3,
+                DynamicConfig {
+                    max_dead_fraction: 0.05,
+                    min_dead_for_rebuild: 2,
+                    ..DynamicConfig::default()
+                },
+            ),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = workload::random_discrete_set(12, 3, 5.0, seed);
+            let mut d = DynamicSet::from_set(&base, config);
+            let queries = workload::random_queries(4, 60.0, seed ^ 0x5a5a);
+            for step in 0..60 {
+                match rng.gen_range(0..4u32) {
+                    0 | 1 => {
+                        let k = rng.gen_range(1..4);
+                        let c = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+                        let locs = (0..k)
+                            .map(|_| {
+                                Point::new(
+                                    c.x + rng.gen_range(-3.0..3.0),
+                                    c.y + rng.gen_range(-3.0..3.0),
+                                )
+                            })
+                            .collect();
+                        d.insert(DiscreteUncertainPoint::uniform(locs));
+                    }
+                    2 => {
+                        let ids = d.live_ids();
+                        if ids.len() > 1 {
+                            let id = ids[rng.gen_range(0..ids.len())];
+                            assert!(d.remove(id));
+                            assert!(!d.contains(id));
+                            assert!(!d.remove(id), "double remove must fail");
+                        }
+                    }
+                    _ => {
+                        let ids = d.live_ids();
+                        if !ids.is_empty() {
+                            let id = ids[rng.gen_range(0..ids.len())];
+                            let p =
+                                Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+                            assert!(d.update_location(id, DiscreteUncertainPoint::certain(p)));
+                            assert!(d.contains(id));
+                        }
+                    }
+                }
+                if step % 5 == 0 || step > 54 {
+                    assert_matches_fresh(&d, &queries);
+                }
+            }
+            let s = d.stats();
+            assert_eq!(s.live, d.len());
+            assert!(s.rebuild.merges > 0);
+        }
+    }
+
+    #[test]
+    fn batched_apply_matches_sequential_ops_with_fewer_rebuilds() {
+        let base = workload::random_discrete_set(32, 3, 5.0, 15);
+        let mut one_by_one = DynamicSet::from_set(&base, DynamicConfig::default());
+        let mut batched = DynamicSet::from_set(&base, DynamicConfig::default());
+        let updates: Vec<Update> = (0..24)
+            .map(|i| match i % 4 {
+                0 | 1 => Update::Insert(DiscreteUncertainPoint::certain(Point::new(
+                    i as f64,
+                    -(i as f64),
+                ))),
+                2 => Update::Remove(i / 2),
+                _ => Update::Move {
+                    id: i,
+                    to: DiscreteUncertainPoint::certain(Point::new(0.5 * i as f64, 3.0)),
+                },
+            })
+            .collect();
+        // Sequential reference path.
+        let mut expected_inserted = vec![];
+        for u in &updates {
+            match u {
+                Update::Insert(s) => expected_inserted.push(one_by_one.insert(s.clone())),
+                Update::Remove(id) => {
+                    one_by_one.remove(*id);
+                }
+                Update::Move { id, to } => {
+                    one_by_one.update_location(*id, to.clone());
+                }
+            }
+        }
+        let outcome = batched.apply(&updates);
+        assert_eq!(outcome.inserted, expected_inserted);
+        assert_eq!(outcome.removed + outcome.moved + outcome.missed, 12);
+        // Same surviving sites and same ids…
+        assert_eq!(batched.live_ids(), one_by_one.live_ids());
+        for q in workload::random_queries(5, 60.0, 16) {
+            assert_eq!(batched.nonzero(q), one_by_one.nonzero(q));
+            assert_eq!(batched.quantification(q), one_by_one.quantification(q));
+        }
+        // …with strictly less rebuild work (one carry vs one per insert).
+        let (b, s) = (
+            batched.stats().rebuild.sites_rebuilt,
+            one_by_one.stats().rebuild.sites_rebuilt,
+        );
+        assert!(b < s, "batched apply rebuilt {b} ≥ sequential {s}");
+        // A same-batch insert→move→remove chain resolves in order.
+        let mut d = DynamicSet::new(DynamicConfig::default());
+        let out = d.apply(&[
+            Update::Insert(DiscreteUncertainPoint::certain(Point::new(1.0, 1.0))),
+            Update::Move {
+                id: 0,
+                to: DiscreteUncertainPoint::certain(Point::new(2.0, 2.0)),
+            },
+            Update::Remove(0),
+            Update::Remove(0),
+        ]);
+        assert_eq!(out.inserted, vec![0]);
+        assert_eq!((out.moved, out.removed, out.missed), (1, 1, 1));
+        assert!(d.is_empty());
+        assert!(d.nonzero(Point::new(0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn clone_is_an_isolated_snapshot() {
+        let base = workload::random_discrete_set(20, 3, 5.0, 9);
+        let d0 = DynamicSet::from_set(&base, DynamicConfig::default());
+        let q = Point::new(2.0, 3.0);
+        let before = d0.nonzero(q);
+        let mut d1 = d0.clone();
+        for id in 0..10 {
+            d1.remove(id);
+        }
+        d1.insert(DiscreteUncertainPoint::certain(q));
+        // The original still answers as before the clone diverged.
+        assert_eq!(d0.nonzero(q), before);
+        assert_eq!(d0.len(), 20);
+        assert_eq!(d1.len(), 11);
+        assert_matches_fresh(&d1, &[q]);
+    }
+
+    #[test]
+    fn amortized_rebuild_cost_is_logarithmic() {
+        let mut d = DynamicSet::new(DynamicConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 2048;
+        for _ in 0..n {
+            let p = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+            d.insert(DiscreteUncertainPoint::certain(p));
+        }
+        let s = d.stats();
+        assert_eq!(s.live, n);
+        assert_eq!(s.tombstones, 0, "pure inserts leave no tombstones");
+        assert!(s.buckets <= (n as f64).log2() as usize + 2);
+        let amortized = s.rebuild.amortized_rebuild_cost();
+        // Bentley–Saxe: each of the 2048 inserts participates in ≤ log2(n)+1
+        // rebuilds on average; leave generous headroom.
+        assert!(
+            amortized <= (n as f64).log2() + 2.0,
+            "amortized rebuild cost {amortized} not logarithmic"
+        );
+        assert!(amortized >= 1.0);
+    }
+
+    #[test]
+    fn steady_churn_keeps_the_entry_slab_bounded() {
+        // Insert+remove churn on a constant-size live set: carries purge
+        // tombstones out of buckets (so the dead-fraction trigger alone
+        // would never fire), but the slab-growth trigger must still bound
+        // the append-only entry slab and the structure's clone cost.
+        let base = workload::random_discrete_set(64, 2, 4.0, 17);
+        let mut d = DynamicSet::from_set(&base, DynamicConfig::default());
+        let mut rng = StdRng::seed_from_u64(18);
+        for round in 0..2000 {
+            let p = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+            let id = d.insert(DiscreteUncertainPoint::certain(p));
+            let ids = d.live_ids();
+            let victim = ids[rng.gen_range(0..ids.len() - 1)]; // keep the new id sometimes
+            d.remove(if round % 3 == 0 { id } else { victim });
+        }
+        let s = d.stats();
+        assert_eq!(s.live, 64);
+        assert!(
+            s.slab_entries <= 2 * s.live + 32,
+            "entry slab grew without bound: {} entries for {} live sites",
+            s.slab_entries,
+            s.live
+        );
+        assert!(s.rebuild.global_rebuilds > 0, "slab trigger never fired");
+        assert_matches_fresh(&d, &workload::random_queries(2, 60.0, 19));
+    }
+
+    #[test]
+    fn tombstone_pressure_triggers_global_rebuild() {
+        let base = workload::random_discrete_set(64, 2, 4.0, 11);
+        let mut d = DynamicSet::from_set(
+            &base,
+            DynamicConfig {
+                max_dead_fraction: 0.2,
+                min_dead_for_rebuild: 4,
+                ..DynamicConfig::default()
+            },
+        );
+        for id in 0..40 {
+            d.remove(id);
+        }
+        let s = d.stats();
+        assert!(s.rebuild.global_rebuilds > 0, "no compaction: {s:?}");
+        // Compaction keeps the dead fraction bounded.
+        assert!(
+            (s.tombstones as f64) <= 0.2 * ((s.live + s.tombstones) as f64) + 1.0,
+            "{s:?}"
+        );
+        assert_matches_fresh(&d, &workload::random_queries(3, 60.0, 12));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut d = DynamicSet::new(DynamicConfig::default());
+        let q = Point::new(0.0, 0.0);
+        assert!(d.nonzero(q).is_empty());
+        assert!(d.quantification(q).is_empty());
+        assert!(d.expected_nn(q).is_none());
+        let id = d.insert(DiscreteUncertainPoint::certain(Point::new(3.0, 4.0)));
+        assert_eq!(d.nonzero(q), vec![id]);
+        let pi = d.quantification(q);
+        assert_eq!(pi, vec![(id, 1.0)]);
+        let (eid, e) = d.expected_nn(q).unwrap();
+        assert_eq!(eid, id);
+        assert_eq!(e, 5.0);
+        d.remove(id);
+        assert!(d.nonzero(q).is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn update_location_keeps_ids_stable() {
+        let base = workload::random_discrete_set(8, 2, 4.0, 13);
+        let mut d = DynamicSet::from_set(&base, DynamicConfig::default());
+        let target = Point::new(100.0, 100.0);
+        assert!(d.update_location(5, DiscreteUncertainPoint::certain(target)));
+        assert_eq!(d.get(5).unwrap().locations(), &[target]);
+        assert_eq!(d.len(), 8);
+        // The moved site is now the only possible NN near its new home.
+        assert_eq!(d.nonzero(Point::new(99.0, 99.0)), vec![5]);
+        assert!(!d.update_location(99, DiscreteUncertainPoint::certain(target)));
+    }
+}

@@ -117,6 +117,31 @@ impl ExpectedNnIndex {
     /// Branch-and-bound: only candidates whose lower bound beats the best
     /// exact value so far are evaluated exactly.
     pub fn query(&self, q: Point) -> Option<(usize, f64)> {
+        self.query_where(q, |_| true)
+    }
+
+    /// Like [`query`](Self::query), restricted to points for which
+    /// `live(i)` holds — the primitive the dynamic (Bentley–Saxe) layer
+    /// uses to overlay tombstones on a per-bucket index. `None` when no
+    /// point is live.
+    ///
+    /// Pruning uses a small safety margin: a candidate is skipped only when
+    /// its f64 lower bound exceeds the incumbent by more than
+    /// `PRUNE_MARGIN·(1 + best + d)` — relative to the incumbent *and* the
+    /// candidate's center distance `d`, because the rounding error of the
+    /// computed bound scales with `ulp(d)`, not with the (possibly tiny)
+    /// result. Rounding can therefore never prune the true minimizer, and
+    /// the returned value is exactly (bit-for-bit) the minimum of
+    /// `expected_dist_*` over the live points, the same value a brute-force
+    /// scan computes.
+    pub fn query_where(
+        &self,
+        q: Point,
+        mut live: impl FnMut(usize) -> bool,
+    ) -> Option<(usize, f64)> {
+        /// Relative pruning slack covering f64 rounding in the lower bound
+        /// (a few hundred ulps of headroom at every magnitude).
+        const PRUNE_MARGIN: f64 = 1e-9;
         if self.slack.is_empty() {
             return None;
         }
@@ -128,13 +153,16 @@ impl ExpectedNnIndex {
         let max_slack = self.slack.iter().copied().fold(0.0f64, f64::max);
         for (_, id, d) in self.centers.nearest_iter(q) {
             if let Some((_, be)) = best {
-                if d - max_slack > be {
+                if d - max_slack > be + PRUNE_MARGIN * (1.0 + be + d) {
                     break;
                 }
             }
             let i = id as usize;
+            if !live(i) {
+                continue;
+            }
             if let Some((_, be)) = best {
-                if d - self.slack[i] > be {
+                if d - self.slack[i] > be + PRUNE_MARGIN * (1.0 + be + d) {
                     continue; // per-item lower bound prunes the evaluation
                 }
             }
@@ -230,6 +258,31 @@ mod tests {
             assert!((e - best).abs() < 1e-9, "at {q}");
             assert!((brute[i] - best).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn filtered_query_matches_filtered_brute_bitwise() {
+        let set = workload::random_discrete_set(50, 3, 5.0, 21);
+        let idx = ExpectedNnIndex::build_discrete(&set);
+        for (round, q) in workload::random_queries(40, 60.0, 22)
+            .into_iter()
+            .enumerate()
+        {
+            let mask: Vec<bool> = (0..set.len()).map(|i| (i + round) % 3 != 0).collect();
+            let (i, e) = idx.query_where(q, |i| mask[i]).unwrap();
+            assert!(mask[i], "reported a filtered-out point");
+            let brute = set
+                .points
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask[j])
+                .map(|(_, p)| expected_dist_discrete(p, q))
+                .fold(f64::INFINITY, f64::min);
+            // The safe pruning margin makes the b&b minimum bit-identical
+            // to the brute scan minimum.
+            assert_eq!(e.to_bits(), brute.to_bits(), "at {q}");
+        }
+        assert!(idx.query_where(Point::new(0.0, 0.0), |_| false).is_none());
     }
 
     #[test]

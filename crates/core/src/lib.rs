@@ -53,6 +53,7 @@
 //! assert!((pi[1] - 0.5).abs() < 1e-12);
 //! ```
 
+pub mod dynamic;
 pub mod expected;
 pub mod model;
 pub mod nonzero;

@@ -21,11 +21,21 @@ const ZERO_THRESH: f64 = 1e-12;
 /// All quantification probabilities `π_i(q)` for a discrete set, by the
 /// Eq. (2) sweep. `O(N log N)` time, `O(N)` space.
 pub fn quantification_discrete(set: &DiscreteSet, q: Point) -> Vec<f64> {
-    let n = set.len();
-    let mut entries: Vec<(f64, usize, f64)> = set
+    let entries: Vec<(f64, usize, f64)> = set
         .all_locations()
         .map(|(i, _, loc, w)| (q.dist(loc), i, w))
         .collect();
+    quantification_sweep(entries, set.len())
+}
+
+/// The Eq. (2) sweep over pre-assembled `(distance, point index, weight)`
+/// entries (one per location; indices dense in `0..n`). This is the single
+/// shared core behind every exact discrete evaluation — the static path
+/// above and the dynamic (Bentley–Saxe) layer both call it, which is what
+/// makes dynamic answers *bit-identical* to a fresh static build: identical
+/// entries in identical order go through identical arithmetic. The sort is
+/// stable, so ties between equal distances keep the caller's entry order.
+pub fn quantification_sweep(mut entries: Vec<(f64, usize, f64)>, n: usize) -> Vec<f64> {
     entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
     let mut pi = vec![0.0f64; n];

@@ -49,22 +49,27 @@ pub enum QuantTag {
 
 /// Cache key: exact query bits for nonzero sets, snapped cell or exact bits
 /// for probability vectors.
+///
+/// Every variant carries the engine **epoch** the answer was computed
+/// under. Applying updates ([`crate::Engine::apply`]) bumps the epoch, so
+/// entries from superseded site sets can never be looked up again — stale
+/// epochs are invalidated "for free" and their entries age out of the LRU
+/// under normal traffic, with no flush or scan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CacheKey {
-    /// All three `NN≠0` plans (brute, index, `V≠0` point location) are
-    /// exact — the diagram path serves certified locations and falls back
-    /// to Lemma 2.1 otherwise — so their answers share one key and warm
-    /// each other's entries.
-    Nonzero {
-        qx: u64,
-        qy: u64,
-    },
+    /// All four `NN≠0` plans (brute, index, `V≠0` point location, dynamic
+    /// buckets) are exact — the diagram path serves certified locations and
+    /// falls back to Lemma 2.1 otherwise — so their answers share one key
+    /// and warm each other's entries (within an epoch).
+    Nonzero { epoch: u64, qx: u64, qy: u64 },
     QuantCell {
+        epoch: u64,
         kx: i64,
         ky: i64,
         tag: QuantTag,
     },
     QuantExact {
+        epoch: u64,
         qx: u64,
         qy: u64,
         tag: QuantTag,
@@ -72,20 +77,22 @@ pub enum CacheKey {
 }
 
 impl CacheKey {
-    pub fn nonzero(q: Point) -> Self {
+    pub fn nonzero(epoch: u64, q: Point) -> Self {
         CacheKey::Nonzero {
+            epoch,
             qx: q.x.to_bits(),
             qy: q.y.to_bits(),
         }
     }
 
     /// Quantification key: snapped when `grid > 0`, exact bits otherwise.
-    pub fn quant(q: Point, grid: f64, tag: QuantTag) -> Self {
+    pub fn quant(epoch: u64, q: Point, grid: f64, tag: QuantTag) -> Self {
         if grid > 0.0 {
             let (kx, ky) = quantize_point(q, grid);
-            CacheKey::QuantCell { kx, ky, tag }
+            CacheKey::QuantCell { epoch, kx, ky, tag }
         } else {
             CacheKey::QuantExact {
+                epoch,
                 qx: q.x.to_bits(),
                 qy: q.y.to_bits(),
                 tag,
@@ -319,8 +326,9 @@ mod tests {
     #[test]
     fn keys_do_not_alias_across_tags() {
         let q = Point::new(1.0, 2.0);
-        let a = CacheKey::quant(q, 0.0, QuantTag::Exact);
+        let a = CacheKey::quant(0, q, 0.0, QuantTag::Exact);
         let b = CacheKey::quant(
+            0,
             q,
             0.0,
             QuantTag::Spiral {
@@ -328,12 +336,28 @@ mod tests {
             },
         );
         assert_ne!(a, b);
-        assert_ne!(CacheKey::nonzero(q), a);
+        assert_ne!(CacheKey::nonzero(0, q), a);
         // Identical queries share the nonzero key: every nonzero plan is
         // exact, so entries are interchangeable across plans.
         assert_eq!(
-            CacheKey::nonzero(q),
-            CacheKey::nonzero(Point::new(1.0, 2.0))
+            CacheKey::nonzero(0, q),
+            CacheKey::nonzero(0, Point::new(1.0, 2.0))
+        );
+    }
+
+    #[test]
+    fn keys_do_not_alias_across_epochs() {
+        // The same query under different epochs never shares an entry —
+        // this is the whole stale-epoch invalidation mechanism.
+        let q = Point::new(1.0, 2.0);
+        assert_ne!(CacheKey::nonzero(0, q), CacheKey::nonzero(1, q));
+        assert_ne!(
+            CacheKey::quant(0, q, 0.0, QuantTag::Exact),
+            CacheKey::quant(1, q, 0.0, QuantTag::Exact)
+        );
+        assert_ne!(
+            CacheKey::quant(3, q, 0.5, QuantTag::Exact),
+            CacheKey::quant(4, q, 0.5, QuantTag::Exact)
         );
     }
 }

@@ -9,8 +9,9 @@
 //!   batch across workers — `UNC_ENGINE_THREADS` pins the worker count for
 //!   deterministic CI runs;
 //! * a [cost-based planner](planner) picks, per batch, among brute force,
-//!   the Theorem 3.2 kd-tree/group-index structure, and `V≠0` point
-//!   location for `NN≠0` requests, and among the exact sweep, spiral
+//!   the Theorem 3.2 kd-tree/group-index structure, `V≠0` point location,
+//!   and (once updates have been applied) the warm Bentley–Saxe bucket
+//!   structure for `NN≠0` requests, and among the exact sweep, spiral
 //!   search, and Monte Carlo for probability requests — amortizing index
 //!   construction over the batch and recording its choice;
 //! * a [quantization-keyed LRU result cache](cache) snaps query points to a
@@ -19,12 +20,20 @@
 //!   correctness;
 //! * a typed request/response API: [`Engine`], [`QueryRequest`],
 //!   [`BatchResponse`] with per-request [`QueryResult`]s plus [`ExecStats`]
-//!   (plan taken, wall time, cache hit rate, worker utilization).
+//!   (plan taken, wall time, cache hit rate, worker utilization, epoch and
+//!   live/tombstone site counts);
+//! * an **epoch/snapshot update layer**: [`Engine::apply`] takes a batch of
+//!   [`Update`]s (insert / remove / move uncertain sites), advances the
+//!   Bentley–Saxe structure ([`uncertain_nn::dynamic`]), and publishes a new
+//!   immutable snapshot behind an `Arc` swap — in-flight batches on worker
+//!   threads keep serving the epoch they started on, and epoch-stamped
+//!   cache keys make stale entries unreachable with no flush.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult};
+//! use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, Update};
+//! use uncertain_nn::model::DiscreteUncertainPoint;
 //! use uncertain_nn::workload;
 //! use uncertain_geom::Point;
 //!
@@ -36,7 +45,10 @@
 //!     .collect();
 //! let resp = engine.run_batch(&batch);
 //! assert_eq!(resp.results.len(), 16);
-//! // Engine answers match the direct library call.
+//! assert_eq!(resp.stats.epoch, 0);
+//! // Engine answers match the direct library call. Result indices are
+//! // stable site ids: at epoch 0 they are `0..n` in input order, and they
+//! // survive updates unchanged.
 //! if let QueryResult::Nonzero(ids) = &resp.results[0] {
 //!     let QueryRequest::Nonzero { q } = batch[0] else { unreachable!() };
 //!     let mut direct = set.nonzero_nn(q);
@@ -44,6 +56,26 @@
 //!     assert_eq!(ids, &direct);
 //! }
 //! println!("plan: {}", resp.stats.plan.summary());
+//!
+//! // Mutate the served set: every apply() publishes a new epoch snapshot.
+//! let report = engine.apply(&[
+//!     Update::Insert(DiscreteUncertainPoint::certain(Point::new(1.0, 2.0))),
+//!     Update::Remove(3),
+//! ]);
+//! assert_eq!(report.epoch, 1);
+//! assert_eq!(report.inserted, vec![40]); // fresh ids continue after 0..n
+//! let resp = engine.run_batch(&batch);
+//! assert_eq!(resp.stats.epoch, 1);
+//! // Answers now reflect the surviving sites, by stable id.
+//! if let QueryResult::Nonzero(ids) = &resp.results[0] {
+//!     let QueryRequest::Nonzero { q } = batch[0] else { unreachable!() };
+//!     let fresh = engine.live_set();
+//!     let site_ids = engine.site_ids();
+//!     let mut direct: Vec<usize> =
+//!         fresh.nonzero_nn(q).into_iter().map(|dense| site_ids[dense]).collect();
+//!     direct.sort_unstable();
+//!     assert_eq!(ids, &direct);
+//! }
 //! ```
 
 pub mod cache;
@@ -52,13 +84,14 @@ pub mod pool;
 pub mod snap;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use uncertain_geom::predicates::predicate_stats;
 use uncertain_geom::{Aabb, Point};
+use uncertain_nn::dynamic::DynamicSet;
 use uncertain_nn::model::DiscreteSet;
 use uncertain_nn::nonzero::{nonzero_nn_discrete, DiscreteNonzeroIndex, QueryScratch};
 use uncertain_nn::quantification::exact::quantification_discrete;
@@ -71,6 +104,7 @@ pub use cache::{quantize_point, snap_center, snap_radius};
 use cache::{CacheKey, CachedValue, QuantTag, ResultCache};
 pub use planner::{BatchPlan, NonzeroPlan, PlanEstimate, PlannerInputs, QuantPlan};
 pub use pool::{resolve_threads, ThreadPool, THREADS_ENV};
+pub use uncertain_nn::dynamic::{DynamicConfig, DynamicStats, SiteId, Update};
 
 /// One query in a batch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -112,6 +146,31 @@ pub enum QueryResult {
     },
 }
 
+/// What one [`Engine::apply`] call did: the epoch it published plus the
+/// amortized-rebuild accounting for exactly this batch of updates.
+#[derive(Clone, Debug)]
+pub struct ApplyReport {
+    /// The epoch the new snapshot serves under.
+    pub epoch: u64,
+    /// Ids assigned to the `Insert` updates, in update order.
+    pub inserted: Vec<SiteId>,
+    pub removed: usize,
+    pub moved: usize,
+    /// `Remove`/`Move` updates whose id was unknown or already removed.
+    pub missed: usize,
+    /// Live sites after this apply.
+    pub live: usize,
+    /// Tombstones still buried in buckets after this apply.
+    pub tombstones: usize,
+    /// Bucket merges this apply triggered.
+    pub merges: u64,
+    /// Global compacting rebuilds this apply triggered.
+    pub global_rebuilds: u64,
+    /// Σ bucket sizes rebuilt during this apply — the amortized update cost
+    /// in sites (`O(log n)` per insert by the logarithmic-method bound).
+    pub sites_rebuilt: u64,
+}
+
 /// Execution report for one batch.
 #[derive(Clone, Debug)]
 pub struct ExecStats {
@@ -126,6 +185,15 @@ pub struct ExecStats {
     pub cache_misses: usize,
     /// Worker count used for this batch.
     pub workers: usize,
+    /// The snapshot epoch this batch was served from (0 until the first
+    /// [`Engine::apply`]). Every answer of the batch reflects exactly this
+    /// epoch's site set.
+    pub epoch: u64,
+    /// Live sites in the serving snapshot.
+    pub live_sites: usize,
+    /// Tombstoned sites still buried in the snapshot's buckets (0 until
+    /// updates have been applied).
+    pub tombstones: usize,
     /// Busy (execution) time of each shard of this batch, measured inside
     /// the shard's job. At most one shard per worker.
     pub worker_busy: Vec<Duration>,
@@ -213,6 +281,9 @@ pub struct EngineConfig {
     pub diagram_cap: usize,
     /// Seed for Monte-Carlo instantiation sampling (deterministic builds).
     pub mc_seed: u64,
+    /// Tuning of the Bentley–Saxe structure [`apply`](Engine::apply)
+    /// maintains (bucket-index crossover, compaction thresholds).
+    pub dynamic: DynamicConfig,
 }
 
 impl Default for EngineConfig {
@@ -224,6 +295,7 @@ impl Default for EngineConfig {
             cache_grid: 0.0,
             diagram_cap: 40,
             mc_seed: 0xC0FFEE,
+            dynamic: DynamicConfig::default(),
         }
     }
 }
@@ -239,18 +311,77 @@ struct Structures {
     mc: Mutex<Option<(usize, Arc<MonteCarloPnn>)>>,
 }
 
+/// One immutable epoch snapshot: the live site set, the dynamic structure
+/// it came from (absent at epoch 0), and the epoch's lazily-built static
+/// query structures. Batches pin the snapshot they started on via `Arc`, so
+/// a concurrent [`Engine::apply`] never changes answers mid-batch.
 struct EngineCore {
-    set: DiscreteSet,
+    epoch: u64,
+    /// Live sites, densely indexed in ascending-id order — materialized
+    /// **lazily** from the dynamic structure at epochs > 0, because apply()
+    /// must stay cheap and pure nonzero batches served by the dynamic plan
+    /// never need the flat set. Epoch 0 fills it eagerly at construction.
+    set: OnceLock<DiscreteSet>,
+    /// Live-site count (cheap shape summary, valid without materializing).
+    n: usize,
+    /// Σ k over live sites.
+    total_locations: usize,
+    /// max k over live sites.
+    max_k: usize,
+    /// Dense index → stable site id; `None` = identity (epoch 0).
+    ids: Option<Arc<Vec<SiteId>>>,
+    /// The Bentley–Saxe structure this snapshot serves from; `None` until
+    /// the first apply (a fresh engine serves the static paths only).
+    dynamic: Option<Arc<DynamicSet>>,
     spread: f64,
     config: EngineConfig,
-    cache: ResultCache,
+    /// Shared across epochs; epoch-stamped keys keep entries from ever
+    /// crossing snapshots.
+    cache: Arc<ResultCache>,
     structures: Structures,
 }
 
+impl EngineCore {
+    /// The flat live set, materializing it from the dynamic structure on
+    /// first use (no-op at epoch 0, where construction filled it).
+    fn set(&self) -> &DiscreteSet {
+        self.set.get_or_init(|| {
+            self.dynamic
+                .as_ref()
+                .expect("epoch 0 cores are built with the set filled")
+                .live_set()
+        })
+    }
+
+    fn public_id(&self, dense: usize) -> SiteId {
+        match &self.ids {
+            Some(ids) => ids[dense],
+            None => dense,
+        }
+    }
+
+    /// Maps a dense-index result vector to stable site ids (identity at
+    /// epoch 0). The map is monotone, so ascending stays ascending.
+    fn map_dense(&self, mut v: Vec<usize>) -> Vec<usize> {
+        if let Some(ids) = &self.ids {
+            for i in v.iter_mut() {
+                *i = ids[*i];
+            }
+        }
+        v
+    }
+}
+
 /// The serving engine: owns the uncertain-point set, its worker pool, its
-/// cache, and every lazily-built query structure.
+/// cache, and every lazily-built query structure. [`Engine::apply`] swaps
+/// in a new epoch snapshot; queries always serve a consistent epoch.
 pub struct Engine {
-    core: Arc<EngineCore>,
+    /// The current snapshot. Readers take the read lock only long enough to
+    /// clone the `Arc` (no lock is held while serving), writers only to
+    /// store a new one.
+    core: RwLock<Arc<EngineCore>>,
+    /// Serializes appliers (readers are never blocked by it).
+    apply_lock: Mutex<()>,
     pool: ThreadPool,
 }
 
@@ -266,6 +397,7 @@ enum PreparedNonzero {
     Brute,
     Index(Arc<DiscreteNonzeroIndex>),
     Diagram(Arc<DiscreteNonzeroDiagram>),
+    Dynamic(Arc<DynamicSet>),
 }
 
 #[derive(Clone)]
@@ -283,26 +415,154 @@ struct BatchCounters {
 
 impl Engine {
     /// Builds an engine over `set`. Spawns the worker pool immediately;
-    /// query structures are built lazily by the planner.
+    /// query structures are built lazily by the planner. Sites receive the
+    /// stable ids `0..set.len()` in input order.
     pub fn new(set: DiscreteSet, config: EngineConfig) -> Self {
         let threads = resolve_threads(config.threads);
         let spread = if set.is_empty() { 1.0 } else { set.spread() };
         let core = Arc::new(EngineCore {
+            epoch: 0,
+            n: set.len(),
+            total_locations: set.total_locations(),
+            max_k: set.max_k(),
+            ids: None,
+            dynamic: None,
             spread,
-            cache: ResultCache::new(config.cache_capacity, config.cache_grid),
+            cache: Arc::new(ResultCache::new(config.cache_capacity, config.cache_grid)),
             structures: Structures::default(),
             config,
-            set,
+            set: OnceLock::from(set),
         });
         Engine {
-            core,
+            core: RwLock::new(core),
+            apply_lock: Mutex::new(()),
             pool: ThreadPool::new(threads),
         }
     }
 
-    /// The served set.
-    pub fn set(&self) -> &DiscreteSet {
-        &self.core.set
+    /// The current snapshot (a cheap `Arc` clone; the read lock is released
+    /// before returning).
+    fn snapshot(&self) -> Arc<EngineCore> {
+        self.core.read().unwrap().clone()
+    }
+
+    /// The epoch the engine currently serves (0 until the first
+    /// [`apply`](Self::apply)).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// The surviving sites of the current epoch, densely in ascending-id
+    /// order (index `dense` is site [`site_ids`](Self::site_ids)`[dense]`).
+    pub fn live_set(&self) -> DiscreteSet {
+        self.snapshot().set().clone()
+    }
+
+    /// Stable ids of the current epoch's live sites, ascending.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        let core = self.snapshot();
+        match &core.ids {
+            Some(ids) => ids.as_ref().clone(),
+            None => (0..core.n).collect(),
+        }
+    }
+
+    /// Shape of the dynamic structure, once updates have been applied.
+    pub fn dynamic_stats(&self) -> Option<DynamicStats> {
+        self.snapshot().dynamic.as_ref().map(|d| d.stats())
+    }
+
+    /// Applies a batch of site updates and publishes a new epoch snapshot.
+    ///
+    /// Concurrent `apply` calls serialize against each other; concurrent
+    /// [`run_batch`](Self::run_batch) calls are never blocked — a batch
+    /// already in flight keeps serving the epoch it started on (its
+    /// [`ExecStats::epoch`] says which), and the next batch picks up the
+    /// new snapshot. The update cost is the Bentley–Saxe amortized bound
+    /// (buckets merged by the carry rule), **not** a full rebuild; the
+    /// first `apply` on a fresh engine additionally bulk-loads the initial
+    /// set into one bucket.
+    /// An apply that changes nothing — an empty batch, or one whose every
+    /// update missed — returns the *current* epoch and does not publish a
+    /// new snapshot, so warm cache entries survive no-op ticks.
+    pub fn apply(&self, updates: &[Update]) -> ApplyReport {
+        let _writer = self.apply_lock.lock().unwrap();
+        let old = self.snapshot();
+        let noop_report = |missed: usize| ApplyReport {
+            epoch: old.epoch,
+            inserted: vec![],
+            removed: 0,
+            moved: 0,
+            missed,
+            live: old.n,
+            tombstones: old.dynamic.as_ref().map_or(0, |d| d.tombstones()),
+            merges: 0,
+            global_rebuilds: 0,
+            sites_rebuilt: 0,
+        };
+        // Effectiveness pre-check: inserts always change the set; removes
+        // and moves only if the id is currently live. Bailing out *before*
+        // touching the dynamic structure matters most at epoch 0, where the
+        // first effective apply pays the one-time Bentley–Saxe bulk load —
+        // a stream of no-op batches (e.g. replays of stale ids) must not
+        // pay it repeatedly.
+        let is_live = |id: SiteId| match &old.dynamic {
+            Some(d) => d.contains(id),
+            None => id < old.n,
+        };
+        let effective = updates.iter().any(|u| match u {
+            Update::Insert(_) => true,
+            Update::Remove(id) | Update::Move { id, .. } => is_live(*id),
+        });
+        if !effective {
+            return noop_report(updates.len());
+        }
+        let mut dynamic = match &old.dynamic {
+            Some(d) => (**d).clone(),
+            None => DynamicSet::from_set(old.set(), old.config.dynamic),
+        };
+        let before = dynamic.stats().rebuild;
+        // Batched core apply: mutations land in order, all new entries
+        // merge with a single Bentley–Saxe carry.
+        let outcome = dynamic.apply(updates);
+        if outcome.inserted.is_empty() && outcome.removed == 0 && outcome.moved == 0 {
+            // Every update missed: nothing changed, keep the epoch.
+            return noop_report(outcome.missed);
+        }
+        let delta = dynamic.stats().rebuild.since(&before);
+        let report = ApplyReport {
+            epoch: old.epoch + 1,
+            inserted: outcome.inserted,
+            removed: outcome.removed,
+            moved: outcome.moved,
+            missed: outcome.missed,
+            live: dynamic.len(),
+            tombstones: dynamic.tombstones(),
+            merges: delta.merges,
+            global_rebuilds: delta.global_rebuilds,
+            sites_rebuilt: delta.sites_rebuilt,
+        };
+
+        // No materialization here: the flat set is produced lazily on first
+        // need (quant paths, static-structure builds). Shape summaries for
+        // the planner come from an allocation-free scan.
+        let ids = dynamic.live_ids();
+        let (total_locations, max_k, spread) = dynamic.live_shape();
+        let core = Arc::new(EngineCore {
+            epoch: report.epoch,
+            n: dynamic.len(),
+            total_locations,
+            max_k,
+            ids: Some(Arc::new(ids)),
+            dynamic: Some(Arc::new(dynamic)),
+            spread,
+            cache: Arc::clone(&old.cache),
+            structures: Structures::default(),
+            config: old.config,
+            set: OnceLock::new(),
+        });
+        *self.core.write().unwrap() = core;
+        report
     }
 
     /// Resolved worker count.
@@ -312,17 +572,19 @@ impl Engine {
 
     /// Current number of cached entries.
     pub fn cache_len(&self) -> usize {
-        self.core.cache.len()
+        self.snapshot().cache.len()
     }
 
     /// Plans and executes one batch: answers are returned in request order,
-    /// alongside the plan taken and the execution stats.
+    /// alongside the plan taken and the execution stats. The whole batch is
+    /// served from one epoch snapshot ([`ExecStats::epoch`]).
     pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResponse {
         let t0 = Instant::now();
+        let core = self.snapshot();
         let predicates_before = predicate_stats();
         let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
-        let plan = self.plan_for(nonzero_count, requests.len() - nonzero_count);
-        let (prepared, built) = self.prepare(&plan);
+        let plan = plan_for(&core, nonzero_count, requests.len() - nonzero_count);
+        let (prepared, built) = prepare(&core, &plan);
         let counters = Arc::new(BatchCounters::default());
 
         let (results, worker_busy) = if requests.is_empty() {
@@ -333,7 +595,7 @@ impl Engine {
             let e0 = Instant::now();
             let results = requests
                 .iter()
-                .map(|r| exec_one(&self.core, &prepared, *r, &counters, &mut scratch))
+                .map(|r| exec_one(&core, &prepared, *r, &counters, &mut scratch))
                 .collect();
             (results, vec![e0.elapsed()])
         } else {
@@ -341,7 +603,7 @@ impl Engine {
             let (rtx, rrx) = std::sync::mpsc::channel();
             let mut shards = 0usize;
             for (si, chunk) in requests.chunks(shard).enumerate() {
-                let core = Arc::clone(&self.core);
+                let core = Arc::clone(&core);
                 let prepared = prepared.clone();
                 let counters = Arc::clone(&counters);
                 let chunk: Vec<QueryRequest> = chunk.to_vec();
@@ -384,6 +646,9 @@ impl Engine {
                 cache_hits: counters.hits.load(Ordering::Relaxed),
                 cache_misses: counters.misses.load(Ordering::Relaxed),
                 workers: self.pool.len(),
+                epoch: core.epoch,
+                live_sites: core.n,
+                tombstones: core.dynamic.as_ref().map_or(0, |d| d.tombstones()),
                 worker_busy,
                 predicate_filter_hits: predicates.filter_hits,
                 predicate_exact_fallbacks: predicates.exact_fallbacks,
@@ -393,97 +658,105 @@ impl Engine {
 
     /// Probability estimates for a single query through the planner + cache
     /// (the path Threshold/TopK answers are derived from), with the
-    /// guarantee they are served under. Exposed for tests and calibration.
+    /// guarantee they are served under. Dense over the current epoch's live
+    /// sites in [`site_ids`](Self::site_ids) order. Exposed for tests and
+    /// calibration.
     pub fn estimates(&self, q: Point) -> (Vec<f64>, Guarantee) {
-        let plan = self.plan_for(0, 1);
-        let (prepared, _) = self.prepare(&plan);
+        let core = self.snapshot();
+        let plan = plan_for(&core, 0, 1);
+        let (prepared, _) = prepare(&core, &plan);
         let counters = BatchCounters::default();
         let quant = prepared.quant.as_ref().expect("quant plan for 1 request");
-        let (pi, g) = quant_vector(&self.core, quant, q, &counters);
+        let (pi, g) = quant_vector(&core, quant, q, &counters);
         (pi.as_ref().clone(), g)
     }
+}
 
-    fn plan_for(&self, nonzero_count: usize, quant_count: usize) -> BatchPlan {
-        let core = &self.core;
-        planner::plan(&PlannerInputs {
-            n: core.set.len(),
-            total_locations: core.set.total_locations(),
-            max_k: core.set.max_k(),
-            spread: core.spread,
-            nonzero_count,
-            quant_count,
-            guarantee: core.config.guarantee,
-            diagram_cap: core.config.diagram_cap,
-            index_built: core.structures.index.lock().unwrap().is_some(),
-            diagram_built: core.structures.diagram.lock().unwrap().is_some(),
-            spiral_built: core.structures.spiral.lock().unwrap().is_some(),
-            mc_built_samples: core.structures.mc.lock().unwrap().as_ref().map(|(s, _)| *s),
-        })
-    }
+fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> BatchPlan {
+    planner::plan(&PlannerInputs {
+        n: core.n,
+        total_locations: core.total_locations,
+        max_k: core.max_k,
+        spread: core.spread,
+        nonzero_count,
+        quant_count,
+        guarantee: core.config.guarantee,
+        diagram_cap: core.config.diagram_cap,
+        index_built: core.structures.index.lock().unwrap().is_some(),
+        diagram_built: core.structures.diagram.lock().unwrap().is_some(),
+        spiral_built: core.structures.spiral.lock().unwrap().is_some(),
+        mc_built_samples: core.structures.mc.lock().unwrap().as_ref().map(|(s, _)| *s),
+        dynamic_ready: core.dynamic.is_some(),
+        dynamic_buckets: core.dynamic.as_ref().map_or(0, |d| d.stats().buckets),
+    })
+}
 
-    /// Builds (or fetches) the structures the plan needs, on the calling
-    /// thread, so workers only ever read shared `Arc`s.
-    fn prepare(&self, plan: &BatchPlan) -> (Prepared, Vec<&'static str>) {
-        let core = &self.core;
-        let mut built = vec![];
-        let nonzero = plan.nonzero.map(|np| match np {
-            NonzeroPlan::Brute => PreparedNonzero::Brute,
-            NonzeroPlan::Index => {
-                let mut slot = core.structures.index.lock().unwrap();
-                let arc = slot
-                    .get_or_insert_with(|| {
-                        built.push("nonzero-index");
-                        Arc::new(DiscreteNonzeroIndex::build(&core.set))
-                    })
-                    .clone();
-                PreparedNonzero::Index(arc)
+/// Builds (or fetches) the structures the plan needs, on the calling
+/// thread, so workers only ever read shared `Arc`s.
+fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>) {
+    let mut built = vec![];
+    let nonzero = plan.nonzero.map(|np| match np {
+        NonzeroPlan::Brute => PreparedNonzero::Brute,
+        NonzeroPlan::Index => {
+            let mut slot = core.structures.index.lock().unwrap();
+            let arc = slot
+                .get_or_insert_with(|| {
+                    built.push("nonzero-index");
+                    Arc::new(DiscreteNonzeroIndex::build(core.set()))
+                })
+                .clone();
+            PreparedNonzero::Index(arc)
+        }
+        NonzeroPlan::Diagram => {
+            let mut slot = core.structures.diagram.lock().unwrap();
+            let arc = slot
+                .get_or_insert_with(|| {
+                    built.push("vnz-diagram");
+                    Arc::new(DiscreteNonzeroDiagram::build(
+                        core.set(),
+                        &working_bbox(core.set()),
+                    ))
+                })
+                .clone();
+            PreparedNonzero::Diagram(arc)
+        }
+        NonzeroPlan::Dynamic => PreparedNonzero::Dynamic(Arc::clone(
+            core.dynamic
+                .as_ref()
+                .expect("dynamic plan is only priced when the structure exists"),
+        )),
+    });
+    let quant = plan.quant.map(|qp| match qp {
+        QuantPlan::Exact => PreparedQuant::Exact,
+        QuantPlan::Spiral { eps } => {
+            let mut slot = core.structures.spiral.lock().unwrap();
+            let arc = slot
+                .get_or_insert_with(|| {
+                    built.push("spiral");
+                    Arc::new(SpiralSearch::build(core.set()))
+                })
+                .clone();
+            PreparedQuant::Spiral(arc, eps)
+        }
+        QuantPlan::MonteCarlo { samples } => {
+            let mut slot = core.structures.mc.lock().unwrap();
+            let rebuild = slot.as_ref().is_none_or(|(have, _)| *have < samples);
+            if rebuild {
+                built.push("monte-carlo");
+                let mut rng = StdRng::seed_from_u64(core.config.mc_seed);
+                let mc = MonteCarloPnn::build_discrete(
+                    core.set(),
+                    samples,
+                    SampleBackend::KdTree,
+                    &mut rng,
+                );
+                *slot = Some((samples, Arc::new(mc)));
             }
-            NonzeroPlan::Diagram => {
-                let mut slot = core.structures.diagram.lock().unwrap();
-                let arc = slot
-                    .get_or_insert_with(|| {
-                        built.push("vnz-diagram");
-                        Arc::new(DiscreteNonzeroDiagram::build(
-                            &core.set,
-                            &working_bbox(&core.set),
-                        ))
-                    })
-                    .clone();
-                PreparedNonzero::Diagram(arc)
-            }
-        });
-        let quant = plan.quant.map(|qp| match qp {
-            QuantPlan::Exact => PreparedQuant::Exact,
-            QuantPlan::Spiral { eps } => {
-                let mut slot = core.structures.spiral.lock().unwrap();
-                let arc = slot
-                    .get_or_insert_with(|| {
-                        built.push("spiral");
-                        Arc::new(SpiralSearch::build(&core.set))
-                    })
-                    .clone();
-                PreparedQuant::Spiral(arc, eps)
-            }
-            QuantPlan::MonteCarlo { samples } => {
-                let mut slot = core.structures.mc.lock().unwrap();
-                let rebuild = slot.as_ref().is_none_or(|(have, _)| *have < samples);
-                if rebuild {
-                    built.push("monte-carlo");
-                    let mut rng = StdRng::seed_from_u64(core.config.mc_seed);
-                    let mc = MonteCarloPnn::build_discrete(
-                        &core.set,
-                        samples,
-                        SampleBackend::KdTree,
-                        &mut rng,
-                    );
-                    *slot = Some((samples, Arc::new(mc)));
-                }
-                let (_, arc) = slot.as_ref().unwrap();
-                PreparedQuant::MonteCarlo(Arc::clone(arc), core.config.guarantee)
-            }
-        });
-        (Prepared { nonzero, quant }, built)
-    }
+            let (_, arc) = slot.as_ref().unwrap();
+            PreparedQuant::MonteCarlo(Arc::clone(arc), core.config.guarantee)
+        }
+    });
+    (Prepared { nonzero, quant }, built)
 }
 
 /// Working box for the `V≠0` diagram: the set's bounding box, moderately
@@ -511,9 +784,10 @@ fn exec_one(
     match req {
         QueryRequest::Nonzero { q } => {
             let plan = prepared.nonzero.as_ref().expect("nonzero plan");
-            // All three plans are exact (Guarantee::Exact), so their
-            // answers share one cache key and warm each other's entries.
-            let key = CacheKey::nonzero(q);
+            // All four plans are exact (Guarantee::Exact), so their
+            // answers share one (epoch-stamped) cache key and warm each
+            // other's entries. Cached vectors hold stable site ids.
+            let key = CacheKey::nonzero(core.epoch, q);
             if core.cache.enabled() {
                 if let Some(CachedValue::Nonzero(ids)) = core.cache.get(&key) {
                     counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -522,13 +796,15 @@ fn exec_one(
                 counters.misses.fetch_add(1, Ordering::Relaxed);
             }
             let mut ids = match plan {
-                PreparedNonzero::Brute => nonzero_nn_discrete(&core.set, q),
-                PreparedNonzero::Index(idx) => idx.query_with(q, scratch),
+                PreparedNonzero::Brute => core.map_dense(nonzero_nn_discrete(core.set(), q)),
+                PreparedNonzero::Index(idx) => core.map_dense(idx.query_with(q, scratch)),
                 // Exact per Theorem 2.14: certified point location over the
                 // exact-predicate slab structure, with the Lemma 2.1
                 // fallback for boundary/guard-band queries — never inherits
                 // coordinate-snapping error.
-                PreparedNonzero::Diagram(diag) => diag.query_located(q),
+                PreparedNonzero::Diagram(diag) => core.map_dense(diag.query_located(q)),
+                // Already in stable site ids.
+                PreparedNonzero::Dynamic(d) => d.nonzero(q),
             };
             ids.sort_unstable();
             core.cache
@@ -546,6 +822,7 @@ fn exec_one(
                 .filter(|&(_, p)| p >= tau - slack)
                 .collect();
             sort_ranked(&mut items);
+            map_ranked(core, &mut items);
             QueryResult::Ranked { items, guarantee }
         }
         QueryRequest::TopK { q, k } => {
@@ -559,8 +836,18 @@ fn exec_one(
                 .collect();
             sort_ranked(&mut items);
             items.truncate(k);
+            map_ranked(core, &mut items);
             QueryResult::Ranked { items, guarantee }
         }
+    }
+}
+
+/// Rewrites dense indices of ranked items to stable site ids. Done *after*
+/// sorting: the dense→id map is monotone, so the tie order (by ascending
+/// index) is unchanged.
+fn map_ranked(core: &EngineCore, items: &mut [(usize, f64)]) {
+    for (i, _) in items.iter_mut() {
+        *i = core.public_id(*i);
     }
 }
 
@@ -601,7 +888,7 @@ fn quant_vector(
     // Snapped evaluation happens whenever a grid is set — with or without a
     // live cache — so answers never depend on cache state.
     let snapped = grid > 0.0 && matches!(quant, PreparedQuant::Exact);
-    let key = CacheKey::quant(q, if snapped { grid } else { 0.0 }, tag);
+    let key = CacheKey::quant(core.epoch, q, if snapped { grid } else { 0.0 }, tag);
     if core.cache.enabled() {
         if let Some(CachedValue::Quant { pi, guarantee }) = core.cache.get(&key) {
             counters.hits.fetch_add(1, Ordering::Relaxed);
@@ -611,7 +898,7 @@ fn quant_vector(
     }
     let (pi, guarantee) = if snapped {
         let center = snap_center(q, grid);
-        let (mid, halfwidth) = snap::interval_quantification(&core.set, center, snap_radius(grid));
+        let (mid, halfwidth) = snap::interval_quantification(core.set(), center, snap_radius(grid));
         let g = if halfwidth > 0.0 {
             Guarantee::Additive(halfwidth)
         } else {
@@ -620,7 +907,7 @@ fn quant_vector(
         (mid, g)
     } else {
         let pi = match quant {
-            PreparedQuant::Exact => quantification_discrete(&core.set, q),
+            PreparedQuant::Exact => quantification_discrete(core.set(), q),
             PreparedQuant::Spiral(s, eps) => s.estimate_all(q, *eps),
             PreparedQuant::MonteCarlo(mc, _) => mc.estimate_all(q),
         };
@@ -640,6 +927,7 @@ fn quant_vector(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uncertain_nn::model::DiscreteUncertainPoint;
     use uncertain_nn::queries::{threshold_nn, top_k_probable, ExactQuantifier};
     use uncertain_nn::workload;
 
@@ -685,6 +973,98 @@ mod tests {
                 other => panic!("shape mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn apply_publishes_new_epoch_with_stable_ids_and_fresh_answers() {
+        let (set, eng) = engine(25, EngineConfig::default());
+        let q = Point::new(0.0, 0.0);
+        let batch = [QueryRequest::Nonzero { q }, QueryRequest::TopK { q, k: 4 }];
+        let r0 = eng.run_batch(&batch);
+        assert_eq!(r0.stats.epoch, 0);
+        assert_eq!(r0.stats.tombstones, 0);
+        assert_eq!(r0.stats.live_sites, set.len());
+
+        // Remove every currently-possible NN and insert a certain site at q.
+        let QueryResult::Nonzero(old_ids) = r0.results[0].clone() else {
+            panic!("shape");
+        };
+        let mut updates: Vec<Update> = old_ids.iter().map(|&i| Update::Remove(i)).collect();
+        updates.push(Update::Insert(DiscreteUncertainPoint::certain(q)));
+        let report = eng.apply(&updates);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.removed, old_ids.len());
+        assert_eq!(report.inserted, vec![set.len()]);
+        assert_eq!(report.live, set.len() - old_ids.len() + 1);
+        assert_eq!(eng.epoch(), 1);
+
+        let r1 = eng.run_batch(&batch);
+        assert_eq!(r1.stats.epoch, 1);
+        // The inserted certain site at q is now the unique possible NN, and
+        // the epoch-stamped cache never replays the dead epoch's answer.
+        assert_eq!(r1.results[0], QueryResult::Nonzero(vec![set.len()]));
+        let QueryResult::Ranked { items, .. } = &r1.results[1] else {
+            panic!("shape");
+        };
+        assert_eq!(items[0], (set.len(), 1.0));
+        // Full consistency with a fresh static build over the survivors.
+        let fresh = eng.live_set();
+        let ids = eng.site_ids();
+        assert_eq!(fresh.len(), report.live);
+        let mut direct: Vec<usize> = fresh.nonzero_nn(q).into_iter().map(|d| ids[d]).collect();
+        direct.sort_unstable();
+        assert_eq!(r1.results[0], QueryResult::Nonzero(direct));
+        // Dead ids stay dead; unknown ids are reported as missed — and an
+        // apply that changes nothing keeps the epoch (and its warm cache).
+        let report2 = eng.apply(&[Update::Remove(old_ids[0]), Update::Remove(10_000)]);
+        assert_eq!(report2.epoch, 1, "all-missed apply must not bump the epoch");
+        assert_eq!(report2.missed, 2);
+        assert_eq!(report2.live, report.live);
+        let report3 = eng.apply(&[]);
+        assert_eq!(report3.epoch, 1, "empty apply must not bump the epoch");
+        let warm = eng.run_batch(&batch);
+        assert_eq!(warm.stats.epoch, 1);
+        assert_eq!(
+            warm.stats.cache_hits,
+            batch.len(),
+            "no-op applies keep the cache warm"
+        );
+        assert_eq!(warm.results, r1.results);
+    }
+
+    #[test]
+    fn dynamic_plan_serves_after_updates_and_matches_brute() {
+        // Large enough that brute loses; warm buckets beat a fresh index.
+        let set = workload::random_discrete_set(3000, 3, 4.0, 77);
+        let eng = Engine::new(set, EngineConfig::default());
+        let mut updates: Vec<Update> = (0..60).map(Update::Remove).collect();
+        for q in workload::random_queries(20, 50.0, 78) {
+            updates.push(Update::Insert(DiscreteUncertainPoint::certain(q)));
+        }
+        let report = eng.apply(&updates);
+        assert!(report.merges > 0);
+        assert_eq!(
+            report.tombstones as usize + report.live,
+            3000 - 60 + 20 + 60
+        );
+        let batch: Vec<QueryRequest> = workload::random_queries(128, 60.0, 79)
+            .into_iter()
+            .map(|q| QueryRequest::Nonzero { q })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.nonzero, Some(NonzeroPlan::Dynamic));
+        assert!(resp.stats.built.is_empty(), "dynamic plan builds nothing");
+        let fresh = eng.live_set();
+        let ids = eng.site_ids();
+        for (req, res) in batch.iter().zip(&resp.results) {
+            let (QueryRequest::Nonzero { q }, QueryResult::Nonzero(got)) = (req, res) else {
+                panic!("shape");
+            };
+            let mut want: Vec<usize> = fresh.nonzero_nn(*q).into_iter().map(|d| ids[d]).collect();
+            want.sort_unstable();
+            assert_eq!(got, &want, "q = {q}");
+        }
+        assert!(eng.dynamic_stats().unwrap().buckets >= 1);
     }
 
     #[test]

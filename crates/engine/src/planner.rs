@@ -32,6 +32,11 @@ pub enum NonzeroPlan {
     Index,
     /// `V≠0(P)` + slab point location (Theorem 2.14).
     Diagram,
+    /// The Bentley–Saxe bucket structure maintained across updates — zero
+    /// build cost (its per-bucket indexes are kept warm incrementally by
+    /// `apply`), queries pay the Theorem 3.2 shape once per bucket. Only
+    /// available after the engine has applied updates.
+    Dynamic,
 }
 
 /// Execution strategy for the probability (Threshold/TopK) requests.
@@ -51,6 +56,7 @@ impl std::fmt::Display for NonzeroPlan {
             NonzeroPlan::Brute => write!(f, "nonzero:brute"),
             NonzeroPlan::Index => write!(f, "nonzero:index"),
             NonzeroPlan::Diagram => write!(f, "nonzero:diagram"),
+            NonzeroPlan::Dynamic => write!(f, "nonzero:dynamic"),
         }
     }
 }
@@ -103,6 +109,11 @@ pub struct PlannerInputs {
     pub spiral_built: bool,
     /// Sample count of an already-built Monte-Carlo structure, if any.
     pub mc_built_samples: Option<usize>,
+    /// The engine has a warm Bentley–Saxe structure (epoch > 0): the
+    /// `nonzero:dynamic` candidate is priced with zero build cost.
+    pub dynamic_ready: bool,
+    /// Occupied buckets of that structure (its per-query fan-out).
+    pub dynamic_buckets: usize,
 }
 
 /// The planner's decision for one batch, with the full cost table.
@@ -155,6 +166,17 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 16.0 * (nn.sqrt() + kbar + 24.0),
             ),
         ];
+        if inp.dynamic_ready {
+            // Same two-stage query shape as the Theorem 3.2 index, fanned
+            // out over the occupied buckets; the build is already paid for
+            // incrementally by `apply`, so it is never charged here.
+            let buckets = inp.dynamic_buckets.max(1) as f64;
+            cands.push((
+                NonzeroPlan::Dynamic,
+                0.0,
+                16.0 * (nn.sqrt() + kbar + 24.0) + 8.0 * buckets * lg(nn),
+            ));
+        }
         if inp.n >= 2 && inp.n <= inp.diagram_cap {
             // Theorem 2.14: the arrangement has O(k n³) pieces; building it
             // dominates by far, queries are a logarithmic slab search that
@@ -269,7 +291,30 @@ mod tests {
             diagram_built: false,
             spiral_built: false,
             mc_built_samples: None,
+            dynamic_ready: false,
+            dynamic_buckets: 0,
         }
+    }
+
+    #[test]
+    fn dynamic_candidate_appears_only_when_ready_and_beats_cold_index() {
+        let cold = plan(&base(5000, 3, 64, 0, Guarantee::Exact));
+        assert!(cold.estimates.iter().all(|e| e.name != "nonzero:dynamic"));
+
+        let mut inp = base(5000, 3, 64, 0, Guarantee::Exact);
+        inp.dynamic_ready = true;
+        inp.dynamic_buckets = 6;
+        let p = plan(&inp);
+        // For a moderate batch the warm bucket structure wins over paying a
+        // fresh O(N log N) index build.
+        assert_eq!(p.nonzero, Some(NonzeroPlan::Dynamic));
+        // Once the static index exists too (sunk), huge batches may prefer
+        // its lower per-query constant; the dynamic row is still priced.
+        inp.nonzero_count = 10_000_000;
+        inp.index_built = true;
+        let p = plan(&inp);
+        assert!(p.estimates.iter().any(|e| e.name == "nonzero:dynamic"));
+        assert_eq!(p.nonzero, Some(NonzeroPlan::Index));
     }
 
     #[test]

@@ -125,13 +125,30 @@ impl GroupIndex {
     /// The two smallest `Δ_i(q)` values: `(best, best group id, second)`;
     /// `second` is `+∞` with a single group (see Lemma 2.1's `j ≠ i`).
     pub fn two_min_max_dist(&self, q: Point) -> Option<(f64, u32, f64)> {
+        self.two_min_max_dist_where(q, |_| true)
+    }
+
+    /// Like [`two_min_max_dist`](Self::two_min_max_dist), restricted to
+    /// groups for which `live(id)` holds — the query primitive for callers
+    /// that overlay tombstones on a static index (e.g. the Bentley–Saxe
+    /// dynamic layer). Returns `None` when no live group exists; `second`
+    /// is `+∞` with exactly one live group.
+    pub fn two_min_max_dist_where(
+        &self,
+        q: Point,
+        mut live: impl FnMut(u32) -> bool,
+    ) -> Option<(f64, u32, f64)> {
         if self.is_empty() {
             return None;
         }
-        let mut best = (f64::INFINITY, 0u32);
+        let mut best = (f64::INFINITY, u32::MAX);
         let mut second = f64::INFINITY;
-        self.min_rec(0, q, &mut best, &mut second);
-        Some((best.0, best.1, second))
+        self.min_rec(0, q, &mut live, &mut best, &mut second);
+        if best.1 == u32::MAX {
+            None
+        } else {
+            Some((best.0, best.1, second))
+        }
     }
 
     /// The `m` smallest `Δ_i(q)` values with group ids, sorted ascending.
@@ -198,7 +215,14 @@ impl GroupIndex {
         }
     }
 
-    fn min_rec(&self, node: u32, q: Point, best: &mut (f64, u32), second: &mut f64) {
+    fn min_rec(
+        &self,
+        node: u32,
+        q: Point,
+        live: &mut impl FnMut(u32) -> bool,
+        best: &mut (f64, u32),
+        second: &mut f64,
+    ) {
         let n = &self.nodes[node as usize];
         // Valid lower bound on Δ_i(q) for any group below this node:
         // Δ_i(q) ≥ max(‖q − c_i‖, rad_i) ≥ max(dist(q, bbox), min_rad).
@@ -208,6 +232,9 @@ impl GroupIndex {
         }
         if n.is_leaf() {
             for g in &self.groups[n.start as usize..n.end as usize] {
+                if !live(g.id) {
+                    continue;
+                }
                 // Per-group lower bound first (cheap), then exact hull scan.
                 let lb = q.dist(g.sec.center).max(g.sec.radius);
                 if lb >= *second {
@@ -227,11 +254,11 @@ impl GroupIndex {
         let bl = self.nodes[l as usize].bbox.dist_to_point(q);
         let br = self.nodes[r as usize].bbox.dist_to_point(q);
         if bl <= br {
-            self.min_rec(l, q, best, second);
-            self.min_rec(r, q, best, second);
+            self.min_rec(l, q, live, best, second);
+            self.min_rec(r, q, live, best, second);
         } else {
-            self.min_rec(r, q, best, second);
-            self.min_rec(l, q, best, second);
+            self.min_rec(r, q, live, best, second);
+            self.min_rec(l, q, live, best, second);
         }
     }
 }
@@ -297,6 +324,50 @@ mod tests {
                 .fold(f64::NEG_INFINITY, f64::max);
             assert!((attained - brute).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn filtered_two_min_max_matches_filtered_brute() {
+        let groups = random_groups(80, 5, 13);
+        let idx = GroupIndex::build(&groups);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for round in 0..40 {
+            let q = Point::new(next() * 120.0 - 60.0, next() * 120.0 - 60.0);
+            // A different live mask every round (~half the groups dead).
+            let mask: Vec<bool> = (0..groups.len()).map(|i| (i + round) % 2 == 0).collect();
+            let mut dists: Vec<(f64, u32)> = groups
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask[i])
+                .map(|(i, g)| {
+                    (
+                        g.iter()
+                            .map(|&p| q.dist(p))
+                            .fold(f64::NEG_INFINITY, f64::max),
+                        i as u32,
+                    )
+                })
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let (got_d, got_id, got_second) = idx
+                .two_min_max_dist_where(q, |id| mask[id as usize])
+                .unwrap();
+            assert!(mask[got_id as usize], "reported a dead group");
+            assert!((got_d - dists[0].0).abs() < 1e-9);
+            assert!((got_second - dists[1].0).abs() < 1e-9);
+        }
+        // All dead → no answer; one live → second is +∞.
+        let q = Point::new(0.0, 0.0);
+        assert!(idx.two_min_max_dist_where(q, |_| false).is_none());
+        let (_, only, second) = idx.two_min_max_dist_where(q, |id| id == 3).unwrap();
+        assert_eq!(only, 3);
+        assert!(second.is_infinite());
     }
 
     #[test]

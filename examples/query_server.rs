@@ -7,23 +7,30 @@
 //!
 //! Simulates a small serving workload: a fleet of uncertain points, waves
 //! of mixed request batches (nonzero / threshold / top-k), a repeated wave
-//! that exercises the result cache, and a tighter-guarantee engine. After
+//! that exercises the result cache, live churn absorbed through the
+//! epoch/snapshot `apply()` layer, and a tighter-guarantee engine. After
 //! every batch the engine reports its `ExecStats`: the plan the cost-based
-//! planner took, the wall time, cache hit rate, and worker utilization.
+//! planner took, the wall time, cache hit rate, worker utilization, and the
+//! epoch + live/tombstone site counts the batch was served under.
 
-use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult};
+use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, Update};
+use uncertain_geom::Point;
+use uncertain_nn::model::DiscreteUncertainPoint;
 use uncertain_nn::queries::Guarantee;
 use uncertain_nn::workload;
 
 fn describe(tag: &str, resp: &uncertain_engine::BatchResponse) {
     let s = &resp.stats;
     println!(
-        "[{tag}] plan: {:<28} wall {:>9.2?}  {:>8.0} q/s  cache {:>4.0}%  util {:>3.0}%  built {:?}",
+        "[{tag}] plan: {:<28} wall {:>9.2?}  {:>8.0} q/s  cache {:>4.0}%  util {:>3.0}%  epoch {} ({} live, {} dead)  built {:?}",
         s.plan.summary(),
         s.wall,
         s.throughput_qps(),
         100.0 * s.cache_hit_rate(),
         100.0 * s.worker_utilization(),
+        s.epoch,
+        s.live_sites,
+        s.tombstones,
         s.built,
     );
 }
@@ -71,6 +78,52 @@ fn main() {
         .map(|q| QueryRequest::Nonzero { q })
         .collect();
     describe("wave 3 new ", &engine.run_batch(&wave3));
+
+    // Wave 4: live churn — sites expire, arrive, and move through the
+    // epoch/snapshot layer. Each apply() publishes a new epoch; the
+    // Bentley–Saxe buckets absorb the updates without a full rebuild, and
+    // the epoch-stamped cache retires the old epoch's entries for free.
+    for round in 0..3 {
+        let mut updates: Vec<Update> = (0..64).map(|i| Update::Remove(round * 64 + i)).collect();
+        for i in 0..48 {
+            let v = (round * 48 + i) as f64;
+            updates.push(Update::Insert(DiscreteUncertainPoint::uniform(vec![
+                Point::new((v * 1.7) % 50.0 - 25.0, (v * 2.9) % 50.0 - 25.0),
+                Point::new((v * 3.1) % 50.0 - 25.0, (v * 0.7) % 50.0 - 25.0),
+            ])));
+        }
+        for i in 0..16 {
+            updates.push(Update::Move {
+                id: 1000 + round * 16 + i,
+                to: DiscreteUncertainPoint::certain(Point::new(
+                    (i as f64 * 5.3) % 40.0 - 20.0,
+                    (round as f64 * 7.1) % 40.0 - 20.0,
+                )),
+            });
+        }
+        let report = engine.apply(&updates);
+        println!(
+            "[churn {round}] epoch {} | +{} inserted, -{} removed, {} moved | {} live / {} tombstones | {} merges touching {} sites, {} global rebuilds",
+            report.epoch,
+            report.inserted.len(),
+            report.removed,
+            report.moved,
+            report.live,
+            report.tombstones,
+            report.merges,
+            report.sites_rebuilt,
+            report.global_rebuilds,
+        );
+        describe("churn serve", &engine.run_batch(&wave3));
+    }
+    if let Some(stats) = engine.dynamic_stats() {
+        println!(
+            "         dynamic structure: {} buckets ({} indexed), amortized {:.1} sites rebuilt/update\n",
+            stats.buckets,
+            stats.indexed_buckets,
+            stats.rebuild.amortized_rebuild_cost(),
+        );
+    }
 
     // A second engine serving ε-approximate answers: the planner switches
     // to the spiral-search quantifier for the same request shapes.
