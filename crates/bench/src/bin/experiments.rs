@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every quantitative artifact of the paper.
 //!
 //! Usage: `cargo run --release -p uncertain_bench --bin experiments [-- ARGS]`
-//! where ARGS is any subset of {E1..E17, E24..E28, A1..A6} (default: all)
+//! where ARGS is any subset of {E1..E17, E24..E30, A1..A6} (default: all)
 //! plus:
 //!
 //! * `--list` — print every experiment id with a one-line description;
@@ -137,6 +137,16 @@ const EXPERIMENTS: &[(&str, &str, fn())] = &[
         "E28",
         "dynamic updates: amortized Bentley–Saxe update cost vs n",
         e28_amortized_updates,
+    ),
+    (
+        "E29",
+        "dynamic quantification: k-way merged summaries vs fresh sweep under churn",
+        e29_merged_quantification,
+    ),
+    (
+        "E30",
+        "dynamic quantification: merged-vs-fresh crossover vs bucket count",
+        e30_merge_crossover,
     ),
     (
         "A1",
@@ -1329,6 +1339,8 @@ fn e25_planner_crossover() {
                 mc_built_samples: None,
                 dynamic_ready: false,
                 dynamic_buckets: 0,
+                dynamic_quant_cold_locations: 0,
+                quant_snapped: false,
             });
             cells.push(plan.summary().replace("nonzero:", ""));
         }
@@ -1367,6 +1379,8 @@ fn e25_planner_crossover() {
                 mc_built_samples: None,
                 dynamic_ready: false,
                 dynamic_buckets: 0,
+                dynamic_quant_cold_locations: 0,
+                quant_snapped: false,
             });
             cells.push(plan.summary().replace("quant:", ""));
         }
@@ -1390,6 +1404,8 @@ fn e25_planner_crossover() {
         mc_built_samples: None,
         dynamic_ready: false,
         dynamic_buckets: 0,
+        dynamic_quant_cold_locations: 0,
+        quant_snapped: false,
     });
     let mut t = Table::new(&["candidate", "build", "per-query", "total", "chosen"]);
     for e in &plan.estimates {
@@ -1706,4 +1722,224 @@ fn e28_amortized_updates() {
         ratios.iter().all(|&r| r < 6.0),
         "amortized update cost is not logarithmic: {ratios:?}"
     );
+}
+
+/// E29: merged quantification vs the fresh sweep under churn — the same
+/// dynamic structure absorbing update waves, then serving the identical
+/// quantification batch through both exact plan variants. Fresh pays the
+/// full `O(N log N)` assemble+sort per query; merged draws warm per-bucket
+/// distance-ordered streams through the k-way merge and stops at the
+/// sweep's early exit. Answers are cross-checked bitwise every round.
+fn e29_merged_quantification() {
+    use rand::Rng;
+    use uncertain_nn::dynamic::{DynamicConfig, DynamicSet, Update};
+    use uncertain_nn::model::DiscreteUncertainPoint;
+    header(
+        "E29",
+        "merged quantification vs fresh sweep under churn",
+        "per-bucket sorted summaries + k-way merge make quantification churn-native (sublinear once warm)",
+    );
+    let n = scaled(4_096).max(64);
+    let rounds = if uncertain_bench::smoke() { 2 } else { 5 };
+    let queries = workload::random_queries(scaled(64).max(8), 60.0, 29);
+    let mut t = Table::new(&[
+        "churn/round",
+        "merged µs/q",
+        "fresh µs/q",
+        "speedup",
+        "bucket reuse",
+        "entries/N",
+    ]);
+    let mut low_churn_speedups = vec![];
+    for &rate in sweep(&[0.01f64, 0.10, 0.25]) {
+        let base = workload::random_discrete_set(n, 3, 5.0, 2900 + (rate * 100.0) as u64);
+        let mut d = DynamicSet::from_set(&base, DynamicConfig::default());
+        let mut rng = StdRng::seed_from_u64(291);
+        let mut pool: Vec<usize> = (0..n).collect();
+        // Warm-up: the first quantification pass builds every bucket's
+        // summary once (the lazy one-time cost, like any index build).
+        for &q in &queries {
+            let _ = d.quantification_merged(q);
+        }
+        let (mut merged_secs, mut fresh_secs) = (0.0, 0.0);
+        let (mut touches, mut warm, mut entries, mut live_locs) = (0u64, 0u64, 0u64, 0u64);
+        let mut checksum = 0.0f64;
+        for round in 0..rounds {
+            let count = ((n as f64 * rate).ceil() as usize).max(1);
+            let mut updates = Vec::with_capacity(count);
+            for _ in 0..count {
+                match rng.gen_range(0..3u32) {
+                    1 if pool.len() > 1 => {
+                        let i = rng.gen_range(0..pool.len());
+                        updates.push(Update::Remove(pool.swap_remove(i)));
+                    }
+                    sel => {
+                        let c = Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0));
+                        let locs = (0..3)
+                            .map(|_| {
+                                Point::new(
+                                    c.x + rng.gen_range(-2.5..2.5),
+                                    c.y + rng.gen_range(-2.5..2.5),
+                                )
+                            })
+                            .collect();
+                        let site = DiscreteUncertainPoint::uniform(locs);
+                        if sel == 0 || pool.is_empty() {
+                            updates.push(Update::Insert(site));
+                        } else {
+                            let i = rng.gen_range(0..pool.len());
+                            updates.push(Update::Move {
+                                id: pool[i],
+                                to: site,
+                            });
+                        }
+                    }
+                }
+            }
+            let outcome = d.apply(&updates);
+            pool.extend(outcome.inserted);
+            // Merged pass (collecting the reuse metrics as the engine does).
+            let (_, secs) = time(|| {
+                for &q in &queries {
+                    let (pi, st) = d.quantification_merged_with_stats(q);
+                    touches += st.buckets as u64;
+                    warm += st.warm_buckets as u64;
+                    entries += st.entries_merged as u64;
+                    live_locs += st.live_locations as u64;
+                    checksum += pi.first().map_or(0.0, |&(_, p)| p);
+                }
+            });
+            merged_secs += secs;
+            // Fresh pass over the identical structure and queries.
+            let (_, secs) = time(|| {
+                for &q in &queries {
+                    let pi = d.quantification(q);
+                    checksum -= pi.first().map_or(0.0, |&(_, p)| p);
+                }
+            });
+            fresh_secs += secs;
+            // Cross-check bitwise on a sub-sample each round.
+            for &q in queries.iter().take(4) {
+                let merged = d.quantification_merged(q);
+                let fresh = d.quantification(q);
+                assert_eq!(merged.len(), fresh.len());
+                for ((mi, mp), (fi, fp)) in merged.iter().zip(&fresh) {
+                    assert_eq!(mi, fi);
+                    assert_eq!(
+                        mp.to_bits(),
+                        fp.to_bits(),
+                        "merged ≠ fresh at {q} (round {round})"
+                    );
+                }
+            }
+        }
+        assert!(checksum.abs() < 1e-9, "plan variants diverged: {checksum}");
+        let per_q = (rounds * queries.len()) as f64;
+        let speedup = fresh_secs / merged_secs;
+        if rate <= 0.10 {
+            low_churn_speedups.push(speedup);
+        }
+        t.row(&[
+            format!("{:.0}%", rate * 100.0),
+            format!("{:.1}", merged_secs / per_q * 1e6),
+            format!("{:.1}", fresh_secs / per_q * 1e6),
+            format!("{speedup:.1}x"),
+            format!("{:.0}%", 100.0 * warm as f64 / touches.max(1) as f64),
+            format!("{:.3}", entries as f64 / live_locs.max(1) as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "   n = {n}, {} queries/round, {rounds} rounds; merged ≡ fresh bitwise each round",
+        queries.len()
+    );
+    if !uncertain_bench::smoke() {
+        assert!(
+            low_churn_speedups.iter().all(|&s| s > 1.0),
+            "merged path must beat the fresh sweep at ≤10% churn: {low_churn_speedups:?}"
+        );
+    }
+}
+
+/// E30: where the merged path starts winning as the structure's shape
+/// varies — the per-query cost of the k-way merge scales with the bucket
+/// fan-out and the live-set size (answer assembly), while the fresh sweep
+/// scales with `N log N`. Each n is measured in both extreme layouts: one
+/// compact bucket (a bulk load) and the maximally fragmented
+/// popcount-of-n layout an insert-only history produces.
+fn e30_merge_crossover() {
+    use uncertain_nn::dynamic::{DynamicConfig, DynamicSet};
+    header(
+        "E30",
+        "merged-vs-fresh crossover vs bucket count",
+        "merge overhead grows with bucket fan-out; the fresh sweep with N log N — they cross at small n",
+    );
+    let mut t = Table::new(&[
+        "n",
+        "buckets=1 µs/q",
+        "buckets",
+        "fragmented µs/q",
+        "fresh µs/q",
+        "best speedup",
+    ]);
+    // Non-powers of two: an insert-only history leaves one bucket per set
+    // bit of n, so these sizes produce genuinely fragmented layouts.
+    for &n in sweep(&[250usize, 1_000, 4_000, 16_000]) {
+        let n = scaled(n).max(22);
+        let base = workload::random_discrete_set(n, 3, 5.0, 3000 + n as u64);
+        let queries = workload::random_queries(scaled(48).max(8), 60.0, 30);
+        // Layout A: one compact bucket (bulk load).
+        let compact = DynamicSet::from_set(&base, DynamicConfig::default());
+        // Layout B: insert-built — popcount(n) buckets.
+        let mut fragmented = DynamicSet::new(DynamicConfig::default());
+        for p in &base.points {
+            fragmented.insert(p.clone());
+        }
+        let mut checksum = 0.0f64;
+        let mut measure = |d: &DynamicSet, merged: bool| {
+            // Warm pass, then timed passes.
+            for &q in &queries {
+                checksum += if merged {
+                    d.quantification_merged(q).first().map_or(0.0, |&(_, p)| p)
+                } else {
+                    d.quantification(q).first().map_or(0.0, |&(_, p)| p)
+                };
+            }
+            let reps = if uncertain_bench::smoke() { 1 } else { 3 };
+            let (_, secs) = time(|| {
+                for _ in 0..reps {
+                    for &q in &queries {
+                        if merged {
+                            checksum += d.quantification_merged(q).len() as f64;
+                        } else {
+                            checksum += d.quantification(q).len() as f64;
+                        }
+                    }
+                }
+            });
+            secs / (reps * queries.len()) as f64
+        };
+        let merged_compact = measure(&compact, true);
+        let merged_frag = measure(&fragmented, true);
+        let fresh = measure(&compact, false);
+        assert!(checksum > 0.0);
+        // Both layouts answer identically (ids 0..n in both).
+        for &q in queries.iter().take(3) {
+            assert_eq!(
+                compact.quantification_merged(q),
+                fragmented.quantification_merged(q)
+            );
+        }
+        let buckets = fragmented.stats().buckets;
+        t.row(&[
+            n.to_string(),
+            format!("{:.1}", merged_compact * 1e6),
+            buckets.to_string(),
+            format!("{:.1}", merged_frag * 1e6),
+            format!("{:.1}", fresh * 1e6),
+            format!("{:.1}x", fresh / merged_compact.min(merged_frag)),
+        ]);
+    }
+    t.print();
+    println!("   merged measured on 1-bucket and popcount(n)-bucket layouts of the same sites");
 }

@@ -15,10 +15,12 @@
 use std::sync::Arc;
 use std::sync::OnceLock;
 
+use super::quant::QuantIndex;
 use crate::expected::ExpectedNnIndex;
 use crate::model::{DiscreteSet, DiscreteUncertainPoint};
 use crate::nonzero::DiscreteNonzeroIndex;
 use uncertain_geom::Point;
+use uncertain_spatial::GroupIndex;
 
 pub(crate) struct Bucket {
     /// Entry indices into the dynamic set's entry slab, parallel to
@@ -26,11 +28,19 @@ pub(crate) struct Bucket {
     pub entry_idxs: Vec<u32>,
     /// Shared site payloads.
     sites: Vec<Arc<DiscreteUncertainPoint>>,
+    /// Σ locations over `sites`.
+    total_locations: usize,
     /// Theorem 3.2 structure; `None` = brute evaluation.
     nonzero: Option<DiscreteNonzeroIndex>,
     /// Expected-distance branch-and-bound index, built on first use (only
     /// for buckets over the index threshold; small buckets scan).
     expected: OnceLock<ExpectedNnIndex>,
+    /// Mergeable quantification summary (kd over locations + flat weight
+    /// tables), built on the first quantification touching this bucket.
+    /// Lives inside the `Arc`-shared bucket, so it stays warm across epoch
+    /// snapshots and is invalidated exactly when a carry or compaction
+    /// replaces the bucket.
+    quant: OnceLock<QuantIndex>,
 }
 
 impl Bucket {
@@ -48,8 +58,10 @@ impl Bucket {
         Bucket {
             entry_idxs,
             sites,
+            total_locations: total,
             nonzero,
             expected: OnceLock::new(),
+            quant: OnceLock::new(),
         }
     }
 
@@ -57,19 +69,53 @@ impl Bucket {
         self.nonzero.is_some()
     }
 
+    /// Σ locations stored in this bucket (live and tombstoned).
+    pub fn total_locations(&self) -> usize {
+        self.total_locations
+    }
+
+    /// Locations of local site `local`.
+    pub fn site_k(&self, local: usize) -> usize {
+        self.sites[local].k()
+    }
+
+    /// The stage-1 group index of an indexed bucket (site id = local index)
+    /// — the dynamic layer overlays per-node live counters on it so stage 1
+    /// can skip fully-dead subtrees.
+    pub fn group_index(&self) -> Option<&GroupIndex> {
+        self.nonzero.as_ref().map(|idx| idx.groups())
+    }
+
+    /// The mergeable quantification summary, built on first use.
+    pub fn quant_index(&self) -> &QuantIndex {
+        self.quant.get_or_init(|| QuantIndex::build(&self.sites))
+    }
+
+    /// Whether the quantification summary is already built (a warm bucket
+    /// costs a query nothing but the stream draw).
+    pub fn quant_warm(&self) -> bool {
+        self.quant.get().is_some()
+    }
+
     /// Stage 1 of the merged Lemma 2.1 query: the two smallest `Δ_i(q)`
     /// over live local sites, as `(Δ, local index, second Δ)`. `second` is
-    /// `+∞` with exactly one live site; `None` with none.
+    /// `+∞` with exactly one live site; `None` with none. For indexed
+    /// buckets, `group_live` (the slot's per-node live counters, maintained
+    /// against [`group_index`](Self::group_index)) lets the traversal skip
+    /// fully-dead subtrees instead of testing their groups one by one.
     pub fn two_min_max_where(
         &self,
         q: Point,
         live: &mut dyn FnMut(usize) -> bool,
+        group_live: Option<&[u32]>,
     ) -> Option<(f64, usize, f64)> {
         if let Some(idx) = &self.nonzero {
-            return idx
-                .groups()
-                .two_min_max_dist_where(q, |g| live(g as usize))
-                .map(|(d, g, s)| (d, g as usize, s));
+            let groups = idx.groups();
+            let found = match group_live {
+                Some(counts) => groups.two_min_max_dist_pruned(q, |g| live(g as usize), counts),
+                None => groups.two_min_max_dist_where(q, |g| live(g as usize)),
+            };
+            return found.map(|(d, g, s)| (d, g as usize, s));
         }
         let (mut best, mut best_i, mut second) = (f64::INFINITY, usize::MAX, f64::INFINITY);
         for (i, p) in self.sites.iter().enumerate() {

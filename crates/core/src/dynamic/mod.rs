@@ -33,11 +33,16 @@
 //! * Quantification recombines exactly because locations are independent
 //!   across sites: the Eq. (2) survival factors multiply across buckets, so
 //!   the sweep over the union of live locations *is* the per-bucket
-//!   recombination. It is implemented through the shared
-//!   [`quantification_sweep`] core with entries generated in ascending
-//!   site-id order — the identical arithmetic a fresh static build over the
-//!   surviving sites performs, making answers **bit-identical** to a
-//!   rebuild from scratch (enforced by `tests/dynamic_differential.rs`).
+//!   recombination. Two interchangeable implementations share one sweep
+//!   core: the **fresh** path ([`DynamicSet::quantification`]) assembles
+//!   and stable-sorts the live union's entries per query, and the
+//!   **merged** path ([`DynamicSet::quantification_merged`]) k-way-merges
+//!   per-bucket distance-ordered streams drawn from lazily-built,
+//!   `Arc`-shared bucket summaries (tombstones filtered at draw time),
+//!   letting the sweep's early exit skip almost all entries. Both produce
+//!   the identical entry sequence through identical arithmetic, so both
+//!   are **bit-identical** to a rebuild from scratch (enforced by
+//!   `tests/dynamic_differential.rs`).
 //! * Expected-distance NN takes the minimum of per-bucket branch-and-bound
 //!   queries.
 //!
@@ -66,13 +71,16 @@
 //! ```
 
 mod bucket;
+mod quant;
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crate::model::{DiscreteSet, DiscreteUncertainPoint};
 use crate::quantification::exact::quantification_sweep;
+use crate::quantification::sweep::{sweep, KWayMerge};
 use bucket::Bucket;
+use quant::NO_DENSE;
 use uncertain_geom::Point;
 
 /// Stable handle of a site across updates. Ids are assigned by
@@ -180,6 +188,23 @@ impl RebuildStats {
     }
 }
 
+/// Reuse metrics of one merged quantification query
+/// ([`DynamicSet::quantification_merged_with_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantMergeStats {
+    /// Buckets whose stream joined the k-way merge (fully-dead buckets are
+    /// skipped).
+    pub buckets: usize,
+    /// Of those, buckets whose summary was already warm at query time —
+    /// `buckets − warm_buckets` is the churn-since-last-touch the query
+    /// paid lazy builds for.
+    pub warm_buckets: usize,
+    /// Entries the merge actually drew before the sweep's early exit.
+    pub entries_merged: usize,
+    /// Live locations a fresh sweep would have assembled and sorted.
+    pub live_locations: usize,
+}
+
 /// A point-in-time report of the structure's shape.
 #[derive(Clone, Copy, Debug)]
 pub struct DynamicStats {
@@ -211,10 +236,17 @@ struct Entry {
 /// An occupied Bentley–Saxe slot: the immutable shared bucket plus this
 /// snapshot's tombstone overlay as a bitmap (bit per local site). Queries
 /// test liveness with one masked load instead of chasing the entry slab.
+/// Indexed buckets additionally carry per-node live counters over the
+/// bucket's stage-1 group tree, so `NN≠0` queries skip fully-dead subtrees
+/// instead of paying for the build-batch size as tombstones accumulate
+/// toward the compaction threshold.
 #[derive(Clone)]
 struct Slot {
     bucket: Arc<Bucket>,
     alive: Vec<u64>,
+    /// Live-count overlay for the bucket's [`GroupIndex`]
+    /// (uncertain_spatial::GroupIndex); `None` for brute buckets.
+    group_live: Option<Vec<u32>>,
 }
 
 impl Slot {
@@ -222,6 +254,7 @@ impl Slot {
         let words = bucket.entry_idxs.len().div_ceil(64);
         Slot {
             alive: vec![u64::MAX; words],
+            group_live: bucket.group_index().map(|g| g.live_counts()),
             bucket,
         }
     }
@@ -234,6 +267,12 @@ impl Slot {
     #[inline]
     fn kill(&mut self, local: usize) {
         self.alive[local >> 6] &= !(1u64 << (local & 63));
+        if let Some(counts) = &mut self.group_live {
+            self.bucket
+                .group_index()
+                .expect("group_live exists only for indexed buckets")
+                .kill(local as u32, counts);
+        }
     }
 }
 
@@ -271,6 +310,22 @@ pub struct DynamicSet {
     dead: usize,
     config: DynamicConfig,
     stats: RebuildStats,
+    /// Query-invariant setup of the merged quantification path (live-id
+    /// list, per-slot local→dense maps, live location total), built once
+    /// per mutation state and shared by every query until the next update
+    /// invalidates it. Cloned snapshots inherit a warm cache.
+    merged_maps: OnceLock<Arc<MergedQueryMaps>>,
+}
+
+/// See [`DynamicSet::merged_maps`].
+struct MergedQueryMaps {
+    /// Live ids, ascending — the dense order of the sweep output.
+    ids: Vec<SiteId>,
+    /// Per Bentley–Saxe slot: the bucket's local→dense map, `None` for
+    /// unoccupied slots and for buckets with no live site left.
+    dense: Vec<Option<Vec<u32>>>,
+    /// Σ locations over live sites — what a fresh sweep would sort.
+    live_locations: usize,
 }
 
 impl DynamicSet {
@@ -287,6 +342,7 @@ impl DynamicSet {
             dead: 0,
             config,
             stats: RebuildStats::default(),
+            merged_maps: OnceLock::new(),
         }
     }
 
@@ -316,6 +372,7 @@ impl DynamicSet {
             dead: 0,
             config,
             stats: RebuildStats::default(),
+            merged_maps: OnceLock::new(),
         };
         s.bootstrap_buckets();
         s
@@ -413,8 +470,15 @@ impl DynamicSet {
         }
     }
 
+    /// Drops the cached merged-quantification query maps; every mutation
+    /// that changes the live set or the bucket layout must call this.
+    fn invalidate_query_maps(&mut self) {
+        self.merged_maps = OnceLock::new();
+    }
+
     /// Inserts a site, returning its fresh stable id.
     pub fn insert(&mut self, site: DiscreteUncertainPoint) -> SiteId {
+        self.invalidate_query_maps();
         let id = self.alloc_id();
         self.stats.inserts += 1;
         let e = self.push_entry(id, site);
@@ -482,6 +546,9 @@ impl DynamicSet {
                 }
             }
         }
+        if !pending.is_empty() || out.removed > 0 {
+            self.invalidate_query_maps();
+        }
         if !pending.is_empty() {
             self.carry(pending);
         }
@@ -496,6 +563,7 @@ impl DynamicSet {
         if !self.tombstone(id) {
             return false;
         }
+        self.invalidate_query_maps();
         self.handles.remove(&id);
         self.drop_live_id();
         self.stats.removes += 1;
@@ -509,6 +577,7 @@ impl DynamicSet {
         if !self.tombstone(id) {
             return false;
         }
+        self.invalidate_query_maps();
         self.stats.moves += 1;
         let e = self.push_entry(id, site);
         self.carry(vec![e]);
@@ -539,6 +608,7 @@ impl DynamicSet {
     /// compacting the entry slab. Runs automatically past the dead-fraction
     /// threshold; exposed for explicit compaction.
     pub fn rebuild_all(&mut self) {
+        self.invalidate_query_maps();
         self.stats.global_rebuilds += 1;
         self.stats.sites_rebuilt += self.live as u64;
         let mut survivors: Vec<(SiteId, Arc<DiscreteUncertainPoint>)> = self
@@ -681,7 +751,10 @@ impl DynamicSet {
         let mut second = f64::INFINITY;
         for slot in self.buckets.iter().flatten() {
             let mut live = |local: usize| slot.is_live(local);
-            let Some((d, local, s)) = slot.bucket.two_min_max_where(q, &mut live) else {
+            let Some((d, local, s)) =
+                slot.bucket
+                    .two_min_max_where(q, &mut live, slot.group_live.as_deref())
+            else {
                 continue;
             };
             let e = slot.bucket.entry_idxs[local];
@@ -713,12 +786,14 @@ impl DynamicSet {
     }
 
     /// All quantification probabilities over the live sites, as ascending
-    /// `(id, π)` pairs — bit-identical to [`quantification_discrete`]
-    /// (crate::quantification::exact) on a fresh static build over the
-    /// survivors: both paths feed identical entries in identical order to
-    /// the shared Eq. (2) sweep. Exactness of the recombination across
-    /// buckets is the independence of locations across sites (survival
-    /// factors multiply).
+    /// `(id, π)` pairs, by the **fresh sweep**: assemble the live union's
+    /// entry list and stable-sort it — bit-identical to
+    /// [`quantification_discrete`](crate::quantification::exact) on a fresh
+    /// static build over the survivors, because both paths feed identical
+    /// entries in identical order to the shared Eq. (2) sweep core.
+    /// `O(N log N)` per query with no per-bucket reuse; the serving planner
+    /// prefers [`quantification_merged`](Self::quantification_merged) once
+    /// the structure is warm.
     pub fn quantification(&self, q: Point) -> Vec<(SiteId, f64)> {
         let ids = self.live_ids();
         let mut entries: Vec<(f64, usize, f64)> = vec![];
@@ -731,6 +806,117 @@ impl DynamicSet {
         }
         let pi = quantification_sweep(entries, ids.len());
         ids.into_iter().zip(pi).collect()
+    }
+
+    /// All quantification probabilities over the live sites by the
+    /// **merged** path: each bucket lazily builds (then keeps warm, shared
+    /// across epoch snapshots) a query-free sorted summary over its
+    /// locations, a query draws per-bucket distance-ordered streams with
+    /// tombstones filtered at draw time, and a k-way merge across the
+    /// `O(log n)` buckets feeds the shared Eq. (2) sweep core with its
+    /// early exit. Answers are **bit-identical** to
+    /// [`quantification`](Self::quantification) (and hence to a fresh
+    /// static build): the merge reproduces the fresh path's exact entry
+    /// order, and the recombination across buckets is exact because
+    /// survival factors multiply independently across sites. Enforced by
+    /// `tests/dynamic_differential.rs` under every op interleaving.
+    pub fn quantification_merged(&self, q: Point) -> Vec<(SiteId, f64)> {
+        self.quantification_merged_with_stats(q).0
+    }
+
+    /// [`quantification_merged`](Self::quantification_merged) plus the
+    /// per-query reuse metrics the serving engine aggregates.
+    pub fn quantification_merged_with_stats(
+        &self,
+        q: Point,
+    ) -> (Vec<(SiteId, f64)>, QuantMergeStats) {
+        let mut stats = QuantMergeStats::default();
+        // Query-invariant setup (live-id list + per-slot local→dense maps)
+        // is cached per mutation state: a serving batch pays its O(n)
+        // construction once, every subsequent query just draws streams.
+        let maps = self
+            .merged_maps
+            .get_or_init(|| Arc::new(self.build_merged_maps()));
+        let n = maps.ids.len();
+        if n == 0 {
+            return (vec![], stats);
+        }
+        stats.live_locations = maps.live_locations;
+        let mut streams = vec![];
+        for (slot, dense_of_local) in self.buckets.iter().zip(&maps.dense) {
+            let (Some(slot), Some(dense_of_local)) = (slot, dense_of_local) else {
+                continue; // unoccupied slot, or a fully-dead bucket
+            };
+            stats.buckets += 1;
+            if slot.bucket.quant_warm() {
+                stats.warm_buckets += 1;
+            }
+            streams.push(
+                slot.bucket
+                    .quant_index()
+                    .stream(q, dense_of_local, &slot.alive),
+            );
+        }
+        let mut merge = KWayMerge::new(streams);
+        let pi = sweep(&mut merge, n);
+        stats.entries_merged = merge.consumed();
+        (maps.ids.iter().copied().zip(pi).collect(), stats)
+    }
+
+    /// Builds the merged path's query-invariant maps (see
+    /// [`MergedQueryMaps`]): `O(n log n)` once per mutation state.
+    fn build_merged_maps(&self) -> MergedQueryMaps {
+        let ids = self.live_ids();
+        let mut dense = Vec::with_capacity(self.buckets.len());
+        let mut live_locations = 0;
+        for slot in &self.buckets {
+            let Some(slot) = slot else {
+                dense.push(None);
+                continue;
+            };
+            let b = &slot.bucket;
+            // Dead locals keep NO_DENSE; the stream's alive-bitmap filter
+            // never lets them through.
+            let mut any_live = false;
+            let map: Vec<u32> = b
+                .entry_idxs
+                .iter()
+                .enumerate()
+                .map(|(local, &e)| {
+                    let entry = &self.entries[e as usize];
+                    if entry.alive {
+                        any_live = true;
+                        live_locations += b.site_k(local);
+                        ids.binary_search(&entry.id).map_or(NO_DENSE, |d| d as u32)
+                    } else {
+                        NO_DENSE
+                    }
+                })
+                .collect();
+            dense.push(any_live.then_some(map));
+        }
+        MergedQueryMaps {
+            ids,
+            dense,
+            live_locations,
+        }
+    }
+
+    /// Warm/cold split of the per-bucket quantification summaries, in
+    /// locations: `(warm, cold)`. Cold locations are exactly the buckets
+    /// churn has replaced since quantification last touched them — the
+    /// planner's signal for pricing the merged path's lazy build cost.
+    pub fn quant_summary_state(&self) -> (usize, usize) {
+        let mut warm = 0;
+        let mut cold = 0;
+        for slot in self.buckets.iter().flatten() {
+            if slot.bucket.quant_warm() {
+                warm += slot.bucket.total_locations();
+            } else {
+                cold += slot.bucket.total_locations();
+            }
+        }
+        (warm, cold)
     }
 
     /// The live site minimizing the expected distance to `q`, with that
@@ -790,7 +976,8 @@ mod tests {
                 .map(|id| ids.binary_search(id).unwrap())
                 .collect();
             assert_eq!(via_index, want_dense);
-            // Quantification: bit-identical.
+            // Quantification: bit-identical — via the fresh sweep *and* the
+            // k-way merged path (cold, then warm).
             let pi_fresh = quantification_discrete(&fresh, q);
             let pi_dyn = d.quantification(q);
             assert_eq!(pi_dyn.len(), pi_fresh.len());
@@ -798,6 +985,19 @@ mod tests {
                 assert_eq!(*id, ids[dense]);
                 assert_eq!(got.to_bits(), want.to_bits(), "π at {q}");
             }
+            let (pi_merged, mstats) = d.quantification_merged_with_stats(q);
+            assert_eq!(pi_merged.len(), pi_fresh.len());
+            for ((id, got), (dense, want)) in pi_merged.iter().zip(pi_fresh.iter().enumerate()) {
+                assert_eq!(*id, ids[dense]);
+                assert_eq!(got.to_bits(), want.to_bits(), "merged π at {q}");
+            }
+            assert!(mstats.entries_merged <= mstats.live_locations);
+            let (pi_warm, wstats) = d.quantification_merged_with_stats(q);
+            assert_eq!(pi_merged, pi_warm, "warm merged answer drifted at {q}");
+            assert_eq!(
+                wstats.warm_buckets, wstats.buckets,
+                "every touched bucket must be warm on the second query"
+            );
             // Expected NN: same minimal value (bitwise).
             let want_e = ExpectedNnIndex::build_discrete(&fresh).query(q);
             let got_e = d.expected_nn(q);

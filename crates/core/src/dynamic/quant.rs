@@ -1,0 +1,243 @@
+//! Per-bucket mergeable quantification summaries.
+//!
+//! A [`QuantIndex`] is a bucket's query-free sorted structure for the
+//! Eq. (2) sweep: a kd-tree over all of the bucket's locations plus the
+//! flat `location → (local site, location index, weight)` tables. Any query
+//! can then draw the bucket's locations as a **distance-ordered stream**
+//! ([`BucketQuantStream`]) via best-first traversal, without sorting
+//! anything at query time. The dynamic layer k-way-merges these streams
+//! across its `O(log n)` buckets and feeds the shared sweep core — with the
+//! early exit, a query typically draws a handful of entries per bucket
+//! instead of re-sorting the whole live union.
+//!
+//! The index is built **lazily** on the first quantification that touches
+//! the bucket (workloads that never quantify never pay for it) and lives
+//! inside the immutable, `Arc`-shared [`Bucket`](super::bucket::Bucket) —
+//! so it is invalidated exactly when the bucket itself is replaced (a carry
+//! or a global compaction) and stays warm across engine epoch snapshots
+//! that share the bucket. Tombstones are *not* baked in: the stream filters
+//! dead sites at draw time against the slot's alive bitmap, the same
+//! overlay the `NN≠0` path uses.
+//!
+//! Ordering contract (what makes merged answers bit-identical to a fresh
+//! sweep): the kd iterator yields exact `q.dist(loc)` values in
+//! non-decreasing order, and the stream buffers each run of equal distances
+//! and sorts it by `(site, location index)` — precisely the tie order a
+//! stable distance sort of the canonical flat entry list produces.
+
+use std::sync::Arc;
+
+use crate::model::DiscreteUncertainPoint;
+use crate::quantification::sweep::{SweepEntry, SweepSource};
+use uncertain_geom::Point;
+use uncertain_spatial::kdtree::NearestIter;
+use uncertain_spatial::KdTree;
+
+/// Marker for a local site with no live dense index (tombstoned, or a stale
+/// entry whose id has since moved to another bucket).
+pub(crate) const NO_DENSE: u32 = u32::MAX;
+
+/// A bucket's query-free sorted summary: kd-tree over locations + flat
+/// per-location tables.
+pub(crate) struct QuantIndex {
+    kd: KdTree,
+    /// Flat location index → local site index.
+    owner: Vec<u32>,
+    /// Flat location index → location index within its site.
+    loc_idx: Vec<u32>,
+    /// Flat location index → location weight.
+    weight: Vec<f64>,
+}
+
+impl QuantIndex {
+    /// Builds the summary over a bucket's sites (local order). `O(m log m)`
+    /// in the bucket's location count `m`.
+    pub fn build(sites: &[Arc<DiscreteUncertainPoint>]) -> Self {
+        let total: usize = sites.iter().map(|s| s.k()).sum();
+        let mut items = Vec::with_capacity(total);
+        let mut owner = Vec::with_capacity(total);
+        let mut loc_idx = Vec::with_capacity(total);
+        let mut weight = Vec::with_capacity(total);
+        for (local, site) in sites.iter().enumerate() {
+            for (li, (&loc, &w)) in site.locations().iter().zip(site.weights()).enumerate() {
+                items.push((loc, items.len() as u32));
+                owner.push(local as u32);
+                loc_idx.push(li as u32);
+                weight.push(w);
+            }
+        }
+        QuantIndex {
+            kd: KdTree::build(items),
+            owner,
+            loc_idx,
+            weight,
+        }
+    }
+
+    /// Opens a distance-ordered live entry stream for `q`.
+    /// `dense_of_local[local]` maps the bucket's local sites to dense sweep
+    /// indices ([`NO_DENSE`] for dead locals — consistent with `alive`, the
+    /// slot's tombstone bitmap, which is what actually filters). The map is
+    /// borrowed: it is query-invariant, so the dynamic layer builds it once
+    /// per snapshot state and shares it across every query.
+    pub fn stream<'a>(
+        &'a self,
+        q: Point,
+        dense_of_local: &'a [u32],
+        alive: &'a [u64],
+    ) -> BucketQuantStream<'a> {
+        BucketQuantStream {
+            index: self,
+            iter: self.kd.nearest_iter(q),
+            dense_of_local,
+            alive,
+            lookahead: None,
+            batch: vec![],
+            batch_pos: 0,
+            batch_d: 0.0,
+        }
+    }
+}
+
+/// One bucket's distance-ordered live entry stream (see module docs).
+pub(crate) struct BucketQuantStream<'a> {
+    index: &'a QuantIndex,
+    iter: NearestIter<'a>,
+    dense_of_local: &'a [u32],
+    /// The slot's tombstone bitmap (bit per local site).
+    alive: &'a [u64],
+    /// The first drawn kd item beyond the current equal-distance run.
+    lookahead: Option<(f64, u32)>,
+    /// The current equal-distance run: `(dense, location index, weight)`,
+    /// sorted ascending — the stable-sort tie order.
+    batch: Vec<(u32, u32, f64)>,
+    batch_pos: usize,
+    batch_d: f64,
+}
+
+impl BucketQuantStream<'_> {
+    #[inline]
+    fn push_if_live(&mut self, flat: u32) {
+        let local = self.index.owner[flat as usize] as usize;
+        if self.alive[local >> 6] & (1u64 << (local & 63)) != 0 {
+            self.batch.push((
+                self.dense_of_local[local],
+                self.index.loc_idx[flat as usize],
+                self.index.weight[flat as usize],
+            ));
+        }
+    }
+}
+
+impl SweepSource for BucketQuantStream<'_> {
+    fn next_entry(&mut self) -> Option<SweepEntry> {
+        loop {
+            if self.batch_pos < self.batch.len() {
+                let (dense, _, w) = self.batch[self.batch_pos];
+                self.batch_pos += 1;
+                debug_assert_ne!(dense, NO_DENSE, "live local without a dense index");
+                return Some((self.batch_d, dense as usize, w));
+            }
+            // Refill: draw the next equal-distance run from the kd stream
+            // (dead runs come out empty and the loop draws the next one).
+            let (d, flat) = match self.lookahead.take() {
+                Some(head) => head,
+                None => {
+                    let (_, flat, d) = self.iter.next()?;
+                    (d, flat)
+                }
+            };
+            self.batch.clear();
+            self.batch_pos = 0;
+            self.batch_d = d;
+            self.push_if_live(flat);
+            loop {
+                match self.iter.next() {
+                    Some((_, f2, d2)) if d2 == d => self.push_if_live(f2),
+                    Some((_, f2, d2)) => {
+                        self.lookahead = Some((d2, f2));
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            self.batch
+                .sort_unstable_by_key(|&(dense, li, _)| (dense, li));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantification::sweep::sweep;
+    use crate::workload;
+
+    #[test]
+    fn stream_replays_the_stable_sorted_entry_order() {
+        let set = workload::random_discrete_set(12, 3, 5.0, 91);
+        let sites: Vec<Arc<DiscreteUncertainPoint>> =
+            set.points.iter().map(|p| Arc::new(p.clone())).collect();
+        let qi = QuantIndex::build(&sites);
+        let alive = vec![u64::MAX; 1];
+        let dense: Vec<u32> = (0..sites.len() as u32).collect();
+        for q in workload::random_queries(10, 50.0, 92) {
+            let mut stream = qi.stream(q, &dense, &alive);
+            let mut got = vec![];
+            while let Some(e) = stream.next_entry() {
+                got.push(e);
+            }
+            let want = {
+                let mut slab = crate::quantification::sweep::SortedSlab::new(
+                    crate::quantification::exact::sweep_entries(&set, q),
+                );
+                let mut v = vec![];
+                while let Some(e) = slab.next_entry() {
+                    v.push(e);
+                }
+                v
+            };
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(&want) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1, b.1);
+                assert_eq!(a.2.to_bits(), b.2.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dead_sites_are_filtered_at_draw_time() {
+        let set = workload::random_discrete_set(8, 2, 4.0, 93);
+        let sites: Vec<Arc<DiscreteUncertainPoint>> =
+            set.points.iter().map(|p| Arc::new(p.clone())).collect();
+        let qi = QuantIndex::build(&sites);
+        // Kill locals 1, 4, 5; remap survivors to dense 0..5.
+        let mut alive = vec![u64::MAX; 1];
+        let mut dense = vec![NO_DENSE; 8];
+        let mut next = 0u32;
+        for (local, slot) in dense.iter_mut().enumerate() {
+            if [1usize, 4, 5].contains(&local) {
+                alive[0] &= !(1u64 << local);
+            } else {
+                *slot = next;
+                next += 1;
+            }
+        }
+        let q = Point::new(0.5, -0.5);
+        let mut stream = qi.stream(q, &dense, &alive);
+        let survivors = crate::model::DiscreteSet::new(
+            set.points
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| ![1usize, 4, 5].contains(&i))
+                .map(|(_, p)| p.clone())
+                .collect(),
+        );
+        let pi_stream = sweep(&mut stream, 5);
+        let pi_fresh = crate::quantification::exact::quantification_discrete(&survivors, q);
+        for (a, b) in pi_stream.iter().zip(&pi_fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -12,82 +12,39 @@
 //! reference oracle the approximation algorithms are tested against.
 
 use crate::model::{distance, DiscreteSet, DiskSet};
+use crate::quantification::sweep::{sweep, SortedSlab, SweepEntry};
 use uncertain_geom::Point;
 
-/// Factors below this are treated as exactly zero (weights are normalized,
-/// so a fully-dominated point's factor is 0 up to rounding).
-const ZERO_THRESH: f64 = 1e-12;
+/// The canonical flat entry list of a set at a query: one
+/// `(distance, site, weight)` entry per location, pushed in ascending
+/// `(site, location)` order — the tie order every [`SweepSource`]
+/// (crate::quantification::sweep::SweepSource) reproduces.
+pub fn sweep_entries(set: &DiscreteSet, q: Point) -> Vec<SweepEntry> {
+    set.all_locations()
+        .map(|(i, _, loc, w)| (q.dist(loc), i, w))
+        .collect()
+}
 
 /// All quantification probabilities `π_i(q)` for a discrete set, by the
 /// Eq. (2) sweep. `O(N log N)` time, `O(N)` space.
 pub fn quantification_discrete(set: &DiscreteSet, q: Point) -> Vec<f64> {
-    let entries: Vec<(f64, usize, f64)> = set
-        .all_locations()
-        .map(|(i, _, loc, w)| (q.dist(loc), i, w))
-        .collect();
-    quantification_sweep(entries, set.len())
+    quantification_sweep(sweep_entries(set, q), set.len())
 }
 
 /// The Eq. (2) sweep over pre-assembled `(distance, point index, weight)`
-/// entries (one per location; indices dense in `0..n`). This is the single
-/// shared core behind every exact discrete evaluation — the static path
-/// above and the dynamic (Bentley–Saxe) layer both call it, which is what
-/// makes dynamic answers *bit-identical* to a fresh static build: identical
-/// entries in identical order go through identical arithmetic. The sort is
-/// stable, so ties between equal distances keep the caller's entry order.
-pub fn quantification_sweep(mut entries: Vec<(f64, usize, f64)>, n: usize) -> Vec<f64> {
-    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-
-    let mut pi = vec![0.0f64; n];
-    let mut w_acc = vec![0.0f64; n]; // G_{q,i}(r) so far
-    let mut factors = vec![1.0f64; n]; // (1 − G_{q,i}(r)), clamped at 0
-    let mut product = 1.0f64; // Π over i with factors[i] > 0
-    let mut zeros = 0usize; // #{i : factors[i] == 0}
-
-    let mut idx = 0;
-    while idx < entries.len() {
-        let d = entries[idx].0;
-        let mut end = idx;
-        while end < entries.len() && entries[end].0 == d {
-            end += 1;
-        }
-        // Phase 1: all locations at distance exactly d enter their cdfs
-        // (ties count against each other — `≤` in Eq. (2)).
-        for e in &entries[idx..end] {
-            let (_, i, w) = *e;
-            let old = factors[i];
-            w_acc[i] += w;
-            let mut newf = 1.0 - w_acc[i];
-            if newf < ZERO_THRESH {
-                newf = 0.0;
-            }
-            factors[i] = newf;
-            if old > 0.0 {
-                if newf > 0.0 {
-                    product *= newf / old;
-                } else {
-                    zeros += 1;
-                    product /= old;
-                }
-            }
-        }
-        // Phase 2: each batch member contributes
-        // η(p; q) = w · Π_{j≠i} (1 − G_{q,j}(d)).
-        for e in &entries[idx..end] {
-            let (_, i, w) = *e;
-            let fi = factors[i];
-            let eta = if zeros == 0 {
-                w * product / fi
-            } else if zeros == 1 && fi == 0.0 {
-                w * product
-            } else {
-                0.0
-            };
-            pi[i] += eta;
-        }
-        idx = end;
-    }
-    pi
+/// entries (one per location; indices dense in `0..n`). This is the
+/// single-slab entry to the shared [`sweep`] core behind every exact
+/// discrete evaluation — the static path above, the `V_Pr` per-cell
+/// labels, the spiral search's truncated estimate, and the dynamic
+/// (Bentley–Saxe) layer's fresh path all go through it, and the dynamic
+/// layer's *merged* path feeds the same core through a k-way merge of
+/// per-bucket streams. Identical entry sequences go through identical
+/// arithmetic, which is what makes dynamic answers **bit-identical** to a
+/// fresh static build. The sort is stable, so ties between equal distances
+/// keep the caller's entry order.
+pub fn quantification_sweep(entries: Vec<SweepEntry>, n: usize) -> Vec<f64> {
+    let mut slab = SortedSlab::new(entries);
+    sweep(&mut slab, n)
 }
 
 /// Sparse variant of [`quantification_discrete`]: only `(i, π_i)` with

@@ -18,8 +18,10 @@
 pub mod exact;
 pub mod monte_carlo;
 pub mod spiral;
+pub mod sweep;
 pub mod vpr;
 
 pub use monte_carlo::{MonteCarloPnn, SampleBackend};
 pub use spiral::SpiralSearch;
+pub use sweep::{KWayMerge, SortedSlab, SweepEntry, SweepSource};
 pub use vpr::ProbabilisticVoronoiDiagram;

@@ -18,6 +18,7 @@
 //! can corrupt other points' probabilities by more than `2ε`.
 
 use crate::model::{DiscreteSet, DiscreteUncertainPoint};
+use crate::quantification::sweep::{self, SortedSlab, SweepEntry};
 use uncertain_geom::Point;
 use uncertain_spatial::KdTree;
 
@@ -90,9 +91,8 @@ impl SpiralSearch {
     /// Like [`estimate_all`](Self::estimate_all) but with an explicit
     /// retrieval budget (used by the experiments to chart error vs. m).
     pub fn estimate_with_budget(&self, q: Point, m: usize) -> Vec<f64> {
-        let mut pi = vec![0.0f64; self.n];
         if self.weights.is_empty() {
-            return pi;
+            return vec![0.0f64; self.n];
         }
         // Retrieve the m nearest locations — plus all ties at the cutoff
         // distance, so the sweep's `≤` semantics stay exact.
@@ -104,53 +104,23 @@ impl SpiralSearch {
             }
             retrieved.push((d, id));
         }
-        // Same sweep as the exact Eq. (2) evaluator, over the truncated set.
-        let mut w_acc = vec![0.0f64; self.n];
-        let mut factors = vec![1.0f64; self.n];
-        let mut product = 1.0f64;
-        let mut zeros = 0usize;
-        let mut idx = 0;
-        while idx < retrieved.len() {
-            let d = retrieved[idx].0;
-            let mut end = idx;
-            while end < retrieved.len() && retrieved[end].0 == d {
-                end += 1;
-            }
-            for &(_, rid) in &retrieved[idx..end] {
-                let id = rid as usize;
-                let i = self.owner[id] as usize;
-                let old = factors[i];
-                w_acc[i] += self.weights[id];
-                let mut newf = 1.0 - w_acc[i];
-                if newf < 1e-12 {
-                    newf = 0.0;
-                }
-                factors[i] = newf;
-                if old > 0.0 {
-                    if newf > 0.0 {
-                        product *= newf / old;
-                    } else {
-                        zeros += 1;
-                        product /= old;
-                    }
-                }
-            }
-            for &(_, rid) in &retrieved[idx..end] {
-                let id = rid as usize;
-                let i = self.owner[id] as usize;
-                let fi = factors[i];
-                let eta = if zeros == 0 {
-                    self.weights[id] * product / fi
-                } else if zeros == 1 && fi == 0.0 {
-                    self.weights[id] * product
-                } else {
-                    0.0
-                };
-                pi[i] += eta;
-            }
-            idx = end;
-        }
-        pi
+        // Same sweep core as the exact Eq. (2) evaluator, over the
+        // truncated entry stream. The kd iterator yields non-decreasing
+        // distances, so the slab's stable sort keeps the retrieval order
+        // within ties — the entry sequence (and hence every output bit) is
+        // unchanged from an inline sweep over `retrieved`.
+        let entries: Vec<SweepEntry> = retrieved
+            .iter()
+            .map(|&(d, rid)| {
+                (
+                    d,
+                    self.owner[rid as usize] as usize,
+                    self.weights[rid as usize],
+                )
+            })
+            .collect();
+        let mut slab = SortedSlab::new(entries);
+        sweep::sweep(&mut slab, self.n)
     }
 
     /// Sparse estimates `(i, π̂_i)` with `π̂_i > 0`, sorted descending.

@@ -1,0 +1,409 @@
+//! The shared Eq. (2) sweep core and its entry sources.
+//!
+//! Every exact discrete quantification in the workspace — the static
+//! [`quantification_discrete`](crate::quantification::exact::quantification_discrete)
+//! evaluator, the `V_Pr` fallback, the spiral search's truncated estimate,
+//! and the dynamic layer's per-bucket merged path — is the *same* monotone
+//! sweep over `(distance, site, weight)` entries in ascending distance
+//! order, maintaining running survival products. What differs is only where
+//! the ordered entry stream comes from. This module makes that explicit:
+//!
+//! * [`SweepSource`] — an ordered entry stream (ascending `(distance, site)`
+//!   with per-site location ties in the site's own location order);
+//! * [`SortedSlab`] — the single-slab source: one flat entry vector, stably
+//!   sorted by distance (the classic `O(N log N)` fresh-sweep path);
+//! * [`KWayMerge`] — the mergeable source: a heap-based k-way merge over
+//!   per-partition streams that are each already ordered. Because survival
+//!   factors multiply independently across sites, a sweep over the merged
+//!   stream recombines a partition of the site set **exactly** — the
+//!   decomposition the dynamic (Bentley–Saxe) layer exploits to reuse
+//!   warm per-bucket summaries across updates;
+//! * [`sweep`] — the driver. One piece of arithmetic for every caller, so
+//!   two sources that emit the same entry sequence produce **bit-identical**
+//!   probability vectors.
+//!
+//! The driver stops early once two sites have fully entered their cdfs
+//! (`zeros ≥ 2`): from that point every η-contribution of Eq. (2) is
+//! *exactly* `0.0` (the `zeros ≥ 2` branch returns the constant), so
+//! truncating the stream changes no output bit while letting lazily-ordered
+//! sources (the k-way merge over kd-tree streams) skip almost all of their
+//! entries.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One sweep entry: `(distance to the query, dense site index, weight)`.
+pub type SweepEntry = (f64, usize, f64);
+
+/// Factors below this are treated as exactly zero (weights are normalized,
+/// so a fully-dominated point's factor is 0 up to rounding).
+pub(crate) const ZERO_THRESH: f64 = 1e-12;
+
+/// An ordered entry stream feeding the Eq. (2) sweep.
+///
+/// Contract: entries come out in non-decreasing distance, and entries at
+/// *equal* distance come out in ascending `(site index, location index)`
+/// order — the order a stable distance sort of the canonical flat entry
+/// list produces. Two sources honoring the contract over the same entry
+/// multiset are interchangeable bit-for-bit under [`sweep`].
+pub trait SweepSource {
+    /// The next entry, or `None` when the stream is exhausted.
+    fn next_entry(&mut self) -> Option<SweepEntry>;
+}
+
+/// The single-slab source: a flat entry vector, stably sorted by distance.
+///
+/// This is the fresh-sweep path — entries pushed in ascending
+/// `(site, location)` order keep exactly that order within distance ties.
+pub struct SortedSlab {
+    entries: std::vec::IntoIter<SweepEntry>,
+}
+
+impl SortedSlab {
+    /// Sorts `entries` by distance (stable — ties keep push order).
+    pub fn new(mut entries: Vec<SweepEntry>) -> Self {
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        SortedSlab {
+            entries: entries.into_iter(),
+        }
+    }
+}
+
+impl SweepSource for SortedSlab {
+    #[inline]
+    fn next_entry(&mut self) -> Option<SweepEntry> {
+        self.entries.next()
+    }
+}
+
+/// A stream head waiting in the merge heap. Ordered by `(distance, site,
+/// stream)`; entries of one site always live in one stream, so the stream
+/// index only tie-breaks distinct sites at equal distance — and site order
+/// is exactly what the single-slab tie order prescribes.
+struct Head {
+    d: f64,
+    dense: usize,
+    w: f64,
+    stream: u32,
+}
+
+impl Head {
+    fn order(&self, other: &Self) -> Ordering {
+        self.d
+            .partial_cmp(&other.d)
+            .expect("NaN distance in sweep stream")
+            .then(self.dense.cmp(&other.dense))
+            .then(self.stream.cmp(&other.stream))
+    }
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.order(other) == Ordering::Equal
+    }
+}
+impl Eq for Head {}
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Head {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, the merge wants the minimum.
+        other.order(self)
+    }
+}
+
+/// K-way merge over per-partition [`SweepSource`]s.
+///
+/// Each input stream must honor the [`SweepSource`] contract on its own
+/// slice of the site set (streams own disjoint sites). The merge then
+/// honors it globally: the heap orders heads by `(distance, site)`, which
+/// reproduces the stable-sort tie order of the equivalent single slab.
+pub struct KWayMerge<S> {
+    streams: Vec<S>,
+    heap: BinaryHeap<Head>,
+    consumed: usize,
+}
+
+impl<S: SweepSource> KWayMerge<S> {
+    pub fn new(mut streams: Vec<S>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(streams.len());
+        for (si, s) in streams.iter_mut().enumerate() {
+            if let Some((d, dense, w)) = s.next_entry() {
+                heap.push(Head {
+                    d,
+                    dense,
+                    w,
+                    stream: si as u32,
+                });
+            }
+        }
+        KWayMerge {
+            streams,
+            heap,
+            consumed: 0,
+        }
+    }
+
+    /// Entries drawn from the merge so far — the early-exit effectiveness
+    /// metric (compare against the live location total a full sort pays).
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Number of input streams.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+impl<S: SweepSource> SweepSource for KWayMerge<S> {
+    fn next_entry(&mut self) -> Option<SweepEntry> {
+        let head = self.heap.pop()?;
+        if let Some((d, dense, w)) = self.streams[head.stream as usize].next_entry() {
+            self.heap.push(Head {
+                d,
+                dense,
+                w,
+                stream: head.stream,
+            });
+        }
+        self.consumed += 1;
+        Some((head.d, head.dense, head.w))
+    }
+}
+
+/// The Eq. (2) sweep driver over any ordered entry source: returns all
+/// `π_i` for dense site indices `0..n`.
+///
+/// Distance ties are processed in batches — Eq. (2)'s cdf uses `≤ r`, so
+/// all locations at the same distance enter their cdfs (phase 1) before any
+/// of them contributes its η (phase 2). The driver takes `&mut` so callers
+/// keep the source and can read its statistics afterwards.
+pub fn sweep<S: SweepSource + ?Sized>(source: &mut S, n: usize) -> Vec<f64> {
+    let mut pi = vec![0.0f64; n];
+    let mut w_acc = vec![0.0f64; n]; // G_{q,i}(r) so far
+    let mut factors = vec![1.0f64; n]; // (1 − G_{q,i}(r)), clamped at 0
+    let mut product = 1.0f64; // Π over i with factors[i] > 0
+    let mut zeros = 0usize; // #{i : factors[i] == 0}
+
+    let mut batch: Vec<(usize, f64)> = vec![];
+    let mut pending = source.next_entry();
+    while let Some((d, i0, w0)) = pending {
+        batch.clear();
+        batch.push((i0, w0));
+        loop {
+            pending = source.next_entry();
+            match pending {
+                Some((d2, i2, w2)) if d2 == d => batch.push((i2, w2)),
+                _ => break,
+            }
+        }
+        // Phase 1: all locations at distance exactly d enter their cdfs
+        // (ties count against each other — `≤` in Eq. (2)).
+        for &(i, w) in &batch {
+            let old = factors[i];
+            w_acc[i] += w;
+            let mut newf = 1.0 - w_acc[i];
+            if newf < ZERO_THRESH {
+                newf = 0.0;
+            }
+            factors[i] = newf;
+            if old > 0.0 {
+                if newf > 0.0 {
+                    product *= newf / old;
+                } else {
+                    zeros += 1;
+                    product /= old;
+                }
+            }
+        }
+        // Phase 2: each batch member contributes
+        // η(p; q) = w · Π_{j≠i} (1 − G_{q,j}(d)).
+        for &(i, w) in &batch {
+            let fi = factors[i];
+            let eta = if zeros == 0 {
+                w * product / fi
+            } else if zeros == 1 && fi == 0.0 {
+                w * product
+            } else {
+                0.0
+            };
+            pi[i] += eta;
+        }
+        // Two sites fully entered: every remaining η is exactly 0.0, so the
+        // rest of the stream cannot change any output bit. Stop drawing.
+        if zeros >= 2 {
+            break;
+        }
+    }
+    pi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre-early-exit reference: the full sweep with no termination.
+    fn sweep_full(entries: Vec<SweepEntry>, n: usize) -> Vec<f64> {
+        let entries = {
+            let mut e = entries;
+            e.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            e
+        };
+        let mut pi = vec![0.0f64; n];
+        let mut w_acc = vec![0.0f64; n];
+        let mut factors = vec![1.0f64; n];
+        let mut product = 1.0f64;
+        let mut zeros = 0usize;
+        let mut idx = 0;
+        while idx < entries.len() {
+            let d = entries[idx].0;
+            let mut end = idx;
+            while end < entries.len() && entries[end].0 == d {
+                end += 1;
+            }
+            for e in &entries[idx..end] {
+                let (_, i, w) = *e;
+                let old = factors[i];
+                w_acc[i] += w;
+                let mut newf = 1.0 - w_acc[i];
+                if newf < ZERO_THRESH {
+                    newf = 0.0;
+                }
+                factors[i] = newf;
+                if old > 0.0 {
+                    if newf > 0.0 {
+                        product *= newf / old;
+                    } else {
+                        zeros += 1;
+                        product /= old;
+                    }
+                }
+            }
+            for e in &entries[idx..end] {
+                let (_, i, w) = *e;
+                let fi = factors[i];
+                let eta = if zeros == 0 {
+                    w * product / fi
+                } else if zeros == 1 && fi == 0.0 {
+                    w * product
+                } else {
+                    0.0
+                };
+                pi[i] += eta;
+            }
+            idx = end;
+        }
+        pi
+    }
+
+    fn pseudo(state: &mut u64) -> f64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        (*state >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn random_entries(n: usize, k: usize, seed: u64, ties: bool) -> Vec<SweepEntry> {
+        let mut state = seed.max(1);
+        let mut entries = vec![];
+        for i in 0..n {
+            let mut ws = vec![];
+            for _ in 0..k {
+                ws.push(pseudo(&mut state) + 0.05);
+            }
+            let total: f64 = ws.iter().sum();
+            for w in ws {
+                // With `ties`, distances collide across sites frequently.
+                let d = if ties {
+                    (pseudo(&mut state) * 8.0).floor()
+                } else {
+                    pseudo(&mut state) * 50.0
+                };
+                entries.push((d, i, w / total));
+            }
+        }
+        entries
+    }
+
+    #[test]
+    fn early_exit_is_bit_identical_to_the_full_sweep() {
+        for seed in 1u64..20 {
+            for ties in [false, true] {
+                let entries = random_entries(30, 3, seed, ties);
+                let full = sweep_full(entries.clone(), 30);
+                let mut slab = SortedSlab::new(entries);
+                let early = sweep(&mut slab, 30);
+                for (a, b) in early.iter().zip(&full) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} ties {ties}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kway_merge_over_a_partition_matches_the_single_slab() {
+        for seed in 1u64..16 {
+            for parts in [1usize, 2, 5] {
+                for ties in [false, true] {
+                    let entries = random_entries(24, 3, seed, ties);
+                    let mut slab = SortedSlab::new(entries.clone());
+                    let want = sweep(&mut slab, 24);
+                    // Partition entries by site, then shard sites round-robin
+                    // into `parts` streams, each a SortedSlab of its own.
+                    let mut shards: Vec<Vec<SweepEntry>> = vec![vec![]; parts];
+                    for e in entries {
+                        shards[e.1 % parts].push(e);
+                    }
+                    let streams: Vec<SortedSlab> =
+                        shards.into_iter().map(SortedSlab::new).collect();
+                    let mut merge = KWayMerge::new(streams);
+                    let got = sweep(&mut merge, 24);
+                    assert!(merge.consumed() > 0);
+                    for (a, b) in got.iter().zip(&want) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "seed {seed} parts {parts} ties {ties}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_truncates_the_merge_stream() {
+        // Two certain sites right next to the query block everything else:
+        // the sweep must stop after a handful of entries, not the full 2002.
+        let mut entries: Vec<SweepEntry> = vec![(0.5, 0, 1.0), (0.75, 1, 1.0)];
+        for i in 0..2000 {
+            entries.push((2.0 + i as f64, 2 + i, 1.0));
+        }
+        let streams = vec![
+            SortedSlab::new(entries[..2].to_vec()),
+            SortedSlab::new(entries[2..].to_vec()),
+        ];
+        let mut merge = KWayMerge::new(streams);
+        let pi = sweep(&mut merge, 2002);
+        assert_eq!(pi[0], 1.0);
+        assert!(merge.consumed() <= 4, "consumed {}", merge.consumed());
+        // The single-slab path still produces the identical vector.
+        let mut slab = SortedSlab::new(entries);
+        let want = sweep(&mut slab, 2002);
+        assert_eq!(pi, want);
+    }
+
+    #[test]
+    fn empty_and_single_sources() {
+        let mut slab = SortedSlab::new(vec![]);
+        assert!(sweep(&mut slab, 0).is_empty());
+        let mut merge: KWayMerge<SortedSlab> = KWayMerge::new(vec![]);
+        assert_eq!(sweep(&mut merge, 3), vec![0.0; 3]);
+        let mut one = SortedSlab::new(vec![(1.0, 0, 1.0)]);
+        assert_eq!(sweep(&mut one, 1), vec![1.0]);
+    }
+}

@@ -117,6 +117,10 @@ impl ProbabilisticVoronoiDiagram {
                 return self.vectors[vid as usize].clone();
             }
         }
+        // Exact-sweep fallback: `quantification_discrete` is the shared
+        // single-slab `SweepSource` path (`SortedSlab` + the sweep core) —
+        // the same machinery the dynamic merged path feeds through a k-way
+        // merge.
         quantification_discrete(&self.set, q)
             .into_iter()
             .enumerate()

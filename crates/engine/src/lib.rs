@@ -11,9 +11,12 @@
 //! * a [cost-based planner](planner) picks, per batch, among brute force,
 //!   the Theorem 3.2 kd-tree/group-index structure, `V≠0` point location,
 //!   and (once updates have been applied) the warm Bentley–Saxe bucket
-//!   structure for `NN≠0` requests, and among the exact sweep, spiral
-//!   search, and Monte Carlo for probability requests — amortizing index
-//!   construction over the batch and recording its choice;
+//!   structure for `NN≠0` requests, and among the exact fresh sweep, the
+//!   bit-identical `quant:merged` k-way merge over warm per-bucket
+//!   summaries, spiral search, and Monte Carlo for probability requests —
+//!   amortizing index construction over the batch and recording its choice
+//!   (plus merge-vs-sweep counters and the per-bucket reuse rate in
+//!   [`ExecStats`]);
 //! * a [quantization-keyed LRU result cache](cache) snaps query points to a
 //!   configurable grid; snapped answers carry a *certified* widened
 //!   [`Guarantee`] (see [`snap`]), so caching never silently degrades
@@ -209,6 +212,15 @@ pub struct ExecStats {
     /// Exact-arithmetic fallbacks during this batch (see
     /// [`ExecStats::predicate_filter_hits`]).
     pub predicate_exact_fallbacks: u64,
+    /// Quantification evaluations served by the k-way merged path this
+    /// batch (cache hits execute neither evaluator and count in neither).
+    pub quant_merged_evals: usize,
+    /// Quantification evaluations served by the fresh `O(N log N)` sweep.
+    pub quant_fresh_evals: usize,
+    /// Bucket streams the merged evaluations drew…
+    pub quant_bucket_touches: usize,
+    /// …of which the per-bucket summary was already warm (no lazy build).
+    pub quant_bucket_warm: usize,
 }
 
 impl ExecStats {
@@ -249,6 +261,17 @@ impl ExecStats {
             1.0
         } else {
             self.predicate_filter_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of bucket streams the merged quantification path drew from
+    /// already-warm summaries; `1.0` when the batch drew none. Low values
+    /// mean churn replaced most buckets since quantification last ran.
+    pub fn quant_bucket_reuse_rate(&self) -> f64 {
+        if self.quant_bucket_touches == 0 {
+            1.0
+        } else {
+            self.quant_bucket_warm as f64 / self.quant_bucket_touches as f64
         }
     }
 }
@@ -319,21 +342,24 @@ struct EngineCore {
     epoch: u64,
     /// Live sites, densely indexed in ascending-id order — materialized
     /// **lazily** from the dynamic structure at epochs > 0, because apply()
-    /// must stay cheap and pure nonzero batches served by the dynamic plan
-    /// never need the flat set. Epoch 0 fills it eagerly at construction.
+    /// must stay cheap and batches served by the dynamic plans (`NN≠0`
+    /// buckets, merged quantification) never need the flat set. Epoch 0
+    /// fills it eagerly at construction.
     set: OnceLock<DiscreteSet>,
     /// Live-site count (cheap shape summary, valid without materializing).
     n: usize,
-    /// Σ k over live sites.
-    total_locations: usize,
-    /// max k over live sites.
-    max_k: usize,
-    /// Dense index → stable site id; `None` = identity (epoch 0).
-    ids: Option<Arc<Vec<SiteId>>>,
+    /// Dense index → stable site id; inner `None` = identity (epoch 0).
+    /// Lazy for the same reason as `set`: an apply that nothing downstream
+    /// observes should cost nothing downstream — the O(live) id list is
+    /// built by the first batch that maps dense results, not by `apply`.
+    ids: OnceLock<Option<Arc<Vec<SiteId>>>>,
+    /// `(Σ k, max k, weight spread)` over live sites — the planner's shape
+    /// summary, computed by the first batch of the epoch (an O(n + N) scan
+    /// `apply` no longer pays).
+    shape: OnceLock<(usize, usize, f64)>,
     /// The Bentley–Saxe structure this snapshot serves from; `None` until
     /// the first apply (a fresh engine serves the static paths only).
     dynamic: Option<Arc<DynamicSet>>,
-    spread: f64,
     config: EngineConfig,
     /// Shared across epochs; epoch-stamped keys keep entries from ever
     /// crossing snapshots.
@@ -353,8 +379,32 @@ impl EngineCore {
         })
     }
 
+    /// The dense → stable-id map, materialized on first use; `None` means
+    /// identity (epoch 0).
+    fn ids(&self) -> Option<&Arc<Vec<SiteId>>> {
+        self.ids
+            .get_or_init(|| {
+                let d = self
+                    .dynamic
+                    .as_ref()
+                    .expect("epoch 0 cores are built with identity ids filled");
+                Some(Arc::new(d.live_ids()))
+            })
+            .as_ref()
+    }
+
+    /// `(total locations, max k, weight spread)` of the live sites.
+    fn shape(&self) -> (usize, usize, f64) {
+        *self.shape.get_or_init(|| {
+            self.dynamic
+                .as_ref()
+                .expect("epoch 0 cores are built with the shape filled")
+                .live_shape()
+        })
+    }
+
     fn public_id(&self, dense: usize) -> SiteId {
-        match &self.ids {
+        match self.ids() {
             Some(ids) => ids[dense],
             None => dense,
         }
@@ -363,7 +413,7 @@ impl EngineCore {
     /// Maps a dense-index result vector to stable site ids (identity at
     /// epoch 0). The map is monotone, so ascending stays ascending.
     fn map_dense(&self, mut v: Vec<usize>) -> Vec<usize> {
-        if let Some(ids) = &self.ids {
+        if let Some(ids) = self.ids() {
             for i in v.iter_mut() {
                 *i = ids[*i];
             }
@@ -403,6 +453,8 @@ enum PreparedNonzero {
 #[derive(Clone)]
 enum PreparedQuant {
     Exact,
+    /// The k-way merged exact path over the warm Bentley–Saxe buckets.
+    Merged(Arc<DynamicSet>),
     Spiral(Arc<SpiralSearch>, f64),
     MonteCarlo(Arc<MonteCarloPnn>, Guarantee),
 }
@@ -411,6 +463,14 @@ enum PreparedQuant {
 struct BatchCounters {
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Quantification evaluations by the merged path vs the fresh sweep
+    /// (cache hits execute neither).
+    quant_merged: AtomicUsize,
+    quant_fresh: AtomicUsize,
+    /// Bucket streams drawn by merged evaluations, and how many of them
+    /// were already warm — the per-bucket reuse rate.
+    bucket_touches: AtomicUsize,
+    bucket_warm: AtomicUsize,
 }
 
 impl Engine {
@@ -423,11 +483,9 @@ impl Engine {
         let core = Arc::new(EngineCore {
             epoch: 0,
             n: set.len(),
-            total_locations: set.total_locations(),
-            max_k: set.max_k(),
-            ids: None,
+            ids: OnceLock::from(None),
+            shape: OnceLock::from((set.total_locations(), set.max_k(), spread)),
             dynamic: None,
-            spread,
             cache: Arc::new(ResultCache::new(config.cache_capacity, config.cache_grid)),
             structures: Structures::default(),
             config,
@@ -461,10 +519,20 @@ impl Engine {
     /// Stable ids of the current epoch's live sites, ascending.
     pub fn site_ids(&self) -> Vec<SiteId> {
         let core = self.snapshot();
-        match &core.ids {
+        match core.ids() {
             Some(ids) => ids.as_ref().clone(),
             None => (0..core.n).collect(),
         }
+    }
+
+    /// Whether the current epoch's flat live set has been materialized.
+    /// `apply` never materializes it — only consumers that genuinely need
+    /// the flat view (static-structure builds, the fresh quant path,
+    /// [`live_set`](Self::live_set)) do, so batches served entirely by the
+    /// dynamic plans (`nonzero:dynamic`, `quant:merged`) leave it untouched.
+    /// Exposed for tests and capacity planning.
+    pub fn flat_set_materialized(&self) -> bool {
+        self.snapshot().set.get().is_some()
     }
 
     /// Shape of the dynamic structure, once updates have been applied.
@@ -543,19 +611,17 @@ impl Engine {
             sites_rebuilt: delta.sites_rebuilt,
         };
 
-        // No materialization here: the flat set is produced lazily on first
-        // need (quant paths, static-structure builds). Shape summaries for
-        // the planner come from an allocation-free scan.
-        let ids = dynamic.live_ids();
-        let (total_locations, max_k, spread) = dynamic.live_shape();
+        // No materialization here: the flat set, the live-id list, and the
+        // planner's shape summary are all produced lazily by the first
+        // consumer that observes them. An apply that only touches buckets
+        // nothing downstream has looked at is O(batch + carry) — there is
+        // no per-epoch O(n) invalidation work for state nobody built.
         let core = Arc::new(EngineCore {
             epoch: report.epoch,
             n: dynamic.len(),
-            total_locations,
-            max_k,
-            ids: Some(Arc::new(ids)),
+            ids: OnceLock::new(),
+            shape: OnceLock::new(),
             dynamic: Some(Arc::new(dynamic)),
-            spread,
             cache: Arc::clone(&old.cache),
             structures: Structures::default(),
             config: old.config,
@@ -652,6 +718,10 @@ impl Engine {
                 worker_busy,
                 predicate_filter_hits: predicates.filter_hits,
                 predicate_exact_fallbacks: predicates.exact_fallbacks,
+                quant_merged_evals: counters.quant_merged.load(Ordering::Relaxed),
+                quant_fresh_evals: counters.quant_fresh.load(Ordering::Relaxed),
+                quant_bucket_touches: counters.bucket_touches.load(Ordering::Relaxed),
+                quant_bucket_warm: counters.bucket_warm.load(Ordering::Relaxed),
             },
         }
     }
@@ -673,11 +743,16 @@ impl Engine {
 }
 
 fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> BatchPlan {
+    let (total_locations, max_k, spread) = core.shape();
+    let (_, quant_cold) = core
+        .dynamic
+        .as_ref()
+        .map_or((0, 0), |d| d.quant_summary_state());
     planner::plan(&PlannerInputs {
         n: core.n,
-        total_locations: core.total_locations,
-        max_k: core.max_k,
-        spread: core.spread,
+        total_locations,
+        max_k,
+        spread,
         nonzero_count,
         quant_count,
         guarantee: core.config.guarantee,
@@ -688,6 +763,8 @@ fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> Batc
         mc_built_samples: core.structures.mc.lock().unwrap().as_ref().map(|(s, _)| *s),
         dynamic_ready: core.dynamic.is_some(),
         dynamic_buckets: core.dynamic.as_ref().map_or(0, |d| d.stats().buckets),
+        dynamic_quant_cold_locations: quant_cold,
+        quant_snapped: core.cache.grid() > 0.0,
     })
 }
 
@@ -728,6 +805,11 @@ fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>)
     });
     let quant = plan.quant.map(|qp| match qp {
         QuantPlan::Exact => PreparedQuant::Exact,
+        QuantPlan::Merged => PreparedQuant::Merged(Arc::clone(
+            core.dynamic
+                .as_ref()
+                .expect("merged plan is only priced when the structure exists"),
+        )),
         QuantPlan::Spiral { eps } => {
             let mut slot = core.structures.spiral.lock().unwrap();
             let arc = slot
@@ -869,7 +951,9 @@ fn quant_vector(
 ) -> (Arc<Vec<f64>>, Guarantee) {
     let grid = core.cache.grid();
     let (tag, base_guarantee) = match quant {
-        PreparedQuant::Exact => (QuantTag::Exact, Guarantee::Exact),
+        // Merged and fresh are bit-identical exact evaluators, so they
+        // share the Exact tag and warm each other's cache entries.
+        PreparedQuant::Exact | PreparedQuant::Merged(_) => (QuantTag::Exact, Guarantee::Exact),
         PreparedQuant::Spiral(_, eps) => (
             QuantTag::Spiral {
                 eps_bits: eps.to_bits(),
@@ -883,11 +967,13 @@ fn quant_vector(
             *g,
         ),
     };
-    // Snapping is only certified for the exact evaluator (the interval
+    // Snapping is only certified for the exact evaluators (the interval
     // certificate needs exact cdfs); approximate engines key exactly.
     // Snapped evaluation happens whenever a grid is set — with or without a
-    // live cache — so answers never depend on cache state.
-    let snapped = grid > 0.0 && matches!(quant, PreparedQuant::Exact);
+    // live cache — so answers never depend on cache state. The planner
+    // never picks Merged with a snap grid configured (the snapped branch
+    // evaluates over the flat set), but keep it certified here regardless.
+    let snapped = grid > 0.0 && matches!(quant, PreparedQuant::Exact | PreparedQuant::Merged(_));
     let key = CacheKey::quant(core.epoch, q, if snapped { grid } else { 0.0 }, tag);
     if core.cache.enabled() {
         if let Some(CachedValue::Quant { pi, guarantee }) = core.cache.get(&key) {
@@ -907,7 +993,23 @@ fn quant_vector(
         (mid, g)
     } else {
         let pi = match quant {
-            PreparedQuant::Exact => quantification_discrete(core.set(), q),
+            PreparedQuant::Exact => {
+                counters.quant_fresh.fetch_add(1, Ordering::Relaxed);
+                quantification_discrete(core.set(), q)
+            }
+            PreparedQuant::Merged(d) => {
+                let (pairs, st) = d.quantification_merged_with_stats(q);
+                counters.quant_merged.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bucket_touches
+                    .fetch_add(st.buckets, Ordering::Relaxed);
+                counters
+                    .bucket_warm
+                    .fetch_add(st.warm_buckets, Ordering::Relaxed);
+                // Pairs are ascending by stable id — exactly the dense
+                // order of this epoch's live sites.
+                pairs.into_iter().map(|(_, p)| p).collect()
+            }
             PreparedQuant::Spiral(s, eps) => s.estimate_all(q, *eps),
             PreparedQuant::MonteCarlo(mc, _) => mc.estimate_all(q),
         };
@@ -1065,6 +1167,127 @@ mod tests {
             assert_eq!(got, &want, "q = {q}");
         }
         assert!(eng.dynamic_stats().unwrap().buckets >= 1);
+    }
+
+    #[test]
+    fn merged_quant_plan_serves_after_updates_and_matches_fresh_bitwise() {
+        // Large enough that the merged path's sublinear queries clearly win
+        // the cost model once the dynamic structure exists.
+        let set = workload::random_discrete_set(3000, 3, 4.0, 99);
+        let eng = Engine::new(set, EngineConfig::default());
+        let mut updates: Vec<Update> = (0..40).map(Update::Remove).collect();
+        for q in workload::random_queries(10, 50.0, 98) {
+            updates.push(Update::Insert(DiscreteUncertainPoint::certain(q)));
+        }
+        eng.apply(&updates);
+        let batch: Vec<QueryRequest> = workload::random_queries(48, 60.0, 97)
+            .into_iter()
+            .map(|q| QueryRequest::TopK { q, k: 5 })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.quant, Some(QuantPlan::Merged));
+        assert_eq!(resp.stats.quant_merged_evals, batch.len());
+        assert_eq!(resp.stats.quant_fresh_evals, 0);
+        assert!(resp.stats.quant_bucket_touches >= batch.len());
+        // First batch: summaries start cold, later queries reuse them.
+        assert!(resp.stats.quant_bucket_warm > 0);
+
+        // Bit-identical to the exact sweep over the surviving sites.
+        let fresh = eng.live_set();
+        let ids = eng.site_ids();
+        for (req, res) in batch.iter().zip(&resp.results) {
+            let (QueryRequest::TopK { q, .. }, QueryResult::Ranked { items, guarantee }) =
+                (req, res)
+            else {
+                panic!("shape");
+            };
+            assert_eq!(*guarantee, Guarantee::Exact);
+            let pi = quantification_discrete(&fresh, *q);
+            for &(id, p) in items {
+                let dense = ids.binary_search(&id).unwrap();
+                assert_eq!(p.to_bits(), pi[dense].to_bits(), "π for site {id} at {q}");
+            }
+        }
+
+        // A second identical batch is all cache hits — and therefore
+        // executes neither evaluator.
+        let warm = eng.run_batch(&batch);
+        assert_eq!(warm.stats.cache_hits, batch.len());
+        assert_eq!(warm.stats.quant_merged_evals, 0);
+        assert_eq!(warm.results, resp.results);
+        assert!((warm.stats.quant_bucket_reuse_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snap_grid_disables_the_merged_plan_and_stays_certified() {
+        // With a snap grid, quant answers are certified interval evaluations
+        // over the flat live set — the planner must not advertise
+        // quant:merged (whose cost model the snapped branch would bypass).
+        let set = workload::random_discrete_set(3000, 3, 4.0, 55);
+        let eng = Engine::new(
+            set,
+            EngineConfig {
+                cache_grid: 0.5,
+                ..EngineConfig::default()
+            },
+        );
+        eng.apply(&(0..30).map(Update::Remove).collect::<Vec<_>>());
+        let batch: Vec<QueryRequest> = workload::random_queries(8, 60.0, 56)
+            .into_iter()
+            .map(|q| QueryRequest::TopK { q, k: 3 })
+            .collect();
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.quant, Some(QuantPlan::Exact));
+        assert_eq!(resp.stats.quant_merged_evals, 0);
+        // Snapped answers stay certified against the exact sweep.
+        let fresh = eng.live_set();
+        let ids = eng.site_ids();
+        for (req, res) in batch.iter().zip(&resp.results) {
+            let (QueryRequest::TopK { q, .. }, QueryResult::Ranked { items, guarantee }) =
+                (req, res)
+            else {
+                panic!("shape");
+            };
+            let pi = quantification_discrete(&fresh, *q);
+            for &(id, p) in items {
+                let dense = ids.binary_search(&id).unwrap();
+                assert!(
+                    (p - pi[dense]).abs() <= guarantee.slack() + 1e-9,
+                    "site {id} at {q}: {p} vs {} (slack {})",
+                    pi[dense],
+                    guarantee.slack()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_and_dynamic_plans_never_materialize_the_flat_set() {
+        let set = workload::random_discrete_set(3000, 3, 4.0, 101);
+        let eng = Engine::new(set, EngineConfig::default());
+        // Epoch 0 owns the input set by construction.
+        assert!(eng.flat_set_materialized());
+        let updates: Vec<Update> = (0..30).map(Update::Remove).collect();
+        eng.apply(&updates);
+        // The new epoch defers everything: apply itself built nothing.
+        assert!(!eng.flat_set_materialized());
+        // Nonzero batches (dynamic buckets) and quant batches (merged
+        // k-way path) both answer in stable ids without the flat view.
+        let mut batch: Vec<QueryRequest> = vec![];
+        for q in workload::random_queries(32, 60.0, 102) {
+            batch.push(QueryRequest::Nonzero { q });
+            batch.push(QueryRequest::Threshold { q, tau: 0.2 });
+        }
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.plan.nonzero, Some(NonzeroPlan::Dynamic));
+        assert_eq!(resp.stats.plan.quant, Some(QuantPlan::Merged));
+        assert!(
+            !eng.flat_set_materialized(),
+            "dynamic plans must not re-materialize the flat live set"
+        );
+        // Only a consumer that genuinely needs the flat view pays for it.
+        let _ = eng.live_set();
+        assert!(eng.flat_set_materialized());
     }
 
     #[test]

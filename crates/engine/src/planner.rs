@@ -16,9 +16,13 @@
 //!   `O(N log N)` build), or `V≠0` point location (Theorem 2.14,
 //!   logarithmic queries after a very expensive arrangement build — only
 //!   eligible for small `n`).
-//! * quantification requests — the exact Eq. (2) sweep (`O(N log N)`/query,
-//!   no build), spiral search (Theorem 4.7; needs an additive budget), or
-//!   Monte Carlo (Theorem 4.3; needs a probabilistic budget).
+//! * quantification requests — the exact Eq. (2) fresh sweep
+//!   (`O(N log N)`/query, no build), the exact `quant:merged` k-way merge
+//!   over the Bentley–Saxe buckets' warm sorted summaries (available once
+//!   updates have been applied; priced by live-bucket count and the churn
+//!   since quantification last touched the structure), spiral search
+//!   (Theorem 4.7; needs an additive budget), or Monte Carlo (Theorem 4.3;
+//!   needs a probabilistic budget).
 
 use uncertain_nn::quantification::monte_carlo::samples_for_queries;
 use uncertain_nn::queries::Guarantee;
@@ -42,8 +46,18 @@ pub enum NonzeroPlan {
 /// Execution strategy for the probability (Threshold/TopK) requests.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum QuantPlan {
-    /// The exact Eq. (2) sweep.
+    /// The exact Eq. (2) sweep over the flat live set (the "fresh" path:
+    /// assemble + stable-sort all `N` entries per query).
     Exact,
+    /// The exact k-way merge over the Bentley–Saxe buckets' warm sorted
+    /// summaries, with the sweep's early exit — bit-identical to `Exact`,
+    /// priced by live-bucket count and the churn since quantification last
+    /// touched the structure (cold buckets pay a lazy summary build). Only
+    /// available after the engine has applied updates, and not offered
+    /// when a snap grid is configured: snapped answers are certified
+    /// interval evaluations over the flat live set, which would silently
+    /// bypass the merge and its cost model.
+    Merged,
     /// Spiral search truncated retrieval with additive error `eps`.
     Spiral { eps: f64 },
     /// Monte-Carlo vote frequencies over `samples` instantiations.
@@ -64,7 +78,8 @@ impl std::fmt::Display for NonzeroPlan {
 impl std::fmt::Display for QuantPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QuantPlan::Exact => write!(f, "quant:exact"),
+            QuantPlan::Exact => write!(f, "quant:fresh"),
+            QuantPlan::Merged => write!(f, "quant:merged"),
             QuantPlan::Spiral { eps } => write!(f, "quant:spiral(ε={eps})"),
             QuantPlan::MonteCarlo { samples } => write!(f, "quant:mc(s={samples})"),
         }
@@ -110,10 +125,19 @@ pub struct PlannerInputs {
     /// Sample count of an already-built Monte-Carlo structure, if any.
     pub mc_built_samples: Option<usize>,
     /// The engine has a warm Bentley–Saxe structure (epoch > 0): the
-    /// `nonzero:dynamic` candidate is priced with zero build cost.
+    /// `nonzero:dynamic` and `quant:merged` candidates become available
+    /// (their bucket structure is maintained incrementally by `apply`).
     pub dynamic_ready: bool,
     /// Occupied buckets of that structure (its per-query fan-out).
     pub dynamic_buckets: usize,
+    /// Locations in buckets whose quantification summary is **cold** — the
+    /// churn since quantification last touched the structure. `quant:merged`
+    /// is charged a one-time lazy build over exactly these.
+    pub dynamic_quant_cold_locations: usize,
+    /// Quantification answers are snapped to a cache grid (certified
+    /// interval evaluation over the flat live set) — the merged candidate
+    /// is not offered, because the snapped evaluator would bypass it.
+    pub quant_snapped: bool,
 }
 
 /// The planner's decision for one batch, with the full cost table.
@@ -125,7 +149,7 @@ pub struct BatchPlan {
 }
 
 impl BatchPlan {
-    /// Short human-readable summary, e.g. `"nonzero:index + quant:exact"`.
+    /// Short human-readable summary, e.g. `"nonzero:index + quant:fresh"`.
     pub fn summary(&self) -> String {
         match (&self.nonzero, &self.quant) {
             (Some(nz), Some(qp)) => format!("{nz} + {qp}"),
@@ -209,6 +233,24 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
         let b = inp.quant_count as f64;
         let mut cands: Vec<(QuantPlan, f64, f64)> =
             vec![(QuantPlan::Exact, 0.0, 6.0 * nn * lg(nn))];
+        if inp.dynamic_ready && !inp.quant_snapped {
+            // Exact k-way merge over warm per-bucket summaries: cold buckets
+            // (churned since the last quantification) pay one lazy kd-build,
+            // then a query pays the O(live) answer assembly, the early-exit
+            // stream draws (a few multiples of k̄), and the per-bucket heap
+            // fan-out — sublinear in N, which is the whole point.
+            let buckets = inp.dynamic_buckets.max(1) as f64;
+            let cold = inp.dynamic_quant_cold_locations as f64;
+            cands.push((
+                QuantPlan::Merged,
+                if cold > 0.0 {
+                    3.0 * cold * lg(cold)
+                } else {
+                    0.0
+                },
+                2.0 * n + 16.0 * (kbar + 2.0) * lg(nn) + 8.0 * buckets * lg(nn),
+            ));
+        }
         let eps_budget = inp.guarantee.slack();
         if inp.n > 0 && eps_budget > 0.0 && eps_budget < 1.0 && inp.spread.is_finite() {
             // Spiral retrieval budget m(ρ, ε) = ⌈ρ k ln(1/ε)⌉ + k − 1.
@@ -293,6 +335,8 @@ mod tests {
             mc_built_samples: None,
             dynamic_ready: false,
             dynamic_buckets: 0,
+            dynamic_quant_cold_locations: 0,
+            quant_snapped: false,
         }
     }
 
@@ -351,6 +395,50 @@ mod tests {
         // Above the cap the diagram is not even priced.
         let capped = plan(&base(200, 2, 2_000_000, 0, Guarantee::Exact));
         assert!(capped.estimates.iter().all(|e| e.name != "nonzero:diagram"));
+    }
+
+    #[test]
+    fn merged_quant_appears_only_when_dynamic_ready_and_wins_when_warm() {
+        // Static engine: no merged candidate at all.
+        let cold = plan(&base(4096, 3, 0, 64, Guarantee::Exact));
+        assert!(cold.estimates.iter().all(|e| e.name != "quant:merged"));
+        assert_eq!(cold.quant, Some(QuantPlan::Exact));
+
+        // Warm dynamic structure: the merged path's sublinear per-query
+        // cost beats the fresh O(N log N) sweep.
+        let mut inp = base(4096, 3, 0, 64, Guarantee::Exact);
+        inp.dynamic_ready = true;
+        inp.dynamic_buckets = 6;
+        let warm = plan(&inp);
+        assert_eq!(warm.quant, Some(QuantPlan::Merged));
+        // Both variants are always priced side by side.
+        assert!(warm.estimates.iter().any(|e| e.name == "quant:fresh"));
+
+        // Churn since the last touch shows up as a build charge on exactly
+        // the cold locations; a warm structure is charged nothing.
+        let merged_build = |p: &BatchPlan| {
+            p.estimates
+                .iter()
+                .find(|e| e.name == "quant:merged")
+                .map(|e| e.build)
+                .unwrap()
+        };
+        assert_eq!(merged_build(&warm), 0.0);
+        inp.dynamic_quant_cold_locations = 3 * 4096;
+        let churned = plan(&inp);
+        assert!(merged_build(&churned) > 0.0);
+        // The lazy rebuild is still cheaper than even a handful of fresh
+        // O(N log N) sweeps, so merged keeps winning under churn…
+        assert_eq!(churned.quant, Some(QuantPlan::Merged));
+        // …and with the build sunk the total only drops.
+        assert!(merged_build(&churned) + 64.0 > merged_build(&warm));
+
+        // A snap grid routes quantification through the flat-set interval
+        // evaluator, so the merged candidate is not even priced.
+        inp.quant_snapped = true;
+        let snapped = plan(&inp);
+        assert!(snapped.estimates.iter().all(|e| e.name != "quant:merged"));
+        assert_eq!(snapped.quant, Some(QuantPlan::Exact));
     }
 
     #[test]

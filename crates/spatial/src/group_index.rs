@@ -46,10 +46,22 @@ struct Group {
 
 /// A static index over groups of points supporting fast
 /// `min_i max_j ‖q − p_ij‖` queries.
+///
+/// Callers that overlay tombstones on the static tree (the Bentley–Saxe
+/// dynamic layer) can additionally maintain a **live-count overlay** — one
+/// counter per tree node, seeded by [`live_counts`](Self::live_counts) and
+/// decremented along root-to-leaf paths by [`kill`](Self::kill) — so the
+/// [pruned traversal](Self::two_min_max_dist_pruned) skips fully-dead
+/// subtrees wholesale instead of filtering their groups one at a time.
+/// Near the 50% compaction threshold that is the difference between paying
+/// for the build-batch size and paying for the live population.
 #[derive(Clone, Debug)]
 pub struct GroupIndex {
     groups: Vec<Group>,
     nodes: Vec<Node>,
+    /// Group id → position in `groups` (`u32::MAX` for skipped empty ids);
+    /// the build permutes `groups`, this maps back.
+    pos_of_id: Vec<u32>,
 }
 
 impl GroupIndex {
@@ -71,7 +83,15 @@ impl GroupIndex {
             let n = gs.len();
             Self::build_rec(&mut gs, 0, n, &mut nodes);
         }
-        GroupIndex { groups: gs, nodes }
+        let mut pos_of_id = vec![u32::MAX; groups.len()];
+        for (pos, g) in gs.iter().enumerate() {
+            pos_of_id[g.id as usize] = pos as u32;
+        }
+        GroupIndex {
+            groups: gs,
+            nodes,
+            pos_of_id,
+        }
     }
 
     fn build_rec(groups: &mut [Group], start: usize, end: usize, nodes: &mut Vec<Node>) -> u32 {
@@ -143,7 +163,65 @@ impl GroupIndex {
         }
         let mut best = (f64::INFINITY, u32::MAX);
         let mut second = f64::INFINITY;
-        self.min_rec(0, q, &mut live, &mut best, &mut second);
+        self.min_rec(0, q, &mut live, None, &mut best, &mut second);
+        if best.1 == u32::MAX {
+            None
+        } else {
+            Some((best.0, best.1, second))
+        }
+    }
+
+    /// A fresh live-count overlay: per-node subtree group counts with every
+    /// group alive. Parallel to the internal node array; pass it (after
+    /// [`kill`](Self::kill)s) to
+    /// [`two_min_max_dist_pruned`](Self::two_min_max_dist_pruned).
+    pub fn live_counts(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.end - n.start).collect()
+    }
+
+    /// Marks group `id` dead in a live-count overlay: decrements the
+    /// counter of every node whose subtree contains the group. `O(log n)`
+    /// (one root-to-leaf descent). Unknown/empty ids are ignored; killing
+    /// the same id twice corrupts the overlay — callers gate on their own
+    /// tombstone state, exactly as with the `live` predicate.
+    pub fn kill(&self, id: u32, counts: &mut [u32]) {
+        let Some(&pos) = self.pos_of_id.get(id as usize) else {
+            return;
+        };
+        if pos == u32::MAX {
+            return;
+        }
+        let mut node = 0u32;
+        loop {
+            let n = &self.nodes[node as usize];
+            debug_assert!((n.start..n.end).contains(&pos));
+            counts[node as usize] -= 1;
+            if n.is_leaf() {
+                break;
+            }
+            // The left child covers [start, mid); descend by position.
+            let mid = self.nodes[n.left as usize].end;
+            node = if pos < mid { n.left } else { n.right };
+        }
+    }
+
+    /// Like [`two_min_max_dist_where`](Self::two_min_max_dist_where), with
+    /// a live-count overlay that prunes fully-dead subtrees at node
+    /// granularity. `counts` must be consistent with `live` (every killed
+    /// group reports dead, and vice versa); answers are identical to the
+    /// unpruned traversal — the overlay only skips work.
+    pub fn two_min_max_dist_pruned(
+        &self,
+        q: Point,
+        mut live: impl FnMut(u32) -> bool,
+        counts: &[u32],
+    ) -> Option<(f64, u32, f64)> {
+        if self.is_empty() || counts.first().is_none_or(|&c| c == 0) {
+            return None;
+        }
+        let mut best = (f64::INFINITY, u32::MAX);
+        let mut second = f64::INFINITY;
+        self.min_rec(0, q, &mut live, Some(counts), &mut best, &mut second);
         if best.1 == u32::MAX {
             None
         } else {
@@ -220,10 +298,16 @@ impl GroupIndex {
         node: u32,
         q: Point,
         live: &mut impl FnMut(u32) -> bool,
+        counts: Option<&[u32]>,
         best: &mut (f64, u32),
         second: &mut f64,
     ) {
         let n = &self.nodes[node as usize];
+        // Tombstone-aware pruning: a subtree with no live group left (the
+        // caller's live-count overlay says so) is skipped wholesale.
+        if counts.is_some_and(|c| c[node as usize] == 0) {
+            return;
+        }
         // Valid lower bound on Δ_i(q) for any group below this node:
         // Δ_i(q) ≥ max(‖q − c_i‖, rad_i) ≥ max(dist(q, bbox), min_rad).
         // Prune against the second-best so both minima stay exact.
@@ -254,11 +338,11 @@ impl GroupIndex {
         let bl = self.nodes[l as usize].bbox.dist_to_point(q);
         let br = self.nodes[r as usize].bbox.dist_to_point(q);
         if bl <= br {
-            self.min_rec(l, q, live, best, second);
-            self.min_rec(r, q, live, best, second);
+            self.min_rec(l, q, live, counts, best, second);
+            self.min_rec(r, q, live, counts, best, second);
         } else {
-            self.min_rec(r, q, live, best, second);
-            self.min_rec(l, q, live, best, second);
+            self.min_rec(r, q, live, counts, best, second);
+            self.min_rec(l, q, live, counts, best, second);
         }
     }
 }
@@ -367,6 +451,89 @@ mod tests {
         assert!(idx.two_min_max_dist_where(q, |_| false).is_none());
         let (_, only, second) = idx.two_min_max_dist_where(q, |id| id == 3).unwrap();
         assert_eq!(only, 3);
+        assert!(second.is_infinite());
+    }
+
+    #[test]
+    fn pruned_traversal_matches_unpruned_under_every_mask() {
+        let groups = random_groups(90, 4, 21);
+        let idx = GroupIndex::build(&groups);
+        let mut state = 31u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        // Progressive kills: after each batch, the pruned and unpruned
+        // filtered traversals must agree exactly (the overlay only skips
+        // provably-dead subtrees, never changes an answer).
+        let mut counts = idx.live_counts();
+        assert_eq!(counts[0] as usize, idx.len());
+        let mut dead = vec![false; groups.len()];
+        for round in 0..30 {
+            // Kill three more groups per round (until ~all dead).
+            for _ in 0..3 {
+                let id = (next() * groups.len() as f64) as usize % groups.len();
+                if !dead[id] {
+                    dead[id] = true;
+                    idx.kill(id as u32, &mut counts);
+                }
+            }
+            let live_total = dead.iter().filter(|&&d| !d).count();
+            assert_eq!(counts[0] as usize, live_total, "root count off");
+            let q = Point::new(next() * 120.0 - 60.0, next() * 120.0 - 60.0);
+            let unpruned = idx.two_min_max_dist_where(q, |id| !dead[id as usize]);
+            let pruned = idx.two_min_max_dist_pruned(q, |id| !dead[id as usize], &counts);
+            match (unpruned, pruned) {
+                (None, None) => assert_eq!(live_total, 0),
+                (Some((d, id, s)), Some((pd, pid, ps))) => {
+                    assert_eq!(d.to_bits(), pd.to_bits(), "round {round}");
+                    assert_eq!(id, pid);
+                    assert_eq!(s.to_bits(), ps.to_bits());
+                }
+                other => panic!("pruned/unpruned disagree: {other:?}"),
+            }
+        }
+        // Kill the rest: the pruned query answers None straight from the
+        // root counter.
+        for (id, d) in dead.iter_mut().enumerate() {
+            if !*d {
+                *d = true;
+                idx.kill(id as u32, &mut counts);
+            }
+        }
+        assert_eq!(counts[0], 0);
+        assert!(idx
+            .two_min_max_dist_pruned(Point::new(0.0, 0.0), |_| false, &counts)
+            .is_none());
+        assert!(counts.iter().all(|&c| c == 0), "leaf counters must drain");
+    }
+
+    #[test]
+    fn kill_ignores_empty_group_ids() {
+        // Group 1 is empty and skipped by the build; killing it is a no-op
+        // and the remaining groups keep exact answers.
+        let groups = vec![
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
+            vec![],
+            vec![Point::new(5.0, 5.0)],
+        ];
+        let idx = GroupIndex::build(&groups);
+        assert_eq!(idx.len(), 2);
+        let mut counts = idx.live_counts();
+        idx.kill(1, &mut counts); // empty id: ignored
+        idx.kill(99, &mut counts); // out of range: ignored
+        assert_eq!(counts[0], 2);
+        let q = Point::new(0.0, 0.0);
+        let (d, id, _) = idx.two_min_max_dist_pruned(q, |_| true, &counts).unwrap();
+        assert_eq!(id, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+        idx.kill(0, &mut counts);
+        let (_, id, second) = idx
+            .two_min_max_dist_pruned(q, |id| id == 2, &counts)
+            .unwrap();
+        assert_eq!(id, 2);
         assert!(second.is_infinite());
     }
 

@@ -7,16 +7,19 @@
 //! * `NN≠0` — must equal the Lemma 2.1 evaluation of a fresh static build
 //!   (and a fresh Theorem 3.2 index) exactly;
 //! * quantification — must be **bit-identical** to the Eq. (2) sweep over
-//!   the fresh build (both paths share one sweep core fed in the same
-//!   order, so any divergence is a real bug, not float noise);
+//!   the fresh build, via **both plan variants**: the fresh-path sweep over
+//!   the live union *and* the k-way merged path over per-bucket sorted
+//!   summaries (cold, then again warm). All paths share one sweep core fed
+//!   the same entry order, so any divergence is a real bug, not float
+//!   noise;
 //! * expected-distance NN — minimal value bit-identical to a fresh
 //!   `ExpectedNnIndex` query (safe-margin pruning makes the b&b minimum
 //!   equal the scan minimum bitwise).
 //!
 //! Runs under the vendored deterministic proptest: failures print a
 //! replayable `cc` seed line for `tests/proptest-regressions/
-//! dynamic_differential.txt`. CI's `dynamic-gauntlet` job repeats the suite
-//! at `PROPTEST_CASES=2048`.
+//! dynamic_differential.txt`. CI's `dynamic-gauntlet` and `quant-gauntlet`
+//! jobs repeat the suite at `PROPTEST_CASES=2048`.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -110,7 +113,7 @@ fn check_all_families(d: &DynamicSet, mirror: &Mirror, q: Point) -> Result<(), T
     let via_index: Vec<SiteId> = via_index.into_iter().map(|dense| ids[dense]).collect();
     prop_assert_eq!(&got, &via_index, "fresh-index mismatch at {}", q);
 
-    // Quantification: bit-identical to the fresh sweep.
+    // Quantification, fresh-path variant: bit-identical to the oracle.
     let pi_fresh = quantification_discrete(&fresh, q);
     let pi_dyn = d.quantification(q);
     prop_assert_eq!(pi_dyn.len(), pi_fresh.len());
@@ -125,6 +128,36 @@ fn check_all_families(d: &DynamicSet, mirror: &Mirror, q: Point) -> Result<(), T
             got_pi,
             want_pi
         );
+    }
+
+    // Quantification, merged-path variant (k-way merge over per-bucket
+    // sorted summaries, tombstones filtered at draw time): bit-identical to
+    // the same oracle — first touching cold summaries, then again with
+    // every bucket warm.
+    for pass in ["cold-or-warm", "warm"] {
+        let (pi_merged, mstats) = d.quantification_merged_with_stats(q);
+        prop_assert_eq!(pi_merged.len(), pi_fresh.len());
+        for ((id, got_pi), (dense, want_pi)) in pi_merged.iter().zip(pi_fresh.iter().enumerate()) {
+            prop_assert_eq!(*id, ids[dense]);
+            prop_assert_eq!(
+                got_pi.to_bits(),
+                want_pi.to_bits(),
+                "merged π ({}) for site {} at {}: merged {} vs fresh {}",
+                pass,
+                id,
+                q,
+                got_pi,
+                want_pi
+            );
+        }
+        prop_assert!(mstats.entries_merged <= mstats.live_locations);
+        if pass == "warm" {
+            prop_assert_eq!(
+                mstats.warm_buckets,
+                mstats.buckets,
+                "all touched buckets must be warm on the second pass"
+            );
+        }
     }
 
     // Expected NN: minimal value bit-identical to a fresh index query.
