@@ -1,0 +1,197 @@
+//! Kernel micro-benchmarks backing `BENCH_kernels.json`, the repo's
+//! committed perf baseline: the SoA chunked-lane distance kernels
+//! (`uncertain_spatial::soa`) against their scalar reference forms, under
+//! wall/cycle/heap counters (see `uncertain_bench::measure`).
+//!
+//! Two hot kernels from the serving path are measured at several sizes:
+//!
+//! * `disk_filter_masked` — the tombstone-masked in-disk filter behind the
+//!   Theorem 3.2 stage-2 scan of the dynamic layer (bitmask-AND lanes vs a
+//!   per-entry liveness branch).
+//! * `dist_all` — the bulk distance evaluation behind the Eq. (2) sweep's
+//!   entry assembly (chunked lanes vs one `Point::dist` per location).
+//!
+//! Usage: `kernel_bench [--smoke] [--out PATH] [--check BASELINE]`
+//!
+//! `--smoke` (or `UNC_BENCH_SMOKE=1`) drops to a few reps per cell — enough
+//! for CI to exercise every kernel and emit a schema-valid artifact, too
+//! noisy for real ratios. `--out` writes the JSON document. `--check`
+//! compares this run's scalar-over-SoA speedups against a baseline document
+//! with a generous tolerance (ratios, not absolute times, so it holds
+//! across machines) and exits nonzero on a gross regression.
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uncertain_bench::measure::{
+    measure_reps, parse_speedups, BenchDoc, CountingAlloc, KernelReport,
+};
+use uncertain_geom::Point;
+use uncertain_spatial::PointSlab;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A run's speedup may sit this factor below the baseline's before the
+/// check fails — generous on purpose: CI machines are noisy and smoke runs
+/// take few samples. The check catches "the SoA path silently became 10×
+/// slower", not percent-level drift.
+const CHECK_TOLERANCE: f64 = 4.0;
+
+const SIZES: [usize; 3] = [1024, 4096, 16384];
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut smoke = uncertain_bench::smoke();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = argv.next(),
+            "--check" => check_path = argv.next(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let reps = if smoke { 5 } else { 400 };
+
+    let mut doc = BenchDoc {
+        created_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        smoke,
+        kernels: vec![],
+        speedups: vec![],
+    };
+
+    for &n in &SIZES {
+        let (slab, alive, q, r) = workload(n);
+        bench_pair(&mut doc, "disk_filter_masked", n, reps, {
+            let (slab, alive) = (&slab, &alive);
+            move |soa| {
+                let mut acc = 0.0f64;
+                if soa {
+                    slab.for_each_in_disk_masked(q, r, alive, |_, d| acc += d);
+                } else {
+                    slab.for_each_in_disk_masked_scalar(q, r, alive, |_, d| acc += d);
+                }
+                std::hint::black_box(acc);
+            }
+        });
+        let mut dists = Vec::with_capacity(n);
+        bench_pair(&mut doc, "dist_all", n, reps, {
+            let (slab, dists) = (&slab, &mut dists);
+            move |soa| {
+                if soa {
+                    slab.dist_all_into(q, dists);
+                } else {
+                    slab.dist_all_into_scalar(q, dists);
+                }
+                std::hint::black_box(dists.last().copied());
+            }
+        });
+    }
+    doc.compute_speedups();
+
+    for k in &doc.kernels {
+        println!(
+            "{:<20} {:<7} n={:<6} median {:>10.1} ns  ({:.2} Melem/s)",
+            k.name,
+            k.variant,
+            k.n,
+            k.wall_ns.median,
+            k.elements_per_sec() / 1e6
+        );
+    }
+    for s in &doc.speedups {
+        println!(
+            "speedup {:<20} n={:<6} scalar/soa = {:.2}x",
+            s.kernel, s.n, s.scalar_over_soa
+        );
+    }
+
+    let json = doc.to_json();
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !check_against(&doc, &parse_speedups(&baseline)) {
+            return ExitCode::FAILURE;
+        }
+        println!("baseline check passed (tolerance {CHECK_TOLERANCE}x)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Random workload for size `n`: points uniform in a square, query at the
+/// center, radius catching roughly half the points, ~3/4 of entries live.
+fn workload(n: usize) -> (PointSlab, Vec<u64>, Point, f64) {
+    let mut rng = StdRng::seed_from_u64(0x5eed ^ n as u64);
+    let mut slab = PointSlab::with_capacity(n);
+    for _ in 0..n {
+        slab.push(Point::new(
+            rng.gen_range(-50.0..50.0),
+            rng.gen_range(-50.0..50.0),
+        ));
+    }
+    let words = n.div_ceil(64);
+    let mut alive = vec![0u64; words];
+    for (i, w) in alive.iter_mut().enumerate() {
+        *w = rng.gen::<u64>() | rng.gen::<u64>(); // ~75% bits set
+        let base = i * 64;
+        if n - base < 64 {
+            *w &= (1u64 << (n - base)) - 1;
+        }
+    }
+    (slab, alive, Point::new(0.0, 0.0), 40.0)
+}
+
+/// Benches the scalar and SoA variants of one kernel at one size.
+fn bench_pair(doc: &mut BenchDoc, name: &str, n: usize, reps: usize, mut body: impl FnMut(bool)) {
+    for (variant, soa) in [("scalar", false), ("soa", true)] {
+        let runs = measure_reps(reps, || body(soa));
+        doc.kernels
+            .push(KernelReport::from_runs(name, variant, n, &runs));
+    }
+}
+
+/// Every (kernel, n) present in both documents must not have regressed by
+/// more than [`CHECK_TOLERANCE`]; entries missing on either side are
+/// reported but don't fail (sizes may evolve).
+fn check_against(doc: &BenchDoc, baseline: &[uncertain_bench::measure::Speedup]) -> bool {
+    let mut ok = true;
+    for b in baseline {
+        match doc
+            .speedups
+            .iter()
+            .find(|s| s.kernel == b.kernel && s.n == b.n)
+        {
+            Some(cur) if cur.scalar_over_soa * CHECK_TOLERANCE < b.scalar_over_soa => {
+                eprintln!(
+                    "REGRESSION {} n={}: speedup {:.2}x vs baseline {:.2}x (tolerance {}x)",
+                    b.kernel, b.n, cur.scalar_over_soa, b.scalar_over_soa, CHECK_TOLERANCE
+                );
+                ok = false;
+            }
+            Some(_) => {}
+            None => eprintln!("note: baseline entry {} n={} not measured", b.kernel, b.n),
+        }
+    }
+    ok
+}

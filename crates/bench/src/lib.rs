@@ -7,6 +7,7 @@
 //! of them.
 
 pub mod churn;
+pub mod measure;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;

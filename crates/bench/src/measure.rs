@@ -1,0 +1,408 @@
+//! Per-run measurement layer for the kernel benches: wall clock, hardware
+//! cycle counter, and heap counters, aggregated into nearest-rank summary
+//! statistics and emitted as the std-only `bench-kernels/v1` JSON schema
+//! that `BENCH_kernels.json` (the repo's committed perf baseline) uses.
+//!
+//! Heap accounting needs the *binary* to install [`CountingAlloc`] as its
+//! global allocator:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: uncertain_bench::measure::CountingAlloc =
+//!     uncertain_bench::measure::CountingAlloc;
+//! ```
+//!
+//! Without it the heap fields read 0 — wall/cycle measurement still works.
+//! The cycle counter is `rdtsc` on x86_64 and absent elsewhere (`cycles`
+//! becomes `null` in the JSON). Everything here is std-only: no serde, no
+//! external counter crates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Bytes requested from the global allocator since process start (counts
+/// `alloc`/`alloc_zeroed` sizes plus `realloc` growth; frees don't subtract
+/// — this is cumulative traffic, not live footprint).
+static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Allocation calls since process start (same convention).
+static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation traffic. Install it
+/// with `#[global_allocator]` in the bench binary (see module docs).
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation verbatim to `System`; the counters are
+// relaxed atomics touched outside the allocation itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Current `(bytes, allocs)` heap-traffic counters (0 until the binary
+/// installs [`CountingAlloc`]).
+pub fn heap_counters() -> (u64, u64) {
+    (
+        HEAP_BYTES.load(Ordering::Relaxed),
+        HEAP_ALLOCS.load(Ordering::Relaxed),
+    )
+}
+
+/// Reads the CPU cycle counter, `None` where no cheap one exists. `rdtsc`
+/// counts reference cycles (constant-rate on every CPU this repo targets);
+/// it is *not* serializing, so treat single-run deltas as noisy and lean on
+/// the aggregate statistics.
+#[inline]
+pub fn cycle_counter() -> Option<u64> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `rdtsc` has no preconditions; baseline x86_64 includes it.
+        Some(unsafe { core::arch::x86_64::_rdtsc() })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        None
+    }
+}
+
+/// Counters for one timed run of a bench body.
+#[derive(Clone, Copy, Debug)]
+pub struct RunMeasure {
+    pub wall_ns: u64,
+    /// Elapsed reference cycles; `None` off x86_64.
+    pub cycles: Option<u64>,
+    /// Heap bytes the run allocated (0 without [`CountingAlloc`]).
+    pub heap_bytes: u64,
+    /// Heap allocation calls the run made.
+    pub heap_allocs: u64,
+}
+
+/// Times one call of `f` under all three counters.
+pub fn measure_once(f: &mut dyn FnMut()) -> RunMeasure {
+    let (b0, a0) = heap_counters();
+    let c0 = cycle_counter();
+    let t0 = Instant::now();
+    f();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let c1 = cycle_counter();
+    let (b1, a1) = heap_counters();
+    RunMeasure {
+        wall_ns,
+        cycles: c0.zip(c1).map(|(s, e)| e.saturating_sub(s)),
+        heap_bytes: b1 - b0,
+        heap_allocs: a1 - a0,
+    }
+}
+
+/// Runs `f` once untimed (warm-up), then `reps` timed runs.
+pub fn measure_reps(reps: usize, mut f: impl FnMut()) -> Vec<RunMeasure> {
+    f();
+    (0..reps).map(|_| measure_once(&mut f)).collect()
+}
+
+/// Nearest-rank summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub min: f64,
+    pub mean: f64,
+    pub median: f64,
+    pub p95: f64,
+}
+
+/// Summarizes a nonempty sample set (nearest-rank percentiles).
+pub fn summarize(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pick = |p: f64| {
+        // Snap `p·n` to the integer it mathematically equals before `ceil`
+        // (0.95 × 20 lands an ulp high in f64) — same nearest-rank
+        // convention as the vendored criterion harness.
+        let exact = p * sorted.len() as f64;
+        let nearest = exact.round();
+        let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+            nearest
+        } else {
+            exact.ceil()
+        };
+        sorted[(rank as usize).clamp(1, sorted.len()) - 1]
+    };
+    Summary {
+        min: sorted[0],
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        median: pick(0.50),
+        p95: pick(0.95),
+    }
+}
+
+/// One (kernel, variant, n) cell of the report.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Kernel under test, e.g. `"disk_filter_masked"`.
+    pub name: String,
+    /// `"scalar"` or `"soa"`.
+    pub variant: String,
+    /// Elements one run processes.
+    pub n: usize,
+    pub reps: usize,
+    /// Wall time per run, nanoseconds.
+    pub wall_ns: Summary,
+    /// Reference cycles per run; `None` off x86_64.
+    pub cycles: Option<Summary>,
+    /// Mean heap bytes allocated per run.
+    pub heap_bytes_per_rep: f64,
+    /// Mean heap allocation calls per run.
+    pub heap_allocs_per_rep: f64,
+}
+
+impl KernelReport {
+    /// Aggregates raw runs into a report cell.
+    pub fn from_runs(name: &str, variant: &str, n: usize, runs: &[RunMeasure]) -> Self {
+        let wall: Vec<f64> = runs.iter().map(|r| r.wall_ns as f64).collect();
+        let cycles: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.cycles)
+            .map(|c| c as f64)
+            .collect();
+        let k = runs.len() as f64;
+        KernelReport {
+            name: name.into(),
+            variant: variant.into(),
+            n,
+            reps: runs.len(),
+            wall_ns: summarize(&wall),
+            cycles: (cycles.len() == runs.len()).then(|| summarize(&cycles)),
+            heap_bytes_per_rep: runs.iter().map(|r| r.heap_bytes as f64).sum::<f64>() / k,
+            heap_allocs_per_rep: runs.iter().map(|r| r.heap_allocs as f64).sum::<f64>() / k,
+        }
+    }
+
+    /// Elements per second at the median wall time.
+    pub fn elements_per_sec(&self) -> f64 {
+        if self.wall_ns.median <= 0.0 {
+            0.0
+        } else {
+            self.n as f64 / (self.wall_ns.median * 1e-9)
+        }
+    }
+}
+
+/// One scalar-over-SoA speedup ratio (median wall over median wall; > 1
+/// means the SoA kernel is faster).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Speedup {
+    pub kernel: String,
+    pub n: usize,
+    pub scalar_over_soa: f64,
+}
+
+/// The whole `bench-kernels/v1` document.
+#[derive(Clone, Debug)]
+pub struct BenchDoc {
+    /// Unix seconds the run started.
+    pub created_unix: u64,
+    /// Whether the run was a smoke run (few reps; ratios noisy).
+    pub smoke: bool,
+    pub kernels: Vec<KernelReport>,
+    pub speedups: Vec<Speedup>,
+}
+
+impl BenchDoc {
+    /// Derives the speedup table from `kernels`: for every (name, n) with
+    /// both variants present, median scalar wall / median SoA wall.
+    pub fn compute_speedups(&mut self) {
+        self.speedups.clear();
+        for k in &self.kernels {
+            if k.variant != "soa" {
+                continue;
+            }
+            let scalar = self
+                .kernels
+                .iter()
+                .find(|s| s.variant == "scalar" && s.name == k.name && s.n == k.n);
+            if let Some(s) = scalar {
+                if k.wall_ns.median > 0.0 {
+                    self.speedups.push(Speedup {
+                        kernel: k.name.clone(),
+                        n: k.n,
+                        scalar_over_soa: s.wall_ns.median / k.wall_ns.median,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Serializes the document (hand-rolled std-only JSON; keep
+    /// [`parse_speedups`] in sync with the exact `speedups` formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"bench-kernels/v1\",\n");
+        out.push_str(&format!("  \"created_unix\": {},\n", self.created_unix));
+        out.push_str(&format!(
+            "  \"host\": {{\"arch\": \"{}\", \"os\": \"{}\", \"smoke\": {}}},\n",
+            std::env::consts::ARCH,
+            std::env::consts::OS,
+            self.smoke
+        ));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let cycles = match &k.cycles {
+                Some(c) => summary_json(c, 1),
+                None => "null".into(),
+            };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"reps\": {}, \
+                 \"wall_ns\": {}, \"cycles\": {}, \
+                 \"heap\": {{\"bytes_per_rep\": {}, \"allocs_per_rep\": {}}}, \
+                 \"elements_per_sec\": {}}}{}\n",
+                k.name,
+                k.variant,
+                k.n,
+                k.reps,
+                summary_json(&k.wall_ns, 1),
+                cycles,
+                json_f64(k.heap_bytes_per_rep),
+                json_f64(k.heap_allocs_per_rep),
+                json_f64(k.elements_per_sec()),
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        for (i, s) in self.speedups.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"n\": {}, \"scalar_over_soa\": {}}}{}\n",
+                s.kernel,
+                s.n,
+                json_f64(s.scalar_over_soa),
+                if i + 1 < self.speedups.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn summary_json(s: &Summary, decimals: usize) -> String {
+    format!(
+        "{{\"min\": {:.d$}, \"mean\": {:.d$}, \"median\": {:.d$}, \"p95\": {:.d$}}}",
+        s.min,
+        s.mean,
+        s.median,
+        s.p95,
+        d = decimals
+    )
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Extracts the `speedups` entries from a `bench-kernels/v1` document.
+/// Not a general JSON parser — it scans for the exact object layout
+/// [`BenchDoc::to_json`] emits, which is all the `--check` baseline
+/// comparison needs.
+pub fn parse_speedups(json: &str) -> Vec<Speedup> {
+    let mut out = vec![];
+    for chunk in json.split("{\"kernel\": \"").skip(1) {
+        let Some(kernel) = chunk.split('"').next() else {
+            continue;
+        };
+        let field = |key: &str| -> Option<f64> {
+            let rest = chunk.split(&format!("\"{key}\": ")).nth(1)?;
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            num.parse().ok()
+        };
+        if let (Some(n), Some(ratio)) = (field("n"), field("scalar_over_soa")) {
+            out.push(Speedup {
+                kernel: kernel.to_string(),
+                n: n as usize,
+                scalar_over_soa: ratio,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_nearest_rank() {
+        let s = summarize(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p95, 5.0);
+        // p95 ≥ median on tiny samples too.
+        for n in 1..20usize {
+            let xs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            let s = summarize(&xs);
+            assert!(s.p95 >= s.median, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn measure_reps_counts_runs() {
+        let mut hits = 0usize;
+        let runs = measure_reps(5, || hits += 1);
+        assert_eq!(runs.len(), 5);
+        assert_eq!(hits, 6); // warm-up + 5 timed
+        #[cfg(target_arch = "x86_64")]
+        assert!(runs.iter().all(|r| r.cycles.is_some()));
+    }
+
+    #[test]
+    fn doc_roundtrips_speedups_through_json() {
+        let runs = measure_reps(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        let mut doc = BenchDoc {
+            created_unix: 1_700_000_000,
+            smoke: true,
+            kernels: vec![
+                KernelReport::from_runs("disk_filter_masked", "scalar", 4096, &runs),
+                KernelReport::from_runs("disk_filter_masked", "soa", 4096, &runs),
+            ],
+            speedups: vec![],
+        };
+        doc.compute_speedups();
+        assert_eq!(doc.speedups.len(), 1);
+        let json = doc.to_json();
+        assert!(json.contains("\"schema\": \"bench-kernels/v1\""));
+        let parsed = parse_speedups(&json);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].kernel, "disk_filter_masked");
+        assert_eq!(parsed[0].n, 4096);
+        assert!((parsed[0].scalar_over_soa - doc.speedups[0].scalar_over_soa).abs() < 1e-3);
+    }
+}

@@ -20,7 +20,31 @@ use crate::expected::ExpectedNnIndex;
 use crate::model::{DiscreteSet, DiscreteUncertainPoint};
 use crate::nonzero::DiscreteNonzeroIndex;
 use uncertain_geom::Point;
+use uncertain_spatial::soa::bitmap_get;
 use uncertain_spatial::GroupIndex;
+
+/// Calls `f(i)` for every set bit `i < n` of the tombstone bitmap — word-at-
+/// a-time `trailing_zeros` extraction instead of a per-entry branch, so the
+/// brute query paths pay per *live* site, not per stored site. Bits at or
+/// beyond `n` are masked off defensively.
+fn for_each_live(n: usize, alive: &[u64], mut f: impl FnMut(usize)) {
+    for (wi, &word) in alive.iter().enumerate() {
+        let base = wi << 6;
+        if base >= n {
+            break;
+        }
+        let mut w = if n - base >= 64 {
+            word
+        } else {
+            word & ((1u64 << (n - base)) - 1)
+        };
+        while w != 0 {
+            let b = w.trailing_zeros() as usize;
+            w &= w - 1;
+            f(base + b);
+        }
+    }
+}
 
 pub(crate) struct Bucket {
     /// Entry indices into the dynamic set's entry slab, parallel to
@@ -99,30 +123,29 @@ impl Bucket {
 
     /// Stage 1 of the merged Lemma 2.1 query: the two smallest `Δ_i(q)`
     /// over live local sites, as `(Δ, local index, second Δ)`. `second` is
-    /// `+∞` with exactly one live site; `None` with none. For indexed
-    /// buckets, `group_live` (the slot's per-node live counters, maintained
-    /// against [`group_index`](Self::group_index)) lets the traversal skip
+    /// `+∞` with exactly one live site; `None` with none. Liveness is the
+    /// slot's tombstone bitmap (bit per local site). For indexed buckets,
+    /// `group_live` (the slot's per-node live counters, maintained against
+    /// [`group_index`](Self::group_index)) lets the traversal skip
     /// fully-dead subtrees instead of testing their groups one by one.
     pub fn two_min_max_where(
         &self,
         q: Point,
-        live: &mut dyn FnMut(usize) -> bool,
+        alive: &[u64],
         group_live: Option<&[u32]>,
     ) -> Option<(f64, usize, f64)> {
         if let Some(idx) = &self.nonzero {
             let groups = idx.groups();
+            let live = |g: u32| bitmap_get(alive, g as usize);
             let found = match group_live {
-                Some(counts) => groups.two_min_max_dist_pruned(q, |g| live(g as usize), counts),
-                None => groups.two_min_max_dist_where(q, |g| live(g as usize)),
+                Some(counts) => groups.two_min_max_dist_pruned(q, live, counts),
+                None => groups.two_min_max_dist_where(q, live),
             };
             return found.map(|(d, g, s)| (d, g as usize, s));
         }
         let (mut best, mut best_i, mut second) = (f64::INFINITY, usize::MAX, f64::INFINITY);
-        for (i, p) in self.sites.iter().enumerate() {
-            if !live(i) {
-                continue;
-            }
-            let d = p.max_dist(q);
+        for_each_live(self.sites.len(), alive, |i| {
+            let d = self.sites[i].max_dist(q);
             if d < best {
                 second = best;
                 best = d;
@@ -130,7 +153,7 @@ impl Bucket {
             } else if d < second {
                 second = d;
             }
-        }
+        });
         (best_i != usize::MAX).then_some((best, best_i, second))
     }
 
@@ -142,7 +165,7 @@ impl Bucket {
         &self,
         q: Point,
         radius: f64,
-        live: &mut dyn FnMut(usize) -> bool,
+        alive: &[u64],
         bound: &mut dyn FnMut(usize) -> f64,
         out: &mut dyn FnMut(usize),
     ) {
@@ -150,51 +173,48 @@ impl Bucket {
             // δ_i < bound(i) ≤ radius implies the minimizing location is in
             // the closed disk, so enumerating the disk loses no site. Hits
             // are few (the NN≠0 answer is small), so dedup by sorting the
-            // hit list instead of allocating an O(bucket) seen-array.
+            // hit list instead of allocating an O(bucket) seen-array. The
+            // kd leaf kernel hands each hit's distance through — no
+            // recomputation.
             let mut hits: Vec<usize> = vec![];
-            idx.locations().for_each_in_disk(q, radius, |p, local| {
-                let i = local as usize;
-                if live(i) && q.dist(p) < bound(i) {
-                    hits.push(i);
-                }
-            });
+            idx.locations()
+                .for_each_in_disk_with_dist(q, radius, |_, local, d| {
+                    let i = local as usize;
+                    if bitmap_get(alive, i) && d < bound(i) {
+                        hits.push(i);
+                    }
+                });
             hits.sort_unstable();
             hits.dedup();
             for i in hits {
                 out(i);
             }
         } else {
-            for (i, p) in self.sites.iter().enumerate() {
-                if live(i) && p.min_dist(q) < bound(i) {
+            for_each_live(self.sites.len(), alive, |i| {
+                if self.sites[i].min_dist(q) < bound(i) {
                     out(i);
                 }
-            }
+            });
         }
     }
 
     /// Live-filtered expected-distance nearest neighbor: `(local, E)`.
     /// Indexed buckets build their branch-and-bound index on first call.
-    pub fn expected_nn_where(
-        &self,
-        q: Point,
-        live: &mut dyn FnMut(usize) -> bool,
-    ) -> Option<(usize, f64)> {
+    pub fn expected_nn_where(&self, q: Point, alive: &[u64]) -> Option<(usize, f64)> {
         if self.is_indexed() {
             let idx = self
                 .expected
                 .get_or_init(|| ExpectedNnIndex::build_discrete(&materialize(&self.sites)));
-            return idx.query_where(q, &mut *live);
+            let mut live = |i: usize| bitmap_get(alive, i);
+            return idx.query_where(q, &mut live);
         }
         let mut best: Option<(usize, f64)> = None;
-        for (i, p) in self.sites.iter().enumerate() {
-            if !live(i) {
-                continue;
-            }
-            let e = crate::expected::expected_dist_discrete(p, q);
+        for_each_live(self.sites.len(), alive, |i| {
+            let e = crate::expected::expected_dist_discrete(&self.sites[i], q);
             if best.is_none_or(|(_, be)| e < be) {
                 best = Some((i, e));
             }
-        }
+        });
         best
     }
 }

@@ -251,17 +251,13 @@ struct Slot {
 
 impl Slot {
     fn new(bucket: Arc<Bucket>) -> Self {
-        let words = bucket.entry_idxs.len().div_ceil(64);
         Slot {
-            alive: vec![u64::MAX; words],
+            // Trailing bits of the last word stay clear, so the bucket's
+            // word-at-a-time live iteration needs no end-of-slab masking.
+            alive: uncertain_spatial::soa::bitmap_filled(bucket.entry_idxs.len(), true),
             group_live: bucket.group_index().map(|g| g.live_counts()),
             bucket,
         }
-    }
-
-    #[inline]
-    fn is_live(&self, local: usize) -> bool {
-        self.alive[local >> 6] & (1u64 << (local & 63)) != 0
     }
 
     #[inline]
@@ -310,10 +306,11 @@ pub struct DynamicSet {
     dead: usize,
     config: DynamicConfig,
     stats: RebuildStats,
-    /// Query-invariant setup of the merged quantification path (live-id
-    /// list, per-slot local→dense maps, live location total), built once
-    /// per mutation state and shared by every query until the next update
-    /// invalidates it. Cloned snapshots inherit a warm cache.
+    /// Query-invariant setup of the quantification paths (live-id list,
+    /// per-slot local→dense maps for the merged path, the live union's SoA
+    /// location slab for the fresh path), built once per mutation state and
+    /// shared by every query until the next update invalidates it. Cloned
+    /// snapshots inherit a warm cache.
     merged_maps: OnceLock<Arc<MergedQueryMaps>>,
 }
 
@@ -326,6 +323,11 @@ struct MergedQueryMaps {
     dense: Vec<Option<Vec<u32>>>,
     /// Σ locations over live sites — what a fresh sweep would sort.
     live_locations: usize,
+    /// The live union's locations flattened into SoA slabs (canonical
+    /// ascending `(dense site, location)` order) — the fresh sweep's
+    /// distance pass runs the chunked-lane kernel over it instead of
+    /// chasing per-site `Arc`s through the handle map on every query.
+    live_slab: crate::quantification::slab::LocationSlab,
 }
 
 impl DynamicSet {
@@ -750,10 +752,9 @@ impl DynamicSet {
         let mut best = (f64::INFINITY, u32::MAX); // (Δ, entry index)
         let mut second = f64::INFINITY;
         for slot in self.buckets.iter().flatten() {
-            let mut live = |local: usize| slot.is_live(local);
             let Some((d, local, s)) =
                 slot.bucket
-                    .two_min_max_where(q, &mut live, slot.group_live.as_deref())
+                    .two_min_max_where(q, &slot.alive, slot.group_live.as_deref())
             else {
                 continue;
             };
@@ -776,18 +777,18 @@ impl DynamicSet {
         let mut out: Vec<SiteId> = vec![];
         for slot in self.buckets.iter().flatten() {
             let b = &slot.bucket;
-            let mut live = |local: usize| slot.is_live(local);
             let mut bound = |local: usize| if b.entry_idxs[local] == e1 { d2 } else { d1 };
             let mut push = |local: usize| out.push(entries[b.entry_idxs[local] as usize].id);
-            b.report_where(q, radius, &mut live, &mut bound, &mut push);
+            b.report_where(q, radius, &slot.alive, &mut bound, &mut push);
         }
         out.sort_unstable();
         out
     }
 
     /// All quantification probabilities over the live sites, as ascending
-    /// `(id, π)` pairs, by the **fresh sweep**: assemble the live union's
-    /// entry list and stable-sort it — bit-identical to
+    /// `(id, π)` pairs, by the **fresh sweep**: evaluate the live union's
+    /// distances on the cached SoA location slab (chunked-lane kernel) and
+    /// stable-sort the entry list — bit-identical to
     /// [`quantification_discrete`](crate::quantification::exact) on a fresh
     /// static build over the survivors, because both paths feed identical
     /// entries in identical order to the shared Eq. (2) sweep core.
@@ -795,17 +796,14 @@ impl DynamicSet {
     /// prefers [`quantification_merged`](Self::quantification_merged) once
     /// the structure is warm.
     pub fn quantification(&self, q: Point) -> Vec<(SiteId, f64)> {
-        let ids = self.live_ids();
+        let maps = self
+            .merged_maps
+            .get_or_init(|| Arc::new(self.build_merged_maps()));
+        let mut scratch = vec![];
         let mut entries: Vec<(f64, usize, f64)> = vec![];
-        for (dense, &id) in ids.iter().enumerate() {
-            let site = &self.entries[self.handles[&id] as usize].site;
-            debug_assert!(self.contains(id));
-            for (&loc, &w) in site.locations().iter().zip(site.weights()) {
-                entries.push((q.dist(loc), dense, w));
-            }
-        }
-        let pi = quantification_sweep(entries, ids.len());
-        ids.into_iter().zip(pi).collect()
+        maps.live_slab.entries_into(q, &mut scratch, &mut entries);
+        let pi = quantification_sweep(entries, maps.ids.len());
+        maps.ids.iter().copied().zip(pi).collect()
     }
 
     /// All quantification probabilities over the live sites by the
@@ -895,10 +893,19 @@ impl DynamicSet {
                 .collect();
             dense.push(any_live.then_some(map));
         }
+        let mut live_slab =
+            crate::quantification::slab::LocationSlab::with_capacity(live_locations);
+        for (dense_idx, &id) in ids.iter().enumerate() {
+            let site = &self.entries[self.handles[&id] as usize].site;
+            for (&loc, &w) in site.locations().iter().zip(site.weights()) {
+                live_slab.push(dense_idx, loc, w);
+            }
+        }
         MergedQueryMaps {
             ids,
             dense,
             live_locations,
+            live_slab,
         }
     }
 
@@ -929,8 +936,7 @@ impl DynamicSet {
         let entries = &self.entries;
         let mut best: Option<(SiteId, f64)> = None;
         for slot in self.buckets.iter().flatten() {
-            let mut live = |local: usize| slot.is_live(local);
-            if let Some((local, e)) = slot.bucket.expected_nn_where(q, &mut live) {
+            if let Some((local, e)) = slot.bucket.expected_nn_where(q, &slot.alive) {
                 let id = entries[slot.bucket.entry_idxs[local] as usize].id;
                 let better = match best {
                     None => true,

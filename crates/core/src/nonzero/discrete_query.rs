@@ -108,15 +108,19 @@ impl DiscreteNonzeroIndex {
         let (stamps, cur) = (&mut scratch.stamps, scratch.epoch);
         let mut out = vec![];
         let range = if second.is_finite() { second } else { best };
-        self.locations.for_each_in_disk(q, range, |p, i| {
-            // Strict inequality against min_{j≠i} Δ_j; for the point that
-            // attains Δ(q) the threshold is the second-smallest.
-            let bound = if i == best_id { second } else { best };
-            if q.dist(p) < bound && stamps[i as usize] != cur {
-                stamps[i as usize] = cur;
-                out.push(i as usize);
-            }
-        });
+        // The kd leaf kernel evaluates the distances in chunked lanes and
+        // hands each hit's distance through, so the Lemma 2.1 filter below
+        // reuses it instead of recomputing `q.dist(p)` (same bits).
+        self.locations
+            .for_each_in_disk_with_dist(q, range, |_, i, d| {
+                // Strict inequality against min_{j≠i} Δ_j; for the point that
+                // attains Δ(q) the threshold is the second-smallest.
+                let bound = if i == best_id { second } else { best };
+                if d < bound && stamps[i as usize] != cur {
+                    stamps[i as usize] = cur;
+                    out.push(i as usize);
+                }
+            });
         // Single-point sets: the range query above cannot see past `best`
         // when `second = ∞`; handle explicitly.
         if self.n == 1 && out.is_empty() {

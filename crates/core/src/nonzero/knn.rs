@@ -106,12 +106,13 @@ impl super::discrete_query::DiscreteNonzeroIndex {
         let loosest = smallest.last().unwrap().0;
         let mut seen = vec![false; self.len()];
         let mut out = vec![];
-        self.locations().for_each_in_disk(q, loosest, |p, i| {
-            if !seen[i as usize] && q.dist(p) < threshold_for(i, k, &smallest) {
-                seen[i as usize] = true;
-                out.push(i as usize);
-            }
-        });
+        self.locations()
+            .for_each_in_disk_with_dist(q, loosest, |_, i, d| {
+                if !seen[i as usize] && d < threshold_for(i, k, &smallest) {
+                    seen[i as usize] = true;
+                    out.push(i as usize);
+                }
+            });
         out
     }
 }

@@ -27,8 +27,17 @@ pub fn sweep_entries(set: &DiscreteSet, q: Point) -> Vec<SweepEntry> {
 
 /// All quantification probabilities `π_i(q)` for a discrete set, by the
 /// Eq. (2) sweep. `O(N log N)` time, `O(N)` space.
+///
+/// The distance pass runs on the chunked-lane SoA kernel
+/// ([`LocationSlab`](crate::quantification::slab::LocationSlab)); it is
+/// bit-identical to sweeping [`sweep_entries`] directly (the slab's
+/// differential tests pin this), so this stays the exact oracle.
 pub fn quantification_discrete(set: &DiscreteSet, q: Point) -> Vec<f64> {
-    quantification_sweep(sweep_entries(set, q), set.len())
+    let slab = crate::quantification::slab::LocationSlab::from_set(set);
+    let mut scratch = vec![];
+    let mut entries = vec![];
+    slab.entries_into(q, &mut scratch, &mut entries);
+    quantification_sweep(entries, set.len())
 }
 
 /// The Eq. (2) sweep over pre-assembled `(distance, point index, weight)`

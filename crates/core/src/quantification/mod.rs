@@ -17,11 +17,13 @@
 
 pub mod exact;
 pub mod monte_carlo;
+pub mod slab;
 pub mod spiral;
 pub mod sweep;
 pub mod vpr;
 
 pub use monte_carlo::{MonteCarloPnn, SampleBackend};
+pub use slab::LocationSlab;
 pub use spiral::SpiralSearch;
 pub use sweep::{KWayMerge, SortedSlab, SweepEntry, SweepSource};
 pub use vpr::ProbabilisticVoronoiDiagram;

@@ -1,0 +1,189 @@
+//! Structure-of-arrays location storage for the Eq. (2) sweep's distance
+//! pass.
+//!
+//! Assembling sweep entries is the other hot distance loop (next to the
+//! Theorem 3.2 stage-2 scan): one `‖q − loc‖` per location of the set, per
+//! query. The canonical scalar form walks `DiscreteSet::all_locations()` —
+//! an iterator over nested structs — and pushes `(dist, site, weight)`
+//! tuples one at a time. [`LocationSlab`] flattens the set once into
+//! parallel `x[]`/`y[]`/`site[]`/`weight[]` arrays so the per-query distance
+//! pass runs on the chunked-lane kernel
+//! ([`PointSlab::dist_range_into`](uncertain_spatial::PointSlab)) over two
+//! contiguous f64 streams.
+//!
+//! Exactness: the kernel evaluates the same per-element expression as
+//! `Point::dist` and the slab preserves the canonical ascending
+//! `(site, location)` push order, so the produced entry vector is
+//! **bit-identical** (values *and* order) to
+//! [`sweep_entries`](crate::quantification::exact::sweep_entries) — the
+//! stable distance sort downstream then behaves identically too.
+
+use crate::model::DiscreteSet;
+use crate::quantification::sweep::SweepEntry;
+use uncertain_geom::Point;
+use uncertain_spatial::PointSlab;
+
+/// Flat SoA mirror of a discrete set's locations, in canonical ascending
+/// `(site, location)` order.
+#[derive(Clone, Debug, Default)]
+pub struct LocationSlab {
+    pts: PointSlab,
+    /// Dense site index of each location.
+    site: Vec<u32>,
+    /// Normalized weight of each location.
+    weight: Vec<f64>,
+    /// Number of distinct sites (`max(site) + 1` on non-empty slabs).
+    n_sites: usize,
+}
+
+impl LocationSlab {
+    pub fn new() -> Self {
+        LocationSlab::default()
+    }
+
+    pub fn with_capacity(locations: usize) -> Self {
+        LocationSlab {
+            pts: PointSlab::with_capacity(locations),
+            site: Vec::with_capacity(locations),
+            weight: Vec::with_capacity(locations),
+            n_sites: 0,
+        }
+    }
+
+    /// Flattens `set` (all sites, all locations, canonical order).
+    pub fn from_set(set: &DiscreteSet) -> Self {
+        let mut slab = LocationSlab::with_capacity(set.total_locations());
+        for (i, _, loc, w) in set.all_locations() {
+            slab.push(i, loc, w);
+        }
+        slab.n_sites = set.len();
+        slab
+    }
+
+    /// Appends one location. Sites must arrive in non-decreasing dense
+    /// order to preserve the canonical tie order.
+    #[inline]
+    pub fn push(&mut self, site: usize, loc: Point, w: f64) {
+        debug_assert!(
+            self.site.last().is_none_or(|&s| s as usize <= site),
+            "sites must be pushed in non-decreasing order"
+        );
+        self.pts.push(loc);
+        self.site.push(site as u32);
+        self.weight.push(w);
+        self.n_sites = self.n_sites.max(site + 1);
+    }
+
+    /// Number of locations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.site.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.site.is_empty()
+    }
+
+    /// Number of sites the slab spans (the `n` to pass to the sweep).
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// The coordinate slab (for callers that need raw point access).
+    pub fn points(&self) -> &PointSlab {
+        &self.pts
+    }
+
+    /// Writes the canonical entry list for query `q` into `out`
+    /// (`(distance, site, weight)` per location, canonical order), using the
+    /// chunked-lane distance kernel. `dist_scratch` is a reusable buffer —
+    /// pass the same `Vec` across queries to amortize the allocation.
+    pub fn entries_into(&self, q: Point, dist_scratch: &mut Vec<f64>, out: &mut Vec<SweepEntry>) {
+        self.pts.dist_all_into(q, dist_scratch);
+        out.clear();
+        out.reserve(self.len());
+        for (i, &d) in dist_scratch.iter().enumerate() {
+            out.push((d, self.site[i] as usize, self.weight[i]));
+        }
+    }
+
+    /// Convenience wrapper over [`Self::entries_into`] with fresh buffers.
+    pub fn entries(&self, q: Point) -> Vec<SweepEntry> {
+        let mut scratch = vec![];
+        let mut out = vec![];
+        self.entries_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    /// Scalar reference: per-location `Point::dist` calls, same order. The
+    /// differential tests pin [`Self::entries_into`] bit-identical to this.
+    pub fn entries_scalar(&self, q: Point) -> Vec<SweepEntry> {
+        (0..self.len())
+            .map(|i| {
+                (
+                    q.dist(self.pts.get(i)),
+                    self.site[i] as usize,
+                    self.weight[i],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantification::exact::{quantification_discrete, sweep_entries};
+    use crate::quantification::sweep::{sweep, SortedSlab};
+    use crate::workload;
+
+    #[test]
+    fn slab_entries_bit_identical_to_canonical() {
+        for seed in [1u64, 9, 23] {
+            let set = workload::random_discrete_set(30, 4, 5.0, seed);
+            let slab = LocationSlab::from_set(&set);
+            assert_eq!(slab.len(), set.total_locations());
+            assert_eq!(slab.n_sites(), set.len());
+            for q in workload::random_queries(20, 60.0, seed + 1) {
+                let canonical = sweep_entries(&set, q);
+                let kernel = slab.entries(q);
+                let scalar = slab.entries_scalar(q);
+                assert_eq!(kernel.len(), canonical.len());
+                for k in 0..kernel.len() {
+                    assert_eq!(kernel[k].0.to_bits(), canonical[k].0.to_bits());
+                    assert_eq!(kernel[k].1, canonical[k].1);
+                    assert_eq!(kernel[k].2.to_bits(), canonical[k].2.to_bits());
+                    assert_eq!(scalar[k].0.to_bits(), canonical[k].0.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slab_path_quantification_matches_direct() {
+        let set = workload::random_discrete_set(20, 3, 4.0, 7);
+        let slab = LocationSlab::from_set(&set);
+        let mut scratch = vec![];
+        let mut entries = vec![];
+        for q in workload::random_queries(15, 50.0, 8) {
+            slab.entries_into(q, &mut scratch, &mut entries);
+            let mut sorted = SortedSlab::new(std::mem::take(&mut entries));
+            let via_slab = sweep(&mut sorted, slab.n_sites());
+            let direct = quantification_discrete(&set, q);
+            for (a, b) in via_slab.iter().zip(&direct) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_slab() {
+        let slab = LocationSlab::new();
+        assert!(slab.is_empty());
+        assert_eq!(slab.n_sites(), 0);
+        assert!(slab
+            .entries(uncertain_geom::Point::new(0.0, 0.0))
+            .is_empty());
+    }
+}

@@ -61,8 +61,18 @@ pub struct SortedSlab {
 
 impl SortedSlab {
     /// Sorts `entries` by distance (stable — ties keep push order).
+    ///
+    /// Uses `f64::total_cmp`, so a corrupt (NaN) distance cannot panic the
+    /// sort — NaNs order after every finite distance and the sweep's
+    /// arithmetic degrades instead of aborting. Well-formed inputs never
+    /// contain one (distances are norms of finite coordinates), which the
+    /// debug assertion checks.
     pub fn new(mut entries: Vec<SweepEntry>) -> Self {
-        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        debug_assert!(
+            entries.iter().all(|e| e.0.is_finite()),
+            "non-finite distance in sweep slab"
+        );
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0));
         SortedSlab {
             entries: entries.into_iter(),
         }
@@ -89,9 +99,10 @@ struct Head {
 
 impl Head {
     fn order(&self, other: &Self) -> Ordering {
+        // total_cmp: a NaN distance (corrupt input) sorts last instead of
+        // panicking the merge heap.
         self.d
-            .partial_cmp(&other.d)
-            .expect("NaN distance in sweep stream")
+            .total_cmp(&other.d)
             .then(self.dense.cmp(&other.dense))
             .then(self.stream.cmp(&other.stream))
     }
@@ -250,7 +261,7 @@ mod tests {
     fn sweep_full(entries: Vec<SweepEntry>, n: usize) -> Vec<f64> {
         let entries = {
             let mut e = entries;
-            e.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            e.sort_by(|a, b| a.0.total_cmp(&b.0));
             e
         };
         let mut pi = vec![0.0f64; n];

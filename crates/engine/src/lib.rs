@@ -102,6 +102,7 @@ use uncertain_nn::quantification::monte_carlo::{MonteCarloPnn, SampleBackend};
 use uncertain_nn::quantification::spiral::SpiralSearch;
 use uncertain_nn::queries::Guarantee;
 use uncertain_nn::vnz::DiscreteNonzeroDiagram;
+use uncertain_spatial::soa::kernel_stats;
 
 pub use cache::{quantize_point, snap_center, snap_radius};
 use cache::{CacheKey, CachedValue, QuantTag, ResultCache};
@@ -212,6 +213,15 @@ pub struct ExecStats {
     /// Exact-arithmetic fallbacks during this batch (see
     /// [`ExecStats::predicate_filter_hits`]).
     pub predicate_exact_fallbacks: u64,
+    /// Distances the SoA kernels (`uncertain_spatial::soa`) evaluated in
+    /// full-width chunked lanes during this batch. Like the predicate
+    /// counters these are process-global deltas, so concurrent batches on
+    /// *other* engines fold into each other's numbers.
+    pub kernel_lane_dists: u64,
+    /// Distances the same kernels evaluated one at a time (chunk remainders
+    /// and scalar fallback paths; see
+    /// [`ExecStats::kernel_lane_dists`]).
+    pub kernel_scalar_dists: u64,
     /// Quantification evaluations served by the k-way merged path this
     /// batch (cache hits execute neither evaluator and count in neither).
     pub quant_merged_evals: usize,
@@ -261,6 +271,18 @@ impl ExecStats {
             1.0
         } else {
             self.predicate_filter_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the batch's kernel distance evaluations that ran in
+    /// chunked lanes; `1.0` when the batch evaluated none. Low values mean
+    /// the workload lives in tiny kd leaves or scalar fallback paths.
+    pub fn kernel_lane_fraction(&self) -> f64 {
+        let total = self.kernel_lane_dists + self.kernel_scalar_dists;
+        if total == 0 {
+            1.0
+        } else {
+            self.kernel_lane_dists as f64 / total as f64
         }
     }
 
@@ -648,6 +670,7 @@ impl Engine {
         let t0 = Instant::now();
         let core = self.snapshot();
         let predicates_before = predicate_stats();
+        let kernels_before = kernel_stats();
         let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
         let plan = plan_for(&core, nonzero_count, requests.len() - nonzero_count);
         let (prepared, built) = prepare(&core, &plan);
@@ -701,6 +724,7 @@ impl Engine {
 
         let wall = t0.elapsed();
         let predicates = predicate_stats().since(&predicates_before);
+        let kernels = kernel_stats().since(&kernels_before);
         BatchResponse {
             results,
             stats: ExecStats {
@@ -718,6 +742,8 @@ impl Engine {
                 worker_busy,
                 predicate_filter_hits: predicates.filter_hits,
                 predicate_exact_fallbacks: predicates.exact_fallbacks,
+                kernel_lane_dists: kernels.lane_dists,
+                kernel_scalar_dists: kernels.scalar_dists,
                 quant_merged_evals: counters.quant_merged.load(Ordering::Relaxed),
                 quant_fresh_evals: counters.quant_fresh.load(Ordering::Relaxed),
                 quant_bucket_touches: counters.bucket_touches.load(Ordering::Relaxed),
@@ -1487,6 +1513,25 @@ mod tests {
             "fast path should dominate on random inputs (rate: {})",
             s.predicate_filter_hit_rate()
         );
+    }
+
+    #[test]
+    fn batches_report_kernel_stats() {
+        // Quantification evaluates every site-location distance through the
+        // SoA slab kernels, so a quant batch must account nonzero kernel
+        // distances (mostly in chunked lanes at this location count).
+        let set = workload::random_discrete_set(64, 4, 8.0, 9);
+        let eng = Engine::new(set, EngineConfig::default());
+        let batch: Vec<QueryRequest> = workload::random_queries(32, 60.0, 10)
+            .iter()
+            .map(|&q| QueryRequest::TopK { q, k: 1 })
+            .collect();
+        let s = eng.run_batch(&batch).stats;
+        assert!(
+            s.kernel_lane_dists + s.kernel_scalar_dists > 0,
+            "quant batches should evaluate distances through the SoA kernels"
+        );
+        assert!((0.0..=1.0).contains(&s.kernel_lane_fraction()));
     }
 
     #[test]

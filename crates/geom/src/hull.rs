@@ -71,7 +71,7 @@ impl FarthestPointHull {
 
     /// The farthest input point from `q` and its distance.
     ///
-    /// Uses `Point::dist` (hypot) so the value is *bitwise identical* to the
+    /// Uses `Point::dist` so the value is *bitwise identical* to the
     /// distances computed by every other query path — the strict
     /// inequalities of Lemma 2.1 rely on exact agreement when locations are
     /// shared between uncertain points.

@@ -76,9 +76,18 @@ impl Vector {
     }
 
     /// Euclidean norm.
+    ///
+    /// Computed as `(x² + y²).sqrt()` — NOT `hypot`. The plain form is the
+    /// one the SoA distance kernels (`uncertain_spatial::soa`) evaluate in
+    /// chunked lanes, and every distance in the workspace must come out of
+    /// the *same* float expression so scalar and vectorized paths (and all
+    /// query families that share locations) stay bitwise identical. `hypot`
+    /// guards against overflow at |x| ≳ 1e154, far beyond any coordinate
+    /// this engine serves, and costs a non-vectorizable libm call per
+    /// distance.
     #[inline]
     pub fn norm(&self) -> f64 {
-        self.x.hypot(self.y)
+        (self.x * self.x + self.y * self.y).sqrt()
     }
 
     /// Squared Euclidean norm.
@@ -287,19 +296,27 @@ impl Aabb {
     }
 
     /// Euclidean distance from `p` to the box (0 when inside).
+    ///
+    /// Uses the same `(dx² + dy²).sqrt()` expression as [`Vector::norm`] so
+    /// that the bound stays consistent with item distances at exact boundary
+    /// radii (the kd-tree prunes on `bbox_dist <= r` while leaves test
+    /// `point_dist <= r`, and `r` is itself a computed distance).
     #[inline]
     pub fn dist_to_point(&self, p: Point) -> f64 {
         let dx = (self.lo.x - p.x).max(0.0).max(p.x - self.hi.x);
         let dy = (self.lo.y - p.y).max(0.0).max(p.y - self.hi.y);
-        dx.hypot(dy)
+        (dx * dx + dy * dy).sqrt()
     }
 
     /// Largest distance from `p` to any point of the box.
+    ///
+    /// Same `(dx² + dy²).sqrt()` expression as [`Vector::norm`]; see
+    /// [`Aabb::dist_to_point`].
     #[inline]
     pub fn max_dist_to_point(&self, p: Point) -> f64 {
         let dx = (p.x - self.lo.x).abs().max((p.x - self.hi.x).abs());
         let dy = (p.y - self.lo.y).abs().max((p.y - self.hi.y).abs());
-        dx.hypot(dy)
+        (dx * dx + dy * dy).sqrt()
     }
 
     /// Center of the box.

@@ -6,6 +6,7 @@
 //! classical kd-tree bound, which is the practical counterpart of the
 //! partition-tree bound in Theorem 3.2).
 
+use crate::soa::PointSlab;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use uncertain_geom::{Aabb, Point};
@@ -46,7 +47,12 @@ impl Node {
 /// ```
 #[derive(Clone, Debug)]
 pub struct KdTree {
-    items: Vec<(Point, u32)>,
+    /// Leaf coordinates in structure-of-arrays layout, so leaf scans run on
+    /// the chunked-lane distance kernels (`crate::soa`) instead of striding
+    /// over `(Point, u32)` pairs.
+    slab: PointSlab,
+    /// Payloads, parallel to `slab`.
+    ids: Vec<u32>,
     nodes: Vec<Node>,
 }
 
@@ -58,7 +64,11 @@ impl KdTree {
             let n = items.len();
             Self::build_rec(&mut items, 0, n, &mut nodes);
         }
-        KdTree { items, nodes }
+        // Transpose the partitioned AoS build buffer into the flat slabs the
+        // query kernels scan.
+        let slab = PointSlab::from_points(items.iter().map(|&(p, _)| p));
+        let ids = items.iter().map(|&(_, id)| id).collect();
+        KdTree { slab, ids, nodes }
     }
 
     /// Convenience: build from points with payload = index.
@@ -104,11 +114,11 @@ impl KdTree {
     }
 
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.ids.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.ids.is_empty()
     }
 
     /// The nearest item to `q`: `(point, payload, distance)`.
@@ -129,10 +139,13 @@ impl KdTree {
             }
         }
         if n.is_leaf() {
-            for &(p, id) in &self.items[n.start as usize..n.end as usize] {
-                let d = q.dist(p);
+            let (start, end) = (n.start as usize, n.end as usize);
+            let mut buf = [0.0f64; LEAF_SIZE];
+            let dists = &mut buf[..end - start];
+            self.slab.dist_range_into(start, end, q, dists);
+            for (k, &d) in dists.iter().enumerate() {
                 if best.is_none_or(|(_, _, bd)| d < bd) {
-                    *best = Some((p, id, d));
+                    *best = Some((self.slab.get(start + k), self.ids[start + k], d));
                 }
             }
             return;
@@ -152,6 +165,18 @@ impl KdTree {
 
     /// Reports every item within (closed) distance `r` of `q`.
     pub fn for_each_in_disk<F: FnMut(Point, u32)>(&self, q: Point, r: f64, mut f: F) {
+        self.for_each_in_disk_with_dist(q, r, |p, id, _| f(p, id));
+    }
+
+    /// [`Self::for_each_in_disk`], also passing each hit's distance — the
+    /// leaf kernel computes it anyway (bit-identical to `q.dist(p)`), so
+    /// stage-2 style consumers that filter on the distance get it for free.
+    pub fn for_each_in_disk_with_dist<F: FnMut(Point, u32, f64)>(
+        &self,
+        q: Point,
+        r: f64,
+        mut f: F,
+    ) {
         if self.is_empty() {
             return;
         }
@@ -165,17 +190,18 @@ impl KdTree {
         out
     }
 
-    fn range_rec<F: FnMut(Point, u32)>(&self, node: u32, q: Point, r: f64, f: &mut F) {
+    fn range_rec<F: FnMut(Point, u32, f64)>(&self, node: u32, q: Point, r: f64, f: &mut F) {
         let n = &self.nodes[node as usize];
         if n.bbox.dist_to_point(q) > r {
             return;
         }
         if n.is_leaf() {
-            for &(p, id) in &self.items[n.start as usize..n.end as usize] {
-                if q.dist(p) <= r {
-                    f(p, id);
-                }
-            }
+            // Chunked-lane filter; hits come out in ascending index order,
+            // exactly matching the scalar `q.dist(p) <= r` loop bit for bit.
+            self.slab
+                .for_each_in_disk_in_range(n.start as usize, n.end as usize, q, r, |i, d| {
+                    f(self.slab.get(i), self.ids[i], d)
+                });
             return;
         }
         self.range_rec(n.left, q, r, f);
@@ -254,17 +280,21 @@ impl<'a> Iterator for NearestIter<'a> {
         while let Some(entry) = self.heap.pop() {
             match entry.kind {
                 EntryKind::Item(idx) => {
-                    let (p, id) = self.tree.items[idx as usize];
+                    let p = self.tree.slab.get(idx as usize);
+                    let id = self.tree.ids[idx as usize];
                     return Some((p, id, entry.dist));
                 }
                 EntryKind::Node(nid) => {
                     let n = &self.tree.nodes[nid as usize];
                     if n.is_leaf() {
-                        for idx in n.start..n.end {
-                            let (p, _) = self.tree.items[idx as usize];
+                        let (start, end) = (n.start as usize, n.end as usize);
+                        let mut buf = [0.0f64; LEAF_SIZE];
+                        let dists = &mut buf[..end - start];
+                        self.tree.slab.dist_range_into(start, end, self.q, dists);
+                        for (k, &d) in dists.iter().enumerate() {
                             self.heap.push(HeapEntry {
-                                dist: self.q.dist(p),
-                                kind: EntryKind::Item(idx),
+                                dist: d,
+                                kind: EntryKind::Item((start + k) as u32),
                             });
                         }
                     } else {

@@ -15,13 +15,21 @@
 //!   smallest enclosing circles: `Δ(q) = min_i max_j ‖q − p_ij‖` by
 //!   branch-and-bound with exact refinement (the first stage of the
 //!   Theorem 3.2 query).
+//!
+//! The distance evaluations inside those primitives run on the
+//! structure-of-arrays kernels in [`soa`] — flat `x[]`/`y[]` slabs scanned in
+//! fixed-width chunks with branch-free hit masks, bit-identical to the scalar
+//! `Point::dist` loops they replace (see the module docs for the exactness
+//! contract and the process-global [`soa::KernelStats`] counters).
 
 pub mod disk_index;
 pub mod group_index;
 pub mod kdtree;
 pub mod quadtree;
+pub mod soa;
 
 pub use disk_index::DiskIndex;
 pub use group_index::GroupIndex;
 pub use kdtree::KdTree;
 pub use quadtree::QuadTree;
+pub use soa::{KernelStats, PointSlab};

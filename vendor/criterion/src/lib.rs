@@ -191,7 +191,10 @@ impl Bencher {
     fn stats(&self) -> Option<SampleStats> {
         let mean = self.mean_seconds()?;
         let mut sorted = self.sample_secs.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN sample (e.g. a
+        // timer anomaly surfaced through arithmetic downstream) must not
+        // panic the whole bench report; it sorts last and shows up as NaN.
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(SampleStats {
             mean,
             median: percentile(&sorted, 0.50),
@@ -200,10 +203,22 @@ impl Bencher {
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted nonempty slice.
+/// Nearest-rank percentile of an ascending-sorted nonempty slice:
+/// `sorted[⌈p·n⌉ - 1]`, clamped into the slice.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    let exact = p * sorted.len() as f64;
+    // `p·n` often lands an ulp above the integer it mathematically equals
+    // (0.07 × 100 = 7.000000000000001), and `ceil` then overshoots the
+    // nearest rank by one. Snap to the nearest integer when within FP noise
+    // before rounding up.
+    let nearest = exact.round();
+    let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+        nearest
+    } else {
+        exact.ceil()
+    };
+    let rank = (rank as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }
 
@@ -327,6 +342,46 @@ mod tests {
         assert_eq!(percentile(&xs, 1.0), 10.0);
         assert_eq!(percentile(&[3.5], 0.5), 3.5);
         assert_eq!(percentile(&[3.5], 0.95), 3.5);
+    }
+
+    #[test]
+    fn percentile_snaps_fp_noise_before_ceil() {
+        // 0.07 × 100 evaluates to 7.000000000000001 in f64; naive ceil
+        // reads rank 8 where nearest-rank says 7.
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.07), 7.0);
+        // Sweep every integer percent over several sizes against the
+        // integer-arithmetic ground truth ⌈p·n⌉ computed exactly.
+        for n in [1usize, 2, 3, 10, 19, 100, 997] {
+            let xs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            for pct in 1..=100u32 {
+                let rank = (pct as usize * n).div_ceil(100).max(1);
+                assert_eq!(
+                    percentile(&xs, pct as f64 / 100.0),
+                    rank as f64,
+                    "p = {pct}%, n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_tiny_samples() {
+        // n = 1: every percentile is the sample.
+        for p in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+        // n = 2: median is the first element (⌈0.5·2⌉ = 1), p95 the second.
+        assert_eq!(percentile(&[1.0, 9.0], 0.50), 1.0);
+        assert_eq!(percentile(&[1.0, 9.0], 0.95), 9.0);
+        // p95 ≥ median must hold at every small n.
+        for n in 1..20usize {
+            let xs: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            assert!(
+                percentile(&xs, 0.95) >= percentile(&xs, 0.50),
+                "p95 < median at n = {n}"
+            );
+        }
     }
 
     #[test]
