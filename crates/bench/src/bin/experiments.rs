@@ -34,6 +34,11 @@ use uncertain_nn::vnz::{
 use uncertain_nn::workload;
 use uncertain_nn::{DiscreteSet, DiskSet};
 
+// Heap accounting for the per-experiment `bench.exp.<id>` scopes (and any
+// `measure::heap_counters` use) — without this every heap metric reads 0.
+#[global_allocator]
+static ALLOC: uncertain_bench::measure::CountingAlloc = uncertain_bench::measure::CountingAlloc;
+
 /// Every experiment: `(id, one-line description, runner)`.
 const EXPERIMENTS: &[(&str, &str, fn())] = &[
     (
@@ -187,7 +192,10 @@ fn main() {
         for (id, desc, _) in EXPERIMENTS {
             println!("  {id:<5} {desc}");
         }
-        println!("\nflags: --smoke/-s (token-size workloads), --list/-l (this listing)");
+        println!("\nflags: --smoke/-s (token-size workloads), --obs-dump (print the");
+        println!("obs/v1 metrics snapshot after the runs), --list/-l (this listing);");
+        println!("UNC_OBS_FLUSH=<file> streams JSON-lines snapshots during the run");
+        println!("(interval UNC_OBS_FLUSH_MS, default 1000).");
         return;
     }
     let smoke_requested = args.iter().any(|a| a == "--smoke" || a == "-s");
@@ -196,6 +204,11 @@ fn main() {
         uncertain_bench::set_smoke(true);
         println!("[smoke mode: workloads shrunk, same fixed seeds]\n");
     }
+    let obs_dump = args.iter().any(|a| a == "--obs-dump");
+    args.retain(|a| a != "--obs-dump");
+    // With UNC_OBS_FLUSH set, stream obs/v1 snapshots for the whole run
+    // (the drop at the end of main writes the final line).
+    let _flusher = uncertain_obs::Flusher::from_env();
     let unknown: Vec<&String> = args
         .iter()
         .filter(|a| {
@@ -217,9 +230,17 @@ fn main() {
             .filter(|(id, _, _)| args.iter().any(|a| a.eq_ignore_ascii_case(id)))
             .collect()
     };
-    for (_, _, run) in selected {
+    for (id, _, run) in selected {
+        // Per-experiment wall span + heap scope: `bench.exp.<id>` in the
+        // registry (span_dyn interns the dynamic id).
+        let scope_name = format!("bench.exp.{id}");
+        let _heap = uncertain_bench::measure::heap_scope(&scope_name);
+        let _span = uncertain_obs::span_dyn(&scope_name);
         run();
         println!();
+    }
+    if obs_dump {
+        print!("{}", uncertain_obs::MetricsSnapshot::capture().dump());
     }
 }
 
@@ -1306,6 +1327,26 @@ fn e24_engine_serving() {
         again.stats.cache_misses,
         100.0 * again.stats.cache_hit_rate(),
         fmt_time(again.stats.wall.as_secs_f64()),
+    );
+
+    // (d) The ExecStats one-liner plus the per-layer span timings the
+    // observability layer attributed to the last batch.
+    println!("   last batch: {}", again.stats);
+    for s in &again.stats.spans {
+        println!(
+            "   span {:<28} count {:>6}  total {:>9}",
+            s.name,
+            s.count,
+            uncertain_obs::fmt_ns(s.total_ns)
+        );
+    }
+    assert!(
+        again
+            .stats
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("engine.")),
+        "a served batch must record engine-layer spans"
     );
 }
 

@@ -11,7 +11,8 @@
 //! * `dist_all` — the bulk distance evaluation behind the Eq. (2) sweep's
 //!   entry assembly (chunked lanes vs one `Point::dist` per location).
 //!
-//! Usage: `kernel_bench [--smoke] [--out PATH] [--check BASELINE]`
+//! Usage: `kernel_bench [--smoke] [--out PATH] [--check BASELINE]
+//! [--overhead-check]`
 //!
 //! `--smoke` (or `UNC_BENCH_SMOKE=1`) drops to a few reps per cell — enough
 //! for CI to exercise every kernel and emit a schema-valid artifact, too
@@ -19,6 +20,9 @@
 //! compares this run's scalar-over-SoA speedups against a baseline document
 //! with a generous tolerance (ratios, not absolute times, so it holds
 //! across machines) and exits nonzero on a gross regression.
+//! `--overhead-check` measures the per-invocation cost of the kernels'
+//! registry instrumentation against the fastest measured kernel and fails
+//! above 5%.
 
 use std::process::ExitCode;
 
@@ -44,6 +48,7 @@ const SIZES: [usize; 3] = [1024, 4096, 16384];
 fn main() -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut overhead_check = false;
     let mut smoke = uncertain_bench::smoke();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -51,6 +56,7 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--out" => out_path = argv.next(),
             "--check" => check_path = argv.next(),
+            "--overhead-check" => overhead_check = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -136,7 +142,49 @@ fn main() -> ExitCode {
         }
         println!("baseline check passed (tolerance {CHECK_TOLERANCE}x)");
     }
+
+    if overhead_check && !overhead_check_passes(&doc) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Acceptance gate for the observability layer: the SoA kernels record
+/// into the process-global registry **once per invocation** (two relaxed
+/// counter adds; see `uncertain_spatial::soa::KernelStats`), so the
+/// relative overhead is the measured cost of one such record against the
+/// fastest measured SoA kernel cell — the worst case. Fails above 5%.
+fn overhead_check_passes(doc: &BenchDoc) -> bool {
+    let probe = uncertain_obs::registry().counter("bench.overhead.probe");
+    let reps: u64 = 1_000_000;
+    let t0 = std::time::Instant::now();
+    for i in 0..reps {
+        // The same shape as KernelStats::record(lane, scalar).
+        probe.add(i & 1);
+        probe.add(1);
+    }
+    let per_record_ns = t0.elapsed().as_nanos() as f64 / reps as f64;
+    let fastest = doc
+        .kernels
+        .iter()
+        .filter(|k| k.variant == "soa")
+        .map(|k| k.wall_ns.median)
+        .fold(f64::INFINITY, f64::min);
+    if !fastest.is_finite() || fastest <= 0.0 {
+        eprintln!("overhead check: no SoA kernel cells measured");
+        return false;
+    }
+    let frac = per_record_ns / fastest;
+    println!(
+        "instrumentation overhead: {per_record_ns:.2} ns/record vs fastest SoA cell \
+         {fastest:.1} ns = {:.3}% (limit 5%)",
+        100.0 * frac
+    );
+    if frac > 0.05 {
+        eprintln!("OVERHEAD: instrumentation costs {:.3}% > 5%", 100.0 * frac);
+        return false;
+    }
+    true
 }
 
 /// Random workload for size `n`: points uniform in a square, query at the

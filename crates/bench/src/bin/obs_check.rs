@@ -1,0 +1,25 @@
+//! `obs_check <file.jsonl>`: validates a JSON-lines file of `obs/v1`
+//! metric snapshots (what a run with `UNC_OBS_FLUSH=<file>` leaves
+//! behind). Exit 0 with a line count on success, 1 with the first
+//! violation otherwise — the CI `obs-smoke` job's schema gate.
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: obs_check <file.jsonl>");
+        std::process::exit(2);
+    };
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match uncertain_bench::obs_schema::check_lines(&body) {
+        Ok(n) => println!("obs_check: {n} valid obs/v1 line(s) in {path}"),
+        Err(e) => {
+            eprintln!("obs_check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

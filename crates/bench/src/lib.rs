@@ -8,6 +8,13 @@
 
 pub mod churn;
 pub mod measure;
+pub mod obs_schema;
+
+// Let the lib's own test binary exercise the live/peak heap accounting in
+// `measure` (release binaries opt in individually; see measure's docs).
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: measure::CountingAlloc = measure::CountingAlloc;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;

@@ -18,7 +18,7 @@
 //! external counter crates.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Bytes requested from the global allocator since process start (counts
@@ -27,9 +27,25 @@ use std::time::Instant;
 static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Allocation calls since process start (same convention).
 static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Live heap footprint: allocations add, frees subtract, reallocs add the
+/// signed size change. Signed because relaxed concurrent updates may be
+/// observed transiently out of order.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE_BYTES`] (`fetch_max` after every increase).
+/// [`heap_scope`] resets it to the current live footprint, making it a
+/// per-scope peak for single-threaded bench bodies.
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
-/// A [`System`]-backed allocator that counts allocation traffic. Install it
-/// with `#[global_allocator]` in the bench binary (see module docs).
+fn live_add(delta: i64) {
+    let live = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    if delta > 0 {
+        PEAK_BYTES.fetch_max(live.max(0) as u64, Ordering::Relaxed);
+    }
+}
+
+/// A [`System`]-backed allocator that counts allocation traffic plus the
+/// live/peak footprint. Install it with `#[global_allocator]` in the bench
+/// binary (see module docs).
 pub struct CountingAlloc;
 
 // SAFETY: delegates every operation verbatim to `System`; the counters are
@@ -38,16 +54,19 @@ unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        live_add(layout.size() as i64);
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        live_add(layout.size() as i64);
         System.alloc_zeroed(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        live_add(-(layout.size() as i64));
         System.dealloc(ptr, layout)
     }
 
@@ -57,6 +76,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
             Ordering::Relaxed,
         );
         HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        live_add(new_size as i64 - layout.size() as i64);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -68,6 +88,63 @@ pub fn heap_counters() -> (u64, u64) {
         HEAP_BYTES.load(Ordering::Relaxed),
         HEAP_ALLOCS.load(Ordering::Relaxed),
     )
+}
+
+/// Current live heap footprint in bytes (0 without [`CountingAlloc`]).
+pub fn live_heap_bytes() -> i64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water live footprint since process start or the last
+/// [`heap_scope`] reset (0 without [`CountingAlloc`]).
+pub fn peak_heap_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// An open heap-accounting scope from [`heap_scope`].
+pub struct HeapScope {
+    name: String,
+    bytes0: u64,
+    allocs0: u64,
+    live0: i64,
+}
+
+/// Opens a named heap scope: on drop, the scope's allocation traffic lands
+/// on the registry counters `<name>.heap_bytes` / `<name>.heap_allocs`,
+/// and the gauges `<name>.heap_net_bytes` (live footprint change across
+/// the scope) and `<name>.heap_peak_bytes` (high-water live footprint
+/// inside the scope) are set — so experiment runs report allocation
+/// behavior next to their timings.
+///
+/// Opening the scope resets the process-wide peak to the current live
+/// footprint; concurrent or nested scopes therefore see a shared peak
+/// (accurate for the single-threaded top level of bench runs, best-effort
+/// otherwise). All values read 0 without [`CountingAlloc`] installed.
+pub fn heap_scope(name: &str) -> HeapScope {
+    let (bytes0, allocs0) = heap_counters();
+    let live0 = live_heap_bytes();
+    PEAK_BYTES.store(live0.max(0) as u64, Ordering::Relaxed);
+    HeapScope {
+        name: name.to_string(),
+        bytes0,
+        allocs0,
+        live0,
+    }
+}
+
+impl Drop for HeapScope {
+    fn drop(&mut self) {
+        let (bytes1, allocs1) = heap_counters();
+        let reg = uncertain_obs::registry();
+        reg.counter(&format!("{}.heap_bytes", self.name))
+            .add(bytes1.saturating_sub(self.bytes0));
+        reg.counter(&format!("{}.heap_allocs", self.name))
+            .add(allocs1.saturating_sub(self.allocs0));
+        reg.gauge(&format!("{}.heap_net_bytes", self.name))
+            .set((live_heap_bytes() - self.live0) as f64);
+        reg.gauge(&format!("{}.heap_peak_bytes", self.name))
+            .set(peak_heap_bytes() as f64);
+    }
 }
 
 /// Reads the CPU cycle counter, `None` where no cheap one exists. `rdtsc`
@@ -369,6 +446,52 @@ mod tests {
             let s = summarize(&xs);
             assert!(s.p95 >= s.median, "n = {n}");
         }
+    }
+
+    #[test]
+    fn heap_scope_records_registry_metrics() {
+        // The lib test binary installs CountingAlloc (see crate root), so
+        // live/peak accounting is active here.
+        let live0 = live_heap_bytes();
+        {
+            let _scope = heap_scope("test.measure.scope");
+            let v: Vec<u64> = (0..4096).collect();
+            std::hint::black_box(&v);
+            assert!(peak_heap_bytes() >= live0.max(0) as u64 + 8 * 4096);
+        }
+        let reg = uncertain_obs::registry();
+        let bytes = reg.counter("test.measure.scope.heap_bytes").get();
+        assert!(bytes >= 8 * 4096, "scope traffic recorded (got {bytes})");
+        assert!(reg.counter("test.measure.scope.heap_allocs").get() >= 1);
+        let snap = uncertain_obs::MetricsSnapshot::capture();
+        let peak = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == "test.measure.scope.heap_peak_bytes")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(peak >= 8.0 * 4096.0);
+        // The vec was dropped inside the scope: net is (close to) zero,
+        // far below the peak. Other test threads may allocate
+        // concurrently, so only assert the net stayed below the peak.
+        let net = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| *n == "test.measure.scope.heap_net_bytes")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(net < peak);
+    }
+
+    #[test]
+    fn live_and_peak_track_alloc_dealloc() {
+        let before = live_heap_bytes();
+        let v = vec![0u8; 1 << 16];
+        let during = live_heap_bytes();
+        assert!(during >= before + (1 << 16));
+        assert!(peak_heap_bytes() >= during.max(0) as u64);
+        drop(v);
+        assert!(live_heap_bytes() < during);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Minimal validator for `obs/v1` JSON lines — the format the
+//! `UNC_OBS_FLUSH` flusher ([`uncertain_obs::Flusher`]) appends and the CI
+//! `obs-smoke` job checks via the `obs_check` binary.
+//!
+//! Like [`crate::measure::parse_speedups`] this is *not* a general JSON
+//! parser: it scans for the exact layout
+//! [`uncertain_obs::MetricsSnapshot::to_json_line`] emits, which is all
+//! schema validation needs. Checked per line: the `obs/v1` header, the
+//! `ts_unix`/`counters`/`gauges`/`histograms` sections, and for every
+//! histogram object that `p50 ≤ p95 ≤ p99 ≤ max` (quantiles must never be
+//! torn, even when the snapshot raced concurrent updates).
+
+fn field_u64(chunk: &str, key: &str) -> Option<u64> {
+    let rest = chunk.split(&format!("\"{key}\":")).nth(1)?;
+    let num: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    num.parse().ok()
+}
+
+/// Validates one `obs/v1` JSON line. `Err` carries a short reason.
+pub fn check_line(line: &str) -> Result<(), String> {
+    if !line.starts_with("{\"schema\":\"obs/v1\"") {
+        return Err("missing obs/v1 schema header".into());
+    }
+    if !line.ends_with('}') {
+        return Err("truncated line (no closing brace)".into());
+    }
+    for key in [
+        "\"ts_unix\":",
+        "\"counters\":{",
+        "\"gauges\":{",
+        "\"histograms\":{",
+    ] {
+        if !line.contains(key) {
+            return Err(format!("missing section {key}"));
+        }
+    }
+    let hists = line
+        .split("\"histograms\":{")
+        .nth(1)
+        .expect("checked above");
+    for chunk in hists.split("{\"count\":").skip(1) {
+        let count: u64 = chunk
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .map_err(|_| "histogram count not an integer".to_string())?;
+        let get = |key: &str| {
+            field_u64(chunk, key).ok_or_else(|| format!("histogram missing integer {key}"))
+        };
+        let (p50, p95, p99, max) = (get("p50")?, get("p95")?, get("p99")?, get("max")?);
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!("torn quantiles: p50={p50} p95={p95} p99={p99}"));
+        }
+        if count > 0 && p99 > max {
+            return Err(format!("p99={p99} exceeds max={max}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a whole JSON-lines body (blank lines skipped); returns the
+/// number of valid lines. At least one line is required.
+pub fn check_lines(body: &str) -> Result<usize, String> {
+    let mut valid = 0usize;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        check_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        valid += 1;
+    }
+    if valid == 0 {
+        return Err("no obs/v1 lines found".into());
+    }
+    Ok(valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_real_snapshot_line() {
+        uncertain_obs::registry()
+            .counter("test.obs_schema.hits")
+            .inc();
+        uncertain_obs::registry()
+            .histogram("test.obs_schema.lat")
+            .record(1234);
+        let line = uncertain_obs::MetricsSnapshot::capture().to_json_line();
+        assert_eq!(check_line(&line), Ok(()));
+        assert!(check_lines(&format!("{line}\n\n{line}\n")).unwrap() >= 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(check_line("{}").is_err());
+        assert!(check_line("{\"schema\":\"obs/v1\",\"ts_unix\":1}").is_err());
+        let torn = "{\"schema\":\"obs/v1\",\"ts_unix\":1,\"counters\":{},\"gauges\":{},\
+                    \"histograms\":{\"x\":{\"count\":3,\"sum\":9,\"mean\":3.000,\
+                    \"p50\":7,\"p95\":3,\"p99\":7,\"max\":7}}}";
+        let err = check_line(torn).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+        assert!(check_lines("\n\n").is_err());
+    }
+}

@@ -517,6 +517,7 @@ impl DynamicSet {
     /// churn it is the difference between `O(batch + log n)` and
     /// `O(batch · log n)` rebuilt sites per update wave.
     pub fn apply(&mut self, updates: &[Update]) -> UpdateOutcome {
+        let _span = uncertain_obs::span!("dynamic.apply");
         let mut out = UpdateOutcome::default();
         let mut pending: Vec<u32> = vec![];
         for u in updates {
@@ -555,7 +556,26 @@ impl DynamicSet {
             self.carry(pending);
         }
         self.maybe_rebuild_all();
+        self.record_obs_gauges();
         out
+    }
+
+    /// Publishes the set's shape to the obs registry gauges — last-write
+    /// wins, so with several live `DynamicSet`s the gauges track whichever
+    /// instance mutated most recently (in the serving engine that is the
+    /// published epoch).
+    fn record_obs_gauges(&self) {
+        let total = (self.live + self.dead) as f64;
+        let ratio = if total == 0.0 {
+            0.0
+        } else {
+            self.dead as f64 / total
+        };
+        uncertain_obs::gauge!("dynamic.tombstone_ratio").set(ratio);
+        uncertain_obs::gauge!("dynamic.live_sites").set(self.live as f64);
+        let (warm, cold) = self.quant_summary_state();
+        uncertain_obs::gauge!("dynamic.quant.warm_locations").set(warm as f64);
+        uncertain_obs::gauge!("dynamic.quant.cold_locations").set(cold as f64);
     }
 
     /// Tombstones `id`. Returns `false` when the id is unknown or already
@@ -610,9 +630,12 @@ impl DynamicSet {
     /// compacting the entry slab. Runs automatically past the dead-fraction
     /// threshold; exposed for explicit compaction.
     pub fn rebuild_all(&mut self) {
+        let _span = uncertain_obs::span!("dynamic.rebuild");
         self.invalidate_query_maps();
         self.stats.global_rebuilds += 1;
         self.stats.sites_rebuilt += self.live as u64;
+        uncertain_obs::counter!("dynamic.global_rebuilds").inc();
+        uncertain_obs::counter!("dynamic.sites_rebuilt").add(self.live as u64);
         let mut survivors: Vec<(SiteId, Arc<DiscreteUncertainPoint>)> = self
             .entries
             .iter()
@@ -673,6 +696,7 @@ impl DynamicSet {
     /// themselves have died since being pushed (a `Move` later in the same
     /// batch); they are filtered identically.
     fn carry(&mut self, mut pool: Vec<u32>) {
+        let _span = uncertain_obs::span!("dynamic.carry");
         let mut slot = 0;
         while slot < self.buckets.len() && self.buckets[slot].is_some() {
             let b = self.buckets[slot].take().unwrap();
@@ -696,6 +720,8 @@ impl DynamicSet {
         }
         self.stats.merges += 1;
         self.stats.sites_rebuilt += live_pool.len() as u64;
+        uncertain_obs::counter!("dynamic.merges").inc();
+        uncertain_obs::counter!("dynamic.sites_rebuilt").add(live_pool.len() as u64);
         self.place_bucket(slot, live_pool);
     }
 

@@ -257,11 +257,19 @@ impl ResultCache {
     }
 
     pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
-        self.inner.as_ref()?.lock().unwrap().get(key)
+        let hit = self.inner.as_ref()?.lock().unwrap().get(key);
+        // Process-global registry twins of the per-batch counters in
+        // `ExecStats` — a disabled cache (capacity 0) records nothing.
+        match &hit {
+            Some(_) => uncertain_obs::counter!("engine.cache.hits").inc(),
+            None => uncertain_obs::counter!("engine.cache.misses").inc(),
+        }
+        hit
     }
 
     pub fn insert(&self, key: CacheKey, value: CachedValue) {
         if let Some(m) = &self.inner {
+            uncertain_obs::counter!("engine.cache.inserts").inc();
             m.lock().unwrap().insert(key, value);
         }
     }

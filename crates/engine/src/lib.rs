@@ -231,6 +231,13 @@ pub struct ExecStats {
     pub quant_bucket_touches: usize,
     /// …of which the per-bucket summary was already warm (no lazy build).
     pub quant_bucket_warm: usize,
+    /// Registry span totals (`uncertain_obs` wall-clock histograms across
+    /// the engine, planner, cache, dynamic, and kernel layers) that
+    /// advanced during this batch, merged by span name. Like the predicate
+    /// and kernel counters these are process-global deltas, so concurrent
+    /// batches on *other* engines fold into each other's numbers. The
+    /// `.cycles` twins are dropped.
+    pub spans: Vec<uncertain_obs::SpanStat>,
 }
 
 impl ExecStats {
@@ -262,39 +269,62 @@ impl ExecStats {
     }
 
     /// Fraction of adaptive geometric predicates the f64 filter answered
-    /// during this batch; `1.0` when none ran. ≥ 0.99 on random inputs —
-    /// the exact fallback only fires within an ulp-scale shell of a
-    /// degeneracy.
+    /// during this batch; `0.0` when none ran (an idle batch reports no
+    /// hits, not a perfect rate — every ratio helper here shares that
+    /// convention). ≥ 0.99 on random inputs with work done — the exact
+    /// fallback only fires within an ulp-scale shell of a degeneracy.
     pub fn predicate_filter_hit_rate(&self) -> f64 {
         let total = self.predicate_filter_hits + self.predicate_exact_fallbacks;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.predicate_filter_hits as f64 / total as f64
         }
     }
 
     /// Fraction of the batch's kernel distance evaluations that ran in
-    /// chunked lanes; `1.0` when the batch evaluated none. Low values mean
-    /// the workload lives in tiny kd leaves or scalar fallback paths.
+    /// chunked lanes; `0.0` when the batch evaluated none. Low values mean
+    /// the workload evaluated nothing, lives in tiny kd leaves, or took
+    /// scalar fallback paths.
     pub fn kernel_lane_fraction(&self) -> f64 {
         let total = self.kernel_lane_dists + self.kernel_scalar_dists;
         if total == 0 {
-            1.0
+            0.0
         } else {
             self.kernel_lane_dists as f64 / total as f64
         }
     }
 
     /// Fraction of bucket streams the merged quantification path drew from
-    /// already-warm summaries; `1.0` when the batch drew none. Low values
-    /// mean churn replaced most buckets since quantification last ran.
+    /// already-warm summaries; `0.0` when the batch drew none (e.g. every
+    /// answer came from the cache). Low values mean churn replaced most
+    /// buckets since quantification last ran — or that no merged
+    /// evaluation executed at all.
     pub fn quant_bucket_reuse_rate(&self) -> f64 {
         if self.quant_bucket_touches == 0 {
-            1.0
+            0.0
         } else {
             self.quant_bucket_warm as f64 / self.quant_bucket_touches as f64
         }
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    /// Compact one-line batch summary for logs and examples:
+    /// `plan=[nonzero:index] reqs=64 wall=1.2ms qps=53388 cache=75% util=88% epoch=3 live=4096`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan=[{}] reqs={} wall={} qps={:.0} cache={:.0}% util={:.0}% epoch={} live={}",
+            self.plan.summary(),
+            self.batch_len,
+            uncertain_obs::fmt_ns(self.wall.as_nanos() as u64),
+            self.throughput_qps(),
+            100.0 * self.cache_hit_rate(),
+            100.0 * self.worker_utilization(),
+            self.epoch,
+            self.live_sites,
+        )
     }
 }
 
@@ -576,6 +606,8 @@ impl Engine {
     /// update missed — returns the *current* epoch and does not publish a
     /// new snapshot, so warm cache entries survive no-op ticks.
     pub fn apply(&self, updates: &[Update]) -> ApplyReport {
+        let _span = uncertain_obs::span!("engine.apply");
+        uncertain_obs::counter!("engine.apply.updates").add(updates.len() as u64);
         let _writer = self.apply_lock.lock().unwrap();
         let old = self.snapshot();
         let noop_report = |missed: usize| ApplyReport {
@@ -650,6 +682,10 @@ impl Engine {
             set: OnceLock::new(),
         });
         *self.core.write().unwrap() = core;
+        uncertain_obs::counter!("engine.apply.effective").inc();
+        uncertain_obs::gauge!("engine.epoch").set(report.epoch as f64);
+        uncertain_obs::gauge!("engine.live_sites").set(report.live as f64);
+        uncertain_obs::gauge!("engine.tombstones").set(report.tombstones as f64);
         report
     }
 
@@ -668,12 +704,19 @@ impl Engine {
     /// served from one epoch snapshot ([`ExecStats::epoch`]).
     pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResponse {
         let t0 = Instant::now();
+        let spans_before = uncertain_obs::registry().span_totals();
         let core = self.snapshot();
         let predicates_before = predicate_stats();
         let kernels_before = kernel_stats();
         let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
-        let plan = plan_for(&core, nonzero_count, requests.len() - nonzero_count);
-        let (prepared, built) = prepare(&core, &plan);
+        let plan = {
+            let _s = uncertain_obs::span!("engine.batch.plan");
+            plan_for(&core, nonzero_count, requests.len() - nonzero_count)
+        };
+        let (prepared, built) = {
+            let _s = uncertain_obs::span!("engine.batch.prepare");
+            prepare(&core, &plan)
+        };
         let counters = Arc::new(BatchCounters::default());
 
         let (results, worker_busy) = if requests.is_empty() {
@@ -723,6 +766,11 @@ impl Engine {
         };
 
         let wall = t0.elapsed();
+        uncertain_obs::histogram!("engine.batch.wall").record(wall.as_nanos() as u64);
+        uncertain_obs::counter!("engine.batch.requests").add(requests.len() as u64);
+        record_planner_observation(&plan, requests.len(), worker_busy.iter().sum());
+        let spans =
+            uncertain_obs::span_delta(&spans_before, &uncertain_obs::registry().span_totals());
         let predicates = predicate_stats().since(&predicates_before);
         let kernels = kernel_stats().since(&kernels_before);
         BatchResponse {
@@ -748,6 +796,7 @@ impl Engine {
                 quant_fresh_evals: counters.quant_fresh.load(Ordering::Relaxed),
                 quant_bucket_touches: counters.bucket_touches.load(Ordering::Relaxed),
                 quant_bucket_warm: counters.bucket_warm.load(Ordering::Relaxed),
+                spans,
             },
         }
     }
@@ -792,6 +841,46 @@ fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> Batc
         dynamic_quant_cold_locations: quant_cold,
         quant_snapped: core.cache.grid() > 0.0,
     })
+}
+
+/// Feeds the planner's predicted cost (the chosen rows' abstract "location
+/// visit" units) and the batch's observed busy time into the registry, so
+/// dumps can compare what the cost model promised against what execution
+/// delivered. A batch whose ns-per-unit ratio deviates by more than 4× in
+/// either direction from the cumulative mean ratio counts as a
+/// misprediction — a deliberately coarse heuristic: unit costs drift with
+/// cache warmth and data shape, so only order-of-magnitude surprises are
+/// flagged.
+fn record_planner_observation(plan: &BatchPlan, batch_len: usize, busy: Duration) {
+    if batch_len == 0 {
+        return;
+    }
+    let predicted: f64 = plan
+        .estimates
+        .iter()
+        .filter(|e| e.chosen)
+        .map(|e| e.total)
+        .sum();
+    let observed_ns = busy.as_nanos() as u64;
+    if predicted <= 0.0 || observed_ns == 0 {
+        return;
+    }
+    let predicted_units = predicted.round().max(1.0) as u64;
+    let predicted_c = uncertain_obs::counter!("engine.planner.predicted_units");
+    let observed_c = uncertain_obs::counter!("engine.planner.observed_ns");
+    // Read the cumulative totals *before* folding this batch in, so the
+    // batch is judged against history, not against itself.
+    let (cum_units, cum_ns) = (predicted_c.get(), observed_c.get());
+    let batch_ratio = observed_ns as f64 / predicted_units as f64;
+    uncertain_obs::histogram!("engine.planner.ns_per_unit").record(batch_ratio.round() as u64);
+    if cum_units > 0 && cum_ns > 0 {
+        let mean_ratio = cum_ns as f64 / cum_units as f64;
+        if batch_ratio > 4.0 * mean_ratio || batch_ratio < 0.25 * mean_ratio {
+            uncertain_obs::counter!("engine.planner.mispredictions").inc();
+        }
+    }
+    predicted_c.add(predicted_units);
+    observed_c.add(observed_ns);
 }
 
 /// Builds (or fetches) the structures the plan needs, on the calling
@@ -891,6 +980,7 @@ fn exec_one(
 ) -> QueryResult {
     match req {
         QueryRequest::Nonzero { q } => {
+            let _trace = uncertain_obs::trace::start("nonzero");
             let plan = prepared.nonzero.as_ref().expect("nonzero plan");
             // All four plans are exact (Guarantee::Exact), so their
             // answers share one (epoch-stamped) cache key and warm each
@@ -903,6 +993,14 @@ fn exec_one(
                 }
                 counters.misses.fetch_add(1, Ordering::Relaxed);
             }
+            // Opened after the cache lookup, so the per-plan execution
+            // histograms time actual evaluations only.
+            let _exec = match plan {
+                PreparedNonzero::Brute => uncertain_obs::span!("engine.exec.nonzero.brute"),
+                PreparedNonzero::Index(_) => uncertain_obs::span!("engine.exec.nonzero.index"),
+                PreparedNonzero::Diagram(_) => uncertain_obs::span!("engine.exec.nonzero.diagram"),
+                PreparedNonzero::Dynamic(_) => uncertain_obs::span!("engine.exec.nonzero.dynamic"),
+            };
             let mut ids = match plan {
                 PreparedNonzero::Brute => core.map_dense(nonzero_nn_discrete(core.set(), q)),
                 PreparedNonzero::Index(idx) => core.map_dense(idx.query_with(q, scratch)),
@@ -920,6 +1018,7 @@ fn exec_one(
             QueryResult::Nonzero(ids)
         }
         QueryRequest::Threshold { q, tau } => {
+            let _trace = uncertain_obs::trace::start("threshold");
             let quant = prepared.quant.as_ref().expect("quant plan");
             let (pi, guarantee) = quant_vector(core, quant, q, counters);
             let slack = guarantee.slack();
@@ -934,6 +1033,7 @@ fn exec_one(
             QueryResult::Ranked { items, guarantee }
         }
         QueryRequest::TopK { q, k } => {
+            let _trace = uncertain_obs::trace::start("topk");
             let quant = prepared.quant.as_ref().expect("quant plan");
             let (pi, guarantee) = quant_vector(core, quant, q, counters);
             let mut items: Vec<(usize, f64)> = pi
@@ -1009,6 +1109,7 @@ fn quant_vector(
         counters.misses.fetch_add(1, Ordering::Relaxed);
     }
     let (pi, guarantee) = if snapped {
+        let _exec = uncertain_obs::span!("engine.exec.quant.snapped");
         let center = snap_center(q, grid);
         let (mid, halfwidth) = snap::interval_quantification(core.set(), center, snap_radius(grid));
         let g = if halfwidth > 0.0 {
@@ -1018,6 +1119,14 @@ fn quant_vector(
         };
         (mid, g)
     } else {
+        // Same convention as the nonzero spans: opened after the cache
+        // lookup, so the histograms time evaluations, not hits.
+        let _exec = match quant {
+            PreparedQuant::Exact => uncertain_obs::span!("engine.exec.quant.fresh"),
+            PreparedQuant::Merged(_) => uncertain_obs::span!("engine.exec.quant.merged"),
+            PreparedQuant::Spiral(..) => uncertain_obs::span!("engine.exec.quant.spiral"),
+            PreparedQuant::MonteCarlo(..) => uncertain_obs::span!("engine.exec.quant.mc"),
+        };
         let pi = match quant {
             PreparedQuant::Exact => {
                 counters.quant_fresh.fetch_add(1, Ordering::Relaxed);
@@ -1241,7 +1350,9 @@ mod tests {
         assert_eq!(warm.stats.cache_hits, batch.len());
         assert_eq!(warm.stats.quant_merged_evals, 0);
         assert_eq!(warm.results, resp.results);
-        assert!((warm.stats.quant_bucket_reuse_rate() - 1.0).abs() < 1e-12);
+        // No bucket streams drawn → the reuse rate reports 0.0, not a
+        // vacuous perfect score.
+        assert_eq!(warm.stats.quant_bucket_reuse_rate(), 0.0);
     }
 
     #[test]

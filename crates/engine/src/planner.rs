@@ -164,9 +164,32 @@ fn lg(x: f64) -> f64 {
     x.max(2.0).log2()
 }
 
+/// Registry counter names for each choosable plan, so dumps show how often
+/// the planner picked each strategy over the process lifetime.
+fn count_nonzero_choice(p: NonzeroPlan) {
+    match p {
+        NonzeroPlan::Brute => uncertain_obs::counter!("engine.planner.chosen.nonzero.brute"),
+        NonzeroPlan::Index => uncertain_obs::counter!("engine.planner.chosen.nonzero.index"),
+        NonzeroPlan::Diagram => uncertain_obs::counter!("engine.planner.chosen.nonzero.diagram"),
+        NonzeroPlan::Dynamic => uncertain_obs::counter!("engine.planner.chosen.nonzero.dynamic"),
+    }
+    .inc();
+}
+
+fn count_quant_choice(p: QuantPlan) {
+    match p {
+        QuantPlan::Exact => uncertain_obs::counter!("engine.planner.chosen.quant.fresh"),
+        QuantPlan::Merged => uncertain_obs::counter!("engine.planner.chosen.quant.merged"),
+        QuantPlan::Spiral { .. } => uncertain_obs::counter!("engine.planner.chosen.quant.spiral"),
+        QuantPlan::MonteCarlo { .. } => uncertain_obs::counter!("engine.planner.chosen.quant.mc"),
+    }
+    .inc();
+}
+
 /// Prices every eligible strategy and returns the cheapest plan per request
 /// class. Deterministic: ties break toward the earlier candidate.
 pub fn plan(inp: &PlannerInputs) -> BatchPlan {
+    uncertain_obs::counter!("engine.planner.plans").inc();
     let n = inp.n as f64;
     let nn = (inp.total_locations as f64).max(1.0);
     let kbar = (nn / n.max(1.0)).max(1.0);
@@ -226,6 +249,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 chosen: i == chosen,
             });
         }
+        count_nonzero_choice(cands[chosen].0);
         out.nonzero = Some(cands[chosen].0);
     }
 
@@ -296,6 +320,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 chosen: i == chosen,
             });
         }
+        count_quant_choice(cands[chosen].0);
         out.quant = Some(cands[chosen].0);
     }
 

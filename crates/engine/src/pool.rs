@@ -86,16 +86,28 @@ impl ThreadPool {
 }
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    // Busy/idle accounting: idle is the wait for a job (lock + recv), busy
+    // is the job itself. Totals aggregate across all workers; the per-job
+    // histogram gives the shard-size distribution in wall time.
+    let busy = uncertain_obs::counter!("engine.pool.busy_ns");
+    let idle = uncertain_obs::counter!("engine.pool.idle_ns");
+    let jobs = uncertain_obs::histogram!("engine.pool.jobs");
     loop {
+        let w0 = std::time::Instant::now();
         // Hold the lock only while *receiving*, never while running a job.
         let job = match rx.lock().unwrap().recv() {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shut down
         };
+        idle.add(w0.elapsed().as_nanos() as u64);
+        let j0 = std::time::Instant::now();
         // Panic isolation: a poisoned query must not take the worker (and
         // with it, every future batch) down. The panic payload is dropped;
         // the job's unsent result is the caller's signal.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let ns = j0.elapsed().as_nanos() as u64;
+        busy.add(ns);
+        jobs.record(ns);
     }
 }
 

@@ -100,6 +100,7 @@ pub fn quantification_shifted(
 /// `|mid_i − π_i(q)| ≤ halfwidth` for all such `q`.
 pub fn interval_quantification(set: &DiscreteSet, center: Point, r: f64) -> (Vec<f64>, f64) {
     assert!(r >= 0.0);
+    let _span = uncertain_obs::span!("engine.snap.quant");
     let lo = quantification_shifted(set, center, 2.0 * r, true);
     let hi = quantification_shifted(set, center, -2.0 * r, false);
     let mut mid = Vec::with_capacity(lo.len());

@@ -39,14 +39,16 @@
 //!
 //! Process-global relaxed counters record how often the filter certified the
 //! sign ([`PredicateStats::filter_hits`]) versus fell back to exact
-//! arithmetic ([`PredicateStats::exact_fallbacks`]). Snapshot with
+//! arithmetic ([`PredicateStats::exact_fallbacks`]). The counters live in
+//! the `uncertain_obs` registry (names `geom.predicate.filter_hits` /
+//! `geom.predicate.exact_fallbacks`), so they appear in every
+//! `MetricsSnapshot` alongside the engine's spans. Snapshot with
 //! [`predicate_stats`] and diff with [`PredicateStats::since`]; benches and
 //! `ExecStats` use this to show the fast path dominates (≥ 99% on random
 //! inputs — the fallback only triggers within an ulp-scale shell of a
 //! degeneracy).
 
 use crate::point::Point;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Half an ulp of 1.0: the machine epsilon in Shewchuk's convention (2⁻⁵³).
 const EPSILON: f64 = 1.110_223_024_625_156_5e-16;
@@ -64,8 +66,17 @@ const SEG_Y_ERRBOUND: f64 = (24.0 + 192.0 * EPSILON) * EPSILON;
 // Filter statistics
 // ---------------------------------------------------------------------------
 
-static FILTER_HITS: AtomicU64 = AtomicU64::new(0);
-static EXACT_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+/// Registry handle for the filter-hit counter (resolved once).
+#[inline]
+fn filter_hits_counter() -> &'static uncertain_obs::Counter {
+    uncertain_obs::counter!("geom.predicate.filter_hits")
+}
+
+/// Registry handle for the exact-fallback counter (resolved once).
+#[inline]
+fn exact_fallbacks_counter() -> &'static uncertain_obs::Counter {
+    uncertain_obs::counter!("geom.predicate.exact_fallbacks")
+}
 
 /// Cumulative counts of filter outcomes across every adaptive predicate in
 /// the process. Counters are monotone; diff two snapshots with
@@ -84,10 +95,11 @@ impl PredicateStats {
         self.filter_hits + self.exact_fallbacks
     }
 
-    /// Fraction of calls the fast path answered; `1.0` when no calls ran.
+    /// Fraction of calls the fast path answered; `0.0` when no calls ran
+    /// (an empty window reports no hits, not a perfect rate).
     pub fn filter_hit_rate(&self) -> f64 {
         if self.total() == 0 {
-            1.0
+            0.0
         } else {
             self.filter_hits as f64 / self.total() as f64
         }
@@ -108,26 +120,26 @@ impl PredicateStats {
 /// single-threaded region (or accept the aggregate) accordingly.
 pub fn predicate_stats() -> PredicateStats {
     PredicateStats {
-        filter_hits: FILTER_HITS.load(AtomicOrdering::Relaxed),
-        exact_fallbacks: EXACT_FALLBACKS.load(AtomicOrdering::Relaxed),
+        filter_hits: filter_hits_counter().get(),
+        exact_fallbacks: exact_fallbacks_counter().get(),
     }
 }
 
 /// Resets the global counters to zero (single-threaded harnesses only —
 /// concurrent snapshots taken across a reset are meaningless).
 pub fn reset_predicate_stats() {
-    FILTER_HITS.store(0, AtomicOrdering::Relaxed);
-    EXACT_FALLBACKS.store(0, AtomicOrdering::Relaxed);
+    filter_hits_counter().reset();
+    exact_fallbacks_counter().reset();
 }
 
 #[inline]
 fn count_hit() {
-    FILTER_HITS.fetch_add(1, AtomicOrdering::Relaxed);
+    filter_hits_counter().inc();
 }
 
 #[inline]
 fn count_exact() {
-    EXACT_FALLBACKS.fetch_add(1, AtomicOrdering::Relaxed);
+    exact_fallbacks_counter().inc();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,274 @@
+//! Exposition: [`MetricsSnapshot`] (stable-ordered capture of the whole
+//! registry), its text/JSON dump APIs (schema `obs/v1`), and the periodic
+//! JSON-lines [`Flusher`] for long experiment runs.
+//!
+//! The JSON is hand-rolled and std-only, like the `bench-kernels/v1`
+//! writer in `uncertain_bench::measure`. Field ordering is stable: metric
+//! names ascend within each section, and each histogram object always
+//! emits `count, sum, mean, p50, p95, p99, max` in that order — consumers
+//! may diff dumps textually.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use crate::metrics::HistSnapshot;
+use crate::registry::registry;
+
+/// Environment variable naming the JSON-lines file the flusher appends to.
+pub const FLUSH_ENV: &str = "UNC_OBS_FLUSH";
+/// Environment variable overriding the flush interval in milliseconds.
+pub const FLUSH_MS_ENV: &str = "UNC_OBS_FLUSH_MS";
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, f64)>,
+    pub histograms: Vec<(&'static str, HistSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Captures the process-global registry.
+    pub fn capture() -> Self {
+        MetricsSnapshot {
+            counters: registry().counters(),
+            gauges: registry().gauges(),
+            histograms: registry().histograms(),
+        }
+    }
+
+    /// Human-readable dump: counters, gauges, then histograms with
+    /// count/mean/p50/p95/p99 (nanosecond histograms print as time).
+    pub fn dump(&self) -> String {
+        let mut out = String::from("== metrics snapshot (obs/v1)\n");
+        if !self.counters.is_empty() {
+            out.push_str("-- counters\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("   {name:<44} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("-- gauges\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("   {name:<44} {v:.3}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(
+                "-- histograms               count      mean       p50       p95       p99\n",
+            );
+            for (name, h) in &self.histograms {
+                let n = h.count();
+                out.push_str(&format!(
+                    "   {name:<24} {n:>9} {:>9} {:>9} {:>9} {:>9}\n",
+                    fmt_ns(h.mean() as u64),
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.95)),
+                    fmt_ns(h.quantile(0.99)),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Pretty-printed `obs/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        self.json_impl(true)
+    }
+
+    /// One-line `obs/v1` JSON document (what the flusher appends).
+    pub fn to_json_line(&self) -> String {
+        self.json_impl(false)
+    }
+
+    fn json_impl(&self, pretty: bool) -> String {
+        let (nl, ind) = if pretty { ("\n", "  ") } else { ("", "") };
+        let ts = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut out = format!("{{{nl}{ind}\"schema\":\"obs/v1\",{nl}{ind}\"ts_unix\":{ts},{nl}");
+        out.push_str(&format!("{ind}\"counters\":{{"));
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{v}"));
+        }
+        out.push_str(&format!("}},{nl}{ind}\"gauges\":{{"));
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{}", json_f64(*v)));
+        }
+        out.push_str(&format!("}},{nl}{ind}\"histograms\":{{"));
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                h.count(),
+                h.sum,
+                json_f64(h.mean()),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max_value(),
+            ));
+        }
+        out.push_str(&format!("}}{nl}}}"));
+        out
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Formats nanoseconds compactly (`873ns`, `12.4µs`, `3.1ms`, `2.0s`).
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.1}s", ns / 1e9)
+    }
+}
+
+/// A background thread appending one [`MetricsSnapshot::to_json_line`] to a
+/// file per interval; stops (with one final line) on drop.
+pub struct Flusher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Starts flushing to `path` (created/truncated) every `interval`.
+    pub fn start(path: &str, interval: Duration) -> std::io::Result<Flusher> {
+        let mut file = std::fs::File::create(path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-flusher".into())
+            .spawn(move || {
+                // Sleep in short slices so drop doesn't block a full interval.
+                let slice = Duration::from_millis(25).min(interval);
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        let _ = writeln!(file, "{}", MetricsSnapshot::capture().to_json_line());
+                    }
+                }
+                // Final snapshot so short runs still emit at least one line.
+                let _ = writeln!(file, "{}", MetricsSnapshot::capture().to_json_line());
+            })
+            .expect("spawn obs flusher");
+        Ok(Flusher {
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Starts a flusher if `UNC_OBS_FLUSH` names a file; interval from
+    /// `UNC_OBS_FLUSH_MS` (default 1000 ms). `None` (and a stderr note on
+    /// an unwritable path) otherwise.
+    pub fn from_env() -> Option<Flusher> {
+        let path = std::env::var(FLUSH_ENV).ok()?;
+        let ms = std::env::var(FLUSH_MS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(1000)
+            .max(1);
+        match Flusher::start(&path, Duration::from_millis(ms)) {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("obs: cannot flush to {path:?}: {e}");
+                None
+            }
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_orders_and_dumps() {
+        registry().counter("test.export.b").add(2);
+        registry().counter("test.export.a").inc();
+        registry().gauge("test.export.g").set(1.5);
+        registry().histogram("test.export.h").record(1000);
+        let s = MetricsSnapshot::capture();
+        let names: Vec<_> = s.counters.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "counters sorted by name");
+        let dump = s.dump();
+        assert!(dump.contains("test.export.a"));
+        assert!(dump.contains("test.export.g"));
+        let json = s.to_json_line();
+        assert!(json.starts_with("{\"schema\":\"obs/v1\""));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"test.export.h\":{\"count\":"));
+        // Pretty and line forms carry the same sections.
+        for key in ["\"counters\":", "\"gauges\":", "\"histograms\":"] {
+            assert!(json.contains(key) && s.to_json().contains(key));
+        }
+    }
+
+    #[test]
+    fn flusher_writes_json_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("obs_flusher_test.jsonl");
+        let path = path.to_str().unwrap();
+        {
+            let f = Flusher::start(path, Duration::from_millis(10)).unwrap();
+            registry().counter("test.export.flush").inc();
+            std::thread::sleep(Duration::from_millis(60));
+            drop(f);
+        }
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.lines().count() >= 2, "periodic + final lines");
+        for line in body.lines() {
+            assert!(line.starts_with("{\"schema\":\"obs/v1\""));
+            assert!(line.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(873), "873ns");
+        assert_eq!(fmt_ns(12_400), "12.4µs");
+        assert_eq!(fmt_ns(3_100_000), "3.1ms");
+        assert_eq!(fmt_ns(2_000_000_000), "2.0s");
+    }
+}

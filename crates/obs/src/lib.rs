@@ -1,0 +1,112 @@
+//! `uncertain_obs` — std-only tracing + metrics for the uncertain-nn
+//! stack: a process-global registry of named [`Counter`]s, [`Gauge`]s, and
+//! log₂-bucketed [`Histogram`]s; RAII [`Span`] guards that record wall
+//! time (and rdtsc cycles where available); and `obs/v1` exposition via
+//! [`MetricsSnapshot`] plus a periodic JSON-lines [`Flusher`].
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Lock-free hot path.** Updating any metric is a few `Relaxed`
+//!    atomic ops. The registry mutex is touched only when a *name* is
+//!    first resolved; the [`counter!`]/[`gauge!`]/[`histogram!`]/[`span!`]
+//!    macros cache the resolved handle in a per-callsite `OnceLock`.
+//! 2. **No dependencies.** Every workspace crate (geom upward) layers on
+//!    this one, so it sits at the bottom of the graph: std only, no serde.
+//! 3. **Stable exposition.** Snapshots list metrics sorted by name with a
+//!    fixed per-histogram field order, so dumps diff cleanly and the
+//!    `obs/v1` schema can be validated by the tiny checker in
+//!    `uncertain_bench`.
+//!
+//! Naming convention: `layer.component.metric` with the layer prefixes
+//! `geom.`, `spatial.`, `dynamic.`, `engine.`, `bench.` (see the README's
+//! Observability section for the full span list per layer). Span
+//! histograms record nanoseconds; each gets a `<name>.cycles` twin on
+//! x86_64.
+//!
+//! ```
+//! uncertain_obs::counter!("docs.example.hits").inc();
+//! {
+//!     let _span = uncertain_obs::span!("docs.example.work");
+//!     // ... timed region ...
+//! }
+//! let snap = uncertain_obs::MetricsSnapshot::capture();
+//! assert!(snap.counters.iter().any(|(n, v)| *n == "docs.example.hits" && *v >= 1));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod span;
+
+pub use export::{fmt_ns, Flusher, MetricsSnapshot, FLUSH_ENV, FLUSH_MS_ENV};
+pub use metrics::{
+    bucket_index, bucket_upper, Counter, Gauge, HistSnapshot, Histogram, HIST_BUCKETS,
+};
+pub use registry::{registry, span_delta, Registry, SpanStat};
+pub use span::{cycles_now, has_cycle_counter, span_dyn, trace, Span};
+
+/// Resolves (once per callsite) and returns the `&'static Counter` named
+/// by the literal.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Resolves (once per callsite) and returns the `&'static Gauge` named by
+/// the literal.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Resolves (once per callsite) and returns the `&'static Histogram`
+/// named by the literal.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// Opens a [`Span`] recording wall nanoseconds into the histogram named by
+/// the literal (and cycles into `<name>.cycles` on x86_64) when dropped.
+/// Bind it — `let _span = span!("engine.apply");` — or the region is zero
+/// width.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        let ns = $crate::histogram!($name);
+        let cycles = if $crate::has_cycle_counter() {
+            Some($crate::histogram!(concat!($name, ".cycles")))
+        } else {
+            None
+        };
+        $crate::Span::with($name, ns, cycles)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_cache_handles() {
+        let a = crate::counter!("test.lib.macro_counter");
+        let b = crate::counter!("test.lib.macro_counter");
+        assert!(std::ptr::eq(a, b));
+        crate::gauge!("test.lib.macro_gauge").set(3.0);
+        crate::histogram!("test.lib.macro_hist").record(7);
+        let s = crate::MetricsSnapshot::capture();
+        assert!(s
+            .gauges
+            .iter()
+            .any(|(n, v)| *n == "test.lib.macro_gauge" && *v == 3.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! The three metric kinds: [`Counter`], [`Gauge`], and the log-bucketed
+//! [`Histogram`], plus the immutable [`HistSnapshot`] that quantiles are
+//! computed from.
+//!
+//! Every update is a handful of `Relaxed` atomic operations — no locks on
+//! the hot path. Cross-metric consistency is *not* promised (a snapshot
+//! taken mid-update may see counter A bumped but counter B not yet);
+//! within one histogram, quantiles are always computed from a single
+//! copied bucket array, so `p50 ≤ p95 ≤ p99` holds in every snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing `u64` (resettable for test isolation and the
+/// legacy `reset_*_stats` entry points).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` stored as bits in an `AtomicU64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (running-maximum gauges,
+    /// e.g. peak heap). Non-atomic read-modify-write across *different*
+    /// writers is resolved by a compare-exchange loop.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if v <= f64::from_bits(cur) {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: one for the value 0 plus one per power of
+/// two up to `2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Maps a value to its bucket index. Bucket 0 holds exactly the value 0;
+/// bucket `b ≥ 1` holds the half-open range `[2^(b-1), 2^b)` — closed on
+/// the lower edge, open on the upper, so a value exactly at a power of two
+/// lands in the *higher* bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper edge of a bucket (the value quantiles resolve to).
+pub fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically nanoseconds).
+/// Recording is two relaxed `fetch_add`s; quantiles are nearest-rank over
+/// the bucket counts with the same rank-snapping convention as
+/// `uncertain_bench::measure::summarize`, resolved to the bucket's upper
+/// edge (a ≤ 2× overestimate by construction).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket array once; all derived statistics ([`count`],
+    /// [`quantile`], …) come from that single copy, which is what makes
+    /// quantiles monotone even when writers race the snapshot.
+    ///
+    /// [`count`]: HistSnapshot::count
+    /// [`quantile`]: HistSnapshot::quantile
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a histogram's buckets at one instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Sum of recorded values. Read from a separate atomic, so it may be
+    /// an update ahead of or behind `buckets` under concurrency — use it
+    /// for the mean, not for invariants.
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// Total samples (derived from the bucket copy, never torn).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank quantile, resolved to the upper edge of the containing
+    /// bucket. Uses the same `p·n` rank-snapping as
+    /// `uncertain_bench::measure::summarize`. Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let exact = p * n as f64;
+        let nearest = exact.round();
+        let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+            nearest
+        } else {
+            exact.ceil()
+        };
+        let rank = (rank as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(HIST_BUCKETS - 1)
+    }
+
+    /// Upper edge of the highest non-empty bucket (0 when empty).
+    pub fn max_value(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_upper)
+            .unwrap_or(0)
+    }
+
+    /// Bucketwise difference `self − earlier` (saturating), for per-window
+    /// deltas in the style of `PredicateStats::since`.
+    pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].saturating_sub(earlier.buckets[b])),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_closed_open() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for b in 1..64usize {
+            let lo = 1u64 << (b - 1);
+            assert_eq!(bucket_index(lo), b, "lower edge 2^{} closed", b - 1);
+            assert_eq!(bucket_index(2 * lo - 1), b, "upper edge open");
+            if b < 63 {
+                assert_eq!(bucket_index(2 * lo), b + 1, "2^{b} rolls over");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn quantiles_match_summarize_convention() {
+        let h = Histogram::new();
+        // 20 samples spread over distinct buckets: ranks are unambiguous.
+        for i in 0..20u64 {
+            h.record(1 << i);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 20);
+        // p50 → rank 10 → sample 2^9 → bucket 10 upper edge 2^10−1.
+        assert_eq!(s.quantile(0.50), (1 << 10) - 1);
+        // 0.95·20 snaps to rank 19 (not 20) exactly as summarize() does.
+        assert_eq!(s.quantile(0.95), (1 << 19) - 1);
+        assert_eq!(s.quantile(1.0), s.max_value());
+        assert_eq!(s.quantile(0.0), (1 << 1) - 1); // rank clamps to 1
+    }
+
+    #[test]
+    fn since_subtracts_bucketwise() {
+        let h = Histogram::new();
+        h.record(3);
+        let before = h.snapshot();
+        h.record(3);
+        h.record(100);
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum, 103);
+    }
+
+    #[test]
+    fn gauge_set_max_keeps_maximum() {
+        let g = Gauge::new();
+        g.set_max(2.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.0);
+        g.set(0.5);
+        assert_eq!(g.get(), 0.5);
+    }
+}

@@ -1,0 +1,294 @@
+//! The process-global metrics registry: interned name → metric handle.
+//!
+//! Registration takes a `Mutex` once per *name*; the returned handle is a
+//! leaked `&'static` reference, so steady-state updates never touch the
+//! lock. The [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram) macros additionally cache the handle in
+//! a per-callsite `OnceLock`, making even the name lookup a one-time cost.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// Name → metric map. One per process, via [`registry`].
+pub struct Registry {
+    map: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        map: Mutex::new(BTreeMap::new()),
+    })
+}
+
+impl Registry {
+    /// Returns the counter registered under `name`, creating (and leaking)
+    /// it on first use. Panics if `name` is already registered as a
+    /// different metric kind — a naming-convention bug worth failing loud.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = map.get(name) {
+            match m {
+                Metric::Counter(c) => return c,
+                _ => panic!("obs: {name:?} already registered as a non-counter"),
+            }
+        }
+        let handle: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(leak_name(name), Metric::Counter(handle));
+        handle
+    }
+
+    /// Counterpart of [`Registry::counter`] for gauges.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = map.get(name) {
+            match m {
+                Metric::Gauge(g) => return g,
+                _ => panic!("obs: {name:?} already registered as a non-gauge"),
+            }
+        }
+        let handle: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(leak_name(name), Metric::Gauge(handle));
+        handle
+    }
+
+    /// Counterpart of [`Registry::counter`] for histograms.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.histogram_named(name).1
+    }
+
+    /// Like [`Registry::histogram`], but also returns the interned
+    /// `&'static` copy of the name — what `span_dyn` stores in the guard.
+    pub fn histogram_named(&self, name: &str) -> (&'static str, &'static Histogram) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((k, m)) = map.get_key_value(name) {
+            match m {
+                Metric::Histogram(h) => return (k, h),
+                _ => panic!("obs: {name:?} already registered as a non-histogram"),
+            }
+        }
+        let handle: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        let key = leak_name(name);
+        map.insert(key, Metric::Histogram(handle));
+        (key, handle)
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .filter_map(|(n, m)| match m {
+                Metric::Counter(c) => Some((*n, c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All gauges as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(&'static str, f64)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .filter_map(|(n, m)| match m {
+                Metric::Gauge(g) => Some((*n, g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Snapshots of all histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(&'static str, HistSnapshot)> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .filter_map(|(n, m)| match m {
+                Metric::Histogram(h) => Some((*n, h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Cheap per-histogram `(count, sum)` totals, sorted by name — the raw
+    /// material for [`span_delta`]-style per-batch breakdowns without
+    /// copying full bucket arrays.
+    pub fn span_totals(&self) -> Vec<SpanStat> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .filter_map(|(n, m)| match m {
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    Some(SpanStat {
+                        name: n,
+                        count: s.count(),
+                        total_ns: s.sum,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+fn leak_name(name: &str) -> &'static str {
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// Aggregate of one named span (histogram) over some window: how many
+/// times it fired and the summed recorded value (nanoseconds for wall-time
+/// spans).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// Difference `after − before` of two [`Registry::span_totals`] listings
+/// (both sorted by name; `before` may be missing names that appeared
+/// later). Entries with a zero count delta are dropped, as are `.cycles`
+/// twins — the result is "which spans fired in this window, and for how
+/// long", suitable for `ExecStats::spans`.
+pub fn span_delta(before: &[SpanStat], after: &[SpanStat]) -> Vec<SpanStat> {
+    let mut out = Vec::new();
+    let mut bi = 0usize;
+    for a in after {
+        while bi < before.len() && before[bi].name < a.name {
+            bi += 1;
+        }
+        let (count0, total0) = if bi < before.len() && before[bi].name == a.name {
+            (before[bi].count, before[bi].total_ns)
+        } else {
+            (0, 0)
+        };
+        let count = a.count.saturating_sub(count0);
+        if count > 0 && !a.name.ends_with(".cycles") {
+            out.push(SpanStat {
+                name: a.name,
+                count,
+                total_ns: a.total_ns.saturating_sub(total0),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_handle() {
+        let a = registry().counter("test.registry.intern");
+        let b = registry().counter("test.registry.intern");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), a.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn kind_mismatch_panics() {
+        registry().gauge("test.registry.kind_clash");
+        registry().counter("test.registry.kind_clash");
+    }
+
+    #[test]
+    fn span_delta_merges_by_name() {
+        let h1 = registry().histogram("test.registry.delta.a");
+        let before = registry().span_totals();
+        h1.record(10);
+        h1.record(20);
+        let h2 = registry().histogram("test.registry.delta.b");
+        h2.record(5);
+        registry()
+            .histogram("test.registry.delta.b.cycles")
+            .record(7);
+        let after = registry().span_totals();
+        let d = span_delta(&before, &after);
+        let a = d
+            .iter()
+            .find(|s| s.name == "test.registry.delta.a")
+            .unwrap();
+        assert_eq!((a.count, a.total_ns), (2, 30));
+        let b = d
+            .iter()
+            .find(|s| s.name == "test.registry.delta.b")
+            .unwrap();
+        assert_eq!((b.count, b.total_ns), (1, 5));
+        assert!(!d.iter().any(|s| s.name.ends_with(".cycles")));
+    }
+
+    #[test]
+    fn concurrent_counter_updates_land_exactly() {
+        let c = registry().counter("test.registry.concurrent_counter");
+        let start = c.get();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - start, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_histogram_updates_land_exactly() {
+        let h = registry().histogram("test.registry.concurrent_hist");
+        let before = h.snapshot();
+        let threads = 8;
+        let per_thread = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let d = h.snapshot().since(&before);
+        assert_eq!(d.count(), threads * per_thread);
+        let n = threads * per_thread;
+        assert_eq!(d.sum, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn snapshot_during_update_never_tears_quantiles() {
+        let h = registry().histogram("test.registry.torn_quantiles");
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut v = t + 1;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // SplitMix-style scramble: exercise many buckets.
+                        v = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t);
+                        h.record(v >> (v % 40));
+                    }
+                });
+            }
+            for _ in 0..2_000 {
+                let s = h.snapshot();
+                let (p50, p95, p99) = (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99));
+                assert!(p50 <= p95 && p95 <= p99, "torn: {p50} {p95} {p99}");
+                // Both derive from the same bucket copy, so the tail
+                // quantile can never exceed the observed maximum.
+                assert!(s.count() == 0 || p99 <= s.max_value());
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+}

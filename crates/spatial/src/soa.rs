@@ -36,7 +36,6 @@
 //! counters so `ExecStats` can report what fraction of distance work ran
 //! through the lane kernels.
 
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use uncertain_geom::Point;
 
 /// Chunk width of the lane kernels, in f64 elements.
@@ -51,8 +50,19 @@ pub const LANES: usize = 4;
 // Kernel statistics
 // ---------------------------------------------------------------------------
 
-static LANE_DISTS: AtomicU64 = AtomicU64::new(0);
-static SCALAR_DISTS: AtomicU64 = AtomicU64::new(0);
+/// Registry handle for the lane-distance counter (resolved once; the
+/// counters live in the `uncertain_obs` registry so they share the
+/// snapshot/export path with every other layer's metrics).
+#[inline]
+fn lane_dists_counter() -> &'static uncertain_obs::Counter {
+    uncertain_obs::counter!("spatial.kernel.lane_dists")
+}
+
+/// Registry handle for the scalar-distance counter (resolved once).
+#[inline]
+fn scalar_dists_counter() -> &'static uncertain_obs::Counter {
+    uncertain_obs::counter!("spatial.kernel.scalar_dists")
+}
 
 /// Cumulative counts of distance evaluations across every SoA kernel in the
 /// process, split by path. Counters are monotone; diff two snapshots with
@@ -73,11 +83,12 @@ impl KernelStats {
         self.lane_dists + self.scalar_dists
     }
 
-    /// Fraction of evaluations that ran in full-width chunks; `1.0` when no
-    /// evaluations ran.
+    /// Fraction of evaluations that ran in full-width chunks; `0.0` when no
+    /// evaluations ran (an empty window reports no lane work, not full
+    /// coverage).
     pub fn lane_fraction(&self) -> f64 {
         if self.total() == 0 {
-            1.0
+            0.0
         } else {
             self.lane_dists as f64 / self.total() as f64
         }
@@ -98,24 +109,24 @@ impl KernelStats {
 /// region (or accept the aggregate) accordingly.
 pub fn kernel_stats() -> KernelStats {
     KernelStats {
-        lane_dists: LANE_DISTS.load(AtomicOrdering::Relaxed),
-        scalar_dists: SCALAR_DISTS.load(AtomicOrdering::Relaxed),
+        lane_dists: lane_dists_counter().get(),
+        scalar_dists: scalar_dists_counter().get(),
     }
 }
 
 /// Resets the global counters to zero (single-threaded harnesses only).
 pub fn reset_kernel_stats() {
-    LANE_DISTS.store(0, AtomicOrdering::Relaxed);
-    SCALAR_DISTS.store(0, AtomicOrdering::Relaxed);
+    lane_dists_counter().reset();
+    scalar_dists_counter().reset();
 }
 
 #[inline]
 fn record(lane: u64, scalar: u64) {
     if lane > 0 {
-        LANE_DISTS.fetch_add(lane, AtomicOrdering::Relaxed);
+        lane_dists_counter().add(lane);
     }
     if scalar > 0 {
-        SCALAR_DISTS.fetch_add(scalar, AtomicOrdering::Relaxed);
+        scalar_dists_counter().add(scalar);
     }
 }
 
@@ -511,6 +522,7 @@ mod tests {
         assert_eq!(delta.scalar_dists, 12);
         assert_eq!(delta.total(), 20);
         assert!(delta.lane_fraction() > 0.0 && delta.lane_fraction() < 1.0);
-        assert_eq!(KernelStats::default().lane_fraction(), 1.0);
+        // Empty window: no work means no lane coverage, not full coverage.
+        assert_eq!(KernelStats::default().lane_fraction(), 0.0);
     }
 }

@@ -72,10 +72,24 @@ fn main() {
 
     let passenger = Point::new(1.0, 0.5);
     println!("\npassenger at {passenger}:");
-    let exact = quantification_discrete(&fleet, passenger);
-    let from_vpr = dense(fleet.len(), &vpr.query(passenger));
-    let mc_est = mc.estimate_all(passenger);
-    let sp_est = spiral.estimate_all(passenger, 0.01);
+    // Time each engine through the obs registry; the summary at the end
+    // reads the spans back out of the process-global snapshot.
+    let exact = {
+        let _s = uncertain_obs::span_dyn("example.tracking.exact");
+        quantification_discrete(&fleet, passenger)
+    };
+    let from_vpr = {
+        let _s = uncertain_obs::span_dyn("example.tracking.vpr");
+        dense(fleet.len(), &vpr.query(passenger))
+    };
+    let mc_est = {
+        let _s = uncertain_obs::span_dyn("example.tracking.mc");
+        mc.estimate_all(passenger)
+    };
+    let sp_est = {
+        let _s = uncertain_obs::span_dyn("example.tracking.spiral");
+        spiral.estimate_all(passenger, 0.01)
+    };
 
     println!("  taxi |   exact |    V_Pr |      MC |  spiral");
     for i in 0..fleet.len() {
@@ -95,6 +109,14 @@ fn main() {
     let tau = 0.15;
     let candidates: Vec<usize> = (0..fleet.len()).filter(|&i| exact[i] >= tau).collect();
     println!("\ndispatch candidates with P[nearest] ≥ {tau}: {candidates:?}");
+
+    // Per-engine query timings, read back from the metrics registry.
+    println!("\nper-engine query spans (obs registry):");
+    for (name, h) in uncertain_obs::MetricsSnapshot::capture().histograms {
+        if name.starts_with("example.tracking.") && !name.ends_with(".cycles") {
+            println!("  {name:<26} {}", uncertain_obs::fmt_ns(h.quantile(0.50)));
+        }
+    }
 }
 
 fn dense(n: usize, sparse: &[(usize, f64)]) -> Vec<f64> {

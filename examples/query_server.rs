@@ -9,9 +9,17 @@
 //! of mixed request batches (nonzero / threshold / top-k), a repeated wave
 //! that exercises the result cache, live churn absorbed through the
 //! epoch/snapshot `apply()` layer, and a tighter-guarantee engine. After
-//! every batch the engine reports its `ExecStats`: the plan the cost-based
-//! planner took, the wall time, cache hit rate, worker utilization, and the
-//! epoch + live/tombstone site counts the batch was served under.
+//! every batch the engine reports its `ExecStats` one-liner: the plan the
+//! cost-based planner took, the wall time, cache hit rate, worker
+//! utilization, and the epoch + live site count the batch was served
+//! under.
+//!
+//! After the waves, an interactive tail reads commands from stdin:
+//! `stats` prints a live `obs/v1` metrics snapshot of the whole process
+//! (per-layer span timings, planner counters, batch latency histograms),
+//! `traces` dumps the slowest recorded query traces as JSON lines, and
+//! `quit` (or EOF — piped runs fall straight through) exits. Setting
+//! `UNC_OBS_FLUSH=<file>` additionally streams snapshots during the run.
 
 use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, Update};
 use uncertain_geom::Point;
@@ -20,22 +28,15 @@ use uncertain_nn::queries::Guarantee;
 use uncertain_nn::workload;
 
 fn describe(tag: &str, resp: &uncertain_engine::BatchResponse) {
-    let s = &resp.stats;
-    println!(
-        "[{tag}] plan: {:<28} wall {:>9.2?}  {:>8.0} q/s  cache {:>4.0}%  util {:>3.0}%  epoch {} ({} live, {} dead)  built {:?}",
-        s.plan.summary(),
-        s.wall,
-        s.throughput_qps(),
-        100.0 * s.cache_hit_rate(),
-        100.0 * s.worker_utilization(),
-        s.epoch,
-        s.live_sites,
-        s.tombstones,
-        s.built,
-    );
+    // The ExecStats Display impl is the canonical one-liner.
+    println!("[{tag}] {}  built {:?}", resp.stats, resp.stats.built);
 }
 
 fn main() {
+    // Stream obs/v1 snapshots when UNC_OBS_FLUSH is set, and keep the 5
+    // slowest query traces for the `traces` command.
+    let _flusher = uncertain_obs::Flusher::from_env();
+    uncertain_obs::trace::set_capacity(5);
     // A fleet of 3000 uncertain points, 3 possible locations each.
     let set = workload::random_discrete_set(3000, 3, 5.0, 42);
     let engine = Engine::new(set.clone(), EngineConfig::default());
@@ -149,5 +150,25 @@ fn main() {
             e.per_query,
             e.total
         );
+    }
+
+    // Interactive tail: serve live observability on request. A piped or CI
+    // run sees immediate EOF and exits; a terminal user can poll `stats`
+    // while re-running waves in another pane is left as an exercise.
+    println!("\ncommands: stats | traces | quit");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        match line.trim() {
+            "stats" => print!("{}", uncertain_obs::MetricsSnapshot::capture().dump()),
+            "traces" => print!("{}", uncertain_obs::trace::dump_json_lines()),
+            "quit" | "exit" => break,
+            "" => {}
+            other => println!("unknown command {other:?} (stats | traces | quit)"),
+        }
     }
 }
