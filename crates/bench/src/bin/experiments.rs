@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every quantitative artifact of the paper.
 //!
 //! Usage: `cargo run --release -p uncertain_bench --bin experiments [-- ARGS]`
-//! where ARGS is any subset of {E1..E17, E24..E30, A1..A6} (default: all)
+//! where ARGS is any subset of {E1..E17, E24..E31, A1..A6} (default: all)
 //! plus:
 //!
 //! * `--list` — print every experiment id with a one-line description;
@@ -152,6 +152,11 @@ const EXPERIMENTS: &[(&str, &str, fn())] = &[
         "E30",
         "dynamic quantification: merged-vs-fresh crossover vs bucket count",
         e30_merge_crossover,
+    ),
+    (
+        "E31",
+        "sharded engine: apply throughput scaling at 1/2/4/8/16 shards",
+        e31_shard_scaling,
     ),
     (
         "A1",
@@ -1382,6 +1387,7 @@ fn e25_planner_crossover() {
                 dynamic_buckets: 0,
                 dynamic_quant_cold_locations: 0,
                 quant_snapped: false,
+                shards: 0,
             });
             cells.push(plan.summary().replace("nonzero:", ""));
         }
@@ -1422,6 +1428,7 @@ fn e25_planner_crossover() {
                 dynamic_buckets: 0,
                 dynamic_quant_cold_locations: 0,
                 quant_snapped: false,
+                shards: 0,
             });
             cells.push(plan.summary().replace("quant:", ""));
         }
@@ -1447,6 +1454,7 @@ fn e25_planner_crossover() {
         dynamic_buckets: 0,
         dynamic_quant_cold_locations: 0,
         quant_snapped: false,
+        shards: 0,
     });
     let mut t = Table::new(&["candidate", "build", "per-query", "total", "chosen"]);
     for e in &plan.estimates {
@@ -1983,4 +1991,115 @@ fn e30_merge_crossover() {
     }
     t.print();
     println!("   merged measured on 1-bucket and popcount(n)-bucket layouts of the same sites");
+}
+
+/// E31: apply-throughput scaling of the sharded engine. The monolithic
+/// engine snapshots the **whole** set per apply (an `O(n)` clone); the
+/// sharded engine clones only the shards a batch touches, so a batch
+/// confined to one shard pays `O(n/S)` — the speedup is algorithmic
+/// (clone-volume reduction), not thread-count, and shows up even on one
+/// core. The workload is the ISSUE's "disjoint-shard batches": Move
+/// batches each confined to a single shard, round-robin over shards.
+fn e31_shard_scaling() {
+    use uncertain_engine::shard::{shard_of, ShardedEngine};
+    use uncertain_engine::{EngineConfig, Update};
+    use uncertain_nn::model::DiscreteUncertainPoint;
+    header(
+        "E31",
+        "sharded apply throughput vs shard count",
+        "disjoint-shard batches touch O(n/S) state per apply, so throughput scales ~S× over the monolithic clone",
+    );
+    let n = if uncertain_bench::smoke() {
+        100_000
+    } else {
+        1_000_000
+    };
+    let applies = if uncertain_bench::smoke() { 24 } else { 48 };
+    let batch = 16; // Move updates per apply, all in one shard.
+    let base = workload::random_discrete_set(n, 3, 5.0, 31);
+    let mut t = Table::new(&[
+        "S",
+        "applies",
+        "updates",
+        "wall",
+        "updates/s",
+        "speedup vs S=1",
+    ]);
+    let mut rng = StdRng::seed_from_u64(0xE31);
+    let mut base_rate = 0.0f64;
+    let mut speedups = vec![];
+    // Not `sweep(..)`: higher S is *cheaper* per apply, and the S=4 point
+    // is the acceptance bar, so the full shard ladder runs even in smoke.
+    for s in [1usize, 2, 4, 8, 16] {
+        let engine = ShardedEngine::new(
+            base.clone(),
+            EngineConfig {
+                shards: Some(s),
+                ..EngineConfig::default()
+            },
+        );
+        // Per-shard victim pools, built outside the timed loop so the
+        // apply loop times the engine, not the partitioner.
+        let mut by_shard: Vec<Vec<usize>> = vec![vec![]; s];
+        for id in 0..n {
+            by_shard[shard_of(id, s)].push(id);
+        }
+        let batches: Vec<Vec<Update>> = (0..applies)
+            .map(|i| {
+                use rand::Rng;
+                let pool = &by_shard[i % s];
+                (0..batch)
+                    .map(|j| Update::Move {
+                        id: pool[(i * 7919 + j * 104_729) % pool.len()],
+                        to: DiscreteUncertainPoint::uniform(vec![
+                            Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                            Point::new(rng.gen_range(-25.0..25.0), rng.gen_range(-25.0..25.0)),
+                        ]),
+                    })
+                    .collect()
+            })
+            .collect();
+        let (moved, secs) = time(|| {
+            let mut moved = 0usize;
+            for b in &batches {
+                let r = engine.apply(b);
+                assert_eq!(r.missed, 0, "victim pool produced a dead id");
+                moved += r.moved;
+            }
+            moved
+        });
+        assert_eq!(moved, applies * batch);
+        let rate = moved as f64 / secs;
+        if s == 1 {
+            base_rate = rate;
+        }
+        let speedup = rate / base_rate;
+        speedups.push((s, speedup));
+        t.row(&[
+            s.to_string(),
+            applies.to_string(),
+            moved.to_string(),
+            fmt_time(secs),
+            format!("{:.0}", rate),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    t.print();
+    println!(
+        "   n={n} live sites; every batch = {batch} moves confined to one shard (round-robin)"
+    );
+    println!("   speedup is clone-volume, not parallelism: valid on a single core");
+    // Smoke stays assert-free on the scaling claim (CI boxes are noisy);
+    // the full run enforces the ISSUE's >2x-at-4-shards acceptance bar.
+    if !uncertain_bench::smoke() {
+        let at4 = speedups
+            .iter()
+            .find(|&&(s, _)| s == 4)
+            .map(|&(_, x)| x)
+            .unwrap_or(0.0);
+        assert!(
+            at4 > 2.0,
+            "expected >2x apply throughput at 4 shards, got {at4:.2}x"
+        );
+    }
 }

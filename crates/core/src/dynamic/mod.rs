@@ -72,6 +72,7 @@
 
 mod bucket;
 mod quant;
+pub mod shard;
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -497,6 +498,26 @@ impl DynamicSet {
         id
     }
 
+    /// Registers an externally-allocated fresh id (sharded serving assigns
+    /// ids from one global counter so per-shard id spaces never collide).
+    /// The id must never have been used in this set; racing appliers can
+    /// hand ids to a shard out of order, so insertion keeps the live list
+    /// sorted instead of assuming a push suffices.
+    fn adopt_id(&mut self, id: SiteId) {
+        debug_assert!(
+            !self.handles.contains_key(&id),
+            "adopted id {id} is already live"
+        );
+        self.next_id = self.next_id.max(id + 1);
+        match self.live_ids.last() {
+            Some(&last) if last >= id => {
+                let pos = self.live_ids.partition_point(|&x| x < id);
+                self.live_ids.insert(pos, id);
+            }
+            _ => self.live_ids.push(id),
+        }
+    }
+
     /// Marks `id`'s slot in the sorted live list stale; compacts once half
     /// the list is stale, so removes stay `O(1)` amortized. Must be called
     /// *after* `handles` drops the id (the filter is the handle map).
@@ -517,13 +538,47 @@ impl DynamicSet {
     /// churn it is the difference between `O(batch + log n)` and
     /// `O(batch · log n)` rebuilt sites per update wave.
     pub fn apply(&mut self, updates: &[Update]) -> UpdateOutcome {
+        self.apply_inner(updates, None)
+    }
+
+    /// [`apply`](Self::apply) with externally-allocated insert ids: the
+    /// `k`-th `Insert` in `updates` receives `insert_ids[k]` instead of a
+    /// locally-allocated one. Every id must be globally fresh (never used
+    /// in this set before) — the contract the sharded engine's single
+    /// global id counter provides. Semantics are otherwise identical to
+    /// [`apply`](Self::apply), including the single end-of-batch carry.
+    pub fn apply_with_insert_ids(
+        &mut self,
+        updates: &[Update],
+        insert_ids: &[SiteId],
+    ) -> UpdateOutcome {
+        let inserts = updates
+            .iter()
+            .filter(|u| matches!(u, Update::Insert(_)))
+            .count();
+        assert_eq!(
+            insert_ids.len(),
+            inserts,
+            "one pre-assigned id per Insert update"
+        );
+        self.apply_inner(updates, Some(insert_ids))
+    }
+
+    fn apply_inner(&mut self, updates: &[Update], insert_ids: Option<&[SiteId]>) -> UpdateOutcome {
         let _span = uncertain_obs::span!("dynamic.apply");
         let mut out = UpdateOutcome::default();
         let mut pending: Vec<u32> = vec![];
         for u in updates {
             match u {
                 Update::Insert(site) => {
-                    let id = self.alloc_id();
+                    let id = match insert_ids {
+                        Some(ids) => {
+                            let id = ids[out.inserted.len()];
+                            self.adopt_id(id);
+                            id
+                        }
+                        None => self.alloc_id(),
+                    };
                     self.stats.inserts += 1;
                     pending.push(self.push_entry(id, site.clone()));
                     out.inserted.push(id);
@@ -698,9 +753,22 @@ impl DynamicSet {
     fn carry(&mut self, mut pool: Vec<u32>) {
         let _span = uncertain_obs::span!("dynamic.carry");
         let mut slot = 0;
-        while slot < self.buckets.len() && self.buckets[slot].is_some() {
-            let b = self.buckets[slot].take().unwrap();
-            pool.extend_from_slice(&b.bucket.entry_idxs);
+        loop {
+            if slot < self.buckets.len() && self.buckets[slot].is_some() {
+                let b = self.buckets[slot].take().unwrap();
+                pool.extend_from_slice(&b.bucket.entry_idxs);
+                slot += 1;
+                continue;
+            }
+            // The merged bucket must land at a level that fits its size
+            // (slot k holds ≤ 2^k entries). Stopping at the first empty
+            // slot regardless of size would drop a bulk batch at slot 0,
+            // and every later carry would re-gather and rebuild it —
+            // turning the amortized O(log n) per update into O(n) per
+            // batch. Unit inserts are unaffected (their pools always fit).
+            if pool.len() <= (1usize << slot.min(usize::BITS as usize - 1)) {
+                break;
+            }
             slot += 1;
         }
         let mut live_pool = Vec::with_capacity(pool.len());
@@ -715,7 +783,7 @@ impl DynamicSet {
             // Everything gathered was dead: the merged slots stay empty.
             return;
         }
-        if slot == self.buckets.len() {
+        while self.buckets.len() <= slot {
             self.buckets.push(None);
         }
         self.stats.merges += 1;
@@ -771,10 +839,25 @@ impl DynamicSet {
     /// range-reports candidates per bucket against the Lemma 2.1 threshold
     /// `min_{j≠i} Δ_j(q)`.
     pub fn nonzero(&self, q: Point) -> Vec<SiteId> {
-        if self.live == 0 {
+        let Some((d1, id1, d2)) = self.nonzero_two_min(q) else {
             return vec![];
+        };
+        let mut out: Vec<SiteId> = vec![];
+        self.nonzero_report_into(q, id1, d1, d2, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Stage 1 of `NN≠0(q)` over this set alone: the two smallest live
+    /// `Δ_i(q)` merged across buckets, as `(d1, best id, d2)` (`d2 = ∞`
+    /// with a single live site, `None` when empty). The min and second-min
+    /// over a union are independent of how the union is partitioned, so
+    /// folding these triples across disjoint sets (shards) reproduces the
+    /// monolithic pair bitwise — the sharded scatter phase.
+    pub fn nonzero_two_min(&self, q: Point) -> Option<(f64, SiteId, f64)> {
+        if self.live == 0 {
+            return None;
         }
-        let entries = &self.entries;
         let mut best = (f64::INFINITY, u32::MAX); // (Δ, entry index)
         let mut second = f64::INFINITY;
         for slot in self.buckets.iter().flatten() {
@@ -795,20 +878,40 @@ impl DynamicSet {
                 second = s;
             }
         }
-        let (d1, e1) = best;
-        let d2 = second;
+        Some((best.0, self.entries[best.1 as usize].id, second))
+    }
+
+    /// Stage 2 of `NN≠0(q)`: range-report this set's candidates against the
+    /// *global* Lemma 2.1 threshold pair `(d1, d2)` with best witness
+    /// `best_id` (which may live in another shard), appending public ids to
+    /// `out` unsorted. A tie (`d2 == d1`) makes the bound
+    /// witness-independent, so the per-site test only depends on globally
+    /// identical floats — the sharded gather phase is bit-identical to the
+    /// monolithic report.
+    pub fn nonzero_report_into(
+        &self,
+        q: Point,
+        best_id: SiteId,
+        d1: f64,
+        d2: f64,
+        out: &mut Vec<SiteId>,
+    ) {
         // d2 = ∞ only with a single live site, whose δ ≤ Δ = d1 keeps it
         // inside the closed range query; its bound stays +∞ (min over ∅).
         let radius = if d2.is_finite() { d2 } else { d1 };
-        let mut out: Vec<SiteId> = vec![];
+        let entries = &self.entries;
         for slot in self.buckets.iter().flatten() {
             let b = &slot.bucket;
-            let mut bound = |local: usize| if b.entry_idxs[local] == e1 { d2 } else { d1 };
+            let mut bound = |local: usize| {
+                if entries[b.entry_idxs[local] as usize].id == best_id {
+                    d2
+                } else {
+                    d1
+                }
+            };
             let mut push = |local: usize| out.push(entries[b.entry_idxs[local] as usize].id);
             b.report_where(q, radius, &slot.alive, &mut bound, &mut push);
         }
-        out.sort_unstable();
-        out
     }
 
     /// All quantification probabilities over the live sites, as ascending
@@ -891,6 +994,31 @@ impl DynamicSet {
     /// [`MergedQueryMaps`]): `O(n log n)` once per mutation state.
     fn build_merged_maps(&self) -> MergedQueryMaps {
         let ids = self.live_ids();
+        let (dense, live_locations) = self.dense_maps_for(&ids);
+        let mut live_slab =
+            crate::quantification::slab::LocationSlab::with_capacity(live_locations);
+        for (dense_idx, &id) in ids.iter().enumerate() {
+            let site = &self.entries[self.handles[&id] as usize].site;
+            for (&loc, &w) in site.locations().iter().zip(site.weights()) {
+                live_slab.push(dense_idx, loc, w);
+            }
+        }
+        MergedQueryMaps {
+            ids,
+            dense,
+            live_locations,
+            live_slab,
+        }
+    }
+
+    /// Per-slot local→dense maps against an externally-supplied dense id
+    /// order, plus the Σ of live locations: the shared core of the
+    /// monolithic merged maps (dense order = this set's own live ids) and
+    /// the sharded gather maps (dense order = the *union* of all shards'
+    /// live ids, so per-shard streams emit globally-dense indices and the
+    /// cross-shard k-way merge reproduces the monolithic entry sequence).
+    /// `ids` must be sorted ascending and contain every live id of `self`.
+    fn dense_maps_for(&self, ids: &[SiteId]) -> (Vec<Option<Vec<u32>>>, usize) {
         let mut dense = Vec::with_capacity(self.buckets.len());
         let mut live_locations = 0;
         for slot in &self.buckets {
@@ -919,20 +1047,7 @@ impl DynamicSet {
                 .collect();
             dense.push(any_live.then_some(map));
         }
-        let mut live_slab =
-            crate::quantification::slab::LocationSlab::with_capacity(live_locations);
-        for (dense_idx, &id) in ids.iter().enumerate() {
-            let site = &self.entries[self.handles[&id] as usize].site;
-            for (&loc, &w) in site.locations().iter().zip(site.weights()) {
-                live_slab.push(dense_idx, loc, w);
-            }
-        }
-        MergedQueryMaps {
-            ids,
-            dense,
-            live_locations,
-            live_slab,
-        }
+        (dense, live_locations)
     }
 
     /// Warm/cold split of the per-bucket quantification summaries, in

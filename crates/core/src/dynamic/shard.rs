@@ -1,0 +1,453 @@
+//! Scatter-gather query drivers over a partition of the site universe into
+//! independent [`DynamicSet`] shards.
+//!
+//! The partition is by stable id ([`shard_of`]): each site lives in exactly
+//! one shard, each shard is a full Bentley–Saxe structure (buckets,
+//! tombstone bitmaps, warm quant summaries) that mutates independently.
+//! Every query family recombines **bit-identically** to a single monolithic
+//! set holding the union, because each already recombines across *buckets*
+//! by an operation that is independent of how the union is partitioned:
+//!
+//! * `NN≠0` — the global Lemma 2.1 threshold pair `(d1, d2)` is the
+//!   min/second-min of `Δ_i(q)` over the union; [`ShardedReader::nonzero`]
+//!   folds per-shard [`DynamicSet::nonzero_two_min`] triples with the same
+//!   fold the monolithic set applies per bucket, then gathers per-shard
+//!   range reports against the (globally identical) threshold floats.
+//! * Quantification — the k-way merge heap orders entries by
+//!   `(distance, dense site)`, and each site is in exactly one shard, so a
+//!   merge over *all shards'* bucket streams — with each stream mapping its
+//!   locals to **globally dense** indices (position in the union's
+//!   ascending live-id order, see [`DynamicSet::dense_maps_for`]) — draws
+//!   the exact entry sequence the monolithic merge draws, into the same
+//!   Eq. (2) sweep core.
+//! * Expected-distance NN — the minimum of per-shard branch-and-bound
+//!   minima, folded with the monolithic cross-bucket tie rule (exact ties
+//!   break to the smaller id; the witness among bitwise-equal values is
+//!   unspecified either way, the *value* is always the exact minimum).
+//!
+//! `tests/sharded_differential.rs` runs the three families after every op
+//! of randomized interleavings against a monolithic oracle at S ∈ {1, 3, 8}.
+
+use std::sync::{Arc, OnceLock};
+
+use super::{DynamicSet, QuantMergeStats, SiteId};
+use crate::model::DiscreteSet;
+use crate::quantification::sweep::{sweep, KWayMerge};
+use uncertain_geom::Point;
+
+/// The shard owning `id` under hash partitioning into `shards` shards.
+/// Fibonacci multiplicative hashing: cheap, deterministic, and spreads the
+/// strictly-increasing id stream evenly instead of striping it.
+#[inline]
+pub fn shard_of(id: SiteId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    (((id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as usize
+}
+
+/// Query-invariant gather state, built once per shard-epoch vector and
+/// shared by every query against that snapshot (the sharded analogue of the
+/// monolithic set's cached merged maps).
+struct GatherMaps {
+    /// Union of all shards' live ids, ascending — the dense order of the
+    /// merged sweep output, identical to the monolithic set's.
+    ids: Vec<SiteId>,
+    /// Per shard: per-slot local→*global*-dense maps.
+    dense: Vec<Vec<Option<Vec<u32>>>>,
+    /// Σ locations over the union's live sites.
+    live_locations: usize,
+}
+
+/// A read-only scatter-gather view over one snapshot of every shard.
+///
+/// Holds `Arc` snapshots, so an in-flight reader is never disturbed by
+/// appliers publishing new shard epochs. Construction is O(S); the gather
+/// maps are built lazily on the first quantification and cached.
+pub struct ShardedReader {
+    shards: Vec<Arc<DynamicSet>>,
+    maps: OnceLock<GatherMaps>,
+}
+
+impl ShardedReader {
+    /// A reader over one consistent snapshot (one `Arc` per shard).
+    pub fn new(shards: Vec<Arc<DynamicSet>>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard");
+        ShardedReader {
+            shards,
+            maps: OnceLock::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard snapshots, in shard order.
+    pub fn shards(&self) -> &[Arc<DynamicSet>] {
+        &self.shards
+    }
+
+    /// Live sites across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Tombstoned entries still occupying bucket slots, across all shards.
+    pub fn tombstones(&self) -> usize {
+        self.shards.iter().map(|s| s.tombstones()).sum()
+    }
+
+    /// Union of live ids, ascending — per-shard lists are each sorted and
+    /// pairwise disjoint, so a merge of sorted runs suffices.
+    pub fn live_ids(&self) -> Vec<SiteId> {
+        if self.shards.len() == 1 {
+            return self.shards[0].live_ids();
+        }
+        let mut ids: Vec<SiteId> = self.shards.iter().flat_map(|s| s.live_ids()).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Materializes the union as a static set in ascending id order —
+    /// identical to the monolithic [`DynamicSet::live_set`], so fresh-path
+    /// evaluation (brute `NN≠0`, fresh/snapped quantification) over it is
+    /// bit-identical too.
+    pub fn live_set(&self) -> DiscreteSet {
+        let maps = self.maps();
+        DiscreteSet::new(
+            maps.ids
+                .iter()
+                .map(|&id| {
+                    let shard = &self.shards[shard_of(id, self.shards.len())];
+                    shard.get(id).expect("gather map ids are live").clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// Exact global shape summary `(total locations N, max per-site k,
+    /// weight spread ρ)` — the same scan [`DynamicSet::live_shape`] does,
+    /// folded across shards (spread needs the global weight extremes, so
+    /// per-shard spreads alone would not recombine exactly).
+    pub fn live_shape(&self) -> (usize, usize, f64) {
+        let mut total = 0usize;
+        let mut max_k = 0usize;
+        let mut w_min = f64::INFINITY;
+        let mut w_max = 0.0f64;
+        for shard in &self.shards {
+            for e in shard.entries.iter().filter(|e| e.alive) {
+                total += e.site.k();
+                max_k = max_k.max(e.site.k());
+                for &w in e.site.weights() {
+                    w_min = w_min.min(w);
+                    w_max = w_max.max(w);
+                }
+            }
+        }
+        let spread = if w_min.is_finite() && w_min > 0.0 {
+            w_max / w_min
+        } else {
+            1.0
+        };
+        (total, max_k, spread)
+    }
+
+    /// Occupied buckets across all shards (the merged path's fan-in).
+    pub fn bucket_count(&self) -> usize {
+        self.shards.iter().map(|s| s.stats().buckets).sum::<usize>()
+    }
+
+    /// Warm/cold split of quant summaries across shards, in locations.
+    pub fn quant_summary_state(&self) -> (usize, usize) {
+        let mut warm = 0;
+        let mut cold = 0;
+        for s in &self.shards {
+            let (w, c) = s.quant_summary_state();
+            warm += w;
+            cold += c;
+        }
+        (warm, cold)
+    }
+
+    /// `NN≠0(q)` over the union, ascending public ids — bit-identical to a
+    /// monolithic [`DynamicSet::nonzero`] over the same live sites.
+    pub fn nonzero(&self, q: Point) -> Vec<SiteId> {
+        // Scatter: fold the per-shard two-min triples exactly as the
+        // monolithic set folds per-bucket triples.
+        let mut best: (f64, SiteId) = (f64::INFINITY, SiteId::MAX);
+        let mut second = f64::INFINITY;
+        let mut any = false;
+        for shard in &self.shards {
+            let Some((d, id, s)) = shard.nonzero_two_min(q) else {
+                continue;
+            };
+            any = true;
+            if d < best.0 {
+                second = best.0;
+                best = (d, id);
+            } else if d < second {
+                second = d;
+            }
+            if s < second {
+                second = s;
+            }
+        }
+        if !any {
+            return vec![];
+        }
+        let (d1, id1) = best;
+        let d2 = second;
+        // Gather: every shard range-reports against the same global floats.
+        let mut out: Vec<SiteId> = vec![];
+        for shard in &self.shards {
+            shard.nonzero_report_into(q, id1, d1, d2, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Merged quantification over the union: one k-way merge across *all*
+    /// shards' bucket streams, each emitting globally-dense indices, into
+    /// the shared sweep core. Bit-identical to the monolithic merged (and
+    /// fresh) paths.
+    pub fn quantification_merged(&self, q: Point) -> Vec<(SiteId, f64)> {
+        self.quantification_merged_with_stats(q).0
+    }
+
+    /// [`quantification_merged`](Self::quantification_merged) plus the
+    /// reuse metrics the serving engine aggregates (buckets and warm
+    /// buckets count across every shard).
+    pub fn quantification_merged_with_stats(
+        &self,
+        q: Point,
+    ) -> (Vec<(SiteId, f64)>, QuantMergeStats) {
+        let mut stats = QuantMergeStats::default();
+        let maps = self.maps();
+        let n = maps.ids.len();
+        if n == 0 {
+            return (vec![], stats);
+        }
+        stats.live_locations = maps.live_locations;
+        let mut streams = vec![];
+        for (shard, dense) in self.shards.iter().zip(&maps.dense) {
+            for (slot, dense_of_local) in shard.buckets.iter().zip(dense) {
+                let (Some(slot), Some(dense_of_local)) = (slot, dense_of_local) else {
+                    continue; // unoccupied slot, or a fully-dead bucket
+                };
+                stats.buckets += 1;
+                if slot.bucket.quant_warm() {
+                    stats.warm_buckets += 1;
+                }
+                streams.push(
+                    slot.bucket
+                        .quant_index()
+                        .stream(q, dense_of_local, &slot.alive),
+                );
+            }
+        }
+        let mut merge = KWayMerge::new(streams);
+        let pi = sweep(&mut merge, n);
+        stats.entries_merged = merge.consumed();
+        (maps.ids.iter().copied().zip(pi).collect(), stats)
+    }
+
+    /// The live site minimizing expected distance to `q`, with that
+    /// distance: the fold of per-shard branch-and-bound minima under the
+    /// monolithic cross-bucket tie rule (exact ties to the smaller id).
+    /// The value is bit-identical to the monolithic query; the witness
+    /// among exact ties is unspecified there too.
+    pub fn expected_nn(&self, q: Point) -> Option<(SiteId, f64)> {
+        let mut best: Option<(SiteId, f64)> = None;
+        for shard in &self.shards {
+            if let Some((id, e)) = shard.expected_nn(q) {
+                let better = match best {
+                    None => true,
+                    Some((bid, be)) => e < be || (e == be && id < bid),
+                };
+                if better {
+                    best = Some((id, e));
+                }
+            }
+        }
+        best
+    }
+
+    fn maps(&self) -> &GatherMaps {
+        self.maps.get_or_init(|| {
+            let ids = self.live_ids();
+            let mut dense = Vec::with_capacity(self.shards.len());
+            let mut live_locations = 0;
+            for shard in &self.shards {
+                let (maps, locs) = shard.dense_maps_for(&ids);
+                dense.push(maps);
+                live_locations += locs;
+            }
+            GatherMaps {
+                ids,
+                dense,
+                live_locations,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::{DynamicConfig, Update};
+    use crate::model::DiscreteUncertainPoint;
+    use crate::workload;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn partitioned(n: usize, shards: usize, seed: u64) -> (DynamicSet, Vec<DynamicSet>) {
+        let base = workload::random_discrete_set(n, 3, 8.0, seed);
+        let mono = DynamicSet::from_set(&base, DynamicConfig::default());
+        let mut parts = vec![DynamicSet::new(DynamicConfig::default()); shards];
+        for (id, p) in base.points.iter().enumerate() {
+            let s = shard_of(id, shards);
+            parts[s].apply_with_insert_ids(&[Update::Insert(p.clone())], &[id]);
+        }
+        (mono, parts)
+    }
+
+    fn reader(parts: &[DynamicSet]) -> ShardedReader {
+        ShardedReader::new(parts.iter().map(|p| Arc::new(p.clone())).collect())
+    }
+
+    fn assert_families_match(mono: &DynamicSet, r: &ShardedReader, queries: &[Point]) {
+        assert_eq!(r.len(), mono.len());
+        assert_eq!(r.live_ids(), mono.live_ids());
+        for &q in queries {
+            assert_eq!(r.nonzero(q), mono.nonzero(q), "NN≠0 at {q}");
+            let merged = r.quantification_merged(q);
+            let want = mono.quantification(q);
+            assert_eq!(merged.len(), want.len());
+            for ((id, got), (wid, w)) in merged.iter().zip(&want) {
+                assert_eq!(id, wid);
+                assert_eq!(got.to_bits(), w.to_bits(), "π at {q}");
+            }
+            match (r.expected_nn(q), mono.expected_nn(q)) {
+                (None, None) => {}
+                (Some((_, ge)), Some((_, we))) => {
+                    assert_eq!(ge.to_bits(), we.to_bits(), "E[d] at {q}")
+                }
+                (got, want) => panic!("expected-NN mismatch: {got:?} vs {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_total_and_stable() {
+        for id in 0..1000 {
+            assert_eq!(shard_of(id, 1), 0);
+            for s in [2, 3, 8] {
+                assert!(shard_of(id, s) < s);
+                assert_eq!(shard_of(id, s), shard_of(id, s));
+            }
+        }
+        // The hash spreads a dense id range across every shard.
+        let mut seen = [false; 8];
+        for id in 0..64 {
+            seen[shard_of(id, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn static_partition_matches_monolithic_at_several_shard_counts() {
+        let queries: Vec<Point> = workload::random_discrete_set(12, 1, 9.0, 42)
+            .points
+            .iter()
+            .map(|p| p.locations()[0])
+            .collect();
+        for shards in [1, 3, 8] {
+            let (mono, parts) = partitioned(60, shards, 7 + shards as u64);
+            assert_families_match(&mono, &reader(&parts), &queries);
+        }
+    }
+
+    #[test]
+    fn churned_partition_stays_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        let shards = 3;
+        let (mut mono, mut parts) = partitioned(40, shards, 11);
+        let queries: Vec<Point> = (0..6)
+            .map(|_| Point::new(rng.gen_range(-9.0..9.0), rng.gen_range(-9.0..9.0)))
+            .collect();
+        let mut next_id = 40usize;
+        for round in 0..12 {
+            let mut live = mono.live_ids();
+            // Two removes, one move, two inserts per round — mirrors the
+            // engine-epoch churn mix.
+            let mut ops: Vec<Update> = vec![];
+            for k in 0..2usize {
+                if !live.is_empty() {
+                    let id = live.remove((round * 7 + k * 3) % live.len());
+                    ops.push(Update::Remove(id));
+                }
+            }
+            if !live.is_empty() {
+                let id = live[(round * 5) % live.len()];
+                ops.push(Update::Move {
+                    id,
+                    to: DiscreteUncertainPoint::certain(Point::new(
+                        round as f64 - 6.0,
+                        -(round as f64) / 2.0,
+                    )),
+                });
+            }
+            for k in 0..2 {
+                ops.push(Update::Insert(DiscreteUncertainPoint::uniform(vec![
+                    Point::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)),
+                    Point::new(round as f64, k as f64),
+                ])));
+            }
+            // Monolithic gets the ids the sharded side will assign: the
+            // monolithic set allocates next_id.. itself, so pre-assigning
+            // the identical sequence keeps both id streams equal.
+            let outcome = mono.apply(&ops);
+            let mut insert_ids: Vec<SiteId> = (next_id..).take(outcome.inserted.len()).collect();
+            assert_eq!(outcome.inserted, insert_ids);
+            next_id += insert_ids.len();
+            // Scatter the same ops to shards, preserving order.
+            let mut per_shard: Vec<Vec<Update>> = vec![vec![]; shards];
+            let mut per_shard_ids: Vec<Vec<SiteId>> = vec![vec![]; shards];
+            for op in ops {
+                let (target, insert_id) = match &op {
+                    Update::Insert(_) => {
+                        let id = insert_ids.remove(0);
+                        (shard_of(id, shards), Some(id))
+                    }
+                    Update::Remove(id) => (shard_of(*id, shards), None),
+                    Update::Move { id, .. } => (shard_of(*id, shards), None),
+                };
+                per_shard[target].push(op);
+                if let Some(id) = insert_id {
+                    per_shard_ids[target].push(id);
+                }
+            }
+            for (s, part) in parts.iter_mut().enumerate() {
+                part.apply_with_insert_ids(&per_shard[s], &per_shard_ids[s]);
+            }
+            assert_families_match(&mono, &reader(&parts), &queries);
+        }
+    }
+
+    #[test]
+    fn empty_reader_answers_empty() {
+        let parts = vec![DynamicSet::new(DynamicConfig::default()); 4];
+        let r = reader(&parts);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        let q = Point::new(0.5, -0.5);
+        assert!(r.nonzero(q).is_empty());
+        assert!(r.quantification_merged(q).is_empty());
+        assert!(r.expected_nn(q).is_none());
+        assert!(r.live_set().is_empty());
+    }
+}

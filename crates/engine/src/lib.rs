@@ -84,6 +84,7 @@
 pub mod cache;
 pub mod planner;
 pub mod pool;
+pub mod shard;
 pub mod snap;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -175,6 +176,21 @@ pub struct ApplyReport {
     pub sites_rebuilt: u64,
 }
 
+/// Per-shard serving-state summary reported by [`shard::ShardedEngine`]
+/// batches (empty on monolithic batches). One row per shard, in shard-index
+/// order, describing the snapshot the batch was served from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// The shard's own epoch (bumped only when an apply touches it).
+    pub epoch: u64,
+    /// Live sites owned by this shard.
+    pub live: usize,
+    /// Tombstones still buried in this shard's buckets.
+    pub tombstones: usize,
+}
+
 /// Execution report for one batch.
 #[derive(Clone, Debug)]
 pub struct ExecStats {
@@ -196,8 +212,14 @@ pub struct ExecStats {
     /// Live sites in the serving snapshot.
     pub live_sites: usize,
     /// Tombstoned sites still buried in the snapshot's buckets (0 until
-    /// updates have been applied).
+    /// updates have been applied). Summed across shards on sharded batches.
     pub tombstones: usize,
+    /// Per-shard `(epoch, live, tombstones)` rows when the batch was served
+    /// by a [`shard::ShardedEngine`]; empty on monolithic batches. For
+    /// sharded batches [`ExecStats::epoch`] holds the publish *generation*
+    /// (the monotone counter stamped on every atomically-published
+    /// shard-epoch vector), and these rows hold the per-shard epochs.
+    pub shard_stats: Vec<ShardStat>,
     /// Busy (execution) time of each shard of this batch, measured inside
     /// the shard's job. At most one shard per worker.
     pub worker_busy: Vec<Duration>,
@@ -311,11 +333,16 @@ impl ExecStats {
 
 impl std::fmt::Display for ExecStats {
     /// Compact one-line batch summary for logs and examples:
-    /// `plan=[nonzero:index] reqs=64 wall=1.2ms qps=53388 cache=75% util=88% epoch=3 live=4096`.
+    /// `plan=[nonzero:index] reqs=64 wall=1.2ms qps=53388 cache=75% util=88% epoch=3 live=4096 tomb=0`.
+    ///
+    /// Every field is printed unconditionally (even when zero), and sharded
+    /// batches append one fixed-shape `shardK=epoch/live/tomb` token per
+    /// shard — log scrapers see the same columns at every epoch and every
+    /// shard count.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "plan=[{}] reqs={} wall={} qps={:.0} cache={:.0}% util={:.0}% epoch={} live={}",
+            "plan=[{}] reqs={} wall={} qps={:.0} cache={:.0}% util={:.0}% epoch={} live={} tomb={}",
             self.plan.summary(),
             self.batch_len,
             uncertain_obs::fmt_ns(self.wall.as_nanos() as u64),
@@ -324,7 +351,16 @@ impl std::fmt::Display for ExecStats {
             100.0 * self.worker_utilization(),
             self.epoch,
             self.live_sites,
-        )
+            self.tombstones,
+        )?;
+        for s in &self.shard_stats {
+            write!(
+                f,
+                " shard{}={}/{}/{}",
+                s.shard, s.epoch, s.live, s.tombstones
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -359,6 +395,10 @@ pub struct EngineConfig {
     /// Tuning of the Bentley–Saxe structure [`apply`](Engine::apply)
     /// maintains (bucket-index crossover, compaction thresholds).
     pub dynamic: DynamicConfig,
+    /// Shard count for [`shard::ShardedEngine`]. Resolution:
+    /// `UNC_ENGINE_SHARDS` env > this field > detected parallelism, min 1.
+    /// Ignored by the monolithic [`Engine`].
+    pub shards: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -371,6 +411,7 @@ impl Default for EngineConfig {
             diagram_cap: 40,
             mc_seed: 0xC0FFEE,
             dynamic: DynamicConfig::default(),
+            shards: None,
         }
     }
 }
@@ -787,6 +828,7 @@ impl Engine {
                 epoch: core.epoch,
                 live_sites: core.n,
                 tombstones: core.dynamic.as_ref().map_or(0, |d| d.tombstones()),
+                shard_stats: vec![],
                 worker_busy,
                 predicate_filter_hits: predicates.filter_hits,
                 predicate_exact_fallbacks: predicates.exact_fallbacks,
@@ -840,6 +882,7 @@ fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> Batc
         dynamic_buckets: core.dynamic.as_ref().map_or(0, |d| d.stats().buckets),
         dynamic_quant_cold_locations: quant_cold,
         quant_snapped: core.cache.grid() > 0.0,
+        shards: 0,
     })
 }
 

@@ -138,6 +138,13 @@ pub struct PlannerInputs {
     /// interval evaluation over the flat live set) — the merged candidate
     /// is not offered, because the snapped evaluator would bypass it.
     pub quant_snapped: bool,
+    /// Number of shards when planning for a `ShardedEngine` (0 = the
+    /// monolithic engine). Sharded serving scatter-gathers every read, so
+    /// only the partition-independent exact strategies are priced: the
+    /// static index/diagram/spiral/MC structures are built over one flat
+    /// set and are not maintained per shard. Each query also pays a small
+    /// per-shard gather constant.
+    pub shards: usize,
 }
 
 /// The planner's decision for one batch, with the full cost table.
@@ -195,12 +202,18 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
     let kbar = (nn / n.max(1.0)).max(1.0);
     let mut out = BatchPlan::default();
 
+    // Per-query scatter-gather constant for sharded serving: every read
+    // folds one candidate per shard (two-min triples, heap heads, minima).
+    let gather = 4.0 * inp.shards as f64;
+
     if inp.nonzero_count > 0 {
         let b = inp.nonzero_count as f64;
         let mut cands: Vec<(NonzeroPlan, f64, f64)> = vec![
             // A distance evaluation (sqrt + compare) is ~4 units.
-            (NonzeroPlan::Brute, 0.0, 4.0 * nn),
-            (
+            (NonzeroPlan::Brute, 0.0, 4.0 * nn + gather),
+        ];
+        if inp.shards == 0 {
+            cands.push((
                 NonzeroPlan::Index,
                 if inp.index_built {
                     0.0
@@ -211,20 +224,21 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 // reporting — O(√N + t) with a healthy constant (two tree
                 // descents with distance evaluations at every node).
                 16.0 * (nn.sqrt() + kbar + 24.0),
-            ),
-        ];
+            ));
+        }
         if inp.dynamic_ready {
             // Same two-stage query shape as the Theorem 3.2 index, fanned
-            // out over the occupied buckets; the build is already paid for
-            // incrementally by `apply`, so it is never charged here.
+            // out over the occupied buckets (summed across shards when
+            // sharded); the build is already paid for incrementally by
+            // `apply`, so it is never charged here.
             let buckets = inp.dynamic_buckets.max(1) as f64;
             cands.push((
                 NonzeroPlan::Dynamic,
                 0.0,
-                16.0 * (nn.sqrt() + kbar + 24.0) + 8.0 * buckets * lg(nn),
+                16.0 * (nn.sqrt() + kbar + 24.0) + 8.0 * buckets * lg(nn) + gather,
             ));
         }
-        if inp.n >= 2 && inp.n <= inp.diagram_cap {
+        if inp.shards == 0 && inp.n >= 2 && inp.n <= inp.diagram_cap {
             // Theorem 2.14: the arrangement has O(k n³) pieces; building it
             // dominates by far, queries are a logarithmic slab search that
             // returns a precomputed label.
@@ -256,7 +270,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
     if inp.quant_count > 0 {
         let b = inp.quant_count as f64;
         let mut cands: Vec<(QuantPlan, f64, f64)> =
-            vec![(QuantPlan::Exact, 0.0, 6.0 * nn * lg(nn))];
+            vec![(QuantPlan::Exact, 0.0, 6.0 * nn * lg(nn) + gather)];
         if inp.dynamic_ready && !inp.quant_snapped {
             // Exact k-way merge over warm per-bucket summaries: cold buckets
             // (churned since the last quantification) pay one lazy kd-build,
@@ -272,11 +286,16 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 } else {
                     0.0
                 },
-                2.0 * n + 16.0 * (kbar + 2.0) * lg(nn) + 8.0 * buckets * lg(nn),
+                2.0 * n + 16.0 * (kbar + 2.0) * lg(nn) + 8.0 * buckets * lg(nn) + gather,
             ));
         }
         let eps_budget = inp.guarantee.slack();
-        if inp.n > 0 && eps_budget > 0.0 && eps_budget < 1.0 && inp.spread.is_finite() {
+        if inp.shards == 0
+            && inp.n > 0
+            && eps_budget > 0.0
+            && eps_budget < 1.0
+            && inp.spread.is_finite()
+        {
             // Spiral retrieval budget m(ρ, ε) = ⌈ρ k ln(1/ε)⌉ + k − 1.
             let m = (inp.spread * inp.max_k as f64 * (1.0 / eps_budget).ln()).ceil()
                 + inp.max_k as f64
@@ -292,7 +311,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 8.0 * m * lg(nn) + n,
             ));
         }
-        if inp.n > 0 {
+        if inp.shards == 0 && inp.n > 0 {
             if let Guarantee::Probabilistic { eps, delta } = inp.guarantee {
                 if eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0 {
                     let s = samples_for_queries(eps, delta, inp.n, inp.quant_count.max(1));
@@ -362,7 +381,46 @@ mod tests {
             dynamic_buckets: 0,
             dynamic_quant_cold_locations: 0,
             quant_snapped: false,
+            shards: 0,
         }
+    }
+
+    #[test]
+    fn sharded_serving_prices_only_exact_scatter_gather_candidates() {
+        // A sharded engine always has warm buckets, never a static index,
+        // diagram, spiral, or MC structure — those are monolithic-only.
+        let mut inp = base(
+            4000,
+            3,
+            64,
+            64,
+            Guarantee::Probabilistic {
+                eps: 0.05,
+                delta: 0.05,
+            },
+        );
+        inp.dynamic_ready = true;
+        inp.dynamic_buckets = 12;
+        inp.shards = 4;
+        let p = plan(&inp);
+        for e in &p.estimates {
+            assert!(
+                matches!(
+                    e.name.as_str(),
+                    "nonzero:brute" | "nonzero:dynamic" | "quant:fresh" | "quant:merged"
+                ),
+                "unexpected sharded candidate {}",
+                e.name
+            );
+        }
+        assert!(matches!(
+            p.nonzero,
+            Some(NonzeroPlan::Brute | NonzeroPlan::Dynamic)
+        ));
+        assert!(matches!(
+            p.quant,
+            Some(QuantPlan::Exact | QuantPlan::Merged)
+        ));
     }
 
     #[test]

@@ -1,0 +1,991 @@
+//! [`ShardedEngine`]: the multi-writer serving engine.
+//!
+//! The monolithic [`Engine`](crate::Engine) funnels every mutation through
+//! one `DynamicSet` writer: concurrent `apply` calls serialize, and each
+//! effective apply clones the whole structure (O(live) entries + handle
+//! map) before publishing. This module partitions the site universe across
+//! `S` independent shards by a multiplicative hash of the stable
+//! [`SiteId`] ([`shard_of`]), each shard owning its own Bentley–Saxe
+//! [`DynamicSet`] behind its own writer mutex:
+//!
+//! * **applies to disjoint shards commit concurrently** — sub-batches run
+//!   in parallel on the worker pool, each under only its shard's writer
+//!   lock, and an apply clones only the shards it touched (O(live/S) per
+//!   touched shard instead of O(live) for the whole set);
+//! * **reads scatter-gather, bit-identically**: `NN≠0` folds per-shard
+//!   two-min-Δ triples into the global Lemma 2.1 threshold exactly as
+//!   per-bucket merging does within one set, quantification k-way-merges
+//!   per-shard `SweepSource` streams into one Eq. (2) sweep, and
+//!   expected-NN folds per-shard branch-and-bound minima (see
+//!   [`ShardedReader`] for the proofs). Answers are **bit-identical** to
+//!   the monolithic engine at every shard count — the differential suite
+//!   in `tests/sharded_differential.rs` enforces this at S ∈ {1, 3, 8};
+//! * **epoch vectors publish atomically**: each shard keeps its own epoch
+//!   (bumped only when an apply touches it), and every apply publishes one
+//!   immutable [`ShardedCore`] snapshot carrying the whole epoch vector
+//!   plus a monotone publish *generation* — in-flight readers keep the
+//!   snapshot they started on, and a reader can never observe some of a
+//!   straddling batch's shards updated and others not
+//!   (`tests/engine_epochs.rs` races this).
+//!
+//! Cache keys are stamped with the generation (which advances exactly when
+//! the shard-epoch vector changes), so stale entries become unreachable
+//! without a flush — the same trick the monolithic engine plays with its
+//! scalar epoch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+use uncertain_geom::predicates::predicate_stats;
+use uncertain_geom::Point;
+pub use uncertain_nn::dynamic::shard::shard_of;
+use uncertain_nn::dynamic::shard::ShardedReader;
+use uncertain_nn::dynamic::{DynamicSet, RebuildStats, SiteId, Update, UpdateOutcome};
+use uncertain_nn::model::DiscreteSet;
+use uncertain_nn::nonzero::nonzero_nn_discrete;
+use uncertain_nn::quantification::exact::quantification_discrete;
+use uncertain_nn::queries::Guarantee;
+use uncertain_spatial::soa::kernel_stats;
+
+use crate::cache::{CacheKey, CachedValue, QuantTag, ResultCache};
+use crate::planner::{self, NonzeroPlan, PlannerInputs, QuantPlan};
+use crate::pool::{resolve_threads, ThreadPool};
+use crate::{
+    snap, snap_center, snap_radius, BatchCounters, BatchPlan, BatchResponse, EngineConfig,
+    ExecStats, QueryRequest, QueryResult, ShardStat,
+};
+
+/// Environment override for the shard count (mirrors
+/// [`THREADS_ENV`](crate::THREADS_ENV) for workers).
+pub const SHARDS_ENV: &str = "UNC_ENGINE_SHARDS";
+
+/// Resolved shard count: `UNC_ENGINE_SHARDS` env > `requested` > detected
+/// parallelism; always at least 1.
+pub fn resolve_shards(requested: Option<usize>) -> usize {
+    if let Ok(v) = std::env::var(SHARDS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    requested
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// What one [`ShardedEngine::apply`] call did.
+#[derive(Clone, Debug)]
+pub struct ShardedApplyReport {
+    /// The publish generation the new snapshot serves under (unchanged on
+    /// a no-op apply). Monotone across applies; the cache-key "epoch".
+    pub generation: u64,
+    /// The full per-shard epoch vector after this apply — published
+    /// atomically: a concurrent reader sees either all of this apply's
+    /// shard epochs or none of them.
+    pub shard_epochs: Vec<u64>,
+    /// Shards whose epoch this apply bumped, ascending.
+    pub touched: Vec<usize>,
+    /// Ids assigned to the `Insert` updates, in update order.
+    pub inserted: Vec<SiteId>,
+    pub removed: usize,
+    pub moved: usize,
+    /// `Remove`/`Move` updates whose id was unknown or already removed.
+    pub missed: usize,
+    /// Live sites across all shards after this apply.
+    pub live: usize,
+    /// Tombstones still buried across all shards after this apply.
+    pub tombstones: usize,
+    /// Bucket merges this apply triggered (summed over touched shards).
+    pub merges: u64,
+    /// Global compacting rebuilds this apply triggered.
+    pub global_rebuilds: u64,
+    /// Σ bucket sizes rebuilt during this apply.
+    pub sites_rebuilt: u64,
+}
+
+/// One shard's mutable master copy. Only `apply` touches it, under the
+/// shard's own mutex; readers serve from the immutable snapshots in the
+/// current [`ShardedCore`].
+struct ShardWriter {
+    set: DynamicSet,
+    /// Bumped on every effective apply to this shard.
+    epoch: u64,
+}
+
+/// One immutable snapshot: per-shard set snapshots (shared with in-flight
+/// batches via `Arc`), the atomically-published epoch vector, and the
+/// usual lazily-materialized flat views.
+struct ShardedCore {
+    /// Monotone publish counter — advances exactly when the shard-epoch
+    /// vector changes, so it is a collision-free cache stamp for the whole
+    /// vector.
+    generation: u64,
+    /// Per-shard epochs, index = shard. Readers observe this vector
+    /// atomically (it is immutable within one core).
+    epochs: Arc<Vec<u64>>,
+    reader: ShardedReader,
+    /// Live-site count across shards (cheap shape summary).
+    n: usize,
+    /// Flat union set / id map / planner shape, materialized lazily by the
+    /// first consumer (applies must stay O(batch + carry), exactly like
+    /// the monolithic core).
+    set: OnceLock<DiscreteSet>,
+    ids: OnceLock<Arc<Vec<SiteId>>>,
+    shape: OnceLock<(usize, usize, f64)>,
+    config: EngineConfig,
+    /// Shared across generations; generation-stamped keys keep entries
+    /// from crossing snapshots.
+    cache: Arc<ResultCache>,
+}
+
+impl ShardedCore {
+    /// The flat union set, densely indexed in ascending-id order.
+    fn set(&self) -> &DiscreteSet {
+        self.set.get_or_init(|| self.reader.live_set())
+    }
+
+    /// Dense index → stable site id, ascending.
+    fn ids(&self) -> &Arc<Vec<SiteId>> {
+        self.ids.get_or_init(|| Arc::new(self.reader.live_ids()))
+    }
+
+    /// `(total locations, max k, weight spread)` of the live union.
+    fn shape(&self) -> (usize, usize, f64) {
+        *self.shape.get_or_init(|| self.reader.live_shape())
+    }
+
+    /// Per-shard `(epoch, live, tombstones)` rows for [`ExecStats`].
+    fn shard_stats(&self) -> Vec<ShardStat> {
+        self.reader
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(s, d)| ShardStat {
+                shard: s,
+                epoch: self.epochs[s],
+                live: d.len(),
+                tombstones: d.tombstones(),
+            })
+            .collect()
+    }
+}
+
+/// The per-batch execution context. Sharded serving only ever runs the
+/// partition-independent exact strategies (the planner gates the rest), so
+/// there is nothing to lazily build and no `Arc`s to pin: workers read the
+/// shared core.
+#[derive(Clone, Copy)]
+struct SPrepared {
+    nonzero: Option<NonzeroPlan>,
+    quant: Option<QuantPlan>,
+}
+
+/// The sharded serving engine. See the [module docs](self) for the
+/// concurrency model and the bit-identity guarantee.
+pub struct ShardedEngine {
+    /// Per-shard mutable masters. `Arc` so parallel sub-batch jobs on the
+    /// pool can borrow them `'static`-ly.
+    writers: Arc<Vec<Mutex<ShardWriter>>>,
+    /// The current snapshot; readers clone the `Arc` and drop the lock.
+    core: RwLock<Arc<ShardedCore>>,
+    /// Serializes snapshot publication (not shard mutation): concurrent
+    /// applies run their sub-batches in parallel and only queue here for
+    /// the final read-modify-write of the core pointer.
+    publish_lock: Mutex<()>,
+    pool: ThreadPool,
+    /// Global id allocator: inserts claim ids here *before* partitioning,
+    /// so concurrent applies never collide and every id maps to exactly
+    /// one shard for its lifetime.
+    next_id: AtomicUsize,
+}
+
+/// What one shard's sub-batch did (sent back from pool workers).
+struct ShardOutcome {
+    shard: usize,
+    outcome: UpdateOutcome,
+    /// The shard's epoch after the sub-batch (bumped only if effective).
+    epoch: u64,
+    effective: bool,
+    /// Immutable snapshot of the shard taken right after mutation — only
+    /// present when effective (ineffective sub-batches change nothing, so
+    /// the published snapshot stays valid).
+    snap: Option<Arc<DynamicSet>>,
+    live: usize,
+    tombstones: usize,
+    delta: RebuildStats,
+}
+
+/// Applies one shard's sub-batch under that shard's writer lock, inside a
+/// shard-suffixed span (`engine.apply.shard3`).
+fn apply_shard(
+    writers: &[Mutex<ShardWriter>],
+    shard: usize,
+    updates: &[Update],
+    insert_ids: &[SiteId],
+) -> ShardOutcome {
+    let _span = uncertain_obs::span_dyn(&format!("engine.apply.shard{shard}"));
+    let mut w = writers[shard].lock().unwrap();
+    let before = w.set.stats().rebuild;
+    // A fully-missed sub-batch leaves the structure untouched (missed
+    // removes/moves mutate nothing, and there are no inserts), so running
+    // it directly on the master is safe and needs no pre-check.
+    let outcome = w.set.apply_with_insert_ids(updates, insert_ids);
+    let effective = !(outcome.inserted.is_empty() && outcome.removed == 0 && outcome.moved == 0);
+    let snap = if effective {
+        w.epoch += 1;
+        Some(Arc::new(w.set.clone()))
+    } else {
+        None
+    };
+    ShardOutcome {
+        shard,
+        epoch: w.epoch,
+        effective,
+        live: w.set.len(),
+        tombstones: w.set.tombstones(),
+        delta: w.set.stats().rebuild.since(&before),
+        snap,
+        outcome,
+    }
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine over `set`. Sites receive the stable ids
+    /// `0..set.len()` in input order (identical to the monolithic engine)
+    /// and land in shard [`shard_of`]`(id, S)`; the shard count resolves
+    /// via [`resolve_shards`] from `config.shards`.
+    pub fn new(set: DiscreteSet, config: EngineConfig) -> Self {
+        let shards = resolve_shards(config.shards);
+        let threads = resolve_threads(config.threads);
+        let n = set.len();
+        // Partition the initial sites; each shard bulk-loads its slice in
+        // one batch (a single Bentley–Saxe carry per shard).
+        let mut parts: Vec<(Vec<Update>, Vec<SiteId>)> =
+            (0..shards).map(|_| default_part()).collect();
+        for (id, p) in set.points.iter().enumerate() {
+            let (ups, ids) = &mut parts[shard_of(id, shards)];
+            ups.push(Update::Insert(p.clone()));
+            ids.push(id);
+        }
+        let writers: Vec<Mutex<ShardWriter>> = parts
+            .into_iter()
+            .map(|(ups, ids)| {
+                let mut d = DynamicSet::new(config.dynamic);
+                d.apply_with_insert_ids(&ups, &ids);
+                Mutex::new(ShardWriter { set: d, epoch: 0 })
+            })
+            .collect();
+        let snaps: Vec<Arc<DynamicSet>> = writers
+            .iter()
+            .map(|w| Arc::new(w.lock().unwrap().set.clone()))
+            .collect();
+        let spread = if set.is_empty() { 1.0 } else { set.spread() };
+        let core = Arc::new(ShardedCore {
+            generation: 0,
+            epochs: Arc::new(vec![0; shards]),
+            reader: ShardedReader::new(snaps),
+            n,
+            ids: OnceLock::from(Arc::new((0..n).collect())),
+            shape: OnceLock::from((set.total_locations(), set.max_k(), spread)),
+            cache: Arc::new(ResultCache::new(config.cache_capacity, config.cache_grid)),
+            config,
+            set: OnceLock::from(set),
+        });
+        ShardedEngine {
+            writers: Arc::new(writers),
+            core: RwLock::new(core),
+            publish_lock: Mutex::new(()),
+            pool: ThreadPool::new(threads),
+            next_id: AtomicUsize::new(n),
+        }
+    }
+
+    fn snapshot(&self) -> Arc<ShardedCore> {
+        self.core.read().unwrap().clone()
+    }
+
+    /// Resolved shard count.
+    pub fn num_shards(&self) -> usize {
+        self.writers.len()
+    }
+
+    /// Resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// The current publish generation (the sharded analog of
+    /// [`Engine::epoch`](crate::Engine::epoch); 0 until the first
+    /// effective apply).
+    pub fn generation(&self) -> u64 {
+        self.snapshot().generation
+    }
+
+    /// One atomic observation of `(generation, per-shard epoch vector)` —
+    /// both read from the same immutable snapshot, never torn across a
+    /// concurrent apply's publication.
+    pub fn shard_epochs(&self) -> (u64, Vec<u64>) {
+        let core = self.snapshot();
+        (core.generation, core.epochs.as_ref().clone())
+    }
+
+    /// Per-shard `(epoch, live, tombstones)` rows of the current snapshot.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        self.snapshot().shard_stats()
+    }
+
+    /// Live sites across all shards.
+    pub fn len(&self) -> usize {
+        self.snapshot().n
+    }
+
+    /// Whether no sites are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The surviving sites, densely in ascending-id order (the same view
+    /// the monolithic engine serves).
+    pub fn live_set(&self) -> DiscreteSet {
+        self.snapshot().set().clone()
+    }
+
+    /// Stable ids of the live sites, ascending.
+    pub fn site_ids(&self) -> Vec<SiteId> {
+        self.snapshot().ids().as_ref().clone()
+    }
+
+    /// Current number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.snapshot().cache.len()
+    }
+
+    /// Applies a batch of site updates and atomically publishes a new
+    /// snapshot carrying the updated shard-epoch vector.
+    ///
+    /// The batch is partitioned by [`shard_of`] (inserts claim their id
+    /// from the global allocator first, in update order); sub-batches for
+    /// distinct shards run **concurrently** on the worker pool, each under
+    /// only its shard's writer lock, and each effective sub-batch clones
+    /// only its own shard (O(live/S)). Concurrent `apply` calls therefore
+    /// proceed in parallel when they touch disjoint shards and serialize
+    /// per shard otherwise; publication is a short read-modify-write of
+    /// the core pointer with per-shard monotonic-epoch guards, so racing
+    /// publications can interleave in any order without losing or
+    /// reverting a shard.
+    ///
+    /// A no-op apply (empty batch, or every update missed) returns the
+    /// current generation and publishes nothing — warm cache entries
+    /// survive, exactly like the monolithic engine.
+    pub fn apply(&self, updates: &[Update]) -> ShardedApplyReport {
+        let _span = uncertain_obs::span!("engine.apply");
+        uncertain_obs::counter!("engine.apply.updates").add(updates.len() as u64);
+        let shards = self.writers.len();
+        let num_inserts = updates
+            .iter()
+            .filter(|u| matches!(u, Update::Insert(_)))
+            .count();
+        let base = self.next_id.fetch_add(num_inserts, Ordering::Relaxed);
+        let mut parts: Vec<(Vec<Update>, Vec<SiteId>)> =
+            (0..shards).map(|_| default_part()).collect();
+        let mut next = base;
+        for u in updates {
+            let id = match u {
+                Update::Insert(_) => {
+                    let id = next;
+                    next += 1;
+                    let (ups, ids) = &mut parts[shard_of(id, shards)];
+                    ups.push(u.clone());
+                    ids.push(id);
+                    continue;
+                }
+                Update::Remove(id) | Update::Move { id, .. } => *id,
+            };
+            parts[shard_of(id, shards)].0.push(u.clone());
+        }
+
+        let touched: Vec<usize> = (0..shards).filter(|&s| !parts[s].0.is_empty()).collect();
+        let results: Vec<ShardOutcome> = if touched.len() > 1 && self.pool.len() > 1 {
+            let (tx, rx) = std::sync::mpsc::channel();
+            for &s in &touched {
+                let writers = Arc::clone(&self.writers);
+                let (ups, ids) = std::mem::take(&mut parts[s]);
+                let tx = tx.clone();
+                self.pool.execute(move || {
+                    let _ = tx.send(apply_shard(&writers, s, &ups, &ids));
+                });
+            }
+            drop(tx);
+            rx.iter().collect()
+        } else {
+            touched
+                .iter()
+                .map(|&s| {
+                    let (ups, ids) = std::mem::take(&mut parts[s]);
+                    apply_shard(&self.writers, s, &ups, &ids)
+                })
+                .collect()
+        };
+
+        let mut report = ShardedApplyReport {
+            generation: 0,
+            shard_epochs: vec![],
+            touched: vec![],
+            inserted: (base..next).collect(),
+            removed: 0,
+            moved: 0,
+            missed: 0,
+            live: 0,
+            tombstones: 0,
+            merges: 0,
+            global_rebuilds: 0,
+            sites_rebuilt: 0,
+        };
+        for r in &results {
+            report.removed += r.outcome.removed;
+            report.moved += r.outcome.moved;
+            report.missed += r.outcome.missed;
+            report.merges += r.delta.merges;
+            report.global_rebuilds += r.delta.global_rebuilds;
+            report.sites_rebuilt += r.delta.sites_rebuilt;
+            if r.effective {
+                report.touched.push(r.shard);
+            }
+        }
+        report.touched.sort_unstable();
+
+        if report.touched.is_empty() {
+            // Nothing changed anywhere: keep the published snapshot (and
+            // every warm cache entry keyed to its generation).
+            let core = self.snapshot();
+            report.generation = core.generation;
+            report.shard_epochs = core.epochs.as_ref().clone();
+            report.live = core.n;
+            report.tombstones = core.reader.tombstones();
+            return report;
+        }
+
+        // Publish: replace exactly the touched shards' snapshots, guarded
+        // per shard by epoch monotonicity (a racing apply that already
+        // published a later epoch for a shard must not be reverted by our
+        // older snapshot arriving late).
+        {
+            let _publish = self.publish_lock.lock().unwrap();
+            let old = self.core.read().unwrap().clone();
+            let mut sets: Vec<Arc<DynamicSet>> = old.reader.shards().to_vec();
+            let mut epochs = (*old.epochs).clone();
+            let mut changed = false;
+            for r in results.iter().filter(|r| r.effective) {
+                if r.epoch > epochs[r.shard] {
+                    epochs[r.shard] = r.epoch;
+                    sets[r.shard] = r.snap.clone().expect("effective outcomes carry a snapshot");
+                    changed = true;
+                }
+            }
+            let core = if changed {
+                let reader = ShardedReader::new(sets);
+                let core = Arc::new(ShardedCore {
+                    generation: old.generation + 1,
+                    epochs: Arc::new(epochs),
+                    n: reader.len(),
+                    reader,
+                    set: OnceLock::new(),
+                    ids: OnceLock::new(),
+                    shape: OnceLock::new(),
+                    config: old.config,
+                    cache: Arc::clone(&old.cache),
+                });
+                *self.core.write().unwrap() = Arc::clone(&core);
+                core
+            } else {
+                // Every effective sub-batch was superseded by a racing
+                // apply's later publication; the current snapshot already
+                // reflects newer state for all our shards.
+                old
+            };
+            report.generation = core.generation;
+            report.shard_epochs = core.epochs.as_ref().clone();
+            report.live = core.n;
+            report.tombstones = core.reader.tombstones();
+        }
+
+        uncertain_obs::counter!("engine.apply.effective").inc();
+        uncertain_obs::gauge!("engine.epoch").set(report.generation as f64);
+        uncertain_obs::gauge!("engine.live_sites").set(report.live as f64);
+        uncertain_obs::gauge!("engine.tombstones").set(report.tombstones as f64);
+        let registry = uncertain_obs::registry();
+        for r in results.iter().filter(|r| r.effective) {
+            let s = r.shard;
+            registry
+                .gauge(&format!("engine.epoch.shard{s}"))
+                .set(r.epoch as f64);
+            registry
+                .gauge(&format!("engine.live_sites.shard{s}"))
+                .set(r.live as f64);
+            registry
+                .gauge(&format!("engine.tombstones.shard{s}"))
+                .set(r.tombstones as f64);
+        }
+        report
+    }
+
+    /// Plans and executes one batch. Identical request/response semantics
+    /// to [`Engine::run_batch`](crate::Engine::run_batch) — and identical
+    /// answer bits — with [`ExecStats::shard_stats`] filled in and
+    /// [`ExecStats::epoch`] carrying the publish generation.
+    pub fn run_batch(&self, requests: &[QueryRequest]) -> BatchResponse {
+        let t0 = Instant::now();
+        let spans_before = uncertain_obs::registry().span_totals();
+        let core = self.snapshot();
+        let predicates_before = predicate_stats();
+        let kernels_before = kernel_stats();
+        let nonzero_count = requests.iter().filter(|r| r.is_nonzero()).count();
+        let plan = {
+            let _s = uncertain_obs::span!("engine.batch.plan");
+            plan_for_sharded(&core, nonzero_count, requests.len() - nonzero_count)
+        };
+        let prepared = SPrepared {
+            nonzero: plan.nonzero,
+            quant: plan.quant,
+        };
+        let counters = Arc::new(BatchCounters::default());
+
+        let (results, worker_busy) = if requests.is_empty() {
+            (vec![], vec![])
+        } else if self.pool.len() == 1 || requests.len() == 1 {
+            let e0 = Instant::now();
+            let results = requests
+                .iter()
+                .map(|r| exec_one(&core, prepared, *r, &counters))
+                .collect();
+            (results, vec![e0.elapsed()])
+        } else {
+            let chunk_len = requests.len().div_ceil(self.pool.len());
+            let (rtx, rrx) = std::sync::mpsc::channel();
+            let mut jobs = 0usize;
+            for (ji, chunk) in requests.chunks(chunk_len).enumerate() {
+                let core = Arc::clone(&core);
+                let counters = Arc::clone(&counters);
+                let chunk: Vec<QueryRequest> = chunk.to_vec();
+                let rtx = rtx.clone();
+                self.pool.execute(move || {
+                    let e0 = Instant::now();
+                    let out: Vec<QueryResult> = chunk
+                        .iter()
+                        .map(|r| exec_one(&core, prepared, *r, &counters))
+                        .collect();
+                    let _ = rtx.send((ji, out, e0.elapsed()));
+                });
+                jobs += 1;
+            }
+            drop(rtx);
+            let mut buf: Vec<Option<Vec<QueryResult>>> = (0..jobs).map(|_| None).collect();
+            let mut busy = vec![Duration::ZERO; jobs];
+            for (ji, out, dt) in rrx {
+                buf[ji] = Some(out);
+                busy[ji] = dt;
+            }
+            let results = buf
+                .into_iter()
+                .flat_map(|s| s.expect("a batch job panicked (e.g. a NaN query coordinate)"))
+                .collect();
+            (results, busy)
+        };
+
+        let wall = t0.elapsed();
+        uncertain_obs::histogram!("engine.batch.wall").record(wall.as_nanos() as u64);
+        uncertain_obs::counter!("engine.batch.requests").add(requests.len() as u64);
+        crate::record_planner_observation(&plan, requests.len(), worker_busy.iter().sum());
+        let spans =
+            uncertain_obs::span_delta(&spans_before, &uncertain_obs::registry().span_totals());
+        let predicates = predicate_stats().since(&predicates_before);
+        let kernels = kernel_stats().since(&kernels_before);
+        BatchResponse {
+            results,
+            stats: ExecStats {
+                nonzero_guarantee: (nonzero_count > 0).then_some(Guarantee::Exact),
+                plan,
+                built: vec![],
+                wall,
+                batch_len: requests.len(),
+                cache_hits: counters.hits.load(Ordering::Relaxed),
+                cache_misses: counters.misses.load(Ordering::Relaxed),
+                workers: self.pool.len(),
+                epoch: core.generation,
+                live_sites: core.n,
+                tombstones: core.reader.tombstones(),
+                shard_stats: core.shard_stats(),
+                worker_busy,
+                predicate_filter_hits: predicates.filter_hits,
+                predicate_exact_fallbacks: predicates.exact_fallbacks,
+                kernel_lane_dists: kernels.lane_dists,
+                kernel_scalar_dists: kernels.scalar_dists,
+                quant_merged_evals: counters.quant_merged.load(Ordering::Relaxed),
+                quant_fresh_evals: counters.quant_fresh.load(Ordering::Relaxed),
+                quant_bucket_touches: counters.bucket_touches.load(Ordering::Relaxed),
+                quant_bucket_warm: counters.bucket_warm.load(Ordering::Relaxed),
+                spans,
+            },
+        }
+    }
+}
+
+fn default_part() -> (Vec<Update>, Vec<SiteId>) {
+    (vec![], vec![])
+}
+
+/// Sharded planner inputs: always dynamic-ready (every shard is a warm
+/// Bentley–Saxe structure from construction), bucket fan-out summed across
+/// shards, `shards ≥ 1` so only the partition-independent exact candidates
+/// are priced.
+fn plan_for_sharded(core: &ShardedCore, nonzero_count: usize, quant_count: usize) -> BatchPlan {
+    let (total_locations, max_k, spread) = core.shape();
+    let (_, quant_cold) = core.reader.quant_summary_state();
+    planner::plan(&PlannerInputs {
+        n: core.n,
+        total_locations,
+        max_k,
+        spread,
+        nonzero_count,
+        quant_count,
+        guarantee: core.config.guarantee,
+        diagram_cap: 0,
+        index_built: false,
+        diagram_built: false,
+        spiral_built: false,
+        mc_built_samples: None,
+        dynamic_ready: true,
+        dynamic_buckets: core.reader.bucket_count(),
+        dynamic_quant_cold_locations: quant_cold,
+        quant_snapped: core.cache.grid() > 0.0,
+        shards: core.reader.num_shards(),
+    })
+}
+
+fn exec_one(
+    core: &ShardedCore,
+    prepared: SPrepared,
+    req: QueryRequest,
+    counters: &BatchCounters,
+) -> QueryResult {
+    match req {
+        QueryRequest::Nonzero { q } => {
+            let _trace = uncertain_obs::trace::start("nonzero");
+            let plan = prepared.nonzero.expect("nonzero plan");
+            let key = CacheKey::nonzero(core.generation, q);
+            if core.cache.enabled() {
+                if let Some(CachedValue::Nonzero(ids)) = core.cache.get(&key) {
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return QueryResult::Nonzero(ids.as_ref().clone());
+                }
+                counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let _exec = match plan {
+                NonzeroPlan::Dynamic => uncertain_obs::span!("engine.exec.nonzero.dynamic"),
+                _ => uncertain_obs::span!("engine.exec.nonzero.brute"),
+            };
+            let mut ids = match plan {
+                // Scatter-gather over the per-shard bucket structures —
+                // already in stable site ids.
+                NonzeroPlan::Dynamic => core.reader.nonzero(q),
+                // Brute over the flat union (the planner never picks the
+                // monolithic-only static plans when shards ≥ 1).
+                _ => {
+                    let ids = core.ids();
+                    nonzero_nn_discrete(core.set(), q)
+                        .into_iter()
+                        .map(|dense| ids[dense])
+                        .collect()
+                }
+            };
+            ids.sort_unstable();
+            core.cache
+                .insert(key, CachedValue::Nonzero(Arc::new(ids.clone())));
+            QueryResult::Nonzero(ids)
+        }
+        QueryRequest::Threshold { q, tau } => {
+            let _trace = uncertain_obs::trace::start("threshold");
+            let (pi, guarantee) = quant_vector(core, prepared, q, counters);
+            let slack = guarantee.slack();
+            let mut items: Vec<(usize, f64)> = pi
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, p)| p >= tau - slack)
+                .collect();
+            crate::sort_ranked(&mut items);
+            map_ranked(core, &mut items);
+            QueryResult::Ranked { items, guarantee }
+        }
+        QueryRequest::TopK { q, k } => {
+            let _trace = uncertain_obs::trace::start("topk");
+            let (pi, guarantee) = quant_vector(core, prepared, q, counters);
+            let mut items: Vec<(usize, f64)> = pi
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, p)| p > 0.0)
+                .collect();
+            crate::sort_ranked(&mut items);
+            items.truncate(k);
+            map_ranked(core, &mut items);
+            QueryResult::Ranked { items, guarantee }
+        }
+    }
+}
+
+/// Rewrites dense indices to stable site ids, after sorting (the map is
+/// monotone, so the tie order is unchanged).
+fn map_ranked(core: &ShardedCore, items: &mut [(usize, f64)]) {
+    let ids = core.ids();
+    for (i, _) in items.iter_mut() {
+        *i = ids[*i];
+    }
+}
+
+/// The cached sharded quantification path. Both candidates are exact and
+/// bit-identical (the k-way merge reproduces the fresh sweep's entry
+/// sequence — see [`ShardedReader::quantification_merged`]), so they share
+/// the `Exact` cache tag; with a snap grid the answer is the certified
+/// interval evaluation over the flat union at the cell center, exactly as
+/// in the monolithic engine.
+fn quant_vector(
+    core: &ShardedCore,
+    prepared: SPrepared,
+    q: Point,
+    counters: &BatchCounters,
+) -> (Arc<Vec<f64>>, Guarantee) {
+    let plan = prepared.quant.expect("quant plan");
+    let grid = core.cache.grid();
+    let snapped = grid > 0.0;
+    let key = CacheKey::quant(
+        core.generation,
+        q,
+        if snapped { grid } else { 0.0 },
+        QuantTag::Exact,
+    );
+    if core.cache.enabled() {
+        if let Some(CachedValue::Quant { pi, guarantee }) = core.cache.get(&key) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return (pi, guarantee);
+        }
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+    }
+    let (pi, guarantee) = if snapped {
+        let _exec = uncertain_obs::span!("engine.exec.quant.snapped");
+        let center = snap_center(q, grid);
+        let (mid, halfwidth) = snap::interval_quantification(core.set(), center, snap_radius(grid));
+        let g = if halfwidth > 0.0 {
+            Guarantee::Additive(halfwidth)
+        } else {
+            Guarantee::Exact
+        };
+        (mid, g)
+    } else {
+        let _exec = match plan {
+            QuantPlan::Merged => uncertain_obs::span!("engine.exec.quant.merged"),
+            _ => uncertain_obs::span!("engine.exec.quant.fresh"),
+        };
+        let pi = match plan {
+            QuantPlan::Merged => {
+                let (pairs, st) = core.reader.quantification_merged_with_stats(q);
+                counters.quant_merged.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .bucket_touches
+                    .fetch_add(st.buckets, Ordering::Relaxed);
+                counters
+                    .bucket_warm
+                    .fetch_add(st.warm_buckets, Ordering::Relaxed);
+                pairs.into_iter().map(|(_, p)| p).collect()
+            }
+            _ => {
+                counters.quant_fresh.fetch_add(1, Ordering::Relaxed);
+                quantification_discrete(core.set(), q)
+            }
+        };
+        (pi, Guarantee::Exact)
+    };
+    let pi = Arc::new(pi);
+    core.cache.insert(
+        key,
+        CachedValue::Quant {
+            pi: Arc::clone(&pi),
+            guarantee,
+        },
+    );
+    (pi, guarantee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use uncertain_nn::model::DiscreteUncertainPoint;
+    use uncertain_nn::workload;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn sharded_engine_is_send_sync() {
+        assert_send_sync::<ShardedEngine>();
+    }
+
+    fn config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards: Some(shards),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn mixed_batch(queries: &[Point]) -> Vec<QueryRequest> {
+        let mut batch = vec![];
+        for &q in queries {
+            batch.push(QueryRequest::Nonzero { q });
+            batch.push(QueryRequest::Threshold { q, tau: 0.2 });
+            batch.push(QueryRequest::TopK { q, k: 4 });
+        }
+        batch
+    }
+
+    /// The headline guarantee, in-crate: identical answer bits to the
+    /// monolithic engine at several shard counts, before and after
+    /// shard-straddling updates. (`tests/sharded_differential.rs` runs the
+    /// randomized-op-sequence version of this.)
+    #[test]
+    fn sharded_answers_are_bit_identical_to_monolithic() {
+        let set = workload::random_discrete_set(80, 3, 6.0, 11);
+        let queries = workload::random_queries(12, 60.0, 13);
+        let batch = mixed_batch(&queries);
+        let updates = vec![
+            Update::Remove(3),
+            Update::Insert(DiscreteUncertainPoint::certain(Point::new(0.5, -0.25))),
+            Update::Remove(41),
+            Update::Move {
+                id: 17,
+                to: DiscreteUncertainPoint::certain(Point::new(-4.0, 2.0)),
+            },
+            Update::Insert(DiscreteUncertainPoint::certain(Point::new(9.0, 9.0))),
+        ];
+
+        let mono = Engine::new(set.clone(), EngineConfig::default());
+        let mono_before = mono.run_batch(&batch);
+        let mono_report = mono.apply(&updates);
+        let mono_after = mono.run_batch(&batch);
+
+        for shards in [1, 4] {
+            let sharded = ShardedEngine::new(set.clone(), config(shards));
+            assert_eq!(sharded.num_shards(), shards);
+            assert_eq!(sharded.run_batch(&batch).results, mono_before.results);
+            let report = sharded.apply(&updates);
+            assert_eq!(report.inserted, mono_report.inserted);
+            assert_eq!(report.removed, mono_report.removed);
+            assert_eq!(report.moved, mono_report.moved);
+            assert_eq!(report.live, mono_report.live);
+            let resp = sharded.run_batch(&batch);
+            assert_eq!(resp.results, mono_after.results);
+            // Per-shard serving state is reported for every shard.
+            assert_eq!(resp.stats.shard_stats.len(), shards);
+            assert_eq!(
+                resp.stats.shard_stats.iter().map(|s| s.live).sum::<usize>(),
+                mono_report.live
+            );
+        }
+    }
+
+    #[test]
+    fn straddling_apply_bumps_only_touched_shards_and_one_generation() {
+        let set = workload::random_discrete_set(60, 3, 6.0, 7);
+        let eng = ShardedEngine::new(set, config(4));
+        let (g0, e0) = eng.shard_epochs();
+        assert_eq!((g0, e0.as_slice()), (0, &[0u64; 4][..]));
+
+        // Remove two sites in (generally) different shards.
+        let report = eng.apply(&[Update::Remove(0), Update::Remove(1)]);
+        assert_eq!(report.generation, 1);
+        assert_eq!(
+            report.touched,
+            vec![shard_of(0, 4), shard_of(1, 4)]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+        let (g1, e1) = eng.shard_epochs();
+        assert_eq!(g1, 1);
+        for (s, &epoch) in e1.iter().enumerate() {
+            let expect = if report.touched.contains(&s) { 1 } else { 0 };
+            assert_eq!(epoch, expect, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn noop_apply_keeps_generation_and_cache() {
+        let set = workload::random_discrete_set(40, 3, 6.0, 5);
+        let eng = ShardedEngine::new(set, config(3));
+        let q = Point::new(1.0, 1.0);
+        let batch = [QueryRequest::Nonzero { q }];
+        eng.run_batch(&batch);
+        let cached = eng.cache_len();
+        assert!(cached > 0);
+        // Every update misses: dead/unknown ids only.
+        let report = eng.apply(&[Update::Remove(999), Update::Remove(777)]);
+        assert_eq!(report.generation, 0);
+        assert_eq!(report.missed, 2);
+        assert!(report.touched.is_empty());
+        let resp = eng.run_batch(&batch);
+        assert_eq!(resp.stats.cache_hits, 1);
+        assert_eq!(eng.cache_len(), cached);
+    }
+
+    #[test]
+    fn display_prints_fixed_columns_and_per_shard_summaries() {
+        let set = workload::random_discrete_set(30, 3, 6.0, 3);
+        let eng = ShardedEngine::new(set, config(3));
+        let q = Point::new(0.0, 0.0);
+        let stats = eng.run_batch(&[QueryRequest::Nonzero { q }]).stats;
+        let line = stats.to_string();
+        // All columns present even when zero, plus one token per shard.
+        for needle in ["epoch=0", "tomb=0", "shard0=0/", "shard1=0/", "shard2=0/"] {
+            assert!(line.contains(needle), "missing {needle:?} in {line:?}");
+        }
+        // Monolithic batches print the same fixed columns, no shard tokens.
+        let mono = Engine::new(
+            workload::random_discrete_set(10, 2, 4.0, 1),
+            EngineConfig::default(),
+        );
+        let line = mono
+            .run_batch(&[QueryRequest::Nonzero { q }])
+            .stats
+            .to_string();
+        assert!(
+            line.contains("tomb=0") && !line.contains("shard0="),
+            "{line:?}"
+        );
+    }
+
+    #[test]
+    fn resolve_shards_prefers_requested_and_floors_at_one() {
+        // Can't touch the env var here (tests run concurrently), but the
+        // non-env precedence is deterministic.
+        if std::env::var(SHARDS_ENV).is_err() {
+            assert_eq!(resolve_shards(Some(7)), 7);
+            assert_eq!(resolve_shards(Some(0)), 1);
+            assert!(resolve_shards(None) >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_engine_serves_and_grows() {
+        let eng = ShardedEngine::new(DiscreteSet::new(vec![]), config(3));
+        assert!(eng.is_empty());
+        let q = Point::new(0.0, 0.0);
+        let resp = eng.run_batch(&mixed_batch(&[q]));
+        assert_eq!(resp.results[0], QueryResult::Nonzero(vec![]));
+        let report = eng.apply(&[Update::Insert(DiscreteUncertainPoint::certain(q))]);
+        assert_eq!(report.inserted, vec![0]);
+        assert_eq!(report.live, 1);
+        let resp = eng.run_batch(&mixed_batch(&[q]));
+        assert_eq!(resp.results[0], QueryResult::Nonzero(vec![0]));
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::sync::Mutex;
 
+use uncertain_engine::shard::{shard_of, ShardedEngine};
 use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, Update};
 use uncertain_geom::Point;
 use uncertain_nn::model::{DiscreteSet, DiscreteUncertainPoint};
@@ -215,6 +216,152 @@ fn cache_hits_never_serve_a_dead_epoch() {
     let warm2 = engine.run_batch(&batch);
     assert_eq!(warm2.stats.cache_hits, batch.len());
     assert_eq!(warm2.results, fresh.results);
+}
+
+/// A `ShardedEngine` apply whose batch straddles k shards must publish all
+/// k shard epochs **atomically** with respect to in-flight readers: every
+/// observed `(generation, epoch vector)` — whether via `shard_epochs()` or
+/// a batch's `ExecStats` — must be exactly one the writer published, never
+/// a torn mix of two publications.
+#[test]
+fn straddling_batches_publish_all_shard_epochs_atomically() {
+    let set = workload::random_discrete_set(40, 3, 6.0, 601);
+    let engine = ShardedEngine::new(
+        set,
+        EngineConfig {
+            shards: Some(4),
+            threads: Some(4),
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.num_shards(), 4);
+    let q = Point::new(0.25, -0.75);
+    // Every (generation, epoch vector) the writer has published. The
+    // writer records synchronously (holding the lock across the apply)
+    // before readers can observe the new snapshot, so lookups never miss.
+    let published = Mutex::new(vec![engine.shard_epochs()]);
+    let mut straddled = 0usize;
+
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let published = &published;
+        let mut readers = vec![];
+        for _ in 0..3 {
+            readers.push(scope.spawn(move || {
+                for _ in 0..30 {
+                    let (generation, epochs) = engine.shard_epochs();
+                    {
+                        let published = published.lock().unwrap();
+                        assert!(
+                            published
+                                .iter()
+                                .any(|(g, e)| *g == generation && e == &epochs),
+                            "torn epoch vector: generation {generation} epochs {epochs:?}"
+                        );
+                    }
+                    let resp = engine.run_batch(&[QueryRequest::Nonzero { q }]);
+                    let stats_epochs: Vec<u64> =
+                        resp.stats.shard_stats.iter().map(|s| s.epoch).collect();
+                    let published = published.lock().unwrap();
+                    assert!(
+                        published
+                            .iter()
+                            .any(|(g, e)| *g == resp.stats.epoch && e == &stats_epochs),
+                        "batch served torn epoch vector: generation {} epochs {stats_epochs:?}",
+                        resp.stats.epoch
+                    );
+                }
+            }));
+        }
+        for round in 0..10 {
+            let live = engine.site_ids();
+            let updates = churn_updates(round, &live);
+            let mut guard = published.lock().unwrap();
+            let report = engine.apply(&updates);
+            if report.touched.len() >= 2 {
+                straddled += 1;
+            }
+            guard.push((report.generation, report.shard_epochs.clone()));
+            drop(guard);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+    // The scenario actually exercised multi-shard publication.
+    assert!(
+        straddled >= 2,
+        "expected several straddling applies, got {straddled}"
+    );
+}
+
+/// Two concurrent appliers touching **disjoint** shards both commit: no
+/// update is lost or reverted by the racing publications, and the final
+/// answers are bit-identical to a monolithic engine that applied the same
+/// updates serially (disjoint-shard updates commute).
+#[test]
+fn concurrent_disjoint_shard_appliers_both_commit() {
+    let n = 60usize;
+    let shards = 4usize;
+    let set = workload::random_discrete_set(n, 3, 6.0, 602);
+    let engine = ShardedEngine::new(
+        set.clone(),
+        EngineConfig {
+            shards: Some(shards),
+            threads: Some(4),
+            ..EngineConfig::default()
+        },
+    );
+    // Partition the initial ids by their shard; the two appliers remove
+    // sites from different shards only.
+    let mut by_shard: Vec<Vec<usize>> = vec![vec![]; shards];
+    for id in 0..n {
+        by_shard[shard_of(id, shards)].push(id);
+    }
+    let (sa, sb) = (0usize, 1usize);
+    let batch_a: Vec<Update> = by_shard[sa]
+        .iter()
+        .take(4)
+        .map(|&id| Update::Remove(id))
+        .collect();
+    let batch_b: Vec<Update> = by_shard[sb]
+        .iter()
+        .take(4)
+        .map(|&id| Update::Remove(id))
+        .collect();
+    assert!(!batch_a.is_empty() && !batch_b.is_empty());
+
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let a = scope.spawn(move || engine.apply(&batch_a));
+        let b = scope.spawn(move || engine.apply(&batch_b));
+        let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+        assert_eq!(ra.missed + rb.missed, 0, "concurrent applies lost updates");
+        assert_eq!(ra.touched, vec![sa]);
+        assert_eq!(rb.touched, vec![sb]);
+    });
+
+    let (_, epochs) = engine.shard_epochs();
+    assert_eq!(epochs[sa], 1);
+    assert_eq!(epochs[sb], 1);
+
+    // Bit-identical end state vs a monolithic engine applying both batches.
+    let mono = Engine::new(set, EngineConfig::default());
+    let all: Vec<Update> = by_shard[sa]
+        .iter()
+        .take(4)
+        .chain(by_shard[sb].iter().take(4))
+        .map(|&id| Update::Remove(id))
+        .collect();
+    mono.apply(&all);
+    assert_eq!(engine.site_ids(), mono.site_ids());
+    let batch = mixed_batch(&workload::random_queries(8, 60.0, 603), 3);
+    assert_eq!(
+        engine.run_batch(&batch).results,
+        mono.run_batch(&batch).results,
+        "concurrent disjoint applies changed answers"
+    );
 }
 
 /// Serial applies: every epoch's batch answers equal a from-scratch oracle;

@@ -1,0 +1,304 @@
+//! Sharded-vs-monolithic differential harness: proptest-generated
+//! interleavings of insert / remove / move are applied **identically** to a
+//! monolithic [`Engine`] and to [`ShardedEngine`]s at S ∈ {1, 3, 8}, and
+//! after every op a mixed batch (`NN≠0`, Threshold, TopK) is served by all
+//! four — every sharded answer must be **bit-identical** to the monolithic
+//! one (ids equal, probability bits equal, guarantees equal), and the
+//! apply reports must assign the same ids and agree on live counts.
+//!
+//! Why this must hold (the scatter-gather proofs live with
+//! `uncertain_nn::dynamic::shard::ShardedReader`): the `NN≠0` two-min fold
+//! over per-shard triples is partition-independent, the quantification
+//! k-way merge over per-shard streams reproduces the monolithic sweep's
+//! entry sequence exactly, and both engines evaluate the same exact
+//! quantifiers — so any divergence is a real bug, not float noise.
+//!
+//! CI's `shard-gauntlet` job runs this suite at default cases and again at
+//! `PROPTEST_CASES=2048` pinned to one worker.
+
+use proptest::prelude::*;
+use uncertain_engine::shard::ShardedEngine;
+use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, SiteId, Update};
+use uncertain_geom::Point;
+use uncertain_nn::model::DiscreteUncertainPoint;
+use uncertain_nn::workload;
+
+/// One encoded operation: `(selector, x, y, dx, dy, w)`.
+type RawOp = (u8, f64, f64, f64, f64, f64);
+
+fn raw_op() -> impl Strategy<Value = RawOp> {
+    (
+        0u8..=3,
+        -30.0f64..30.0,
+        -30.0f64..30.0,
+        -8.0f64..8.0,
+        -8.0f64..8.0,
+        0.05f64..1.0,
+    )
+}
+
+/// Decodes one op into an update batch, choosing remove/move victims from
+/// the tracked live-id list (so the harness knows exactly what it asked
+/// for, independent of either engine).
+fn op_to_updates(op: RawOp, live: &[SiteId]) -> Vec<Update> {
+    let (sel, x, y, dx, dy, w) = op;
+    match sel {
+        0 => vec![Update::Insert(DiscreteUncertainPoint::new(
+            vec![Point::new(x, y), Point::new(x + dx, y + dy)],
+            vec![w, 1.05 - w],
+        ))],
+        1 => vec![Update::Insert(DiscreteUncertainPoint::certain(Point::new(
+            x, y,
+        )))],
+        2 if live.len() > 1 => {
+            let victim = (w * live.len() as f64) as usize % live.len();
+            vec![Update::Remove(live[victim])]
+        }
+        _ if !live.is_empty() => {
+            let victim = ((w + dx.abs()) * live.len() as f64) as usize % live.len();
+            vec![Update::Move {
+                id: live[victim],
+                to: DiscreteUncertainPoint::uniform(vec![
+                    Point::new(x, y),
+                    Point::new(x + dx, y + dy),
+                    Point::new(x - dy, y + dx),
+                ]),
+            }]
+        }
+        _ => vec![],
+    }
+}
+
+/// Maintains the harness's own live-id list from the updates it issued.
+fn track(live: &mut Vec<SiteId>, updates: &[Update], inserted: &[SiteId]) {
+    let mut fresh = inserted.iter();
+    for u in updates {
+        match u {
+            Update::Insert(_) => live.push(*fresh.next().expect("one id per insert")),
+            Update::Remove(id) => live.retain(|x| x != id),
+            Update::Move { .. } => {}
+        }
+    }
+}
+
+fn mixed_batch(queries: &[Point]) -> Vec<QueryRequest> {
+    let mut batch = Vec::with_capacity(3 * queries.len());
+    for &q in queries {
+        batch.push(QueryRequest::Nonzero { q });
+        batch.push(QueryRequest::Threshold { q, tau: 0.2 });
+        batch.push(QueryRequest::TopK { q, k: 4 });
+    }
+    batch
+}
+
+/// Bitwise answer comparison: ids equal, probability *bits* equal,
+/// guarantees equal.
+fn assert_bit_identical(
+    shards: usize,
+    got: &QueryResult,
+    want: &QueryResult,
+) -> Result<(), TestCaseError> {
+    match (got, want) {
+        (QueryResult::Nonzero(g), QueryResult::Nonzero(w)) => {
+            prop_assert_eq!(g, w, "NN≠0 diverged at S={}", shards);
+        }
+        (
+            QueryResult::Ranked {
+                items: g,
+                guarantee: gg,
+            },
+            QueryResult::Ranked {
+                items: w,
+                guarantee: wg,
+            },
+        ) => {
+            prop_assert_eq!(gg, wg, "guarantee diverged at S={}", shards);
+            prop_assert_eq!(g.len(), w.len(), "ranked length diverged at S={}", shards);
+            for (&(gi, gp), &(wi, wp)) in g.iter().zip(w.iter()) {
+                prop_assert_eq!(gi, wi, "ranked id diverged at S={}", shards);
+                prop_assert_eq!(
+                    gp.to_bits(),
+                    wp.to_bits(),
+                    "π bits diverged at S={}: sharded {} vs monolithic {}",
+                    shards,
+                    gp,
+                    wp
+                );
+            }
+        }
+        other => prop_assert!(false, "result shape mismatch at S={shards}: {other:?}"),
+    }
+    Ok(())
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
+
+fn run_differential(ops: &[RawOp], n0: usize, seed: u64) -> Result<(), TestCaseError> {
+    let base = workload::random_discrete_set(n0, 3, 5.0, seed);
+    let mono = Engine::new(base.clone(), EngineConfig::default());
+    let sharded: Vec<ShardedEngine> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            ShardedEngine::new(
+                base.clone(),
+                EngineConfig {
+                    shards: Some(s),
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .collect();
+    let mut live: Vec<SiteId> = (0..n0).collect();
+    let fixed_queries = workload::random_queries(2, 60.0, seed ^ 1);
+
+    for &op in ops {
+        let updates = op_to_updates(op, &live);
+        let report = mono.apply(&updates);
+        for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+            let sr = engine.apply(&updates);
+            prop_assert_eq!(
+                &sr.inserted,
+                &report.inserted,
+                "id assignment diverged at S={}",
+                s
+            );
+            prop_assert_eq!(sr.removed, report.removed, "removed diverged at S={}", s);
+            prop_assert_eq!(sr.moved, report.moved, "moved diverged at S={}", s);
+            prop_assert_eq!(sr.missed, report.missed, "missed diverged at S={}", s);
+            prop_assert_eq!(sr.live, report.live, "live diverged at S={}", s);
+            prop_assert_eq!(sr.shard_epochs.len(), s);
+        }
+        track(&mut live, &updates, &report.inserted);
+
+        // Query at the op's own coordinates (adversarially close to the
+        // mutated site) plus two fixed far-field points.
+        let (_, x, y, dx, dy, _) = op;
+        let batch = mixed_batch(&[
+            Point::new(x, y),
+            Point::new(x + dx, y + dy),
+            fixed_queries[0],
+            fixed_queries[1],
+        ]);
+        let want = mono.run_batch(&batch);
+        for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+            let got = engine.run_batch(&batch);
+            prop_assert_eq!(got.results.len(), want.results.len());
+            for (g, w) in got.results.iter().zip(&want.results) {
+                assert_bit_identical(s, g, w)?;
+            }
+            // The serving-state stats must agree with the monolithic view.
+            prop_assert_eq!(got.stats.live_sites, want.stats.live_sites);
+            prop_assert_eq!(got.stats.shard_stats.len(), s);
+            prop_assert_eq!(
+                got.stats
+                    .shard_stats
+                    .iter()
+                    .map(|st| st.live)
+                    .sum::<usize>(),
+                want.stats.live_sites
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: at S ∈ {1, 3, 8}, every answer of every
+    /// family is bit-identical to the monolithic engine after every op.
+    #[test]
+    fn sharded_engines_match_monolithic_after_every_op(
+        ops in prop::collection::vec(raw_op(), 1..14),
+    ) {
+        run_differential(&ops, 10, 0x5AAD)?;
+    }
+
+    /// Same property starting from an empty universe: the first inserts
+    /// land in (generally) different shards and the id allocator must stay
+    /// in lockstep with the monolithic engine's.
+    #[test]
+    fn sharded_engines_match_monolithic_from_empty(
+        ops in prop::collection::vec(raw_op(), 1..10),
+    ) {
+        run_differential(&ops, 0, 0x5AAD ^ 0xFF)?;
+    }
+}
+
+/// A longer deterministic churn stream (bigger n, no proptest): batches of
+/// several updates per apply — straddling multiple shards — checked every
+/// round, so deeper Bentley–Saxe carries and per-shard compactions surface
+/// even if the short proptest sequences miss them.
+#[test]
+fn long_straddling_churn_stays_bit_identical() {
+    let base = workload::random_discrete_set(48, 3, 5.0, 0x51AB);
+    let mono = Engine::new(base.clone(), EngineConfig::default());
+    let sharded: Vec<ShardedEngine> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            ShardedEngine::new(
+                base.clone(),
+                EngineConfig {
+                    shards: Some(s),
+                    ..EngineConfig::default()
+                },
+            )
+        })
+        .collect();
+    let mut live: Vec<SiteId> = (0..48).collect();
+    let queries = workload::random_queries(3, 60.0, 0x51AB ^ 2);
+    let batch = mixed_batch(&queries);
+
+    for round in 0usize..30 {
+        // One straddling batch: two removes, one move, two inserts.
+        let mut updates = vec![];
+        for j in 0..2 {
+            if !live.is_empty() {
+                updates.push(Update::Remove(live[(round * 3 + j * 5) % live.len()]));
+            }
+        }
+        if !live.is_empty() {
+            updates.push(Update::Move {
+                id: live[(round * 7 + 1) % live.len()],
+                to: DiscreteUncertainPoint::certain(Point::new(
+                    (round as f64 * 3.7) % 40.0 - 20.0,
+                    (round as f64 * 5.3) % 40.0 - 20.0,
+                )),
+            });
+        }
+        for j in 0..2 {
+            let v = (round * 2 + j) as f64;
+            updates.push(Update::Insert(DiscreteUncertainPoint::uniform(vec![
+                Point::new((v * 1.9) % 50.0 - 25.0, (v * 2.3) % 50.0 - 25.0),
+                Point::new((v * 3.1) % 50.0 - 25.0, (v * 0.7) % 50.0 - 25.0),
+            ])));
+        }
+
+        let report = mono.apply(&updates);
+        let want = mono.run_batch(&batch);
+        for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+            let sr = engine.apply(&updates);
+            assert_eq!(sr.inserted, report.inserted, "ids diverged at S={s}");
+            assert_eq!(sr.live, report.live, "live diverged at S={s}");
+            // Shard epochs only ever advance, and only for touched shards.
+            assert!(sr.touched.iter().all(|&t| t < s));
+            let got = engine.run_batch(&batch);
+            assert_eq!(
+                got.results, want.results,
+                "answers diverged at S={s} round {round}"
+            );
+        }
+        track(&mut live, &updates, &report.inserted);
+    }
+
+    // End state: every sharded engine agrees with the monolithic flat view.
+    let want_ids = mono.site_ids();
+    for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+        assert_eq!(engine.site_ids(), want_ids, "live ids diverged at S={s}");
+        assert_eq!(
+            engine.live_set().points.len(),
+            mono.live_set().points.len(),
+            "flat view diverged at S={s}"
+        );
+    }
+}
