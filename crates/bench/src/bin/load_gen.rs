@@ -1,0 +1,390 @@
+//! `load_gen`: the load generator for the network front-end.
+//!
+//! ```text
+//! load_gen --addr HOST:PORT [--mode closed|open] [--conns C]
+//!          [--duration SECS] [--requests N] [--rate QPS]
+//!          [--topk K] [--seed S] [--obs FILE.jsonl]
+//!          [--assert-shed] [--assert-no-shed]
+//! ```
+//!
+//! **Closed loop** (`--mode closed`, the default): `C` connections each
+//! keep exactly one request outstanding — the classic saturation probe.
+//! **Open loop** (`--mode open --rate QPS`): arrivals are paced on an
+//! absolute schedule split across `C` pipelined connections, independent
+//! of completions, so server slowdown cannot throttle offered load (no
+//! coordinated omission) — the mode that demonstrates overload.
+//!
+//! Latency is measured client-side per request (for open loop: from the
+//! *scheduled* arrival, so queueing delay the server causes is charged to
+//! it) and reported as p50/p95/p99 plus achieved qps. Shed replies count
+//! separately and are excluded from the latency distribution. With
+//! `--obs FILE` the newest `obs/v1` line of the server's flusher stream
+//! (`UNC_OBS_FLUSH` on the server side) is scraped and the server-side
+//! view — `server.request.wall` percentiles, `server.shed`,
+//! `server.queue.depth`/`peak` — is printed next to the client's.
+//!
+//! `--assert-no-shed` / `--assert-shed` turn the shed count into an exit
+//! code for CI: the smoke job proves "zero sheds at low load" and
+//! "sheds under deliberate overload" with the same binary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use uncertain_bench::measure::{percentile, summarize};
+use uncertain_engine::server::protocol::{Client, ErrorCode, Reply, Request, WireError};
+use uncertain_engine::QueryRequest;
+use uncertain_geom::Point;
+use uncertain_nn::workload;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Totals {
+    sent: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut mode = Mode::Closed;
+    let mut conns = 4usize;
+    let mut duration = Duration::from_secs(5);
+    let mut requests: Option<u64> = None;
+    let mut rate = 0f64;
+    let mut topk = 8usize;
+    let mut seed = 7u64;
+    let mut obs: Option<String> = None;
+    let mut assert_shed = false;
+    let mut assert_no_shed = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match a.as_str() {
+            "--addr" => addr = val("--addr"),
+            "--mode" => {
+                mode = match val("--mode").as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => die(&format!("unknown mode {other:?}")),
+                }
+            }
+            "--conns" => conns = parse::<usize>(&val("--conns")).max(1),
+            "--duration" => duration = Duration::from_secs_f64(parse(&val("--duration"))),
+            "--requests" => requests = Some(parse(&val("--requests"))),
+            "--rate" => rate = parse(&val("--rate")),
+            "--topk" => topk = parse(&val("--topk")),
+            "--seed" => seed = parse(&val("--seed")),
+            "--obs" => obs = Some(val("--obs")),
+            "--assert-shed" => assert_shed = true,
+            "--assert-no-shed" => assert_no_shed = true,
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if addr.is_empty() {
+        die("--addr is required");
+    }
+    if mode == Mode::Open && rate <= 0.0 {
+        die("--mode open needs --rate QPS");
+    }
+
+    let totals = Arc::new(Totals {
+        sent: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..conns)
+        .map(|w| {
+            let addr = addr.clone();
+            let totals = Arc::clone(&totals);
+            let latencies = Arc::clone(&latencies);
+            let queries = workload::random_queries(4096, 60.0, seed.wrapping_add(w as u64));
+            let per_conn_requests = requests.map(|r| r.div_ceil(conns as u64));
+            let per_conn_interval = if mode == Mode::Open {
+                Duration::from_secs_f64(conns as f64 / rate)
+            } else {
+                Duration::ZERO
+            };
+            std::thread::spawn(move || match mode {
+                Mode::Closed => closed_loop(
+                    &addr,
+                    &queries,
+                    topk,
+                    duration,
+                    per_conn_requests,
+                    &totals,
+                    &latencies,
+                ),
+                Mode::Open => open_loop(
+                    &addr,
+                    &queries,
+                    topk,
+                    duration,
+                    per_conn_interval,
+                    &totals,
+                    &latencies,
+                ),
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let sent = totals.sent.load(Ordering::Relaxed);
+    let served = totals.served.load(Ordering::Relaxed);
+    let shed = totals.shed.load(Ordering::Relaxed);
+    let errors = totals.errors.load(Ordering::Relaxed);
+    let lats = latencies.lock().unwrap();
+    println!(
+        "load_gen: mode={} conns={conns} elapsed={elapsed:.2}s",
+        if mode == Mode::Closed {
+            "closed"
+        } else {
+            "open"
+        },
+    );
+    println!("   sent {sent}  served {served}  shed {shed}  errors {errors}");
+    if !lats.is_empty() {
+        let s = summarize(&lats);
+        println!(
+            "   client latency: p50 {}  p95 {}  p99 {}  (mean {})",
+            fmt_ms(s.median),
+            fmt_ms(s.p95),
+            fmt_ms(percentile(&lats, 0.99)),
+            fmt_ms(s.mean),
+        );
+    }
+    println!("   throughput: {:.0} q/s served", served as f64 / elapsed);
+    if let Some(path) = obs {
+        scrape_obs(&path);
+    }
+
+    if served == 0 {
+        eprintln!("load_gen: no requests served");
+        std::process::exit(1);
+    }
+    if assert_no_shed && shed > 0 {
+        eprintln!("load_gen: --assert-no-shed failed ({shed} sheds)");
+        std::process::exit(1);
+    }
+    if assert_shed && shed == 0 {
+        eprintln!("load_gen: --assert-shed failed (no sheds under offered overload)");
+        std::process::exit(1);
+    }
+}
+
+fn request(queries: &[Point], i: usize, topk: usize) -> Request {
+    let q = queries[i % queries.len()];
+    Request::Query(if topk == 0 {
+        QueryRequest::Nonzero { q }
+    } else {
+        QueryRequest::TopK { q, k: topk }
+    })
+}
+
+fn record(totals: &Totals, latencies: &Mutex<Vec<f64>>, reply: &Reply, lat_ns: f64) {
+    match reply {
+        Reply::Error {
+            code: ErrorCode::Shed,
+            ..
+        } => {
+            totals.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        Reply::Error { .. } => {
+            totals.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            totals.served.fetch_add(1, Ordering::Relaxed);
+            latencies.lock().unwrap().push(lat_ns);
+        }
+    }
+}
+
+/// One request outstanding per connection; latency from send to reply.
+fn closed_loop(
+    addr: &str,
+    queries: &[Point],
+    topk: usize,
+    duration: Duration,
+    max_requests: Option<u64>,
+    totals: &Totals,
+    latencies: &Mutex<Vec<f64>>,
+) {
+    let Ok(mut client) = Client::connect_retry(addr, Duration::from_secs(5)) else {
+        eprintln!("load_gen: cannot connect to {addr}");
+        return;
+    };
+    let end = Instant::now() + duration;
+    let mut i = 0u64;
+    while Instant::now() < end && max_requests.is_none_or(|m| i < m) {
+        let req = request(queries, i as usize, topk);
+        let sent_at = Instant::now();
+        totals.sent.fetch_add(1, Ordering::Relaxed);
+        match client.call(&req) {
+            Ok(reply) => record(
+                totals,
+                latencies,
+                &reply,
+                sent_at.elapsed().as_nanos() as f64,
+            ),
+            Err(_) => {
+                totals.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Paced arrivals on an absolute schedule, pipelined on one connection;
+/// latency from the *scheduled* send time (no coordinated omission).
+fn open_loop(
+    addr: &str,
+    queries: &[Point],
+    topk: usize,
+    duration: Duration,
+    interval: Duration,
+    totals: &Totals,
+    latencies: &Mutex<Vec<f64>>,
+) {
+    let Ok(client) = Client::connect_retry(addr, Duration::from_secs(5)) else {
+        eprintln!("load_gen: cannot connect to {addr}");
+        return;
+    };
+    let Ok((mut tx, mut rx)) = client.split() else {
+        eprintln!("load_gen: cannot split connection");
+        return;
+    };
+    // req_id → scheduled send time, shared with the receiver half.
+    let in_flight: Arc<Mutex<std::collections::HashMap<u64, Instant>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let recv_flight = Arc::clone(&in_flight);
+    std::thread::scope(|scope| {
+        let receiver = scope.spawn(|| loop {
+            match rx.recv() {
+                Ok((id, reply)) => {
+                    let sched = recv_flight.lock().unwrap().remove(&id);
+                    let lat = sched.map_or(0.0, |s| s.elapsed().as_nanos() as f64);
+                    record(totals, latencies, &reply, lat);
+                }
+                Err(WireError::Eof) => return,
+                Err(_) => return,
+            }
+        });
+        let start = Instant::now();
+        let mut i = 0u64;
+        loop {
+            let sched = start + interval.mul_f64(i as f64);
+            if sched.duration_since(start) >= duration {
+                break;
+            }
+            let now = Instant::now();
+            if sched > now {
+                std::thread::sleep(sched - now);
+            }
+            let req = request(queries, i as usize, topk);
+            totals.sent.fetch_add(1, Ordering::Relaxed);
+            match tx.send(&req) {
+                Ok(id) => {
+                    in_flight.lock().unwrap().insert(id, sched.max(start));
+                }
+                Err(_) => break,
+            }
+            i += 1;
+        }
+        // Half-close: the server serves what was sent, then closes; the
+        // receiver drains every outstanding reply and sees a clean EOF.
+        tx.finish();
+        let _ = receiver.join();
+    });
+}
+
+// --- obs/v1 scraping ------------------------------------------------------
+
+/// Prints the server-side view from the newest line of an `obs/v1`
+/// JSON-lines stream (hand-rolled extraction, matching the repo's
+/// hand-rolled writer — field order within a histogram object is fixed).
+fn scrape_obs(path: &str) {
+    let Ok(body) = std::fs::read_to_string(path) else {
+        eprintln!("load_gen: cannot read obs stream {path}");
+        return;
+    };
+    let Some(line) = body.lines().rfind(|l| !l.trim().is_empty()) else {
+        eprintln!("load_gen: obs stream {path} is empty");
+        return;
+    };
+    println!("   server view ({path}):");
+    if let Some(h) = json_object(line, "server.request.wall") {
+        let g = |k| json_number(h, k).unwrap_or(0.0);
+        println!(
+            "     server.request.wall: count {:.0}  p50 {}  p95 {}  p99 {}",
+            g("count"),
+            fmt_ms(g("p50")),
+            fmt_ms(g("p95")),
+            fmt_ms(g("p99")),
+        );
+    }
+    for key in [
+        "server.shed",
+        "server.served",
+        "server.queue.depth",
+        "server.queue.peak",
+    ] {
+        if let Some(v) = json_number(line, key) {
+            println!("     {key}: {v:.0}");
+        }
+    }
+}
+
+/// The `{…}` object value of `"name":` in a single-line JSON document.
+fn json_object<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":{{");
+    let start = line.find(&pat)? + pat.len() - 1;
+    let end = line[start..].find('}')? + start + 1;
+    Some(&line[start..end])
+}
+
+/// The numeric value of `"name":` (first occurrence) in `text`.
+fn json_number(text: &str, name: &str) -> Option<f64> {
+    let pat = format!("\"{name}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn fmt_ms(ns: f64) -> String {
+    uncertain_obs::fmt_ns(ns as u64)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse {s:?}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("load_gen: {msg}");
+    eprintln!(
+        "usage: load_gen --addr HOST:PORT [--mode closed|open] [--conns C] \
+         [--duration SECS] [--requests N] [--rate QPS] [--topk K] \
+         [--obs FILE.jsonl] [--assert-shed] [--assert-no-shed]"
+    );
+    std::process::exit(2);
+}

@@ -208,29 +208,38 @@ pub struct Summary {
     pub p95: f64,
 }
 
+fn pick_sorted(sorted: &[f64], p: f64) -> f64 {
+    // Snap `p·n` to the integer it mathematically equals before `ceil`
+    // (0.95 × 20 lands an ulp high in f64) — same nearest-rank
+    // convention as the vendored criterion harness.
+    let exact = p * sorted.len() as f64;
+    let nearest = exact.round();
+    let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+        nearest
+    } else {
+        exact.ceil()
+    };
+    sorted[(rank as usize).clamp(1, sorted.len()) - 1]
+}
+
+/// Nearest-rank percentile (`p ∈ (0, 1]`) of a nonempty sample set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    pick_sorted(&sorted, p)
+}
+
 /// Summarizes a nonempty sample set (nearest-rank percentiles).
 pub fn summarize(samples: &[f64]) -> Summary {
     assert!(!samples.is_empty());
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let pick = |p: f64| {
-        // Snap `p·n` to the integer it mathematically equals before `ceil`
-        // (0.95 × 20 lands an ulp high in f64) — same nearest-rank
-        // convention as the vendored criterion harness.
-        let exact = p * sorted.len() as f64;
-        let nearest = exact.round();
-        let rank = if (exact - nearest).abs() <= 1e-9 * nearest.max(1.0) {
-            nearest
-        } else {
-            exact.ceil()
-        };
-        sorted[(rank as usize).clamp(1, sorted.len()) - 1]
-    };
     Summary {
         min: sorted[0],
         mean: samples.iter().sum::<f64>() / samples.len() as f64,
-        median: pick(0.50),
-        p95: pick(0.95),
+        median: pick_sorted(&sorted, 0.50),
+        p95: pick_sorted(&sorted, 0.95),
     }
 }
 

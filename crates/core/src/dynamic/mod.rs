@@ -91,7 +91,7 @@ pub type SiteId = usize;
 
 /// One site mutation for [`DynamicSet::apply`] (and the serving engine's
 /// epoch layer on top of it).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Update {
     /// Add a new uncertain site; its fresh id is reported in
     /// [`UpdateOutcome::inserted`].

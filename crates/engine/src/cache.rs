@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use uncertain_geom::Point;
 use uncertain_nn::queries::Guarantee;
 
@@ -249,15 +249,37 @@ impl ResultCache {
     }
 
     pub fn len(&self) -> usize {
-        self.inner.as_ref().map_or(0, |m| m.lock().unwrap().len())
+        self.lock().map_or(0, |g| g.len())
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// Locks the LRU, recovering from poison by **clearing** it. A thread
+    /// that panics while holding this lock (a pathological query dying
+    /// mid-insert) may leave the LRU's intrusive links torn, so the
+    /// valid-on-panic recovery other engine locks use is not sound here —
+    /// but the cache is only an accelerator, so the cheap safe recovery is
+    /// to drop every entry and keep serving. Without this, one bad query
+    /// turns every later `get`/`insert` into a panic and takes the whole
+    /// serving process down with it (the mutex-poison cascade).
+    fn lock(&self) -> Option<MutexGuard<'_, LruCache<CacheKey, CachedValue>>> {
+        let m = self.inner.as_ref()?;
+        Some(match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                m.clear_poison();
+                let mut g = poisoned.into_inner();
+                *g = LruCache::new(g.capacity());
+                uncertain_obs::counter!("engine.cache.poison_clears").inc();
+                g
+            }
+        })
+    }
+
     pub fn get(&self, key: &CacheKey) -> Option<CachedValue> {
-        let hit = self.inner.as_ref()?.lock().unwrap().get(key);
+        let hit = self.lock()?.get(key);
         // Process-global registry twins of the per-batch counters in
         // `ExecStats` — a disabled cache (capacity 0) records nothing.
         match &hit {
@@ -268,9 +290,9 @@ impl ResultCache {
     }
 
     pub fn insert(&self, key: CacheKey, value: CachedValue) {
-        if let Some(m) = &self.inner {
+        if let Some(mut g) = self.lock() {
             uncertain_obs::counter!("engine.cache.inserts").inc();
-            m.lock().unwrap().insert(key, value);
+            g.insert(key, value);
         }
     }
 }
@@ -310,6 +332,32 @@ mod tests {
         }
         // The most recent insert must be present.
         assert_eq!(lru.get(&(999 % 40)), Some(999));
+    }
+
+    #[test]
+    fn poisoned_cache_clears_and_keeps_serving() {
+        let cache = ResultCache::new(8, 0.0);
+        let key = CacheKey::nonzero(0, Point::new(1.0, 2.0));
+        cache.insert(key, CachedValue::Nonzero(Arc::new(vec![3])));
+        assert_eq!(cache.len(), 1);
+        // Poison the inner mutex: panic while holding the guard, exactly
+        // what a panicking query inside the locked region would do.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = cache.inner.as_ref().unwrap().lock().unwrap();
+            panic!("query died while holding the cache lock");
+        }));
+        assert!(poison.is_err());
+        assert!(cache.inner.as_ref().unwrap().is_poisoned());
+        // Clear-on-poison: the next access recovers (entries dropped, no
+        // panic), and the cache serves reads and writes again.
+        assert!(cache.get(&key).is_none(), "poisoned cache must clear");
+        assert_eq!(cache.len(), 0);
+        cache.insert(key, CachedValue::Nonzero(Arc::new(vec![4])));
+        match cache.get(&key) {
+            Some(CachedValue::Nonzero(ids)) => assert_eq!(*ids, vec![4]),
+            other => panic!("expected a hit after recovery, got {other:?}"),
+        }
+        assert!(!cache.inner.as_ref().unwrap().is_poisoned());
     }
 
     #[test]

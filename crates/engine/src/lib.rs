@@ -84,6 +84,7 @@
 pub mod cache;
 pub mod planner;
 pub mod pool;
+pub mod server;
 pub mod shard;
 pub mod snap;
 
@@ -149,6 +150,13 @@ pub enum QueryResult {
         items: Vec<(usize, f64)>,
         guarantee: Guarantee,
     },
+    /// The request's evaluation panicked (e.g. a NaN query coordinate hit
+    /// an internal total-order assumption). The panic is caught **inside**
+    /// the request — before it can poison shared locks or strand the
+    /// batch — so the other requests of the batch, and every later batch,
+    /// are unaffected. Never cached. The serving front-end maps this to a
+    /// typed error reply instead of dying.
+    Failed { reason: String },
 }
 
 /// What one [`Engine::apply`] call did: the epoch it published plus the
@@ -515,6 +523,40 @@ impl EngineCore {
     }
 }
 
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Sound only where the guarded state is **valid-on-panic** — true for
+/// every engine lock: `Arc` snapshot pointers are swapped atomically, the
+/// apply lock guards nothing, and the lazily-built structure slots are
+/// `Option<Arc<_>>`s that a panicking build simply leaves `None`. The one
+/// lock whose state *can* tear mid-panic is the result cache's LRU, which
+/// clears itself on poison instead (see [`cache`]). Without these, one
+/// panicking query poisons a lock and every later `.lock().unwrap()`
+/// panics too — the cascade that turns a bad request into a dead process.
+pub(crate) fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_ok`] for read guards.
+pub(crate) fn read_ok<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_ok`] for write guards.
+pub(crate) fn write_ok<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for [`QueryResult::Failed`].
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The serving engine: owns the uncertain-point set, its worker pool, its
 /// cache, and every lazily-built query structure. [`Engine::apply`] swaps
 /// in a new epoch snapshot; queries always serve a consistent epoch.
@@ -594,7 +636,7 @@ impl Engine {
     /// The current snapshot (a cheap `Arc` clone; the read lock is released
     /// before returning).
     fn snapshot(&self) -> Arc<EngineCore> {
-        self.core.read().unwrap().clone()
+        read_ok(&self.core).clone()
     }
 
     /// The epoch the engine currently serves (0 until the first
@@ -649,7 +691,7 @@ impl Engine {
     pub fn apply(&self, updates: &[Update]) -> ApplyReport {
         let _span = uncertain_obs::span!("engine.apply");
         uncertain_obs::counter!("engine.apply.updates").add(updates.len() as u64);
-        let _writer = self.apply_lock.lock().unwrap();
+        let _writer = lock_ok(&self.apply_lock);
         let old = self.snapshot();
         let noop_report = |missed: usize| ApplyReport {
             epoch: old.epoch,
@@ -722,7 +764,7 @@ impl Engine {
             config: old.config,
             set: OnceLock::new(),
         });
-        *self.core.write().unwrap() = core;
+        *write_ok(&self.core) = core;
         uncertain_obs::counter!("engine.apply.effective").inc();
         uncertain_obs::gauge!("engine.epoch").set(report.epoch as f64);
         uncertain_obs::gauge!("engine.live_sites").set(report.live as f64);
@@ -799,9 +841,28 @@ impl Engine {
                 buf[si] = Some(out);
                 busy[si] = dt;
             }
+            // Panics are caught per-request inside `exec_one`, so shard
+            // jobs normally always report. If a job is ever lost anyway
+            // (a panic outside the per-request guard), degrade to typed
+            // failures for exactly that shard instead of unwinding the
+            // caller — under the network server the caller is the batcher
+            // thread, and its death would kill the whole serving process.
             let results = buf
                 .into_iter()
-                .flat_map(|s| s.expect("a shard job panicked (e.g. a NaN query coordinate)"))
+                .enumerate()
+                .flat_map(|(si, s)| {
+                    s.unwrap_or_else(|| {
+                        uncertain_obs::counter!("engine.exec.lost_jobs").inc();
+                        let lo = si * shard;
+                        let len = shard.min(requests.len() - lo);
+                        (0..len)
+                            .map(|_| QueryResult::Failed {
+                                reason: "worker job lost to a panic outside the request guard"
+                                    .into(),
+                            })
+                            .collect()
+                    })
+                })
                 .collect();
             (results, busy)
         };
@@ -874,10 +935,10 @@ fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> Batc
         quant_count,
         guarantee: core.config.guarantee,
         diagram_cap: core.config.diagram_cap,
-        index_built: core.structures.index.lock().unwrap().is_some(),
-        diagram_built: core.structures.diagram.lock().unwrap().is_some(),
-        spiral_built: core.structures.spiral.lock().unwrap().is_some(),
-        mc_built_samples: core.structures.mc.lock().unwrap().as_ref().map(|(s, _)| *s),
+        index_built: lock_ok(&core.structures.index).is_some(),
+        diagram_built: lock_ok(&core.structures.diagram).is_some(),
+        spiral_built: lock_ok(&core.structures.spiral).is_some(),
+        mc_built_samples: lock_ok(&core.structures.mc).as_ref().map(|(s, _)| *s),
         dynamic_ready: core.dynamic.is_some(),
         dynamic_buckets: core.dynamic.as_ref().map_or(0, |d| d.stats().buckets),
         dynamic_quant_cold_locations: quant_cold,
@@ -933,7 +994,7 @@ fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>)
     let nonzero = plan.nonzero.map(|np| match np {
         NonzeroPlan::Brute => PreparedNonzero::Brute,
         NonzeroPlan::Index => {
-            let mut slot = core.structures.index.lock().unwrap();
+            let mut slot = lock_ok(&core.structures.index);
             let arc = slot
                 .get_or_insert_with(|| {
                     built.push("nonzero-index");
@@ -943,7 +1004,7 @@ fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>)
             PreparedNonzero::Index(arc)
         }
         NonzeroPlan::Diagram => {
-            let mut slot = core.structures.diagram.lock().unwrap();
+            let mut slot = lock_ok(&core.structures.diagram);
             let arc = slot
                 .get_or_insert_with(|| {
                     built.push("vnz-diagram");
@@ -969,7 +1030,7 @@ fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>)
                 .expect("merged plan is only priced when the structure exists"),
         )),
         QuantPlan::Spiral { eps } => {
-            let mut slot = core.structures.spiral.lock().unwrap();
+            let mut slot = lock_ok(&core.structures.spiral);
             let arc = slot
                 .get_or_insert_with(|| {
                     built.push("spiral");
@@ -979,7 +1040,7 @@ fn prepare(core: &EngineCore, plan: &BatchPlan) -> (Prepared, Vec<&'static str>)
             PreparedQuant::Spiral(arc, eps)
         }
         QuantPlan::MonteCarlo { samples } => {
-            let mut slot = core.structures.mc.lock().unwrap();
+            let mut slot = lock_ok(&core.structures.mc);
             let rebuild = slot.as_ref().is_none_or(|(have, _)| *have < samples);
             if rebuild {
                 built.push("monte-carlo");
@@ -1014,6 +1075,14 @@ fn working_bbox(set: &DiscreteSet) -> Aabb {
     bbox.inflated(0.15 * diag + 4.0)
 }
 
+/// Executes one request with per-request panic isolation: a panicking
+/// evaluation (NaN coordinates violating a total-order assumption, a
+/// pathological input tripping an internal assertion) yields a typed
+/// [`QueryResult::Failed`] instead of unwinding through the worker. The
+/// panic is contained *before* it can reach any shared lock, so nothing is
+/// poisoned and the rest of the batch — and every later batch — answers
+/// normally. The scratch buffer is re-defaulted on panic (its contents are
+/// per-query transient state of unknown consistency after an unwind).
 fn exec_one(
     core: &EngineCore,
     prepared: &Prepared,
@@ -1021,6 +1090,41 @@ fn exec_one(
     counters: &BatchCounters,
     scratch: &mut QueryScratch,
 ) -> QueryResult {
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec_one_inner(core, prepared, req, counters, scratch)
+    }));
+    out.unwrap_or_else(|payload| {
+        *scratch = QueryScratch::default();
+        uncertain_obs::counter!("engine.exec.panics").inc();
+        QueryResult::Failed {
+            reason: panic_reason(payload.as_ref()),
+        }
+    })
+}
+
+fn exec_one_inner(
+    core: &EngineCore,
+    prepared: &Prepared,
+    req: QueryRequest,
+    counters: &BatchCounters,
+    scratch: &mut QueryScratch,
+) -> QueryResult {
+    // Non-finite inputs violate the total-order assumptions every plan
+    // shares (and would poison cache keys); fail them deterministically
+    // here — in every build profile — so `exec_one` turns the panic into
+    // a typed `Failed` instead of the answer depending on NaN comparison
+    // accidents. The wire protocol rejects them earlier; this guards
+    // direct `run_batch` callers.
+    let (q, tau) = match req {
+        QueryRequest::Nonzero { q } | QueryRequest::TopK { q, .. } => (q, 0.0),
+        QueryRequest::Threshold { q, tau } => (q, tau),
+    };
+    assert!(
+        q.x.is_finite() && q.y.is_finite() && tau.is_finite(),
+        "non-finite query input: q=({}, {}), tau={tau}",
+        q.x,
+        q.y
+    );
     match req {
         QueryRequest::Nonzero { q } => {
             let _trace = uncertain_obs::trace::start("nonzero");

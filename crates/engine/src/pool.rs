@@ -19,10 +19,12 @@ pub const THREADS_ENV: &str = "UNC_ENGINE_THREADS";
 /// Resolves the worker count: `UNC_ENGINE_THREADS` > `requested` > detected
 /// parallelism. Always at least 1.
 pub fn resolve_threads(requested: Option<usize>) -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    // An invalid value warns once on stderr (naming the variable and the
+    // fallback) instead of silently misconfiguring the deployment.
+    if let Some(n) =
+        uncertain_obs::env_parse::<usize>(THREADS_ENV, "the config/detected worker count")
+    {
+        return n.max(1);
     }
     if let Some(n) = requested {
         return n.max(1);
@@ -95,7 +97,15 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
         let w0 = std::time::Instant::now();
         // Hold the lock only while *receiving*, never while running a job.
-        let job = match rx.lock().unwrap().recv() {
+        // Poison recovery: jobs run *outside* this lock, so a panicking job
+        // can never leave the receiver in a bad state — but if any worker
+        // ever panics between lock and recv, the channel itself is still
+        // valid, and dying here would strand every queued job.
+        let job = match rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+        {
             Ok(job) => job,
             Err(_) => return, // all senders dropped: shut down
         };

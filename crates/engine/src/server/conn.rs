@@ -1,0 +1,172 @@
+//! Per-connection state machine: a reader thread (this module's entry
+//! point, run on the thread the accept loop spawned) that parses frames
+//! and dispatches them, plus a writer thread draining encoded reply
+//! frames so slow batches and inline replies never interleave bytes.
+//!
+//! Error policy (the hostile-input contract):
+//!
+//! | condition                    | reply                 | connection |
+//! |------------------------------|-----------------------|------------|
+//! | clean EOF between frames     | —                     | close      |
+//! | disconnect / EOF mid-frame   | —                     | close      |
+//! | length prefix over cap       | `TooLarge`            | close      |
+//! | length prefix below header   | —                     | close      |
+//! | unknown opcode               | `BadOpcode`           | close      |
+//! | body fails validation        | `Malformed` + detail  | **stays**  |
+//! | queue at bound               | `Shed` + detail       | **stays**  |
+//! | evaluation panicked          | `Failed` + reason     | **stays**  |
+//!
+//! Framing-level failures close the connection because the byte stream
+//! cannot be resynchronized; body-level failures keep it open because the
+//! framing is still intact. Nothing in this path panics, blocks a worker,
+//! or leaks a queue slot — admission happens *after* full validation, so
+//! a request either never enters the queue or is answered by the batcher.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::protocol::{
+    self, decode_request, encode_reply, read_frame, ErrorCode, Reply, Request, WireError,
+};
+use super::{Pending, Shared};
+use crate::ApplyReport;
+
+/// How often a blocked reader wakes to poll the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+pub(super) fn serve_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+    let (tx, rx) = channel::<Vec<u8>>();
+    // The writer owns its own dup of the socket; it exits once every
+    // sender (reader + any Pending still in the batcher) is gone and the
+    // channel is drained, so late batch replies still flush.
+    if let Ok(wstream) = stream.try_clone() {
+        let _ = std::thread::Builder::new()
+            .name("unc-conn-write".into())
+            .spawn(move || writer_loop(wstream, &rx));
+    } else {
+        let n = shared.conns.fetch_sub(1, Ordering::Relaxed) - 1;
+        uncertain_obs::gauge!("server.connections").set(n as f64);
+        return;
+    }
+
+    let mut stream = stream;
+    loop {
+        let raw = match read_frame(&mut stream, protocol::REQUEST_FRAME_MAX) {
+            Ok(raw) => raw,
+            Err(WireError::Eof) => break,
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => {
+                uncertain_obs::counter!("server.reject.truncated").inc();
+                break;
+            }
+            Err(WireError::TooLarge(len)) => {
+                uncertain_obs::counter!("server.reject.too_large").inc();
+                let _ = tx.send(encode_reply(
+                    0,
+                    &Reply::Error {
+                        code: ErrorCode::TooLarge,
+                        detail: format!("frame length {len} over cap"),
+                    },
+                ));
+                break;
+            }
+            Err(WireError::Malformed(_)) => {
+                // Length below the fixed header: the stream is desynced.
+                uncertain_obs::counter!("server.reject.malformed").inc();
+                break;
+            }
+            Err(WireError::BadOpcode(_)) => unreachable!("read_frame does not decode opcodes"),
+        };
+        uncertain_obs::counter!("server.requests").inc();
+
+        match decode_request(raw.opcode, &raw.body) {
+            Ok(Request::Ping) => {
+                let _ = tx.send(encode_reply(raw.req_id, &Reply::Pong));
+            }
+            Ok(Request::Apply(updates)) => {
+                // Inline, not batched: `Engine::apply` publishes a new
+                // epoch without blocking readers, so an apply storm on
+                // this connection never stalls queries in the batcher.
+                let t0 = Instant::now();
+                let report = shared.engine.apply(&updates);
+                uncertain_obs::histogram!("server.apply.wall")
+                    .record(t0.elapsed().as_nanos() as u64);
+                let _ = tx.send(encode_reply(raw.req_id, &apply_reply(&report)));
+            }
+            Ok(Request::Query(req)) => {
+                let pending = Pending {
+                    req,
+                    req_id: raw.req_id,
+                    arrived: Instant::now(),
+                    tx: tx.clone(),
+                };
+                if let Some(shed_frame) = shared.admit(pending) {
+                    let _ = tx.send(shed_frame);
+                }
+            }
+            Err(WireError::BadOpcode(op)) => {
+                uncertain_obs::counter!("server.reject.bad_opcode").inc();
+                let _ = tx.send(encode_reply(
+                    raw.req_id,
+                    &Reply::Error {
+                        code: ErrorCode::BadOpcode,
+                        detail: format!("unknown opcode {op:#04x}"),
+                    },
+                ));
+                break;
+            }
+            Err(e) => {
+                uncertain_obs::counter!("server.reject.malformed").inc();
+                let _ = tx.send(encode_reply(
+                    raw.req_id,
+                    &Reply::Error {
+                        code: ErrorCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                ));
+            }
+        }
+    }
+    drop(tx);
+    let n = shared.conns.fetch_sub(1, Ordering::Relaxed) - 1;
+    uncertain_obs::gauge!("server.connections").set(n as f64);
+}
+
+fn apply_reply(r: &ApplyReport) -> Reply {
+    Reply::Apply {
+        epoch: r.epoch,
+        live: r.live as u64,
+        tombstones: r.tombstones as u64,
+        removed: r.removed as u32,
+        moved: r.moved as u32,
+        missed: r.missed as u32,
+        inserted: r.inserted.iter().map(|&id| id as u64).collect(),
+    }
+}
+
+/// Drains encoded frames onto the socket. After a write error the loop
+/// keeps *consuming* (senders never learn, and must never block on a dead
+/// peer) but stops writing.
+fn writer_loop(mut stream: TcpStream, rx: &Receiver<Vec<u8>>) {
+    let mut broken = false;
+    while let Ok(frame) = rx.recv() {
+        if !broken && stream.write_all(&frame).is_err() {
+            broken = true;
+        }
+    }
+    let _ = stream.flush();
+}

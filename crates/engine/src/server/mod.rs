@@ -1,0 +1,395 @@
+//! The network serving front-end: a std-only TCP server speaking the
+//! length-prefixed binary protocol of [`protocol`], feeding the engine's
+//! batch API.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept loops (one per core, shared listener)
+//!    └─ connection threads (reader + writer per connection)
+//!         ├─ Ping / Apply      → handled inline on the connection thread
+//!         └─ point queries     → admission check → shared batch queue
+//!                                   └─ batcher thread: batching window,
+//!                                      Engine::run_batch, replies routed
+//!                                      back per connection
+//! ```
+//!
+//! **Batching window.** Point queries arriving within
+//! [`ServerConfig::batch_window`] of each other are coalesced into one
+//! [`Engine::run_batch`] call (closed early at
+//! [`ServerConfig::max_batch`]). The engine shards the batch across its
+//! worker pool, so the window converts concurrent client load into the
+//! engine's natural parallelism instead of lock-stepping one query per
+//! wakeup.
+//!
+//! **Admission control.** The batch queue is bounded by
+//! [`ServerConfig::queue_bound`]. A query arriving at a full queue is shed
+//! *immediately* with a typed [`protocol::ErrorCode::Shed`] reply (and a
+//! `server.shed` counter increment) rather than queued — under overload
+//! the tail latency of *admitted* requests stays bounded by
+//! `queue_bound / throughput`, and clients get instant backpressure they
+//! can retry against. Setting `queue_bound = 0` disables shedding (the
+//! unbounded baseline experiment E32 measures against).
+//!
+//! **Epoch handoff.** `Apply` frames run inline on their connection
+//! thread through [`Engine::apply`], which publishes a new snapshot
+//! epoch without ever blocking readers — queries already in the batcher
+//! keep serving from the snapshot they started with, so an apply storm
+//! cannot stall in-flight reads.
+//!
+//! **Shutdown.** [`ServerHandle::shutdown`] stops accepting, wakes every
+//! blocked thread, serves what was already admitted, and joins the accept
+//! and batcher threads. Connection readers poll the shutdown flag via a
+//! read timeout and exit within ~100 ms.
+
+pub mod protocol;
+
+mod conn;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{lock_ok, Engine, QueryRequest, QueryResult};
+use protocol::{encode_reply, ErrorCode, Reply};
+
+/// Environment variable overriding [`ServerConfig::accept_threads`].
+pub const ACCEPT_THREADS_ENV: &str = "UNC_SERVER_ACCEPT_THREADS";
+/// Environment variable overriding [`ServerConfig::batch_window`] (µs).
+pub const WINDOW_US_ENV: &str = "UNC_SERVER_WINDOW_US";
+/// Environment variable overriding [`ServerConfig::max_batch`].
+pub const MAX_BATCH_ENV: &str = "UNC_SERVER_MAX_BATCH";
+/// Environment variable overriding [`ServerConfig::queue_bound`].
+pub const QUEUE_BOUND_ENV: &str = "UNC_SERVER_QUEUE_BOUND";
+
+/// Front-end configuration. `Default` binds an ephemeral loopback port
+/// with a 1 ms batching window and a 1024-deep admission bound.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (ephemeral) or `"0.0.0.0:7401"`.
+    pub addr: String,
+    /// Accept-loop threads sharing the listener ("thread per core", capped
+    /// at 4 — accepts are cheap). Env: `UNC_SERVER_ACCEPT_THREADS`.
+    pub accept_threads: usize,
+    /// How long the batcher waits for more queries after the first one
+    /// arrives. Env: `UNC_SERVER_WINDOW_US` (microseconds).
+    pub batch_window: Duration,
+    /// Hard cap on queries per engine batch (closes the window early).
+    /// Env: `UNC_SERVER_MAX_BATCH`.
+    pub max_batch: usize,
+    /// Admission bound on the batch queue; arrivals beyond it are shed
+    /// with a typed error. `0` = unbounded (no shedding — the overload
+    /// baseline). Env: `UNC_SERVER_QUEUE_BOUND`.
+    pub queue_bound: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            accept_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4),
+            batch_window: Duration::from_micros(1000),
+            max_batch: 256,
+            queue_bound: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Applies environment overrides (each warns once on stderr when set
+    /// to an unparsable value, then keeps the configured fallback).
+    fn resolved(mut self) -> ServerConfig {
+        if let Some(n) =
+            uncertain_obs::env_parse::<usize>(ACCEPT_THREADS_ENV, "the configured accept threads")
+        {
+            self.accept_threads = n.max(1);
+        }
+        if let Some(us) =
+            uncertain_obs::env_parse::<u64>(WINDOW_US_ENV, "the configured batch window")
+        {
+            self.batch_window = Duration::from_micros(us);
+        }
+        if let Some(n) =
+            uncertain_obs::env_parse::<usize>(MAX_BATCH_ENV, "the configured max batch")
+        {
+            self.max_batch = n.max(1);
+        }
+        if let Some(n) =
+            uncertain_obs::env_parse::<usize>(QUEUE_BOUND_ENV, "the configured queue bound")
+        {
+            self.queue_bound = n;
+        }
+        self.accept_threads = self.accept_threads.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self
+    }
+}
+
+/// One admitted query waiting for (or riding in) a batch.
+pub(crate) struct Pending {
+    pub(crate) req: QueryRequest,
+    pub(crate) req_id: u64,
+    pub(crate) arrived: Instant,
+    /// The owning connection's writer channel (encoded reply frames).
+    pub(crate) tx: Sender<Vec<u8>>,
+}
+
+/// State shared by accept loops, connection threads, and the batcher.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue: Mutex<VecDeque<Pending>>,
+    pub(crate) queue_cv: Condvar,
+    pub(crate) conns: AtomicUsize,
+}
+
+impl Shared {
+    /// Admits or sheds one query. Returns the shed reply to send (already
+    /// encoded) when admission control rejects it, `None` when admitted.
+    pub(crate) fn admit(&self, p: Pending) -> Option<Vec<u8>> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Some(encode_reply(
+                p.req_id,
+                &Reply::Error {
+                    code: ErrorCode::Shutdown,
+                    detail: "server shutting down".into(),
+                },
+            ));
+        }
+        let mut q = lock_ok(&self.queue);
+        if self.cfg.queue_bound > 0 && q.len() >= self.cfg.queue_bound {
+            drop(q);
+            uncertain_obs::counter!("server.shed").inc();
+            return Some(encode_reply(
+                p.req_id,
+                &Reply::Error {
+                    code: ErrorCode::Shed,
+                    detail: "admission control: batch queue at bound".into(),
+                },
+            ));
+        }
+        q.push_back(p);
+        let depth = q.len() as f64;
+        drop(q);
+        uncertain_obs::gauge!("server.queue.depth").set(depth);
+        uncertain_obs::gauge!("server.queue.peak").set_max(depth);
+        self.queue_cv.notify_one();
+        None
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accepts: Vec<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+/// The serving front-end. See the module docs for the architecture.
+pub struct Server;
+
+impl Server {
+    /// Binds, spawns the accept loops and the batcher, and returns a
+    /// handle. The engine is shared — in-process callers may keep issuing
+    /// `run_batch`/`apply` directly alongside the network path.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<ServerHandle> {
+        let cfg = config.resolved();
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            conns: AtomicUsize::new(0),
+        });
+        let accepts = (0..shared.cfg.accept_threads)
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("unc-accept-{i}"))
+                    .spawn(move || accept_loop(&shared, &listener))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("unc-server-batch".into())
+                .spawn(move || batcher_loop(&shared))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accepts,
+            batcher: Some(batcher),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port of `"…:0"` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current batch-queue depth (the admission-control variable).
+    pub fn queue_depth(&self) -> usize {
+        lock_ok(&self.shared.queue).len()
+    }
+
+    /// Stops accepting, serves everything already admitted, and joins the
+    /// server's threads. Idempotent via `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        // Each accept loop sits in a blocking `accept`; a throwaway
+        // connection per loop wakes it to observe the flag.
+        for _ in 0..self.accepts.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+        for h in self.accepts.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        // Connection readers poll the flag on a 100 ms read timeout; wait
+        // (bounded) for them to drain so their replies flush.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.shared.conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::Relaxed) {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return; // the wake-up connection itself lands here
+                }
+                uncertain_obs::counter!("server.conns_total").inc();
+                let n = shared.conns.fetch_add(1, Ordering::Relaxed) + 1;
+                uncertain_obs::gauge!("server.connections").set(n as f64);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("unc-conn".into())
+                    .spawn(move || conn::serve_conn(&conn_shared, stream));
+                if spawned.is_err() {
+                    // Thread exhaustion: count the connection back out and
+                    // drop the socket (the peer sees a close, not a hang).
+                    let n = shared.conns.fetch_sub(1, Ordering::Relaxed) - 1;
+                    uncertain_obs::gauge!("server.connections").set(n as f64);
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, ECONNABORTED): back off
+                // briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// The batcher: wait for the first query, hold the window open for
+/// stragglers, run the batch, route replies. On shutdown it keeps going
+/// until the queue is empty (everything admitted gets served).
+fn batcher_loop(shared: &Shared) {
+    let poll = Duration::from_millis(100);
+    loop {
+        let mut q = lock_ok(&shared.queue);
+        while q.is_empty() {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            q = shared
+                .queue_cv
+                .wait_timeout(q, poll)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        // The window: coalesce stragglers until the deadline or the batch
+        // cap, whichever first. Under shutdown the window is skipped so
+        // draining finishes promptly.
+        if !shared.shutdown.load(Ordering::Relaxed) {
+            let deadline = Instant::now() + shared.cfg.batch_window;
+            while q.len() < shared.cfg.max_batch {
+                let now = Instant::now();
+                if now >= deadline || shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                q = shared
+                    .queue_cv
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        }
+        let take = q.len().min(shared.cfg.max_batch);
+        let batch: Vec<Pending> = q.drain(..take).collect();
+        uncertain_obs::gauge!("server.queue.depth").set(q.len() as f64);
+        drop(q);
+
+        let requests: Vec<QueryRequest> = batch.iter().map(|p| p.req).collect();
+        uncertain_obs::histogram!("server.batch.size").record(batch.len() as u64);
+        uncertain_obs::counter!("server.batches").inc();
+        let t0 = Instant::now();
+        let response = shared.engine.run_batch(&requests);
+        uncertain_obs::histogram!("server.batch.wall").record(t0.elapsed().as_nanos() as u64);
+
+        let wall = uncertain_obs::histogram!("server.request.wall");
+        let served = uncertain_obs::counter!("server.served");
+        for (p, res) in batch.into_iter().zip(response.results) {
+            let reply = match res {
+                QueryResult::Nonzero(ids) => {
+                    Reply::Nonzero(ids.into_iter().map(|i| i as u64).collect())
+                }
+                QueryResult::Ranked { items, guarantee } => Reply::Ranked {
+                    items: items.into_iter().map(|(i, pr)| (i as u64, pr)).collect(),
+                    guarantee,
+                },
+                QueryResult::Failed { reason } => {
+                    uncertain_obs::counter!("server.failed").inc();
+                    Reply::Error {
+                        code: ErrorCode::Failed,
+                        detail: reason,
+                    }
+                }
+            };
+            let frame = encode_reply(p.req_id, &reply);
+            wall.record(p.arrived.elapsed().as_nanos() as u64);
+            served.inc();
+            // A send error means the connection's writer is gone (client
+            // hung up mid-flight) — the answer is simply dropped.
+            let _ = p.tx.send(frame);
+        }
+    }
+}

@@ -63,10 +63,12 @@ pub const SHARDS_ENV: &str = "UNC_ENGINE_SHARDS";
 /// Resolved shard count: `UNC_ENGINE_SHARDS` env > `requested` > detected
 /// parallelism; always at least 1.
 pub fn resolve_shards(requested: Option<usize>) -> usize {
-    if let Ok(v) = std::env::var(SHARDS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    // An invalid value warns once on stderr (naming the variable and the
+    // fallback) instead of silently misconfiguring the deployment.
+    if let Some(n) =
+        uncertain_obs::env_parse::<usize>(SHARDS_ENV, "the config/detected shard count")
+    {
+        return n.max(1);
     }
     requested
         .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
@@ -225,7 +227,7 @@ fn apply_shard(
     insert_ids: &[SiteId],
 ) -> ShardOutcome {
     let _span = uncertain_obs::span_dyn(&format!("engine.apply.shard{shard}"));
-    let mut w = writers[shard].lock().unwrap();
+    let mut w = crate::lock_ok(&writers[shard]);
     let before = w.set.stats().rebuild;
     // A fully-missed sub-batch leaves the structure untouched (missed
     // removes/moves mutate nothing, and there are no inserts), so running
@@ -278,7 +280,7 @@ impl ShardedEngine {
             .collect();
         let snaps: Vec<Arc<DynamicSet>> = writers
             .iter()
-            .map(|w| Arc::new(w.lock().unwrap().set.clone()))
+            .map(|w| Arc::new(crate::lock_ok(w).set.clone()))
             .collect();
         let spread = if set.is_empty() { 1.0 } else { set.spread() };
         let core = Arc::new(ShardedCore {
@@ -302,7 +304,7 @@ impl ShardedEngine {
     }
 
     fn snapshot(&self) -> Arc<ShardedCore> {
-        self.core.read().unwrap().clone()
+        crate::read_ok(&self.core).clone()
     }
 
     /// Resolved shard count.
@@ -471,8 +473,8 @@ impl ShardedEngine {
         // published a later epoch for a shard must not be reverted by our
         // older snapshot arriving late).
         {
-            let _publish = self.publish_lock.lock().unwrap();
-            let old = self.core.read().unwrap().clone();
+            let _publish = crate::lock_ok(&self.publish_lock);
+            let old = crate::read_ok(&self.core).clone();
             let mut sets: Vec<Arc<DynamicSet>> = old.reader.shards().to_vec();
             let mut epochs = (*old.epochs).clone();
             let mut changed = false;
@@ -496,7 +498,7 @@ impl ShardedEngine {
                     config: old.config,
                     cache: Arc::clone(&old.cache),
                 });
-                *self.core.write().unwrap() = Arc::clone(&core);
+                *crate::write_ok(&self.core) = Arc::clone(&core);
                 core
             } else {
                 // Every effective sub-batch was superseded by a racing
@@ -586,9 +588,25 @@ impl ShardedEngine {
                 buf[ji] = Some(out);
                 busy[ji] = dt;
             }
+            // Mirrors the monolithic engine: a lost job (panic outside
+            // the per-request guard) degrades to typed failures for its
+            // chunk instead of unwinding the batch caller.
             let results = buf
                 .into_iter()
-                .flat_map(|s| s.expect("a batch job panicked (e.g. a NaN query coordinate)"))
+                .enumerate()
+                .flat_map(|(ji, s)| {
+                    s.unwrap_or_else(|| {
+                        uncertain_obs::counter!("engine.exec.lost_jobs").inc();
+                        let lo = ji * chunk_len;
+                        let len = chunk_len.min(requests.len() - lo);
+                        (0..len)
+                            .map(|_| QueryResult::Failed {
+                                reason: "worker job lost to a panic outside the request guard"
+                                    .into(),
+                            })
+                            .collect()
+                    })
+                })
                 .collect();
             (results, busy)
         };
@@ -663,7 +681,27 @@ fn plan_for_sharded(core: &ShardedCore, nonzero_count: usize, quant_count: usize
     })
 }
 
+/// Executes one request with per-request panic isolation (the sharded twin
+/// of the monolithic engine's guard): a panicking evaluation yields a
+/// typed [`QueryResult::Failed`] before it can poison any shared lock.
 fn exec_one(
+    core: &ShardedCore,
+    prepared: SPrepared,
+    req: QueryRequest,
+    counters: &BatchCounters,
+) -> QueryResult {
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec_one_inner(core, prepared, req, counters)
+    }));
+    out.unwrap_or_else(|payload| {
+        uncertain_obs::counter!("engine.exec.panics").inc();
+        QueryResult::Failed {
+            reason: crate::panic_reason(payload.as_ref()),
+        }
+    })
+}
+
+fn exec_one_inner(
     core: &ShardedCore,
     prepared: SPrepared,
     req: QueryRequest,

@@ -1,0 +1,102 @@
+//! Env-var configuration parsing with loud-but-once failure reporting.
+//!
+//! Every `UNC_*` override in the workspace used to fall back to its
+//! default *silently* on a typo (`UNC_ENGINE_THREADS=four`), which
+//! misconfigures deployments with no signal. [`env_parse`] is the one
+//! shared parse path: unset means `None`, a valid value parses, and an
+//! invalid value warns **once per variable** on stderr — naming the
+//! variable, the rejected value, and the fallback being used — then
+//! behaves as unset.
+
+use std::collections::BTreeSet;
+use std::str::FromStr;
+use std::sync::Mutex;
+
+/// Variables already warned about (once per process per name).
+static WARNED: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+
+/// Parses `$name` as a `T`.
+///
+/// * unset → `None`, silently;
+/// * parses (after trimming) → `Some(value)`;
+/// * set but unparsable → `None`, after warning once on stderr with the
+///   variable name, the offending value, and `fallback` (a short
+///   description of what the caller will use instead).
+pub fn env_parse<T: FromStr>(name: &str, fallback: &str) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<T>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            warn_once(name, &raw, fallback);
+            None
+        }
+    }
+}
+
+/// Records that `name` was invalid and prints the warning the first time.
+fn warn_once(name: &str, raw: &str, fallback: &str) {
+    let mut warned = WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if warned.insert(name.to_string()) {
+        eprintln!("warning: ignoring invalid {name}={raw:?}; using {fallback}");
+    }
+}
+
+/// Whether an invalid value for `name` has already been reported (test
+/// hook; also lets callers branch on "misconfigured vs unset" if needed).
+pub fn env_warned(name: &str) -> bool {
+    WARNED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .contains(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a unique variable name: env mutation is process-global
+    // and the test harness runs tests concurrently.
+
+    #[test]
+    fn unset_is_silently_none() {
+        assert_eq!(env_parse::<usize>("UNC_TEST_ENV_UNSET", "default"), None);
+        assert!(!env_warned("UNC_TEST_ENV_UNSET"));
+    }
+
+    #[test]
+    fn valid_values_parse_with_trim() {
+        std::env::set_var("UNC_TEST_ENV_VALID", " 42 ");
+        assert_eq!(
+            env_parse::<usize>("UNC_TEST_ENV_VALID", "default"),
+            Some(42)
+        );
+        assert!(!env_warned("UNC_TEST_ENV_VALID"));
+        std::env::set_var("UNC_TEST_ENV_VALID_F", "0.5");
+        assert_eq!(
+            env_parse::<f64>("UNC_TEST_ENV_VALID_F", "default"),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn invalid_values_warn_once_and_fall_through() {
+        std::env::set_var("UNC_TEST_ENV_BAD", "four");
+        assert_eq!(env_parse::<usize>("UNC_TEST_ENV_BAD", "default"), None);
+        assert!(env_warned("UNC_TEST_ENV_BAD"));
+        // Second parse still returns None and does not re-insert (the
+        // warning fires only once; observable only as no-panic here).
+        assert_eq!(env_parse::<usize>("UNC_TEST_ENV_BAD", "default"), None);
+    }
+
+    #[test]
+    fn negative_numbers_are_invalid_for_unsigned() {
+        std::env::set_var("UNC_TEST_ENV_NEG", "-3");
+        assert_eq!(env_parse::<usize>("UNC_TEST_ENV_NEG", "default"), None);
+        assert!(env_warned("UNC_TEST_ENV_NEG"));
+        // ...but parse fine as signed.
+        std::env::set_var("UNC_TEST_ENV_NEG_OK", "-3");
+        assert_eq!(env_parse::<i64>("UNC_TEST_ENV_NEG_OK", "default"), Some(-3));
+    }
+}

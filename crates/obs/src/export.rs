@@ -192,9 +192,7 @@ impl Flusher {
     /// an unwritable path) otherwise.
     pub fn from_env() -> Option<Flusher> {
         let path = std::env::var(FLUSH_ENV).ok()?;
-        let ms = std::env::var(FLUSH_MS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
+        let ms = crate::env_parse::<u64>(FLUSH_MS_ENV, "the default 1000 ms interval")
             .unwrap_or(1000)
             .max(1);
         match Flusher::start(&path, Duration::from_millis(ms)) {

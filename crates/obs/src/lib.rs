@@ -33,11 +33,13 @@
 //! assert!(snap.counters.iter().any(|(n, v)| *n == "docs.example.hits" && *v >= 1));
 //! ```
 
+pub mod envcfg;
 pub mod export;
 pub mod metrics;
 pub mod registry;
 pub mod span;
 
+pub use envcfg::{env_parse, env_warned};
 pub use export::{fmt_ns, Flusher, MetricsSnapshot, FLUSH_ENV, FLUSH_MS_ENV};
 pub use metrics::{
     bucket_index, bucket_upper, Counter, Gauge, HistSnapshot, Histogram, HIST_BUCKETS,

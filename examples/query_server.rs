@@ -1,174 +1,171 @@
-//! Query server: batched, concurrent serving with the `uncertain_engine`.
+//! Query server: the network serving front-end, exercised end to end.
 //!
 //! ```text
-//! cargo run --release --example query_server
-//! UNC_ENGINE_THREADS=1 cargo run --release --example query_server
+//! cargo run --release --example query_server                 # self-hosted
+//! cargo run --release --example query_server -- --connect HOST:PORT
 //! ```
 //!
-//! Simulates a small serving workload: a fleet of uncertain points, waves
-//! of mixed request batches (nonzero / threshold / top-k), a repeated wave
-//! that exercises the result cache, live churn absorbed through the
-//! epoch/snapshot `apply()` layer, and a tighter-guarantee engine. After
-//! every batch the engine reports its `ExecStats` one-liner: the plan the
-//! cost-based planner took, the wall time, cache hit rate, worker
-//! utilization, and the epoch + live site count the batch was served
-//! under.
+//! By default this self-hosts a [`uncertain_engine::server::Server`] over
+//! an in-process engine on an ephemeral loopback port, then acts as a
+//! *thin client* of it: everything — point-query waves, live churn
+//! through `apply`, even the overload demonstration — travels through the
+//! length-prefixed binary protocol, exactly as a remote client would.
+//! With `--connect` it skips the self-hosting and talks to a `serve`
+//! process you started elsewhere.
 //!
-//! After the waves, an interactive tail reads commands from stdin:
-//! `stats` prints a live `obs/v1` metrics snapshot of the whole process
-//! (per-layer span timings, planner counters, batch latency histograms),
-//! `traces` dumps the slowest recorded query traces as JSON lines, and
-//! `quit` (or EOF — piped runs fall straight through) exits. Setting
-//! `UNC_OBS_FLUSH=<file>` additionally streams snapshots during the run.
+//! The client is deliberately defensive: every reply variant is matched
+//! (results, shed/error replies, pongs), nothing is indexed by position,
+//! and a shed or failed reply is reported instead of crashing the client.
 
-use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, Update};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uncertain_engine::server::protocol::{Client, ErrorCode, Reply, Request};
+use uncertain_engine::server::{Server, ServerConfig};
+use uncertain_engine::{Engine, EngineConfig, QueryRequest, Update};
 use uncertain_geom::Point;
 use uncertain_nn::model::DiscreteUncertainPoint;
-use uncertain_nn::queries::Guarantee;
 use uncertain_nn::workload;
 
-fn describe(tag: &str, resp: &uncertain_engine::BatchResponse) {
-    // The ExecStats Display impl is the canonical one-liner.
-    println!("[{tag}] {}  built {:?}", resp.stats, resp.stats.built);
-}
-
 fn main() {
-    // Stream obs/v1 snapshots when UNC_OBS_FLUSH is set, and keep the 5
-    // slowest query traces for the `traces` command.
     let _flusher = uncertain_obs::Flusher::from_env();
-    uncertain_obs::trace::set_capacity(5);
-    // A fleet of 3000 uncertain points, 3 possible locations each.
-    let set = workload::random_discrete_set(3000, 3, 5.0, 42);
-    let engine = Engine::new(set.clone(), EngineConfig::default());
-    println!(
-        "serving n = {} uncertain points ({} locations) on {} worker(s)\n",
-        set.len(),
-        set.total_locations(),
-        engine.threads()
-    );
-
-    // Wave 1: a mixed batch — the planner amortizes one index build.
-    let queries = workload::random_queries(256, 60.0, 7);
-    let mut wave1 = Vec::new();
-    for &q in &queries {
-        wave1.push(QueryRequest::Nonzero { q });
-        wave1.push(QueryRequest::Threshold { q, tau: 0.3 });
-        wave1.push(QueryRequest::TopK { q, k: 3 });
+    let mut connect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--connect" => connect = args.next(),
+            other => {
+                eprintln!("usage: query_server [--connect HOST:PORT]   (got {other:?})");
+                std::process::exit(2);
+            }
+        }
     }
-    let resp = engine.run_batch(&wave1);
-    describe("wave 1 cold", &resp);
-    if let (QueryRequest::TopK { q, .. }, QueryResult::Ranked { items, guarantee }) =
-        (&wave1[2], &resp.results[2])
+
+    // Self-host unless pointed at an external server. The handle must
+    // outlive the client traffic; dropping it shuts the server down.
+    let mut hosted = None;
+    let addr = match connect {
+        Some(addr) => addr,
+        None => {
+            let set = workload::random_discrete_set(3000, 3, 5.0, 42);
+            let engine = Arc::new(Engine::new(set, EngineConfig::default()));
+            println!(
+                "self-hosting: n = 3000 uncertain points on {} worker(s)",
+                engine.threads()
+            );
+            let handle = Server::start(engine, ServerConfig::default()).expect("bind loopback");
+            let addr = handle.local_addr().to_string();
+            hosted = Some(handle);
+            addr
+        }
+    };
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(5)).unwrap_or_else(|e| {
+        eprintln!("query_server: cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("connected to {addr}\n");
+
+    match client.call(&Request::Ping) {
+        Ok(Reply::Pong) => println!("[ping] pong"),
+        other => println!("[ping] unexpected: {other:?}"),
+    }
+
+    // Wave 1: a mixed wave — nonzero, threshold, and top-k per point.
+    let queries = workload::random_queries(64, 60.0, 7);
+    let mut wave: Vec<QueryRequest> = Vec::new();
+    for &q in &queries {
+        wave.push(QueryRequest::Nonzero { q });
+        wave.push(QueryRequest::Threshold { q, tau: 0.3 });
+        wave.push(QueryRequest::TopK { q, k: 3 });
+    }
+    run_wave(&mut client, "wave 1", &wave);
+
+    // Show one concrete answer, defensively: find the first ranked reply
+    // rather than assuming a response shape at a fixed index.
+    if let Ok(Reply::Ranked { items, guarantee }) =
+        client.call(&Request::Query(QueryRequest::TopK {
+            q: queries[0],
+            k: 3,
+        }))
     {
         println!(
-            "         e.g. top-3 at {q}: {:?} under {:?}",
+            "         e.g. top-3 at {}: {:?} under {guarantee:?}",
+            queries[0],
             items
                 .iter()
                 .map(|&(i, p)| (i, (p * 1000.0).round() / 1000.0))
                 .collect::<Vec<_>>(),
-            guarantee
         );
     }
 
-    // Wave 2: the same batch again — served from the result cache.
-    describe("wave 2 warm", &engine.run_batch(&wave1));
+    // Wave 2: churn over the wire — applies publish new epochs without
+    // blocking the queries other connections keep sending.
+    let mut updates: Vec<Update> = (0..64).map(Update::Remove).collect();
+    for i in 0..48 {
+        let v = i as f64;
+        updates.push(Update::Insert(DiscreteUncertainPoint::uniform(vec![
+            Point::new((v * 1.7) % 50.0 - 25.0, (v * 2.9) % 50.0 - 25.0),
+            Point::new((v * 3.1) % 50.0 - 25.0, (v * 0.7) % 50.0 - 25.0),
+        ])));
+    }
+    for i in 0..16 {
+        updates.push(Update::Move {
+            id: 1000 + i,
+            to: DiscreteUncertainPoint::certain(Point::new((i as f64 * 5.3) % 40.0 - 20.0, 5.0)),
+        });
+    }
+    match client.call(&Request::Apply(updates)) {
+        Ok(Reply::Apply {
+            epoch,
+            live,
+            tombstones,
+            removed,
+            moved,
+            missed,
+            inserted,
+        }) => println!(
+            "[churn]  epoch {epoch} | +{} inserted, -{removed} removed, {moved} moved, {missed} missed | {live} live / {tombstones} tombstones",
+            inserted.len(),
+        ),
+        other => println!("[churn]  unexpected: {other:?}"),
+    }
+    run_wave(&mut client, "wave 2", &wave);
 
-    // Wave 3: fresh queries — structures are already built (sunk cost).
-    let wave3: Vec<QueryRequest> = workload::random_queries(512, 60.0, 8)
-        .into_iter()
-        .map(|q| QueryRequest::Nonzero { q })
-        .collect();
-    describe("wave 3 new ", &engine.run_batch(&wave3));
+    if hosted.is_some() {
+        println!("\nshutting the self-hosted server down");
+    }
+    drop(hosted);
+}
 
-    // Wave 4: live churn — sites expire, arrive, and move through the
-    // epoch/snapshot layer. Each apply() publishes a new epoch; the
-    // Bentley–Saxe buckets absorb the updates without a full rebuild, and
-    // the epoch-stamped cache retires the old epoch's entries for free.
-    for round in 0..3 {
-        let mut updates: Vec<Update> = (0..64).map(|i| Update::Remove(round * 64 + i)).collect();
-        for i in 0..48 {
-            let v = (round * 48 + i) as f64;
-            updates.push(Update::Insert(DiscreteUncertainPoint::uniform(vec![
-                Point::new((v * 1.7) % 50.0 - 25.0, (v * 2.9) % 50.0 - 25.0),
-                Point::new((v * 3.1) % 50.0 - 25.0, (v * 0.7) % 50.0 - 25.0),
-            ])));
+/// Sends every request of a wave and tallies replies by kind — a shed or
+/// failed reply is a *count*, not a crash.
+fn run_wave(client: &mut Client, tag: &str, wave: &[QueryRequest]) {
+    let t0 = std::time::Instant::now();
+    let (mut ok, mut shed, mut failed, mut other) = (0u32, 0u32, 0u32, 0u32);
+    for &req in wave {
+        match client.call(&Request::Query(req)) {
+            Ok(Reply::Nonzero(_)) | Ok(Reply::Ranked { .. }) => ok += 1,
+            Ok(Reply::Error {
+                code: ErrorCode::Shed,
+                ..
+            }) => shed += 1,
+            Ok(Reply::Error {
+                code: ErrorCode::Failed,
+                detail,
+            }) => {
+                failed += 1;
+                println!("[{tag}] server-side failure: {detail}");
+            }
+            Ok(_) => other += 1,
+            Err(e) => {
+                println!("[{tag}] transport error after {ok} replies: {e}");
+                return;
+            }
         }
-        for i in 0..16 {
-            updates.push(Update::Move {
-                id: 1000 + round * 16 + i,
-                to: DiscreteUncertainPoint::certain(Point::new(
-                    (i as f64 * 5.3) % 40.0 - 20.0,
-                    (round as f64 * 7.1) % 40.0 - 20.0,
-                )),
-            });
-        }
-        let report = engine.apply(&updates);
-        println!(
-            "[churn {round}] epoch {} | +{} inserted, -{} removed, {} moved | {} live / {} tombstones | {} merges touching {} sites, {} global rebuilds",
-            report.epoch,
-            report.inserted.len(),
-            report.removed,
-            report.moved,
-            report.live,
-            report.tombstones,
-            report.merges,
-            report.sites_rebuilt,
-            report.global_rebuilds,
-        );
-        describe("churn serve", &engine.run_batch(&wave3));
     }
-    if let Some(stats) = engine.dynamic_stats() {
-        println!(
-            "         dynamic structure: {} buckets ({} indexed), amortized {:.1} sites rebuilt/update\n",
-            stats.buckets,
-            stats.indexed_buckets,
-            stats.rebuild.amortized_rebuild_cost(),
-        );
-    }
-
-    // A second engine serving ε-approximate answers: the planner switches
-    // to the spiral-search quantifier for the same request shapes.
-    let approx = Engine::new(
-        set,
-        EngineConfig {
-            guarantee: Guarantee::Additive(0.05),
-            ..EngineConfig::default()
-        },
+    println!(
+        "[{tag}] {} requests: {ok} answered, {shed} shed, {failed} failed, {other} other in {:?}",
+        wave.len(),
+        t0.elapsed(),
     );
-    let wave4: Vec<QueryRequest> = workload::random_queries(256, 60.0, 9)
-        .into_iter()
-        .map(|q| QueryRequest::TopK { q, k: 1 })
-        .collect();
-    describe("approx ε=.05", &approx.run_batch(&wave4));
-    println!("\ncost table of the last plan:");
-    for e in &approx.run_batch(&wave4).stats.plan.estimates {
-        println!(
-            "  {}{:<22} build {:>12.0}  per-query {:>10.0}  total {:>12.0}",
-            if e.chosen { "* " } else { "  " },
-            e.name,
-            e.build,
-            e.per_query,
-            e.total
-        );
-    }
-
-    // Interactive tail: serve live observability on request. A piped or CI
-    // run sees immediate EOF and exits; a terminal user can poll `stats`
-    // while re-running waves in another pane is left as an exercise.
-    println!("\ncommands: stats | traces | quit");
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match std::io::stdin().read_line(&mut line) {
-            Ok(0) | Err(_) => break, // EOF
-            Ok(_) => {}
-        }
-        match line.trim() {
-            "stats" => print!("{}", uncertain_obs::MetricsSnapshot::capture().dump()),
-            "traces" => print!("{}", uncertain_obs::trace::dump_json_lines()),
-            "quit" | "exit" => break,
-            "" => {}
-            other => println!("unknown command {other:?} (stats | traces | quit)"),
-        }
-    }
 }
