@@ -7,6 +7,7 @@
 //! of them.
 
 pub mod churn;
+pub mod cluster;
 pub mod measure;
 pub mod obs_schema;
 

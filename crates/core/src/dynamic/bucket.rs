@@ -19,7 +19,7 @@ use super::quant::QuantIndex;
 use crate::expected::ExpectedNnIndex;
 use crate::model::{DiscreteSet, DiscreteUncertainPoint};
 use crate::nonzero::DiscreteNonzeroIndex;
-use uncertain_geom::Point;
+use uncertain_geom::{Aabb, Point};
 use uncertain_spatial::soa::bitmap_get;
 use uncertain_spatial::GroupIndex;
 
@@ -65,6 +65,11 @@ pub(crate) struct Bucket {
     /// snapshots and is invalidated exactly when a carry or compaction
     /// replaces the bucket.
     quant: OnceLock<QuantIndex>,
+    /// Tight box over every location of every stored site (live and
+    /// tombstoned alike — a conservative cover of the live supports that
+    /// only tightens at the next carry/compaction). The sharded reader
+    /// unions these into per-shard support boxes for query pruning.
+    support_aabb: Aabb,
 }
 
 impl Bucket {
@@ -79,6 +84,8 @@ impl Bucket {
         let total: usize = sites.iter().map(|s| s.k()).sum();
         let indexed = sites.len() >= 2 && total >= index_min_locations;
         let nonzero = indexed.then(|| DiscreteNonzeroIndex::build(&materialize(&sites)));
+        let support_aabb =
+            Aabb::from_points(sites.iter().flat_map(|s| s.locations().iter().copied()));
         Bucket {
             entry_idxs,
             sites,
@@ -86,6 +93,7 @@ impl Bucket {
             nonzero,
             expected: OnceLock::new(),
             quant: OnceLock::new(),
+            support_aabb,
         }
     }
 
@@ -96,6 +104,12 @@ impl Bucket {
     /// Σ locations stored in this bucket (live and tombstoned).
     pub fn total_locations(&self) -> usize {
         self.total_locations
+    }
+
+    /// Tight box over every stored site's locations (a conservative cover
+    /// of the live supports; see the field docs).
+    pub fn support_aabb(&self) -> &Aabb {
+        &self.support_aabb
     }
 
     /// Locations of local site `local`.

@@ -82,7 +82,7 @@ use crate::quantification::exact::quantification_sweep;
 use crate::quantification::sweep::{sweep, KWayMerge};
 use bucket::Bucket;
 use quant::NO_DENSE;
-use uncertain_geom::Point;
+use uncertain_geom::{Aabb, Point};
 
 /// Stable handle of a site across updates. Ids are assigned by
 /// [`DynamicSet::insert`] (or `0..n` by [`DynamicSet::from_set`]) and are
@@ -204,6 +204,11 @@ pub struct QuantMergeStats {
     pub entries_merged: usize,
     /// Live locations a fresh sweep would have assembled and sorted.
     pub live_locations: usize,
+    /// Shards whose streams joined the merge (sharded reader only; a
+    /// monolithic set leaves this 0). With spatial partitioning, shards
+    /// whose support box lies strictly beyond the exact-zero cutoff are
+    /// excluded before their buckets are even opened.
+    pub shards_touched: usize,
 }
 
 /// A point-in-time report of the structure's shape.
@@ -500,9 +505,12 @@ impl DynamicSet {
 
     /// Registers an externally-allocated fresh id (sharded serving assigns
     /// ids from one global counter so per-shard id spaces never collide).
-    /// The id must never have been used in this set; racing appliers can
-    /// hand ids to a shard out of order, so insertion keeps the live list
-    /// sorted instead of assuming a push suffices.
+    /// The id must not be live here; racing appliers can hand ids to a
+    /// shard out of order, so insertion keeps the live list sorted instead
+    /// of assuming a push suffices. Removes leave stale entries behind
+    /// (see [`drop_live_id`](Self::drop_live_id)), and spatial rebalancing
+    /// can migrate an id away and later back — a stale copy of the adopted
+    /// id is revived in place rather than duplicated.
     fn adopt_id(&mut self, id: SiteId) {
         debug_assert!(
             !self.handles.contains_key(&id),
@@ -512,7 +520,12 @@ impl DynamicSet {
         match self.live_ids.last() {
             Some(&last) if last >= id => {
                 let pos = self.live_ids.partition_point(|&x| x < id);
-                self.live_ids.insert(pos, id);
+                if self.live_ids.get(pos) == Some(&id) {
+                    // Stale copy from an earlier removal of the same id.
+                    self.stale_ids = self.stale_ids.saturating_sub(1);
+                } else {
+                    self.live_ids.insert(pos, id);
+                }
             }
             _ => self.live_ids.push(id),
         }
@@ -543,9 +556,10 @@ impl DynamicSet {
 
     /// [`apply`](Self::apply) with externally-allocated insert ids: the
     /// `k`-th `Insert` in `updates` receives `insert_ids[k]` instead of a
-    /// locally-allocated one. Every id must be globally fresh (never used
-    /// in this set before) — the contract the sharded engine's single
-    /// global id counter provides. Semantics are otherwise identical to
+    /// locally-allocated one. Every id must be *not currently live* here —
+    /// either globally fresh (the sharded engine's single global id
+    /// counter) or previously removed from this set (a spatial rebalance
+    /// migrating a site back). Semantics are otherwise identical to
     /// [`apply`](Self::apply), including the single end-of-batch carry.
     pub fn apply_with_insert_ids(
         &mut self,
@@ -1065,6 +1079,21 @@ impl DynamicSet {
             }
         }
         (warm, cold)
+    }
+
+    /// A conservative box over the supports of every live site: the union
+    /// of per-bucket support boxes. Tombstoned sites still inflate it until
+    /// their bucket next merges — the box only over-covers, never
+    /// under-covers, which is the direction spatial query pruning needs.
+    /// Empty (and hence safe to prune against any query) when no buckets
+    /// are occupied.
+    pub fn support_aabb(&self) -> Aabb {
+        self.buckets
+            .iter()
+            .flatten()
+            .fold(Aabb::empty(), |acc, slot| {
+                acc.union(slot.bucket.support_aabb())
+            })
     }
 
     /// The live site minimizing the expected distance to `q`, with that

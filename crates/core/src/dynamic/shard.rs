@@ -1,12 +1,13 @@
 //! Scatter-gather query drivers over a partition of the site universe into
 //! independent [`DynamicSet`] shards.
 //!
-//! The partition is by stable id ([`shard_of`]): each site lives in exactly
-//! one shard, each shard is a full Bentley–Saxe structure (buckets,
-//! tombstone bitmaps, warm quant summaries) that mutates independently.
-//! Every query family recombines **bit-identically** to a single monolithic
-//! set holding the union, because each already recombines across *buckets*
-//! by an operation that is independent of how the union is partitioned:
+//! The reader is **partition-agnostic**: each site lives in exactly one
+//! shard (by id hash, by spatial region — the reader never asks which),
+//! each shard is a full Bentley–Saxe structure (buckets, tombstone bitmaps,
+//! warm quant summaries) that mutates independently. Every query family
+//! recombines **bit-identically** to a single monolithic set holding the
+//! union, because each already recombines across *buckets* by an operation
+//! that is independent of how the union is partitioned:
 //!
 //! * `NN≠0` — the global Lemma 2.1 threshold pair `(d1, d2)` is the
 //!   min/second-min of `Δ_i(q)` over the union; [`ShardedReader::nonzero`]
@@ -25,15 +26,40 @@
 //!   break to the smaller id; the witness among bitwise-equal values is
 //!   unspecified either way, the *value* is always the exact minimum).
 //!
+//! # Spatial pruning
+//!
+//! Every read path additionally prunes whole shards against per-shard
+//! **support boxes** ([`DynamicSet::support_aabb`]: a conservative cover of
+//! every live site's locations). For each shard `s`, `dist(q, box_s)` lower
+//! bounds both `δ_i(q)` and `Δ_i(q)` of every live site `i ∈ s` (every
+//! location of `i` lies in `box_s`). Shards are visited in ascending
+//! box-distance order so thresholds tighten before far shards are tested;
+//! a shard is skipped exactly when the bound proves no site in it can
+//! change any output bit (each skip rule carries its proof inline). Under
+//! hash partitioning every shard's box covers essentially the whole cloud,
+//! so the bounds are all ~0 and nothing is pruned — the pruned driver
+//! degrades to the plain scatter-gather. Under a spatial partitioner the
+//! boxes are near-disjoint and clustered queries touch `O(1)` shards.
+//! The `*_touched` variants report how many shards a query actually
+//! visited — the engine feeds this back into the planner's gather term.
+//!
 //! `tests/sharded_differential.rs` runs the three families after every op
-//! of randomized interleavings against a monolithic oracle at S ∈ {1, 3, 8}.
+//! of randomized interleavings against a monolithic oracle at S ∈ {1, 3, 8}
+//! under both hash and spatial partitioners.
 
 use std::sync::{Arc, OnceLock};
 
 use super::{DynamicSet, QuantMergeStats, SiteId};
 use crate::model::DiscreteSet;
 use crate::quantification::sweep::{sweep, KWayMerge};
-use uncertain_geom::Point;
+use uncertain_geom::{Aabb, Point};
+
+/// Relative pruning slack for the expected-NN shard skip, mirroring the
+/// in-bucket branch-and-bound's `PRUNE_MARGIN` (`crate::expected`): the
+/// computed `Σ_j w_j·d(q, p_ij)` can round a few ulps below its true value,
+/// whose magnitude scales with the distances — so the skip test needs
+/// headroom relative to both the incumbent and the shard bound.
+const PRUNE_MARGIN: f64 = 1e-9;
 
 /// The shard owning `id` under hash partitioning into `shards` shards.
 /// Fibonacci multiplicative hashing: cheap, deterministic, and spreads the
@@ -61,10 +87,12 @@ struct GatherMaps {
 ///
 /// Holds `Arc` snapshots, so an in-flight reader is never disturbed by
 /// appliers publishing new shard epochs. Construction is O(S); the gather
-/// maps are built lazily on the first quantification and cached.
+/// maps and per-shard support boxes are built lazily and cached.
 pub struct ShardedReader {
     shards: Vec<Arc<DynamicSet>>,
     maps: OnceLock<GatherMaps>,
+    /// Per-shard support boxes (see [`DynamicSet::support_aabb`]).
+    aabbs: OnceLock<Vec<Aabb>>,
 }
 
 impl ShardedReader {
@@ -74,6 +102,7 @@ impl ShardedReader {
         ShardedReader {
             shards,
             maps: OnceLock::new(),
+            aabbs: OnceLock::new(),
         }
     }
 
@@ -112,21 +141,49 @@ impl ShardedReader {
         ids
     }
 
+    /// Per-shard support boxes, built once per snapshot.
+    pub fn support_aabbs(&self) -> &[Aabb] {
+        self.aabbs
+            .get_or_init(|| self.shards.iter().map(|s| s.support_aabb()).collect())
+    }
+
+    /// Per-shard lower bounds `dist(q, box_s)` (`∞` for shards with no live
+    /// sites) plus the scatter visit order: non-empty shards ascending by
+    /// `(bound, shard index)`.
+    fn scatter_order(&self, q: Point) -> (Vec<f64>, Vec<usize>) {
+        let boxes = self.support_aabbs();
+        let mut dist = vec![f64::INFINITY; self.shards.len()];
+        let mut order: Vec<usize> = Vec::with_capacity(self.shards.len());
+        for (s, shard) in self.shards.iter().enumerate() {
+            if shard.is_empty() {
+                continue;
+            }
+            dist[s] = boxes[s].dist_to_point(q);
+            order.push(s);
+        }
+        order.sort_unstable_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
+        (dist, order)
+    }
+
     /// Materializes the union as a static set in ascending id order —
     /// identical to the monolithic [`DynamicSet::live_set`], so fresh-path
     /// evaluation (brute `NN≠0`, fresh/snapped quantification) over it is
-    /// bit-identical too.
+    /// bit-identical too. Gathers from whichever shard holds each site (no
+    /// assumption about the partitioning scheme).
     pub fn live_set(&self) -> DiscreteSet {
-        let maps = self.maps();
-        DiscreteSet::new(
-            maps.ids
-                .iter()
-                .map(|&id| {
-                    let shard = &self.shards[shard_of(id, self.shards.len())];
-                    shard.get(id).expect("gather map ids are live").clone()
-                })
-                .collect(),
-        )
+        let mut sites: Vec<(SiteId, Arc<crate::model::DiscreteUncertainPoint>)> =
+            Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            sites.extend(
+                shard
+                    .entries
+                    .iter()
+                    .filter(|e| e.alive)
+                    .map(|e| (e.id, e.site.clone())),
+            );
+        }
+        sites.sort_unstable_by_key(|&(id, _)| id);
+        DiscreteSet::new(sites.into_iter().map(|(_, s)| (*s).clone()).collect())
     }
 
     /// Exact global shape summary `(total locations N, max per-site k,
@@ -176,13 +233,74 @@ impl ShardedReader {
     /// `NN≠0(q)` over the union, ascending public ids — bit-identical to a
     /// monolithic [`DynamicSet::nonzero`] over the same live sites.
     pub fn nonzero(&self, q: Point) -> Vec<SiteId> {
-        // Scatter: fold the per-shard two-min triples exactly as the
-        // monolithic set folds per-bucket triples.
+        self.nonzero_touched(q).0
+    }
+
+    /// [`nonzero`](Self::nonzero) plus the number of shards the query
+    /// actually visited (stage 1 ∪ stage 2) after box pruning.
+    pub fn nonzero_touched(&self, q: Point) -> (Vec<SiteId>, usize) {
+        let (dist, order) = self.scatter_order(q);
+        let mut visited = vec![false; self.shards.len()];
+        let Some((d1, id1, d2)) = self.pruned_two_min(q, &dist, &order, &mut visited) else {
+            return (vec![], 0);
+        };
+        // Gather: every visited shard range-reports against the same global
+        // floats. Skip proof: a site is reported iff `δ_i(q) < bound(i)`
+        // with `bound(i) ≤ d2` when d2 is finite — so `radius = d2` there,
+        // and `dist[s] > radius` gives `δ_i ≥ dist[s] > radius ≥ bound(i)`
+        // for every live `i ∈ s`: nothing in `s` reports. With `d2 = ∞`
+        // (single live site) `radius = d1 ≥ δ` of that site, so its shard's
+        // bound is never exceeded and it is never skipped. Strictness
+        // matters: a shard at exactly `dist[s] == radius` may still hold a
+        // reportable site (`δ == dist[s] < bound` is possible only when
+        // `bound > radius`, i.e. the ∞ case — but skipping only the strict
+        // exterior is what the proof licenses, so that is what we do).
+        let radius = if d2.is_finite() { d2 } else { d1 };
+        let mut out: Vec<SiteId> = vec![];
+        for &s in &order {
+            if dist[s] > radius {
+                break; // ascending order: every later shard is outside too
+            }
+            visited[s] = true;
+            self.shards[s].nonzero_report_into(q, id1, d1, d2, &mut out);
+        }
+        out.sort_unstable();
+        (out, visited.iter().filter(|&&v| v).count())
+    }
+
+    /// Stage 1 with pruning: fold per-shard two-min triples in ascending
+    /// box-distance order into the global `(d1, best id, d2)`, skipping the
+    /// tail of shards whose bound proves they cannot contribute. Marks
+    /// every visited shard in `visited`.
+    ///
+    /// Skip proof: every live site `i ∈ s` has `Δ_i(q) ≥ dist[s]` (all its
+    /// locations lie in `box_s`). The fold updates `best` only on
+    /// `d < best.0` and `second` only on `d < second`, and
+    /// `best.0 ≤ second` throughout — so once `dist[s] ≥ second`, no site
+    /// of `s` can change either float or the witness, and (visiting in
+    /// ascending bound order, with `second` only shrinking) neither can any
+    /// later shard: `break`, not `continue`. The resulting `(d1, d2)` are
+    /// the min/second-min of a multiset and hence identical to any other
+    /// fold order; the witness can differ from the monolithic bucket-order
+    /// fold only on an exact `Δ` tie at `d1`, where `d2 == d1` makes the
+    /// stage-2 bound witness-independent (see
+    /// [`DynamicSet::nonzero_report_into`]).
+    fn pruned_two_min(
+        &self,
+        q: Point,
+        dist: &[f64],
+        order: &[usize],
+        visited: &mut [bool],
+    ) -> Option<(f64, SiteId, f64)> {
         let mut best: (f64, SiteId) = (f64::INFINITY, SiteId::MAX);
         let mut second = f64::INFINITY;
         let mut any = false;
-        for shard in &self.shards {
-            let Some((d, id, s)) = shard.nonzero_two_min(q) else {
+        for &s in order {
+            if dist[s] >= second {
+                break;
+            }
+            visited[s] = true;
+            let Some((d, id, sec)) = self.shards[s].nonzero_two_min(q) else {
                 continue;
             };
             any = true;
@@ -192,35 +310,48 @@ impl ShardedReader {
             } else if d < second {
                 second = d;
             }
-            if s < second {
-                second = s;
+            if sec < second {
+                second = sec;
             }
         }
-        if !any {
-            return vec![];
-        }
-        let (d1, id1) = best;
-        let d2 = second;
-        // Gather: every shard range-reports against the same global floats.
-        let mut out: Vec<SiteId> = vec![];
-        for shard in &self.shards {
-            shard.nonzero_report_into(q, id1, d1, d2, &mut out);
-        }
-        out.sort_unstable();
-        out
+        any.then_some((best.0, best.1, second))
     }
 
-    /// Merged quantification over the union: one k-way merge across *all*
-    /// shards' bucket streams, each emitting globally-dense indices, into
-    /// the shared sweep core. Bit-identical to the monolithic merged (and
-    /// fresh) paths.
+    /// Merged quantification over the union: one k-way merge across the
+    /// surviving shards' bucket streams, each emitting globally-dense
+    /// indices, into the shared sweep core. Bit-identical to the monolithic
+    /// merged (and fresh) paths.
     pub fn quantification_merged(&self, q: Point) -> Vec<(SiteId, f64)> {
         self.quantification_merged_with_stats(q).0
     }
 
     /// [`quantification_merged`](Self::quantification_merged) plus the
     /// reuse metrics the serving engine aggregates (buckets and warm
-    /// buckets count across every shard).
+    /// buckets count across the shards that joined the merge;
+    /// `shards_touched` counts every shard the query read, including the
+    /// threshold probe).
+    ///
+    /// Shard-exclusion proof: let `d2` be the global second-smallest
+    /// `Δ_i(q)` over the live union (from the pruned stage-1 fold). Site
+    /// weights are normalized at construction
+    /// ([`crate::model::DiscreteUncertainPoint::new`]), so once all of a
+    /// site's locations have entered the sweep its accumulated weight is 1
+    /// up to a few ulps of summation error (`≪ ZERO_THRESH = 1e-12` for any
+    /// realistic per-site location count) and its survival factor clamps to
+    /// exactly 0 — the sweep's own early-exit contract. The sites attaining
+    /// `d1` and `d2` have fully entered by the end of the equal-distance
+    /// batch at `d2`, so the driver's `zeros >= 2` exit fires no later than
+    /// that batch. Every live site of a shard with `dist[s] > d2` has *all*
+    /// entries at distance `> d2`, i.e. strictly after the exit batch in
+    /// the `(d, dense)` merge order — the sweep never processes them. (At
+    /// most one such entry is drawn as the driver's batch-boundary
+    /// lookahead and discarded; only [`KWayMerge::consumed`] — a statistic,
+    /// not an answer — can differ.) Dropping those shards' streams
+    /// therefore changes no output bit. When every shard's bound is equal
+    /// (hash partitioning: all ~0) no exclusion is possible — `d2 ≥ d1 ≥`
+    /// the best shard's bound `=` every bound — so the threshold probe is
+    /// skipped entirely and the driver degrades to the plain all-shards
+    /// merge.
     pub fn quantification_merged_with_stats(
         &self,
         q: Point,
@@ -232,9 +363,28 @@ impl ShardedReader {
             return (vec![], stats);
         }
         stats.live_locations = maps.live_locations;
+        let (dist, order) = self.scatter_order(q);
+        let mut visited = vec![false; self.shards.len()];
+        let uniform_bounds = match (order.first(), order.last()) {
+            (Some(&first), Some(&last)) => dist[first] == dist[last],
+            _ => true,
+        };
+        let cutoff = if uniform_bounds {
+            f64::INFINITY
+        } else {
+            match self.pruned_two_min(q, &dist, &order, &mut visited) {
+                Some((_, _, d2)) => d2, // ∞ (single live site) excludes nothing
+                None => f64::INFINITY,
+            }
+        };
         let mut streams = vec![];
-        for (shard, dense) in self.shards.iter().zip(&maps.dense) {
-            for (slot, dense_of_local) in shard.buckets.iter().zip(dense) {
+        for &s in &order {
+            if dist[s] > cutoff {
+                break; // ascending order: every later shard is beyond too
+            }
+            visited[s] = true;
+            let shard = &self.shards[s];
+            for (slot, dense_of_local) in shard.buckets.iter().zip(&maps.dense[s]) {
                 let (Some(slot), Some(dense_of_local)) = (slot, dense_of_local) else {
                     continue; // unoccupied slot, or a fully-dead bucket
                 };
@@ -249,9 +399,15 @@ impl ShardedReader {
                 );
             }
         }
+        // Stream *indices* differ from the monolithic merge (and between
+        // partitioners), but the heap's `(d, dense, stream)` tie-break
+        // never reaches the stream field on distinct sites (ordered by
+        // `dense`) and a single site's entries all share one stream — so
+        // the drawn entry sequence is independent of stream numbering.
         let mut merge = KWayMerge::new(streams);
         let pi = sweep(&mut merge, n);
         stats.entries_merged = merge.consumed();
+        stats.shards_touched = visited.iter().filter(|&&v| v).count();
         (maps.ids.iter().copied().zip(pi).collect(), stats)
     }
 
@@ -261,9 +417,36 @@ impl ShardedReader {
     /// The value is bit-identical to the monolithic query; the witness
     /// among exact ties is unspecified there too.
     pub fn expected_nn(&self, q: Point) -> Option<(SiteId, f64)> {
+        self.expected_nn_touched(q).0
+    }
+
+    /// [`expected_nn`](Self::expected_nn) plus the number of shards the
+    /// query visited after box pruning.
+    ///
+    /// Skip proof: for every live site `i ∈ s`, `E[d(q, P_i)] =
+    /// Σ_j w_j·d(q, p_ij)` with every `d(q, p_ij) ≥ dist[s]` and normalized
+    /// weights, so its true value is `≥ dist[s]`; the computed f64 value
+    /// can round below that by an error scaling with `ulp` of the distance
+    /// magnitude, which `PRUNE_MARGIN·(1 + be + dist[s])` dominates by ~7
+    /// orders (the same slack the in-bucket branch-and-bound uses, see
+    /// [`crate::expected::ExpectedNnIndex::query_where`]). When the skip
+    /// test holds, every site of `s` therefore computes `e > be` strictly —
+    /// it can neither win (`e < be`) nor tie (`e == be`) under the fold
+    /// rule, so the fold's value *and witness* are unchanged. `be` only
+    /// shrinks and bounds only grow along the visit order, so the condition
+    /// is monotone: `break`, not `continue`.
+    pub fn expected_nn_touched(&self, q: Point) -> (Option<(SiteId, f64)>, usize) {
+        let (dist, order) = self.scatter_order(q);
+        let mut touched = 0usize;
         let mut best: Option<(SiteId, f64)> = None;
-        for shard in &self.shards {
-            if let Some((id, e)) = shard.expected_nn(q) {
+        for &s in &order {
+            if let Some((_, be)) = best {
+                if dist[s] > be + PRUNE_MARGIN * (1.0 + be + dist[s]) {
+                    break;
+                }
+            }
+            touched += 1;
+            if let Some((id, e)) = self.shards[s].expected_nn(q) {
                 let better = match best {
                     None => true,
                     Some((bid, be)) => e < be || (e == be && id < bid),
@@ -273,7 +456,7 @@ impl ShardedReader {
                 }
             }
         }
-        best
+        (best, touched)
     }
 
     fn maps(&self) -> &GatherMaps {
@@ -446,8 +629,100 @@ mod tests {
         assert_eq!(r.len(), 0);
         let q = Point::new(0.5, -0.5);
         assert!(r.nonzero(q).is_empty());
+        assert_eq!(r.nonzero_touched(q).1, 0);
         assert!(r.quantification_merged(q).is_empty());
         assert!(r.expected_nn(q).is_none());
+        assert_eq!(r.expected_nn_touched(q).1, 0);
         assert!(r.live_set().is_empty());
+    }
+
+    /// Four well-separated clusters, one shard each: a query inside one
+    /// cluster must prune the other shards on every family, and still match
+    /// the monolithic oracle bit-for-bit.
+    #[test]
+    fn region_disjoint_partition_prunes_far_shards() {
+        let mut rng = StdRng::seed_from_u64(0xA2B);
+        let centers = [
+            Point::new(-120.0, -120.0),
+            Point::new(120.0, -120.0),
+            Point::new(-120.0, 120.0),
+            Point::new(120.0, 120.0),
+        ];
+        let shards = centers.len();
+        let mut mono = DynamicSet::new(DynamicConfig::default());
+        let mut parts = vec![DynamicSet::new(DynamicConfig::default()); shards];
+        let mut id = 0usize;
+        for (s, c) in centers.iter().enumerate() {
+            for _ in 0..20 {
+                let p = DiscreteUncertainPoint::uniform(vec![
+                    Point::new(
+                        c.x + rng.gen_range(-3.0..3.0),
+                        c.y + rng.gen_range(-3.0..3.0),
+                    ),
+                    Point::new(
+                        c.x + rng.gen_range(-3.0..3.0),
+                        c.y + rng.gen_range(-3.0..3.0),
+                    ),
+                ]);
+                mono.apply_with_insert_ids(&[Update::Insert(p.clone())], &[id]);
+                parts[s].apply_with_insert_ids(&[Update::Insert(p)], &[id]);
+                id += 1;
+            }
+        }
+        let r = reader(&parts);
+        let queries: Vec<Point> = centers
+            .iter()
+            .map(|c| Point::new(c.x + 0.5, c.y - 0.5))
+            .collect();
+        assert_families_match(&mono, &r, &queries);
+        for &q in &queries {
+            let (_, nz_touched) = r.nonzero_touched(q);
+            assert!(nz_touched < shards, "NN≠0 touched {nz_touched} at {q}");
+            let (_, stats) = r.quantification_merged_with_stats(q);
+            assert!(
+                stats.shards_touched < shards,
+                "quant touched {} at {q}",
+                stats.shards_touched
+            );
+            let (_, e_touched) = r.expected_nn_touched(q);
+            assert!(e_touched < shards, "E[d] touched {e_touched} at {q}");
+        }
+    }
+
+    /// Hash partitioning makes every shard's box cover the cloud, so an
+    /// interior query touches all shards — the pruning must degrade to the
+    /// plain scatter-gather, not mis-prune.
+    #[test]
+    fn hash_partition_touches_every_shard_for_interior_queries() {
+        let shards = 3;
+        let (_, parts) = partitioned(60, shards, 5);
+        let r = reader(&parts);
+        let q = Point::new(0.0, 0.0);
+        assert_eq!(r.nonzero_touched(q).1, shards);
+        assert_eq!(
+            r.quantification_merged_with_stats(q).1.shards_touched,
+            shards
+        );
+        assert_eq!(r.expected_nn_touched(q).1, shards);
+    }
+
+    /// A spatial rebalance migrates an id out of a shard and (possibly)
+    /// back later; the re-adoption must revive the stale live-list slot
+    /// instead of duplicating it.
+    #[test]
+    fn readopting_a_migrated_id_revives_the_stale_slot() {
+        let mut set = DynamicSet::new(DynamicConfig::default());
+        let a = DiscreteUncertainPoint::certain(Point::new(1.0, 2.0));
+        let b = DiscreteUncertainPoint::certain(Point::new(-3.0, 0.5));
+        set.apply_with_insert_ids(&[Update::Insert(a.clone()), Update::Insert(b)], &[7, 9]);
+        // Migrate id 7 away…
+        set.apply(&[Update::Remove(7)]);
+        assert_eq!(set.live_ids(), vec![9]);
+        // …and back. The stale copy of 7 must be revived, not duplicated.
+        set.apply_with_insert_ids(&[Update::Insert(a)], &[7]);
+        assert_eq!(set.live_ids(), vec![7, 9]);
+        assert_eq!(set.len(), 2);
+        let hits = set.nonzero(Point::new(1.0, 2.0));
+        assert!(hits.contains(&7), "{hits:?}");
     }
 }

@@ -187,7 +187,7 @@ pub struct ApplyReport {
 /// Per-shard serving-state summary reported by [`shard::ShardedEngine`]
 /// batches (empty on monolithic batches). One row per shard, in shard-index
 /// order, describing the snapshot the batch was served from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ShardStat {
     /// Shard index in `0..shards`.
     pub shard: usize,
@@ -197,6 +197,11 @@ pub struct ShardStat {
     pub live: usize,
     /// Tombstones still buried in this shard's buckets.
     pub tombstones: usize,
+    /// Fraction of this shard's stored locations whose bucket quant
+    /// summaries are warm (already built — a merged quantification touching
+    /// them pays only the stream draw), in `[0, 1]`; `0.0` when the shard
+    /// stores nothing.
+    pub quant_warm_rate: f64,
 }
 
 /// Execution report for one batch.
@@ -261,6 +266,14 @@ pub struct ExecStats {
     pub quant_bucket_touches: usize,
     /// …of which the per-bucket summary was already warm (no lazy build).
     pub quant_bucket_warm: usize,
+    /// Σ shards visited by this batch's scatter-gather reads (each
+    /// cache-missed `NN≠0:dynamic` or `quant:merged` evaluation counts the
+    /// shards its box pruning actually touched). 0 on monolithic batches.
+    pub shards_touched: usize,
+    /// Scatter-gather reads behind [`ExecStats::shards_touched`] —
+    /// `shards_touched / shard_reads` is the mean fan-out per query, the
+    /// number the planner's gather term is fed back.
+    pub shard_reads: usize,
     /// Registry span totals (`uncertain_obs` wall-clock histograms across
     /// the engine, planner, cache, dynamic, and kernel layers) that
     /// advanced during this batch, merged by span name. Like the predicate
@@ -337,20 +350,45 @@ impl ExecStats {
             self.quant_bucket_warm as f64 / self.quant_bucket_touches as f64
         }
     }
+
+    /// Mean shards visited per scatter-gather read; `0.0` when the batch
+    /// did none (monolithic engine, or every answer from the cache). Equal
+    /// to the shard count under hash partitioning; `< shards` measures how
+    /// much the spatial partitioner's box pruning cut the fan-out.
+    pub fn avg_shards_touched(&self) -> f64 {
+        if self.shard_reads == 0 {
+            0.0
+        } else {
+            self.shards_touched as f64 / self.shard_reads as f64
+        }
+    }
 }
+
+/// Largest shard count whose per-shard `Display` tokens stay readable on
+/// one log line; above it the tokens aggregate to min/median/max unless
+/// [`STATS_VERBOSE_ENV`] is set.
+const DISPLAY_SHARD_TOKENS_MAX: usize = 8;
+
+/// Set (to anything) to force per-shard `ExecStats` `Display` tokens at
+/// every shard count instead of the min/median/max aggregation past
+/// S = 8.
+pub const STATS_VERBOSE_ENV: &str = "UNC_STATS_VERBOSE";
 
 impl std::fmt::Display for ExecStats {
     /// Compact one-line batch summary for logs and examples:
-    /// `plan=[nonzero:index] reqs=64 wall=1.2ms qps=53388 cache=75% util=88% epoch=3 live=4096 tomb=0`.
+    /// `plan=[nonzero:index] reqs=64 wall=1.2ms qps=53388 cache=75% util=88% epoch=3 live=4096 tomb=0 stouch=0.0`.
     ///
-    /// Every field is printed unconditionally (even when zero), and sharded
-    /// batches append one fixed-shape `shardK=epoch/live/tomb` token per
-    /// shard — log scrapers see the same columns at every epoch and every
-    /// shard count.
+    /// Every field is printed unconditionally (even when zero). Sharded
+    /// batches append one fixed-shape `shardK=epoch/live/tomb/warm%` token
+    /// per shard up to S = 8; past that the line would be unreadable, so
+    /// the tokens aggregate to one `shards=S lo=… med=… hi=…` summary
+    /// (min/median/max of each column) unless the `UNC_STATS_VERBOSE` env
+    /// var is set — log scrapers see the same columns at every epoch and a
+    /// bounded line length at every shard count.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "plan=[{}] reqs={} wall={} qps={:.0} cache={:.0}% util={:.0}% epoch={} live={} tomb={}",
+            "plan=[{}] reqs={} wall={} qps={:.0} cache={:.0}% util={:.0}% epoch={} live={} tomb={} stouch={:.1}",
             self.plan.summary(),
             self.batch_len,
             uncertain_obs::fmt_ns(self.wall.as_nanos() as u64),
@@ -360,12 +398,40 @@ impl std::fmt::Display for ExecStats {
             self.epoch,
             self.live_sites,
             self.tombstones,
+            self.avg_shards_touched(),
         )?;
-        for s in &self.shard_stats {
+        let verbose = std::env::var_os(STATS_VERBOSE_ENV).is_some();
+        if self.shard_stats.len() <= DISPLAY_SHARD_TOKENS_MAX || verbose {
+            for s in &self.shard_stats {
+                write!(
+                    f,
+                    " shard{}={}/{}/{}/{:.0}%",
+                    s.shard,
+                    s.epoch,
+                    s.live,
+                    s.tombstones,
+                    100.0 * s.quant_warm_rate
+                )?;
+            }
+        } else {
+            // min/median/max per column, each rendered in the same
+            // epoch/live/tomb/warm% shape as the per-shard tokens.
+            fn col<T: Copy + Ord>(mut v: Vec<T>) -> (T, T, T) {
+                v.sort_unstable();
+                (v[0], v[v.len() / 2], v[v.len() - 1])
+            }
+            let (e_lo, e_med, e_hi) = col(self.shard_stats.iter().map(|s| s.epoch).collect());
+            let (l_lo, l_med, l_hi) = col(self.shard_stats.iter().map(|s| s.live).collect());
+            let (t_lo, t_med, t_hi) = col(self.shard_stats.iter().map(|s| s.tombstones).collect());
+            let (w_lo, w_med, w_hi) = col(self
+                .shard_stats
+                .iter()
+                .map(|s| (100.0 * s.quant_warm_rate).round() as u64)
+                .collect());
             write!(
                 f,
-                " shard{}={}/{}/{}",
-                s.shard, s.epoch, s.live, s.tombstones
+                " shards={} lo={e_lo}/{l_lo}/{t_lo}/{w_lo}% med={e_med}/{l_med}/{t_med}/{w_med}% hi={e_hi}/{l_hi}/{t_hi}/{w_hi}%",
+                self.shard_stats.len()
             )?;
         }
         Ok(())
@@ -407,6 +473,18 @@ pub struct EngineConfig {
     /// `UNC_ENGINE_SHARDS` env > this field > detected parallelism, min 1.
     /// Ignored by the monolithic [`Engine`].
     pub shards: Option<usize>,
+    /// How [`shard::ShardedEngine`] assigns sites to shards: `Hash`
+    /// (default — stable-id hash, write-parallel, every query fans out to
+    /// all shards) or `Spatial` (kd-split of the site cloud — clustered
+    /// queries touch few shards, applies serialize). Overridable via the
+    /// `UNC_ENGINE_PARTITIONER` env var (`hash` / `spatial`). Ignored by
+    /// the monolithic [`Engine`].
+    pub partitioner: shard::PartitionerKind,
+    /// Live-count imbalance ratio (max/min across shards) past which a
+    /// spatial apply schedules an incremental rebalance; `0.0` disables
+    /// rebalancing. Overridable via `UNC_ENGINE_REBALANCE`. Ignored under
+    /// `Hash` partitioning and by the monolithic [`Engine`].
+    pub rebalance_ratio: f64,
 }
 
 impl Default for EngineConfig {
@@ -420,6 +498,8 @@ impl Default for EngineConfig {
             mc_seed: 0xC0FFEE,
             dynamic: DynamicConfig::default(),
             shards: None,
+            partitioner: shard::PartitionerKind::Hash,
+            rebalance_ratio: 4.0,
         }
     }
 }
@@ -606,6 +686,10 @@ struct BatchCounters {
     /// were already warm — the per-bucket reuse rate.
     bucket_touches: AtomicUsize,
     bucket_warm: AtomicUsize,
+    /// Σ shards visited by scatter-gather reads, and the number of such
+    /// reads (sharded engine only; monolithic batches leave both 0).
+    shards_touched: AtomicUsize,
+    shard_reads: AtomicUsize,
 }
 
 impl Engine {
@@ -899,6 +983,8 @@ impl Engine {
                 quant_fresh_evals: counters.quant_fresh.load(Ordering::Relaxed),
                 quant_bucket_touches: counters.bucket_touches.load(Ordering::Relaxed),
                 quant_bucket_warm: counters.bucket_warm.load(Ordering::Relaxed),
+                shards_touched: 0,
+                shard_reads: 0,
                 spans,
             },
         }
@@ -944,6 +1030,7 @@ fn plan_for(core: &EngineCore, nonzero_count: usize, quant_count: usize) -> Batc
         dynamic_quant_cold_locations: quant_cold,
         quant_snapped: core.cache.grid() > 0.0,
         shards: 0,
+        expected_shards_touched: 0.0,
     })
 }
 

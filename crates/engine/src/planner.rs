@@ -145,6 +145,16 @@ pub struct PlannerInputs {
     /// set and are not maintained per shard. Each query also pays a small
     /// per-shard gather constant.
     pub shards: usize,
+    /// Observed mean scatter-gather fan-out per read (shards actually
+    /// visited), fed back by the sharded engine from prior batches. Under
+    /// hash partitioning this equals `shards`; under spatial partitioning
+    /// the support-box pruning can make it much smaller, which cheapens
+    /// exactly the candidates that scatter per shard (`nonzero:dynamic`,
+    /// `quant:merged`) — their gather constant and bucket fan-out scale
+    /// with the *expected* touched shards, not the worst case. Ignored
+    /// when `shards == 0`; clamped to `[1, shards]` otherwise (pass
+    /// `shards as f64` when no observations exist yet).
+    pub expected_shards_touched: f64,
 }
 
 /// The planner's decision for one batch, with the full cost table.
@@ -202,9 +212,25 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
     let kbar = (nn / n.max(1.0)).max(1.0);
     let mut out = BatchPlan::default();
 
-    // Per-query scatter-gather constant for sharded serving: every read
-    // folds one candidate per shard (two-min triples, heap heads, minima).
+    // Per-query scatter-gather constants for sharded serving. Strategies
+    // over the *flat union* (brute, fresh sweep) pay one fold per shard
+    // unconditionally — assembling the union visits every shard. The
+    // bucket-structure strategies (dynamic, merged) scatter per shard and
+    // benefit from support-box pruning, so they pay only the *observed*
+    // expected fan-out, and their per-bucket fan-out shrinks by the same
+    // fraction (untouched shards' buckets are never visited).
     let gather = 4.0 * inp.shards as f64;
+    let expected = if inp.shards == 0 {
+        0.0
+    } else {
+        inp.expected_shards_touched.clamp(1.0, inp.shards as f64)
+    };
+    let gather_pruned = 4.0 * expected;
+    let touched_frac = if inp.shards == 0 {
+        1.0
+    } else {
+        expected / inp.shards as f64
+    };
 
     if inp.nonzero_count > 0 {
         let b = inp.nonzero_count as f64;
@@ -229,13 +255,14 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
         if inp.dynamic_ready {
             // Same two-stage query shape as the Theorem 3.2 index, fanned
             // out over the occupied buckets (summed across shards when
-            // sharded); the build is already paid for incrementally by
-            // `apply`, so it is never charged here.
-            let buckets = inp.dynamic_buckets.max(1) as f64;
+            // sharded, then scaled down to the fraction of shards a read is
+            // expected to actually visit); the build is already paid for
+            // incrementally by `apply`, so it is never charged here.
+            let buckets = (inp.dynamic_buckets.max(1) as f64 * touched_frac).max(1.0);
             cands.push((
                 NonzeroPlan::Dynamic,
                 0.0,
-                16.0 * (nn.sqrt() + kbar + 24.0) + 8.0 * buckets * lg(nn) + gather,
+                16.0 * (nn.sqrt() + kbar + 24.0) + 8.0 * buckets * lg(nn) + gather_pruned,
             ));
         }
         if inp.shards == 0 && inp.n >= 2 && inp.n <= inp.diagram_cap {
@@ -277,7 +304,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
             // then a query pays the O(live) answer assembly, the early-exit
             // stream draws (a few multiples of k̄), and the per-bucket heap
             // fan-out — sublinear in N, which is the whole point.
-            let buckets = inp.dynamic_buckets.max(1) as f64;
+            let buckets = (inp.dynamic_buckets.max(1) as f64 * touched_frac).max(1.0);
             let cold = inp.dynamic_quant_cold_locations as f64;
             cands.push((
                 QuantPlan::Merged,
@@ -286,7 +313,7 @@ pub fn plan(inp: &PlannerInputs) -> BatchPlan {
                 } else {
                     0.0
                 },
-                2.0 * n + 16.0 * (kbar + 2.0) * lg(nn) + 8.0 * buckets * lg(nn) + gather,
+                2.0 * n + 16.0 * (kbar + 2.0) * lg(nn) + 8.0 * buckets * lg(nn) + gather_pruned,
             ));
         }
         let eps_budget = inp.guarantee.slack();
@@ -382,6 +409,7 @@ mod tests {
             dynamic_quant_cold_locations: 0,
             quant_snapped: false,
             shards: 0,
+            expected_shards_touched: 0.0,
         }
     }
 
@@ -402,6 +430,7 @@ mod tests {
         inp.dynamic_ready = true;
         inp.dynamic_buckets = 12;
         inp.shards = 4;
+        inp.expected_shards_touched = 4.0;
         let p = plan(&inp);
         for e in &p.estimates {
             assert!(
@@ -421,6 +450,42 @@ mod tests {
             p.quant,
             Some(QuantPlan::Exact | QuantPlan::Merged)
         ));
+    }
+
+    #[test]
+    fn observed_fanout_shifts_the_sharded_crossover() {
+        // Same engine shape, same batch — the only input that changes is
+        // the observed scatter-gather fan-out. At the worst case (every
+        // read touches all 8 shards) the heavy per-bucket fan-out makes
+        // brute the cheaper NN≠0 strategy; once pruning is observed to
+        // touch ~1 shard per read, the dynamic structure wins.
+        let mut inp = base(667, 3, 64, 0, Guarantee::Exact);
+        inp.dynamic_ready = true;
+        inp.dynamic_buckets = 96; // summed across 8 shards
+        inp.shards = 8;
+
+        inp.expected_shards_touched = 8.0;
+        let worst = plan(&inp);
+        assert_eq!(worst.nonzero, Some(NonzeroPlan::Brute));
+
+        inp.expected_shards_touched = 1.0;
+        let pruned = plan(&inp);
+        assert_eq!(pruned.nonzero, Some(NonzeroPlan::Dynamic));
+
+        // The brute row is priced identically in both plans — the feedback
+        // only cheapens the strategies that actually scatter per shard.
+        let cost = |p: &BatchPlan, name: &str| {
+            p.estimates
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.total)
+                .unwrap()
+        };
+        assert_eq!(
+            cost(&worst, "nonzero:brute"),
+            cost(&pruned, "nonzero:brute")
+        );
+        assert!(cost(&pruned, "nonzero:dynamic") < cost(&worst, "nonzero:dynamic"));
     }
 
     #[test]

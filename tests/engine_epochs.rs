@@ -364,6 +364,94 @@ fn concurrent_disjoint_shard_appliers_both_commit() {
     );
 }
 
+/// Rebalance atomicity, raced: a spatial engine under corner-wave churn
+/// (which provably triggers rebalances) is censused by racing reader
+/// threads, and **every** observed snapshot must show every sentinel site
+/// in exactly one shard — never zero (briefly removed but not yet
+/// re-inserted) and never two (inserted before the remove landed). This is
+/// the observable for migrations publishing in one generation: a
+/// remove+insert migration published as two generations would be caught
+/// here within a handful of iterations.
+#[test]
+fn rebalance_races_never_show_a_site_in_zero_or_two_shards() {
+    use std::collections::HashSet;
+    use uncertain_engine::shard::PartitionerKind;
+
+    let n = 40usize;
+    let set = workload::random_discrete_set(n, 3, 6.0, 701);
+    let engine = ShardedEngine::new(
+        set,
+        EngineConfig {
+            shards: Some(4),
+            threads: Some(4),
+            partitioner: PartitionerKind::Spatial,
+            rebalance_ratio: 1.5,
+            ..EngineConfig::default()
+        },
+    );
+    // The initial sites are sentinels: the writer never removes them, so a
+    // reader that ever fails to find one (or finds it twice) has witnessed
+    // a torn migration.
+    let sentinels: Vec<usize> = (0..n).collect();
+    const CORNERS: [(f64, f64); 4] = [(90.0, 90.0), (-90.0, 90.0), (-90.0, -90.0), (90.0, -90.0)];
+
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let sentinels = &sentinels;
+        let mut readers = vec![];
+        for _ in 0..3 {
+            readers.push(scope.spawn(move || {
+                for _ in 0..60 {
+                    let census = engine.shard_census();
+                    let mut seen: HashSet<usize> = HashSet::new();
+                    for (shard, ids) in census.iter().enumerate() {
+                        for &id in ids {
+                            assert!(
+                                seen.insert(id),
+                                "site {id} censused in two shards (second: {shard})"
+                            );
+                        }
+                    }
+                    for &id in sentinels {
+                        assert!(seen.contains(&id), "sentinel {id} censused in zero shards");
+                    }
+                }
+            }));
+        }
+        // Writer: corner waves — insert a clump in one corner, drain the
+        // clump from two rounds ago — driving repeated rebalances while the
+        // readers census.
+        let mut waves: Vec<Vec<usize>> = vec![];
+        for round in 0..12 {
+            let (cx, cy) = CORNERS[round % 4];
+            let mut updates: Vec<Update> = (0..10)
+                .map(|i| {
+                    let t = (round * 10 + i) as f64 * 0.61;
+                    Update::Insert(DiscreteUncertainPoint::certain(Point::new(
+                        cx + 3.0 * t.cos(),
+                        cy + 3.0 * t.sin(),
+                    )))
+                })
+                .collect();
+            if round >= 2 {
+                updates.extend(waves[round - 2].iter().map(|&id| Update::Remove(id)));
+            }
+            let report = engine.apply(&updates);
+            waves.push(report.inserted);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+
+    // The race actually crossed the migration path.
+    assert!(
+        engine.rebalances() >= 1,
+        "corner waves never triggered a rebalance — the race tested nothing"
+    );
+}
+
 /// Serial applies: every epoch's batch answers equal a from-scratch oracle;
 /// worker count never changes any answer.
 #[test]

@@ -17,7 +17,7 @@
 //! `PROPTEST_CASES=2048` pinned to one worker.
 
 use proptest::prelude::*;
-use uncertain_engine::shard::ShardedEngine;
+use uncertain_engine::shard::{PartitionerKind, ShardedEngine};
 use uncertain_engine::{Engine, EngineConfig, QueryRequest, QueryResult, SiteId, Update};
 use uncertain_geom::Point;
 use uncertain_nn::model::DiscreteUncertainPoint;
@@ -133,20 +133,28 @@ fn assert_bit_identical(
 
 const SHARD_COUNTS: [usize; 3] = [1, 3, 8];
 
-fn run_differential(ops: &[RawOp], n0: usize, seed: u64) -> Result<(), TestCaseError> {
+/// `ratio ≤ 0` keeps rebalancing off (and `Hash` ignores it entirely).
+fn sharded_config(shards: usize, partitioner: PartitionerKind, ratio: f64) -> EngineConfig {
+    EngineConfig {
+        shards: Some(shards),
+        partitioner,
+        rebalance_ratio: ratio,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_differential(
+    ops: &[RawOp],
+    n0: usize,
+    seed: u64,
+    partitioner: PartitionerKind,
+    ratio: f64,
+) -> Result<(), TestCaseError> {
     let base = workload::random_discrete_set(n0, 3, 5.0, seed);
     let mono = Engine::new(base.clone(), EngineConfig::default());
     let sharded: Vec<ShardedEngine> = SHARD_COUNTS
         .iter()
-        .map(|&s| {
-            ShardedEngine::new(
-                base.clone(),
-                EngineConfig {
-                    shards: Some(s),
-                    ..EngineConfig::default()
-                },
-            )
-        })
+        .map(|&s| ShardedEngine::new(base.clone(), sharded_config(s, partitioner, ratio)))
         .collect();
     let mut live: Vec<SiteId> = (0..n0).collect();
     let fixed_queries = workload::random_queries(2, 60.0, seed ^ 1);
@@ -211,7 +219,7 @@ proptest! {
     fn sharded_engines_match_monolithic_after_every_op(
         ops in prop::collection::vec(raw_op(), 1..14),
     ) {
-        run_differential(&ops, 10, 0x5AAD)?;
+        run_differential(&ops, 10, 0x5AAD, PartitionerKind::Hash, 0.0)?;
     }
 
     /// Same property starting from an empty universe: the first inserts
@@ -221,7 +229,30 @@ proptest! {
     fn sharded_engines_match_monolithic_from_empty(
         ops in prop::collection::vec(raw_op(), 1..10),
     ) {
-        run_differential(&ops, 0, 0x5AAD ^ 0xFF)?;
+        run_differential(&ops, 0, 0x5AAD ^ 0xFF, PartitionerKind::Hash, 0.0)?;
+    }
+
+    /// The same interleavings under the **spatial** partitioner, with an
+    /// aggressive rebalance ratio so migrations fire mid-stream: routing,
+    /// the cross-shard move rewrite, and rebalance rounds must all leave
+    /// every answer bit-identical to the monolithic engine after every op.
+    /// (The larger seed set keeps the live count above the rebalancer's
+    /// minimum, so the trigger is actually armed.)
+    #[test]
+    fn spatial_engines_match_monolithic_after_every_op(
+        ops in prop::collection::vec(raw_op(), 1..14),
+    ) {
+        run_differential(&ops, 40, 0x5AAD ^ 0xA0, PartitionerKind::Spatial, 1.2)?;
+    }
+
+    /// Spatial from an empty universe: the first inserts all route through
+    /// the degenerate (empty-cloud) split tree until the first rebalance
+    /// re-cuts it.
+    #[test]
+    fn spatial_engines_match_monolithic_from_empty(
+        ops in prop::collection::vec(raw_op(), 1..10),
+    ) {
+        run_differential(&ops, 0, 0x5AAD ^ 0xAF, PartitionerKind::Spatial, 1.2)?;
     }
 }
 
@@ -300,5 +331,79 @@ fn long_straddling_churn_stays_bit_identical() {
             mono.live_set().points.len(),
             "flat view diverged at S={s}"
         );
+    }
+}
+
+/// Deterministic spatial churn designed to *guarantee* rebalances: waves of
+/// inserts pile into one corner of the plane (ballooning that corner's
+/// shard), then drain while the next corner fills. Every round's answers
+/// are bit-compared against the monolithic engine, and at the end each
+/// multi-shard engine must have actually executed at least one rebalance —
+/// so the migration path (remove+insert batches, same-generation publish)
+/// is provably on the differential's critical path, not dead code.
+#[test]
+fn spatial_rebalances_fire_and_stay_bit_identical() {
+    let base = workload::random_discrete_set(48, 3, 5.0, 0xB1A5);
+    let mono = Engine::new(base.clone(), EngineConfig::default());
+    let sharded: Vec<ShardedEngine> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            ShardedEngine::new(
+                base.clone(),
+                sharded_config(s, PartitionerKind::Spatial, 1.5),
+            )
+        })
+        .collect();
+    let mut live: Vec<SiteId> = (0..48).collect();
+    let queries = workload::random_queries(3, 90.0, 0xB1A5 ^ 2);
+    let batch = mixed_batch(&queries);
+    const CORNERS: [(f64, f64); 4] = [(80.0, 80.0), (-80.0, 80.0), (-80.0, -80.0), (80.0, -80.0)];
+    let mut waves: Vec<Vec<SiteId>> = vec![];
+
+    for round in 0usize..12 {
+        let (cx, cy) = CORNERS[round % 4];
+        let mut updates: Vec<Update> = (0..10)
+            .map(|i| {
+                let t = (round * 10 + i) as f64 * 0.61;
+                Update::Insert(DiscreteUncertainPoint::uniform(vec![
+                    Point::new(cx + 3.0 * t.cos(), cy + 3.0 * t.sin()),
+                    Point::new(cx - 2.0 * t.sin(), cy + 2.0 * t.cos()),
+                ]))
+            })
+            .collect();
+        // Drain the wave from two rounds ago (keeps the live count bounded
+        // while the *current* corner is always the heaviest).
+        if round >= 2 {
+            updates.extend(waves[round - 2].iter().map(|&id| Update::Remove(id)));
+        }
+
+        let report = mono.apply(&updates);
+        let want = mono.run_batch(&batch);
+        for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+            let sr = engine.apply(&updates);
+            assert_eq!(sr.inserted, report.inserted, "ids diverged at S={s}");
+            assert_eq!(sr.removed, report.removed, "removed diverged at S={s}");
+            assert_eq!(sr.live, report.live, "live diverged at S={s}");
+            let got = engine.run_batch(&batch);
+            assert_eq!(
+                got.results, want.results,
+                "answers diverged at S={s} round {round}"
+            );
+        }
+        waves.push(report.inserted.clone());
+        track(&mut live, &updates, &report.inserted);
+    }
+
+    for (engine, &s) in sharded.iter().zip(&SHARD_COUNTS) {
+        assert_eq!(engine.site_ids(), mono.site_ids(), "ids diverged at S={s}");
+        if s > 1 {
+            assert!(
+                engine.rebalances() >= 1,
+                "corner waves at S={s} never triggered a rebalance"
+            );
+        } else {
+            // A single shard can never be imbalanced.
+            assert_eq!(engine.rebalances(), 0);
+        }
     }
 }
